@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: scheduling policy vs bug manifestation.
+ *
+ * The golite scheduler's random dispatch is a design choice (it
+ * models Go's scheduler nondeterminism). This ablation reruns every
+ * buggy kernel under Random / FIFO / LIFO dispatch, 60 seeds each,
+ * and reports the fraction of runs in which the bug manifested. The
+ * expected result — random scheduling exposes far more bugs than
+ * deterministic orders — is the reason the paper needed repeated
+ * runs and sleep injection to reproduce bugs (Section 4).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::BugCase;
+using corpus::Variant;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation - scheduling policy vs bug manifestation",
+        "design-choice ablation (DESIGN.md); context for Section 4");
+
+    constexpr int kSeeds = 60;
+    const SchedPolicy policies[] = {SchedPolicy::Random,
+                                    SchedPolicy::Fifo,
+                                    SchedPolicy::Lifo,
+                                    SchedPolicy::Pct};
+
+    study::TextTable table({"policy", "kernels manifesting",
+                            "mean manifestation rate"});
+    for (SchedPolicy policy : policies) {
+        int manifesting_kernels = 0;
+        double rate_sum = 0.0;
+        int kernels = 0;
+        for (const BugCase &bug : corpus::corpus()) {
+            int manifested = 0;
+            for (int seed = 0; seed < kSeeds; ++seed) {
+                RunOptions options;
+                options.seed = static_cast<uint64_t>(seed);
+                options.policy = policy;
+                if (bug.run(Variant::Buggy, options).manifested)
+                    manifested++;
+            }
+            kernels++;
+            manifesting_kernels += manifested > 0;
+            rate_sum += static_cast<double>(manifested) / kSeeds;
+        }
+        table.addRow(
+            {schedPolicyName(policy),
+             std::to_string(manifesting_kernels) + "/" +
+                 std::to_string(kernels),
+             study::TextTable::num(100.0 * rate_sum / kernels, 1) +
+                 "%"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Expected shape: fully randomized dispatch exposes the most\n"
+        "kernels; deterministic orders (FIFO/LIFO) hide\n"
+        "interleaving-dependent bugs, as single-schedule testing\n"
+        "does in practice. PCT lands between them here: its handful\n"
+        "of priority-change points is a good fit for deep rare bugs\n"
+        "but spends no randomness at the per-yield windows these\n"
+        "kernels expose.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation: shadow-history depth vs race-detection recall.
+ *
+ * Section 6.3 names the bounded shadow history ("up to four shadow
+ * words per memory object") as one reason Go's race detector misses
+ * bugs. This ablation sweeps the history depth over the racy
+ * non-blocking kernels plus a synthetic eviction-stress workload and
+ * reports detection rates per depth.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "golite/golite.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::Variant;
+
+namespace
+{
+
+// Eviction stress: a writer's single racy write is followed by many
+// same-goroutine reads that push it out of a shallow history before
+// the racing reader arrives.
+bool
+evictionStressDetected(size_t depth, int reads_between)
+{
+    race::Detector detector(depth);
+    RunOptions options;
+    options.hooks = &detector;
+    options.policy = SchedPolicy::Fifo;
+    options.preemptProb = 0.0;
+    race::Shared<int> x("stress");
+    run([&] {
+        go([&] {
+            x.store(1);
+            for (int i = 0; i < reads_between; ++i)
+                (void)x.load();
+        });
+        go([&] { (void)x.load(); });
+        yield();
+        yield();
+    }, options);
+    return detector.racedOn("stress");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ablation - shadow history depth vs detection recall",
+        "Section 6.3's bounded-history miss mode, quantified");
+
+    const size_t depths[] = {1, 2, 4, 8};
+    constexpr int kSeeds = 100;
+
+    study::TextTable table({"shadow depth", "corpus bugs detected",
+                            "eviction stress (0..6 reads)"});
+    for (size_t depth : depths) {
+        int detected = 0, used = 0;
+        for (const BugCase *bug :
+             corpus::bugsByBehavior(Behavior::NonBlocking, true)) {
+            used++;
+            for (int seed = 0; seed < kSeeds; ++seed) {
+                race::Detector detector(depth);
+                RunOptions options;
+                options.seed = static_cast<uint64_t>(seed);
+                options.hooks = &detector;
+                bug->run(Variant::Buggy, options);
+                if (!detector.reports().empty()) {
+                    detected++;
+                    break;
+                }
+            }
+        }
+        std::string stress;
+        for (int reads = 0; reads <= 6; ++reads)
+            stress += evictionStressDetected(depth, reads) ? 'Y' : '.';
+        table.addRow({std::to_string(depth),
+                      std::to_string(detected) + "/" +
+                          std::to_string(used),
+                      stress});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Expected shape: corpus detection saturates at 10/20 (the\n"
+        "misses are not data races at any depth), while the eviction\n"
+        "stress column shows shallow histories losing the racy write\n"
+        "after depth-1 subsequent accesses - Go's 4-word history\n"
+        "misses exactly the >=4-access patterns.\n");
+    return 0;
+}

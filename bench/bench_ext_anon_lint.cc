@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension experiment: the Section 7 anonymous-capture detector at
+ * corpus scale.
+ *
+ * "As a preliminary effort, we built a detector targeting the
+ * non-blocking bugs caused by anonymous functions ... Our detector
+ * has already discovered a few new bugs." This bench reruns that
+ * experiment end-to-end: per-app corpora are generated with a known
+ * number of injected Figure-8 capture bugs (plus correctly
+ * privatized decoys), the lint scans them, and precision/recall are
+ * reported against the ground truth.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "scanner/generator.hh"
+#include "scanner/lint.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using scanner::AppProfile;
+using scanner::generateWithCaptureBugs;
+using scanner::goAppProfiles;
+using scanner::lintAnonymousCaptures;
+
+int
+main()
+{
+    bench::banner(
+        "Extension - anonymous-capture lint (Section 7 detector)",
+        "the paper's preliminary Figure-8 detector, reproduced");
+
+    study::TextTable table({"Application", "injected bugs",
+                            "privatized decoys", "lint findings",
+                            "precision", "recall"});
+    int total_injected = 0, total_found = 0, total_false = 0;
+    uint64_t seed = 100;
+    for (const AppProfile &base : goAppProfiles()) {
+        AppProfile profile = base;
+        profile.sampleKloc = 20;
+        const int buggy = 3 + static_cast<int>(seed % 5);
+        const int decoys = buggy + 4;
+        auto findings = lintAnonymousCaptures(
+            generateWithCaptureBugs(profile, seed, buggy, decoys));
+        // Every injected bug captures `idx`; anything else would be
+        // a false positive.
+        int hits = 0, false_positives = 0;
+        for (const auto &f : findings)
+            (f.variable == "idx" ? hits : false_positives)++;
+        total_injected += buggy;
+        total_found += hits;
+        total_false += false_positives;
+        table.addRow(
+            {profile.name, std::to_string(buggy),
+             std::to_string(decoys), std::to_string(findings.size()),
+             hits + false_positives == 0
+                 ? "-"
+                 : study::TextTable::num(
+                       100.0 * hits / (hits + false_positives), 1) +
+                       "%",
+             study::TextTable::num(100.0 * hits / buggy, 1) + "%"});
+        seed += 17;
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("totals: %d/%d injected bugs found, %d false "
+                "positives\n\n",
+                total_found, total_injected, total_false);
+    std::printf(
+        "Shape check (paper, Section 7): a pattern detector for the\n"
+        "anonymous-function class finds real capture bugs with no\n"
+        "false positives on privatized code - the basis for the\n"
+        "paper's claim that its catalogued patterns can drive new\n"
+        "detectors.\n");
+    return 0;
+}

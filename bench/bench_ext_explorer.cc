@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension experiment: systematic schedule exploration vs the
+ * paper's repeated-run reproduction protocol.
+ *
+ * Section 4: "Due to their non-deterministic nature, concurrency
+ * bugs are difficult to reproduce. Sometimes, we needed to run a
+ * buggy program a lot of times or manually add sleep..." The
+ * explorer replaces hope with enumeration: for each kernel it walks
+ * the schedule tree (bounded at 20k schedules), reports the exact
+ * fraction of schedules that manifest the bug, and — for the fixed
+ * variants — *verifies* cleanliness over every enumerated schedule.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "explore/explorer.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::BugCase;
+using corpus::Variant;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+
+namespace
+{
+
+ExploreResult
+exploreKernel(const BugCase &bug, Variant variant, size_t budget)
+{
+    ExploreOptions options;
+    options.maxSchedules = budget;
+    return explore::exploreAll(
+        [&bug, variant](const RunOptions &run_options) {
+            return bug.run(variant, run_options).report;
+        },
+        options);
+}
+
+std::string
+pct(size_t part, size_t whole)
+{
+    if (whole == 0)
+        return "-";
+    return golite::study::TextTable::num(100.0 * part / whole, 1) + "%";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Extension - systematic schedule exploration",
+        "replaces Section 4's repeated-run protocol with enumeration");
+
+    const char *kernels[] = {
+        // Small spaces (exhaustive): the detector-visible deadlocks,
+        // self-deadlocks, and channel leaks.
+        "boltdb-392", "boltdb-240", "moby-17176", "grpc-795",
+        "kubernetes-70447", "grpc-1275", "etcd-6632", "docker-5416",
+        "kubernetes-5316",
+        // Larger spaces (bounded at the budget).
+        "etcd-10492", "etcd-6857", "docker-21233",
+    };
+    constexpr size_t kBudget = 20000;
+
+    study::TextTable table({"bug", "schedules", "exhaustive?",
+                            "buggy: bad schedules",
+                            "fixed: bad schedules"});
+    for (const char *id : kernels) {
+        const BugCase *bug = corpus::findBug(id);
+        ExploreResult buggy = exploreKernel(*bug, Variant::Buggy,
+                                            kBudget);
+        ExploreResult fixed = exploreKernel(*bug, Variant::Fixed,
+                                            kBudget);
+        const size_t buggy_bad = buggy.schedules - buggy.clean;
+        const size_t fixed_bad = fixed.schedules - fixed.clean;
+        table.addRow({id, std::to_string(buggy.schedules),
+                      buggy.exhaustive && fixed.exhaustive ? "yes"
+                                                           : "bounded",
+                      pct(buggy_bad, buggy.schedules),
+                      pct(fixed_bad, fixed.schedules)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Reading: a 100.0%% buggy column is a proof (within the\n"
+        "explored space) that the bug is schedule-independent; a\n"
+        "fractional value is the exact manifestation rate that the\n"
+        "paper's ~100-run protocol could only sample. A 0.0%% fixed\n"
+        "column over an exhaustive space *verifies* the patch: no\n"
+        "schedule of the fixed program blocks, panics, or leaks.\n");
+    return 0;
+}

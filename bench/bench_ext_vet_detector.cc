@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Extension experiment: golite-vet vs the built-in detector on the
+ * reproduced blocking bugs.
+ *
+ * The paper's Implication 4: "Simple runtime deadlock detector is not
+ * effective in detecting Go blocking bugs. Future research should
+ * focus on building novel blocking bug detection techniques, for
+ * example, with a combination of static and dynamic blocking pattern
+ * detection." golite-vet is that follow-up, built directly from the
+ * study's blocking-bug patterns. This bench runs the Table 8
+ * protocol (plus a 40-seed sweep, since pattern checkers can fire on
+ * non-deadlocking schedules too) with three detectors side by side:
+ *
+ *   built-in   - the global all-asleep check (what Go ships);
+ *   leak       - the end-of-run goroutine leak report;
+ *   vet        - the four pattern rules (double lock, lock-order
+ *                cycle, recursive RLock, WaitGroup misuse).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "study/tables.hh"
+#include "vet/vet.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::SubCause;
+using corpus::Variant;
+
+int
+main()
+{
+    bench::banner(
+        "Extension - golite-vet blocking-pattern detector",
+        "Implication 4 / Section 7 follow-up (not a paper table)");
+
+    struct Row
+    {
+        int used = 0;
+        int builtin = 0;
+        int leak = 0;
+        int vetHits = 0;
+    };
+    std::map<SubCause, Row> rows;
+    Row total;
+
+    std::printf("%-18s %-9s %-9s %-6s %s\n", "bug", "cause",
+                "built-in", "leak", "vet");
+    std::printf("%s\n", std::string(70, '-').c_str());
+    for (const BugCase &bug : corpus::corpus()) {
+        if (bug.info.behavior != Behavior::Blocking)
+            continue;
+        bool builtin = false, leak = false, vet_hit = false;
+        std::string vet_rule = "-";
+        for (uint64_t seed = 0; seed < 40; ++seed) {
+            vet::BlockingVet checker;
+            RunOptions options;
+            options.seed = seed;
+            options.hooks = &checker;
+            auto outcome = bug.run(Variant::Buggy, options);
+            builtin |= outcome.report.globalDeadlock;
+            leak |= !outcome.report.leaked.empty();
+            if (!checker.reports().empty()) {
+                vet_hit = true;
+                vet_rule =
+                    vet::ruleKindName(checker.reports()[0].kind);
+            }
+        }
+        Row &row = rows[bug.info.subcause];
+        row.used++;
+        row.builtin += builtin;
+        row.leak += leak;
+        row.vetHits += vet_hit;
+        total.used++;
+        total.builtin += builtin;
+        total.leak += leak;
+        total.vetHits += vet_hit;
+        std::printf("%-18s %-9s %-9s %-6s %s\n", bug.info.id.c_str(),
+                    corpus::subCauseName(bug.info.subcause),
+                    builtin ? "yes" : "-", leak ? "yes" : "-",
+                    vet_hit ? vet_rule.c_str() : "-");
+    }
+
+    std::printf("\n");
+    study::TextTable table({"Root Cause", "Used", "built-in", "leak",
+                            "vet"});
+    const SubCause order[] = {SubCause::Mutex, SubCause::RWMutex,
+                              SubCause::Wait, SubCause::Chan,
+                              SubCause::ChanWithOther,
+                              SubCause::MessagingLibrary};
+    for (SubCause cause : order) {
+        const Row &row = rows[cause];
+        table.addRow({corpus::subCauseName(cause),
+                      std::to_string(row.used),
+                      std::to_string(row.builtin),
+                      std::to_string(row.leak),
+                      std::to_string(row.vetHits)});
+    }
+    table.addRow({"Total", std::to_string(total.used),
+                  std::to_string(total.builtin),
+                  std::to_string(total.leak),
+                  std::to_string(total.vetHits)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Expected shape: vet catches the shared-memory blocking\n"
+        "patterns (double locks, AB-BA, recursive RLock) that the\n"
+        "built-in detector misses - including on *non-deadlocking*\n"
+        "schedules - while pure channel bugs remain out of reach of\n"
+        "lock-pattern analysis, exactly the gap Section 7 says needs\n"
+        "new message-passing-aware techniques. Zero vet reports on\n"
+        "fixed variants (see tests/vet_test.cc).\n");
+    return 0;
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Substrate microbenchmarks (google-benchmark): cost of goroutine
+ * spawn/switch, channel operations, select, sync primitives, and the
+ * race-detector instrumentation overhead. Not a paper table — this
+ * quantifies the simulator the reproduction runs on, and the
+ * detector-overhead ratio mirrors the practical cost argument the
+ * paper makes for the built-in detectors (Section 5.3: "minimal
+ * runtime overhead").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "golite/golite.hh"
+
+namespace
+{
+
+using namespace golite;
+
+void
+BM_GoroutineSpawnJoin(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        RunReport report = run([n] {
+            WaitGroup wg;
+            wg.add(n);
+            for (int i = 0; i < n; ++i) {
+                go([&wg] { wg.done(); });
+            }
+            wg.wait();
+        });
+        benchmark::DoNotOptimize(report.goroutinesCreated);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GoroutineSpawnJoin)->Arg(10)->Arg(100)->Arg(1000);
+
+void
+BM_UnbufferedChannelPingPong(benchmark::State &state)
+{
+    const int rounds = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        run([rounds] {
+            Chan<int> ping = makeChan<int>();
+            Chan<int> pong = makeChan<int>();
+            go([=] {
+                for (int i = 0; i < rounds; ++i)
+                    pong.send(ping.recv().value + 1);
+            });
+            for (int i = 0; i < rounds; ++i) {
+                ping.send(i);
+                pong.recv();
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_UnbufferedChannelPingPong)->Arg(64)->Arg(512);
+
+void
+BM_BufferedChannelThroughput(benchmark::State &state)
+{
+    const int items = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        run([items] {
+            Chan<int> ch = makeChan<int>(16);
+            go([=] {
+                for (int i = 0; i < items; ++i)
+                    ch.send(i);
+                ch.close();
+            });
+            while (ch.recv().ok) {
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_BufferedChannelThroughput)->Arg(1000);
+
+void
+BM_SelectTwoReady(benchmark::State &state)
+{
+    for (auto _ : state) {
+        run([] {
+            Chan<int> a = makeChan<int>(1);
+            Chan<int> b = makeChan<int>(1);
+            for (int i = 0; i < 200; ++i) {
+                a.trySend(1);
+                b.trySend(2);
+                Select()
+                    .recv<int>(a, [](int, bool) {})
+                    .recv<int>(b, [](int, bool) {})
+                    .run();
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_SelectTwoReady);
+
+void
+BM_MutexContention(benchmark::State &state)
+{
+    const int goroutines = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        run([goroutines] {
+            Mutex mu;
+            WaitGroup wg;
+            wg.add(goroutines);
+            for (int g = 0; g < goroutines; ++g) {
+                go([&] {
+                    for (int i = 0; i < 50; ++i) {
+                        mu.lock();
+                        yield();
+                        mu.unlock();
+                    }
+                    wg.done();
+                });
+            }
+            wg.wait();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * goroutines * 50);
+}
+BENCHMARK(BM_MutexContention)->Arg(2)->Arg(8);
+
+void
+raceWorkload(golite::RaceHooks *hooks)
+{
+    RunOptions options;
+    options.hooks = hooks;
+    options.preemptProb = 0.1;
+    race::Shared<int> x("bench");
+    run([&x] {
+        Mutex mu;
+        WaitGroup wg;
+        wg.add(4);
+        for (int g = 0; g < 4; ++g) {
+            go([&] {
+                for (int i = 0; i < 100; ++i) {
+                    mu.lock();
+                    x.update([](int &v) { v++; });
+                    mu.unlock();
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options);
+}
+
+void
+BM_RaceDetectorOff(benchmark::State &state)
+{
+    for (auto _ : state)
+        raceWorkload(nullptr);
+    state.SetItemsProcessed(state.iterations() * 400);
+}
+BENCHMARK(BM_RaceDetectorOff);
+
+void
+BM_RaceDetectorOn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        race::Detector detector;
+        raceWorkload(&detector);
+    }
+    state.SetItemsProcessed(state.iterations() * 400);
+}
+BENCHMARK(BM_RaceDetectorOn);
+
+void
+BM_TimerWheel(benchmark::State &state)
+{
+    const int timers = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        run([timers] {
+            WaitGroup wg;
+            wg.add(timers);
+            for (int i = 0; i < timers; ++i) {
+                go([&wg, i] {
+                    gotime::sleep((i % 17 + 1) * gotime::kMillisecond);
+                    wg.done();
+                });
+            }
+            wg.wait();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * timers);
+}
+BENCHMARK(BM_TimerWheel)->Arg(100);
+
+} // namespace
+
+BENCHMARK_MAIN();

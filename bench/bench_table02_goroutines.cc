@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 2: goroutine/thread creation sites. Generates each app's
+ * corpus, scans it with the lexer-based counter, and reports creation
+ * sites split into anonymous vs named, normalized per KLOC, plus the
+ * gRPC-C contrast (Section 3.1).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "scanner/counter.hh"
+#include "scanner/generator.hh"
+#include "study/tables.hh"
+
+using golite::scanner::AppProfile;
+using golite::scanner::countUsage;
+using golite::scanner::generateSource;
+using golite::scanner::goAppProfiles;
+using golite::scanner::grpcCProfile;
+using golite::scanner::UsageCounts;
+using golite::study::TextTable;
+
+int
+main()
+{
+    golite::bench::banner(
+        "Table 2 - Goroutine/thread creation sites (static)",
+        "Tu et al., ASPLOS 2019, Table 2 + gRPC-C comparison");
+
+    TextTable table({"Application", "Total", "Anonymous", "Named",
+                     "Per KLOC", "Anon %"});
+    for (AppProfile profile : goAppProfiles()) {
+        // Aggregate three 100-KLOC samples per app so that the
+        // creation-site statistics are out of the small-sample
+        // noise regime.
+        profile.sampleKloc = 100;
+        UsageCounts counts;
+        for (uint64_t seed = 1; seed <= 3; ++seed)
+            counts += countUsage(generateSource(profile, seed));
+        const double per_kloc = counts.perKloc(counts.goSites());
+        const double anon_pct =
+            counts.goSites() == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(counts.goAnonymous) /
+                      static_cast<double>(counts.goSites());
+        table.addRow({profile.name, std::to_string(counts.goSites()),
+                      std::to_string(counts.goAnonymous),
+                      std::to_string(counts.goNamed),
+                      TextTable::num(per_kloc),
+                      TextTable::num(anon_pct, 1)});
+    }
+
+    const UsageCounts c_counts =
+        countUsage(generateSource(grpcCProfile(), 1));
+    table.addRow({"gRPC-C (threads)",
+                  std::to_string(c_counts.threadCreation), "0",
+                  std::to_string(c_counts.threadCreation),
+                  TextTable::num(c_counts.perKloc(c_counts.threadCreation)),
+                  "0.0"});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Shape check (paper): per-KLOC densities span ~0.18-0.83;\n"
+        "all apps except Kubernetes and BoltDB favour anonymous\n"
+        "functions; gRPC-C has only a handful of thread creation\n"
+        "sites (~0.03/KLOC).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 4: concurrency-primitive usage per application. Scans each
+ * generated corpus and reports the measured share of every primitive
+ * category, plus the gRPC-Go vs gRPC-C density contrast.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "scanner/counter.hh"
+#include "scanner/generator.hh"
+#include "study/tables.hh"
+
+using golite::scanner::AppProfile;
+using golite::scanner::countUsage;
+using golite::scanner::generateSource;
+using golite::scanner::goAppProfiles;
+using golite::scanner::grpcCProfile;
+using golite::scanner::UsageCounts;
+using golite::study::TextTable;
+
+namespace
+{
+
+std::string
+pct(size_t count, size_t total)
+{
+    return total == 0 ? "0.00%"
+                      : TextTable::num(100.0 * count / total) + "%";
+}
+
+} // namespace
+
+int
+main()
+{
+    golite::bench::banner(
+        "Table 4 - Concurrency primitive usage (measured)",
+        "Tu et al., ASPLOS 2019, Table 4");
+
+    TextTable table({"Application", "Mutex", "atomic", "Once",
+                     "WaitGroup", "Cond", "chan", "Misc.", "Total"});
+    for (const AppProfile &profile : goAppProfiles()) {
+        const UsageCounts counts =
+            countUsage(generateSource(profile, 1));
+        const size_t total = counts.totalPrimitives();
+        table.addRow({profile.name, pct(counts.mutex, total),
+                      pct(counts.atomicOps, total),
+                      pct(counts.once, total),
+                      pct(counts.waitGroup, total),
+                      pct(counts.cond, total),
+                      pct(counts.channel, total),
+                      pct(counts.misc, total), std::to_string(total)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const UsageCounts go_counts =
+        countUsage(generateSource(goAppProfiles()[4], 1)); // gRPC-Go
+    const UsageCounts c_counts =
+        countUsage(generateSource(grpcCProfile(), 1));
+    std::printf("gRPC-Go: %.1f primitive usages/KLOC across 7 "
+                "categories\n",
+                go_counts.perKloc(go_counts.totalPrimitives()));
+    std::printf("gRPC-C : %.1f lock usages/KLOC (locks only)\n\n",
+                c_counts.perKloc(c_counts.cLock));
+    std::printf(
+        "Shape check (paper): shared-memory primitives dominate in\n"
+        "every app; Mutex is the most used primitive; chan leads the\n"
+        "message-passing side (18-43%%); gRPC-Go uses ~3x more\n"
+        "primitive types and a higher density than gRPC-C.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 6: blocking-bug root causes — the database aggregation plus
+ * a live validation pass: every blocking kernel in the corpus is
+ * executed and must actually block (global deadlock or goroutine
+ * leak) under some schedule.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::Variant;
+
+int
+main()
+{
+    bench::banner("Table 6 - Blocking bug causes",
+                  "Tu et al., ASPLOS 2019, Table 6");
+    std::printf("%s\n", study::renderTable6().c_str());
+    std::printf(
+        "Shape check (paper, Observation 3): 42%% of blocking bugs\n"
+        "come from shared-memory misuse, 58%% from message passing.\n\n");
+
+    std::printf("Live validation: executing every blocking kernel\n");
+    std::printf("%-18s %-9s %-34s %s\n", "bug", "cause", "buggy outcome",
+                "fixed outcome");
+    std::printf("%s\n", std::string(86, '-').c_str());
+    for (const BugCase &bug : corpus::corpus()) {
+        if (bug.info.behavior != Behavior::Blocking)
+            continue;
+        auto seed = bench::findManifestingSeed(bug);
+        RunOptions options;
+        options.seed = seed.value_or(0);
+        auto buggy = bug.run(Variant::Buggy, options);
+        auto fixed = bug.run(Variant::Fixed, options);
+        std::printf("%-18s %-9s %-34s %s\n", bug.info.id.c_str(),
+                    corpus::subCauseName(bug.info.subcause),
+                    buggy.note.c_str(), fixed.note.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table 8: evaluating the built-in deadlock detector on the 21
+ * reproduced blocking bugs.
+ *
+ * Protocol follows Section 5.3: each bug is driven to its blocking
+ * state (deterministically, via a manifesting seed) and run once; the
+ * built-in detector "detects" the bug iff the runtime reports the
+ * all-goroutines-asleep condition. The leak report — which Go's
+ * detector does not have — is shown as the contrast column,
+ * quantifying Implication 4's blind spot.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::SubCause;
+using corpus::Variant;
+
+int
+main()
+{
+    bench::banner(
+        "Table 8 - Built-in deadlock detector evaluation",
+        "Tu et al., ASPLOS 2019, Table 8");
+
+    struct Row
+    {
+        int used = 0;
+        int detectedBuiltin = 0;
+        int visibleAsLeak = 0;
+    };
+    std::map<SubCause, Row> rows;
+    int total_used = 0, total_detected = 0, total_leak = 0;
+
+    std::printf("%-18s %-9s %-10s %s\n", "bug", "cause",
+                "built-in?", "leak report");
+    std::printf("%s\n", std::string(70, '-').c_str());
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::Blocking, true)) {
+        auto seed = bench::findManifestingSeed(*bug);
+        RunOptions options;
+        options.seed = seed.value_or(0);
+        auto outcome = bug->run(Variant::Buggy, options);
+
+        Row &row = rows[bug->info.subcause];
+        row.used++;
+        total_used++;
+        const bool builtin = outcome.report.globalDeadlock;
+        const bool leak = !outcome.report.leaked.empty();
+        row.detectedBuiltin += builtin;
+        row.visibleAsLeak += leak || builtin;
+        total_detected += builtin;
+        total_leak += leak || builtin;
+        std::printf("%-18s %-9s %-10s %zu goroutine(s) blocked\n",
+                    bug->info.id.c_str(),
+                    corpus::subCauseName(bug->info.subcause),
+                    builtin ? "DETECTED" : "missed",
+                    outcome.report.leaked.size());
+    }
+
+    std::printf("\n");
+    study::TextTable table({"Root Cause", "# of Used Bugs",
+                            "# Detected (built-in)",
+                            "# Visible to leak report"});
+    const SubCause order[] = {SubCause::Mutex, SubCause::Chan,
+                              SubCause::ChanWithOther,
+                              SubCause::MessagingLibrary};
+    for (SubCause cause : order) {
+        const Row &row = rows[cause];
+        table.addRow({corpus::subCauseName(cause),
+                      std::to_string(row.used),
+                      std::to_string(row.detectedBuiltin),
+                      std::to_string(row.visibleAsLeak)});
+    }
+    table.addRow({"Total", std::to_string(total_used),
+                  std::to_string(total_detected),
+                  std::to_string(total_leak)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Shape check (paper): the built-in detector catches only the\n"
+        "two BoltDB bugs that stall *every* goroutine (one Mutex, one\n"
+        "Chan w/), with no false positives; all partial blocking is\n"
+        "invisible to it (Implication 4). The leak-report column is\n"
+        "this library's extension: it sees every reproduced bug.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 9: non-blocking bug root causes, plus live validation of the
+ * non-blocking kernels (each must misbehave or race under some
+ * schedule; its fix must be silent).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "race/detector.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::Variant;
+
+int
+main()
+{
+    bench::banner("Table 9 - Non-blocking bug causes",
+                  "Tu et al., ASPLOS 2019, Table 9");
+    std::printf("%s\n", study::renderTable9().c_str());
+    std::printf(
+        "Shape check (paper, Observations 7/8): ~80%% of non-blocking\n"
+        "bugs fail to protect shared memory; about two thirds of\n"
+        "those are traditional bugs; message passing contributes far\n"
+        "fewer (chan 16, lib 1).\n\n");
+
+    std::printf("Live validation: executing every non-blocking "
+                "kernel\n");
+    std::printf("%-18s %-20s %-22s %s\n", "bug", "cause",
+                "buggy (worst seed)", "fixed");
+    std::printf("%s\n", std::string(84, '-').c_str());
+    for (const BugCase &bug : corpus::corpus()) {
+        if (bug.info.behavior != Behavior::NonBlocking)
+            continue;
+        // Worst observed outcome across a seed sweep; pure races are
+        // reported via the detector.
+        std::string buggy_note = "silent";
+        for (uint64_t seed = 0; seed < 60; ++seed) {
+            race::Detector detector;
+            RunOptions options;
+            options.seed = seed;
+            options.hooks = &detector;
+            auto outcome = bug.run(Variant::Buggy, options);
+            if (outcome.manifested) {
+                buggy_note = outcome.note;
+                break;
+            }
+            if (!detector.reports().empty())
+                buggy_note = "data race (detector)";
+        }
+        auto fixed = bug.run(Variant::Fixed, {});
+        std::printf("%-18s %-20s %-22s %s\n", bug.info.id.c_str(),
+                    corpus::subCauseName(bug.info.subcause),
+                    buggy_note.c_str(), fixed.note.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table 12: evaluating the happens-before race detector on the 20
+ * reproduced non-blocking bugs.
+ *
+ * Protocol follows Section 6.3: each buggy program runs 100 times
+ * (100 seeds) with the detector enabled; a bug counts as detected if
+ * any run reports a race. The per-category hit pattern is the
+ * paper's point: plain data races are caught, while atomicity/order
+ * violations, WaitGroup misuse, double close, and library timing
+ * bugs are structurally invisible to a race detector.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "race/detector.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::SubCause;
+using corpus::Variant;
+
+int
+main()
+{
+    bench::banner("Table 12 - Data race detector evaluation",
+                  "Tu et al., ASPLOS 2019, Table 12");
+
+    constexpr int kRuns = 100;
+    struct Row
+    {
+        int used = 0;
+        int detected = 0;
+    };
+    std::map<SubCause, Row> rows;
+    int total_used = 0, total_detected = 0;
+
+    std::printf("%-18s %-20s %-10s %s\n", "bug", "cause", "detected?",
+                "first detecting run");
+    std::printf("%s\n", std::string(72, '-').c_str());
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::NonBlocking, true)) {
+        int first_hit = -1;
+        for (int seed = 0; seed < kRuns && first_hit < 0; ++seed) {
+            race::Detector detector;
+            RunOptions options;
+            options.seed = static_cast<uint64_t>(seed);
+            options.hooks = &detector;
+            bug->run(Variant::Buggy, options);
+            if (!detector.reports().empty())
+                first_hit = seed;
+        }
+        Row &row = rows[bug->info.subcause];
+        row.used++;
+        total_used++;
+        row.detected += first_hit >= 0;
+        total_detected += first_hit >= 0;
+        const std::string hit_note =
+            first_hit >= 0 ? "run " + std::to_string(first_hit + 1)
+                           : "-";
+        std::printf("%-18s %-20s %-10s %s\n", bug->info.id.c_str(),
+                    corpus::subCauseName(bug->info.subcause),
+                    first_hit >= 0 ? "DETECTED" : "missed",
+                    hit_note.c_str());
+    }
+
+    std::printf("\n");
+    study::TextTable table(
+        {"Root Cause", "# of Used Bugs", "# of Detected Bugs"});
+    const SubCause order[] = {
+        SubCause::Traditional, SubCause::AnonymousFunction,
+        SubCause::WaitGroupMisuse, SubCause::ChanMisuse,
+        SubCause::LibMessage};
+    for (SubCause cause : order) {
+        const Row &row = rows[cause];
+        table.addRow({corpus::subCauseName(cause),
+                      std::to_string(row.used),
+                      std::to_string(row.detected)});
+    }
+    table.addRow({"Total", std::to_string(total_used),
+                  std::to_string(total_detected)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Shape check (paper): 7/13 traditional and 3/4 anonymous-\n"
+        "function bugs are detected (10/20 overall); WaitGroup\n"
+        "misuse, channel misuse (double close -> panic, not a race)\n"
+        "and library timing bugs are missed - they are not data\n"
+        "races (Implication 8). No false positives.\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: banner printing and the
+ * manifesting-seed search used by the detector-evaluation benches.
+ */
+
+#ifndef GOLITE_BENCH_BENCH_UTIL_HH
+#define GOLITE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "corpus/bug.hh"
+
+namespace golite::bench
+{
+
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==================================================="
+                "=============\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("==================================================="
+                "=============\n\n");
+}
+
+/**
+ * Find a seed under which the buggy variant manifests (the paper's
+ * reproduction protocol: run until the symptom shows). Returns
+ * nullopt if none of the first @p max_seeds seeds triggers.
+ */
+inline std::optional<uint64_t>
+findManifestingSeed(const corpus::BugCase &bug, int max_seeds = 200)
+{
+    for (int seed = 0; seed < max_seeds; ++seed) {
+        RunOptions options;
+        options.seed = static_cast<uint64_t>(seed);
+        if (bug.run(corpus::Variant::Buggy, options).manifested)
+            return static_cast<uint64_t>(seed);
+    }
+    return std::nullopt;
+}
+
+} // namespace golite::bench
+
+#endif // GOLITE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A context-cancelled fan-out/fan-in pipeline — the idiomatic Go
+ * pattern the paper's context/channel bugs corrupt, written with the
+ * discipline that keeps the leak report empty:
+ *
+ *   generator -> N squaring workers -> collector
+ *
+ * with cancellation propagated through a context and every stage
+ * selecting on ctx->done().
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "golite/golite.hh"
+
+using namespace golite;
+
+int
+main()
+{
+    RunReport report = run([] {
+        auto [ctx, cancel] = ctx::withCancel(ctx::background());
+
+        // Stage 1: generator emits integers until cancelled.
+        Chan<int> numbers = makeChan<int>();
+        go("generator", [c = ctx, numbers] {
+            for (int value = 1;; ++value) {
+                bool stop = false;
+                Select()
+                    .send<int>(numbers, value, [] {})
+                    .recv<Unit>(c->done(),
+                                [&](Unit, bool) { stop = true; })
+                    .run();
+                if (stop)
+                    return;
+            }
+        });
+
+        // Stage 2: three workers square the numbers.
+        Chan<int> squares = makeChan<int>();
+        WaitGroup workers;
+        workers.add(3);
+        for (int w = 0; w < 3; ++w) {
+            go("worker", [c = ctx, numbers, squares, &workers] {
+                for (;;) {
+                    int n = 0;
+                    bool stop = false;
+                    Select()
+                        .recv<int>(numbers,
+                                   [&](int v, bool ok) {
+                                       n = v;
+                                       stop = !ok;
+                                   })
+                        .recv<Unit>(c->done(),
+                                    [&](Unit, bool) { stop = true; })
+                        .run();
+                    if (stop)
+                        break;
+                    bool sent_stop = false;
+                    Select()
+                        .send<int>(squares, n * n, [] {})
+                        .recv<Unit>(c->done(), [&](Unit, bool) {
+                            sent_stop = true;
+                        })
+                        .run();
+                    if (sent_stop)
+                        break;
+                }
+                workers.done();
+            });
+        }
+
+        // Fan-in: take the first 10 squares, then cancel everything.
+        std::vector<int> results;
+        for (int i = 0; i < 10; ++i)
+            results.push_back(squares.recv().value);
+        cancel();
+        workers.wait();
+
+        std::printf("collected %zu squares:", results.size());
+        long long sum = 0;
+        for (int r : results) {
+            std::printf(" %d", r);
+            sum += r;
+        }
+        std::printf("\nsum = %lld\n", sum);
+    });
+
+    std::printf("\npipeline shut down cleanly: %s (leaks: %zu)\n",
+                report.clean() ? "yes" : "NO", report.leaked.size());
+    return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: goroutines, channels, select, and the run report.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "golite/golite.hh"
+
+using namespace golite;
+
+int
+main()
+{
+    // Every golite program runs under golite::run, which returns a
+    // structured report (completed? deadlocked? leaked goroutines?).
+    RunReport report = run([] {
+        // A channel of strings with buffer capacity 2.
+        Chan<std::string> messages = makeChan<std::string>(2);
+
+        // `go` launches a goroutine; lambdas play the role of Go's
+        // anonymous functions.
+        go([messages] {
+            messages.send("hello");
+            messages.send("from");
+            messages.send("golite");
+            messages.close();
+        });
+
+        // Range over the channel until it is closed.
+        for (;;) {
+            auto msg = messages.recv();
+            if (!msg.ok)
+                break;
+            std::printf("recv: %s\n", msg.value.c_str());
+        }
+
+        // WaitGroup: fan out ten workers, wait for all of them.
+        WaitGroup wg;
+        Mutex mu;
+        int total = 0;
+        wg.add(10);
+        for (int i = 1; i <= 10; ++i) {
+            go([&, i] {
+                mu.lock();
+                total += i;
+                mu.unlock();
+                wg.done();
+            });
+        }
+        wg.wait();
+        std::printf("sum 1..10 = %d\n", total);
+
+        // select with a timeout on the virtual clock.
+        Chan<int> slow = makeChan<int>();
+        go([slow] {
+            gotime::sleep(50 * gotime::kMillisecond);
+            slow.trySend(42);
+        });
+        Select()
+            .recv<int>(slow, [](int v, bool) {
+                std::printf("got %d\n", v);
+            })
+            .recv<gotime::Time>(
+                gotime::after(10 * gotime::kMillisecond),
+                [](gotime::Time at, bool) {
+                    std::printf("timed out at t=%lldms\n",
+                                static_cast<long long>(
+                                    at / gotime::kMillisecond));
+                })
+            .run();
+        gotime::sleep(100 * gotime::kMillisecond);
+    });
+
+    std::printf("\nrun report: completed=%d goroutines=%llu leaks=%zu "
+                "ticks=%llu\n",
+                report.completed ? 1 : 0,
+                static_cast<unsigned long long>(report.goroutinesCreated),
+                report.leaked.size(),
+                static_cast<unsigned long long>(report.ticks));
+    return report.clean() ? 0 : 1;
+}

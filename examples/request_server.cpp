@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Figure 1 scenario done right: a request server that hands each
+ * request to a goroutine and races the result against a timeout —
+ * with the buffered-channel fix applied so slow handlers never leak.
+ *
+ * Run it, then flip kBuffered to false to watch the leak report
+ * catch the original Kubernetes bug.
+ */
+
+#include <cstdio>
+
+#include "golite/golite.hh"
+
+using namespace golite;
+using gotime::kMillisecond;
+
+namespace
+{
+
+// The patched finishReq from Figure 1: the capacity-1 channel lets
+// the handler deliver its result even after the caller timed out.
+constexpr bool kBuffered = true;
+
+struct Response
+{
+    int requestId = 0;
+    int value = 0;
+    bool timedOut = false;
+};
+
+Response
+finishReq(int request_id, gotime::Duration work,
+          gotime::Duration timeout)
+{
+    Chan<int> ch = kBuffered ? makeChan<int>(1) : makeChan<int>();
+    go("handler", [ch, work, request_id] {
+        gotime::sleep(work); // fn(): the request's real work
+        ch.send(request_id * 100);
+    });
+    Response response;
+    response.requestId = request_id;
+    Select()
+        .recv<int>(ch,
+                   [&](int v, bool) { response.value = v; })
+        .recv<gotime::Time>(gotime::after(timeout),
+                            [&](gotime::Time, bool) {
+                                response.timedOut = true;
+                            })
+        .run();
+    return response;
+}
+
+} // namespace
+
+int
+main()
+{
+    RunReport report = run([] {
+        // A stream of requests with mixed service times; the timeout
+        // budget is 40ms, so the slow ones time out.
+        const gotime::Duration timeout = 40 * kMillisecond;
+        const int work_ms[] = {5, 80, 15, 120, 30, 60};
+        int served = 0, timed_out = 0;
+        for (int id = 0; id < 6; ++id) {
+            Response r =
+                finishReq(id, work_ms[id] * kMillisecond, timeout);
+            if (r.timedOut) {
+                timed_out++;
+                std::printf("request %d: timed out (>40ms)\n", id);
+            } else {
+                served++;
+                std::printf("request %d: result %d\n", id, r.value);
+            }
+        }
+        std::printf("served=%d timed_out=%d\n", served, timed_out);
+        // Keep the server alive long enough for stragglers to finish
+        // into their buffered channels.
+        gotime::sleep(500 * kMillisecond);
+    });
+
+    std::printf("\nleak report: %zu goroutine(s) leaked%s\n",
+                report.leaked.size(),
+                report.leaked.empty()
+                    ? " - the buffered-channel fix holds"
+                    : " - this is the Figure 1 bug!");
+    for (const LeakInfo &leak : report.leaked) {
+        std::printf("  goroutine %llu (%s) blocked at %s\n",
+                    static_cast<unsigned long long>(leak.goid),
+                    leak.label.c_str(), waitReasonName(leak.reason));
+    }
+    return report.leaked.empty() ? 0 : 1;
+}

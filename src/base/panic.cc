@@ -1,0 +1,17 @@
+#include "base/panic.hh"
+
+namespace golite
+{
+
+GoPanic::GoPanic(std::string message)
+    : std::runtime_error("panic: " + message), message_(std::move(message))
+{
+}
+
+void
+goPanic(const std::string &message)
+{
+    throw GoPanic(message);
+}
+
+} // namespace golite

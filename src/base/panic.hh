@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Go-style panic machinery for the golite runtime.
+ *
+ * Go programs terminate with a runtime panic on certain misuses of the
+ * concurrency primitives (send on a closed channel, closing a channel
+ * twice, unlocking an unlocked mutex, negative WaitGroup counter...).
+ * golite models a panic as a C++ exception that unwinds the offending
+ * goroutine; the scheduler then aborts the whole run, mirroring Go's
+ * whole-process crash.
+ */
+
+#ifndef GOLITE_BASE_PANIC_HH
+#define GOLITE_BASE_PANIC_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace golite
+{
+
+/**
+ * A Go runtime panic. Thrown by primitives on rule violations; caught by
+ * the scheduler trampoline, which records it and stops the run.
+ */
+class GoPanic : public std::runtime_error
+{
+  public:
+    explicit GoPanic(std::string message);
+
+    /** The panic message, e.g. "close of closed channel". */
+    const std::string &message() const { return message_; }
+
+  private:
+    std::string message_;
+};
+
+/** Throw a GoPanic with the given message. Never returns. */
+[[noreturn]] void goPanic(const std::string &message);
+
+} // namespace golite
+
+#endif // GOLITE_BASE_PANIC_HH

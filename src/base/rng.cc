@@ -1,0 +1,80 @@
+#include "base/rng.hh"
+
+namespace golite
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(uint64_t seed_value)
+{
+    uint64_t sm = seed_value;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    // Debiased modulo via rejection sampling.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    // 53-bit mantissa draw.
+    const double u = (next() >> 11) * (1.0 / 9007199254740992.0);
+    return u < p;
+}
+
+} // namespace golite

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the golite scheduler.
+ *
+ * All runtime nondeterminism (scheduler picks, select choices, preemption
+ * points) is drawn from a single seeded generator so that every run is
+ * reproducible from its seed. This is what turns the paper's "run the
+ * buggy program 100 times" reproduction protocol into a seed sweep.
+ */
+
+#ifndef GOLITE_BASE_RNG_HH
+#define GOLITE_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace golite
+{
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256** core with a splitmix64
+ * seeder). Not cryptographic; statistically solid for scheduling.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0);
+
+    /** Re-seed, resetting the stream. */
+    void seed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Bernoulli draw with probability p in [0, 1]. */
+    bool chance(double p);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace golite
+
+#endif // GOLITE_BASE_RNG_HH

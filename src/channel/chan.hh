@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Go channels for C++: typed, buffered or unbuffered, closable, with
+ * exact Go semantics for the rule violations the paper studies —
+ * sending on a closed channel panics, closing twice panics, operations
+ * on a nil channel block forever.
+ *
+ * Chan<T> is a value-semantic handle (like Go's chan T): copying shares
+ * the underlying channel; a default-constructed Chan is nil.
+ */
+
+#ifndef GOLITE_CHANNEL_CHAN_HH
+#define GOLITE_CHANNEL_CHAN_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "base/panic.hh"
+#include "channel/waiter.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+/** Element type for pure signal channels (Go's struct{}). */
+struct Unit
+{
+};
+
+namespace detail
+{
+
+/** Shared state of one channel. */
+template <typename T>
+struct ChanImpl
+{
+    explicit ChanImpl(size_t capacity) : capacity(capacity) {}
+
+    const size_t capacity;
+    std::deque<T> buffer;
+    bool closed = false;
+    std::deque<Waiter *> sendq;
+    std::deque<Waiter *> recvq;
+
+    bool unbuffered() const { return capacity == 0; }
+
+    void
+    removeWaiter(Waiter *w)
+    {
+        auto scrub = [w](std::deque<Waiter *> &q) {
+            for (auto it = q.begin(); it != q.end(); ++it) {
+                if (*it == w) {
+                    q.erase(it);
+                    return;
+                }
+            }
+        };
+        scrub(sendq);
+        scrub(recvq);
+    }
+};
+
+} // namespace detail
+
+/** Result of a receive: the value plus Go's "comma ok" flag. */
+template <typename T>
+struct RecvResult
+{
+    T value{};
+    bool ok = false;
+};
+
+template <typename T>
+class Chan
+{
+  public:
+    using Element = T;
+
+    /** A nil channel (no underlying buffer; ops block forever). */
+    Chan() = default;
+
+    /** True for non-nil channels. */
+    explicit operator bool() const { return impl_ != nullptr; }
+
+    bool operator==(const Chan &o) const { return impl_ == o.impl_; }
+
+    /** Number of elements buffered right now (Go's len). */
+    size_t
+    len() const
+    {
+        return impl_ ? impl_->buffer.size() : 0;
+    }
+
+    /** Buffer capacity (Go's cap). */
+    size_t
+    cap() const
+    {
+        return impl_ ? impl_->capacity : 0;
+    }
+
+    /**
+     * Send a value. Blocks until a receiver takes it (unbuffered) or
+     * buffer space is available. Panics if the channel is or becomes
+     * closed; blocks forever on a nil channel.
+     */
+    void
+    send(T value) const
+    {
+        Scheduler *sched = Scheduler::current();
+        if (!impl_) {
+            sched->park(WaitReason::ChanSendNil, nullptr);
+            return; // unreachable except during teardown unwind
+        }
+        auto *c = impl_.get();
+        if (c->closed)
+            goPanic("send on closed channel");
+
+        sched->hooks()->release(c);
+
+        // Direct handoff to a parked receiver.
+        while (!c->recvq.empty()) {
+            Waiter *w = c->recvq.front();
+            c->recvq.pop_front();
+            if (!claimWaiter(w))
+                continue;
+            *static_cast<T *>(w->slot) = std::move(value);
+            w->ok = true;
+            w->completed = true;
+            if (c->unbuffered())
+                sched->hooks()->acquire(c);
+            sched->unpark(w->g);
+            return;
+        }
+
+        if (c->buffer.size() < c->capacity) {
+            c->buffer.push_back(std::move(value));
+            return;
+        }
+
+        // Block until a receiver (or close) completes us.
+        Waiter self;
+        self.g = sched->running();
+        self.slot = &value;
+        c->sendq.push_back(&self);
+        sched->park(WaitReason::ChanSend, c);
+        if (self.closedWake)
+            goPanic("send on closed channel");
+        if (c->unbuffered())
+            sched->hooks()->acquire(c);
+    }
+
+    /**
+     * Receive a value. Blocks until a sender provides one; returns
+     * {zero, false} once the channel is closed and drained. Blocks
+     * forever on a nil channel.
+     */
+    RecvResult<T>
+    recv() const
+    {
+        Scheduler *sched = Scheduler::current();
+        if (!impl_) {
+            sched->park(WaitReason::ChanRecvNil, nullptr);
+            return {};
+        }
+        auto *c = impl_.get();
+
+        // Buffered data first (FIFO).
+        if (!c->buffer.empty()) {
+            RecvResult<T> out{std::move(c->buffer.front()), true};
+            c->buffer.pop_front();
+            sched->hooks()->acquire(c);
+            // A parked sender can move its value into the freed slot.
+            while (!c->sendq.empty()) {
+                Waiter *w = c->sendq.front();
+                c->sendq.pop_front();
+                if (!claimWaiter(w))
+                    continue;
+                c->buffer.push_back(std::move(*static_cast<T *>(w->slot)));
+                w->completed = true;
+                sched->unpark(w->g);
+                break;
+            }
+            return out;
+        }
+
+        // Direct handoff from a parked sender (unbuffered channel).
+        while (!c->sendq.empty()) {
+            Waiter *w = c->sendq.front();
+            c->sendq.pop_front();
+            if (!claimWaiter(w))
+                continue;
+            RecvResult<T> out{std::move(*static_cast<T *>(w->slot)), true};
+            w->completed = true;
+            sched->hooks()->acquire(c);
+            if (c->unbuffered())
+                sched->hooks()->release(c);
+            sched->unpark(w->g);
+            return out;
+        }
+
+        if (c->closed) {
+            sched->hooks()->acquire(c);
+            return {};
+        }
+
+        // Block until a sender (or close) completes us.
+        RecvResult<T> out;
+        Waiter self;
+        self.g = sched->running();
+        self.slot = &out.value;
+        if (c->unbuffered())
+            sched->hooks()->release(c);
+        c->recvq.push_back(&self);
+        sched->park(WaitReason::ChanRecv, c);
+        sched->hooks()->acquire(c);
+        out.ok = self.ok;
+        if (!self.ok)
+            out.value = T{};
+        return out;
+    }
+
+    /**
+     * Close the channel. Wakes all blocked receivers with ok=false and
+     * panics all blocked senders. Panics on double close or nil close.
+     */
+    void
+    close() const
+    {
+        Scheduler *sched = Scheduler::current();
+        if (!impl_)
+            goPanic("close of nil channel");
+        auto *c = impl_.get();
+        if (c->closed)
+            goPanic("close of closed channel");
+        c->closed = true;
+        sched->hooks()->release(c);
+        while (!c->recvq.empty()) {
+            Waiter *w = c->recvq.front();
+            c->recvq.pop_front();
+            if (!claimWaiter(w))
+                continue;
+            w->ok = false;
+            w->completed = true;
+            sched->unpark(w->g);
+        }
+        while (!c->sendq.empty()) {
+            Waiter *w = c->sendq.front();
+            c->sendq.pop_front();
+            if (!claimWaiter(w))
+                continue;
+            w->closedWake = true;
+            w->completed = true;
+            sched->unpark(w->g);
+        }
+    }
+
+    /**
+     * Non-blocking send. Returns true if the value was delivered or
+     * buffered. Panics on a closed channel (as a select send case
+     * would). Returns false on a nil channel.
+     */
+    bool
+    trySend(T value) const
+    {
+        if (!impl_)
+            return false;
+        Scheduler *sched = Scheduler::current();
+        auto *c = impl_.get();
+        if (c->closed)
+            goPanic("send on closed channel");
+        while (!c->recvq.empty()) {
+            Waiter *w = c->recvq.front();
+            c->recvq.pop_front();
+            if (!claimWaiter(w))
+                continue;
+            sched->hooks()->release(c);
+            *static_cast<T *>(w->slot) = std::move(value);
+            w->ok = true;
+            w->completed = true;
+            if (c->unbuffered())
+                sched->hooks()->acquire(c);
+            sched->unpark(w->g);
+            return true;
+        }
+        if (c->buffer.size() < c->capacity) {
+            sched->hooks()->release(c);
+            c->buffer.push_back(std::move(value));
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Non-blocking receive. nullopt when the operation would block;
+     * otherwise the value with the comma-ok flag (ok=false once the
+     * channel is closed and drained).
+     */
+    std::optional<RecvResult<T>>
+    tryRecv() const
+    {
+        if (!impl_)
+            return std::nullopt;
+        Scheduler *sched = Scheduler::current();
+        auto *c = impl_.get();
+        if (!c->buffer.empty()) {
+            RecvResult<T> out{std::move(c->buffer.front()), true};
+            c->buffer.pop_front();
+            sched->hooks()->acquire(c);
+            while (!c->sendq.empty()) {
+                Waiter *w = c->sendq.front();
+                c->sendq.pop_front();
+                if (!claimWaiter(w))
+                    continue;
+                c->buffer.push_back(std::move(*static_cast<T *>(w->slot)));
+                w->completed = true;
+                sched->unpark(w->g);
+                break;
+            }
+            return out;
+        }
+        while (!c->sendq.empty()) {
+            Waiter *w = c->sendq.front();
+            c->sendq.pop_front();
+            if (!claimWaiter(w))
+                continue;
+            RecvResult<T> out{std::move(*static_cast<T *>(w->slot)), true};
+            w->completed = true;
+            sched->hooks()->acquire(c);
+            if (c->unbuffered())
+                sched->hooks()->release(c);
+            sched->unpark(w->g);
+            return out;
+        }
+        if (c->closed) {
+            sched->hooks()->acquire(c);
+            return RecvResult<T>{};
+        }
+        return std::nullopt;
+    }
+
+    /** Internal: the shared state, for the select engine. */
+    detail::ChanImpl<T> *internalImpl() const { return impl_.get(); }
+
+  private:
+    template <typename U>
+    friend Chan<U> makeChan(size_t capacity);
+
+    explicit Chan(std::shared_ptr<detail::ChanImpl<T>> impl)
+        : impl_(std::move(impl))
+    {
+    }
+
+    std::shared_ptr<detail::ChanImpl<T>> impl_;
+};
+
+/** Create a channel with the given buffer capacity (0 = unbuffered). */
+template <typename T>
+Chan<T>
+makeChan(size_t capacity = 0)
+{
+    return Chan<T>(std::make_shared<detail::ChanImpl<T>>(capacity));
+}
+
+} // namespace golite
+
+#endif // GOLITE_CHANNEL_CHAN_HH

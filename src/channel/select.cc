@@ -1,0 +1,83 @@
+#include "channel/select.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace golite
+{
+
+Select &
+Select::def(std::function<void()> handler)
+{
+    default_ = std::move(handler);
+    return *this;
+}
+
+int
+Select::run()
+{
+    Scheduler *sched = Scheduler::current();
+
+    // Phase 1: poll all non-nil cases in random order; the uniform
+    // choice among ready cases is the Go semantic the paper's
+    // select-related bugs (Figures 1 and 11) depend on.
+    std::vector<size_t> order(cases_.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[sched->choose(i)]);
+
+    for (size_t index : order) {
+        detail::SelectCase &c = *cases_[index];
+        if (c.isNil())
+            continue;
+        if (c.poll()) {
+            c.invoke();
+            return static_cast<int>(index);
+        }
+    }
+
+    if (default_) {
+        default_();
+        return static_cast<int>(cases_.size());
+    }
+
+    // Phase 2: block. Enqueue a waiter per live case; first channel
+    // operation to claim the shared token wins.
+    SelectToken token;
+    std::vector<Waiter> waiters(cases_.size());
+    std::vector<bool> enqueued(cases_.size(), false);
+    bool any = false;
+    for (size_t i = 0; i < cases_.size(); ++i) {
+        detail::SelectCase &c = *cases_[i];
+        if (c.isNil())
+            continue;
+        Waiter &w = waiters[i];
+        w.g = sched->running();
+        w.token = &token;
+        w.caseIndex = static_cast<int>(i);
+        c.enqueue(w);
+        enqueued[i] = true;
+        any = true;
+    }
+
+    if (!any) {
+        // select{} or all-nil channels: block forever.
+        sched->park(WaitReason::Select, nullptr);
+        return -1; // unreachable except during teardown unwind
+    }
+
+    sched->park(WaitReason::Select, this);
+
+    const int winner = token.winner;
+    for (size_t i = 0; i < cases_.size(); ++i) {
+        if (enqueued[i] && static_cast<int>(i) != winner)
+            cases_[i]->cancel(waiters[i]);
+    }
+
+    detail::SelectCase &chosen = *cases_[winner];
+    chosen.complete(waiters[winner]);
+    chosen.invoke();
+    return winner;
+}
+
+} // namespace golite

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Go's select statement: wait on multiple channel operations, choose
+ * uniformly at random among ready cases (the nondeterminism behind the
+ * Figure 11 class of bugs), optionally with a default branch.
+ *
+ * Usage:
+ * @code
+ *   int chosen = Select()
+ *       .recv(results, [&](Result r, bool ok) { ... })
+ *       .recv(timeout, [&](Unit, bool) { ... })
+ *       .run();
+ * @endcode
+ */
+
+#ifndef GOLITE_CHANNEL_SELECT_HH
+#define GOLITE_CHANNEL_SELECT_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "channel/chan.hh"
+
+namespace golite
+{
+
+namespace detail
+{
+
+/** Type-erased select case. */
+class SelectCase
+{
+  public:
+    virtual ~SelectCase() = default;
+
+    /** Nil-channel cases are never ready and never enqueued. */
+    virtual bool isNil() const = 0;
+
+    /** Try to complete immediately; true if it did. */
+    virtual bool poll() = 0;
+
+    /** Enqueue @p waiter on the channel for a blocking wait. */
+    virtual void enqueue(Waiter &waiter) = 0;
+
+    /** Remove @p waiter from the channel queue (losing case). */
+    virtual void cancel(Waiter &waiter) = 0;
+
+    /** Finish a blocking completion (HB edges, closed-send panic). */
+    virtual void complete(Waiter &waiter) = 0;
+
+    /** Run the user handler. */
+    virtual void invoke() = 0;
+};
+
+template <typename T>
+class RecvCase : public SelectCase
+{
+  public:
+    RecvCase(Chan<T> ch, std::function<void(T, bool)> handler)
+        : ch_(std::move(ch)), handler_(std::move(handler))
+    {
+    }
+
+    bool isNil() const override { return !ch_; }
+
+    bool
+    poll() override
+    {
+        auto r = ch_.tryRecv();
+        if (!r)
+            return false;
+        value_ = std::move(r->value);
+        ok_ = r->ok;
+        return true;
+    }
+
+    void
+    enqueue(Waiter &waiter) override
+    {
+        waiter.slot = &value_;
+        if (ch_.internalImpl()->unbuffered())
+            Scheduler::current()->hooks()->release(ch_.internalImpl());
+        ch_.internalImpl()->recvq.push_back(&waiter);
+    }
+
+    void
+    cancel(Waiter &waiter) override
+    {
+        ch_.internalImpl()->removeWaiter(&waiter);
+    }
+
+    void
+    complete(Waiter &waiter) override
+    {
+        Scheduler::current()->hooks()->acquire(ch_.internalImpl());
+        ok_ = waiter.ok;
+        if (!ok_)
+            value_ = T{};
+    }
+
+    void invoke() override { handler_(std::move(value_), ok_); }
+
+  private:
+    Chan<T> ch_;
+    std::function<void(T, bool)> handler_;
+    T value_{};
+    bool ok_ = false;
+};
+
+template <typename T>
+class SendCase : public SelectCase
+{
+  public:
+    SendCase(Chan<T> ch, T value, std::function<void()> handler)
+        : ch_(std::move(ch)), value_(std::move(value)),
+          handler_(std::move(handler))
+    {
+    }
+
+    bool isNil() const override { return !ch_; }
+
+    bool poll() override { return ch_.trySend(value_); }
+
+    void
+    enqueue(Waiter &waiter) override
+    {
+        waiter.slot = &value_;
+        Scheduler::current()->hooks()->release(ch_.internalImpl());
+        ch_.internalImpl()->sendq.push_back(&waiter);
+    }
+
+    void
+    cancel(Waiter &waiter) override
+    {
+        ch_.internalImpl()->removeWaiter(&waiter);
+    }
+
+    void
+    complete(Waiter &waiter) override
+    {
+        if (waiter.closedWake)
+            goPanic("send on closed channel");
+        if (ch_.internalImpl()->unbuffered())
+            Scheduler::current()->hooks()->acquire(ch_.internalImpl());
+    }
+
+    void invoke() override { handler_(); }
+
+  private:
+    Chan<T> ch_;
+    T value_;
+    std::function<void()> handler_;
+};
+
+} // namespace detail
+
+/**
+ * Builder/executor for one select statement. Cases are numbered in
+ * registration order; run() returns the chosen index (the default
+ * branch, when taken, returns its own index).
+ */
+class Select
+{
+  public:
+    Select() = default;
+
+    /** Add a receive case. Handler gets (value, ok). */
+    template <typename T>
+    Select &
+    recv(Chan<T> ch, std::function<void(T, bool)> handler)
+    {
+        cases_.push_back(std::make_unique<detail::RecvCase<T>>(
+            std::move(ch), std::move(handler)));
+        return *this;
+    }
+
+    /** Add a send case. */
+    template <typename T>
+    Select &
+    send(Chan<T> ch, T value, std::function<void()> handler)
+    {
+        cases_.push_back(std::make_unique<detail::SendCase<T>>(
+            std::move(ch), std::move(value), std::move(handler)));
+        return *this;
+    }
+
+    /** Add a default branch: taken when no case is ready. */
+    Select &def(std::function<void()> handler);
+
+    /**
+     * Execute the select: poll ready cases in random order, fall back
+     * to the default branch, or block until a case completes.
+     * Returns the index of the executed case (cases in registration
+     * order; the default branch counts as index cases().size()).
+     */
+    int run();
+
+    size_t caseCount() const { return cases_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<detail::SelectCase>> cases_;
+    std::function<void()> default_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_CHANNEL_SELECT_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Waiter records shared between channels and the select engine.
+ *
+ * A goroutine blocking on a channel operation enqueues a Waiter on that
+ * channel; a select enqueues one Waiter per case, all pointing at a
+ * shared SelectToken so that exactly one case can win.
+ */
+
+#ifndef GOLITE_CHANNEL_WAITER_HH
+#define GOLITE_CHANNEL_WAITER_HH
+
+namespace golite
+{
+
+class Goroutine;
+
+/**
+ * First-winner election among the cases of one select. Also used (with
+ * a single case) to guard against double completion.
+ */
+struct SelectToken
+{
+    int winner = -1;
+
+    /** Try to make case @p case_index the chosen one. */
+    bool
+    tryWin(int case_index)
+    {
+        if (winner != -1)
+            return false;
+        winner = case_index;
+        return true;
+    }
+};
+
+/**
+ * One parked channel operation. Lives on the stack of the parked
+ * goroutine; the completing goroutine fills it in and unparks.
+ */
+struct Waiter
+{
+    Goroutine *g = nullptr;
+    /** Points at the T being sent / the T to receive into. */
+    void *slot = nullptr;
+    /** Recv: false when the wake came from close. */
+    bool ok = false;
+    /** Send: true when the channel was closed under us (-> panic). */
+    bool closedWake = false;
+    /** Data was actually transferred. */
+    bool completed = false;
+    /** Select election; null for plain (single-op) waits. */
+    SelectToken *token = nullptr;
+    int caseIndex = -1;
+};
+
+/**
+ * Claim a waiter for completion. Plain waiters always claim; select
+ * waiters claim only if their select has not chosen another case.
+ */
+inline bool
+claimWaiter(Waiter *w)
+{
+    if (!w->token)
+        return true;
+    return w->token->tryWin(w->caseIndex);
+}
+
+} // namespace golite
+
+#endif // GOLITE_CHANNEL_WAITER_HH

@@ -1,0 +1,91 @@
+#include "context/context.hh"
+
+namespace golite::ctx
+{
+
+void
+ContextState::cancel(const std::string &why)
+{
+    if (cancelled())
+        return;
+    err_ = why;
+    if (timer_)
+        Scheduler::current()->cancelTimer(timer_);
+    if (done_ && ownsDone_)
+        done_.close();
+    for (auto &weak_child : children_) {
+        if (auto child = weak_child.lock())
+            child->cancel("context canceled");
+    }
+    children_.clear();
+}
+
+const std::any *
+ContextState::value(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it != values_.end())
+        return &it->second;
+    if (valueParent_)
+        return valueParent_->value(key);
+    return nullptr;
+}
+
+Context
+withValue(const Context &parent, std::string key, std::any value)
+{
+    auto child = std::make_shared<ContextState>();
+    child->values_.emplace(std::move(key), std::move(value));
+    child->valueParent_ = parent;
+    if (parent) {
+        // Share the parent's cancellation signal (never close it
+        // ourselves: the owning ancestor does).
+        child->done_ = parent->done_;
+        child->ownsDone_ = false;
+        child->err_ = parent->err_;
+        if (!parent->cancelled())
+            parent->children_.push_back(child);
+    }
+    return child;
+}
+
+Context
+background()
+{
+    // done_ stays nil: background contexts are never cancelled.
+    return std::make_shared<ContextState>();
+}
+
+std::pair<Context, CancelFunc>
+withCancel(const Context &parent)
+{
+    auto child = std::make_shared<ContextState>();
+    child->done_ = makeChan<Unit>();
+    if (parent) {
+        if (parent->cancelled()) {
+            child->cancel("context canceled");
+        } else {
+            parent->children_.push_back(child);
+        }
+    }
+    std::weak_ptr<ContextState> weak = child;
+    CancelFunc cancel = [weak] {
+        if (auto state = weak.lock())
+            state->cancel("context canceled");
+    };
+    return {child, cancel};
+}
+
+std::pair<Context, CancelFunc>
+withTimeout(const Context &parent, gotime::Duration d)
+{
+    auto [child, cancel] = withCancel(parent);
+    std::weak_ptr<ContextState> weak = child;
+    child->timer_ = Scheduler::current()->scheduleTimer(d, [weak] {
+        if (auto state = weak.lock())
+            state->cancel("context deadline exceeded");
+    });
+    return {child, cancel};
+}
+
+} // namespace golite::ctx

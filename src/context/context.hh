@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The context package: request-scoped cancellation trees.
+ *
+ * context is one of the "new libraries" the paper singles out: its
+ * done-channel plumbing is implicit message passing, and losing the
+ * reference to a cancellable context (Figure 6) or sharing a context
+ * object unsafely (etcd#7816) causes blocking and non-blocking bugs
+ * respectively.
+ *
+ * Semantics mirrored from Go:
+ *  - background() has a nil done channel (waits on it never fire);
+ *  - withCancel/withTimeout return a CancelFunc that is idempotent;
+ *  - cancelling a parent cancels all descendants;
+ *  - err() is empty until done, then "context canceled" or
+ *    "context deadline exceeded".
+ */
+
+#ifndef GOLITE_CONTEXT_CONTEXT_HH
+#define GOLITE_CONTEXT_CONTEXT_HH
+
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/chan.hh"
+#include "gotime/time.hh"
+
+namespace golite::ctx
+{
+
+class ContextState;
+
+/** Value-semantic context handle (like Go's context.Context). */
+using Context = std::shared_ptr<ContextState>;
+
+/** Idempotent cancellation function. */
+using CancelFunc = std::function<void()>;
+
+class ContextState : public std::enable_shared_from_this<ContextState>
+{
+  public:
+    /**
+     * The done channel: closed when the context is cancelled. Nil for
+     * background contexts, so a select on it blocks forever — exactly
+     * Go's behaviour.
+     */
+    Chan<Unit> done() const { return done_; }
+
+    /** Empty until done; then the cancellation cause. */
+    const std::string &err() const { return err_; }
+
+    bool cancelled() const { return !err_.empty(); }
+
+    /**
+     * Request-scoped value lookup (context.Value): walks up the
+     * chain of withValue ancestors. Returns nullptr when absent.
+     */
+    const std::any *value(const std::string &key) const;
+
+  private:
+    friend Context background();
+    friend std::pair<Context, CancelFunc> withCancel(const Context &);
+    friend std::pair<Context, CancelFunc> withTimeout(const Context &,
+                                                      gotime::Duration);
+    friend Context withValue(const Context &, std::string, std::any);
+
+    void cancel(const std::string &why);
+
+    Chan<Unit> done_;
+    /** False for withValue children, which share the parent's done
+     *  channel and must not close it themselves. */
+    bool ownsDone_ = true;
+    std::string err_;
+    std::vector<std::weak_ptr<ContextState>> children_;
+    TimerId timer_;
+    /** Value chain: this node's payload plus the parent to consult. */
+    std::map<std::string, std::any> values_;
+    Context valueParent_;
+};
+
+/** The root context: never cancelled, nil done channel. */
+Context background();
+
+/**
+ * Derive a cancellable child. The returned CancelFunc is idempotent;
+ * as in Go, *failing to call it leaks whatever waits on done()*.
+ */
+std::pair<Context, CancelFunc> withCancel(const Context &parent);
+
+/** Derive a child cancelled automatically after @p d. */
+std::pair<Context, CancelFunc> withTimeout(const Context &parent,
+                                           gotime::Duration d);
+
+/**
+ * Derive a child carrying a request-scoped key/value pair
+ * (context.WithValue). The child shares the parent's done channel:
+ * cancelling the parent is observed through the child.
+ */
+Context withValue(const Context &parent, std::string key,
+                  std::any value);
+
+} // namespace golite::ctx
+
+#endif // GOLITE_CONTEXT_CONTEXT_HH

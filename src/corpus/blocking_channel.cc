@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Blocking bug kernels, Chan category (Table 6: 29/85 studied bugs;
+ * 9 of the 21 reproduced ones are modelled here, including the
+ * paper's Figure 1 and Figure 6 bugs).
+ *
+ * The common shape: a send, receive, or close that the programmer
+ * assumed would always happen is skipped on some path (timeout, early
+ * return, error, pointer overwrite), leaving the peer goroutine
+ * parked on the channel forever. None of these stalls the whole
+ * process, so Go's built-in detector sees nothing.
+ */
+
+#include <memory>
+#include <string>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+using gotime::kMillisecond;
+
+// ---------------------------------------------------------------
+// kubernetes-5316 (Figure 1): finishReq spawns a child that sends
+// the result on an unbuffered channel; the parent selects on the
+// result versus a timeout. If the timeout fires first (or select
+// picks it when both are ready), nobody ever receives and the child
+// blocks forever.
+// Fix (ChangeSync): make the channel buffered (capacity 1).
+BugOutcome
+kubernetes5316(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int result = 0;
+        bool timedOut = false;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        auto finish_req = [st, fixed](gotime::Duration timeout) {
+            Chan<int> ch = fixed ? makeChan<int>(1)  // the patch
+                                 : makeChan<int>();  // unbuffered
+            go("request-handler", [st, ch] {
+                // fn(): the actual request work takes a while.
+                gotime::sleep(50 * kMillisecond);
+                ch.send(42);
+            });
+            int out = -1;
+            Select()
+                .recv<int>(ch, [&](int v, bool) { out = v; })
+                .recv<gotime::Time>(gotime::after(timeout),
+                                    [&](gotime::Time, bool) {
+                                        st->timedOut = true;
+                                    })
+                .run();
+            return out;
+        };
+        st->result = finish_req(10 * kMillisecond); // timeout < fn()
+        // The server keeps running long enough for the handler to
+        // finish fn() and hit the orphaned send.
+        gotime::sleep(200 * kMillisecond);
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// grpc-862 (Figure 6): a cancellable context is created up front; a
+// goroutine is attached to its done channel. When a timeout is
+// configured the code creates a *second* context, overwriting the
+// only reference to the first — no one can ever cancel it, and the
+// attached goroutine leaks.
+// Fix (Bypass): create the right context once, on each branch.
+BugOutcome
+grpc862(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        bool requestDone = false;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        const gotime::Duration timeout = 20 * kMillisecond;
+        ctx::Context hctx;
+        ctx::CancelFunc hcancel;
+        if (!fixed) {
+            // Buggy: always create a cancel context and attach the
+            // monitor; then overwrite it when a timeout is set.
+            auto [first, cancel_first] = ctx::withCancel(ctx::background());
+            hctx = first;
+            hcancel = cancel_first;
+            go("http2-monitor", [first] { first->done().recv(); });
+            if (timeout > 0) {
+                auto [second, cancel_second] =
+                    ctx::withTimeout(ctx::background(), timeout);
+                hctx = second;       // the old context is orphaned
+                hcancel = cancel_second;
+            }
+        } else {
+            if (timeout > 0) {
+                auto [c, cancel] =
+                    ctx::withTimeout(ctx::background(), timeout);
+                hctx = c;
+                hcancel = cancel;
+            } else {
+                auto [c, cancel] = ctx::withCancel(ctx::background());
+                hctx = c;
+                hcancel = cancel;
+            }
+            go("http2-monitor", [hctx] { hctx->done().recv(); });
+        }
+        // The request completes; tear the context down.
+        st->requestDone = true;
+        hcancel();
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// docker-21233 (pattern): a producer streams build progress into a
+// channel; the consumer returns early on a validation error and
+// stops draining. The producer's next send blocks forever.
+// Fix (AddSync): select with a quit channel closed by the consumer.
+BugOutcome
+docker21233(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int consumed = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> progress = makeChan<int>();
+        Chan<Unit> quit = makeChan<Unit>();
+        go("progress-producer", [fixed, progress, quit] {
+            for (int i = 0; i < 10; ++i) {
+                if (fixed) {
+                    bool stop = false;
+                    Select()
+                        .send<int>(progress, i, [] {})
+                        .recv<Unit>(quit,
+                                    [&](Unit, bool) { stop = true; })
+                        .run();
+                    if (stop)
+                        return;
+                } else {
+                    progress.send(i); // blocks once consumer is gone
+                }
+            }
+        });
+        // Consumer: aborts after two updates (validation error).
+        for (int i = 0; i < 2; ++i)
+            st->consumed += progress.recv().ok ? 1 : 0;
+        quit.close();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// etcd-5505 (pattern): a watcher loops `for ev := range events`; the
+// event source stops on shutdown but forgets to close the channel,
+// so the watcher sleeps forever in recv.
+// Fix (AddSync): close the channel on the producer's exit path.
+BugOutcome
+etcd5505(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int delivered = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<std::string> events = makeChan<std::string>(2);
+        go("watcher", [st, events] {
+            for (;;) { // range over the channel
+                auto r = events.recv();
+                if (!r.ok)
+                    return;
+                st->delivered++;
+            }
+        });
+        events.send("put k1");
+        events.send("put k2");
+        if (fixed)
+            events.close(); // the patch: end the range loop
+        for (int i = 0; i < 8; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// grpc-1275 (pattern): the transport writes the server's response
+// into an unbuffered channel, but on a stream reset the response
+// path returns without sending. The RPC caller waits forever.
+// Fix (AddSync): send a zero response on the reset path too.
+BugOutcome
+grpc1275(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        bool gotResponse = false;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> response = makeChan<int>();
+        go("rpc-caller", [st, response] {
+            st->gotResponse = response.recv().ok;
+        });
+        // Transport: the stream is reset before a response exists.
+        const bool stream_reset = true;
+        if (!stream_reset) {
+            response.send(200);
+        } else if (fixed) {
+            response.close(); // patched: unblock the caller
+        }
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// cockroach-13197 (pattern): a scatter request fans out one
+// goroutine per range; each sends its result on an unbuffered
+// channel. The collector stops at the first error, stranding the
+// remaining senders.
+// Fix (ChangeSync): buffer the channel with the fan-out width.
+BugOutcome
+cockroach13197(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int collected = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        const int ranges = 4;
+        Chan<int> results =
+            fixed ? makeChan<int>(ranges) : makeChan<int>();
+        for (int i = 0; i < ranges; ++i) {
+            go("scatter-" + std::to_string(i), [results, i] {
+                results.send(i == 1 ? -1 : i); // range 1 fails
+            });
+        }
+        for (int i = 0; i < ranges; ++i) {
+            int v = results.recv().value;
+            st->collected++;
+            if (v < 0)
+                break; // first error aborts the collection loop
+        }
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// kubernetes-38669 (pattern): an event recorder's sink channel is
+// only initialized when event recording is enabled; a code path
+// fires an event regardless, sending on a nil channel and parking
+// that goroutine forever.
+// Fix (AddSync): guard the send on initialization.
+BugOutcome
+kubernetes38669(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Chan<std::string> sink; // nil unless recording is enabled
+        int recorded = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        const bool recording_enabled = false;
+        if (recording_enabled)
+            st->sink = makeChan<std::string>(16);
+        go("event-emitter", [st, fixed] {
+            if (fixed && !st->sink)
+                return;              // patched: skip when nil
+            st->sink.send("Killing"); // buggy: nil send blocks forever
+            st->recorded++;
+        });
+        for (int i = 0; i < 4; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// etcd-6632 (pattern): a shutdown path forgets to close the `stopc`
+// channel when the server aborts during bootstrap, so the supervisor
+// goroutine waiting on stopc leaks.
+// Fix (AddSync): close stopc on the abort path.
+BugOutcome
+etcd6632(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        bool supervisorExited = false;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<Unit> stopc = makeChan<Unit>();
+        go("supervisor", [st, stopc] {
+            stopc.recv();
+            st->supervisorExited = true;
+        });
+        // Bootstrap fails.
+        const bool bootstrap_failed = true;
+        if (bootstrap_failed) {
+            if (fixed)
+                stopc.close(); // the patch
+            // buggy: returns without closing stopc
+        }
+        for (int i = 0; i < 4; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// etcd-7492 (pattern): two waiters receive from a completion channel
+// that gets exactly one send; whichever loses the race leaks.
+// Fix (ChangeSync): close the channel instead of sending once
+// (close broadcasts to every receiver).
+BugOutcome
+etcd7492(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int observers = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<Unit> done = makeChan<Unit>();
+        for (int i = 0; i < 2; ++i) {
+            go("observer-" + std::to_string(i), [st, done] {
+                done.recv();
+                st->observers++;
+            });
+        }
+        yield();
+        yield();
+        if (fixed)
+            done.close();      // broadcast
+        else
+            done.trySend(Unit{}); // wakes at most one observer
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options);
+}
+
+} // namespace
+
+void
+registerBlockingChannelBugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "kubernetes-5316", "Kubernetes", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::ChangeSync, FixPrimitive::Channel, "Figure 1",
+        "request handler blocks sending after the caller timed out",
+        true, false}, kubernetes5316});
+
+    out.push_back({BugInfo{
+        "grpc-862", "gRPC", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::Bypass, FixPrimitive::Misc, "Figure 6",
+        "context overwritten before its monitor goroutine can be "
+        "cancelled",
+        true, false}, grpc862});
+
+    out.push_back({BugInfo{
+        "docker-21233", "Docker", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::AddSync, FixPrimitive::Channel, "",
+        "producer blocks after the consumer aborted early",
+        true, false}, docker21233});
+
+    out.push_back({BugInfo{
+        "etcd-5505", "etcd", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::AddSync, FixPrimitive::Channel, "",
+        "range-over-channel watcher leaks: producer never closes",
+        true, false}, etcd5505});
+
+    out.push_back({BugInfo{
+        "grpc-1275", "gRPC", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::AddSync, FixPrimitive::Channel, "",
+        "response send skipped on the stream-reset path",
+        true, false}, grpc1275});
+
+    out.push_back({BugInfo{
+        "cockroach-13197", "CockroachDB", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::ChangeSync, FixPrimitive::Channel, "",
+        "fan-out senders stranded when the collector stops at the "
+        "first error",
+        true, false}, cockroach13197});
+
+    out.push_back({BugInfo{
+        "kubernetes-38669", "Kubernetes", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::AddSync, FixPrimitive::Misc, "",
+        "send on a nil (never-initialized) channel",
+        true, false}, kubernetes38669});
+
+    out.push_back({BugInfo{
+        "etcd-6632", "etcd", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::AddSync, FixPrimitive::Channel, "",
+        "stop channel not closed on the bootstrap-failure path",
+        true, false}, etcd6632});
+
+    out.push_back({BugInfo{
+        "etcd-7492", "etcd", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::ChangeSync, FixPrimitive::Channel, "",
+        "single send to a channel with two receivers",
+        true, false}, etcd7492});
+}
+
+} // namespace golite::corpus

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Blocking bug kernels, messaging-library category (Table 6: "Lib",
+ * 4/85 studied bugs; 2 reproduced here). Go's io.Pipe behaves like an
+ * unbuffered channel for byte streams: a peer that goes away without
+ * closing its end strands the other side forever.
+ */
+
+#include <memory>
+#include <string>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// docker-36114 (pattern): a layer-upload goroutine streams data into
+// an io.Pipe; the HTTP client aborts the request and drops the read
+// end without closing it. The uploader blocks in Write forever.
+// Fix (AddSync): close the reader with an error on the abort path.
+BugOutcome
+docker36114(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int chunksSent = 0;
+        bool aborted = false;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        auto [reader, writer] = goio::makePipe();
+        go("layer-uploader", [st, w = writer]() mutable {
+            for (int i = 0; i < 4; ++i) {
+                auto res = w.write("chunk-" + std::to_string(i));
+                if (!res.ok())
+                    return; // the patched abort unblocks us here
+                st->chunksSent++;
+            }
+            w.close();
+        });
+        // HTTP client: consumes one chunk, then the request fails.
+        std::string buf;
+        reader.read(buf);
+        st->aborted = true;
+        if (fixed)
+            reader.close("request aborted"); // the patch
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// kubernetes-47030 (pattern): a log-follow goroutine reads from a
+// pipe; the writer goroutine exits on container stop without closing
+// the write end. The follower blocks in Read forever.
+// Fix (AddSync): defer-close the writer.
+BugOutcome
+kubernetes47030(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int linesSeen = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        auto [reader, writer] = goio::makePipe();
+        go("log-follower", [st, r = reader]() mutable {
+            for (;;) {
+                std::string line;
+                auto res = r.read(line);
+                if (!res.ok())
+                    return; // EOF after the patched close
+                st->linesSeen++;
+            }
+        });
+        go("log-writer", [fixed, w = writer]() mutable {
+            w.write("container started");
+            w.write("container stopped");
+            const bool container_stopped = true;
+            if (container_stopped) {
+                if (fixed)
+                    w.close(); // the patch (defer w.Close())
+                return;        // buggy: exits with the pipe open
+            }
+        });
+        for (int i = 0; i < 12; ++i)
+            yield();
+    }, options);
+}
+
+} // namespace
+
+void
+registerBlockingLibraryBugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "docker-36114", "Docker", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::MessagingLibrary,
+        FixStrategy::AddSync, FixPrimitive::Misc, "",
+        "io.Pipe writer stranded after the reader aborted without "
+        "closing",
+        true, false}, docker36114});
+
+    out.push_back({BugInfo{
+        "kubernetes-47030", "Kubernetes", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::MessagingLibrary,
+        FixStrategy::AddSync, FixPrimitive::Misc, "",
+        "io.Pipe reader stranded after the writer exited without "
+        "closing",
+        true, false}, kubernetes47030});
+}
+
+} // namespace golite::corpus

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Blocking bug kernels, "Chan w/" category — a channel operation
+ * entangled with another blocking primitive (Table 6: 16/85 studied
+ * bugs; 3 reproduced here, including the paper's Figure 7 bug and
+ * boltdb-240, the second of the two bugs Go's built-in detector can
+ * see).
+ */
+
+#include <memory>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// etcd-6857 (Figure 7): goroutine1 holds no lock but blocks sending
+// to ch; goroutine2 holds the lock consumers need and blocks on
+// m.Lock() held by goroutine3, which waits to receive from ch only
+// after taking the lock. The paper's fix: give goroutine1 a select
+// with a default branch so the send can never block.
+BugOutcome
+etcd6857(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        int handled = 0;
+        int skipped = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> ch = makeChan<int>(); // unbuffered request channel
+        // goroutine1: forwards a status request while holding the
+        // lock the consumer also needs.
+        go("status-notifier", [st, fixed, ch] {
+            st->mu.lock();
+            if (fixed) {
+                Select()
+                    .send<int>(ch, 1, [st] { st->handled++; })
+                    .def([st] { st->skipped++; }) // the patch
+                    .run();
+            } else {
+                ch.send(1); // blocks while holding the lock
+                st->handled++;
+            }
+            st->mu.unlock();
+        });
+        // goroutine2: takes the lock, then drains pending requests.
+        go("status-consumer", [st, fixed, ch] {
+            st->mu.lock();
+            if (fixed) {
+                auto r = ch.tryRecv();
+                if (r && r->ok)
+                    st->handled++;
+            } else {
+                st->handled += ch.recv().ok ? 1 : 0;
+            }
+            st->mu.unlock();
+        });
+        for (int i = 0; i < 12; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// boltdb-240: the (single-goroutine) command loop locks the database
+// mutex and then receives from a channel whose only sender first
+// needs that same mutex. Both goroutines block, nothing else exists:
+// the built-in detector fires. Detected in Table 8.
+// Fix (MoveSync): receive before taking the lock.
+BugOutcome
+boltdb240(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex dbMu;
+        int batches = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> batch = makeChan<int>();
+        go("batch-writer", [st, batch] {
+            st->dbMu.lock(); // needs the lock to build the batch
+            batch.send(1);
+            st->dbMu.unlock();
+        });
+        if (fixed) {
+            st->batches += batch.recv().value; // patched order
+            st->dbMu.lock();
+            st->dbMu.unlock();
+        } else {
+            st->dbMu.lock();                   // buggy order
+            st->batches += batch.recv().value; // circular wait
+            st->dbMu.unlock();
+        }
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// kubernetes-25331 (pattern): a worker blocks sending its result;
+// the coordinator blocks in WaitGroup.Wait for that worker's Done,
+// which sits *after* the send. Channel and WaitGroup jointly stall.
+// Fix (MoveSync): call Done before the (possibly blocking) send and
+// drain results independently.
+BugOutcome
+kubernetes25331(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        WaitGroup wg;
+        int results = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> results = makeChan<int>();
+        st->wg.add(1);
+        go("worker", [st, fixed, results] {
+            if (fixed) {
+                st->wg.done(); // patched: completion first
+                results.trySend(7);
+            } else {
+                results.send(7); // blocks: coordinator not draining
+                st->wg.done();
+            }
+        });
+        go("coordinator", [st, results] {
+            st->wg.wait(); // buggy: waits before draining results
+            auto r = results.tryRecv();
+            if (r && r->ok)
+                st->results += r->value;
+        });
+        for (int i = 0; i < 10; ++i)
+            yield();
+    }, options);
+}
+
+} // namespace
+
+void
+registerBlockingMixedBugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "etcd-6857", "etcd", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::ChanWithOther,
+        FixStrategy::AddSync, FixPrimitive::Channel, "Figure 7",
+        "channel send entangled with a mutex held by the consumer",
+        true, false}, etcd6857});
+
+    out.push_back({BugInfo{
+        "boltdb-240", "BoltDB", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::ChanWithOther,
+        FixStrategy::MoveSync, FixPrimitive::Channel, "",
+        "lock-then-receive against a sender that needs the lock "
+        "(global deadlock; built-in detector fires)",
+        true, true}, boltdb240});
+
+    out.push_back({BugInfo{
+        "kubernetes-25331", "Kubernetes", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::ChanWithOther,
+        FixStrategy::MoveSync, FixPrimitive::WaitGroup, "",
+        "WaitGroup.Wait ordered before the worker's blocking send",
+        true, false}, kubernetes25331});
+}
+
+} // namespace golite::corpus

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Blocking bug kernels, Mutex category (Table 6: 28/85 studied bugs;
+ * 7 of the 21 reproduced ones are modelled here).
+ *
+ * Go's Mutex is neither reentrant nor owner-checked, so the classic
+ * misuse patterns — double locking, conflicting lock order, missing
+ * unlock — all block silently. Only one of these kernels
+ * (boltdb-392) blocks *every* goroutine and is therefore visible to
+ * Go's built-in detector; the rest leak goroutines while the program
+ * keeps running, the blind spot Table 8 documents.
+ */
+
+#include <memory>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// boltdb-392: a transaction helper locks the database mutex and then
+// calls a utility that locks it again on the same goroutine. Main is
+// the only goroutine, so the whole process stalls: one of the two
+// corpus bugs the built-in deadlock detector reports.
+// Fix (RemoveSync): drop the inner redundant lock.
+BugOutcome
+boltdb392(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex metalock;
+        int freePages = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        auto allocate = [st, fixed] {
+            if (!fixed)
+                st->metalock.lock(); // second acquisition: stalls
+            st->freePages++;
+            if (!fixed)
+                st->metalock.unlock();
+        };
+        st->metalock.lock();
+        allocate();
+        st->metalock.unlock();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// docker-5416: an early-return path leaves the container mutex
+// locked; the next request's handler goroutine blocks forever while
+// the daemon keeps serving.
+// Fix (AddSync): add the missing unlock on the error path.
+BugOutcome
+docker5416(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        bool failInjected = true;
+        int handled = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        auto handle = [st, fixed](bool fail) {
+            st->mu.lock();
+            if (fail) {
+                if (fixed)
+                    st->mu.unlock(); // the patch
+                return;              // buggy: returns still holding mu
+            }
+            st->handled++;
+            st->mu.unlock();
+        };
+        handle(st->failInjected);
+        go("second-request", [st, handle] { handle(false); });
+        yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// moby-17176: a device-mapper function takes the lock and calls a
+// helper that also takes it; unlike boltdb-392 the stall is in a
+// worker goroutine, so the daemon limps on with the worker leaked.
+// Fix (RemoveSync): helper no longer re-locks.
+BugOutcome
+moby17176(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex devLock;
+        int deactivated = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        go("deactivate-worker", [st, fixed] {
+            auto deactivate_device = [st, fixed] {
+                if (!fixed)
+                    st->devLock.lock(); // re-lock on same goroutine
+                st->deactivated++;
+                if (!fixed)
+                    st->devLock.unlock();
+            };
+            st->devLock.lock();
+            deactivate_device();
+            st->devLock.unlock();
+        });
+        yield();
+        yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// etcd-10492 (pattern): two goroutines acquire two mutexes in
+// opposite orders (AB-BA). Both leak; the rest of the server
+// continues.
+// Fix (MoveSync): make both acquire in the same order.
+BugOutcome
+etcd10492(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex storeMu;
+        Mutex applyMu;
+        int applied = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        go("applier", [st] {
+            st->storeMu.lock();
+            yield(); // widen the window
+            st->applyMu.lock();
+            st->applied++;
+            st->applyMu.unlock();
+            st->storeMu.unlock();
+        });
+        go("compactor", [st, fixed] {
+            if (fixed) {
+                st->storeMu.lock(); // patched: same order
+                yield();
+                st->applyMu.lock();
+            } else {
+                st->applyMu.lock(); // buggy: opposite order
+                yield();
+                st->storeMu.lock();
+            }
+            st->applied++;
+            if (fixed) {
+                st->applyMu.unlock();
+                st->storeMu.unlock();
+            } else {
+                st->storeMu.unlock();
+                st->applyMu.unlock();
+            }
+        });
+        // Main must not join (it would deadlock globally); the real
+        // daemon keeps serving. Give the workers time to tangle.
+        for (int i = 0; i < 20; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// grpc-795 (pattern): a retry loop re-acquires a mutex it still
+// holds because the unlock was placed after a `continue`.
+// Fix (MoveSync): unlock before continuing.
+BugOutcome
+grpc795(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex connMu;
+        int attempts = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        go("reconnect-loop", [st, fixed] {
+            for (int attempt = 0; attempt < 3; ++attempt) {
+                st->connMu.lock();
+                st->attempts++;
+                const bool transient_failure = (attempt == 0);
+                if (transient_failure) {
+                    if (fixed)
+                        st->connMu.unlock(); // the patch
+                    continue; // buggy: next iteration self-deadlocks
+                }
+                st->connMu.unlock();
+                break;
+            }
+        });
+        yield();
+        yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// kubernetes-30759 (pattern): a callback invoked under the informer
+// lock calls back into an API that takes the same lock.
+// Fix (MoveSync): invoke callbacks after releasing the lock.
+BugOutcome
+kubernetes30759(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex cacheMu;
+        int notifications = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        go("informer", [st, fixed] {
+            auto list_keys = [st] {
+                st->cacheMu.lock(); // API entry point locks
+                st->notifications++;
+                st->cacheMu.unlock();
+            };
+            st->cacheMu.lock();
+            if (fixed) {
+                st->cacheMu.unlock(); // patched: callback runs outside
+                list_keys();
+            } else {
+                list_keys(); // buggy: callback under the lock
+                st->cacheMu.unlock();
+            }
+        });
+        yield();
+        yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// cockroach-6181 (pattern): three range-lease goroutines form a
+// 3-cycle over three mutexes. All three leak.
+// Fix (MoveSync): impose a global lock order.
+BugOutcome
+cockroach6181(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex ranges[3];
+        int transfers = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        for (int i = 0; i < 3; ++i) {
+            go("lease-" + std::to_string(i), [st, fixed, i] {
+                int first = i;
+                int second = (i + 1) % 3;
+                if (fixed && second < first)
+                    std::swap(first, second); // global order
+                st->ranges[first].lock();
+                yield();
+                st->ranges[second].lock();
+                st->transfers++;
+                st->ranges[second].unlock();
+                st->ranges[first].unlock();
+            });
+        }
+        for (int i = 0; i < 30; ++i)
+            yield();
+    }, options);
+}
+
+} // namespace
+
+void
+registerBlockingMutexBugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "boltdb-392", "BoltDB", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Mutex,
+        FixStrategy::RemoveSync, FixPrimitive::Mutex, "",
+        "double lock on the same goroutine stalls the whole process",
+        true, true}, boltdb392});
+
+    out.push_back({BugInfo{
+        "docker-5416", "Docker", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Mutex,
+        FixStrategy::AddSync, FixPrimitive::Mutex, "",
+        "missing unlock on an early-return path blocks later lockers",
+        true, false}, docker5416});
+
+    out.push_back({BugInfo{
+        "moby-17176", "Docker", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Mutex,
+        FixStrategy::RemoveSync, FixPrimitive::Mutex, "",
+        "re-lock through a helper call leaks a worker goroutine",
+        true, false}, moby17176});
+
+    out.push_back({BugInfo{
+        "etcd-10492", "etcd", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Mutex,
+        FixStrategy::MoveSync, FixPrimitive::Mutex, "",
+        "AB-BA lock ordering between applier and compactor",
+        true, false}, etcd10492});
+
+    out.push_back({BugInfo{
+        "grpc-795", "gRPC", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Mutex,
+        FixStrategy::MoveSync, FixPrimitive::Mutex, "",
+        "unlock skipped by `continue` in a retry loop",
+        true, false}, grpc795});
+
+    out.push_back({BugInfo{
+        "kubernetes-30759", "Kubernetes", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Mutex,
+        FixStrategy::MoveSync, FixPrimitive::Mutex, "",
+        "callback invoked under a lock re-enters the locking API",
+        true, false}, kubernetes30759});
+
+    out.push_back({BugInfo{
+        "cockroach-6181", "CockroachDB", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Mutex,
+        FixStrategy::MoveSync, FixPrimitive::Mutex, "",
+        "three-way circular wait over range mutexes",
+        true, false}, cockroach6181});
+}
+
+} // namespace golite::corpus

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Blocking bug kernels, RWMutex and Wait categories (Table 6:
+ * RWMutex 5, Wait 3 of the 85 studied blocking bugs).
+ *
+ * The RWMutex kernels depend on Go's writer-priority implementation —
+ * the same code is deadlock-free with a reader-priority
+ * pthread_rwlock_t, which is exactly the paper's point about new
+ * implementations of old semantics (Observation 4). The Wait kernels
+ * cover Cond.Wait with no signaller and the Figure 5 WaitGroup bug.
+ */
+
+#include <memory>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// cockroach-10214 (pattern, Section 5.1.1): goroutine A read-locks,
+// goroutine B requests the write lock, A read-locks again. B blocks
+// A's second RLock (writer privilege); A's held RLock blocks B.
+// Fix (RemoveSync): A keeps its first read lock instead of
+// re-acquiring.
+BugOutcome
+cockroach10214(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        RWMutex raftMu;
+        int reads = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        go("reader", [st, fixed] {
+            st->raftMu.rlock();
+            st->reads++;
+            yield(); // let the writer queue up
+            yield();
+            if (!fixed) {
+                st->raftMu.rlock(); // queues behind the writer
+                st->reads++;
+                st->raftMu.runlock();
+            } else {
+                st->reads++; // patched: reuse the held read lock
+            }
+            st->raftMu.runlock();
+        });
+        go("writer", [st] {
+            yield(); // arrive after the first RLock
+            st->raftMu.lock();
+            st->raftMu.unlock();
+        });
+        for (int i = 0; i < 20; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// kubernetes-70447 (pattern): a goroutine write-locks an RWMutex it
+// already write-holds (via a helper).
+// Fix (RemoveSync): helper stops re-locking.
+BugOutcome
+kubernetes70447(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        RWMutex stateMu;
+        int updates = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        go("updater", [st, fixed] {
+            auto flush = [st, fixed] {
+                if (!fixed)
+                    st->stateMu.lock(); // second write lock: stalls
+                st->updates++;
+                if (!fixed)
+                    st->stateMu.unlock();
+            };
+            st->stateMu.lock();
+            flush();
+            st->stateMu.unlock();
+        });
+        yield();
+        yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// docker-25384 (Figure 5): group.Wait() sits *inside* the loop that
+// spawns the group's goroutines, so iteration 1 waits for Done calls
+// that only later iterations would create. With len(plugins) == 1 it
+// happens to work; with more plugins everything stalls: main blocks
+// at Wait, no child can be spawned.
+// Fix (MoveSync): move Wait out of the loop.
+BugOutcome
+docker25384(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        WaitGroup group;
+        int restored = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        const int num_plugins = 3;
+        st->group.add(num_plugins);
+        for (int i = 0; i < num_plugins; ++i) {
+            go("plugin-restore", [st] {
+                st->restored++;
+                st->group.done();
+            });
+            if (!fixed)
+                st->group.wait(); // buggy: waits inside the loop
+        }
+        if (fixed)
+            st->group.wait(); // patched: wait once, after the loop
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// kubernetes-16851 (pattern): a worker calls Cond.Wait but the only
+// Signal site was removed in a refactor; the worker sleeps forever.
+// Fix (AddSync): signal after publishing work.
+BugOutcome
+kubernetes16851(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        Cond cond{mu};
+        bool hasWork = false;
+        int processed = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        go("queue-worker", [st] {
+            st->mu.lock();
+            while (!st->hasWork)
+                st->cond.wait();
+            st->processed++;
+            st->mu.unlock();
+        });
+        yield();
+        yield();
+        st->mu.lock();
+        st->hasWork = true;
+        if (fixed)
+            st->cond.signal(); // the missing wakeup
+        st->mu.unlock();
+    }, options);
+}
+
+} // namespace
+
+void
+registerBlockingRWMutexWaitBugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "cockroach-10214", "CockroachDB", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::RWMutex,
+        FixStrategy::RemoveSync, FixPrimitive::Mutex, "",
+        "recursive read lock interleaved by a write lock request "
+        "(Go writer-priority semantics)",
+        false, false}, cockroach10214});
+
+    out.push_back({BugInfo{
+        "kubernetes-70447", "Kubernetes", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::RWMutex,
+        FixStrategy::RemoveSync, FixPrimitive::Mutex, "",
+        "double write lock through a helper call",
+        false, false}, kubernetes70447});
+
+    out.push_back({BugInfo{
+        "docker-25384", "Docker", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Wait,
+        FixStrategy::MoveSync, FixPrimitive::WaitGroup, "Figure 5",
+        "WaitGroup.Wait inside the spawning loop blocks goroutine "
+        "creation",
+        false, true}, docker25384});
+
+    out.push_back({BugInfo{
+        "kubernetes-16851", "Kubernetes", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Wait,
+        FixStrategy::AddSync, FixPrimitive::Cond, "",
+        "Cond.Wait with no remaining Signal site",
+        false, false}, kubernetes16851});
+}
+
+} // namespace golite::corpus

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Bug-kernel infrastructure: metadata taxonomy (the paper's two
+ * dimensions), outcome classification, and the corpus registry.
+ *
+ * Every studied bug pattern the paper reproduces is implemented as a
+ * BugCase: a pair of runnable variants (buggy, fixed via the real
+ * patch's strategy) plus the taxonomy tags that Tables 5-12 aggregate.
+ */
+
+#ifndef GOLITE_CORPUS_BUG_HH
+#define GOLITE_CORPUS_BUG_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/report.hh"
+
+namespace golite::corpus
+{
+
+/** First taxonomy dimension: bug behaviour (Section 4). */
+enum class Behavior
+{
+    Blocking,
+    NonBlocking,
+};
+
+/** Second taxonomy dimension: bug cause (Section 4). */
+enum class CauseDim
+{
+    SharedMemory,
+    MessagePassing,
+};
+
+/**
+ * Root-cause subcategory. Blocking bugs use the Table 6 rows;
+ * non-blocking bugs use the Table 9 rows.
+ */
+enum class SubCause
+{
+    // Blocking, shared memory (Table 6 left half).
+    Mutex,
+    RWMutex,
+    Wait,
+    // Blocking, message passing (Table 6 right half).
+    Chan,
+    ChanWithOther, ///< "Chan w/": channel combined with another primitive
+    MessagingLibrary,
+
+    // Non-blocking, shared memory (Table 9 top half).
+    Traditional,       ///< atomicity/order violation, plain data race
+    AnonymousFunction, ///< shared capture in a `go func(){...}()`
+    WaitGroupMisuse,   ///< Add/Wait ordering rule violation
+    LibShared,         ///< new Go library with implicitly shared state
+    // Non-blocking, message passing (Table 9 bottom half).
+    ChanMisuse,        ///< channel rule violation (e.g. double close)
+    LibMessage,        ///< message-passing library subtlety (e.g. Timer)
+};
+
+const char *subCauseName(SubCause cause);
+
+/** Fix strategy, following the paper's Table 7 / Table 10 taxonomy. */
+enum class FixStrategy
+{
+    AddSync,     ///< add a missing operation (unlock, send, close, Add)
+    MoveSync,    ///< move a misplaced operation
+    ChangeSync,  ///< change a primitive's mode (e.g. unbuffered->buffered)
+    RemoveSync,  ///< remove an extra operation (e.g. double lock)
+    Bypass,      ///< eliminate/bypass the offending instructions
+    DataPrivate, ///< privatize the shared data (copy per goroutine)
+    Misc,
+};
+
+const char *fixStrategyName(FixStrategy strategy);
+
+/** Primitive leveraged by the patch (Table 11 columns). */
+enum class FixPrimitive
+{
+    Mutex,
+    Channel,
+    Atomic,
+    WaitGroup,
+    Cond,
+    Once,
+    Misc,
+    None,
+};
+
+const char *fixPrimitiveName(FixPrimitive primitive);
+
+/** Which variant of a kernel to execute. */
+enum class Variant
+{
+    Buggy,
+    Fixed,
+};
+
+/** Result of executing one kernel variant once. */
+struct BugOutcome
+{
+    RunReport report;
+    /**
+     * Kernel-specific judgement: did the bug's failure behaviour
+     * manifest in this run (blocked goroutines / panic / wrong
+     * result)? Independent of detector output.
+     */
+    bool manifested = false;
+    /** Human-readable note on what happened. */
+    std::string note;
+};
+
+/** Metadata for one studied bug. */
+struct BugInfo
+{
+    /** Stable id, e.g. "kubernetes-5316". */
+    std::string id;
+    /** Application the paper attributes the bug to. */
+    std::string app;
+    Behavior behavior;
+    CauseDim cause;
+    SubCause subcause;
+    FixStrategy fixStrategy;
+    FixPrimitive fixPrimitive;
+    /** Paper figure illustrating the bug, "" if none. */
+    std::string figure;
+    /** One-line description of the bug pattern. */
+    std::string description;
+    /**
+     * Part of the paper's reproduced set (21 blocking + 20
+     * non-blocking) evaluated against the detectors in Tables 8/12.
+     */
+    bool reproducedSet = true;
+    /**
+     * The buggy variant deterministically blocks every goroutine
+     * (Go's built-in detector fires). Only two corpus bugs have this
+     * property — the Table 8 headline.
+     */
+    bool globallyDeadlocks = false;
+};
+
+/** One corpus entry: metadata plus the runnable kernel. */
+struct BugCase
+{
+    BugInfo info;
+    /** Execute one variant under the given runtime options. */
+    std::function<BugOutcome(Variant, const RunOptions &)> runner;
+
+    BugOutcome
+    run(Variant variant, const RunOptions &options = {}) const
+    {
+        return runner(variant, options);
+    }
+
+    /**
+     * Run the buggy variant across @p seeds seeds and report how many
+     * runs manifested (the paper's "run it ~100 times" protocol).
+     */
+    int manifestCount(int seeds, RunOptions options = {}) const;
+};
+
+/** The full corpus, in registration order. */
+const std::vector<BugCase> &corpus();
+
+/** Lookup by id; null if unknown. */
+const BugCase *findBug(const std::string &id);
+
+/** All corpus entries matching a behaviour (optionally only the
+ * reproduced set). */
+std::vector<const BugCase *> bugsByBehavior(Behavior behavior,
+                                            bool reproduced_only);
+
+// Registration functions, one per kernel family (called once by
+// corpus(); kept explicit so the static library cannot drop them).
+void registerBlockingMutexBugs(std::vector<BugCase> &out);
+void registerBlockingRWMutexWaitBugs(std::vector<BugCase> &out);
+void registerBlockingChannelBugs(std::vector<BugCase> &out);
+void registerBlockingMixedBugs(std::vector<BugCase> &out);
+void registerBlockingLibraryBugs(std::vector<BugCase> &out);
+void registerNonBlockingTraditionalBugs(std::vector<BugCase> &out);
+void registerNonBlockingAnonymousBugs(std::vector<BugCase> &out);
+void registerNonBlockingMiscBugs(std::vector<BugCase> &out);
+void registerExtendedBugs(std::vector<BugCase> &out);
+void registerExtendedWave3Bugs(std::vector<BugCase> &out);
+
+} // namespace golite::corpus
+
+#endif // GOLITE_CORPUS_BUG_HH

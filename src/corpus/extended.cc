@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Extended bug kernels (wave 2): additional patterns from the
+ * paper's categories beyond the 41-bug reproduced set — Cond
+ * broadcast-vs-signal, RWMutex self-upgrade, channel + RWMutex
+ * entanglement, crossed pipes, forgotten WaitGroup.Done, concurrent
+ * map writes, a CAS-less state machine, Timer.Reset misuse, a
+ * dropped-update trySend, and a double Done panic.
+ *
+ * All are tagged reproducedSet=false: they enrich the corpus, the
+ * live-validation benches and the detector ablations without
+ * changing the Table 8 / Table 12 headline counts.
+ */
+
+#include <memory>
+#include <string>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+using gotime::kMillisecond;
+
+// ---------------------------------------------------------------
+// docker-29756 (pattern, Wait): a state change must wake *all*
+// waiters, but the notifier calls Signal instead of Broadcast; every
+// waiter but one sleeps forever.
+// Fix (ChangeSync): Broadcast.
+BugOutcome
+docker29756(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        Cond cond{mu};
+        bool ready = false;
+        int released = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        for (int i = 0; i < 3; ++i) {
+            go("state-waiter", [st] {
+                st->mu.lock();
+                while (!st->ready)
+                    st->cond.wait();
+                st->released++;
+                st->mu.unlock();
+            });
+        }
+        for (int i = 0; i < 6; ++i)
+            yield();
+        st->mu.lock();
+        st->ready = true;
+        if (fixed)
+            st->cond.broadcast(); // the patch
+        else
+            st->cond.signal(); // wakes at most one of three
+        st->mu.unlock();
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// grpc-2391 (pattern, RWMutex): a method holding the write lock
+// calls a read-path helper that takes a read lock on the same
+// RWMutex: the writer blocks its own reader.
+// Fix (RemoveSync): the helper trusts the caller's lock.
+BugOutcome
+grpc2391(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        RWMutex stateMu;
+        int snapshots = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        go("state-updater", [st, fixed] {
+            auto snapshot = [st, fixed] {
+                if (!fixed)
+                    st->stateMu.rlock(); // blocks: we hold the wlock
+                st->snapshots++;
+                if (!fixed)
+                    st->stateMu.runlock();
+            };
+            st->stateMu.lock();
+            snapshot();
+            st->stateMu.unlock();
+        });
+        yield();
+        yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// moby-27782 (pattern, Chan): the event loop acknowledges requests
+// on an unbuffered channel; a requester that timed out is gone, and
+// the ack send wedges the entire event loop.
+// Fix (AddSync): non-blocking ack (select with default).
+BugOutcome
+moby27782(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int acked = 0;
+        int dropped = 0;
+        bool requesterDone = false;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<Unit> ack = makeChan<Unit>();
+        go("event-loop", [st, fixed, ack] {
+            gotime::sleep(30 * kMillisecond); // handling takes long
+            if (fixed) {
+                Select()
+                    .send<Unit>(ack, Unit{}, [st] { st->acked++; })
+                    .def([st] { st->dropped++; }) // the patch
+                    .run();
+            } else {
+                ack.send(Unit{}); // requester is gone: wedged
+                st->acked++;
+            }
+        });
+        Select()
+            .recv<Unit>(ack, [st](Unit, bool) { st->acked++; })
+            .recv<gotime::Time>(gotime::after(10 * kMillisecond),
+                                [st](gotime::Time, bool) {
+                                    st->requesterDone = true;
+                                })
+            .run();
+        gotime::sleep(100 * kMillisecond); // daemon keeps running
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// etcd-7902 (pattern, Chan w/): a publisher sends while holding a
+// read lock; a writer queues; the subscriber's read lock queues
+// behind the writer (Go writer priority), so nobody ever receives.
+// Fix (MoveSync): release the read lock before sending.
+BugOutcome
+etcd7902(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        RWMutex watchMu;
+        int delivered = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> events = makeChan<int>();
+        go("publisher", [st, fixed, events] {
+            st->watchMu.rlock();
+            if (fixed) {
+                st->watchMu.runlock(); // the patch: send unlocked
+                events.send(1);
+            } else {
+                events.send(1); // blocks holding the read lock
+                st->watchMu.runlock();
+            }
+        });
+        go("compactor", [st] {
+            yield();
+            st->watchMu.lock(); // queues behind the publisher
+            st->watchMu.unlock();
+        });
+        go("subscriber", [st, fixed, events] {
+            yield();
+            yield();
+            if (fixed) {
+                // Patched on this side too: never block on a channel
+                // while holding the lock.
+                st->watchMu.rlock();
+                st->watchMu.runlock();
+                st->delivered += events.recv().value;
+            } else {
+                st->watchMu.rlock(); // queues behind the compactor
+                st->delivered += events.recv().value;
+                st->watchMu.runlock();
+            }
+        });
+        for (int i = 0; i < 16; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// docker-32126 (pattern, Lib): two stages exchange data through two
+// pipes, but both write before reading: each write waits for a read
+// that never comes (crossed synchronous pipes).
+// Fix (MoveSync): one stage reads first.
+BugOutcome
+docker32126(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        std::string stage1Got, stage2Got;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        auto [r_a, w_a] = goio::makePipe();
+        auto [r_b, w_b] = goio::makePipe();
+        go("stage-1", [st, w = w_a, r = r_b]() mutable {
+            w.write("manifest");
+            r.read(st->stage1Got);
+        });
+        go("stage-2", [st, fixed, w = w_b, r = r_a]() mutable {
+            if (fixed) {
+                r.read(st->stage2Got); // the patch: consume first
+                w.write("layers");
+            } else {
+                w.write("layers"); // both sides write: deadlock pair
+                r.read(st->stage2Got);
+            }
+        });
+        for (int i = 0; i < 10; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// kubernetes-59042 (pattern, Wait): an error path skips Done, so the
+// WaitGroup counter never returns to zero and the stopper waits
+// forever.
+// Fix (AddSync): Done on every path (defer wg.Done()).
+BugOutcome
+kubernetes59042(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        WaitGroup wg;
+        int processed = 0;
+        bool drained = false;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        const int items = 4;
+        st->wg.add(items);
+        for (int i = 0; i < items; ++i) {
+            go("item-worker", [st, fixed, i] {
+                const bool error_path = (i == 2);
+                if (error_path) {
+                    if (fixed)
+                        st->wg.done(); // the patch: defer wg.Done()
+                    return;            // buggy: early return skips it
+                }
+                st->processed++;
+                st->wg.done();
+            });
+        }
+        go("stopper", [st] {
+            st->wg.wait();
+            st->drained = true;
+        });
+        for (int i = 0; i < 12; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// docker-28408 (pattern, traditional): two goroutines insert into a
+// plain map concurrently (Go crashes with "concurrent map writes";
+// the -race build flags it first).
+// Fix (ChangeSync): use sync.Map.
+BugOutcome
+docker28408(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> plainMap{"attach-map"};
+        SyncMap<int, int> syncMap;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([st, fixed, g, &wg] {
+                for (int i = 0; i < 3; ++i) {
+                    if (fixed)
+                        st->syncMap.store(g * 10 + i, i);
+                    else
+                        st->plainMap.update([](int &v) { v++; });
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [] { return false; /* caught by the -race build */ });
+}
+
+// ---------------------------------------------------------------
+// grpc-3028 (pattern, traditional, race-detector-blind): a
+// connectivity state machine transitions via separate atomic load
+// and store; two concurrent transitions both fire.
+// Fix (ChangeSync): compare-and-swap.
+BugOutcome
+grpc3028(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Atomic<int> connState{0}; // 0=idle, 1=connecting
+        Atomic<int> dialsStarted{0};
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([st, fixed, &wg] {
+                if (fixed) {
+                    if (st->connState.compareAndSwap(0, 1))
+                        st->dialsStarted.add(1);
+                } else {
+                    if (st->connState.load() == 0) {
+                        yield(); // both observe idle here
+                        st->connState.store(1);
+                        st->dialsStarted.add(1); // double dial
+                    }
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st] { return st->dialsStarted.raw() != 1; });
+}
+
+// ---------------------------------------------------------------
+// cockroach-25441 (pattern, lib message): Timer.Reset on an
+// un-drained timer leaves the stale expiry in the channel; the next
+// wait returns immediately with the old tick.
+// Fix (Bypass): drain the channel before Reset (the documented
+// Stop/drain/Reset idiom).
+BugOutcome
+cockroach25441(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        bool staleTickProcessed = false;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        gotime::Timer t = gotime::newTimer(10 * kMillisecond);
+        gotime::sleep(20 * kMillisecond); // expiry sits un-drained
+        if (fixed && !t.stop()) {
+            // Documented idiom: drain before Reset.
+            t.c.tryRecv();
+        }
+        const gotime::Time reset_at = gotime::now();
+        t.reset(50 * kMillisecond);
+        const gotime::Time fired_at = t.c.recv().value;
+        if (fired_at < reset_at)
+            st->staleTickProcessed = true; // acted on the old expiry
+    }, options, [st] { return st->staleTickProcessed; });
+}
+
+// ---------------------------------------------------------------
+// etcd-9956 (pattern, chan misuse): status updates are published
+// with a non-blocking send to avoid wedging the publisher; under a
+// slow consumer the *latest* update is silently dropped.
+// Fix (ChangeSync): latest-value channel (capacity 1, drain+send).
+BugOutcome
+etcd9956(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int lastSeen = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        Chan<int> status =
+            fixed ? makeChan<int>(1) : makeChan<int>();
+        go("publisher", [fixed, status] {
+            for (int leader = 1; leader <= 3; ++leader) {
+                if (fixed) {
+                    // Latest-value channel: displace the stale value.
+                    if (!status.trySend(leader)) {
+                        status.tryRecv();
+                        status.trySend(leader);
+                    }
+                } else {
+                    status.trySend(leader); // dropped if not ready
+                }
+                yield();
+            }
+        });
+        // Slow consumer: polls once at the end.
+        for (int i = 0; i < 12; ++i)
+            yield();
+        auto r = status.tryRecv();
+        if (r && r->ok)
+            st->lastSeen = r->value;
+    }, options, [st] { return st->lastSeen != 3; });
+}
+
+// ---------------------------------------------------------------
+// kubernetes-82454 (pattern, waitgroup): both the helper and its
+// caller call Done on the error path; the counter goes negative and
+// the process panics.
+// Fix (RemoveSync): Done exactly once per Add.
+BugOutcome
+kubernetes82454(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        WaitGroup wg;
+        int cleaned = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        st->wg.add(1);
+        go("cleanup-worker", [st, fixed] {
+            auto finish = [st](bool errored) {
+                if (errored)
+                    st->wg.done(); // helper reports completion...
+            };
+            const bool errored = true;
+            finish(errored);
+            st->cleaned++;
+            if (!fixed && errored)
+                st->wg.done(); // ...and the caller does too: panic
+            if (!errored)
+                st->wg.done();
+        });
+        st->wg.wait();
+    }, options, [] { return false; /* the panic is the symptom */ });
+}
+
+} // namespace
+
+void
+registerExtendedBugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "docker-29756", "Docker", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Wait,
+        FixStrategy::ChangeSync, FixPrimitive::Cond, "",
+        "Signal where Broadcast was needed strands waiters",
+        false, false}, docker29756});
+
+    out.push_back({BugInfo{
+        "grpc-2391", "gRPC", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::RWMutex,
+        FixStrategy::RemoveSync, FixPrimitive::Mutex, "",
+        "read lock requested while holding the write lock",
+        false, false}, grpc2391});
+
+    out.push_back({BugInfo{
+        "moby-27782", "Docker", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::AddSync, FixPrimitive::Channel, "",
+        "event loop wedged acking a requester that timed out",
+        false, false}, moby27782});
+
+    out.push_back({BugInfo{
+        "etcd-7902", "etcd", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::ChanWithOther,
+        FixStrategy::MoveSync, FixPrimitive::Channel, "",
+        "send under a read lock deadlocks via writer priority",
+        false, false}, etcd7902});
+
+    out.push_back({BugInfo{
+        "docker-32126", "Docker", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::MessagingLibrary,
+        FixStrategy::MoveSync, FixPrimitive::Misc, "",
+        "crossed synchronous pipes: both stages write first",
+        false, false}, docker32126});
+
+    out.push_back({BugInfo{
+        "kubernetes-59042", "Kubernetes", Behavior::Blocking,
+        CauseDim::SharedMemory, SubCause::Wait,
+        FixStrategy::AddSync, FixPrimitive::WaitGroup, "",
+        "error path skips Done; Wait never returns",
+        false, false}, kubernetes59042});
+
+    out.push_back({BugInfo{
+        "docker-28408", "Docker", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::Traditional,
+        FixStrategy::ChangeSync, FixPrimitive::Misc, "",
+        "concurrent map writes (fixed with sync.Map)",
+        false, false}, docker28408});
+
+    out.push_back({BugInfo{
+        "grpc-3028", "gRPC", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::Traditional,
+        FixStrategy::ChangeSync, FixPrimitive::Atomic, "",
+        "state machine transition without CAS double-fires",
+        false, false}, grpc3028});
+
+    out.push_back({BugInfo{
+        "cockroach-25441", "CockroachDB", Behavior::NonBlocking,
+        CauseDim::MessagePassing, SubCause::LibMessage,
+        FixStrategy::Bypass, FixPrimitive::Channel, "",
+        "Timer.Reset without draining processes a stale expiry",
+        false, false}, cockroach25441});
+
+    out.push_back({BugInfo{
+        "etcd-9956", "etcd", Behavior::NonBlocking,
+        CauseDim::MessagePassing, SubCause::ChanMisuse,
+        FixStrategy::ChangeSync, FixPrimitive::Channel, "",
+        "non-blocking send silently drops the latest status update",
+        false, false}, etcd9956});
+
+    out.push_back({BugInfo{
+        "kubernetes-82454", "Kubernetes", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::WaitGroupMisuse,
+        FixStrategy::RemoveSync, FixPrimitive::WaitGroup, "",
+        "Done called twice on the error path (negative counter "
+        "panic)",
+        false, false}, kubernetes82454});
+}
+
+} // namespace golite::corpus

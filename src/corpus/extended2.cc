@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Extended bug kernels (wave 3): crossed channel handshakes,
+ * self-requeue deadlock, slice-append races, TOCTOU under dropped
+ * locks, and send-after-close — deepening the Chan, Traditional and
+ * ChanMisuse categories that dominate the paper's Tables 6 and 9.
+ * All reproducedSet=false.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// grpc-1353 (pattern, Chan): a bidirectional handshake where both
+// sides receive before sending on a pair of unbuffered channels:
+// each waits for the other's hello forever.
+// Fix (MoveSync): one side sends first.
+BugOutcome
+grpc1353(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        bool clientReady = false;
+        bool serverReady = false;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> to_server = makeChan<int>();
+        Chan<int> to_client = makeChan<int>();
+        go("handshake-server", [st, to_server, to_client] {
+            to_server.recv(); // waits for the client hello
+            to_client.send(2);
+            st->serverReady = true;
+        });
+        go("handshake-client", [st, fixed, to_server, to_client] {
+            if (fixed) {
+                to_server.send(1); // patched: speak first
+                to_client.recv();
+            } else {
+                to_client.recv(); // buggy: both sides listen first
+                to_server.send(1);
+            }
+            st->clientReady = true;
+        });
+        for (int i = 0; i < 10; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// kubernetes-11298 (pattern, Chan): a worker that fails an item
+// requeues it onto its *own* unbuffered work channel — it is the
+// only consumer, so the send can never complete.
+// Fix (ChangeSync): requeue through a buffered channel.
+BugOutcome
+kubernetes11298(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int processed = 0;
+        int requeued = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> work = fixed ? makeChan<int>(4) : makeChan<int>();
+        go("queue-worker", [st, work] {
+            for (;;) {
+                auto item = work.recv();
+                if (!item.ok)
+                    return;
+                const bool transient_error =
+                    (item.value == 2 && st->requeued == 0);
+                if (transient_error) {
+                    st->requeued++;
+                    work.send(item.value); // self-send: deadlocks
+                    continue;              // when unbuffered
+                }
+                st->processed++;
+                if (st->processed == 3)
+                    return;
+            }
+        });
+        go("feeder", [work] {
+            for (int i = 1; i <= 3; ++i)
+                work.send(i);
+        });
+        for (int i = 0; i < 14; ++i)
+            yield();
+    }, options);
+}
+
+// ---------------------------------------------------------------
+// docker-1911 (pattern, traditional, race): two goroutines append to
+// the same slice; the len field's read-modify-write races and
+// entries vanish.
+// Fix (AddSync): mutex around the append.
+BugOutcome
+docker1911(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> sliceLen{"slice-len"};
+        Mutex mu;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([st, fixed, &wg] {
+                for (int i = 0; i < 4; ++i) {
+                    if (fixed) st->mu.lock();
+                    // append(): read len, write elem, write len+1.
+                    st->sliceLen.update([](int &len) { len++; });
+                    if (fixed) st->mu.unlock();
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st] { return st->sliceLen.raw() != 8; });
+}
+
+// ---------------------------------------------------------------
+// cockroach-7504 (pattern, traditional, race-detector-blind): the
+// lock is dropped between "does the replica exist?" and "use the
+// replica"; a concurrent GC deletes it in the window.
+// Fix (MoveSync): hold the lock across check and use.
+BugOutcome
+cockroach7504(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        bool replicaLive = true;
+        bool usedAfterGc = false;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        go("reader", [st, fixed, &wg] {
+            if (fixed) {
+                st->mu.lock();
+                if (st->replicaLive) {
+                    // use under the same critical section
+                }
+                st->mu.unlock();
+            } else {
+                st->mu.lock();
+                const bool exists = st->replicaLive;
+                st->mu.unlock();
+                yield(); // the GC window
+                if (exists) {
+                    st->mu.lock();
+                    if (!st->replicaLive)
+                        st->usedAfterGc = true; // stale decision
+                    st->mu.unlock();
+                }
+            }
+            wg.done();
+        });
+        go("gc", [st, &wg] {
+            st->mu.lock();
+            st->replicaLive = false;
+            st->mu.unlock();
+            wg.done();
+        });
+        wg.wait();
+    }, options, [st] { return st->usedAfterGc; });
+}
+
+// ---------------------------------------------------------------
+// grpc-2121 (pattern, chan misuse): the shutdown path closes the
+// update channel while a notifier is still about to send: send on
+// closed channel, runtime panic.
+// Fix (AddSync): notifiers select on the done channel first; close
+// happens after done is visible.
+BugOutcome
+grpc2121(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int updates = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        Chan<int> updates = makeChan<int>(4);
+        Chan<Unit> done = makeChan<Unit>();
+        go("notifier", [st, fixed, updates, done] {
+            for (int i = 0; i < 3; ++i) {
+                yield();
+                if (fixed) {
+                    bool stopped = false;
+                    Select()
+                        .recv<Unit>(done,
+                                    [&](Unit, bool) { stopped = true; })
+                        .def([&] {
+                            updates.send(i);
+                            st->updates++;
+                        })
+                        .run();
+                    if (stopped)
+                        return;
+                } else {
+                    updates.send(i); // may hit a closed channel
+                    st->updates++;
+                }
+            }
+        });
+        // Shutdown: signal done, then close the update channel.
+        yield();
+        done.close();
+        updates.close();
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options, [] { return false; /* the panic is the symptom */ });
+}
+
+// ---------------------------------------------------------------
+// etcd-5598 (pattern, Chan w/): a config watcher receives while
+// holding the config mutex; the timer-driven reloader that would
+// send needs the same mutex first.
+// Fix (MoveSync): receive outside the critical section.
+BugOutcome
+etcd5598(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex configMu;
+        int reloads = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runBlockingKernel([st, fixed] {
+        Chan<int> reload = makeChan<int>();
+        go("watcher", [st, fixed, reload] {
+            if (fixed) {
+                const int v = reload.recv().value; // recv unlocked
+                st->configMu.lock();
+                st->reloads += v;
+                st->configMu.unlock();
+            } else {
+                st->configMu.lock();
+                st->reloads += reload.recv().value; // recv locked
+                st->configMu.unlock();
+            }
+        });
+        go("reloader", [st, reload] {
+            gotime::sleep(5 * gotime::kMillisecond);
+            st->configMu.lock(); // blocked by the watcher (buggy)
+            reload.send(1);
+            st->configMu.unlock();
+        });
+        gotime::sleep(50 * gotime::kMillisecond);
+    }, options);
+}
+
+} // namespace
+
+void
+registerExtendedWave3Bugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "grpc-1353", "gRPC", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::MoveSync, FixPrimitive::Channel, "",
+        "bidirectional handshake where both sides receive first",
+        false, false}, grpc1353});
+
+    out.push_back({BugInfo{
+        "kubernetes-11298", "Kubernetes", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::Chan,
+        FixStrategy::ChangeSync, FixPrimitive::Channel, "",
+        "worker requeues onto its own unbuffered channel",
+        false, false}, kubernetes11298});
+
+    out.push_back({BugInfo{
+        "docker-1911", "Docker", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::Traditional,
+        FixStrategy::AddSync, FixPrimitive::Mutex, "",
+        "concurrent slice append loses elements",
+        false, false}, docker1911});
+
+    out.push_back({BugInfo{
+        "cockroach-7504", "CockroachDB", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::Traditional,
+        FixStrategy::MoveSync, FixPrimitive::Mutex, "",
+        "TOCTOU: lock dropped between existence check and use",
+        false, false}, cockroach7504});
+
+    out.push_back({BugInfo{
+        "grpc-2121", "gRPC", Behavior::NonBlocking,
+        CauseDim::MessagePassing, SubCause::ChanMisuse,
+        FixStrategy::AddSync, FixPrimitive::Channel, "",
+        "send races the shutdown close (send on closed channel)",
+        false, false}, grpc2121});
+
+    out.push_back({BugInfo{
+        "etcd-5598", "etcd", Behavior::Blocking,
+        CauseDim::MessagePassing, SubCause::ChanWithOther,
+        FixStrategy::MoveSync, FixPrimitive::Channel, "",
+        "receive under the mutex the sender needs",
+        false, false}, etcd5598});
+}
+
+} // namespace golite::corpus

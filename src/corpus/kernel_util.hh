@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Helpers shared by the bug kernels.
+ *
+ * Kernel conventions:
+ *  - All state shared between goroutines lives in a shared_ptr-held
+ *    struct captured by value, so teardown unwinding (which may
+ *    destroy goroutine stacks in any order) is lifetime-safe.
+ *  - Blocking kernels judge manifestation from the run report (a
+ *    global deadlock or leaked goroutines).
+ *  - Non-blocking kernels judge manifestation from program-visible
+ *    misbehaviour (panic or wrong result) recorded in the state.
+ */
+
+#ifndef GOLITE_CORPUS_KERNEL_UTIL_HH
+#define GOLITE_CORPUS_KERNEL_UTIL_HH
+
+#include <functional>
+#include <memory>
+#include <sstream>
+
+#include "corpus/bug.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite::corpus
+{
+
+/** Run a program and classify the outcome for a *blocking* kernel. */
+inline BugOutcome
+runBlockingKernel(const std::function<void()> &program,
+                  const RunOptions &options)
+{
+    BugOutcome out;
+    out.report = run(program, options);
+    out.manifested = out.report.globalDeadlock ||
+                     !out.report.leaked.empty();
+    std::ostringstream note;
+    if (out.report.globalDeadlock) {
+        note << "all goroutines are asleep - deadlock!";
+    } else if (!out.report.leaked.empty()) {
+        note << out.report.leaked.size() << " goroutine(s) leaked";
+        note << " (first: " << waitReasonName(out.report.leaked[0].reason)
+             << ")";
+    } else {
+        note << "completed cleanly";
+    }
+    out.note = note.str();
+    return out;
+}
+
+/**
+ * Run a program and classify the outcome for a *non-blocking* kernel:
+ * @p misbehaved is evaluated after the run (typically a check of a
+ * result captured in the kernel state); a panic always counts.
+ */
+inline BugOutcome
+runNonBlockingKernel(const std::function<void()> &program,
+                     const RunOptions &options,
+                     const std::function<bool()> &misbehaved)
+{
+    BugOutcome out;
+    out.report = run(program, options);
+    const bool wrong = misbehaved ? misbehaved() : false;
+    out.manifested = out.report.panicked || wrong;
+    if (out.report.panicked)
+        out.note = "panic: " + out.report.panicMessage;
+    else if (wrong)
+        out.note = "wrong result";
+    else
+        out.note = "behaved correctly";
+    return out;
+}
+
+} // namespace golite::corpus
+
+#endif // GOLITE_CORPUS_KERNEL_UTIL_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Non-blocking bug kernels, anonymous-function category (Table 9:
+ * 11/86 studied bugs; 4 reproduced here, including the paper's
+ * Figure 8 loop-variable capture from Docker).
+ *
+ * Go makes `go func(){...}()` so cheap that local variables slip
+ * into child goroutines unnoticed. Nine of the paper's 11 bugs in
+ * this class race a parent against a child; the usual fix is to
+ * privatize the captured value (pass it as an argument).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// docker-4951 (Figure 8): `for i := 17; i <= 21; i++ { go func() {
+// use(i) } }` — every child reads the parent's single loop variable.
+// Fix (DataPrivate): pass i as the goroutine's argument.
+BugOutcome
+docker4951(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> loopVar{"i"};
+        std::vector<int> apiVersions;
+        Mutex outMu; // protects apiVersions only (not part of the bug)
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(5);
+        for (int i = 17; i <= 21; ++i) {
+            st->loopVar.store(i);
+            if (fixed) {
+                // Patched: copy i into the goroutine (go func(i int)).
+                go([st, i, &wg] {
+                    st->outMu.lock();
+                    st->apiVersions.push_back(i);
+                    st->outMu.unlock();
+                    wg.done();
+                });
+            } else {
+                // Buggy: child reads the shared loop variable.
+                go([st, &wg] {
+                    const int v = st->loopVar.load();
+                    st->outMu.lock();
+                    st->apiVersions.push_back(v);
+                    st->outMu.unlock();
+                    wg.done();
+                });
+            }
+        }
+        wg.wait();
+    }, options, [st] {
+        // Correct output: one goroutine per version 17..21.
+        std::vector<int> sorted = st->apiVersions;
+        std::sort(sorted.begin(), sorted.end());
+        return sorted != std::vector<int>{17, 18, 19, 20, 21};
+    });
+}
+
+// ---------------------------------------------------------------
+// etcd-4876 (pattern, testing.T class): a test spawns a goroutine
+// that records an error into the shared result variable; the test
+// function reads it concurrently to decide pass/fail.
+// Fix (AddSync): guard the error with a mutex.
+BugOutcome
+etcd4876(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> testErr{"t.err"};
+        Mutex mu;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        go("test-helper", [st, fixed] {
+            if (fixed) st->mu.lock();
+            st->testErr.store(1); // t.Errorf from the helper
+            if (fixed) st->mu.unlock();
+        });
+        if (fixed) st->mu.lock();
+        (void)st->testErr.load(); // the test polls the status
+        if (fixed) st->mu.unlock();
+        yield();
+        yield();
+    }, options, [] { return false; /* pure race */ });
+}
+
+// ---------------------------------------------------------------
+// cockroach-2135 (pattern): a retry closure captures the parent's
+// `result` slot; the parent re-runs the closure after a timeout
+// while the previous attempt is still writing into the same slot.
+// Fix (DataPrivate): each attempt gets its own slot.
+BugOutcome
+cockroach2135(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> sharedSlot{"result-slot"};
+        Mutex outMu;
+        int attemptsFinished = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int attempt = 1; attempt <= 2; ++attempt) {
+            if (fixed) {
+                auto slot = std::make_shared<race::Shared<int>>(
+                    "private-slot");
+                go([st, slot, attempt, &wg] {
+                    slot->store(attempt * 100);
+                    st->outMu.lock();
+                    st->attemptsFinished++;
+                    st->outMu.unlock();
+                    wg.done();
+                });
+            } else {
+                go([st, attempt, &wg] {
+                    st->sharedSlot.store(attempt * 100); // both write
+                    st->outMu.lock();
+                    st->attemptsFinished++;
+                    st->outMu.unlock();
+                    wg.done();
+                });
+            }
+        }
+        wg.wait();
+    }, options, [] { return false; /* pure race on the slot */ });
+}
+
+// ---------------------------------------------------------------
+// kubernetes-6526 (pattern): the parent snapshots a local into the
+// closure *before* the value was final, so every child sees the
+// stale value. The child/parent accesses are HB-ordered (spawn
+// edge), so there is no data race — only wrong output. This is the
+// 1-in-4 anonymous-function bug the race detector cannot see.
+// Fix (MoveSync): finalize the value before spawning.
+BugOutcome
+kubernetes6526(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        int podCount = 0;
+        std::vector<int> reported;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(1);
+        if (fixed)
+            st->podCount = 3; // patched: finalize first
+        const int snapshot = st->podCount;
+        go([st, snapshot, &wg] {
+            st->reported.push_back(snapshot);
+            wg.done();
+        });
+        if (!fixed)
+            st->podCount = 3; // buggy: finalized after the capture
+        wg.wait();
+    }, options, [st] {
+        return st->reported != std::vector<int>{3};
+    });
+}
+
+} // namespace
+
+void
+registerNonBlockingAnonymousBugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "docker-4951", "Docker", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::AnonymousFunction,
+        FixStrategy::DataPrivate, FixPrimitive::None, "Figure 8",
+        "loop variable captured by reference into child goroutines",
+        true, false}, docker4951});
+
+    out.push_back({BugInfo{
+        "etcd-4876", "etcd", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::AnonymousFunction,
+        FixStrategy::AddSync, FixPrimitive::Mutex, "",
+        "test helper goroutine races the test on its status variable",
+        true, false}, etcd4876});
+
+    out.push_back({BugInfo{
+        "cockroach-2135", "CockroachDB", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::AnonymousFunction,
+        FixStrategy::DataPrivate, FixPrimitive::None, "",
+        "retry attempts share one captured result slot",
+        true, false}, cockroach2135});
+
+    out.push_back({BugInfo{
+        "kubernetes-6526", "Kubernetes", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::AnonymousFunction,
+        FixStrategy::MoveSync, FixPrimitive::None, "",
+        "value captured before it was finalized (no data race)",
+        true, false}, kubernetes6526});
+}
+
+} // namespace golite::corpus

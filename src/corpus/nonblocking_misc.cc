@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Non-blocking bug kernels: WaitGroup misuse (Figure 9), channel
+ * misuse (Figure 10's double close), message-library subtlety
+ * (Figure 12's zero-duration Timer), plus two non-reproduced-set
+ * extras — the Figure 11 select/ticker nondeterminism and the
+ * etcd-7816 shared-context race.
+ */
+
+#include <memory>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+using gotime::kMillisecond;
+
+// ---------------------------------------------------------------
+// etcd-6873 (Figure 9): peer.send spawns a worker that calls
+// wg.Add(1) *inside the child*, so the stopper's wg.Wait() can
+// return before the Add executes; the worker then touches a peer
+// that was already freed.
+// Fix (MoveSync): decide-and-Add inside the same critical section
+// the stopper uses, and skip spawning once stopped.
+BugOutcome
+etcd6873(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        WaitGroup wg;
+        bool stopped = false;
+        bool freed = false;
+        bool usedAfterFree = false;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        auto worker_body = [st, fixed] {
+            if (!fixed)
+                st->wg.add(1); // buggy: Add races with Wait
+            if (st->freed)
+                st->usedAfterFree = true; // send on a freed peer
+            st->wg.done();
+        };
+        // peer.send(): spawn the sender goroutine.
+        st->mu.lock();
+        if (fixed) {
+            if (!st->stopped) {
+                st->wg.add(1); // patched: Add under the stopper's lock
+                go("msg-sender", worker_body);
+            }
+        } else {
+            go("msg-sender", worker_body);
+        }
+        st->mu.unlock();
+        // peer.stop(), concurrent in the original; here the stopper
+        // runs as its own goroutine.
+        go("peer-stopper", [st] {
+            st->mu.lock();
+            st->stopped = true;
+            st->mu.unlock();
+            st->wg.wait();
+            st->freed = true; // resources released after Wait
+        });
+        for (int i = 0; i < 10; ++i)
+            yield();
+    }, options, [st] { return st->usedAfterFree; });
+}
+
+// ---------------------------------------------------------------
+// docker-24007 (Figure 10): several goroutines run
+// `select { case <-c.closed: default: close(c.ch) }`; two of them
+// can both take the default branch and close the channel twice — a
+// runtime panic.
+// Fix (AddSync): wrap the close in a sync.Once.
+BugOutcome
+docker24007(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Once closeOnce;
+        int closers = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        Chan<Unit> resources = makeChan<Unit>();
+        WaitGroup wg;
+        wg.add(3);
+        for (int g = 0; g < 3; ++g) {
+            go("releaser", [st, fixed, resources, &wg] {
+                bool already_closed = false;
+                Select()
+                    .recv<Unit>(resources, [&](Unit, bool) {
+                        already_closed = true;
+                    })
+                    .def([] {})
+                    .run();
+                if (!already_closed) {
+                    // The gap between the check and the close: the
+                    // original raced here across OS threads.
+                    yield();
+                    if (fixed) {
+                        st->closeOnce.doOnce([&] {
+                            resources.close();
+                            st->closers++;
+                        });
+                    } else {
+                        resources.close(); // second close panics
+                        st->closers++;
+                    }
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st] { return st->closers > 1; });
+}
+
+// ---------------------------------------------------------------
+// etcd-7423 (pattern, Figure 12): `timer := time.NewTimer(0)` is
+// created as a placeholder; when no timeout is configured the
+// placeholder fires immediately and the wait loop returns before the
+// context was cancelled.
+// Fix (Bypass): use a nil timeout channel unless a timeout is set —
+// a select case on a nil channel never fires.
+BugOutcome
+etcd7423(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        bool prematureReturn = false;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        auto [request_ctx, cancel] = ctx::withCancel(ctx::background());
+        go("request-finisher", [request_ctx, cancel] {
+            gotime::sleep(50 * kMillisecond);
+            cancel();
+        });
+        auto wait_with_timeout = [st, fixed](const ctx::Context &c,
+                                             gotime::Duration dur) {
+            Chan<gotime::Time> timeout; // nil
+            if (fixed) {
+                if (dur > 0)
+                    timeout = gotime::newTimer(dur).c;
+            } else {
+                gotime::Timer placeholder = gotime::newTimer(0);
+                if (dur > 0)
+                    placeholder = gotime::newTimer(dur);
+                timeout = placeholder.c;
+            }
+            bool timer_fired = false;
+            Select()
+                .recv<gotime::Time>(timeout,
+                                    [&](gotime::Time, bool) {
+                                        timer_fired = true;
+                                    })
+                .recv<Unit>(c->done(), [](Unit, bool) {})
+                .run();
+            if (timer_fired && !c->cancelled())
+                st->prematureReturn = true;
+        };
+        wait_with_timeout(request_ctx, /*dur=*/0);
+        gotime::sleep(100 * kMillisecond); // let the finisher finish
+    }, options, [st] { return st->prematureReturn; });
+}
+
+// ---------------------------------------------------------------
+// kubernetes-59780 (pattern, Figure 11): a worker loop selects on
+// {stopCh, ticker.C}; when both are ready Go picks randomly, so the
+// heavy periodic function can run one extra time after the stop
+// request.
+// Fix (AddSync): re-check stopCh in a leading select with default.
+BugOutcome
+kubernetes59780(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        bool stopRequested = false;
+        int runsAfterStop = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        Chan<Unit> stop_ch = makeChan<Unit>();
+        gotime::Ticker ticker = gotime::newTicker(10 * kMillisecond);
+        go("periodic-worker", [st, fixed, stop_ch, ticker] {
+            for (;;) {
+                if (fixed) {
+                    bool stop_now = false;
+                    Select()
+                        .recv<Unit>(stop_ch,
+                                    [&](Unit, bool) { stop_now = true; })
+                        .def([] {})
+                        .run();
+                    if (stop_now)
+                        return;
+                }
+                bool stop = false;
+                Select()
+                    .recv<Unit>(stop_ch, [&](Unit, bool) { stop = true; })
+                    .recv<gotime::Time>(ticker.c,
+                                        [st](gotime::Time, bool) {
+                                            // f(): heavy work.
+                                            if (st->stopRequested)
+                                                st->runsAfterStop++;
+                                            gotime::sleep(
+                                                15 * kMillisecond);
+                                        })
+                    .run();
+                if (stop)
+                    return;
+            }
+        });
+        gotime::sleep(35 * kMillisecond);
+        st->stopRequested = true;
+        stop_ch.close();
+        gotime::sleep(100 * kMillisecond);
+        ticker.stop();
+    }, options, [st] { return st->runsAfterStop > 0; });
+}
+
+// ---------------------------------------------------------------
+// etcd-7816: a context object is shared by design across the
+// goroutines attached to it; two of them race on a string field
+// stored in the context payload.
+// Fix (AddSync): copy the value before sharing (data private).
+BugOutcome
+etcd7816(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> authInfo{"ctx-auth-info"};
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        auto [request_ctx, cancel] = ctx::withCancel(ctx::background());
+        WaitGroup wg;
+        wg.add(2);
+        go("applier", [st, fixed, c = request_ctx, &wg] {
+            if (fixed) {
+                const int copy = 7; // privatized payload
+                (void)copy;
+            } else {
+                st->authInfo.store(7); // mutates the shared payload
+            }
+            wg.done();
+        });
+        go("validator", [st, fixed, c = request_ctx, &wg] {
+            if (!fixed)
+                (void)st->authInfo.load();
+            wg.done();
+        });
+        wg.wait();
+        cancel();
+    }, options, [] { return false; /* pure race */ });
+}
+
+} // namespace
+
+void
+registerNonBlockingMiscBugs(std::vector<BugCase> &out)
+{
+    out.push_back({BugInfo{
+        "etcd-6873", "etcd", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::WaitGroupMisuse,
+        FixStrategy::MoveSync, FixPrimitive::WaitGroup, "Figure 9",
+        "WaitGroup.Add inside the child races Wait in the stopper",
+        true, false}, etcd6873});
+
+    out.push_back({BugInfo{
+        "docker-24007", "Docker", Behavior::NonBlocking,
+        CauseDim::MessagePassing, SubCause::ChanMisuse,
+        FixStrategy::AddSync, FixPrimitive::Once, "Figure 10",
+        "channel closed twice by racing releasers (runtime panic)",
+        true, false}, docker24007});
+
+    out.push_back({BugInfo{
+        "etcd-7423", "etcd", Behavior::NonBlocking,
+        CauseDim::MessagePassing, SubCause::LibMessage,
+        FixStrategy::Bypass, FixPrimitive::Channel, "Figure 12",
+        "zero-duration placeholder Timer fires immediately",
+        true, false}, etcd7423});
+
+    out.push_back({BugInfo{
+        "kubernetes-59780", "Kubernetes", Behavior::NonBlocking,
+        CauseDim::MessagePassing, SubCause::ChanMisuse,
+        FixStrategy::AddSync, FixPrimitive::Channel, "Figure 11",
+        "select runs the periodic task once more after stop",
+        false, false}, kubernetes59780});
+
+    out.push_back({BugInfo{
+        "etcd-7816", "etcd", Behavior::NonBlocking,
+        CauseDim::SharedMemory, SubCause::LibShared,
+        FixStrategy::DataPrivate, FixPrimitive::None, "",
+        "goroutines attached to one context race on its payload",
+        false, false}, etcd7816});
+}
+
+} // namespace golite::corpus

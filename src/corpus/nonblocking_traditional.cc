@@ -1,0 +1,603 @@
+/**
+ * @file
+ * Non-blocking bug kernels, traditional shared-memory category
+ * (Table 9: the largest class, ~2/3 of shared-memory non-blocking
+ * bugs; 13 of the 20 reproduced bugs are modelled here).
+ *
+ * Seven are plain happens-before data races — the kind Go's race
+ * detector can flag (Table 12 reports 7/13 detected). The other six
+ * are atomicity and order violations whose individual accesses are
+ * synchronized (mutex- or atomic-protected), so a pure race detector
+ * is structurally blind to them no matter the schedule.
+ */
+
+#include <memory>
+#include <string>
+
+#include "corpus/kernel_util.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+
+namespace
+{
+
+// ================================================================
+// Detectable data races (7).
+// ================================================================
+
+// docker-22985: a request object's reference is handed to a worker
+// through a channel, but the producer keeps mutating the object
+// afterwards while the worker reads it.
+// Fix (AddSync): protect the field with a mutex.
+BugOutcome
+docker22985(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> status{"ambient-status"};
+        Mutex mu;
+        int workerSaw = -1;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        Chan<int> jobs = makeChan<int>(1);
+        go("worker", [st, fixed, jobs] {
+            jobs.recv();
+            if (fixed) st->mu.lock();
+            st->workerSaw = st->status.load();
+            if (fixed) st->mu.unlock();
+        });
+        jobs.send(1); // hand the reference over...
+        if (fixed) st->mu.lock();
+        st->status.store(2); // ...then keep mutating it
+        if (fixed) st->mu.unlock();
+        yield();
+        yield();
+    }, options, [st] {
+        (void)st;
+        // Either observed value is individually plausible; the defect
+        // is the data race itself, visible only to the detector
+        // (like the original report, found by the -race build).
+        return false;
+    });
+}
+
+// cockroach-6111: a raft-state struct is registered with another
+// goroutine over a channel; both then update a counter field
+// unsynchronized.
+// Fix (AddSync): mutex around the counter.
+BugOutcome
+cockroach6111(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> pending{"pending-cmds"};
+        Mutex mu;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        Chan<Unit> registered = makeChan<Unit>();
+        go("raft-worker", [st, fixed, registered] {
+            registered.recv();
+            for (int i = 0; i < 3; ++i) {
+                if (fixed) st->mu.lock();
+                st->pending.update([](int &v) { v++; });
+                if (fixed) st->mu.unlock();
+            }
+        });
+        registered.send(Unit{});
+        for (int i = 0; i < 3; ++i) {
+            if (fixed) st->mu.lock();
+            st->pending.update([](int &v) { v++; });
+            if (fixed) st->mu.unlock();
+        }
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options, [st] { return st->pending.raw() != 6; });
+}
+
+// docker-26205 (pattern): per-container stats counters bumped from
+// the event loop and the API handler with no lock.
+// Fix (AddSync): use the container mutex.
+BugOutcome
+docker26205(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> restarts{"restart-count"};
+        Mutex mu;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([st, fixed, &wg] {
+                for (int i = 0; i < 4; ++i) {
+                    if (fixed) st->mu.lock();
+                    st->restarts.update([](int &v) { v++; });
+                    if (fixed) st->mu.unlock();
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st] { return st->restarts.raw() != 8; });
+}
+
+// grpc-2371 (pattern): a connectivity flag written by the transport
+// goroutine and read by the balancer without synchronization.
+// Fix (AddSync): atomic flag.
+BugOutcome
+grpc2371(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> ready{"conn-ready"};
+        Atomic<int> readyAtomic{0};
+        int picked = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        go("transport", [st, fixed, &wg] {
+            yield();
+            if (fixed)
+                st->readyAtomic.store(1);
+            else
+                st->ready.store(1);
+            wg.done();
+        });
+        go("balancer", [st, fixed, &wg] {
+            const int r =
+                fixed ? st->readyAtomic.load() : st->ready.load();
+            if (r == 1)
+                st->picked++;
+            wg.done();
+        });
+        wg.wait();
+    }, options, [st] {
+        (void)st;
+        return false; // flagged only by the detector: a pure race
+    });
+}
+
+// etcd-4959 (pattern): lazy map initialization raced by two
+// goroutines ("check, then create") with no lock.
+// Fix (AddSync): sync.Once for the initialization.
+BugOutcome
+etcd4959(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> initCount{"lazy-init"};
+        Once once;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([st, fixed, &wg] {
+                auto init = [st] {
+                    if (st->initCount.load() == 0)
+                        st->initCount.update([](int &v) { v++; });
+                };
+                if (fixed)
+                    st->once.doOnce([&] { init(); });
+                else
+                    init();
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st] { return st->initCount.raw() != 1; });
+}
+
+// kubernetes-41113 (pattern): the scheduler cache's generation
+// number is read-modify-written by two binders.
+// Fix (AddSync): atomic add.
+BugOutcome
+kubernetes41113(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> generation{"cache-generation"};
+        Atomic<int> generationAtomic{0};
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(3);
+        for (int g = 0; g < 3; ++g) {
+            go([st, fixed, &wg] {
+                for (int i = 0; i < 2; ++i) {
+                    if (fixed)
+                        st->generationAtomic.add(1);
+                    else
+                        st->generation.update([](int &v) { v++; });
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st, fixed] {
+        return !fixed && st->generation.raw() != 6;
+    });
+}
+
+// docker-28462 (pattern): the daemon reads a container's health
+// string while the monitor goroutine rewrites it.
+// Fix (AddSync): container lock around both.
+BugOutcome
+docker28462(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        race::Shared<int> health{"health-string"};
+        Mutex mu;
+        bool observedTorn = false;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        go("health-monitor", [st, fixed, &wg] {
+            for (int i = 1; i <= 3; ++i) {
+                if (fixed) st->mu.lock();
+                st->health.store(i);
+                if (fixed) st->mu.unlock();
+                yield();
+            }
+            wg.done();
+        });
+        go("inspect-api", [st, fixed, &wg] {
+            for (int i = 0; i < 3; ++i) {
+                if (fixed) st->mu.lock();
+                (void)st->health.load();
+                if (fixed) st->mu.unlock();
+                yield();
+            }
+            wg.done();
+        });
+        wg.wait();
+    }, options, [st] {
+        (void)st;
+        return false; // pure race: only the detector sees it
+    });
+}
+
+// ================================================================
+// Atomicity / order violations without a data race (6). Every access
+// below is synchronized, so the race detector has nothing to flag;
+// the bug is in the *composition* of the critical sections.
+// ================================================================
+
+// etcd-3922 (pattern): check-then-act split over two critical
+// sections; two goroutines both pass the check.
+// Fix (MoveSync): merge into one critical section.
+BugOutcome
+etcd3922(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        int leaders = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([st, fixed, &wg] {
+                if (fixed) {
+                    st->mu.lock();
+                    if (st->leaders == 0)
+                        st->leaders++;
+                    st->mu.unlock();
+                } else {
+                    st->mu.lock();
+                    const bool vacant = (st->leaders == 0);
+                    st->mu.unlock();
+                    yield(); // both can see "vacant" here
+                    if (vacant) {
+                        st->mu.lock();
+                        st->leaders++;
+                        st->mu.unlock();
+                    }
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st] { return st->leaders != 1; });
+}
+
+// docker-27037 (pattern): the exit status is published before the
+// "exited" flag, and a waiter reads them in between (order
+// violation; each access holds the lock).
+// Fix (MoveSync): set both fields in one critical section, in order.
+BugOutcome
+docker27037(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        bool exited = false;
+        int exitCode = -1;
+        bool sawIncoherent = false;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        go("reaper", [st, fixed, &wg] {
+            if (fixed) {
+                st->mu.lock();
+                st->exitCode = 0;
+                st->exited = true;
+                st->mu.unlock();
+            } else {
+                st->mu.lock();
+                st->exited = true; // published before the code!
+                st->mu.unlock();
+                yield();
+                st->mu.lock();
+                st->exitCode = 0;
+                st->mu.unlock();
+            }
+            wg.done();
+        });
+        go("waiter", [st, &wg] {
+            for (int i = 0; i < 4; ++i) {
+                st->mu.lock();
+                if (st->exited && st->exitCode == -1)
+                    st->sawIncoherent = true;
+                st->mu.unlock();
+                yield();
+            }
+            wg.done();
+        });
+        wg.wait();
+    }, options, [st] { return st->sawIncoherent; });
+}
+
+// kubernetes-13058 (pattern): a worker consumes a config field that
+// the starter assigns *after* launching the worker; both accesses go
+// through an atomic, so there is no race, just the wrong order.
+// Fix (MoveSync): assign before starting the worker.
+BugOutcome
+kubernetes13058(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Atomic<int> podCidr{0};
+        bool sawUnset = false;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(1);
+        if (fixed)
+            st->podCidr.store(42); // patched: init first
+        go("sync-loop", [st, &wg] {
+            if (st->podCidr.load() == 0)
+                st->sawUnset = true;
+            wg.done();
+        });
+        if (!fixed) {
+            yield(); // the starter does unrelated work first...
+            st->podCidr.store(42); // ...and assigns too late
+        }
+        wg.wait();
+    }, options, [st] { return st->sawUnset; });
+}
+
+// cockroach-1462 (pattern): lost update — load and store through an
+// atomic, but as two separate operations.
+// Fix (ChangeSync): single atomic add.
+BugOutcome
+cockroach1462(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Atomic<int> tsCache{0};
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([st, fixed, &wg] {
+                for (int i = 0; i < 3; ++i) {
+                    if (fixed) {
+                        st->tsCache.add(1);
+                    } else {
+                        const int v = st->tsCache.load();
+                        yield(); // lose the update here
+                        st->tsCache.store(v + 1);
+                    }
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st] { return st->tsCache.raw() != 6; });
+}
+
+// grpc-1149 (pattern): a connection is closed twice because "closed"
+// is checked in one critical section and set in another.
+// Fix (MoveSync): check-and-set atomically in one section.
+BugOutcome
+grpc1149(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex mu;
+        bool closed = false;
+        int closeCalls = 0;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([st, fixed, &wg] {
+                if (fixed) {
+                    st->mu.lock();
+                    if (!st->closed) {
+                        st->closed = true;
+                        st->closeCalls++;
+                    }
+                    st->mu.unlock();
+                } else {
+                    st->mu.lock();
+                    const bool was_closed = st->closed;
+                    st->mu.unlock();
+                    yield();
+                    if (!was_closed) {
+                        st->mu.lock();
+                        st->closed = true;
+                        st->closeCalls++;
+                        st->mu.unlock();
+                    }
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options, [st] { return st->closeCalls != 1; });
+}
+
+// etcd-5027 (pattern): two goroutines update the paired fields
+// (term, vote) under two different locks, so a reader can observe a
+// term from one update and a vote from another.
+// Fix (ChangeSync): one lock guards the pair.
+BugOutcome
+etcd5027(Variant variant, const RunOptions &options)
+{
+    const bool fixed = variant == Variant::Fixed;
+    struct State
+    {
+        Mutex termMu;
+        Mutex voteMu;
+        int term = 0;
+        int vote = 0;
+        bool sawMismatch = false;
+    };
+    auto st = std::make_shared<State>();
+    return runNonBlockingKernel([st, fixed] {
+        WaitGroup wg;
+        wg.add(3);
+        for (int g = 1; g <= 2; ++g) {
+            go([st, fixed, g, &wg] {
+                if (fixed) {
+                    st->termMu.lock(); // single guard for the pair
+                    st->term = g;
+                    st->vote = g;
+                    st->termMu.unlock();
+                } else {
+                    st->termMu.lock();
+                    st->term = g;
+                    st->termMu.unlock();
+                    yield();
+                    st->voteMu.lock();
+                    st->vote = g;
+                    st->voteMu.unlock();
+                }
+                wg.done();
+            });
+        }
+        go("reader", [st, fixed, &wg] {
+            for (int i = 0; i < 4; ++i) {
+                st->termMu.lock();
+                if (!fixed)
+                    st->voteMu.lock();
+                if (st->term != st->vote && st->term != 0 &&
+                    st->vote != 0) {
+                    st->sawMismatch = true;
+                }
+                if (!fixed)
+                    st->voteMu.unlock();
+                st->termMu.unlock();
+                yield();
+            }
+            wg.done();
+        });
+        wg.wait();
+    }, options, [st] { return st->sawMismatch; });
+}
+
+} // namespace
+
+void
+registerNonBlockingTraditionalBugs(std::vector<BugCase> &out)
+{
+    auto add = [&out](const char *id, const char *app, FixStrategy fs,
+                      FixPrimitive fp, const char *desc,
+                      decltype(&docker22985) fn) {
+        out.push_back({BugInfo{id, app, Behavior::NonBlocking,
+                               CauseDim::SharedMemory,
+                               SubCause::Traditional, fs, fp, "", desc,
+                               true, false},
+                       fn});
+    };
+
+    add("docker-22985", "Docker", FixStrategy::AddSync,
+        FixPrimitive::Mutex,
+        "object mutated after its reference was sent over a channel",
+        docker22985);
+    add("cockroach-6111", "CockroachDB", FixStrategy::AddSync,
+        FixPrimitive::Mutex,
+        "counter field raced after channel registration", cockroach6111);
+    add("docker-26205", "Docker", FixStrategy::AddSync,
+        FixPrimitive::Mutex, "unsynchronized restart counter",
+        docker26205);
+    add("grpc-2371", "gRPC", FixStrategy::AddSync, FixPrimitive::Atomic,
+        "connectivity flag read/written without sync", grpc2371);
+    add("etcd-4959", "etcd", FixStrategy::AddSync, FixPrimitive::Once,
+        "racy lazy initialization (check-then-create)", etcd4959);
+    add("kubernetes-41113", "Kubernetes", FixStrategy::AddSync,
+        FixPrimitive::Atomic, "racy generation counter RMW",
+        kubernetes41113);
+    add("docker-28462", "Docker", FixStrategy::AddSync,
+        FixPrimitive::Mutex, "health string torn between writer/reader",
+        docker28462);
+    add("etcd-3922", "etcd", FixStrategy::MoveSync, FixPrimitive::Mutex,
+        "check-then-act split across critical sections", etcd3922);
+    add("docker-27037", "Docker", FixStrategy::MoveSync,
+        FixPrimitive::Mutex,
+        "exit flag published before the exit code (order violation)",
+        docker27037);
+    add("kubernetes-13058", "Kubernetes", FixStrategy::MoveSync,
+        FixPrimitive::Atomic,
+        "worker launched before its config was assigned",
+        kubernetes13058);
+    add("cockroach-1462", "CockroachDB", FixStrategy::ChangeSync,
+        FixPrimitive::Atomic, "lost update via split atomic load/store",
+        cockroach1462);
+    add("grpc-1149", "gRPC", FixStrategy::MoveSync, FixPrimitive::Mutex,
+        "double close: closed flag checked and set in separate "
+        "sections",
+        grpc1149);
+    add("etcd-5027", "etcd", FixStrategy::ChangeSync,
+        FixPrimitive::Mutex,
+        "paired fields guarded by two different locks", etcd5027);
+}
+
+} // namespace golite::corpus

@@ -1,0 +1,115 @@
+#include "corpus/bug.hh"
+
+#include <mutex>
+
+namespace golite::corpus
+{
+
+const char *
+subCauseName(SubCause cause)
+{
+    switch (cause) {
+      case SubCause::Mutex: return "Mutex";
+      case SubCause::RWMutex: return "RWMutex";
+      case SubCause::Wait: return "Wait";
+      case SubCause::Chan: return "Chan";
+      case SubCause::ChanWithOther: return "Chan w/";
+      case SubCause::MessagingLibrary: return "Lib";
+      case SubCause::Traditional: return "traditional";
+      case SubCause::AnonymousFunction: return "anonymous function";
+      case SubCause::WaitGroupMisuse: return "waitgroup";
+      case SubCause::LibShared: return "lib (shared)";
+      case SubCause::ChanMisuse: return "chan";
+      case SubCause::LibMessage: return "lib (message)";
+    }
+    return "unknown";
+}
+
+const char *
+fixStrategyName(FixStrategy strategy)
+{
+    switch (strategy) {
+      case FixStrategy::AddSync: return "Add";
+      case FixStrategy::MoveSync: return "Move";
+      case FixStrategy::ChangeSync: return "Change";
+      case FixStrategy::RemoveSync: return "Remove";
+      case FixStrategy::Bypass: return "Bypass";
+      case FixStrategy::DataPrivate: return "Private";
+      case FixStrategy::Misc: return "Misc";
+    }
+    return "unknown";
+}
+
+const char *
+fixPrimitiveName(FixPrimitive primitive)
+{
+    switch (primitive) {
+      case FixPrimitive::Mutex: return "Mutex";
+      case FixPrimitive::Channel: return "Channel";
+      case FixPrimitive::Atomic: return "Atomic";
+      case FixPrimitive::WaitGroup: return "WaitGroup";
+      case FixPrimitive::Cond: return "Cond";
+      case FixPrimitive::Once: return "Once";
+      case FixPrimitive::Misc: return "Misc";
+      case FixPrimitive::None: return "None";
+    }
+    return "unknown";
+}
+
+int
+BugCase::manifestCount(int seeds, RunOptions options) const
+{
+    int manifested = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+        options.seed = static_cast<uint64_t>(seed);
+        if (run(Variant::Buggy, options).manifested)
+            manifested++;
+    }
+    return manifested;
+}
+
+const std::vector<BugCase> &
+corpus()
+{
+    static std::vector<BugCase> cases = [] {
+        std::vector<BugCase> out;
+        registerBlockingMutexBugs(out);
+        registerBlockingRWMutexWaitBugs(out);
+        registerBlockingChannelBugs(out);
+        registerBlockingMixedBugs(out);
+        registerBlockingLibraryBugs(out);
+        registerNonBlockingTraditionalBugs(out);
+        registerNonBlockingAnonymousBugs(out);
+        registerNonBlockingMiscBugs(out);
+        registerExtendedBugs(out);
+        registerExtendedWave3Bugs(out);
+        return out;
+    }();
+    return cases;
+}
+
+const BugCase *
+findBug(const std::string &id)
+{
+    for (const BugCase &bug : corpus()) {
+        if (bug.info.id == id)
+            return &bug;
+    }
+    return nullptr;
+}
+
+std::vector<const BugCase *>
+bugsByBehavior(Behavior behavior, bool reproduced_only)
+{
+    std::vector<const BugCase *> out;
+    for (const BugCase &bug : corpus()) {
+        if (bug.info.behavior != behavior)
+            continue;
+        if (reproduced_only && !bug.info.reproducedSet)
+            continue;
+        out.push_back(&bug);
+    }
+    return out;
+}
+
+} // namespace golite::corpus

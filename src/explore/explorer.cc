@@ -1,0 +1,132 @@
+#include "explore/explorer.hh"
+
+namespace golite::explore
+{
+
+namespace
+{
+
+RunOptions
+normalized(RunOptions options)
+{
+    // Only the Random policy consults choose() for dispatch, and
+    // random preemption would leak untracked nondeterminism into the
+    // tree (see header).
+    options.policy = SchedPolicy::Random;
+    options.preemptProb = 0.0;
+    return options;
+}
+
+void
+tally(ExploreResult &result, const RunReport &report,
+      const std::vector<size_t> &schedule)
+{
+    const bool was_bad = result.anyBad();
+    result.schedules++;
+    if (report.clean()) {
+        result.clean++;
+        return;
+    }
+    if (report.globalDeadlock)
+        result.globalDeadlocks++;
+    else if (report.panicked)
+        result.panicked++;
+    else if (report.livelocked)
+        result.livelocked++;
+    else
+        result.leakedOnly++;
+    if (!was_bad) {
+        result.firstBad = report;
+        result.firstBadSchedule = schedule;
+    }
+}
+
+} // namespace
+
+ExploreResult
+exploreAll(const std::function<RunReport(const RunOptions &)> &run_once,
+           const ExploreOptions &options)
+{
+    ExploreResult result;
+
+    // DFS over the choice tree. `prefix` holds the choice taken at
+    // each decision point of the current schedule; `fanout` the
+    // number of alternatives observed there. New decision points
+    // default to choice 0; after each run the deepest incrementable
+    // position advances and everything below is discarded.
+    std::vector<size_t> prefix;
+    std::vector<size_t> fanout;
+
+    for (;;) {
+        size_t depth = 0;
+        RunOptions run_options = normalized(options.runOptions);
+        run_options.chooser = [&prefix, &fanout,
+                               &depth](size_t n) -> size_t {
+            if (depth < prefix.size()) {
+                // Replaying the committed prefix. The branching
+                // factor can only shrink if the program is
+                // nondeterministic beyond our choices; clamp
+                // defensively.
+                const size_t pick =
+                    prefix[depth] < n ? prefix[depth] : n - 1;
+                fanout[depth] = n;
+                depth++;
+                return pick;
+            }
+            prefix.push_back(0);
+            fanout.push_back(n);
+            depth++;
+            return 0;
+        };
+
+        const RunReport report = run_once(run_options);
+        tally(result, report, prefix);
+
+        if (options.maxSchedules &&
+            result.schedules >= options.maxSchedules) {
+            return result; // budget exhausted: not exhaustive
+        }
+
+        // Backtrack: drop exhausted tail decisions, advance the
+        // deepest one with an untried sibling.
+        while (!prefix.empty() &&
+               prefix.back() + 1 >= fanout.back()) {
+            prefix.pop_back();
+            fanout.pop_back();
+        }
+        if (prefix.empty()) {
+            result.exhaustive = true;
+            return result;
+        }
+        prefix.back()++;
+    }
+}
+
+ExploreResult
+exploreProgram(const std::function<void()> &program,
+               const ExploreOptions &options)
+{
+    return exploreAll(
+        [&program](const RunOptions &run_options) {
+            return run(program, run_options);
+        },
+        options);
+}
+
+RunReport
+replaySchedule(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const std::vector<size_t> &schedule, RunOptions options)
+{
+    options = normalized(options);
+    size_t depth = 0;
+    options.chooser = [&schedule, &depth](size_t n) -> size_t {
+        const size_t pick =
+            depth < schedule.size() ? schedule[depth] : 0;
+        depth++;
+        return pick < n ? pick : n - 1;
+    };
+    return run_once(options);
+}
+
+} // namespace golite::explore

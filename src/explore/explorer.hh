@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Systematic schedule exploration: bounded-exhaustive enumeration of
+ * every scheduling decision (goroutine dispatch and select choice) a
+ * golite program can make.
+ *
+ * Where the paper's reproduction protocol runs a buggy program ~100
+ * times and hopes (Section 4: "we needed to run a buggy program a
+ * lot of times"), the explorer walks the whole choice tree: for
+ * small programs it *proves* that a fixed variant cannot block or
+ * panic under any schedule, and counts exactly how many schedules
+ * manifest a bug. This is the stateless-model-checking complement
+ * (CHESS/dBug-style) to the random and PCT schedulers.
+ *
+ * Soundness scope: exploration covers every choice the runtime funnels
+ * through Scheduler::choose — dispatch order and select's shuffle.
+ * Random preemption (preemptProb) is disabled during exploration, so
+ * programs whose bugs *only* manifest via preemption between plain
+ * shared accesses need the random/PCT testers instead.
+ */
+
+#ifndef GOLITE_EXPLORE_EXPLORER_HH
+#define GOLITE_EXPLORE_EXPLORER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/report.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite::explore
+{
+
+/** Limits for one exploration. */
+struct ExploreOptions
+{
+    /** Stop after this many schedules (0 = unlimited). */
+    size_t maxSchedules = 50000;
+    /** Base run options; policy is forced to Random and
+     *  preemptProb to 0 (see soundness scope above). */
+    RunOptions runOptions;
+};
+
+/** Aggregate over all explored schedules. */
+struct ExploreResult
+{
+    size_t schedules = 0;
+    size_t clean = 0;          ///< completed, no leaks
+    size_t globalDeadlocks = 0;
+    size_t leakedOnly = 0;     ///< completed but leaked goroutines
+    size_t panicked = 0;
+    size_t livelocked = 0;
+    /** True when the whole choice tree was enumerated (the counts
+     *  are then exact over *all* schedules). */
+    bool exhaustive = false;
+    /** The first non-clean report, for diagnostics. */
+    RunReport firstBad;
+    /** Choice sequence that produced firstBad (replayable). */
+    std::vector<size_t> firstBadSchedule;
+
+    bool
+    anyBad() const
+    {
+        return globalDeadlocks + leakedOnly + panicked + livelocked > 0;
+    }
+};
+
+/**
+ * Enumerate schedules of @p run_once, a callable that executes the
+ * program once under the given options (the explorer installs its
+ * chooser into them).
+ */
+ExploreResult exploreAll(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const ExploreOptions &options = {});
+
+/** Convenience: explore a plain program. */
+ExploreResult exploreProgram(const std::function<void()> &program,
+                             const ExploreOptions &options = {});
+
+/**
+ * Re-run one specific schedule (e.g. ExploreResult::firstBadSchedule)
+ * for debugging; trailing unspecified choices fall back to 0.
+ */
+RunReport replaySchedule(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const std::vector<size_t> &schedule, RunOptions options = {});
+
+} // namespace golite::explore
+
+#endif // GOLITE_EXPLORE_EXPLORER_HH

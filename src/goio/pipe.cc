@@ -1,0 +1,158 @@
+#include "goio/pipe.hh"
+
+#include <algorithm>
+
+#include "base/panic.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite::goio
+{
+
+namespace detail
+{
+
+/**
+ * Shared pipe state. At most one pending writer chunk at a time; the
+ * writer parks until the chunk is fully consumed (synchronous pipe).
+ */
+struct PipeState
+{
+    // Pending write: data the current writer is offering.
+    std::string pending;
+    size_t offset = 0;
+    Goroutine *writer = nullptr;
+    bool writerDone = false;
+
+    std::deque<Goroutine *> readq;
+
+    bool readClosed = false;
+    bool writeClosed = false;
+    std::string readErr;  ///< what readers see once write side closes
+    std::string writeErr; ///< what writers see once read side closes
+};
+
+} // namespace detail
+
+using detail::PipeState;
+
+IoResult
+PipeReader::read(std::string &out, size_t max)
+{
+    Scheduler *sched = Scheduler::current();
+    PipeState *p = state_.get();
+    out.clear();
+
+    for (;;) {
+        if (p->readClosed)
+            return {0, "io: read on closed pipe"};
+        if (p->writer && p->offset < p->pending.size()) {
+            const size_t n =
+                std::min(max, p->pending.size() - p->offset);
+            out.assign(p->pending, p->offset, n);
+            p->offset += n;
+            sched->hooks()->acquire(p);
+            if (p->offset == p->pending.size()) {
+                p->writerDone = true;
+                sched->unpark(p->writer);
+                p->writer = nullptr;
+            }
+            return {n, ""};
+        }
+        if (p->writeClosed) {
+            sched->hooks()->acquire(p);
+            return {0, p->readErr.empty() ? "EOF" : p->readErr};
+        }
+        p->readq.push_back(sched->running());
+        sched->park(WaitReason::PipeRead, p);
+    }
+}
+
+void
+PipeReader::close(const std::string &cause)
+{
+    Scheduler *sched = Scheduler::current();
+    PipeState *p = state_.get();
+    if (p->readClosed)
+        return;
+    p->readClosed = true;
+    p->writeErr =
+        cause.empty() ? "io: write on closed pipe" : cause;
+    sched->hooks()->release(p);
+    if (p->writer) {
+        p->writerDone = false; // writer wakes to an error
+        sched->unpark(p->writer);
+        p->writer = nullptr;
+    }
+    while (!p->readq.empty()) {
+        sched->unpark(p->readq.front());
+        p->readq.pop_front();
+    }
+}
+
+IoResult
+PipeWriter::write(const std::string &data)
+{
+    Scheduler *sched = Scheduler::current();
+    PipeState *p = state_.get();
+    if (p->writeClosed)
+        return {0, "io: write on closed pipe"};
+    if (p->readClosed)
+        return {0, p->writeErr};
+
+    // One writer at a time; a concurrent writer would need to queue.
+    // The studied bugs use single writers, so assert the simple case.
+    if (p->writer)
+        goPanic("io: concurrent Pipe writes are not supported");
+
+    p->pending = data;
+    p->offset = 0;
+    p->writer = sched->running();
+    p->writerDone = false;
+    sched->hooks()->release(p);
+
+    while (!p->readq.empty()) {
+        sched->unpark(p->readq.front());
+        p->readq.pop_front();
+    }
+
+    // Park until readers consume everything or a side closes.
+    sched->park(WaitReason::PipeWrite, p);
+
+    const size_t written = p->offset;
+    p->pending.clear();
+    p->offset = 0;
+    if (p->writerDone)
+        return {written, ""};
+    return {written, p->writeErr.empty()
+                         ? "io: write on closed pipe"
+                         : p->writeErr};
+}
+
+void
+PipeWriter::close(const std::string &cause)
+{
+    Scheduler *sched = Scheduler::current();
+    PipeState *p = state_.get();
+    if (p->writeClosed)
+        return;
+    p->writeClosed = true;
+    p->readErr = cause.empty() ? "EOF" : cause;
+    sched->hooks()->release(p);
+    while (!p->readq.empty()) {
+        sched->unpark(p->readq.front());
+        p->readq.pop_front();
+    }
+}
+
+std::pair<PipeReader, PipeWriter>
+makePipe()
+{
+    auto state = std::make_shared<PipeState>();
+    PipeReader r;
+    PipeWriter w;
+    r.state_ = state;
+    w.state_ = state;
+    return {r, w};
+}
+
+} // namespace golite::goio

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * io.Pipe: a synchronous in-memory byte pipe.
+ *
+ * The paper's "messaging libraries" blocking-bug class (4 bugs): like a
+ * channel, an io.Pipe that is never closed blocks its peer forever.
+ * Matching Go's io.Pipe, writes block until a reader consumes the data
+ * (no internal buffering), and either end can be closed with an error
+ * that the other end observes.
+ */
+
+#ifndef GOLITE_GOIO_PIPE_HH
+#define GOLITE_GOIO_PIPE_HH
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace golite
+{
+
+class Goroutine;
+
+namespace goio
+{
+
+/** Result of a read/write: bytes moved plus an error string. */
+struct IoResult
+{
+    size_t n = 0;
+    /** Empty on success; "EOF", "io: read/write on closed pipe", or a
+     * CloseWithError cause. */
+    std::string err;
+
+    bool ok() const { return err.empty(); }
+};
+
+namespace detail
+{
+
+struct PipeState;
+
+} // namespace detail
+
+class PipeReader
+{
+  public:
+    /**
+     * Read up to @p max bytes into @p out. Blocks until a writer
+     * provides data or the write side closes (then err="EOF" or the
+     * close cause).
+     */
+    IoResult read(std::string &out, size_t max = SIZE_MAX);
+
+    /** Close the read side; blocked/future writers get an error. */
+    void close(const std::string &cause = "");
+
+  private:
+    friend std::pair<PipeReader, class PipeWriter> makePipe();
+    std::shared_ptr<detail::PipeState> state_;
+};
+
+class PipeWriter
+{
+  public:
+    /**
+     * Write all of @p data. Blocks until readers have consumed every
+     * byte (no buffering — this is why forgetting to close a pipe
+     * blocks the writer forever).
+     */
+    IoResult write(const std::string &data);
+
+    /** Close the write side; readers drain then see EOF/cause. */
+    void close(const std::string &cause = "");
+
+  private:
+    friend std::pair<PipeReader, PipeWriter> makePipe();
+    std::shared_ptr<detail::PipeState> state_;
+};
+
+/** Create a connected reader/writer pair (Go's io.Pipe()). */
+std::pair<PipeReader, PipeWriter> makePipe();
+
+} // namespace goio
+} // namespace golite
+
+#endif // GOLITE_GOIO_PIPE_HH

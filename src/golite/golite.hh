@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Umbrella header: the full golite public API.
+ *
+ * golite is a Go-like concurrency runtime for C++ built to reproduce
+ * the systems studied in "Understanding Real-World Concurrency Bugs in
+ * Go" (ASPLOS 2019): goroutines, channels, select, the sync package,
+ * time/context/io.Pipe libraries, and the two built-in detectors the
+ * paper evaluates.
+ */
+
+#ifndef GOLITE_GOLITE_HH
+#define GOLITE_GOLITE_HH
+
+#include "base/panic.hh"
+#include "channel/chan.hh"
+#include "channel/select.hh"
+#include "context/context.hh"
+#include "goio/pipe.hh"
+#include "gotime/time.hh"
+#include "race/detector.hh"
+#include "race/shared.hh"
+#include "runtime/report.hh"
+#include "runtime/scheduler.hh"
+#include "sync/atomic.hh"
+#include "sync/cond.hh"
+#include "sync/mutex.hh"
+#include "sync/once.hh"
+#include "sync/pool.hh"
+#include "sync/rwmutex.hh"
+#include "sync/syncmap.hh"
+#include "sync/waitgroup.hh"
+#include "vet/vet.hh"
+
+#endif // GOLITE_GOLITE_HH

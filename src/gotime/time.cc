@@ -1,0 +1,111 @@
+#include "gotime/time.hh"
+
+#include "base/panic.hh"
+
+namespace golite::gotime
+{
+
+Time
+now()
+{
+    return Scheduler::current()->now();
+}
+
+void
+sleep(Duration d)
+{
+    Scheduler::current()->sleep(d);
+}
+
+void
+Timer::arm(Duration d)
+{
+    Scheduler *sched = Scheduler::current();
+    Chan<Time> ch = c;
+    id_ = sched->scheduleTimer(d, [ch] {
+        // Runtime-internal delivery: non-blocking send, capacity-1
+        // channel. A stale unread value makes this a no-op, matching
+        // Go's "Reset on an undrained timer" hazard.
+        ch.trySend(Scheduler::current()->now());
+    });
+}
+
+bool
+Timer::stop()
+{
+    return Scheduler::current()->cancelTimer(id_);
+}
+
+bool
+Timer::reset(Duration d)
+{
+    const bool was_pending = Scheduler::current()->cancelTimer(id_);
+    arm(d);
+    return was_pending;
+}
+
+Timer
+newTimer(Duration d)
+{
+    Timer t;
+    t.c = makeChan<Time>(1);
+    t.arm(d);
+    return t;
+}
+
+Chan<Time>
+after(Duration d)
+{
+    return newTimer(d).c;
+}
+
+Timer
+afterFunc(Duration d, std::function<void()> fn)
+{
+    Timer t;
+    Scheduler *sched = Scheduler::current();
+    t.id_ = sched->scheduleTimer(d, [fn = std::move(fn)] {
+        // As in Go, f runs "in its own goroutine".
+        Scheduler::current()->spawn(fn, "time.AfterFunc");
+    });
+    return t;
+}
+
+namespace
+{
+
+void
+armTick(const std::shared_ptr<Ticker::State> &state)
+{
+    Scheduler::current()->scheduleTimer(state->period, [state] {
+        if (state->stopped)
+            return;
+        state->ch.trySend(Scheduler::current()->now());
+        armTick(state);
+    });
+}
+
+} // namespace
+
+void
+Ticker::stop()
+{
+    if (state_)
+        state_->stopped = true;
+}
+
+Ticker
+newTicker(Duration d)
+{
+    if (d <= 0)
+        goPanic("non-positive interval for NewTicker");
+    Ticker t;
+    t.state_ = std::make_shared<Ticker::State>();
+    t.state_->period = d;
+    t.state_->ch = makeChan<Time>(1);
+    t.c = t.state_->ch;
+    armTick(t.state_);
+    return t;
+}
+
+} // namespace golite::gotime

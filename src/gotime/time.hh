@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The time package on golite's virtual clock: Sleep, Timer, Ticker,
+ * After.
+ *
+ * Timers fire by advancing virtual time, so timeout-dependent bugs
+ * (Figure 1's select-vs-timeout race, Figure 12's zero-duration Timer)
+ * reproduce deterministically and instantly.
+ *
+ * Semantics match Go's time package where the studied bugs depend on
+ * them: a Timer's channel has capacity 1 and is signalled with a
+ * non-blocking send by a runtime-internal mechanism; NewTimer(0) fires
+ * "immediately"; Stop does not drain the channel.
+ */
+
+#ifndef GOLITE_GOTIME_TIME_HH
+#define GOLITE_GOTIME_TIME_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "channel/chan.hh"
+
+namespace golite::gotime
+{
+
+/** Durations and instants are nanoseconds, as in Go. */
+using Duration = int64_t;
+using Time = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/** Current virtual time. */
+Time now();
+
+/** Park the calling goroutine for @p d of virtual time. */
+void sleep(Duration d);
+
+/**
+ * time.Timer. Movable handle; the channel c fires once when the timer
+ * expires.
+ */
+class Timer
+{
+  public:
+    /** The expiry channel (capacity 1), named C in Go. */
+    Chan<Time> c;
+
+    /**
+     * Stop the timer. Returns true if this call prevented the firing.
+     * Does not drain c — the Go footgun behind several bugs.
+     */
+    bool stop();
+
+    /** Re-arm the timer for @p d from now. Returns true if it was
+     * still pending. */
+    bool reset(Duration d);
+
+  private:
+    friend Timer newTimer(Duration d);
+    friend Chan<Time> after(Duration d);
+    friend Timer afterFunc(Duration d, std::function<void()> fn);
+    void arm(Duration d);
+
+    TimerId id_;
+};
+
+/**
+ * Create a timer that signals c after @p d. A non-positive duration
+ * fires at the next scheduling point (Go's NewTimer(0) behaviour that
+ * causes the Figure 12 bug).
+ */
+Timer newTimer(Duration d);
+
+/** Convenience: NewTimer(d).C. */
+Chan<Time> after(Duration d);
+
+/**
+ * time.AfterFunc: run @p fn in its own goroutine once @p d elapses.
+ * Returns a Timer whose stop() cancels the pending call (its channel
+ * is unused, as in Go).
+ */
+Timer afterFunc(Duration d, std::function<void()> fn);
+
+/**
+ * time.Ticker: signals its channel every @p d until stopped. As in Go,
+ * ticks are delivered with a non-blocking send on a capacity-1
+ * channel, so a slow receiver drops ticks.
+ */
+class Ticker
+{
+  public:
+    Chan<Time> c;
+
+    /** Stop future ticks; already-delivered ticks stay in c. */
+    void stop();
+
+    /** Internal shared state (public for the re-arming closure). */
+    struct State
+    {
+        bool stopped = false;
+        Duration period = 0;
+        Chan<Time> ch;
+    };
+
+  private:
+    friend Ticker newTicker(Duration d);
+
+    std::shared_ptr<State> state_;
+};
+
+/** Create a ticker with period @p d (panics if d <= 0, as in Go). */
+Ticker newTicker(Duration d);
+
+} // namespace golite::gotime
+
+#endif // GOLITE_GOTIME_TIME_HH

@@ -1,0 +1,152 @@
+#include "race/detector.hh"
+
+#include <sstream>
+
+#include "runtime/scheduler.hh"
+
+namespace golite::race
+{
+
+std::string
+RaceReport::describe() const
+{
+    std::ostringstream os;
+    os << "DATA RACE on \"" << label << "\": "
+       << (secondWrite ? "write" : "read") << " by goroutine "
+       << secondGid << " races with previous "
+       << (firstWrite ? "write" : "read") << " by goroutine "
+       << firstGid;
+    return os.str();
+}
+
+Detector::Detector(size_t shadow_depth)
+    : shadowDepth_(std::min<size_t>(shadow_depth, 8))
+{
+    if (shadowDepth_ == 0)
+        shadowDepth_ = 1;
+}
+
+VectorClock &
+Detector::clockOf(uint64_t gid)
+{
+    auto [it, inserted] = goroutineClocks_.try_emplace(gid);
+    if (inserted)
+        it->second.set(gid, 1);
+    return it->second;
+}
+
+void
+Detector::goroutineCreated(uint64_t parent, uint64_t child)
+{
+    if (parent != 0) {
+        VectorClock &pc = clockOf(parent);
+        VectorClock child_clock = pc; // inherit the parent's history
+        child_clock.set(child, 1);
+        goroutineClocks_[child] = child_clock;
+        pc.tick(parent); // parent's later events are not HB child
+    } else {
+        clockOf(child);
+    }
+}
+
+void
+Detector::goroutineFinished(uint64_t gid)
+{
+    (void)gid; // clocks kept: sync objects may still reference them
+}
+
+void
+Detector::acquire(const void *sync_obj)
+{
+    const uint64_t gid = Scheduler::current()->runningId();
+    if (gid == 0)
+        return;
+    auto it = syncClocks_.find(sync_obj);
+    if (it == syncClocks_.end())
+        return;
+    clockOf(gid).join(it->second);
+}
+
+void
+Detector::release(const void *sync_obj)
+{
+    const uint64_t gid = Scheduler::current()->runningId();
+    if (gid == 0)
+        return;
+    VectorClock &vc = clockOf(gid);
+    syncClocks_[sync_obj].join(vc);
+    vc.tick(gid);
+}
+
+void
+Detector::access(const void *addr, const char *label, bool is_write)
+{
+    const uint64_t gid = Scheduler::current()->runningId();
+    if (gid == 0)
+        return;
+    VectorClock &vc = clockOf(gid);
+    ShadowState &state = shadow_[addr];
+    state.label = label;
+
+    const size_t live = std::min(state.used, shadowDepth_);
+    for (size_t i = 0; i < live; ++i) {
+        const ShadowCell &cell = state.cells[i];
+        if (cell.gid == gid)
+            continue;
+        if (!cell.isWrite && !is_write)
+            continue;
+        // The old access happened-before us iff its epoch is covered
+        // by our clock's view of its goroutine.
+        if (cell.epoch <= vc.get(cell.gid))
+            continue;
+        if (!state.reported) {
+            state.reported = true;
+            RaceReport report{label, addr, cell.gid, cell.isWrite,
+                              gid, is_write};
+            pendingMessages_.push_back(report.describe());
+            reports_.push_back(std::move(report));
+        }
+        break;
+    }
+
+    // Record this access in the bounded history (ring once full).
+    ShadowCell mine{gid, vc.get(gid), is_write};
+    if (state.used < shadowDepth_) {
+        state.cells[state.used++] = mine;
+    } else {
+        state.cells[state.next] = mine;
+        state.next = (state.next + 1) % shadowDepth_;
+    }
+}
+
+void
+Detector::memRead(const void *addr, const char *label)
+{
+    access(addr, label, false);
+}
+
+void
+Detector::memWrite(const void *addr, const char *label)
+{
+    access(addr, label, true);
+}
+
+std::vector<std::string>
+Detector::drainReports()
+{
+    std::vector<std::string> out;
+    out.swap(pendingMessages_);
+    return out;
+}
+
+bool
+Detector::racedOn(const std::string &label) const
+{
+    for (const RaceReport &r : reports_) {
+        if (r.label == label)
+            return true;
+    }
+    return false;
+}
+
+} // namespace golite::race

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared<T>: an instrumented shared variable.
+ *
+ * Plays the role of a plain Go variable accessed from multiple
+ * goroutines: every load/store is a preemption point (so races can
+ * manifest, seed-dependently) and is reported to the detector hooks
+ * (so races can be *detected* when a Detector is installed).
+ *
+ * Bug kernels use Shared<T> for exactly the variables the original
+ * bugs raced on, and plain C++ for everything else.
+ */
+
+#ifndef GOLITE_RACE_SHARED_HH
+#define GOLITE_RACE_SHARED_HH
+
+#include <utility>
+
+#include "runtime/scheduler.hh"
+
+namespace golite::race
+{
+
+template <typename T>
+class Shared
+{
+  public:
+    explicit Shared(const char *label = "shared", T initial = T{})
+        : label_(label), value_(std::move(initial))
+    {
+    }
+
+    Shared(const Shared &) = delete;
+    Shared &operator=(const Shared &) = delete;
+
+    /** Instrumented read. */
+    T
+    load() const
+    {
+        Scheduler *sched = Scheduler::current();
+        sched->maybePreempt();
+        sched->hooks()->memRead(&value_, label_);
+        return value_;
+    }
+
+    /** Instrumented write. */
+    void
+    store(T value)
+    {
+        Scheduler *sched = Scheduler::current();
+        sched->maybePreempt();
+        sched->hooks()->memWrite(&value_, label_);
+        value_ = std::move(value);
+    }
+
+    /** Instrumented read-modify-write convenience. */
+    template <typename Fn>
+    void
+    update(Fn &&fn)
+    {
+        T tmp = load();
+        fn(tmp);
+        store(std::move(tmp));
+    }
+
+    /** Uninstrumented access (setup/teardown outside the race window). */
+    const T &raw() const { return value_; }
+    T &raw() { return value_; }
+
+    const char *label() const { return label_; }
+
+  private:
+    const char *label_;
+    T value_;
+};
+
+} // namespace golite::race
+
+#endif // GOLITE_RACE_SHARED_HH

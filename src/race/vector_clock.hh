@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Vector clocks for the happens-before race detector.
+ *
+ * Components are goroutine ids (dense, starting at 1), so a flat
+ * vector indexed by id is the natural representation.
+ */
+
+#ifndef GOLITE_RACE_VECTOR_CLOCK_HH
+#define GOLITE_RACE_VECTOR_CLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace golite::race
+{
+
+class VectorClock
+{
+  public:
+    /** Clock value for goroutine @p gid (0 when absent). */
+    uint64_t
+    get(uint64_t gid) const
+    {
+        return gid < clocks_.size() ? clocks_[gid] : 0;
+    }
+
+    /** Set the component for @p gid. */
+    void
+    set(uint64_t gid, uint64_t value)
+    {
+        grow(gid);
+        clocks_[gid] = value;
+    }
+
+    /** Increment the component for @p gid and return the new value. */
+    uint64_t
+    tick(uint64_t gid)
+    {
+        grow(gid);
+        return ++clocks_[gid];
+    }
+
+    /** Pointwise maximum with @p other. */
+    void
+    join(const VectorClock &other)
+    {
+        if (other.clocks_.size() > clocks_.size())
+            clocks_.resize(other.clocks_.size(), 0);
+        for (size_t i = 0; i < other.clocks_.size(); ++i)
+            clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+
+    /** True when every component of *this is <= other's. */
+    bool
+    leq(const VectorClock &other) const
+    {
+        for (size_t i = 0; i < clocks_.size(); ++i) {
+            if (clocks_[i] > other.get(i))
+                return false;
+        }
+        return true;
+    }
+
+    size_t size() const { return clocks_.size(); }
+
+  private:
+    void
+    grow(uint64_t gid)
+    {
+        if (gid >= clocks_.size())
+            clocks_.resize(gid + 1, 0);
+    }
+
+    std::vector<uint64_t> clocks_;
+};
+
+} // namespace golite::race
+
+#endif // GOLITE_RACE_VECTOR_CLOCK_HH

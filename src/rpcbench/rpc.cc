@@ -1,0 +1,194 @@
+#include "rpcbench/rpc.hh"
+
+#include <memory>
+
+#include "golite/golite.hh"
+
+namespace golite::rpcbench
+{
+
+const std::vector<Workload> &
+workloads()
+{
+    // Mirrors the gRPC benchmark suite's axes: streaming vs unary,
+    // connection count, payload weight.
+    static const std::vector<Workload> presets = {
+        {"unary-sync-small", 4, 16, true, 2},
+        {"unary-async-large", 8, 12, false, 5},
+        {"streaming-sync", 2, 32, true, 3},
+    };
+    return presets;
+}
+
+namespace
+{
+
+struct Request
+{
+    int connection = 0;
+    int sequence = 0;
+    Chan<int> reply;
+};
+
+DynamicStats
+statsFromReport(const RunReport &report, uint64_t responses)
+{
+    DynamicStats stats;
+    stats.unitsCreated = report.goroutinesCreated;
+    stats.responses = responses;
+    stats.clean = report.clean();
+    if (report.ticks > 0 && !report.stats.empty()) {
+        double sum = 0.0;
+        for (const GoroutineStat &g : report.stats) {
+            const uint64_t end =
+                g.finished ? g.finishedTick : report.ticks;
+            sum += static_cast<double>(end - g.createdTick) /
+                   static_cast<double>(report.ticks);
+        }
+        stats.normalizedLifetime =
+            sum / static_cast<double>(report.stats.size());
+    }
+    return stats;
+}
+
+void
+processRequest(const Workload &workload, Request req)
+{
+    for (int s = 0; s < workload.processingSteps; ++s)
+        yield(); // the handler's compute slices
+    req.reply.send(req.sequence);
+}
+
+} // namespace
+
+DynamicStats
+runGoStyleServer(const Workload &workload, uint64_t seed)
+{
+    auto responses = std::make_shared<uint64_t>(0);
+    RunOptions options;
+    options.seed = seed;
+    options.collectStats = true;
+
+    RunReport report = run([&workload, responses] {
+        WaitGroup server_wg;
+        server_wg.add(workload.connections);
+        for (int conn = 0; conn < workload.connections; ++conn) {
+            // One goroutine per connection...
+            go("conn", [&workload, &server_wg, responses, conn] {
+                Chan<int> replies =
+                    makeChan<int>(workload.synchronous
+                                      ? 0
+                                      : workload.requestsPerConnection);
+                for (int r = 0; r < workload.requestsPerConnection;
+                     ++r) {
+                    Request req{conn, r, replies};
+                    // ...and one goroutine per request.
+                    go("handler", [&workload, req] {
+                        processRequest(workload, req);
+                    });
+                    if (workload.synchronous) {
+                        replies.recv();
+                        (*responses)++;
+                    } else {
+                        yield(); // request inter-arrival pacing
+                    }
+                }
+                if (!workload.synchronous) {
+                    for (int r = 0; r < workload.requestsPerConnection;
+                         ++r) {
+                        replies.recv();
+                        (*responses)++;
+                    }
+                }
+                server_wg.done();
+            });
+        }
+        server_wg.wait();
+    }, options);
+
+    return statsFromReport(report, *responses);
+}
+
+DynamicStats
+runCStyleServer(const Workload &workload, int pool_threads,
+                uint64_t seed)
+{
+    auto responses = std::make_shared<uint64_t>(0);
+    RunOptions options;
+    options.seed = seed;
+    options.collectStats = true;
+
+    RunReport report = run([&workload, responses, pool_threads] {
+        Chan<Request> queue = makeChan<Request>(64);
+        WaitGroup pool_wg;
+        pool_wg.add(pool_threads);
+        // A fixed thread pool created once at startup; every worker
+        // lives until shutdown (thread lifetime ~= process lifetime).
+        for (int t = 0; t < pool_threads; ++t) {
+            go("pool-thread", [&workload, &pool_wg, queue] {
+                for (;;) {
+                    auto r = queue.recv();
+                    if (!r.ok)
+                        break; // queue closed: shutdown
+                    processRequest(workload, r.value);
+                }
+                pool_wg.done();
+            });
+        }
+
+        WaitGroup conn_wg;
+        conn_wg.add(workload.connections);
+        for (int conn = 0; conn < workload.connections; ++conn) {
+            go("conn", [&workload, &conn_wg, responses, conn, queue] {
+                Chan<int> replies =
+                    makeChan<int>(workload.synchronous
+                                      ? 0
+                                      : workload.requestsPerConnection);
+                for (int r = 0; r < workload.requestsPerConnection;
+                     ++r) {
+                    queue.send(Request{conn, r, replies});
+                    if (workload.synchronous) {
+                        replies.recv();
+                        (*responses)++;
+                    }
+                }
+                if (!workload.synchronous) {
+                    for (int r = 0; r < workload.requestsPerConnection;
+                         ++r) {
+                        replies.recv();
+                        (*responses)++;
+                    }
+                }
+                conn_wg.done();
+            });
+        }
+        conn_wg.wait();
+        queue.close();
+        pool_wg.wait();
+    }, options);
+
+    // The C-side comparison counts *threads*: the fixed pool. The
+    // connection drivers model clients, as in the paper's testbed
+    // where the client load generator is a separate process.
+    DynamicStats stats = statsFromReport(report, *responses);
+    stats.unitsCreated = static_cast<uint64_t>(pool_threads);
+    // Pool threads live from startup to shutdown: lifetime ~ 100%.
+    // They are the first pool_threads goroutines spawned after main
+    // (ids 2..pool_threads+1).
+    double sum = 0.0;
+    int counted = 0;
+    for (const GoroutineStat &g : report.stats) {
+        if (g.goid >= 2 &&
+            g.goid < 2 + static_cast<uint64_t>(pool_threads)) {
+            const uint64_t end =
+                g.finished ? g.finishedTick : report.ticks;
+            sum += static_cast<double>(end - g.createdTick) /
+                   static_cast<double>(report.ticks);
+            counted++;
+        }
+    }
+    stats.normalizedLifetime = counted ? sum / counted : 0.0;
+    return stats;
+}
+
+} // namespace golite::rpcbench

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Table 3 experiment: dynamic goroutine statistics.
+ *
+ * The paper ran gRPC-Go and gRPC-C under three RPC performance
+ * benchmarks and compared (a) how many goroutines vs threads each
+ * creates and (b) how long they live relative to total runtime. We
+ * rebuild both sides on the golite scheduler: a Go-style server that
+ * spawns one goroutine per connection and per request, and a C-style
+ * server with a small fixed thread pool that lives for the whole run.
+ * Both process identical synthetic RPC load; the report compares
+ * creation counts and normalized lifetimes.
+ */
+
+#ifndef GOLITE_RPCBENCH_RPC_HH
+#define GOLITE_RPCBENCH_RPC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace golite::rpcbench
+{
+
+/** One benchmark configuration (the paper used three). */
+struct Workload
+{
+    std::string name;
+    int connections = 4;
+    int requestsPerConnection = 16;
+    /** Synchronous: the client waits for each response before the
+     *  next request; asynchronous: it pipelines. */
+    bool synchronous = true;
+    /** Handler weight: scheduling slices consumed per request. */
+    int processingSteps = 3;
+};
+
+/** The three benchmark presets (Section 3.1's RPC benchmarks). */
+const std::vector<Workload> &workloads();
+
+/** Measured dynamic statistics of one server run. */
+struct DynamicStats
+{
+    /** Goroutines (or pool threads) ever created. */
+    uint64_t unitsCreated = 0;
+    /** Mean per-unit lifetime divided by total runtime (0..1].
+     *  Threads in the C baseline live the whole run (~1.0). */
+    double normalizedLifetime = 0.0;
+    /** Responses delivered (sanity: must equal the request count). */
+    uint64_t responses = 0;
+    /** The run finished without deadlocks or leaks. */
+    bool clean = false;
+};
+
+/** Run the Go-style (goroutine-per-request) server. */
+DynamicStats runGoStyleServer(const Workload &workload,
+                              uint64_t seed = 1);
+
+/**
+ * Run the C-style baseline: a fixed pool of @p pool_threads workers
+ * that live from startup to shutdown (gRPC-C creates a handful of
+ * threads at start and never again).
+ */
+DynamicStats runCStyleServer(const Workload &workload,
+                             int pool_threads = 5, uint64_t seed = 1);
+
+} // namespace golite::rpcbench
+
+#endif // GOLITE_RPCBENCH_RPC_HH

@@ -1,0 +1,88 @@
+#include "runtime/fiber.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace golite
+{
+
+namespace
+{
+
+// makecontext only passes int arguments portably; split a pointer into
+// two 32-bit halves and reassemble in the trampoline.
+void
+trampoline(unsigned int entry_hi, unsigned int entry_lo,
+           unsigned int arg_hi, unsigned int arg_lo)
+{
+    auto join = [](unsigned int hi, unsigned int lo) {
+        return (static_cast<uintptr_t>(hi) << 32) |
+               static_cast<uintptr_t>(lo);
+    };
+    auto entry = reinterpret_cast<Fiber::EntryFn>(join(entry_hi, entry_lo));
+    auto *arg = reinterpret_cast<void *>(join(arg_hi, arg_lo));
+    entry(arg);
+}
+
+unsigned int
+hiHalf(const void *p)
+{
+    return static_cast<unsigned int>(reinterpret_cast<uintptr_t>(p) >> 32);
+}
+
+unsigned int
+loHalf(const void *p)
+{
+    return static_cast<unsigned int>(reinterpret_cast<uintptr_t>(p) &
+                                     0xffffffffu);
+}
+
+} // namespace
+
+Fiber::Fiber(size_t stack_bytes) : stackBytes_(stack_bytes)
+{
+    std::memset(&context_, 0, sizeof(context_));
+}
+
+Fiber::~Fiber() = default;
+
+void
+Fiber::release()
+{
+    stack_.reset();
+}
+
+void
+Fiber::start(ucontext_t *from, EntryFn entry, void *arg)
+{
+    assert(!started_);
+    // Stacks are allocated lazily so that spawning many goroutines
+    // that have not run yet stays cheap.
+    stack_.reset(new uint8_t[stackBytes_]);
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stackBytes_;
+    // When the entry function returns, resume the scheduler context.
+    context_.uc_link = from;
+    makecontext(&context_, reinterpret_cast<void (*)()>(trampoline), 4,
+                hiHalf(reinterpret_cast<void *>(entry)),
+                loHalf(reinterpret_cast<void *>(entry)), hiHalf(arg),
+                loHalf(arg));
+    started_ = true;
+    swapcontext(from, &context_);
+}
+
+void
+Fiber::resume(ucontext_t *from)
+{
+    assert(started_);
+    swapcontext(from, &context_);
+}
+
+void
+Fiber::suspendTo(ucontext_t *to)
+{
+    swapcontext(&context_, to);
+}
+
+} // namespace golite

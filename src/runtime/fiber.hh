@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Stackful fiber (user-level context) used to implement goroutines.
+ *
+ * golite multiplexes all goroutines onto the OS thread that called
+ * golite::run(). Each goroutine owns a Fiber: a heap-allocated stack plus
+ * a ucontext_t. Context switches happen only at golite operations
+ * (channel ops, lock ops, yield, preemption points), which makes every
+ * interleaving reproducible from the scheduler seed.
+ */
+
+#ifndef GOLITE_RUNTIME_FIBER_HH
+#define GOLITE_RUNTIME_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace golite
+{
+
+/**
+ * A suspendable execution context with its own stack.
+ *
+ * The fiber is created lazily: start() installs the entry trampoline and
+ * performs the first switch. Fibers are not movable once started (the
+ * ucontext refers to the stack memory).
+ */
+class Fiber
+{
+  public:
+    using EntryFn = void (*)(void *arg);
+
+    explicit Fiber(size_t stack_bytes);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Prepare the fiber to run entry(arg) on its own stack and switch to
+     * it from the caller context. Control returns to @p from when the
+     * fiber switches back or its entry function returns.
+     */
+    void start(ucontext_t *from, EntryFn entry, void *arg);
+
+    /** Switch from @p from into this (already started) fiber. */
+    void resume(ucontext_t *from);
+
+    /** Switch out of this fiber back into @p to. */
+    void suspendTo(ucontext_t *to);
+
+    bool started() const { return started_; }
+
+    /**
+     * Free the stack once the fiber has finished (must not be called
+     * while the fiber could still be resumed). Keeps thousands of
+     * short-lived goroutines cheap.
+     */
+    void release();
+
+  private:
+    std::unique_ptr<uint8_t[]> stack_;
+    size_t stackBytes_;
+    ucontext_t context_;
+    bool started_ = false;
+};
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_FIBER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Goroutine bookkeeping: state, wait reasons, per-goroutine record.
+ */
+
+#ifndef GOLITE_RUNTIME_GOROUTINE_HH
+#define GOLITE_RUNTIME_GOROUTINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "runtime/fiber.hh"
+
+namespace golite
+{
+
+/**
+ * Why a goroutine is parked. Mirrors the wait reasons the Go runtime
+ * shows in goroutine dumps; the leak report groups leaked goroutines by
+ * this reason (that grouping is the raw material of Table 8's analysis).
+ */
+enum class WaitReason
+{
+    None,
+    ChanSend,     ///< blocked sending on a channel
+    ChanRecv,     ///< blocked receiving from a channel
+    ChanSendNil,  ///< send on a nil channel (blocks forever)
+    ChanRecvNil,  ///< receive on a nil channel (blocks forever)
+    Select,       ///< blocked in a select with no ready case
+    MutexLock,    ///< blocked in Mutex::lock
+    RWMutexRLock, ///< blocked in RWMutex::rlock
+    RWMutexWLock, ///< blocked in RWMutex::lock
+    CondWait,     ///< blocked in Cond::wait
+    WaitGroupWait,///< blocked in WaitGroup::wait
+    OnceWait,     ///< blocked waiting for a concurrent Once::do_
+    Sleep,        ///< blocked in time::sleep / timer wait
+    PipeRead,     ///< blocked reading from an io pipe
+    PipeWrite,    ///< blocked writing to an io pipe
+    Other,        ///< library-defined wait
+};
+
+/** Printable name of a wait reason. */
+const char *waitReasonName(WaitReason reason);
+
+/** Execution state of a goroutine. */
+enum class GoState
+{
+    Runnable, ///< in the run queue (possibly never started yet)
+    Running,  ///< currently executing
+    Waiting,  ///< parked on a wait reason
+    Done,     ///< finished (returned, panicked, or unwound)
+};
+
+class Scheduler;
+
+/**
+ * One goroutine: entry function, fiber, state, and statistics.
+ * Owned by the scheduler; identified by a dense id (main is 1).
+ */
+class Goroutine
+{
+  public:
+    Goroutine(uint64_t id, std::function<void()> entry, size_t stack_bytes)
+        : id(id), entry(std::move(entry)), fiber(stack_bytes)
+    {
+    }
+
+    const uint64_t id;
+    std::function<void()> entry;
+    Fiber fiber;
+
+    GoState state = GoState::Runnable;
+    WaitReason reason = WaitReason::None;
+    /** The primitive this goroutine is parked on, for diagnostics. */
+    const void *waitObject = nullptr;
+    /** Label attached at spawn time, for diagnostics and reports. */
+    std::string label;
+
+    /** Tick at which the goroutine was created / finished (stats). */
+    uint64_t createdTick = 0;
+    uint64_t finishedTick = 0;
+
+    /** Finished via teardown unwind rather than a normal return. */
+    bool unwound = false;
+};
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_GOROUTINE_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Instrumentation interface between the runtime and bug detectors.
+ *
+ * The scheduler and every synchronization primitive report events
+ * through this interface. The happens-before race detector
+ * (src/race) implements it; passing a hooks object in RunOptions is the
+ * golite equivalent of building a Go program with '-race'.
+ */
+
+#ifndef GOLITE_RUNTIME_HOOKS_HH
+#define GOLITE_RUNTIME_HOOKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace golite
+{
+
+/**
+ * Callbacks fired by the runtime on concurrency-relevant events.
+ *
+ * The default implementation ignores everything, so primitives can call
+ * unconditionally through Scheduler::hooks() (never null inside a run).
+ */
+class RaceHooks
+{
+  public:
+    virtual ~RaceHooks() = default;
+
+    /** A goroutine was spawned; child inherits parent's clock. */
+    virtual void goroutineCreated(uint64_t parent, uint64_t child)
+    {
+        (void)parent;
+        (void)child;
+    }
+
+    /** A goroutine finished. */
+    virtual void goroutineFinished(uint64_t gid) { (void)gid; }
+
+    /**
+     * The current goroutine acquired happens-before ordering from
+     * @p sync_obj (e.g. returned from Mutex::lock, received from a
+     * channel).
+     */
+    virtual void acquire(const void *sync_obj) { (void)sync_obj; }
+
+    /**
+     * The current goroutine published its clock into @p sync_obj (e.g.
+     * Mutex::unlock, channel send, WaitGroup::done).
+     */
+    virtual void release(const void *sync_obj) { (void)sync_obj; }
+
+    /** A plain (unsynchronized-unless-proven) read of @p addr. */
+    virtual void memRead(const void *addr, const char *label)
+    {
+        (void)addr;
+        (void)label;
+    }
+
+    /** A plain write of @p addr. */
+    virtual void memWrite(const void *addr, const char *label)
+    {
+        (void)addr;
+        (void)label;
+    }
+
+    // --- Structured primitive events (used by the vet checkers) ---
+
+    /** A goroutine is about to block acquiring a lock. */
+    virtual void
+    lockRequested(const void *lock_obj, uint64_t gid, bool is_write)
+    {
+        (void)lock_obj;
+        (void)gid;
+        (void)is_write;
+    }
+
+    /** A goroutine now holds a lock. */
+    virtual void
+    lockAcquired(const void *lock_obj, uint64_t gid, bool is_write)
+    {
+        (void)lock_obj;
+        (void)gid;
+        (void)is_write;
+    }
+
+    /** A goroutine released a lock. */
+    virtual void
+    lockReleased(const void *lock_obj, uint64_t gid)
+    {
+        (void)lock_obj;
+        (void)gid;
+    }
+
+    /** WaitGroup counter changed by delta, now new_count. */
+    virtual void
+    wgAdd(const void *wg, int delta, int new_count)
+    {
+        (void)wg;
+        (void)delta;
+        (void)new_count;
+    }
+
+    /** A goroutine entered WaitGroup::wait. */
+    virtual void wgWait(const void *wg) { (void)wg; }
+
+    /** Human-readable reports accumulated so far; cleared by the call. */
+    virtual std::vector<std::string> drainReports() { return {}; }
+};
+
+/**
+ * Fan-out combinator: forwards every event to each attached hook
+ * (e.g. the race detector plus a vet checker in one run).
+ */
+class MultiHooks : public RaceHooks
+{
+  public:
+    explicit MultiHooks(std::vector<RaceHooks *> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+
+    void
+    goroutineCreated(uint64_t parent, uint64_t child) override
+    {
+        for (auto *s : sinks_)
+            s->goroutineCreated(parent, child);
+    }
+
+    void
+    goroutineFinished(uint64_t gid) override
+    {
+        for (auto *s : sinks_)
+            s->goroutineFinished(gid);
+    }
+
+    void
+    acquire(const void *sync_obj) override
+    {
+        for (auto *s : sinks_)
+            s->acquire(sync_obj);
+    }
+
+    void
+    release(const void *sync_obj) override
+    {
+        for (auto *s : sinks_)
+            s->release(sync_obj);
+    }
+
+    void
+    memRead(const void *addr, const char *label) override
+    {
+        for (auto *s : sinks_)
+            s->memRead(addr, label);
+    }
+
+    void
+    memWrite(const void *addr, const char *label) override
+    {
+        for (auto *s : sinks_)
+            s->memWrite(addr, label);
+    }
+
+    void
+    lockRequested(const void *lock_obj, uint64_t gid,
+                  bool is_write) override
+    {
+        for (auto *s : sinks_)
+            s->lockRequested(lock_obj, gid, is_write);
+    }
+
+    void
+    lockAcquired(const void *lock_obj, uint64_t gid,
+                 bool is_write) override
+    {
+        for (auto *s : sinks_)
+            s->lockAcquired(lock_obj, gid, is_write);
+    }
+
+    void
+    lockReleased(const void *lock_obj, uint64_t gid) override
+    {
+        for (auto *s : sinks_)
+            s->lockReleased(lock_obj, gid);
+    }
+
+    void
+    wgAdd(const void *wg, int delta, int new_count) override
+    {
+        for (auto *s : sinks_)
+            s->wgAdd(wg, delta, new_count);
+    }
+
+    void
+    wgWait(const void *wg) override
+    {
+        for (auto *s : sinks_)
+            s->wgWait(wg);
+    }
+
+    std::vector<std::string>
+    drainReports() override
+    {
+        std::vector<std::string> all;
+        for (auto *s : sinks_) {
+            for (auto &r : s->drainReports())
+                all.push_back(std::move(r));
+        }
+        return all;
+    }
+
+  private:
+    std::vector<RaceHooks *> sinks_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_HOOKS_HH

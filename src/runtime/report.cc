@@ -1,0 +1,71 @@
+#include "runtime/report.hh"
+
+#include <sstream>
+
+namespace golite
+{
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Spawn: return "spawn";
+      case TraceKind::Dispatch: return "run";
+      case TraceKind::Park: return "park";
+      case TraceKind::Unpark: return "unpark";
+      case TraceKind::Finish: return "finish";
+      case TraceKind::ClockAdvance: return "clock";
+    }
+    return "?";
+}
+
+std::string
+RunReport::formatTrace() const
+{
+    std::ostringstream os;
+    for (const TraceEvent &ev : trace) {
+        os << "[" << ev.tick << " @" << ev.timeNs / 1000 << "us] ";
+        if (ev.kind == TraceKind::ClockAdvance) {
+            os << "clock -> " << ev.detail << "\n";
+            continue;
+        }
+        os << "g" << ev.gid << " " << traceKindName(ev.kind);
+        if (!ev.detail.empty())
+            os << " (" << ev.detail << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+RunReport::describe() const
+{
+    std::ostringstream os;
+    if (panicked) {
+        os << "panic: " << panicMessage << "\n";
+    } else if (globalDeadlock) {
+        os << "fatal error: all goroutines are asleep - deadlock!\n";
+    } else if (livelocked) {
+        os << "fatal error: dispatch budget exhausted (livelock?)\n";
+    } else {
+        os << "program exited\n";
+    }
+    os << "goroutines created: " << goroutinesCreated
+       << ", scheduler ticks: " << ticks << ", virtual time: "
+       << finalTimeNs / 1000000 << "ms\n";
+    if (!leaked.empty()) {
+        os << leaked.size() << " goroutine(s) still blocked:\n";
+        for (const LeakInfo &leak : leaked) {
+            os << "  goroutine " << leak.goid;
+            if (!leak.label.empty())
+                os << " [" << leak.label << "]";
+            os << ": blocked on " << waitReasonName(leak.reason)
+               << "\n";
+        }
+    }
+    for (const std::string &msg : raceMessages)
+        os << msg << "\n";
+    return os.str();
+}
+
+} // namespace golite

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Options controlling a golite run and the structured outcome report.
+ *
+ * The RunReport is the observable the study apparatus consumes: it says
+ * whether a program completed, globally deadlocked (the condition Go's
+ * built-in detector reports), panicked, leaked goroutines (the blocking
+ * condition Go's detector misses), or raced.
+ */
+
+#ifndef GOLITE_RUNTIME_REPORT_HH
+#define GOLITE_RUNTIME_REPORT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/goroutine.hh"
+
+namespace golite
+{
+
+class RaceHooks;
+
+/** Scheduler dispatch policy. */
+enum class SchedPolicy
+{
+    Random, ///< uniformly random runnable goroutine (default; Go-like)
+    Fifo,   ///< run queue is FIFO
+    Lifo,   ///< run queue is LIFO (child-first, gccgo-like bias)
+    /**
+     * Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS
+     * 2010): random per-goroutine priorities plus pctDepth-1 random
+     * priority-change points. Gives a probabilistic guarantee of
+     * hitting any bug of preemption depth <= pctDepth; compared
+     * against Random in bench_ablation_sched.
+     */
+    Pct,
+};
+
+/** Printable name of a scheduling policy. */
+const char *schedPolicyName(SchedPolicy policy);
+
+/** Options for one golite::run. */
+struct RunOptions
+{
+    /** Seed for all scheduling/select randomness. */
+    uint64_t seed = 1;
+
+    /** Dispatch policy. */
+    SchedPolicy policy = SchedPolicy::Random;
+
+    /**
+     * Probability of a context switch at each instrumented shared-memory
+     * access (race::Shared). Models preemption between plain accesses.
+     */
+    double preemptProb = 0.25;
+
+    /**
+     * After main returns, keep dispatching runnable goroutines until
+     * only parked ones remain, then report those as leaked. When false,
+     * the run stops the instant main returns (strict Go semantics).
+     */
+    bool drainAfterMain = true;
+
+    /** Dispatch budget; exceeding it marks the run livelocked. */
+    uint64_t maxTicks = 2'000'000;
+
+    /** PCT bug depth d (only for SchedPolicy::Pct): d-1 priority
+     *  change points are scattered over the expected run length. */
+    int pctDepth = 3;
+
+    /** Expected run length in dispatches for PCT change points. */
+    uint64_t pctExpectedSteps = 512;
+
+    /**
+     * Override for every nondeterministic choice (scheduler pick and
+     * select shuffle): called with the number of alternatives, must
+     * return an index < n. Null = draw from the seeded RNG. The
+     * systematic explorer (src/explore) drives runs through this to
+     * enumerate schedules exhaustively.
+     */
+    std::function<size_t(size_t)> chooser;
+
+    /** Detector instrumentation; null runs without a detector. */
+    RaceHooks *hooks = nullptr;
+
+    /** Stack size per goroutine. */
+    size_t stackBytes = 128 * 1024;
+
+    /** Record per-goroutine creation/finish ticks in the report. */
+    bool collectStats = false;
+
+    /** Record a full scheduler event trace in RunReport::trace (the
+     *  `go tool trace` analogue; costs memory on long runs). */
+    bool collectTrace = false;
+};
+
+/** One leaked (blocked-forever) goroutine. */
+struct LeakInfo
+{
+    uint64_t goid;
+    WaitReason reason;
+    std::string label;
+};
+
+/** Kind of a recorded scheduler event (RunOptions::collectTrace). */
+enum class TraceKind
+{
+    Spawn,        ///< goroutine created
+    Dispatch,     ///< goroutine starts a scheduling slice
+    Park,         ///< goroutine blocks (detail = wait reason)
+    Unpark,       ///< goroutine made runnable again
+    Finish,       ///< goroutine completed
+    ClockAdvance, ///< virtual clock jumped to the next timer
+};
+
+const char *traceKindName(TraceKind kind);
+
+/** One scheduler event, in execution order. */
+struct TraceEvent
+{
+    uint64_t tick;   ///< dispatch count at the event
+    int64_t timeNs;  ///< virtual time at the event
+    uint64_t gid;    ///< goroutine involved (0 for clock events)
+    TraceKind kind;
+    std::string detail; ///< label, wait reason, or new time
+};
+
+/** Per-goroutine lifetime statistics (for the Table 3 experiment). */
+struct GoroutineStat
+{
+    uint64_t goid;
+    uint64_t createdTick;
+    uint64_t finishedTick;
+    bool finished;
+};
+
+/** Structured outcome of one golite::run. */
+struct RunReport
+{
+    /** Main returned and nothing deadlocked/panicked/livelocked. */
+    bool completed = false;
+
+    /**
+     * Every goroutine (including main) was asleep: the condition Go's
+     * built-in deadlock detector reports as
+     * "all goroutines are asleep - deadlock!".
+     */
+    bool globalDeadlock = false;
+
+    /** Some goroutine panicked (crashing the program, as in Go). */
+    bool panicked = false;
+    std::string panicMessage;
+
+    /** The run exceeded its dispatch budget. */
+    bool livelocked = false;
+
+    /** Goroutines still parked when the run ended (goroutine leaks). */
+    std::vector<LeakInfo> leaked;
+
+    /** Reports drained from the detector hooks (e.g. data races). */
+    std::vector<std::string> raceMessages;
+
+    /** Total goroutines ever created (including main). */
+    uint64_t goroutinesCreated = 0;
+
+    /** Total dispatch ticks (logical time). */
+    uint64_t ticks = 0;
+
+    /** Final virtual-clock value in nanoseconds. */
+    int64_t finalTimeNs = 0;
+
+    /** Per-goroutine stats, if RunOptions::collectStats. */
+    std::vector<GoroutineStat> stats;
+
+    /** Scheduler event trace, if RunOptions::collectTrace. */
+    std::vector<TraceEvent> trace;
+
+    /** Render the trace as an indented timeline (empty if none). */
+    std::string formatTrace() const;
+
+    /** True when the program finished cleanly with no leaks or races. */
+    bool
+    clean() const
+    {
+        return completed && leaked.empty() && raceMessages.empty();
+    }
+
+    /** True when any blocking condition manifested. */
+    bool
+    blocked() const
+    {
+        return globalDeadlock || !leaked.empty();
+    }
+
+    /**
+     * Multi-line human-readable summary: outcome, leak list in the
+     * style of a Go goroutine dump, detector messages.
+     */
+    std::string describe() const;
+};
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_REPORT_HH

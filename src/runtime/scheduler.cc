@@ -1,0 +1,438 @@
+#include "runtime/scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/panic.hh"
+
+namespace golite
+{
+
+Scheduler *Scheduler::current_ = nullptr;
+
+const char *
+waitReasonName(WaitReason reason)
+{
+    switch (reason) {
+      case WaitReason::None: return "none";
+      case WaitReason::ChanSend: return "chan send";
+      case WaitReason::ChanRecv: return "chan receive";
+      case WaitReason::ChanSendNil: return "chan send (nil chan)";
+      case WaitReason::ChanRecvNil: return "chan receive (nil chan)";
+      case WaitReason::Select: return "select";
+      case WaitReason::MutexLock: return "sync.Mutex.Lock";
+      case WaitReason::RWMutexRLock: return "sync.RWMutex.RLock";
+      case WaitReason::RWMutexWLock: return "sync.RWMutex.Lock";
+      case WaitReason::CondWait: return "sync.Cond.Wait";
+      case WaitReason::WaitGroupWait: return "sync.WaitGroup.Wait";
+      case WaitReason::OnceWait: return "sync.Once.Do";
+      case WaitReason::Sleep: return "sleep";
+      case WaitReason::PipeRead: return "io pipe read";
+      case WaitReason::PipeWrite: return "io pipe write";
+      case WaitReason::Other: return "other";
+    }
+    return "unknown";
+}
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::Random: return "random";
+      case SchedPolicy::Fifo: return "fifo";
+      case SchedPolicy::Lifo: return "lifo";
+      case SchedPolicy::Pct: return "pct";
+    }
+    return "unknown";
+}
+
+Scheduler::Scheduler(const RunOptions &options)
+    : options_(options), rng_(options.seed),
+      hooks_(options.hooks ? options.hooks : &nullHooks_)
+{
+    if (options_.policy == SchedPolicy::Pct) {
+        // Draw d-1 priority-change points over the expected run
+        // length (PCT: Burckhardt et al.).
+        const uint64_t horizon =
+            std::max<uint64_t>(options_.pctExpectedSteps, 2);
+        for (int i = 0; i + 1 < options_.pctDepth; ++i)
+            pctChangePoints_.insert(1 + rng_.below(horizon));
+    }
+}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler *
+Scheduler::current()
+{
+    return current_;
+}
+
+void
+Scheduler::fiberEntry(void *arg)
+{
+    auto *g = static_cast<Goroutine *>(arg);
+    Scheduler::current_->goroutineBody(g);
+}
+
+void
+Scheduler::goroutineBody(Goroutine *g)
+{
+    try {
+        g->entry();
+    } catch (const GoPanic &panic) {
+        if (!report_.panicked) {
+            report_.panicked = true;
+            report_.panicMessage = panic.message();
+        }
+        aborting_ = true;
+    } catch (const RunAborted &) {
+        // Teardown unwind; fall through to Done.
+        g->unwound = true;
+    }
+    g->state = GoState::Done;
+    g->finishedTick = report_.ticks;
+    traceEvent(TraceKind::Finish, g->id, {});
+    hooks_->goroutineFinished(g->id);
+    if (g == main_)
+        mainDone_ = true;
+    // Returning resumes schedContext_ via uc_link.
+}
+
+void
+Scheduler::traceEvent(TraceKind kind, uint64_t gid, std::string detail)
+{
+    if (!options_.collectTrace)
+        return;
+    report_.trace.push_back(
+        TraceEvent{report_.ticks, nowNs_, gid, kind, std::move(detail)});
+}
+
+void
+Scheduler::spawn(std::function<void()> fn, std::string label)
+{
+    const uint64_t id = ++nextId_;
+    auto g = std::make_unique<Goroutine>(id, std::move(fn),
+                                         options_.stackBytes);
+    g->label = std::move(label);
+    g->createdTick = report_.ticks;
+    if (options_.policy == SchedPolicy::Pct) {
+        // Fresh goroutines get a random high priority band.
+        pctPriority_[g.get()] = 1'000'000 + rng_.below(1'000'000);
+    }
+    report_.goroutinesCreated++;
+    hooks_->goroutineCreated(runningId(), id);
+    traceEvent(TraceKind::Spawn, id, g->label);
+    readyq_.push_back(g.get());
+    goroutines_.emplace(id, std::move(g));
+}
+
+void
+Scheduler::yield()
+{
+    Goroutine *g = running_;
+    assert(g && "yield outside a goroutine");
+    if (aborting_)
+        throw RunAborted{};
+    g->state = GoState::Runnable;
+    readyq_.push_back(g);
+    g->fiber.suspendTo(&schedContext_);
+    if (aborting_)
+        throw RunAborted{};
+}
+
+void
+Scheduler::park(WaitReason reason, const void *wait_object)
+{
+    Goroutine *g = running_;
+    assert(g && "park outside a goroutine");
+    if (aborting_)
+        throw RunAborted{};
+    g->state = GoState::Waiting;
+    g->reason = reason;
+    g->waitObject = wait_object;
+    traceEvent(TraceKind::Park, g->id, waitReasonName(reason));
+    g->fiber.suspendTo(&schedContext_);
+    if (aborting_)
+        throw RunAborted{};
+    g->reason = WaitReason::None;
+    g->waitObject = nullptr;
+}
+
+void
+Scheduler::unpark(Goroutine *g)
+{
+    assert(g->state == GoState::Waiting);
+    g->state = GoState::Runnable;
+    traceEvent(TraceKind::Unpark, g->id, {});
+    readyq_.push_back(g);
+}
+
+size_t
+Scheduler::choose(size_t n)
+{
+    if (n <= 1)
+        return 0;
+    if (options_.chooser) {
+        const size_t pick = options_.chooser(n);
+        return pick < n ? pick : n - 1;
+    }
+    return rng_.below(n);
+}
+
+void
+Scheduler::maybePreempt()
+{
+    if (running_ && rng_.chance(options_.preemptProb))
+        yield();
+}
+
+TimerId
+Scheduler::scheduleTimer(int64_t delay_ns, std::function<void()> fn)
+{
+    auto token = std::make_shared<TimerToken>();
+    token->when = nowNs_ + std::max<int64_t>(delay_ns, 0);
+    timers_.push(PendingTimer{token->when, timerSeq_++, token,
+                              std::move(fn)});
+    return token;
+}
+
+bool
+Scheduler::cancelTimer(const TimerId &id)
+{
+    if (!id || id->fired || id->cancelled)
+        return false;
+    id->cancelled = true;
+    return true;
+}
+
+void
+Scheduler::sleep(int64_t delay_ns)
+{
+    Goroutine *g = running_;
+    assert(g && "sleep outside a goroutine");
+    if (delay_ns <= 0) {
+        yield();
+        return;
+    }
+    scheduleTimer(delay_ns, [this, g] { unpark(g); });
+    park(WaitReason::Sleep, nullptr);
+}
+
+void
+Scheduler::fireDueTimers()
+{
+    while (!timers_.empty() && timers_.top().when <= nowNs_) {
+        PendingTimer t = timers_.top();
+        timers_.pop();
+        if (t.token->cancelled)
+            continue;
+        t.token->fired = true;
+        t.fn();
+    }
+}
+
+Goroutine *
+Scheduler::pickNext()
+{
+    assert(!readyq_.empty());
+    size_t index = 0;
+    switch (options_.policy) {
+      case SchedPolicy::Random:
+        index = choose(readyq_.size());
+        break;
+      case SchedPolicy::Fifo:
+        index = 0;
+        break;
+      case SchedPolicy::Lifo:
+        index = readyq_.size() - 1;
+        break;
+      case SchedPolicy::Pct:
+        return pickNextPct();
+    }
+    Goroutine *g = readyq_[index];
+    readyq_.erase(readyq_.begin() + static_cast<ptrdiff_t>(index));
+    return g;
+}
+
+Goroutine *
+Scheduler::pickNextPct()
+{
+    size_t best = 0;
+    uint64_t best_priority = 0;
+    for (size_t i = 0; i < readyq_.size(); ++i) {
+        const uint64_t p = pctPriority_[readyq_[i]];
+        if (p >= best_priority) {
+            best_priority = p;
+            best = i;
+        }
+    }
+    Goroutine *g = readyq_[best];
+    readyq_.erase(readyq_.begin() + static_cast<ptrdiff_t>(best));
+    // At a change point, demote the goroutine that is about to run
+    // below every base priority (later demotions go lower still).
+    if (pctChangePoints_.count(report_.ticks))
+        pctPriority_[g] = 1000 - (pctLowCounter_++);
+    return g;
+}
+
+void
+Scheduler::dispatch(Goroutine *g)
+{
+    report_.ticks++;
+    traceEvent(TraceKind::Dispatch, g->id, g->label);
+    g->state = GoState::Running;
+    running_ = g;
+    if (!g->fiber.started())
+        g->fiber.start(&schedContext_, &Scheduler::fiberEntry, g);
+    else
+        g->fiber.resume(&schedContext_);
+    running_ = nullptr;
+    if (g->state == GoState::Done) {
+        g->fiber.release();
+        g->entry = nullptr;
+    }
+}
+
+void
+Scheduler::abortAll()
+{
+    aborting_ = true;
+    // Resume every live, already-started goroutine once; park/yield
+    // throw RunAborted, unwinding the stack so destructors run.
+    // Never-started goroutines have no stack state to unwind.
+    for (auto &[id, g] : goroutines_) {
+        (void)id;
+        if (g->state == GoState::Done)
+            continue;
+        if (!g->fiber.started()) {
+            g->state = GoState::Done;
+            g->unwound = true;
+            continue;
+        }
+        dispatch(g.get());
+    }
+}
+
+void
+Scheduler::finalize()
+{
+    if (options_.collectStats) {
+        for (auto &[id, g] : goroutines_) {
+            (void)id;
+            report_.stats.push_back(GoroutineStat{
+                g->id, g->createdTick, g->finishedTick,
+                g->state == GoState::Done && !g->unwound});
+        }
+    }
+    report_.finalTimeNs = nowNs_;
+    report_.raceMessages = hooks_->drainReports();
+    report_.completed = !report_.globalDeadlock && !report_.panicked &&
+                        !report_.livelocked;
+}
+
+RunReport
+Scheduler::run(std::function<void()> main)
+{
+    assert(current_ == nullptr && "nested golite::run is not supported");
+    current_ = this;
+    report_ = RunReport{};
+
+    const uint64_t id = nextId_;
+    auto g = std::make_unique<Goroutine>(id, std::move(main),
+                                         options_.stackBytes);
+    g->label = "main";
+    if (options_.policy == SchedPolicy::Pct)
+        pctPriority_[g.get()] = 1'000'000 + rng_.below(1'000'000);
+    main_ = g.get();
+    report_.goroutinesCreated = 1;
+    hooks_->goroutineCreated(0, id);
+    readyq_.push_back(g.get());
+    goroutines_.emplace(id, std::move(g));
+
+    while (true) {
+        fireDueTimers();
+
+        if (report_.ticks >= options_.maxTicks) {
+            report_.livelocked = true;
+            break;
+        }
+
+        if (readyq_.empty()) {
+            if (mainDone_) {
+                // Program over (Go exits when main returns). Parked
+                // goroutines are leaks; timer-only waiters count too.
+                break;
+            }
+            if (!timers_.empty()) {
+                // Discrete-event step: advance virtual time.
+                nowNs_ = timers_.top().when;
+                traceEvent(TraceKind::ClockAdvance, 0,
+                           std::to_string(nowNs_ / 1000) + "us");
+                continue;
+            }
+            // Every goroutine is asleep with nothing to wake it: the
+            // exact condition Go's built-in detector reports.
+            report_.globalDeadlock = true;
+            break;
+        }
+
+        if (mainDone_ && !options_.drainAfterMain)
+            break;
+
+        dispatch(pickNext());
+
+        if (aborting_) {
+            // A goroutine panicked: crash the program (unwind all).
+            break;
+        }
+    }
+
+    // Snapshot the leaks (goroutines parked forever) before tearing
+    // the world down, then unwind every live goroutine so that C++
+    // destructors run even on abnormal exits.
+    for (auto &[gid, gptr] : goroutines_) {
+        (void)gid;
+        if (gptr->state == GoState::Waiting) {
+            report_.leaked.push_back(
+                LeakInfo{gptr->id, gptr->reason, gptr->label});
+        }
+    }
+    abortAll();
+    finalize();
+    current_ = nullptr;
+    return report_;
+}
+
+void
+go(std::function<void()> fn)
+{
+    Scheduler *sched = Scheduler::current();
+    assert(sched && "go() outside golite::run");
+    sched->spawn(std::move(fn));
+}
+
+void
+go(std::string label, std::function<void()> fn)
+{
+    Scheduler *sched = Scheduler::current();
+    assert(sched && "go() outside golite::run");
+    sched->spawn(std::move(fn), std::move(label));
+}
+
+void
+yield()
+{
+    Scheduler *sched = Scheduler::current();
+    assert(sched && "yield() outside golite::run");
+    sched->yield();
+}
+
+RunReport
+run(std::function<void()> main, const RunOptions &options)
+{
+    Scheduler sched(options);
+    return sched.run(std::move(main));
+}
+
+} // namespace golite

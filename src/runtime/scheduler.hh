@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The golite scheduler: cooperative M-goroutine runtime on one OS
+ * thread, with a virtual clock, seeded nondeterminism, and the built-in
+ * global deadlock detector the paper evaluates in Table 8.
+ */
+
+#ifndef GOLITE_RUNTIME_SCHEDULER_HH
+#define GOLITE_RUNTIME_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "base/rng.hh"
+#include "runtime/goroutine.hh"
+#include "runtime/hooks.hh"
+#include "runtime/report.hh"
+
+namespace golite
+{
+
+/**
+ * Thrown inside parked goroutines when the run is being torn down
+ * (after a global deadlock, panic, or livelock) so that their stacks
+ * unwind and C++ destructors run. Never escapes golite::run.
+ */
+struct RunAborted
+{
+};
+
+/** Handle to a pending virtual-clock timer. */
+class TimerToken
+{
+  public:
+    bool cancelled = false;
+    bool fired = false;
+    int64_t when = 0;
+};
+
+using TimerId = std::shared_ptr<TimerToken>;
+
+/**
+ * The runtime core. One Scheduler drives one golite::run; primitives
+ * reach it through Scheduler::current().
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(const RunOptions &options);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** The scheduler driving the current run (null outside runs). */
+    static Scheduler *current();
+
+    /** Execute @p main as the main goroutine and run to completion. */
+    RunReport run(std::function<void()> main);
+
+    // --- Goroutine API (called from inside goroutines) -------------
+
+    /** Spawn a goroutine (the `go` statement). */
+    void spawn(std::function<void()> fn, std::string label = {});
+
+    /** Yield the processor, staying runnable. */
+    void yield();
+
+    /**
+     * Park the current goroutine with @p reason on @p wait_object.
+     * Returns when another goroutine (or a timer) unparks it.
+     * Throws RunAborted during teardown.
+     */
+    void park(WaitReason reason, const void *wait_object);
+
+    /** Make a parked goroutine runnable again. */
+    void unpark(Goroutine *g);
+
+    /** The currently executing goroutine (null in scheduler context). */
+    Goroutine *running() const { return running_; }
+
+    /** Id of the currently executing goroutine (0 outside goroutines). */
+    uint64_t runningId() const { return running_ ? running_->id : 0; }
+
+    /**
+     * Random context switch with the configured preemption probability.
+     * Instrumented shared accesses call this to model the preemption
+     * that makes data races manifest.
+     */
+    void maybePreempt();
+
+    // --- Virtual clock ----------------------------------------------
+
+    /** Current virtual time in nanoseconds. */
+    int64_t now() const { return nowNs_; }
+
+    /**
+     * Arrange for @p fn to run (in scheduler context; it must not
+     * block) when the virtual clock reaches now()+delay_ns.
+     */
+    TimerId scheduleTimer(int64_t delay_ns, std::function<void()> fn);
+
+    /** Cancel a timer; returns true if it had not fired yet. */
+    bool cancelTimer(const TimerId &id);
+
+    /** Park the current goroutine for @p delay_ns of virtual time. */
+    void sleep(int64_t delay_ns);
+
+    // --- Detector plumbing ------------------------------------------
+
+    /** Instrumentation sink; never null inside a run. */
+    RaceHooks *hooks() { return hooks_; }
+
+    /** Scheduler-owned RNG (select uses it for its random choice). */
+    Rng &rng() { return rng_; }
+
+    /**
+     * Resolve one nondeterministic choice among @p n alternatives:
+     * via RunOptions::chooser when set (systematic exploration),
+     * else the seeded RNG. Every choice point in the runtime funnels
+     * through here.
+     */
+    size_t choose(size_t n);
+
+    /** True while the run is being torn down. */
+    bool aborting() const { return aborting_; }
+
+  private:
+    static void fiberEntry(void *arg);
+
+    /** Body of a goroutine: run entry, catch panics, mark done. */
+    void goroutineBody(Goroutine *g);
+
+    /** Pick the next runnable goroutine per policy. */
+    Goroutine *pickNext();
+
+    /** PCT pick: highest priority; demote at change points. */
+    Goroutine *pickNextPct();
+
+    /** Switch from scheduler context into @p g until it yields/parks. */
+    void dispatch(Goroutine *g);
+
+    /** Fire all timers due at the current virtual time. */
+    void fireDueTimers();
+
+    /** Unwind all live goroutines so their destructors run. */
+    void abortAll();
+
+    /** Append a trace event when RunOptions::collectTrace is set. */
+    void traceEvent(TraceKind kind, uint64_t gid, std::string detail);
+
+    /** Collect leaks/stats into the report at end of run. */
+    void finalize();
+
+    RunOptions options_;
+    Rng rng_;
+    RaceHooks *hooks_;
+    RaceHooks nullHooks_;
+
+    std::map<uint64_t, std::unique_ptr<Goroutine>> goroutines_;
+    /** PCT state: per-goroutine priorities (higher runs first) and
+     *  the pre-drawn priority-change step indices. */
+    std::map<const Goroutine *, uint64_t> pctPriority_;
+    std::set<uint64_t> pctChangePoints_;
+    uint64_t pctLowCounter_ = 0;
+    std::deque<Goroutine *> readyq_;
+    uint64_t nextId_ = 1;
+    Goroutine *running_ = nullptr;
+    Goroutine *main_ = nullptr;
+    bool mainDone_ = false;
+    bool aborting_ = false;
+
+    ucontext_t schedContext_;
+
+    int64_t nowNs_ = 0;
+    struct PendingTimer
+    {
+        int64_t when;
+        uint64_t seq;
+        TimerId token;
+        std::function<void()> fn;
+        bool operator>(const PendingTimer &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+    std::priority_queue<PendingTimer, std::vector<PendingTimer>,
+                        std::greater<>> timers_;
+    uint64_t timerSeq_ = 0;
+
+    RunReport report_;
+
+    static Scheduler *current_;
+};
+
+// --- Free-function API (the golite "language surface") ---------------
+
+/** The `go` statement: spawn fn as a new goroutine. */
+void go(std::function<void()> fn);
+
+/** Spawn with a diagnostic label (shows up in leak reports). */
+void go(std::string label, std::function<void()> fn);
+
+/** Cooperatively yield (runtime.Gosched). */
+void yield();
+
+/**
+ * Run @p main as a golite program and return its outcome report.
+ * This is the entry point every test, bench, and bug kernel uses.
+ */
+RunReport run(std::function<void()> main, const RunOptions &options = {});
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_SCHEDULER_HH

@@ -1,0 +1,108 @@
+#include "scanner/counter.hh"
+
+#include <algorithm>
+
+#include "scanner/lexer.hh"
+
+namespace golite::scanner
+{
+
+UsageCounts &
+UsageCounts::operator+=(const UsageCounts &other)
+{
+    goAnonymous += other.goAnonymous;
+    goNamed += other.goNamed;
+    mutex += other.mutex;
+    atomicOps += other.atomicOps;
+    once += other.once;
+    waitGroup += other.waitGroup;
+    cond += other.cond;
+    channel += other.channel;
+    misc += other.misc;
+    threadCreation += other.threadCreation;
+    cLock += other.cLock;
+    lines += other.lines;
+    return *this;
+}
+
+UsageCounts
+countUsage(std::string_view source)
+{
+    UsageCounts counts;
+    counts.lines = static_cast<size_t>(
+        std::count(source.begin(), source.end(), '\n'));
+
+    const std::vector<Token> tokens = Lexer::tokenize(source);
+    auto ident = [&tokens](size_t i, const char *text) {
+        return i < tokens.size() &&
+               tokens[i].kind == TokenKind::Identifier &&
+               tokens[i].text == text;
+    };
+    auto punct = [&tokens](size_t i, char c) {
+        return i < tokens.size() && tokens[i].kind == TokenKind::Punct &&
+               tokens[i].text[0] == c;
+    };
+
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+
+        // Goroutine creation sites.
+        if (tok.text == "go") {
+            if (ident(i + 1, "func")) {
+                counts.goAnonymous++;
+            } else if (i + 1 < tokens.size() &&
+                       tokens[i + 1].kind == TokenKind::Identifier) {
+                counts.goNamed++;
+            }
+            continue;
+        }
+
+        // sync.<Type> usages.
+        if (tok.text == "sync" && punct(i + 1, '.')) {
+            if (i + 2 >= tokens.size())
+                continue;
+            const std::string &type = tokens[i + 2].text;
+            if (type == "Mutex" || type == "RWMutex")
+                counts.mutex++;
+            else if (type == "Once")
+                counts.once++;
+            else if (type == "WaitGroup")
+                counts.waitGroup++;
+            else if (type == "Cond" || type == "NewCond")
+                counts.cond++;
+            else if (type == "Map" || type == "Pool")
+                counts.misc++;
+            continue;
+        }
+
+        // atomic.<Op> usages.
+        if (tok.text == "atomic" && punct(i + 1, '.')) {
+            counts.atomicOps++;
+            continue;
+        }
+
+        // chan type syntax (declarations and make(chan ...)).
+        if (tok.text == "chan") {
+            counts.channel++;
+            continue;
+        }
+
+        // C-side markers for the gRPC-C comparison.
+        if (tok.text == "pthread_create" || tok.text == "thd_new" ||
+            tok.text == "gpr_thd_new") {
+            counts.threadCreation++;
+            continue;
+        }
+        if (tok.text == "pthread_mutex_lock" ||
+            tok.text == "pthread_mutex_unlock" || tok.text == "mu_lock" ||
+            tok.text == "gpr_mu_lock" || tok.text == "gpr_mu_unlock") {
+            counts.cLock++;
+            continue;
+        }
+    }
+    return counts;
+}
+
+} // namespace golite::scanner

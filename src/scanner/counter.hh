@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The usage counter: replays the paper's static measurements over a
+ * token stream — goroutine creation sites (Table 2) and concurrency
+ * primitive usages by category (Table 4, Figures 2 and 3).
+ */
+
+#ifndef GOLITE_SCANNER_COUNTER_HH
+#define GOLITE_SCANNER_COUNTER_HH
+
+#include <cstddef>
+#include <string_view>
+
+namespace golite::scanner
+{
+
+/** Counted occurrences in one source blob. */
+struct UsageCounts
+{
+    // Goroutine creation sites (Table 2).
+    size_t goAnonymous = 0; ///< `go func(...) ... {`
+    size_t goNamed = 0;     ///< `go f(...)` / `go pkg.f(...)`
+
+    // Concurrency primitive usages (Table 4 categories).
+    size_t mutex = 0;     ///< sync.Mutex + sync.RWMutex
+    size_t atomicOps = 0; ///< atomic.*
+    size_t once = 0;      ///< sync.Once
+    size_t waitGroup = 0; ///< sync.WaitGroup
+    size_t cond = 0;      ///< sync.Cond
+    size_t channel = 0;   ///< chan type syntax
+    size_t misc = 0;      ///< sync.Map, sync.Pool, ...
+
+    // C-style concurrency (for the gRPC-C comparison).
+    size_t threadCreation = 0; ///< pthread_create / thd_new
+    size_t cLock = 0;          ///< mu_lock / pthread_mutex_*
+
+    size_t lines = 0; ///< physical source lines
+
+    size_t
+    goSites() const
+    {
+        return goAnonymous + goNamed;
+    }
+
+    size_t
+    sharedMemoryPrimitives() const
+    {
+        return mutex + atomicOps + once + waitGroup + cond;
+    }
+
+    size_t
+    messagePassingPrimitives() const
+    {
+        return channel + misc;
+    }
+
+    size_t
+    totalPrimitives() const
+    {
+        return sharedMemoryPrimitives() + messagePassingPrimitives();
+    }
+
+    /** Per-KLOC density helper. */
+    double
+    perKloc(size_t count) const
+    {
+        return lines == 0 ? 0.0
+                          : 1000.0 * static_cast<double>(count) /
+                                static_cast<double>(lines);
+    }
+
+    UsageCounts &operator+=(const UsageCounts &other);
+};
+
+/** Scan one source blob (Go or C surface syntax). */
+UsageCounts countUsage(std::string_view source);
+
+} // namespace golite::scanner
+
+#endif // GOLITE_SCANNER_COUNTER_HH

@@ -1,0 +1,123 @@
+#include "scanner/lexer.hh"
+
+#include <cctype>
+
+namespace golite::scanner
+{
+
+Lexer::Lexer(std::string_view source) : source_(source) {}
+
+void
+Lexer::advance()
+{
+    if (pos_ < source_.size() && source_[pos_] == '\n')
+        line_++;
+    pos_++;
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    while (pos_ < source_.size()) {
+        const char c = source_[pos_];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        if (c == '/' && pos_ + 1 < source_.size()) {
+            if (source_[pos_ + 1] == '/') {
+                while (pos_ < source_.size() && source_[pos_] != '\n')
+                    advance();
+                continue;
+            }
+            if (source_[pos_ + 1] == '*') {
+                advance();
+                advance();
+                while (pos_ + 1 < source_.size() &&
+                       !(source_[pos_] == '*' &&
+                         source_[pos_ + 1] == '/')) {
+                    advance();
+                }
+                if (pos_ + 2 <= source_.size()) {
+                    advance();
+                    advance();
+                }
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+Token
+Lexer::next()
+{
+    skipWhitespaceAndComments();
+    if (pos_ >= source_.size())
+        return {TokenKind::EndOfFile, "", line_};
+
+    const char c = source_[pos_];
+    const size_t token_line = line_;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const size_t start = pos_;
+        while (pos_ < source_.size() &&
+               (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+                source_[pos_] == '_')) {
+            pos_++;
+        }
+        return {TokenKind::Identifier,
+                std::string(source_.substr(start, pos_ - start)),
+                token_line};
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        const size_t start = pos_;
+        while (pos_ < source_.size() &&
+               (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+                source_[pos_] == '.')) {
+            pos_++;
+        }
+        return {TokenKind::Number,
+                std::string(source_.substr(start, pos_ - start)),
+                token_line};
+    }
+
+    if (c == '"' || c == '`') {
+        const char quote = c;
+        advance();
+        while (pos_ < source_.size() && source_[pos_] != quote) {
+            if (quote == '"' && source_[pos_] == '\\')
+                advance();
+            advance();
+        }
+        if (pos_ < source_.size())
+            advance();
+        return {TokenKind::String, "", token_line};
+    }
+
+    if (c == '<' && pos_ + 1 < source_.size() &&
+        source_[pos_ + 1] == '-') {
+        pos_ += 2;
+        return {TokenKind::Arrow, "<-", token_line};
+    }
+
+    pos_++;
+    return {TokenKind::Punct, std::string(1, c), token_line};
+}
+
+std::vector<Token>
+Lexer::tokenize(std::string_view source)
+{
+    Lexer lexer(source);
+    std::vector<Token> tokens;
+    for (;;) {
+        Token token = lexer.next();
+        if (token.kind == TokenKind::EndOfFile)
+            break;
+        tokens.push_back(std::move(token));
+    }
+    return tokens;
+}
+
+} // namespace golite::scanner

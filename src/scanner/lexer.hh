@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small lexer for Go surface syntax — just enough to measure what
+ * the paper's static analysis measures: goroutine creation sites
+ * (`go f(...)` vs `go func(...) {...}()`) and concurrency-primitive
+ * usages (sync.Mutex, sync.RWMutex, atomic.*, sync.Once,
+ * sync.WaitGroup, sync.Cond, chan, and misc sync types).
+ */
+
+#ifndef GOLITE_SCANNER_LEXER_HH
+#define GOLITE_SCANNER_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace golite::scanner
+{
+
+enum class TokenKind
+{
+    Identifier, ///< identifiers and keywords
+    Punct,      ///< single punctuation/operator character
+    Arrow,      ///< the <- channel operator
+    String,     ///< a (skipped-content) string literal
+    Number,
+    EndOfFile,
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    /** 1-based source line the token starts on. */
+    size_t line = 1;
+};
+
+/**
+ * Tokenize Go-ish source. Comments (// and C-style) and string
+ * literal contents are skipped; newlines are not significant.
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view source);
+
+    /** Next token; EndOfFile forever once exhausted. */
+    Token next();
+
+    /** Tokenize everything (excluding the EOF marker). */
+    static std::vector<Token> tokenize(std::string_view source);
+
+  private:
+    void skipWhitespaceAndComments();
+
+    /** Advance one char, tracking the line counter. */
+    void advance();
+
+    std::string_view source_;
+    size_t pos_ = 0;
+    size_t line_ = 1;
+};
+
+} // namespace golite::scanner
+
+#endif // GOLITE_SCANNER_LEXER_HH

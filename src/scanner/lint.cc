@@ -1,0 +1,189 @@
+#include "scanner/lint.hh"
+
+#include <set>
+
+#include "scanner/lexer.hh"
+
+namespace golite::scanner
+{
+
+namespace
+{
+
+/** A loop variable visible at some brace depth. */
+struct LoopVar
+{
+    std::string name;
+    int depth; ///< brace depth of the loop body it belongs to
+};
+
+bool
+isIdent(const std::vector<Token> &tokens, size_t i, const char *text)
+{
+    return i < tokens.size() &&
+           tokens[i].kind == TokenKind::Identifier &&
+           tokens[i].text == text;
+}
+
+bool
+isPunct(const std::vector<Token> &tokens, size_t i, char c)
+{
+    return i < tokens.size() && tokens[i].kind == TokenKind::Punct &&
+           tokens[i].text[0] == c;
+}
+
+/**
+ * Collect the iteration variables of a `for` header starting after
+ * the `for` keyword: handles `for i := ...`, `for i, v := range ...`
+ * and leaves other forms (`for cond {`) without variables.
+ */
+std::vector<std::string>
+parseForHeaderVars(const std::vector<Token> &tokens, size_t i)
+{
+    std::vector<std::string> vars;
+    std::vector<std::string> pending;
+    // Walk until `{`, collecting IDENT[, IDENT] := patterns.
+    while (i < tokens.size() && !isPunct(tokens, i, '{')) {
+        if (tokens[i].kind == TokenKind::Identifier) {
+            pending.push_back(tokens[i].text);
+            // Skip the blank identifier.
+            if (pending.back() == "_")
+                pending.back().clear();
+            if (isPunct(tokens, i + 1, ',')) {
+                i += 2;
+                continue;
+            }
+            if (isPunct(tokens, i + 1, ':') &&
+                isPunct(tokens, i + 2, '=')) {
+                for (const std::string &name : pending) {
+                    if (!name.empty())
+                        vars.push_back(name);
+                }
+                return vars;
+            }
+        }
+        pending.clear();
+        i++;
+    }
+    return vars;
+}
+
+/** Parameter names of a `func (a T, b U)` literal header. */
+std::set<std::string>
+parseParamNames(const std::vector<Token> &tokens, size_t &i)
+{
+    std::set<std::string> params;
+    if (!isPunct(tokens, i, '('))
+        return params;
+    i++; // past '('
+    bool expect_name = true;
+    while (i < tokens.size() && !isPunct(tokens, i, ')')) {
+        if (tokens[i].kind == TokenKind::Identifier && expect_name) {
+            params.insert(tokens[i].text);
+            expect_name = false; // the type follows
+        } else if (isPunct(tokens, i, ',')) {
+            expect_name = true;
+        }
+        i++;
+    }
+    if (i < tokens.size())
+        i++; // past ')'
+    return params;
+}
+
+} // namespace
+
+std::vector<CaptureFinding>
+lintAnonymousCaptures(std::string_view source)
+{
+    const std::vector<Token> tokens = Lexer::tokenize(source);
+    std::vector<CaptureFinding> findings;
+
+    int depth = 0;
+    std::vector<LoopVar> loops;
+    // `for` headers seen at the current position whose `{` has not
+    // opened yet: maps the brace depth they will open into.
+    std::vector<std::pair<int, std::vector<std::string>>> pendingLoops;
+
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+
+        if (tok.kind == TokenKind::Punct && tok.text[0] == '{') {
+            depth++;
+            // Attach any pending loop vars to this body depth.
+            for (auto it = pendingLoops.begin();
+                 it != pendingLoops.end();) {
+                if (it->first == depth - 1) {
+                    for (const std::string &name : it->second)
+                        loops.push_back(LoopVar{name, depth});
+                    it = pendingLoops.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            continue;
+        }
+        if (tok.kind == TokenKind::Punct && tok.text[0] == '}') {
+            // Loop variables of this body go out of scope.
+            for (auto it = loops.begin(); it != loops.end();) {
+                if (it->depth == depth)
+                    it = loops.erase(it);
+                else
+                    ++it;
+            }
+            depth--;
+            continue;
+        }
+
+        if (isIdent(tokens, i, "for")) {
+            auto vars = parseForHeaderVars(tokens, i + 1);
+            if (!vars.empty())
+                pendingLoops.push_back({depth, std::move(vars)});
+            continue;
+        }
+
+        // The pattern of interest: `go func (params) { body }`.
+        if (!isIdent(tokens, i, "go") || !isIdent(tokens, i + 1, "func"))
+            continue;
+        if (loops.empty())
+            continue; // not inside any loop: nothing to capture
+
+        const size_t go_line = tok.line;
+        size_t j = i + 2;
+        std::set<std::string> shadowed = parseParamNames(tokens, j);
+
+        // Body: from the `{` to its matching `}`.
+        if (!isPunct(tokens, j, '{'))
+            continue;
+        int body_depth = 0;
+        std::set<std::string> flagged;
+        for (; j < tokens.size(); ++j) {
+            if (isPunct(tokens, j, '{')) {
+                body_depth++;
+                continue;
+            }
+            if (isPunct(tokens, j, '}')) {
+                body_depth--;
+                if (body_depth == 0)
+                    break;
+                continue;
+            }
+            if (tokens[j].kind != TokenKind::Identifier)
+                continue;
+            const std::string &name = tokens[j].text;
+            if (shadowed.count(name) || flagged.count(name))
+                continue;
+            for (const LoopVar &lv : loops) {
+                if (lv.name == name) {
+                    findings.push_back(CaptureFinding{go_line, name});
+                    flagged.insert(name);
+                    break;
+                }
+            }
+        }
+        i = j; // resume after the goroutine body
+    }
+    return findings;
+}
+
+} // namespace golite::scanner

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Anonymous-capture lint: a static checker for the Figure 8 bug
+ * class.
+ *
+ * Section 7 of the paper: "As a preliminary effort, we built a
+ * detector targeting the non-blocking bugs caused by anonymous
+ * functions... Our detector has already discovered a few new bugs."
+ * This is that detector, rebuilt over the golite scanner: it flags
+ * `go func() { ... }()` literals that read an enclosing `for` loop's
+ * iteration variable by reference instead of receiving it as an
+ * argument — the docker-4951 / Figure 8 pattern.
+ */
+
+#ifndef GOLITE_SCANNER_LINT_HH
+#define GOLITE_SCANNER_LINT_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace golite::scanner
+{
+
+/** One flagged goroutine-capture site. */
+struct CaptureFinding
+{
+    /** 1-based source line of the `go` keyword. */
+    size_t line;
+    /** The loop variable captured by reference. */
+    std::string variable;
+};
+
+/**
+ * Scan Go-surface source for anonymous goroutines that capture an
+ * enclosing loop's iteration variable. Goroutines that shadow the
+ * variable with a parameter of the same name (the canonical
+ * `go func(i int) {...}(i)` fix) are not flagged.
+ */
+std::vector<CaptureFinding> lintAnonymousCaptures(
+    std::string_view source);
+
+} // namespace golite::scanner
+
+#endif // GOLITE_SCANNER_LINT_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The study database: one record per studied bug (171 total),
+ * encoding the classification the paper's Tables 5-7 and 9-11 and
+ * Figure 4 aggregate.
+ *
+ * Provenance: category totals, per-app splits, fix-strategy and
+ * fix-primitive distributions are reconstructed from the paper's
+ * published tables and text so that every stated marginal is
+ * satisfied exactly; see EXPERIMENTS.md for the cell-level notes.
+ */
+
+#ifndef GOLITE_STUDY_RECORD_HH
+#define GOLITE_STUDY_RECORD_HH
+
+#include <string>
+#include <vector>
+
+#include "corpus/bug.hh"
+
+namespace golite::study
+{
+
+using corpus::Behavior;
+using corpus::CauseDim;
+using corpus::FixPrimitive;
+using corpus::FixStrategy;
+using corpus::SubCause;
+
+/** One studied bug (a bug-fixing commit in one of the six apps). */
+struct BugRecord
+{
+    std::string id;  ///< synthetic stable id, e.g. "docker-blk-3"
+    std::string app; ///< Docker, Kubernetes, etcd, CockroachDB,
+                     ///< gRPC, BoltDB
+    Behavior behavior;
+    CauseDim cause;
+    SubCause subcause;
+    FixStrategy fixStrategy;
+    /** Primitives the patch leveraged; can be more than one (the
+     *  Table 11 column total is 94 over 86 non-blocking bugs). */
+    std::vector<FixPrimitive> fixPrimitives;
+    /** Days from the buggy commit to the fixing commit (Figure 4). */
+    int lifetimeDays = 0;
+    /** Patch size in changed lines (Section 5.2: mean 6.8 for
+     *  blocking bugs). */
+    int patchLines = 0;
+};
+
+/** Static metadata for Table 1. */
+struct AppInfo
+{
+    std::string name;
+    int stars;        ///< GitHub stars (thousands would lose BoltDB)
+    int commits;
+    int contributors;
+    int loc;          ///< lines of code
+    double devYears;  ///< development history on GitHub
+};
+
+/** The six studied applications, Table 1 order. */
+const std::vector<AppInfo> &apps();
+
+/** All 171 bug records. Built once, deterministically. */
+const std::vector<BugRecord> &database();
+
+} // namespace golite::study
+
+#endif // GOLITE_STUDY_RECORD_HH

@@ -1,0 +1,62 @@
+#include "study/stats.hh"
+
+#include <algorithm>
+
+namespace golite::study
+{
+
+double
+lift(size_t count_ab, size_t count_a, size_t count_b, size_t total)
+{
+    if (count_a == 0 || count_b == 0 || total == 0)
+        return 0.0;
+    const double p_ab = static_cast<double>(count_ab) /
+                        static_cast<double>(total);
+    const double p_a = static_cast<double>(count_a) /
+                       static_cast<double>(total);
+    const double p_b = static_cast<double>(count_b) /
+                       static_cast<double>(total);
+    return p_ab / (p_a * p_b);
+}
+
+std::vector<double>
+empiricalCdf(std::vector<int> samples, const std::vector<int> &thresholds)
+{
+    std::sort(samples.begin(), samples.end());
+    std::vector<double> out;
+    out.reserve(thresholds.size());
+    for (int threshold : thresholds) {
+        const auto it = std::upper_bound(samples.begin(), samples.end(),
+                                         threshold);
+        out.push_back(samples.empty()
+                          ? 0.0
+                          : static_cast<double>(it - samples.begin()) /
+                                static_cast<double>(samples.size()));
+    }
+    return out;
+}
+
+double
+mean(const std::vector<int> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (int v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+median(std::vector<int> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+} // namespace golite::study

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Statistics used in the paper's analysis: the `lift` correlation
+ * metric between bug causes and fixes (Sections 5.2 and 6.2) and the
+ * life-time CDF of Figure 4.
+ */
+
+#ifndef GOLITE_STUDY_STATS_HH
+#define GOLITE_STUDY_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace golite::study
+{
+
+/**
+ * lift(A, B) = P(AB) / (P(A) P(B)) over a population of @p total
+ * items, where @p count_a items are in category A, @p count_b in B,
+ * and @p count_ab in both. 1 = independent; > 1 = positively
+ * correlated; < 1 = negatively correlated.
+ */
+double lift(size_t count_ab, size_t count_a, size_t count_b,
+            size_t total);
+
+/**
+ * Empirical CDF: fraction of @p samples <= each value in
+ * @p thresholds.
+ */
+std::vector<double> empiricalCdf(std::vector<int> samples,
+                                 const std::vector<int> &thresholds);
+
+/** Arithmetic mean (0 for empty input). */
+double mean(const std::vector<int> &values);
+
+/** Median (0 for empty input). */
+double median(std::vector<int> values);
+
+} // namespace golite::study
+
+#endif // GOLITE_STUDY_STATS_HH

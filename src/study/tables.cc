@@ -1,0 +1,424 @@
+#include "study/tables.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "study/stats.hh"
+
+namespace golite::study
+{
+
+using corpus::fixPrimitiveName;
+using corpus::fixStrategyName;
+using corpus::subCauseName;
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int digits)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(digits);
+    os << value;
+    return os.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths;
+    for (const auto &row : rows_) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+    std::ostringstream os;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        for (size_t i = 0; i < rows_[r].size(); ++i) {
+            os << rows_[r][i];
+            if (i + 1 < rows_[r].size()) {
+                os << std::string(widths[i] - rows_[r][i].size() + 2,
+                                  ' ');
+            }
+        }
+        os << "\n";
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t w : widths)
+                total += w + 2;
+            os << std::string(total, '-') << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::vector<TaxonomyRow>
+taxonomy()
+{
+    std::vector<TaxonomyRow> rows;
+    for (const AppInfo &app : apps())
+        rows.push_back(TaxonomyRow{app.name, 0, 0, 0, 0});
+    TaxonomyRow total{"Total", 0, 0, 0, 0};
+    for (const BugRecord &rec : database()) {
+        for (TaxonomyRow &row : rows) {
+            if (row.app != rec.app)
+                continue;
+            (rec.behavior == Behavior::Blocking ? row.blocking
+                                                : row.nonBlocking)++;
+            (rec.cause == CauseDim::SharedMemory ? row.sharedMemory
+                                                 : row.messagePassing)++;
+        }
+        (rec.behavior == Behavior::Blocking ? total.blocking
+                                            : total.nonBlocking)++;
+        (rec.cause == CauseDim::SharedMemory ? total.sharedMemory
+                                             : total.messagePassing)++;
+    }
+    rows.push_back(total);
+    return rows;
+}
+
+std::map<SubCause, int>
+causeCounts(Behavior behavior)
+{
+    std::map<SubCause, int> out;
+    for (const BugRecord &rec : database()) {
+        if (rec.behavior == behavior)
+            out[rec.subcause]++;
+    }
+    return out;
+}
+
+std::map<std::string, std::map<SubCause, int>>
+causeCountsByApp(Behavior behavior)
+{
+    std::map<std::string, std::map<SubCause, int>> out;
+    for (const BugRecord &rec : database()) {
+        if (rec.behavior == behavior)
+            out[rec.app][rec.subcause]++;
+    }
+    return out;
+}
+
+std::map<SubCause, std::map<FixStrategy, int>>
+fixStrategyMatrix(Behavior behavior)
+{
+    std::map<SubCause, std::map<FixStrategy, int>> out;
+    for (const BugRecord &rec : database()) {
+        if (rec.behavior == behavior)
+            out[rec.subcause][rec.fixStrategy]++;
+    }
+    return out;
+}
+
+std::map<SubCause, std::map<FixPrimitive, int>>
+fixPrimitiveMatrix()
+{
+    std::map<SubCause, std::map<FixPrimitive, int>> out;
+    for (const BugRecord &rec : database()) {
+        if (rec.behavior != Behavior::NonBlocking)
+            continue;
+        for (FixPrimitive primitive : rec.fixPrimitives)
+            out[rec.subcause][primitive]++;
+    }
+    return out;
+}
+
+double
+liftCauseStrategy(Behavior behavior, SubCause cause, FixStrategy strategy)
+{
+    size_t total = 0, count_a = 0, count_b = 0, count_ab = 0;
+    for (const BugRecord &rec : database()) {
+        if (rec.behavior != behavior)
+            continue;
+        total++;
+        const bool is_a = rec.subcause == cause;
+        const bool is_b = rec.fixStrategy == strategy;
+        count_a += is_a;
+        count_b += is_b;
+        count_ab += is_a && is_b;
+    }
+    return lift(count_ab, count_a, count_b, total);
+}
+
+double
+liftCausePrimitive(SubCause cause, FixPrimitive primitive)
+{
+    // Population: patch-primitive pairs of non-blocking bugs (the
+    // Table 11 counting convention; 94 pairs over 86 bugs).
+    size_t total = 0, count_a = 0, count_b = 0, count_ab = 0;
+    for (const BugRecord &rec : database()) {
+        if (rec.behavior != Behavior::NonBlocking)
+            continue;
+        for (FixPrimitive p : rec.fixPrimitives) {
+            total++;
+            const bool is_a = rec.subcause == cause;
+            const bool is_b = p == primitive;
+            count_a += is_a;
+            count_b += is_b;
+            count_ab += is_a && is_b;
+        }
+    }
+    return lift(count_ab, count_a, count_b, total);
+}
+
+std::vector<int>
+lifetimes(CauseDim cause)
+{
+    std::vector<int> out;
+    for (const BugRecord &rec : database()) {
+        if (rec.cause == cause)
+            out.push_back(rec.lifetimeDays);
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------
+// Renderers.
+
+std::string
+renderTable1()
+{
+    TextTable table({"Application", "Stars", "Commits", "Contributors",
+                     "LOC", "Dev History"});
+    for (const AppInfo &app : apps()) {
+        table.addRow({app.name, std::to_string(app.stars),
+                      std::to_string(app.commits),
+                      std::to_string(app.contributors),
+                      std::to_string(app.loc),
+                      TextTable::num(app.devYears, 1) + " Years"});
+    }
+    return table.render();
+}
+
+std::string
+renderTable5()
+{
+    TextTable table({"Application", "blocking", "non-blocking",
+                     "shared memory", "message passing"});
+    for (const TaxonomyRow &row : taxonomy()) {
+        table.addRow({row.app, std::to_string(row.blocking),
+                      std::to_string(row.nonBlocking),
+                      std::to_string(row.sharedMemory),
+                      std::to_string(row.messagePassing)});
+    }
+    return table.render();
+}
+
+namespace
+{
+
+const std::vector<SubCause> kBlockingOrder = {
+    SubCause::Mutex,   SubCause::RWMutex,       SubCause::Wait,
+    SubCause::Chan,    SubCause::ChanWithOther, SubCause::MessagingLibrary,
+};
+
+const std::vector<SubCause> kNonBlockingOrder = {
+    SubCause::Traditional,     SubCause::AnonymousFunction,
+    SubCause::WaitGroupMisuse, SubCause::LibShared,
+    SubCause::ChanMisuse,      SubCause::LibMessage,
+};
+
+std::string
+renderCauseTable(Behavior behavior, const std::vector<SubCause> &order)
+{
+    std::vector<std::string> header = {"Application"};
+    for (SubCause cause : order)
+        header.push_back(subCauseName(cause));
+    header.push_back("Total");
+    TextTable table(header);
+
+    auto by_app = causeCountsByApp(behavior);
+    std::map<SubCause, int> totals;
+    int grand_total = 0;
+    for (const AppInfo &app : apps()) {
+        std::vector<std::string> row = {app.name};
+        int app_total = 0;
+        for (SubCause cause : order) {
+            const int count = by_app[app.name][cause];
+            row.push_back(std::to_string(count));
+            totals[cause] += count;
+            app_total += count;
+        }
+        row.push_back(std::to_string(app_total));
+        grand_total += app_total;
+        table.addRow(row);
+    }
+    std::vector<std::string> total_row = {"Total"};
+    for (SubCause cause : order)
+        total_row.push_back(std::to_string(totals[cause]));
+    total_row.push_back(std::to_string(grand_total));
+    table.addRow(total_row);
+    return table.render();
+}
+
+std::string
+renderFixTable(Behavior behavior, const std::vector<SubCause> &order,
+               const std::vector<FixStrategy> &strategies)
+{
+    std::vector<std::string> header = {"Root Cause"};
+    for (FixStrategy s : strategies)
+        header.push_back(std::string(fixStrategyName(s)) + "_s");
+    header.push_back("Total");
+    TextTable table(header);
+
+    auto matrix = fixStrategyMatrix(behavior);
+    std::map<FixStrategy, int> totals;
+    int grand_total = 0;
+    for (SubCause cause : order) {
+        std::vector<std::string> row = {subCauseName(cause)};
+        int row_total = 0;
+        for (FixStrategy s : strategies) {
+            const int count = matrix[cause][s];
+            row.push_back(std::to_string(count));
+            totals[s] += count;
+            row_total += count;
+        }
+        row.push_back(std::to_string(row_total));
+        grand_total += row_total;
+        table.addRow(row);
+    }
+    std::vector<std::string> total_row = {"Total"};
+    for (FixStrategy s : strategies)
+        total_row.push_back(std::to_string(totals[s]));
+    total_row.push_back(std::to_string(grand_total));
+    table.addRow(total_row);
+    return table.render();
+}
+
+} // namespace
+
+std::string
+renderTable6()
+{
+    return renderCauseTable(Behavior::Blocking, kBlockingOrder);
+}
+
+std::string
+renderTable7()
+{
+    std::ostringstream os;
+    os << renderFixTable(Behavior::Blocking, kBlockingOrder,
+                         {FixStrategy::AddSync, FixStrategy::MoveSync,
+                          FixStrategy::ChangeSync,
+                          FixStrategy::RemoveSync, FixStrategy::Misc});
+    os << "\nlift(Mutex, Move_s)  = "
+       << TextTable::num(liftCauseStrategy(Behavior::Blocking,
+                                           SubCause::Mutex,
+                                           FixStrategy::MoveSync))
+       << "   (paper: 1.52)\n";
+    os << "lift(Chan, Add_s)    = "
+       << TextTable::num(liftCauseStrategy(Behavior::Blocking,
+                                           SubCause::Chan,
+                                           FixStrategy::AddSync))
+       << "   (paper: 1.42)\n";
+    return os.str();
+}
+
+std::string
+renderTable9()
+{
+    return renderCauseTable(Behavior::NonBlocking, kNonBlockingOrder);
+}
+
+std::string
+renderTable10()
+{
+    std::ostringstream os;
+    os << renderFixTable(Behavior::NonBlocking, kNonBlockingOrder,
+                         {FixStrategy::AddSync, FixStrategy::MoveSync,
+                          FixStrategy::Bypass, FixStrategy::DataPrivate,
+                          FixStrategy::Misc});
+    os << "\nlift(chan, Move_s)        = "
+       << TextTable::num(liftCauseStrategy(Behavior::NonBlocking,
+                                           SubCause::ChanMisuse,
+                                           FixStrategy::MoveSync))
+       << "   (paper: 2.21)\n";
+    os << "lift(anonymous, private)  = "
+       << TextTable::num(liftCauseStrategy(
+              Behavior::NonBlocking, SubCause::AnonymousFunction,
+              FixStrategy::DataPrivate))
+       << "   (paper: 2.23)\n";
+    return os.str();
+}
+
+std::string
+renderTable11()
+{
+    const std::vector<FixPrimitive> primitives = {
+        FixPrimitive::Mutex, FixPrimitive::Channel, FixPrimitive::Atomic,
+        FixPrimitive::WaitGroup, FixPrimitive::Cond, FixPrimitive::Misc,
+        FixPrimitive::None};
+    std::vector<std::string> header = {"Root Cause"};
+    for (FixPrimitive p : primitives)
+        header.push_back(fixPrimitiveName(p));
+    header.push_back("Total");
+    TextTable table(header);
+
+    auto matrix = fixPrimitiveMatrix();
+    std::map<FixPrimitive, int> totals;
+    int grand_total = 0;
+    for (SubCause cause : kNonBlockingOrder) {
+        std::vector<std::string> row = {subCauseName(cause)};
+        int row_total = 0;
+        for (FixPrimitive p : primitives) {
+            const int count = matrix[cause][p];
+            row.push_back(std::to_string(count));
+            totals[p] += count;
+            row_total += count;
+        }
+        row.push_back(std::to_string(row_total));
+        grand_total += row_total;
+        table.addRow(row);
+    }
+    std::vector<std::string> total_row = {"Total"};
+    for (FixPrimitive p : primitives)
+        total_row.push_back(std::to_string(totals[p]));
+    total_row.push_back(std::to_string(grand_total));
+    table.addRow(total_row);
+
+    std::ostringstream os;
+    os << table.render();
+    os << "\nlift(chan, Channel primitive) = "
+       << TextTable::num(liftCausePrimitive(SubCause::ChanMisuse,
+                                            FixPrimitive::Channel))
+       << "   (paper: 2.7)\n";
+    return os.str();
+}
+
+std::string
+renderFigure4()
+{
+    const std::vector<int> thresholds = {30,  91,  182, 365, 547,
+                                         730, 1095, 1460, 2190};
+    auto shared = lifetimes(CauseDim::SharedMemory);
+    auto message = lifetimes(CauseDim::MessagePassing);
+    auto shared_cdf = empiricalCdf(shared, thresholds);
+    auto message_cdf = empiricalCdf(message, thresholds);
+
+    TextTable table({"Life time <=", "shared memory CDF",
+                     "message passing CDF"});
+    for (size_t i = 0; i < thresholds.size(); ++i) {
+        table.addRow({std::to_string(thresholds[i]) + " days",
+                      TextTable::num(shared_cdf[i]),
+                      TextTable::num(message_cdf[i])});
+    }
+    std::ostringstream os;
+    os << table.render();
+    os << "\nmedian life time: shared memory "
+       << TextTable::num(median(shared), 0) << " days, message passing "
+       << TextTable::num(median(message), 0) << " days\n";
+    return os.str();
+}
+
+} // namespace golite::study

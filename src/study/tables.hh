@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Aggregations over the study database plus a small text-table
+ * renderer. Each bench binary calls one of the render* functions to
+ * regenerate the corresponding paper table; tests assert on the raw
+ * aggregation results.
+ */
+
+#ifndef GOLITE_STUDY_TABLES_HH
+#define GOLITE_STUDY_TABLES_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "study/record.hh"
+
+namespace golite::study
+{
+
+/** Minimal fixed-width text table used by all bench output. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column-aligned padding and a header rule. */
+    std::string render() const;
+
+    /** Format helper: double with @p digits decimals. */
+    static std::string num(double value, int digits = 2);
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Table 5 row: taxonomy counts for one app. */
+struct TaxonomyRow
+{
+    std::string app;
+    int blocking = 0;
+    int nonBlocking = 0;
+    int sharedMemory = 0;
+    int messagePassing = 0;
+};
+
+/** Taxonomy per app plus a "Total" row (Table 5). */
+std::vector<TaxonomyRow> taxonomy();
+
+/** cause-subcategory -> count, filtered by behaviour (Tables 6/9). */
+std::map<SubCause, int> causeCounts(Behavior behavior);
+
+/** app -> subcause -> count for one behaviour (Tables 6/9 cells). */
+std::map<std::string, std::map<SubCause, int>>
+causeCountsByApp(Behavior behavior);
+
+/** subcause -> strategy -> count (Tables 7/10). */
+std::map<SubCause, std::map<FixStrategy, int>>
+fixStrategyMatrix(Behavior behavior);
+
+/** subcause -> primitive -> count for non-blocking patches
+ *  (Table 11; counts patch primitives, not bugs). */
+std::map<SubCause, std::map<FixPrimitive, int>> fixPrimitiveMatrix();
+
+/**
+ * lift between a cause subcategory and a fix strategy within one
+ * behaviour class (Section 5.2 / 6.2).
+ */
+double liftCauseStrategy(Behavior behavior, SubCause cause,
+                         FixStrategy strategy);
+
+/**
+ * lift between a non-blocking cause and a fix primitive, computed
+ * over patch-primitive pairs (the Table 11 population).
+ */
+double liftCausePrimitive(SubCause cause, FixPrimitive primitive);
+
+/** Life times in days for one cause dimension (Figure 4 input). */
+std::vector<int> lifetimes(CauseDim cause);
+
+// --- Renderers (one per table/figure) ---------------------------
+
+std::string renderTable1();
+std::string renderTable5();
+std::string renderTable6();
+std::string renderTable7();
+std::string renderTable9();
+std::string renderTable10();
+std::string renderTable11();
+std::string renderFigure4();
+
+} // namespace golite::study
+
+#endif // GOLITE_STUDY_TABLES_HH

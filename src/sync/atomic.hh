@@ -1,0 +1,72 @@
+/**
+ * @file
+ * sync/atomic: atomic loads/stores/adds/CAS that, as in Go's race
+ * detector, count as synchronization (they create happens-before
+ * edges and never race with each other).
+ */
+
+#ifndef GOLITE_SYNC_ATOMIC_HH
+#define GOLITE_SYNC_ATOMIC_HH
+
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+template <typename T>
+class Atomic
+{
+  public:
+    Atomic() = default;
+    explicit Atomic(T initial) : value_(initial) {}
+    Atomic(const Atomic &) = delete;
+    Atomic &operator=(const Atomic &) = delete;
+
+    T
+    load() const
+    {
+        Scheduler::current()->hooks()->acquire(this);
+        return value_;
+    }
+
+    void
+    store(T value)
+    {
+        value_ = value;
+        Scheduler::current()->hooks()->release(this);
+    }
+
+    /** Atomic add; returns the new value (Go's AddInt64 convention). */
+    T
+    add(T delta)
+    {
+        Scheduler *sched = Scheduler::current();
+        sched->hooks()->acquire(this);
+        value_ += delta;
+        sched->hooks()->release(this);
+        return value_;
+    }
+
+    /** Compare-and-swap; true on success. */
+    bool
+    compareAndSwap(T expect, T desired)
+    {
+        Scheduler *sched = Scheduler::current();
+        sched->hooks()->acquire(this);
+        const bool swapped = (value_ == expect);
+        if (swapped)
+            value_ = desired;
+        sched->hooks()->release(this);
+        return swapped;
+    }
+
+    /** Uninstrumented access for use outside a run (e.g. asserts). */
+    T raw() const { return value_; }
+
+  private:
+    T value_{};
+};
+
+} // namespace golite
+
+#endif // GOLITE_SYNC_ATOMIC_HH

@@ -1,0 +1,41 @@
+#include "sync/cond.hh"
+
+#include "base/panic.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+void
+Cond::wait()
+{
+    Scheduler *sched = Scheduler::current();
+    if (!mutex_.locked())
+        goPanic("sync: Cond.Wait without holding the mutex");
+    waitq_.push_back(sched->running());
+    mutex_.unlock();
+    sched->park(WaitReason::CondWait, this);
+    mutex_.lock();
+}
+
+void
+Cond::signal()
+{
+    Scheduler *sched = Scheduler::current();
+    if (waitq_.empty())
+        return;
+    sched->unpark(waitq_.front());
+    waitq_.pop_front();
+}
+
+void
+Cond::broadcast()
+{
+    Scheduler *sched = Scheduler::current();
+    while (!waitq_.empty()) {
+        sched->unpark(waitq_.front());
+        waitq_.pop_front();
+    }
+}
+
+} // namespace golite

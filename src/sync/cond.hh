@@ -1,0 +1,51 @@
+/**
+ * @file
+ * sync.Cond: condition variable bound to a Mutex.
+ *
+ * As in Go (and unlike lost-wakeup-tolerant designs), a Wait with no
+ * subsequent Signal/Broadcast blocks forever — two of the paper's
+ * blocking bugs are exactly that missing-signal pattern.
+ */
+
+#ifndef GOLITE_SYNC_COND_HH
+#define GOLITE_SYNC_COND_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "sync/mutex.hh"
+
+namespace golite
+{
+
+class Goroutine;
+
+class Cond
+{
+  public:
+    explicit Cond(Mutex &mutex) : mutex_(mutex) {}
+    Cond(const Cond &) = delete;
+    Cond &operator=(const Cond &) = delete;
+
+    /**
+     * Atomically release the mutex and park; re-acquire before
+     * returning. The mutex must be held. No spurious wakeups.
+     */
+    void wait();
+
+    /** Wake one waiter (no-op when none). */
+    void signal();
+
+    /** Wake all waiters. */
+    void broadcast();
+
+    size_t waiters() const { return waitq_.size(); }
+
+  private:
+    Mutex &mutex_;
+    std::deque<Goroutine *> waitq_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_SYNC_COND_HH

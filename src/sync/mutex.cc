@@ -1,0 +1,59 @@
+#include "sync/mutex.hh"
+
+#include "base/panic.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+void
+Mutex::lock()
+{
+    Scheduler *sched = Scheduler::current();
+    if (!locked_) {
+        locked_ = true;
+        holder_ = sched->runningId();
+        sched->hooks()->lockAcquired(this, holder_, true);
+        sched->hooks()->acquire(this);
+        return;
+    }
+    // Note: no reentrancy check — locking a mutex the current
+    // goroutine already holds blocks forever, exactly as in Go.
+    sched->hooks()->lockRequested(this, sched->runningId(), true);
+    waitq_.push_back(sched->running());
+    sched->park(WaitReason::MutexLock, this);
+    // Ownership was handed to us by unlock().
+    holder_ = sched->runningId();
+    sched->hooks()->lockAcquired(this, holder_, true);
+    sched->hooks()->acquire(this);
+}
+
+void
+Mutex::unlock()
+{
+    Scheduler *sched = Scheduler::current();
+    if (!locked_)
+        goPanic("sync: unlock of unlocked mutex");
+    sched->hooks()->lockReleased(this, sched->runningId());
+    sched->hooks()->release(this);
+    if (!waitq_.empty()) {
+        Goroutine *next = waitq_.front();
+        waitq_.pop_front();
+        // Lock stays held; ownership transfers to `next`.
+        sched->unpark(next);
+        return;
+    }
+    locked_ = false;
+    holder_ = 0;
+}
+
+bool
+Mutex::tryLock()
+{
+    if (locked_)
+        return false;
+    lock();
+    return true;
+}
+
+} // namespace golite

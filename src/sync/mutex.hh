@@ -1,0 +1,66 @@
+/**
+ * @file
+ * sync.Mutex: Go's mutual-exclusion lock.
+ *
+ * Like Go's (and unlike std::mutex), it is not reentrant and has no
+ * owner check on lock: a goroutine locking a mutex it already holds
+ * blocks forever — the classic double-lock blocking bug (28 of the
+ * paper's 85 blocking bugs are Mutex misuses). Unlocking an unlocked
+ * mutex panics, as in Go.
+ */
+
+#ifndef GOLITE_SYNC_MUTEX_HH
+#define GOLITE_SYNC_MUTEX_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace golite
+{
+
+class Goroutine;
+
+class Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    /** Acquire the lock, blocking (possibly forever) if held. */
+    void lock();
+
+    /** Release the lock. Panics if the mutex is not locked. */
+    void unlock();
+
+    /** Non-blocking acquire (Go 1.18's TryLock). */
+    bool tryLock();
+
+    /** True while some goroutine holds the lock. */
+    bool locked() const { return locked_; }
+
+    /** Id of the goroutine that locked last (diagnostics only). */
+    uint64_t holder() const { return holder_; }
+
+  private:
+    bool locked_ = false;
+    uint64_t holder_ = 0;
+    std::deque<Goroutine *> waitq_;
+};
+
+/** RAII helper for scoped lock/unlock (not a Go construct; a C++ aid). */
+class MutexGuard
+{
+  public:
+    explicit MutexGuard(Mutex &mutex) : mutex_(mutex) { mutex_.lock(); }
+    ~MutexGuard() { mutex_.unlock(); }
+    MutexGuard(const MutexGuard &) = delete;
+    MutexGuard &operator=(const MutexGuard &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_SYNC_MUTEX_HH

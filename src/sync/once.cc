@@ -1,0 +1,33 @@
+#include "sync/once.hh"
+
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+void
+Once::doOnce(const std::function<void()> &fn)
+{
+    Scheduler *sched = Scheduler::current();
+    if (done_) {
+        sched->hooks()->acquire(this);
+        return;
+    }
+    if (running_) {
+        waitq_.push_back(sched->running());
+        sched->park(WaitReason::OnceWait, this);
+        sched->hooks()->acquire(this);
+        return;
+    }
+    running_ = true;
+    fn();
+    running_ = false;
+    done_ = true;
+    sched->hooks()->release(this);
+    while (!waitq_.empty()) {
+        sched->unpark(waitq_.front());
+        waitq_.pop_front();
+    }
+}
+
+} // namespace golite

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * sync.Once: run a function exactly once across goroutines.
+ *
+ * Go programmers use Once both for one-time initialization and — as in
+ * the Docker#24007 fix (Figure 10) — to make a channel close idempotent.
+ */
+
+#ifndef GOLITE_SYNC_ONCE_HH
+#define GOLITE_SYNC_ONCE_HH
+
+#include <deque>
+#include <functional>
+
+namespace golite
+{
+
+class Goroutine;
+
+class Once
+{
+  public:
+    Once() = default;
+    Once(const Once &) = delete;
+    Once &operator=(const Once &) = delete;
+
+    /**
+     * Run @p fn if no previous doOnce on this Once has run it.
+     * Concurrent callers block until the first caller's fn returns
+     * (Go's semantics), then return without running fn.
+     */
+    void doOnce(const std::function<void()> &fn);
+
+    bool done() const { return done_; }
+
+  private:
+    bool done_ = false;
+    bool running_ = false;
+    std::deque<Goroutine *> waitq_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_SYNC_ONCE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * sync.Pool: a cache of reusable values (a "Misc" primitive in the
+ * paper's Table 4 taxonomy).
+ *
+ * Like Go's: get() returns a pooled value or calls the factory;
+ * put() returns a value to the pool. golite's runtime is
+ * single-threaded, so this is semantically a free list with
+ * happens-before edges (put releases; get acquires).
+ */
+
+#ifndef GOLITE_SYNC_POOL_HH
+#define GOLITE_SYNC_POOL_HH
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+template <typename T>
+class Pool
+{
+  public:
+    /** @param factory Called by get() when the pool is empty. */
+    explicit Pool(std::function<T()> factory)
+        : factory_(std::move(factory))
+    {
+    }
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /** Take a value from the pool (or make a fresh one). */
+    T
+    get()
+    {
+        Scheduler::current()->hooks()->acquire(this);
+        if (items_.empty())
+            return factory_();
+        T out = std::move(items_.back());
+        items_.pop_back();
+        return out;
+    }
+
+    /** Return a value to the pool. */
+    void
+    put(T value)
+    {
+        items_.push_back(std::move(value));
+        Scheduler::current()->hooks()->release(this);
+    }
+
+    size_t idle() const { return items_.size(); }
+
+  private:
+    std::function<T()> factory_;
+    std::vector<T> items_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_SYNC_POOL_HH

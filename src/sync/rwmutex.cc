@@ -1,0 +1,87 @@
+#include "sync/rwmutex.hh"
+
+#include "base/panic.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+void
+RWMutex::rlock()
+{
+    Scheduler *sched = Scheduler::current();
+    // Writer privilege: a waiting writer blocks new readers even
+    // though readers currently hold the lock. This is what makes the
+    // recursive-read-lock pattern deadlock in Go.
+    if (writerActive_ || !writerq_.empty()) {
+        sched->hooks()->lockRequested(this, sched->runningId(), false);
+        readerq_.push_back(sched->running());
+        sched->park(WaitReason::RWMutexRLock, this);
+    } else {
+        readers_++;
+    }
+    sched->hooks()->lockAcquired(this, sched->runningId(), false);
+    sched->hooks()->acquire(this);
+}
+
+void
+RWMutex::runlock()
+{
+    Scheduler *sched = Scheduler::current();
+    if (readers_ == 0)
+        goPanic("sync: RUnlock of unlocked RWMutex");
+    sched->hooks()->lockReleased(this, sched->runningId());
+    sched->hooks()->release(this);
+    readers_--;
+    if (readers_ == 0 && !writerq_.empty()) {
+        Goroutine *w = writerq_.front();
+        writerq_.pop_front();
+        writerActive_ = true;
+        sched->unpark(w);
+    }
+}
+
+void
+RWMutex::lock()
+{
+    Scheduler *sched = Scheduler::current();
+    if (readers_ == 0 && !writerActive_ && writerq_.empty()) {
+        writerActive_ = true;
+    } else {
+        sched->hooks()->lockRequested(this, sched->runningId(), true);
+        writerq_.push_back(sched->running());
+        sched->park(WaitReason::RWMutexWLock, this);
+        // writerActive_ was set on our behalf by the waker.
+    }
+    sched->hooks()->lockAcquired(this, sched->runningId(), true);
+    sched->hooks()->acquire(this);
+}
+
+void
+RWMutex::unlock()
+{
+    Scheduler *sched = Scheduler::current();
+    if (!writerActive_)
+        goPanic("sync: Unlock of unlocked RWMutex");
+    sched->hooks()->lockReleased(this, sched->runningId());
+    sched->hooks()->release(this);
+    writerActive_ = false;
+    if (!readerq_.empty()) {
+        // Go releases the readers that queued behind us first.
+        while (!readerq_.empty()) {
+            Goroutine *r = readerq_.front();
+            readerq_.pop_front();
+            readers_++;
+            sched->unpark(r);
+        }
+        return;
+    }
+    if (!writerq_.empty()) {
+        Goroutine *w = writerq_.front();
+        writerq_.pop_front();
+        writerActive_ = true;
+        sched->unpark(w);
+    }
+}
+
+} // namespace golite

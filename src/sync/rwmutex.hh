@@ -1,0 +1,62 @@
+/**
+ * @file
+ * sync.RWMutex with Go's writer-priority semantics.
+ *
+ * Go's write-lock requests have higher privilege than read-lock
+ * requests: once a writer is waiting, new readers queue behind it even
+ * while other readers still hold the lock. pthread_rwlock_t (default
+ * attrs) prioritizes readers instead. This difference is the root cause
+ * of the paper's RWMutex blocking-bug class (Section 5.1.1): a
+ * goroutine that read-locks twice, interleaved by another goroutine's
+ * write-lock request, deadlocks in Go but not in C.
+ */
+
+#ifndef GOLITE_SYNC_RWMUTEX_HH
+#define GOLITE_SYNC_RWMUTEX_HH
+
+#include <cstddef>
+#include <deque>
+
+namespace golite
+{
+
+class Goroutine;
+
+class RWMutex
+{
+  public:
+    RWMutex() = default;
+    RWMutex(const RWMutex &) = delete;
+    RWMutex &operator=(const RWMutex &) = delete;
+
+    /**
+     * Acquire a read lock. Blocks while a writer holds the lock or —
+     * the Go-specific part — while any writer is waiting for it.
+     */
+    void rlock();
+
+    /** Release a read lock. Panics if no read lock is held. */
+    void runlock();
+
+    /** Acquire the write lock (exclusive). */
+    void lock();
+
+    /** Release the write lock. Panics if not write-locked. */
+    void unlock();
+
+    size_t readers() const { return readers_; }
+    bool writeLocked() const { return writerActive_; }
+
+    /** True when some writer is queued (diagnostics / tests). */
+    bool writerPending() const { return !writerq_.empty(); }
+
+  private:
+    size_t readers_ = 0;
+    bool writerActive_ = false;
+    std::deque<Goroutine *> readerq_;
+    std::deque<Goroutine *> writerq_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_SYNC_RWMUTEX_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * sync.Map: a goroutine-safe map (one of the "Misc" primitives in the
+ * paper's Table 4 taxonomy, alongside sync.Pool).
+ *
+ * Semantics follow Go's sync.Map surface: load, store,
+ * loadOrStore, loadAndDelete, del, and range. All operations
+ * synchronize (they create happens-before edges), so using a
+ * SyncMap instead of a plain map removes data races on the map
+ * itself — but, as with Go's, *not* on the values stored in it.
+ */
+
+#ifndef GOLITE_SYNC_SYNCMAP_HH
+#define GOLITE_SYNC_SYNCMAP_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+template <typename K, typename V>
+class SyncMap
+{
+  public:
+    SyncMap() = default;
+    SyncMap(const SyncMap &) = delete;
+    SyncMap &operator=(const SyncMap &) = delete;
+
+    /** Look up @p key; nullopt when absent. */
+    std::optional<V>
+    load(const K &key) const
+    {
+        Scheduler::current()->hooks()->acquire(this);
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Insert or overwrite. */
+    void
+    store(const K &key, V value)
+    {
+        map_[key] = std::move(value);
+        Scheduler::current()->hooks()->release(this);
+    }
+
+    /**
+     * Go's LoadOrStore: returns {existing, true} when the key was
+     * present, else stores @p value and returns {value, false}.
+     */
+    std::pair<V, bool>
+    loadOrStore(const K &key, V value)
+    {
+        Scheduler *sched = Scheduler::current();
+        sched->hooks()->acquire(this);
+        auto it = map_.find(key);
+        if (it != map_.end())
+            return {it->second, true};
+        map_[key] = value;
+        sched->hooks()->release(this);
+        return {std::move(value), false};
+    }
+
+    /** Go's LoadAndDelete: remove and return the previous value. */
+    std::optional<V>
+    loadAndDelete(const K &key)
+    {
+        Scheduler *sched = Scheduler::current();
+        sched->hooks()->acquire(this);
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return std::nullopt;
+        V out = std::move(it->second);
+        map_.erase(it);
+        sched->hooks()->release(this);
+        return out;
+    }
+
+    /** Remove @p key if present. */
+    void
+    del(const K &key)
+    {
+        map_.erase(key);
+        Scheduler::current()->hooks()->release(this);
+    }
+
+    /**
+     * Iterate over a snapshot; stop early when fn returns false.
+     * Like Go's Range, concurrent mutation during fn is allowed (fn
+     * sees the snapshot).
+     */
+    void
+    range(const std::function<bool(const K &, const V &)> &fn) const
+    {
+        Scheduler::current()->hooks()->acquire(this);
+        const std::map<K, V> snapshot = map_;
+        for (const auto &[key, value] : snapshot) {
+            if (!fn(key, value))
+                return;
+        }
+    }
+
+    size_t size() const { return map_.size(); }
+
+  private:
+    std::map<K, V> map_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_SYNC_SYNCMAP_HH

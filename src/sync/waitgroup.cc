@@ -1,0 +1,39 @@
+#include "sync/waitgroup.hh"
+
+#include "base/panic.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite
+{
+
+void
+WaitGroup::add(int delta)
+{
+    Scheduler *sched = Scheduler::current();
+    count_ += delta;
+    if (count_ < 0)
+        goPanic("sync: negative WaitGroup counter");
+    sched->hooks()->wgAdd(this, delta, count_);
+    if (delta < 0)
+        sched->hooks()->release(this);
+    if (count_ == 0 && !waitq_.empty()) {
+        while (!waitq_.empty()) {
+            sched->unpark(waitq_.front());
+            waitq_.pop_front();
+        }
+    }
+}
+
+void
+WaitGroup::wait()
+{
+    Scheduler *sched = Scheduler::current();
+    sched->hooks()->wgWait(this);
+    if (count_ > 0) {
+        waitq_.push_back(sched->running());
+        sched->park(WaitReason::WaitGroupWait, this);
+    }
+    sched->hooks()->acquire(this);
+}
+
+} // namespace golite

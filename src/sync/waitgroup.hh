@@ -1,0 +1,54 @@
+/**
+ * @file
+ * sync.WaitGroup: wait for a collection of goroutines to finish.
+ *
+ * The Go rule the paper highlights: Add must happen-before Wait.
+ * Violating it does not block; it lets Wait return too early — the
+ * non-blocking WaitGroup misuse class (Figure 9, 6 of the studied
+ * bugs). Calling Wait inside the loop that spawns the workers is the
+ * blocking variant (Figure 5, Docker#25384).
+ */
+
+#ifndef GOLITE_SYNC_WAITGROUP_HH
+#define GOLITE_SYNC_WAITGROUP_HH
+
+#include <deque>
+
+namespace golite
+{
+
+class Goroutine;
+
+class WaitGroup
+{
+  public:
+    WaitGroup() = default;
+    WaitGroup(const WaitGroup &) = delete;
+    WaitGroup &operator=(const WaitGroup &) = delete;
+
+    /**
+     * Add @p delta (may be negative) to the counter. Panics if the
+     * counter goes negative, as in Go.
+     */
+    void add(int delta);
+
+    /** Decrement the counter by one (Add(-1)). */
+    void done() { add(-1); }
+
+    /**
+     * Block until the counter is zero. Returns immediately when the
+     * counter is already zero — even if Adds are still coming, which
+     * is exactly the misuse bug class.
+     */
+    void wait();
+
+    int count() const { return count_; }
+
+  private:
+    int count_ = 0;
+    std::deque<Goroutine *> waitq_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_SYNC_WAITGROUP_HH

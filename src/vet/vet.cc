@@ -1,0 +1,172 @@
+#include "vet/vet.hh"
+
+#include <deque>
+#include <sstream>
+
+namespace golite::vet
+{
+
+const char *
+ruleKindName(RuleKind kind)
+{
+    switch (kind) {
+      case RuleKind::DoubleLock: return "double lock";
+      case RuleKind::LockOrderCycle: return "conflicting lock order";
+      case RuleKind::RecursiveRLock:
+        return "recursive RLock with pending writer";
+      case RuleKind::WaitGroupMisuse:
+        return "WaitGroup.Add after Wait";
+    }
+    return "unknown";
+}
+
+void
+BlockingVet::report(RuleKind kind, const void *object, uint64_t gid,
+                    std::string message)
+{
+    if (!seen_.insert({static_cast<int>(kind), object}).second)
+        return;
+    std::ostringstream os;
+    os << "VET: " << ruleKindName(kind) << " (goroutine " << gid
+       << "): " << message;
+    pendingMessages_.push_back(os.str());
+    reports_.push_back(VetReport{kind, object, gid, std::move(message)});
+}
+
+bool
+BlockingVet::reachable(const void *from, const void *to) const
+{
+    if (from == to)
+        return true;
+    std::set<const void *> visited;
+    std::deque<const void *> frontier{from};
+    while (!frontier.empty()) {
+        const void *node = frontier.front();
+        frontier.pop_front();
+        if (!visited.insert(node).second)
+            continue;
+        auto it = orderEdges_.find(node);
+        if (it == orderEdges_.end())
+            continue;
+        for (const void *next : it->second) {
+            if (next == to)
+                return true;
+            frontier.push_back(next);
+        }
+    }
+    return false;
+}
+
+void
+BlockingVet::noteOrder(const void *lock_obj, uint64_t gid)
+{
+    auto it = held_.find(gid);
+    if (it == held_.end())
+        return;
+    for (const Held &h : it->second) {
+        if (h.lock == lock_obj)
+            continue;
+        // Adding h.lock -> lock_obj: a cycle exists if lock_obj
+        // already reaches h.lock.
+        if (reachable(lock_obj, h.lock)) {
+            report(RuleKind::LockOrderCycle, lock_obj, gid,
+                   "locks are acquired in conflicting orders across "
+                   "goroutines (potential AB-BA deadlock)");
+        }
+        orderEdges_[h.lock].insert(lock_obj);
+    }
+}
+
+void
+BlockingVet::lockRequested(const void *lock_obj, uint64_t gid,
+                           bool is_write)
+{
+    // The goroutine is about to block. If it already holds the very
+    // lock it is requesting, this is a guaranteed self-deadlock.
+    auto it = held_.find(gid);
+    if (it != held_.end()) {
+        for (const Held &h : it->second) {
+            if (h.lock != lock_obj)
+                continue;
+            if (h.isWrite || is_write) {
+                report(RuleKind::DoubleLock, lock_obj, gid,
+                       "goroutine blocks acquiring a lock it already "
+                       "holds");
+            } else {
+                // Read lock re-entered while blocked: only possible
+                // when a writer is pending (writer-priority RWMutex).
+                report(RuleKind::RecursiveRLock, lock_obj, gid,
+                       "second RLock queued behind a pending writer "
+                       "while the first is still held");
+            }
+            return;
+        }
+    }
+    // A blocked request still establishes lock order (held ->
+    // requested), so AB-BA cycles are caught in the deadlocking
+    // interleaving too, not only in lucky ones.
+    noteOrder(lock_obj, gid);
+}
+
+void
+BlockingVet::lockAcquired(const void *lock_obj, uint64_t gid,
+                          bool is_write)
+{
+    noteOrder(lock_obj, gid);
+    held_[gid].push_back(Held{lock_obj, is_write});
+}
+
+void
+BlockingVet::lockReleased(const void *lock_obj, uint64_t gid)
+{
+    auto it = held_.find(gid);
+    if (it == held_.end())
+        return;
+    auto &stack = it->second;
+    // Remove the most recent matching acquisition.
+    for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
+        if (rit->lock == lock_obj) {
+            stack.erase(std::next(rit).base());
+            return;
+        }
+    }
+}
+
+void
+BlockingVet::wgAdd(const void *wg, int delta, int new_count)
+{
+    // The Go rule (Figure 9): calls with positive delta that start
+    // when the counter is zero must happen before Wait.
+    if (delta > 0 && new_count == delta && waitedOn_.count(wg)) {
+        report(RuleKind::WaitGroupMisuse, wg,
+               /*gid=*/0,
+               "Add with positive delta from a zero counter after "
+               "Wait was already called");
+    }
+}
+
+void
+BlockingVet::wgWait(const void *wg)
+{
+    waitedOn_.insert(wg);
+}
+
+std::vector<std::string>
+BlockingVet::drainReports()
+{
+    std::vector<std::string> out;
+    out.swap(pendingMessages_);
+    return out;
+}
+
+bool
+BlockingVet::flagged(RuleKind kind) const
+{
+    for (const VetReport &r : reports_) {
+        if (r.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+} // namespace golite::vet

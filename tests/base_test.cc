@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the base utilities: the seeded PRNG every experiment's
+ * determinism rests on, and the Go-panic machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "base/panic.hh"
+#include "base/rng.hh"
+
+namespace golite
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResetsTheStream)
+{
+    Rng rng(7);
+    const uint64_t first = rng.next();
+    rng.next();
+    rng.seed(7);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform)
+{
+    Rng rng(99);
+    std::map<uint64_t, int> counts;
+    const int draws = 60000;
+    for (int i = 0; i < draws; ++i) {
+        const uint64_t v = rng.below(6);
+        ASSERT_LT(v, 6u);
+        counts[v]++;
+    }
+    for (uint64_t v = 0; v < 6; ++v) {
+        EXPECT_GT(counts[v], draws / 6 - draws / 60) << v;
+        EXPECT_LT(counts[v], draws / 6 + draws / 60) << v;
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(42);
+    int hits = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.02);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, SequenceHasNoShortCycle)
+{
+    Rng rng(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(rng.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Panic, CarriesTheMessage)
+{
+    try {
+        goPanic("send on closed channel");
+        FAIL() << "goPanic returned";
+    } catch (const GoPanic &p) {
+        EXPECT_EQ(p.message(), "send on closed channel");
+        EXPECT_STREQ(p.what(), "panic: send on closed channel");
+    }
+}
+
+TEST(Panic, IsARuntimeError)
+{
+    try {
+        goPanic("boom");
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("boom"),
+                  std::string::npos);
+        return;
+    }
+    FAIL() << "GoPanic must derive from std::runtime_error";
+}
+
+} // namespace
+} // namespace golite

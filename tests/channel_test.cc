@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Channel semantics tests: buffered/unbuffered transfer, FIFO order,
+ * close rules (the panic rules behind the paper's misuse bugs), nil
+ * channels, and try operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+TEST(Chan, UnbufferedTransfersValue)
+{
+    int got = 0;
+    RunReport report = run([&] {
+        Chan<int> ch = makeChan<int>();
+        go([ch] { ch.send(42); });
+        got = ch.recv().value;
+    });
+    EXPECT_EQ(got, 42);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Chan, UnbufferedSendBlocksUntilReceive)
+{
+    std::vector<std::string> trace;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run([&] {
+        Chan<Unit> ch = makeChan<Unit>();
+        go([&, ch] {
+            trace.push_back("sending");
+            ch.send(Unit{});
+            trace.push_back("sent");
+        });
+        yield(); // let the sender park
+        trace.push_back("receiving");
+        ch.recv();
+        yield(); // let the sender finish
+    }, options);
+    EXPECT_EQ(trace, (std::vector<std::string>{"sending", "receiving",
+                                               "sent"}));
+}
+
+TEST(Chan, BufferedSendDoesNotBlockUntilFull)
+{
+    RunReport report = run([] {
+        Chan<int> ch = makeChan<int>(2);
+        ch.send(1);
+        ch.send(2); // would deadlock if capacity were ignored
+        EXPECT_EQ(ch.len(), 2u);
+        EXPECT_EQ(ch.recv().value, 1);
+        EXPECT_EQ(ch.recv().value, 2);
+    });
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Chan, BufferedBlocksWhenFull)
+{
+    RunReport report = run([] {
+        Chan<int> ch = makeChan<int>(1);
+        ch.send(1);
+        ch.send(2); // full: blocks forever -> global deadlock
+    });
+    EXPECT_TRUE(report.globalDeadlock);
+}
+
+TEST(Chan, FifoOrderThroughBuffer)
+{
+    std::vector<int> got;
+    run([&] {
+        Chan<int> ch = makeChan<int>(4);
+        go([ch] {
+            for (int i = 0; i < 8; ++i)
+                ch.send(i);
+            ch.close();
+        });
+        for (;;) {
+            auto r = ch.recv();
+            if (!r.ok)
+                break;
+            got.push_back(r.value);
+        }
+    });
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Chan, RecvFromClosedReturnsNotOk)
+{
+    run([] {
+        Chan<int> ch = makeChan<int>(1);
+        ch.send(7);
+        ch.close();
+        auto first = ch.recv();
+        EXPECT_TRUE(first.ok); // drains the buffer first
+        EXPECT_EQ(first.value, 7);
+        auto second = ch.recv();
+        EXPECT_FALSE(second.ok);
+        EXPECT_EQ(second.value, 0);
+    });
+}
+
+TEST(Chan, CloseWakesAllBlockedReceivers)
+{
+    int woken = 0;
+    RunReport report = run([&] {
+        Chan<int> ch = makeChan<int>();
+        for (int i = 0; i < 3; ++i) {
+            go([&, ch] {
+                auto r = ch.recv();
+                if (!r.ok)
+                    woken++;
+            });
+        }
+        for (int i = 0; i < 10; ++i)
+            yield();
+        ch.close();
+    });
+    EXPECT_EQ(woken, 3);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Chan, SendOnClosedPanics)
+{
+    RunReport report = run([] {
+        Chan<int> ch = makeChan<int>(1);
+        ch.close();
+        ch.send(1);
+    });
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "send on closed channel");
+}
+
+TEST(Chan, CloseOfClosedPanics)
+{
+    // The exact Docker#24007 rule (Figure 10).
+    RunReport report = run([] {
+        Chan<int> ch = makeChan<int>(1);
+        ch.close();
+        ch.close();
+    });
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "close of closed channel");
+}
+
+TEST(Chan, CloseWhileSenderBlockedPanics)
+{
+    RunReport report = run([] {
+        Chan<int> ch = makeChan<int>();
+        go([ch] { ch.send(1); }); // parks: no receiver
+        yield();
+        ch.close();
+        yield();
+    });
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "send on closed channel");
+}
+
+TEST(Chan, CloseOfNilPanics)
+{
+    RunReport report = run([] {
+        Chan<int> nil_chan;
+        nil_chan.close();
+    });
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "close of nil channel");
+}
+
+TEST(Chan, NilChannelBlocksForever)
+{
+    RunReport report = run([] {
+        Chan<int> nil_chan;
+        nil_chan.recv();
+    });
+    EXPECT_TRUE(report.globalDeadlock);
+}
+
+TEST(Chan, NilChannelSendLeaksGoroutine)
+{
+    RunReport report = run([] {
+        Chan<int> nil_chan;
+        go("nil-sender", [nil_chan] { nil_chan.send(1); });
+        yield();
+    });
+    ASSERT_EQ(report.leaked.size(), 1u);
+    EXPECT_EQ(report.leaked[0].reason, WaitReason::ChanSendNil);
+}
+
+TEST(Chan, TrySendTryRecv)
+{
+    run([] {
+        Chan<int> ch = makeChan<int>(1);
+        EXPECT_FALSE(ch.tryRecv().has_value());
+        EXPECT_TRUE(ch.trySend(5));
+        EXPECT_FALSE(ch.trySend(6)); // full
+        auto r = ch.tryRecv();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->value, 5);
+        EXPECT_TRUE(r->ok);
+    });
+}
+
+TEST(Chan, TryRecvSeesClosed)
+{
+    run([] {
+        Chan<int> ch = makeChan<int>();
+        ch.close();
+        auto r = ch.tryRecv();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_FALSE(r->ok);
+    });
+}
+
+TEST(Chan, TrySendHandsOffToBlockedReceiver)
+{
+    int got = 0;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo; // the receiver parks first
+    run([&] {
+        Chan<int> ch = makeChan<int>(); // unbuffered
+        go([&, ch] { got = ch.recv().value; });
+        yield(); // receiver parks
+        EXPECT_TRUE(ch.trySend(9));
+    }, options);
+    EXPECT_EQ(got, 9);
+}
+
+TEST(Chan, BufferRefillsFromBlockedSender)
+{
+    std::vector<int> got;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run([&] {
+        Chan<int> ch = makeChan<int>(1);
+        ch.send(1);
+        go([ch] { ch.send(2); }); // parks: buffer full
+        yield();
+        got.push_back(ch.recv().value); // frees a slot; 2 moves in
+        got.push_back(ch.recv().value);
+    }, options);
+    EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Chan, ManyProducersOneConsumer)
+{
+    int sum = 0;
+    RunReport report = run([&] {
+        Chan<int> ch = makeChan<int>(3);
+        WaitGroup wg;
+        wg.add(10);
+        for (int i = 1; i <= 10; ++i) {
+            go([ch, i, &wg] {
+                ch.send(i);
+                wg.done();
+            });
+        }
+        go([ch, &wg] {
+            wg.wait();
+            ch.close();
+        });
+        for (;;) {
+            auto r = ch.recv();
+            if (!r.ok)
+                break;
+            sum += r.value;
+        }
+    });
+    EXPECT_EQ(sum, 55);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Chan, MoveOnlyElements)
+{
+    std::string got;
+    run([&] {
+        Chan<std::unique_ptr<std::string>> ch =
+            makeChan<std::unique_ptr<std::string>>(1);
+        ch.send(std::make_unique<std::string>("payload"));
+        got = *ch.recv().value;
+    });
+    EXPECT_EQ(got, "payload");
+}
+
+class ChanSeedSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ChanSeedSweep, PingPongCompletesUnderAnySchedule)
+{
+    RunOptions options;
+    options.seed = GetParam();
+    int rounds = 0;
+    RunReport report = run([&] {
+        Chan<int> ping = makeChan<int>();
+        Chan<int> pong = makeChan<int>();
+        go([=] {
+            for (int i = 0; i < 10; ++i) {
+                int v = ping.recv().value;
+                pong.send(v + 1);
+            }
+        });
+        for (int i = 0; i < 10; ++i) {
+            ping.send(i);
+            rounds += pong.recv().value - i;
+        }
+    }, options);
+    EXPECT_EQ(rounds, 10);
+    EXPECT_TRUE(report.clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChanSeedSweep,
+                         ::testing::Range<uint64_t>(0, 16));
+
+} // namespace
+} // namespace golite

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * context package tests: cancellation, timeout, parent-child
+ * propagation, idempotent CancelFunc, nil done channel of background.
+ */
+
+#include <gtest/gtest.h>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+using gotime::kMillisecond;
+
+TEST(Context, BackgroundIsNeverDone)
+{
+    run([] {
+        ctx::Context bg = ctx::background();
+        EXPECT_FALSE(static_cast<bool>(bg->done())); // nil channel
+        EXPECT_FALSE(bg->cancelled());
+        EXPECT_TRUE(bg->err().empty());
+    });
+}
+
+TEST(Context, WithCancelClosesDone)
+{
+    bool observed = false;
+    RunReport report = run([&] {
+        auto [child, cancel] = ctx::withCancel(ctx::background());
+        go([&, c = child] {
+            c->done().recv(); // blocks until cancel
+            observed = true;
+        });
+        yield();
+        cancel();
+        yield();
+        EXPECT_EQ(child->err(), "context canceled");
+    });
+    EXPECT_TRUE(observed);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Context, CancelFuncIsIdempotent)
+{
+    // A second cancel() must not double-close the done channel
+    // (which would panic).
+    RunReport report = run([] {
+        auto [child, cancel] = ctx::withCancel(ctx::background());
+        cancel();
+        cancel();
+        cancel();
+    });
+    EXPECT_FALSE(report.panicked);
+    EXPECT_TRUE(report.completed);
+}
+
+TEST(Context, WithTimeoutFiresAutomatically)
+{
+    run([] {
+        auto [child, cancel] =
+            ctx::withTimeout(ctx::background(), 5 * kMillisecond);
+        child->done().recv();
+        EXPECT_EQ(child->err(), "context deadline exceeded");
+        cancel(); // late cancel is a no-op
+        EXPECT_EQ(child->err(), "context deadline exceeded");
+    });
+}
+
+TEST(Context, ManualCancelBeatsTimeout)
+{
+    run([] {
+        auto [child, cancel] =
+            ctx::withTimeout(ctx::background(), 50 * kMillisecond);
+        cancel();
+        EXPECT_EQ(child->err(), "context canceled");
+        gotime::sleep(100 * kMillisecond);
+        EXPECT_EQ(child->err(), "context canceled");
+    });
+}
+
+TEST(Context, ParentCancelPropagatesToChildren)
+{
+    run([] {
+        auto [parent, cancel_parent] = ctx::withCancel(ctx::background());
+        auto [child, cancel_child] = ctx::withCancel(parent);
+        auto [grandchild, cancel_gc] = ctx::withCancel(child);
+        cancel_parent();
+        EXPECT_TRUE(parent->cancelled());
+        EXPECT_TRUE(child->cancelled());
+        EXPECT_TRUE(grandchild->cancelled());
+    });
+}
+
+TEST(Context, ChildCancelDoesNotAffectParent)
+{
+    run([] {
+        auto [parent, cancel_parent] = ctx::withCancel(ctx::background());
+        auto [child, cancel_child] = ctx::withCancel(parent);
+        cancel_child();
+        EXPECT_TRUE(child->cancelled());
+        EXPECT_FALSE(parent->cancelled());
+        cancel_parent();
+    });
+}
+
+TEST(Context, DeriveFromCancelledParentIsBornCancelled)
+{
+    run([] {
+        auto [parent, cancel_parent] = ctx::withCancel(ctx::background());
+        cancel_parent();
+        auto [child, cancel_child] = ctx::withCancel(parent);
+        EXPECT_TRUE(child->cancelled());
+    });
+}
+
+TEST(Context, SelectOnDoneChannel)
+{
+    // The canonical worker loop: select { case <-ctx.Done(): return }.
+    bool stopped = false;
+    RunReport report = run([&] {
+        auto [c, cancel] = ctx::withCancel(ctx::background());
+        Chan<int> work = makeChan<int>(1);
+        go([&, c = c, work] {
+            for (;;) {
+                bool done = false;
+                Select()
+                    .recv<Unit>(c->done(),
+                                [&](Unit, bool) { done = true; })
+                    .recv<int>(work, [](int, bool) {})
+                    .run();
+                if (done)
+                    break;
+            }
+            stopped = true;
+        });
+        work.send(1);
+        work.send(2);
+        cancel();
+        yield();
+        yield();
+    });
+    EXPECT_TRUE(stopped);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Context, ForgettingCancelLeaksWaiter)
+{
+    // The Figure 6 bug shape: a goroutine waits on a context that no
+    // one can cancel any more -> goroutine leak, invisible to the
+    // global deadlock detector.
+    RunReport report = run([] {
+        auto [c, cancel] = ctx::withCancel(ctx::background());
+        go("ctx-waiter", [c = c] { c->done().recv(); });
+        yield();
+        // cancel is dropped without being called.
+    });
+    EXPECT_FALSE(report.globalDeadlock);
+    ASSERT_EQ(report.leaked.size(), 1u);
+    EXPECT_EQ(report.leaked[0].label, "ctx-waiter");
+}
+
+TEST(Context, TimeoutCancelsDescendants)
+{
+    run([] {
+        auto [parent, cancel_parent] =
+            ctx::withTimeout(ctx::background(), 5 * kMillisecond);
+        auto [child, cancel_child] = ctx::withCancel(parent);
+        gotime::sleep(10 * kMillisecond);
+        EXPECT_EQ(parent->err(), "context deadline exceeded");
+        EXPECT_EQ(child->err(), "context canceled");
+        cancel_parent();
+        cancel_child();
+    });
+}
+
+} // namespace
+} // namespace golite

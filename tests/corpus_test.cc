@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Corpus-wide property tests plus targeted assertions on the famous
+ * figure kernels.
+ *
+ * Core properties, parameterized over every bug in the corpus:
+ *  - the fixed variant never manifests, across a seed sweep;
+ *  - the buggy variant manifests for at least one seed;
+ *  - metadata is internally consistent (behaviour vs subcause, the
+ *    reproduced-set counts the paper reports, the two
+ *    detector-visible global deadlocks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/bug.hh"
+#include "golite/golite.hh"
+
+namespace golite::corpus
+{
+namespace
+{
+
+class EveryBug : public ::testing::TestWithParam<const BugCase *>
+{
+};
+
+std::vector<const BugCase *>
+allBugs()
+{
+    std::vector<const BugCase *> out;
+    for (const BugCase &bug : corpus())
+        out.push_back(&bug);
+    return out;
+}
+
+std::string
+bugName(const ::testing::TestParamInfo<const BugCase *> &info)
+{
+    std::string name = info.param->info.id;
+    for (char &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+TEST_P(EveryBug, FixedVariantNeverMisbehaves)
+{
+    const BugCase &bug = *GetParam();
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+        RunOptions options;
+        options.seed = seed;
+        BugOutcome outcome = bug.run(Variant::Fixed, options);
+        EXPECT_FALSE(outcome.manifested)
+            << bug.info.id << " fixed variant misbehaved at seed "
+            << seed << ": " << outcome.note;
+        EXPECT_FALSE(outcome.report.panicked)
+            << bug.info.id << " fixed variant panicked at seed " << seed;
+        EXPECT_TRUE(outcome.report.leaked.empty())
+            << bug.info.id << " fixed variant leaked at seed " << seed;
+        EXPECT_FALSE(outcome.report.globalDeadlock)
+            << bug.info.id << " fixed variant deadlocked at seed "
+            << seed;
+    }
+}
+
+TEST_P(EveryBug, BuggyVariantManifestsOrRaces)
+{
+    // Every kernel must expose its failure under *some* schedule:
+    // either visibly (block/panic/wrong result) or to the race
+    // detector (pure races whose misbehaviour is nondeterminism).
+    const BugCase &bug = *GetParam();
+    bool exposed = false;
+    for (uint64_t seed = 0; seed < 80 && !exposed; ++seed) {
+        race::Detector detector;
+        RunOptions options;
+        options.seed = seed;
+        options.hooks = &detector;
+        BugOutcome outcome = bug.run(Variant::Buggy, options);
+        exposed = outcome.manifested || !detector.reports().empty();
+    }
+    EXPECT_TRUE(exposed)
+        << bug.info.id
+        << " buggy variant never misbehaved nor raced in 80 seeds";
+}
+
+TEST_P(EveryBug, FixedVariantIsRaceFreeToTheDetector)
+{
+    const BugCase &bug = *GetParam();
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        race::Detector detector;
+        RunOptions options;
+        options.seed = seed;
+        options.hooks = &detector;
+        bug.run(Variant::Fixed, options);
+        EXPECT_TRUE(detector.reports().empty())
+            << bug.info.id << " fixed variant raced at seed " << seed
+            << ": " << detector.reports()[0].describe();
+    }
+}
+
+TEST_P(EveryBug, MetadataIsConsistent)
+{
+    const BugInfo &info = GetParam()->info;
+    const bool blocking_subcause =
+        info.subcause == SubCause::Mutex ||
+        info.subcause == SubCause::RWMutex ||
+        info.subcause == SubCause::Wait ||
+        info.subcause == SubCause::Chan ||
+        info.subcause == SubCause::ChanWithOther ||
+        info.subcause == SubCause::MessagingLibrary;
+    EXPECT_EQ(info.behavior == Behavior::Blocking, blocking_subcause)
+        << info.id;
+
+    const bool shared_subcause =
+        info.subcause == SubCause::Mutex ||
+        info.subcause == SubCause::RWMutex ||
+        info.subcause == SubCause::Wait ||
+        info.subcause == SubCause::Traditional ||
+        info.subcause == SubCause::AnonymousFunction ||
+        info.subcause == SubCause::WaitGroupMisuse ||
+        info.subcause == SubCause::LibShared;
+    EXPECT_EQ(info.cause == CauseDim::SharedMemory, shared_subcause)
+        << info.id;
+    EXPECT_FALSE(info.id.empty());
+    EXPECT_FALSE(info.app.empty());
+    EXPECT_FALSE(info.description.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, EveryBug,
+                         ::testing::ValuesIn(allBugs()), bugName);
+
+TEST(Corpus, ReproducedSetMatchesThePaper)
+{
+    // 21 blocking + 20 non-blocking reproduced bugs (Section 4).
+    EXPECT_EQ(bugsByBehavior(Behavior::Blocking, true).size(), 21u);
+    EXPECT_EQ(bugsByBehavior(Behavior::NonBlocking, true).size(), 20u);
+}
+
+TEST(Corpus, IdsAreUnique)
+{
+    std::set<std::string> ids;
+    for (const BugCase &bug : corpus())
+        EXPECT_TRUE(ids.insert(bug.info.id).second)
+            << "duplicate id " << bug.info.id;
+}
+
+TEST(Corpus, ExactlyTwoBugsGloballyDeadlock)
+{
+    // The Table 8 headline: only boltdb-392 and boltdb-240 block
+    // *every* goroutine, which is all the built-in detector can see.
+    std::set<std::string> global;
+    for (const BugCase &bug : corpus()) {
+        if (bug.info.reproducedSet && bug.info.globallyDeadlocks)
+            global.insert(bug.info.id);
+    }
+    EXPECT_EQ(global,
+              (std::set<std::string>{"boltdb-392", "boltdb-240"}));
+}
+
+TEST(Corpus, GloballyDeadlockingBugsAreDeterministic)
+{
+    for (const BugCase &bug : corpus()) {
+        if (!bug.info.globallyDeadlocks)
+            continue;
+        for (uint64_t seed = 0; seed < 10; ++seed) {
+            RunOptions options;
+            options.seed = seed;
+            BugOutcome outcome = bug.run(Variant::Buggy, options);
+            EXPECT_TRUE(outcome.report.globalDeadlock)
+                << bug.info.id << " seed " << seed;
+        }
+    }
+}
+
+TEST(Corpus, FindBugWorks)
+{
+    ASSERT_NE(findBug("kubernetes-5316"), nullptr);
+    EXPECT_EQ(findBug("kubernetes-5316")->info.figure, "Figure 1");
+    EXPECT_EQ(findBug("nope-0"), nullptr);
+}
+
+// --- Targeted figure-kernel assertions ---------------------------
+
+TEST(FigureKernels, Figure1TimeoutLeaksTheHandler)
+{
+    const BugCase *bug = findBug("kubernetes-5316");
+    ASSERT_NE(bug, nullptr);
+    BugOutcome outcome = bug->run(Variant::Buggy, {});
+    ASSERT_TRUE(outcome.manifested) << outcome.note;
+    ASSERT_EQ(outcome.report.leaked.size(), 1u);
+    EXPECT_EQ(outcome.report.leaked[0].reason, WaitReason::ChanSend);
+    EXPECT_EQ(outcome.report.leaked[0].label, "request-handler");
+    EXPECT_FALSE(outcome.report.globalDeadlock)
+        << "partial blocking must be invisible to the built-in "
+           "detector";
+}
+
+TEST(FigureKernels, Figure5WaitInLoopDeadlocksGlobally)
+{
+    const BugCase *bug = findBug("docker-25384");
+    ASSERT_NE(bug, nullptr);
+    BugOutcome outcome = bug->run(Variant::Buggy, {});
+    EXPECT_TRUE(outcome.report.globalDeadlock);
+    BugOutcome fixed_outcome = bug->run(Variant::Fixed, {});
+    EXPECT_TRUE(fixed_outcome.report.clean());
+}
+
+TEST(FigureKernels, Figure6OrphanedContextLeaksMonitor)
+{
+    const BugCase *bug = findBug("grpc-862");
+    ASSERT_NE(bug, nullptr);
+    BugOutcome outcome = bug->run(Variant::Buggy, {});
+    ASSERT_TRUE(outcome.manifested) << outcome.note;
+    ASSERT_EQ(outcome.report.leaked.size(), 1u);
+    EXPECT_EQ(outcome.report.leaked[0].label, "http2-monitor");
+}
+
+TEST(FigureKernels, Figure7ChannelPlusMutexLeaksBoth)
+{
+    const BugCase *bug = findBug("etcd-6857");
+    ASSERT_NE(bug, nullptr);
+    BugOutcome outcome = bug->run(Variant::Buggy, {});
+    ASSERT_TRUE(outcome.manifested) << outcome.note;
+    EXPECT_EQ(outcome.report.leaked.size(), 2u);
+    EXPECT_FALSE(outcome.report.globalDeadlock);
+}
+
+TEST(FigureKernels, Figure8LoopCaptureRaces)
+{
+    const BugCase *bug = findBug("docker-4951");
+    ASSERT_NE(bug, nullptr);
+    race::Detector detector;
+    RunOptions options;
+    options.hooks = &detector;
+    bug->run(Variant::Buggy, options);
+    EXPECT_TRUE(detector.racedOn("i"));
+}
+
+TEST(FigureKernels, Figure10DoubleClosePanics)
+{
+    const BugCase *bug = findBug("docker-24007");
+    ASSERT_NE(bug, nullptr);
+    bool panicked = false;
+    for (uint64_t seed = 0; seed < 50 && !panicked; ++seed) {
+        RunOptions options;
+        options.seed = seed;
+        BugOutcome outcome = bug->run(Variant::Buggy, options);
+        if (outcome.report.panicked) {
+            panicked = true;
+            EXPECT_EQ(outcome.report.panicMessage,
+                      "close of closed channel");
+        }
+    }
+    EXPECT_TRUE(panicked);
+}
+
+TEST(FigureKernels, Figure12PlaceholderTimerReturnsEarly)
+{
+    const BugCase *bug = findBug("etcd-7423");
+    ASSERT_NE(bug, nullptr);
+    BugOutcome outcome = bug->run(Variant::Buggy, {});
+    EXPECT_TRUE(outcome.manifested) << outcome.note;
+    BugOutcome fixed_outcome = bug->run(Variant::Fixed, {});
+    EXPECT_FALSE(fixed_outcome.manifested) << fixed_outcome.note;
+}
+
+TEST(FigureKernels, Figure11SelectRunsTaskAfterStopSometimes)
+{
+    const BugCase *bug = findBug("kubernetes-59780");
+    ASSERT_NE(bug, nullptr);
+    const int manifested = bug->manifestCount(40);
+    // Both select outcomes must occur across seeds: the extra run
+    // (the bug) and the clean stop.
+    EXPECT_GT(manifested, 0);
+    EXPECT_LT(manifested, 40);
+}
+
+TEST(Corpus, ManifestCountIsDeterministicPerSeedSet)
+{
+    const BugCase *bug = findBug("etcd-3922");
+    ASSERT_NE(bug, nullptr);
+    EXPECT_EQ(bug->manifestCount(25), bug->manifestCount(25));
+}
+
+} // namespace
+} // namespace golite::corpus

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * io.Pipe tests: synchronous transfer, blocking semantics, EOF on
+ * write-close, errors on read-close, and the unclosed-pipe leak that
+ * backs the paper's "messaging libraries" blocking-bug class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+TEST(Pipe, TransfersData)
+{
+    std::string got;
+    RunReport report = run([&] {
+        auto [r, w] = goio::makePipe();
+        go([w]() mutable { w.write("hello"); });
+        std::string chunk;
+        auto res = r.read(chunk);
+        EXPECT_TRUE(res.ok());
+        EXPECT_EQ(res.n, 5u);
+        got = chunk;
+    });
+    EXPECT_EQ(got, "hello");
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Pipe, WriteBlocksUntilFullyConsumed)
+{
+    bool write_returned = false;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run([&] {
+        auto [r, w] = goio::makePipe();
+        go([&, w]() mutable {
+            w.write("abcdef");
+            write_returned = true;
+        });
+        yield();
+        std::string chunk;
+        r.read(chunk, 3);
+        EXPECT_EQ(chunk, "abc");
+        EXPECT_FALSE(write_returned); // 3 bytes still pending
+        r.read(chunk, 3);
+        EXPECT_EQ(chunk, "def");
+        yield();
+        EXPECT_TRUE(write_returned);
+    }, options);
+}
+
+TEST(Pipe, ReadBlocksUntilWrite)
+{
+    RunReport report = run([] {
+        auto [r, w] = goio::makePipe();
+        go([w]() mutable {
+            yield();
+            w.write("x");
+        });
+        std::string chunk;
+        auto res = r.read(chunk);
+        EXPECT_EQ(chunk, "x");
+        EXPECT_TRUE(res.ok());
+    });
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Pipe, CloseWriteGivesEof)
+{
+    run([] {
+        auto [r, w] = goio::makePipe();
+        w.close();
+        std::string chunk;
+        auto res = r.read(chunk);
+        EXPECT_EQ(res.n, 0u);
+        EXPECT_EQ(res.err, "EOF");
+    });
+}
+
+TEST(Pipe, CloseWithCausePropagates)
+{
+    run([] {
+        auto [r, w] = goio::makePipe();
+        w.close("upstream exploded");
+        std::string chunk;
+        auto res = r.read(chunk);
+        EXPECT_EQ(res.err, "upstream exploded");
+    });
+}
+
+TEST(Pipe, CloseReadFailsWriters)
+{
+    run([] {
+        auto [r, w] = goio::makePipe();
+        r.close();
+        auto res = w.write("data");
+        EXPECT_FALSE(res.ok());
+        EXPECT_EQ(res.err, "io: write on closed pipe");
+    });
+}
+
+TEST(Pipe, CloseReadWakesBlockedWriter)
+{
+    RunReport report = run([] {
+        auto [r, w] = goio::makePipe();
+        go([w]() mutable {
+            auto res = w.write("stuck");
+            EXPECT_FALSE(res.ok());
+        });
+        yield();
+        r.close();
+        yield();
+    });
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Pipe, CloseWriteWakesBlockedReader)
+{
+    RunReport report = run([] {
+        auto [r, w] = goio::makePipe();
+        go([r]() mutable {
+            std::string chunk;
+            auto res = r.read(chunk);
+            EXPECT_EQ(res.err, "EOF");
+        });
+        yield();
+        w.close();
+        yield();
+    });
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Pipe, UnclosedPipeLeaksWriter)
+{
+    // The paper's messaging-library blocking class: a goroutine
+    // writing to a pipe whose reader stopped reading (and never
+    // closed) blocks forever.
+    RunReport report = run([] {
+        auto [r, w] = goio::makePipe();
+        go("pipe-writer", [w]() mutable { w.write("nobody reads"); });
+        yield();
+        // Reader goes away without closing.
+    });
+    ASSERT_EQ(report.leaked.size(), 1u);
+    EXPECT_EQ(report.leaked[0].reason, WaitReason::PipeWrite);
+}
+
+TEST(Pipe, MultipleWritesStreamInOrder)
+{
+    std::string all;
+    RunReport report = run([&] {
+        auto [r, w] = goio::makePipe();
+        go([w]() mutable {
+            w.write("one,");
+            w.write("two,");
+            w.write("three");
+            w.close();
+        });
+        std::string chunk;
+        for (;;) {
+            auto res = r.read(chunk);
+            all += chunk;
+            if (!res.ok())
+                break;
+        }
+    });
+    EXPECT_EQ(all, "one,two,three");
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Pipe, ReadAfterReadCloseErrors)
+{
+    run([] {
+        auto [r, w] = goio::makePipe();
+        r.close();
+        std::string chunk;
+        auto res = r.read(chunk);
+        EXPECT_EQ(res.err, "io: read on closed pipe");
+    });
+}
+
+} // namespace
+} // namespace golite

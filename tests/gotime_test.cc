@@ -1,0 +1,161 @@
+/**
+ * @file
+ * time package tests on the virtual clock: Sleep, Timer (including the
+ * Figure 12 zero-duration hazard), Stop/Reset, Ticker, After.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+using gotime::kMillisecond;
+
+TEST(Time, SleepAdvancesVirtualClock)
+{
+    run([] {
+        const auto t0 = gotime::now();
+        gotime::sleep(7 * kMillisecond);
+        EXPECT_EQ(gotime::now() - t0, 7 * kMillisecond);
+    });
+}
+
+TEST(Time, TimerFiresOnce)
+{
+    int fires = 0;
+    run([&] {
+        gotime::Timer t = gotime::newTimer(5 * kMillisecond);
+        t.c.recv();
+        fires++;
+        gotime::sleep(20 * kMillisecond);
+        EXPECT_FALSE(t.c.tryRecv().has_value());
+    });
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(Time, TimerDeliversFireTime)
+{
+    run([] {
+        gotime::Timer t = gotime::newTimer(5 * kMillisecond);
+        gotime::Time fired_at = t.c.recv().value;
+        EXPECT_EQ(fired_at, 5 * kMillisecond);
+    });
+}
+
+TEST(Time, ZeroDurationTimerFiresImmediately)
+{
+    // The Figure 12 hazard: NewTimer(0) signals its channel right
+    // away, which made the buggy function return prematurely.
+    run([] {
+        gotime::Timer t = gotime::newTimer(0);
+        gotime::Time fired_at = t.c.recv().value;
+        EXPECT_EQ(fired_at, 0);
+    });
+}
+
+TEST(Time, StopPreventsFiring)
+{
+    run([] {
+        gotime::Timer t = gotime::newTimer(5 * kMillisecond);
+        EXPECT_TRUE(t.stop());
+        gotime::sleep(20 * kMillisecond);
+        EXPECT_FALSE(t.c.tryRecv().has_value());
+        EXPECT_FALSE(t.stop()); // second stop: already stopped
+    });
+}
+
+TEST(Time, StopAfterFiringReturnsFalse)
+{
+    run([] {
+        gotime::Timer t = gotime::newTimer(1 * kMillisecond);
+        gotime::sleep(5 * kMillisecond);
+        EXPECT_FALSE(t.stop());
+        EXPECT_TRUE(t.c.tryRecv().has_value());
+    });
+}
+
+TEST(Time, ResetReArms)
+{
+    run([] {
+        gotime::Timer t = gotime::newTimer(5 * kMillisecond);
+        EXPECT_TRUE(t.reset(10 * kMillisecond));
+        gotime::Time fired_at = t.c.recv().value;
+        EXPECT_EQ(fired_at, 10 * kMillisecond);
+    });
+}
+
+TEST(Time, AfterIsATimerChannel)
+{
+    run([] {
+        Chan<gotime::Time> done = gotime::after(3 * kMillisecond);
+        EXPECT_EQ(done.recv().value, 3 * kMillisecond);
+    });
+}
+
+TEST(Time, TickerTicksRepeatedly)
+{
+    std::vector<gotime::Time> ticks;
+    run([&] {
+        gotime::Ticker ticker = gotime::newTicker(10 * kMillisecond);
+        for (int i = 0; i < 3; ++i)
+            ticks.push_back(ticker.c.recv().value);
+        ticker.stop();
+        gotime::sleep(50 * kMillisecond);
+        EXPECT_FALSE(ticker.c.tryRecv().has_value());
+    });
+    EXPECT_EQ(ticks, (std::vector<gotime::Time>{10 * kMillisecond,
+                                                20 * kMillisecond,
+                                                30 * kMillisecond}));
+}
+
+TEST(Time, SlowTickerReceiverDropsTicks)
+{
+    // Go semantics: ticks are delivered by non-blocking send on a
+    // capacity-1 channel, so a slow receiver loses ticks rather than
+    // queueing them.
+    run([] {
+        gotime::Ticker ticker = gotime::newTicker(10 * kMillisecond);
+        gotime::sleep(55 * kMillisecond); // 5 ticks elapsed
+        int received = 0;
+        while (ticker.c.tryRecv().has_value())
+            received++;
+        EXPECT_EQ(received, 1); // only the buffered one survived
+        ticker.stop();
+    });
+}
+
+TEST(Time, ZeroPeriodTickerPanics)
+{
+    RunReport report = run([] { gotime::newTicker(0); });
+    EXPECT_TRUE(report.panicked);
+}
+
+TEST(Time, TimersOrderAcrossGoroutines)
+{
+    std::vector<int> order;
+    run([&] {
+        WaitGroup wg;
+        wg.add(2);
+        go([&] {
+            gotime::sleep(20 * kMillisecond);
+            order.push_back(2);
+            wg.done();
+        });
+        go([&] {
+            gotime::sleep(10 * kMillisecond);
+            order.push_back(1);
+            wg.done();
+        });
+        wg.wait();
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+} // namespace
+} // namespace golite

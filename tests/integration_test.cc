@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Cross-module integration tests: realistic programs combining
+ * goroutines, channels, select, sync, time, context, pipes, and the
+ * detectors, driven across seed sweeps. These exercise exactly the
+ * combinations the paper says breed bugs ("the mixed usage of
+ * message passing and other new semantics").
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+using gotime::kMillisecond;
+
+class Seeded : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(Seeded, WorkerPoolDrainsAllJobsUnderAnySchedule)
+{
+    // Classic bounded worker pool with clean shutdown: jobs channel,
+    // results channel, WaitGroup-close handshake.
+    RunOptions options;
+    options.seed = GetParam();
+    int result_sum = 0;
+    RunReport report = run([&] {
+        const int jobs_n = 24, workers_n = 4;
+        Chan<int> jobs = makeChan<int>(8);
+        Chan<int> results = makeChan<int>(8);
+        WaitGroup wg;
+        wg.add(workers_n);
+        for (int w = 0; w < workers_n; ++w) {
+            go("worker", [jobs, results, &wg] {
+                for (;;) {
+                    auto j = jobs.recv();
+                    if (!j.ok)
+                        break;
+                    results.send(j.value * 2);
+                }
+                wg.done();
+            });
+        }
+        go("closer", [results, &wg] {
+            wg.wait();
+            results.close();
+        });
+        go("feeder", [jobs, jobs_n] {
+            for (int i = 1; i <= jobs_n; ++i)
+                jobs.send(i);
+            jobs.close();
+        });
+        for (;;) {
+            auto r = results.recv();
+            if (!r.ok)
+                break;
+            result_sum += r.value;
+        }
+    }, options);
+    EXPECT_EQ(result_sum, 2 * (24 * 25) / 2);
+    EXPECT_TRUE(report.clean()) << report.describe();
+}
+
+TEST_P(Seeded, TimedMutexConvoyNeverLosesIncrements)
+{
+    RunOptions options;
+    options.seed = GetParam();
+    int counter = 0;
+    RunReport report = run([&] {
+        Mutex mu;
+        WaitGroup wg;
+        wg.add(6);
+        for (int g = 0; g < 6; ++g) {
+            go([&, g] {
+                for (int i = 0; i < 10; ++i) {
+                    gotime::sleep((g + 1) * kMillisecond);
+                    mu.lock();
+                    int tmp = counter;
+                    yield();
+                    counter = tmp + 1;
+                    mu.unlock();
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options);
+    EXPECT_EQ(counter, 60);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST_P(Seeded, ContextTimeoutCancelsFanout)
+{
+    // A request fans out to three backends; the context deadline
+    // expires before the slowest answers. Everything must shut down
+    // without leaks.
+    RunOptions options;
+    options.seed = GetParam();
+    int answers = 0;
+    RunReport report = run([&] {
+        auto [request_ctx, cancel] =
+            ctx::withTimeout(ctx::background(), 25 * kMillisecond);
+        Chan<int> replies = makeChan<int>(3); // buffered: no leak
+        const int latency_ms[3] = {10, 20, 80};
+        for (int b = 0; b < 3; ++b) {
+            go("backend", [replies, ms = latency_ms[b], b] {
+                gotime::sleep(ms * kMillisecond);
+                replies.trySend(b);
+            });
+        }
+        bool deadline = false;
+        while (!deadline) {
+            Select()
+                .recv<int>(replies, [&](int, bool) { answers++; })
+                .recv<Unit>(request_ctx->done(),
+                            [&](Unit, bool) { deadline = true; })
+                .run();
+        }
+        cancel();
+        gotime::sleep(100 * kMillisecond); // let the slow one finish
+    }, options);
+    EXPECT_EQ(answers, 2); // the 10ms and 20ms backends
+    EXPECT_TRUE(report.clean()) << report.describe();
+}
+
+TEST_P(Seeded, PipelineOfPipesStreamsInOrder)
+{
+    // producer -> pipe -> uppercaser -> pipe -> consumer.
+    RunOptions options;
+    options.seed = GetParam();
+    std::string assembled;
+    RunReport report = run([&] {
+        auto [r1, w1] = goio::makePipe();
+        auto [r2, w2] = goio::makePipe();
+        go("producer", [w = w1]() mutable {
+            w.write("abc");
+            w.write("def");
+            w.close();
+        });
+        go("transformer", [r = r1, w = w2]() mutable {
+            for (;;) {
+                std::string chunk;
+                auto res = r.read(chunk);
+                for (char &c : chunk)
+                    c = static_cast<char>(c - 'a' + 'A');
+                if (!chunk.empty())
+                    w.write(chunk);
+                if (!res.ok())
+                    break;
+            }
+            w.close();
+        });
+        std::string chunk;
+        for (;;) {
+            auto res = r2.read(chunk);
+            assembled += chunk;
+            if (!res.ok())
+                break;
+        }
+    }, options);
+    EXPECT_EQ(assembled, "ABCDEF");
+    EXPECT_TRUE(report.clean()) << report.describe();
+}
+
+TEST_P(Seeded, SelectFairnessUnderLoad)
+{
+    // Two producers of equal rate through one select: both must make
+    // progress (no starvation) under every seed.
+    RunOptions options;
+    options.seed = GetParam();
+    int from_a = 0, from_b = 0;
+    run([&] {
+        Chan<int> a = makeChan<int>();
+        Chan<int> b = makeChan<int>();
+        go([a] {
+            for (int i = 0; i < 20; ++i)
+                a.send(i);
+        });
+        go([b] {
+            for (int i = 0; i < 20; ++i)
+                b.send(i);
+        });
+        for (int i = 0; i < 40; ++i) {
+            Select()
+                .recv<int>(a, [&](int, bool) { from_a++; })
+                .recv<int>(b, [&](int, bool) { from_b++; })
+                .run();
+        }
+    }, options);
+    EXPECT_EQ(from_a, 20);
+    EXPECT_EQ(from_b, 20);
+}
+
+TEST_P(Seeded, OncePlusChannelsInitializeExactlyOnce)
+{
+    RunOptions options;
+    options.seed = GetParam();
+    int inits = 0;
+    RunReport report = run([&] {
+        Once once;
+        Chan<Unit> ready = makeChan<Unit>();
+        WaitGroup wg;
+        wg.add(5);
+        for (int g = 0; g < 5; ++g) {
+            go([&] {
+                once.doOnce([&] {
+                    inits++;
+                    ready.close(); // broadcast "initialized"
+                });
+                ready.recv(); // closed channel: returns immediately
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options);
+    EXPECT_EQ(inits, 1);
+    EXPECT_TRUE(report.clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded, ::testing::Range<uint64_t>(0, 10));
+
+TEST(Integration, DescribeReportsLeaksLikeAGoroutineDump)
+{
+    RunReport report = run([] {
+        Chan<int> ch = makeChan<int>();
+        go("stuck-sender", [ch] { ch.send(1); });
+        yield();
+    });
+    const std::string dump = report.describe();
+    EXPECT_NE(dump.find("stuck-sender"), std::string::npos);
+    EXPECT_NE(dump.find("chan send"), std::string::npos);
+    EXPECT_NE(dump.find("still blocked"), std::string::npos);
+}
+
+TEST(Integration, DescribeReportsGlobalDeadlock)
+{
+    RunReport report = run([] { makeChan<int>().recv(); });
+    EXPECT_NE(report.describe().find(
+                  "all goroutines are asleep - deadlock!"),
+              std::string::npos);
+}
+
+TEST(Integration, AllDetectorsComposeOnARealWorkload)
+{
+    race::Detector racer;
+    vet::BlockingVet vet_checker;
+    MultiHooks hooks({&racer, &vet_checker});
+    RunOptions options;
+    options.hooks = &hooks;
+    int processed = 0;
+    RunReport report = run([&] {
+        Mutex mu;
+        Chan<int> work = makeChan<int>(4);
+        WaitGroup wg;
+        wg.add(3);
+        for (int w = 0; w < 3; ++w) {
+            go([&] {
+                for (;;) {
+                    auto j = work.recv();
+                    if (!j.ok)
+                        break;
+                    mu.lock();
+                    processed++;
+                    mu.unlock();
+                }
+                wg.done();
+            });
+        }
+        for (int i = 0; i < 12; ++i)
+            work.send(i);
+        work.close();
+        wg.wait();
+    }, options);
+    EXPECT_EQ(processed, 12);
+    EXPECT_TRUE(report.clean());
+    EXPECT_TRUE(racer.reports().empty());
+    EXPECT_TRUE(vet_checker.reports().empty());
+}
+
+TEST(Integration, TickerDrivenWorkerWithCleanShutdown)
+{
+    int ticks_handled = 0;
+    RunReport report = run([&] {
+        gotime::Ticker ticker = gotime::newTicker(10 * kMillisecond);
+        Chan<Unit> stop = makeChan<Unit>();
+        WaitGroup wg;
+        wg.add(1);
+        go("ticker-worker", [&, stop] {
+            for (;;) {
+                bool done = false;
+                Select()
+                    .recv<Unit>(stop, [&](Unit, bool) { done = true; })
+                    .recv<gotime::Time>(ticker.c,
+                                        [&](gotime::Time, bool) {
+                                            ticks_handled++;
+                                        })
+                    .run();
+                if (done)
+                    break;
+            }
+            wg.done();
+        });
+        gotime::sleep(55 * kMillisecond);
+        stop.close();
+        wg.wait();
+        ticker.stop();
+    });
+    EXPECT_GE(ticks_handled, 4);
+    EXPECT_TRUE(report.clean()) << report.describe();
+}
+
+} // namespace
+} // namespace golite

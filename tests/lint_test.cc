@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the anonymous-capture lint (the paper's Section 7
+ * preliminary detector): the Figure 8 pattern must be flagged, the
+ * privatized fix must not, and the generator's injected ground truth
+ * must be recovered exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scanner/generator.hh"
+#include "scanner/lint.hh"
+
+namespace golite::scanner
+{
+namespace
+{
+
+TEST(Lint, FlagsFigure8LoopCapture)
+{
+    // The docker-4951 shape, verbatim from the paper's Figure 8.
+    auto findings = lintAnonymousCaptures(R"(
+        func attach() {
+            for i := 17; i <= 21; i++ {
+                go func() {
+                    apiVersion := fmt.Sprintf("v1.%d", i)
+                    use(apiVersion)
+                }()
+            }
+        }
+    )");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].variable, "i");
+    EXPECT_EQ(findings[0].line, 4u); // the `go` keyword's line
+}
+
+TEST(Lint, DoesNotFlagThePrivatizedFix)
+{
+    auto findings = lintAnonymousCaptures(R"(
+        for i := 17; i <= 21; i++ {
+            go func(i int) {
+                use(i)
+            }(i)
+        }
+    )");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, DoesNotFlagGoroutinesOutsideLoops)
+{
+    auto findings = lintAnonymousCaptures(R"(
+        i := 3
+        go func() { use(i) }()
+    )");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, DoesNotFlagAfterTheLoopEnds)
+{
+    auto findings = lintAnonymousCaptures(R"(
+        for i := 0; i < 3; i++ {
+            work(i)
+        }
+        go func() { use(i) }()
+    )");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, FlagsRangeLoopValueCapture)
+{
+    // The Figure 5 / WaitGroup idiom with a range loop.
+    auto findings = lintAnonymousCaptures(R"(
+        for _, p := range pm.plugins {
+            go func() {
+                restore(p)
+            }()
+        }
+    )");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].variable, "p");
+}
+
+TEST(Lint, RangeFixWithParameterIsClean)
+{
+    auto findings = lintAnonymousCaptures(R"(
+        for _, p := range pm.plugins {
+            go func(p *plugin) {
+                restore(p)
+            }(p)
+        }
+    )");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, FlagsOuterLoopVarFromNestedLoop)
+{
+    auto findings = lintAnonymousCaptures(R"(
+        for shard := 0; shard < n; shard++ {
+            for try := 0; try < 3; try++ {
+                go func(try int) {
+                    replicate(shard, try)
+                }(try)
+            }
+        }
+    )");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].variable, "shard"); // try is shadowed
+}
+
+TEST(Lint, FlagsEachSiteOnce)
+{
+    auto findings = lintAnonymousCaptures(R"(
+        for i := 0; i < 4; i++ {
+            go func() {
+                a := i
+                b := i
+                use(a, b, i)
+            }()
+        }
+    )");
+    EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(Lint, TwoVariablesTwoFindings)
+{
+    auto findings = lintAnonymousCaptures(R"(
+        for k, v := range m {
+            go func() {
+                emit(k, v)
+            }()
+        }
+    )");
+    EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(Lint, GeneratedBaselineCorpusIsClean)
+{
+    // The generator's standard corpora privatize loop data, so the
+    // lint must report nothing (no false positives at scale).
+    for (const AppProfile &profile : goAppProfiles()) {
+        auto findings =
+            lintAnonymousCaptures(generateSource(profile, 11));
+        EXPECT_TRUE(findings.empty()) << profile.name;
+    }
+}
+
+TEST(Lint, RecoversInjectedGroundTruthExactly)
+{
+    AppProfile profile = goAppProfiles()[0];
+    profile.sampleKloc = 15;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        const int buggy = 7, fixed = 9;
+        auto findings = lintAnonymousCaptures(
+            generateWithCaptureBugs(profile, seed, buggy, fixed));
+        EXPECT_EQ(findings.size(), static_cast<size_t>(buggy))
+            << "seed " << seed;
+        for (const CaptureFinding &f : findings)
+            EXPECT_EQ(f.variable, "idx");
+    }
+}
+
+} // namespace
+} // namespace golite::scanner

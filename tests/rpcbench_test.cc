@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table 3 experiment tests: both server styles must process every
+ * request cleanly, and the headline shape must hold — the Go-style
+ * server creates far more execution units, each living a far smaller
+ * fraction of the run than the C-style pool threads (Observation 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rpcbench/rpc.hh"
+
+namespace golite::rpcbench
+{
+namespace
+{
+
+class EveryWorkload : public ::testing::TestWithParam<Workload>
+{
+};
+
+TEST_P(EveryWorkload, GoStyleServesAllRequestsCleanly)
+{
+    const Workload &workload = GetParam();
+    DynamicStats stats = runGoStyleServer(workload);
+    EXPECT_TRUE(stats.clean);
+    EXPECT_EQ(stats.responses,
+              static_cast<uint64_t>(workload.connections *
+                                    workload.requestsPerConnection));
+}
+
+TEST_P(EveryWorkload, CStyleServesAllRequestsCleanly)
+{
+    const Workload &workload = GetParam();
+    DynamicStats stats = runCStyleServer(workload);
+    EXPECT_TRUE(stats.clean);
+    EXPECT_EQ(stats.responses,
+              static_cast<uint64_t>(workload.connections *
+                                    workload.requestsPerConnection));
+}
+
+TEST_P(EveryWorkload, GoroutineToThreadShapeMatchesObservation1)
+{
+    const Workload &workload = GetParam();
+    DynamicStats go_stats = runGoStyleServer(workload);
+    DynamicStats c_stats = runCStyleServer(workload);
+
+    // Many more goroutines than threads (Table 3 ratios are large).
+    EXPECT_GT(go_stats.unitsCreated, 4 * c_stats.unitsCreated)
+        << workload.name;
+
+    // Goroutines are short-lived relative to the run; pool threads
+    // live essentially the whole run.
+    EXPECT_LT(go_stats.normalizedLifetime, 0.65) << workload.name;
+    EXPECT_GT(c_stats.normalizedLifetime, 0.90) << workload.name;
+}
+
+TEST_P(EveryWorkload, DeterministicPerSeed)
+{
+    const Workload &workload = GetParam();
+    DynamicStats a = runGoStyleServer(workload, 9);
+    DynamicStats b = runGoStyleServer(workload, 9);
+    EXPECT_EQ(a.unitsCreated, b.unitsCreated);
+    EXPECT_DOUBLE_EQ(a.normalizedLifetime, b.normalizedLifetime);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, EveryWorkload, ::testing::ValuesIn(workloads()),
+    [](const ::testing::TestParamInfo<Workload> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(RpcBench, GoroutineCountScalesWithLoad)
+{
+    Workload small = workloads()[0];
+    Workload big = small;
+    big.connections *= 4;
+    EXPECT_GT(runGoStyleServer(big).unitsCreated,
+              runGoStyleServer(small).unitsCreated * 3);
+}
+
+TEST(RpcBench, PoolSizeBoundsCStyleThreads)
+{
+    DynamicStats stats = runCStyleServer(workloads()[0], 7);
+    EXPECT_EQ(stats.unitsCreated, 7u);
+}
+
+} // namespace
+} // namespace golite::rpcbench

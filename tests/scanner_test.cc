@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Scanner tests: the lexer on Go surface syntax, the usage counter
+ * on hand-written snippets, and the generator/counter loop (the
+ * measured densities of a generated corpus must match its profile).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scanner/counter.hh"
+#include "scanner/generator.hh"
+#include "scanner/lexer.hh"
+
+namespace golite::scanner
+{
+namespace
+{
+
+TEST(Lexer, TokenizesIdentifiersAndPunct)
+{
+    auto tokens = Lexer::tokenize("go func(x int) { ch <- x }");
+    ASSERT_GE(tokens.size(), 8u);
+    EXPECT_EQ(tokens[0].text, "go");
+    EXPECT_EQ(tokens[1].text, "func");
+    bool has_arrow = false;
+    for (const Token &t : tokens)
+        has_arrow |= (t.kind == TokenKind::Arrow);
+    EXPECT_TRUE(has_arrow);
+}
+
+TEST(Lexer, SkipsComments)
+{
+    auto tokens = Lexer::tokenize(
+        "// go func() comment\n/* sync.Mutex */\nx := 1");
+    for (const Token &t : tokens) {
+        EXPECT_NE(t.text, "go");
+        EXPECT_NE(t.text, "sync");
+    }
+}
+
+TEST(Lexer, SkipsStringContents)
+{
+    auto counts = countUsage("s := \"go func sync.Mutex chan\"\n");
+    EXPECT_EQ(counts.goSites(), 0u);
+    EXPECT_EQ(counts.mutex, 0u);
+    EXPECT_EQ(counts.channel, 0u);
+}
+
+TEST(Counter, CountsGoroutineSites)
+{
+    auto counts = countUsage(R"(
+        func start() {
+            go worker(1)
+            go func() { run() }()
+            go pkg.Named(x)
+        }
+    )");
+    EXPECT_EQ(counts.goAnonymous, 1u);
+    EXPECT_EQ(counts.goNamed, 2u);
+}
+
+TEST(Counter, CountsPrimitiveCategories)
+{
+    auto counts = countUsage(R"(
+        var mu sync.Mutex
+        var rw sync.RWMutex
+        var once sync.Once
+        var wg sync.WaitGroup
+        cond := sync.NewCond(&mu)
+        var m sync.Map
+        atomic.AddInt64(&n, 1)
+        atomic.LoadInt32(&flag)
+        ch := make(chan int, 4)
+        var out chan string
+    )");
+    EXPECT_EQ(counts.mutex, 2u);
+    EXPECT_EQ(counts.once, 1u);
+    EXPECT_EQ(counts.waitGroup, 1u);
+    EXPECT_EQ(counts.cond, 1u);
+    EXPECT_EQ(counts.misc, 1u);
+    EXPECT_EQ(counts.atomicOps, 2u);
+    EXPECT_EQ(counts.channel, 2u);
+    EXPECT_EQ(counts.sharedMemoryPrimitives(), 7u);
+    EXPECT_EQ(counts.messagePassingPrimitives(), 3u);
+}
+
+TEST(Counter, CountsCSideMarkers)
+{
+    auto counts = countUsage(R"(
+        gpr_thd_new(&tid, worker, arg);
+        gpr_mu_lock(&mu);
+        gpr_mu_unlock(&mu);
+        pthread_create(&t, 0, run, 0);
+    )");
+    EXPECT_EQ(counts.threadCreation, 2u);
+    EXPECT_EQ(counts.cLock, 2u);
+}
+
+TEST(Counter, AccumulateWorks)
+{
+    UsageCounts a = countUsage("var mu sync.Mutex\n");
+    UsageCounts b = countUsage("ch := make(chan int)\n");
+    a += b;
+    EXPECT_EQ(a.mutex, 1u);
+    EXPECT_EQ(a.channel, 1u);
+    EXPECT_EQ(a.lines, 2u);
+}
+
+TEST(Generator, DeterministicPerSeed)
+{
+    const AppProfile &profile = goAppProfiles()[0];
+    EXPECT_EQ(generateSource(profile, 7), generateSource(profile, 7));
+    EXPECT_NE(generateSource(profile, 7), generateSource(profile, 8));
+}
+
+TEST(Generator, MeasuredDensitiesMatchProfile)
+{
+    for (const AppProfile &profile : goAppProfiles()) {
+        const std::string source = generateSource(profile, 1);
+        const UsageCounts counts = countUsage(source);
+        // Line count near target.
+        EXPECT_NEAR(static_cast<double>(counts.lines),
+                    profile.sampleKloc * 1000.0,
+                    profile.sampleKloc * 30.0)
+            << profile.name;
+        // Primitive density within sampling noise of the target.
+        EXPECT_NEAR(counts.perKloc(counts.totalPrimitives()),
+                    profile.primitivesPerKloc,
+                    0.25 * profile.primitivesPerKloc + 0.4)
+            << profile.name;
+        // Goroutine site density in Table 2's stated range.
+        EXPECT_NEAR(counts.perKloc(counts.goSites()),
+                    profile.goSitesPerKloc,
+                    0.35 * profile.goSitesPerKloc + 0.12)
+            << profile.name;
+    }
+}
+
+TEST(Generator, MixProportionsComeOutAsConfigured)
+{
+    // Use the biggest-sample profile and a wide tolerance: this is a
+    // statistical property.
+    AppProfile profile = goAppProfiles()[2]; // etcd, chan-heavy
+    profile.sampleKloc = 60;
+    const UsageCounts counts = countUsage(generateSource(profile, 3));
+    const double total =
+        static_cast<double>(counts.totalPrimitives());
+    ASSERT_GT(total, 100.0);
+    EXPECT_NEAR(counts.mutex / total, profile.mix[0], 0.06);
+    EXPECT_NEAR(counts.channel / total, profile.mix[5], 0.06);
+}
+
+TEST(Generator, GrpcCUsesOnlyLocksAndFewThreads)
+{
+    const AppProfile &profile = grpcCProfile();
+    const UsageCounts counts = countUsage(generateSource(profile, 1));
+    EXPECT_EQ(counts.goSites(), 0u);
+    EXPECT_EQ(counts.totalPrimitives(), 0u); // no Go primitives
+    EXPECT_GT(counts.cLock, 0u);
+    // ~0.03 sites/KLOC over a 40 KLOC sample: just a handful.
+    EXPECT_LE(counts.threadCreation, 6u);
+}
+
+TEST(Generator, SnapshotsAreStableOverTime)
+{
+    const AppProfile &base = goAppProfiles()[0]; // Docker
+    for (int month = 0; month < 40; month += 13) {
+        AppProfile snap = snapshotProfile(base, month);
+        EXPECT_NEAR(snap.mix[5], base.mix[5], 0.03) << month;
+        double sum = 0;
+        for (double m : snap.mix)
+            sum += m;
+        EXPECT_NEAR(sum, 1.0, 0.01);
+    }
+}
+
+TEST(Generator, MonthLabels)
+{
+    EXPECT_EQ(monthLabel(0), "15-02");
+    EXPECT_EQ(monthLabel(11), "16-01");
+    EXPECT_EQ(monthLabel(39), "18-05");
+}
+
+} // namespace
+} // namespace golite::scanner

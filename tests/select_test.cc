@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Select semantics tests: ready-case choice, random choice among
+ * multiple ready cases (the Figure 11 nondeterminism), default
+ * branches, blocking selects, nil-channel cases, and send cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+TEST(Select, TakesTheOnlyReadyCase)
+{
+    int got = 0;
+    run([&] {
+        Chan<int> a = makeChan<int>(1);
+        Chan<int> b = makeChan<int>(1);
+        a.send(5);
+        int chosen = Select()
+            .recv<int>(a, [&](int v, bool) { got = v; })
+            .recv<int>(b, [&](int, bool) { got = -1; })
+            .run();
+        EXPECT_EQ(chosen, 0);
+    });
+    EXPECT_EQ(got, 5);
+}
+
+TEST(Select, RandomAmongReadyCases)
+{
+    // Both cases ready: Go chooses uniformly at random. Sweep seeds
+    // and require both outcomes to occur — this nondeterminism is the
+    // mechanism behind the paper's Figure 1 and Figure 11 bugs.
+    std::set<int> outcomes;
+    for (uint64_t seed = 0; seed < 32; ++seed) {
+        RunOptions options;
+        options.seed = seed;
+        run([&] {
+            Chan<int> a = makeChan<int>(1);
+            Chan<int> b = makeChan<int>(1);
+            a.send(1);
+            b.send(2);
+            Select()
+                .recv<int>(a, [&](int, bool) { outcomes.insert(0); })
+                .recv<int>(b, [&](int, bool) { outcomes.insert(1); })
+                .run();
+        }, options);
+    }
+    EXPECT_EQ(outcomes.size(), 2u);
+}
+
+TEST(Select, DefaultWhenNothingReady)
+{
+    bool took_default = false;
+    run([&] {
+        Chan<int> a = makeChan<int>();
+        int chosen = Select()
+            .recv<int>(a, [](int, bool) {})
+            .def([&] { took_default = true; })
+            .run();
+        EXPECT_EQ(chosen, 1);
+    });
+    EXPECT_TRUE(took_default);
+}
+
+TEST(Select, BlocksUntilACaseFires)
+{
+    int got = 0;
+    run([&] {
+        Chan<int> a = makeChan<int>();
+        Chan<int> b = makeChan<int>();
+        go([b] { b.send(9); });
+        Select()
+            .recv<int>(a, [&](int v, bool) { got = v; })
+            .recv<int>(b, [&](int v, bool) { got = v; })
+            .run();
+    });
+    EXPECT_EQ(got, 9);
+}
+
+TEST(Select, BlockedSelectSeesClose)
+{
+    bool closed_seen = false;
+    run([&] {
+        Chan<int> a = makeChan<int>();
+        go([a] {
+            yield();
+            a.close();
+        });
+        Select()
+            .recv<int>(a, [&](int, bool ok) { closed_seen = !ok; })
+            .run();
+    });
+    EXPECT_TRUE(closed_seen);
+}
+
+TEST(Select, SendCaseDeliversWhenReceiverArrives)
+{
+    int got = 0;
+    run([&] {
+        Chan<int> a = makeChan<int>();
+        go([&, a] { got = a.recv().value; });
+        yield();
+        bool sent = false;
+        Select()
+            .send<int>(a, 33, [&] { sent = true; })
+            .run();
+        EXPECT_TRUE(sent);
+    });
+    EXPECT_EQ(got, 33);
+}
+
+TEST(Select, BlockedSendCaseCompletes)
+{
+    int got = 0;
+    run([&] {
+        Chan<int> a = makeChan<int>();
+        go([&, a] {
+            yield();
+            yield();
+            got = a.recv().value;
+        });
+        Select()
+            .send<int>(a, 44, [] {})
+            .run();
+        yield();
+        yield();
+    });
+    EXPECT_EQ(got, 44);
+}
+
+TEST(Select, NilChannelCaseNeverFires)
+{
+    int got = 0;
+    run([&] {
+        Chan<int> nil_chan;
+        Chan<int> live = makeChan<int>(1);
+        live.send(3);
+        int chosen = Select()
+            .recv<int>(nil_chan, [&](int, bool) { got = -1; })
+            .recv<int>(live, [&](int v, bool) { got = v; })
+            .run();
+        EXPECT_EQ(chosen, 1);
+    });
+    EXPECT_EQ(got, 3);
+}
+
+TEST(Select, AllNilBlocksForever)
+{
+    RunReport report = run([] {
+        Chan<int> nil_chan;
+        Select().recv<int>(nil_chan, [](int, bool) {}).run();
+    });
+    EXPECT_TRUE(report.globalDeadlock);
+}
+
+TEST(Select, EmptySelectBlocksForever)
+{
+    RunReport report = run([] { Select().run(); });
+    EXPECT_TRUE(report.globalDeadlock);
+}
+
+TEST(Select, LosingWaitersAreCancelled)
+{
+    // After a blocked select completes on one channel, its waiter on
+    // the other channel must be gone: a later send on that other
+    // channel must not be consumed by the dead select.
+    int other_got = 0;
+    RunReport report = run([&] {
+        Chan<int> a = makeChan<int>();
+        Chan<int> b = makeChan<int>(1);
+        go([a] { a.send(1); });
+        Select()
+            .recv<int>(a, [](int, bool) {})
+            .recv<int>(b, [](int, bool) {})
+            .run();
+        b.send(8); // buffered: must land in the buffer
+        other_got = b.recv().value;
+    });
+    EXPECT_EQ(other_got, 8);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Select, TwoSelectsRendezvous)
+{
+    // A select-send meeting a select-recv on an unbuffered channel.
+    int got = 0;
+    RunReport report = run([&] {
+        Chan<int> ch = makeChan<int>();
+        go([ch] {
+            Select().send<int>(ch, 77, [] {}).run();
+        });
+        Select()
+            .recv<int>(ch, [&](int v, bool) { got = v; })
+            .run();
+        yield();
+    });
+    EXPECT_EQ(got, 77);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Select, SendOnClosedChannelPanicsWhenPolled)
+{
+    RunReport report = run([] {
+        Chan<int> ch = makeChan<int>(1);
+        ch.close();
+        Select().send<int>(ch, 1, [] {}).run();
+    });
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "send on closed channel");
+}
+
+TEST(Select, BlockedSendCasePanicsOnClose)
+{
+    RunReport report = run([] {
+        Chan<int> ch = makeChan<int>(); // no receiver ever
+        go([ch] {
+            yield();
+            ch.close();
+        });
+        Select().send<int>(ch, 1, [] {}).run();
+    });
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "send on closed channel");
+}
+
+TEST(Select, TimeoutPattern)
+{
+    // The canonical select { case <-ch: ...; case <-time.After(d) }.
+    bool timed_out = false;
+    run([&] {
+        Chan<int> slow = makeChan<int>();
+        go([slow] {
+            gotime::sleep(100 * gotime::kMillisecond);
+            slow.trySend(1);
+        });
+        Select()
+            .recv<int>(slow, [](int, bool) {})
+            .recv<gotime::Time>(gotime::after(10 * gotime::kMillisecond),
+                                [&](gotime::Time, bool) {
+                                    timed_out = true;
+                                })
+            .run();
+    });
+    EXPECT_TRUE(timed_out);
+}
+
+TEST(Select, ChoiceCountsAreRoughlyUniform)
+{
+    // Property check on select's uniformity across 3 ready cases.
+    std::map<int, int> counts;
+    for (uint64_t seed = 0; seed < 300; ++seed) {
+        RunOptions options;
+        options.seed = seed;
+        run([&] {
+            Chan<int> chans[3] = {makeChan<int>(1), makeChan<int>(1),
+                                  makeChan<int>(1)};
+            for (auto &c : chans)
+                c.send(1);
+            Select()
+                .recv<int>(chans[0], [&](int, bool) { counts[0]++; })
+                .recv<int>(chans[1], [&](int, bool) { counts[1]++; })
+                .recv<int>(chans[2], [&](int, bool) { counts[2]++; })
+                .run();
+        }, options);
+    }
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_GT(counts[i], 60) << "case " << i;
+        EXPECT_LT(counts[i], 140) << "case " << i;
+    }
+}
+
+} // namespace
+} // namespace golite

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the library extras: SyncMap, Pool, time.AfterFunc, and
+ * context.WithValue — the remaining pieces of the Go standard
+ * surface the paper's taxonomy references (Table 4 "Misc"
+ * primitives; etcd-7816's context payloads).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+using gotime::kMillisecond;
+
+TEST(SyncMap, LoadStoreDelete)
+{
+    run([] {
+        SyncMap<std::string, int> m;
+        EXPECT_FALSE(m.load("a").has_value());
+        m.store("a", 1);
+        m.store("b", 2);
+        EXPECT_EQ(m.load("a").value(), 1);
+        EXPECT_EQ(m.size(), 2u);
+        m.del("a");
+        EXPECT_FALSE(m.load("a").has_value());
+    });
+}
+
+TEST(SyncMap, LoadOrStore)
+{
+    run([] {
+        SyncMap<int, std::string> m;
+        auto [v1, loaded1] = m.loadOrStore(1, "first");
+        EXPECT_FALSE(loaded1);
+        EXPECT_EQ(v1, "first");
+        auto [v2, loaded2] = m.loadOrStore(1, "second");
+        EXPECT_TRUE(loaded2);
+        EXPECT_EQ(v2, "first");
+    });
+}
+
+TEST(SyncMap, LoadAndDelete)
+{
+    run([] {
+        SyncMap<int, int> m;
+        m.store(5, 50);
+        auto taken = m.loadAndDelete(5);
+        ASSERT_TRUE(taken.has_value());
+        EXPECT_EQ(*taken, 50);
+        EXPECT_FALSE(m.loadAndDelete(5).has_value());
+    });
+}
+
+TEST(SyncMap, RangeSeesSnapshot)
+{
+    run([] {
+        SyncMap<int, int> m;
+        for (int i = 0; i < 5; ++i)
+            m.store(i, i * 10);
+        int visited = 0;
+        m.range([&](const int &k, const int &v) {
+            EXPECT_EQ(v, k * 10);
+            visited++;
+            return true;
+        });
+        EXPECT_EQ(visited, 5);
+        // Early stop.
+        visited = 0;
+        m.range([&](const int &, const int &) {
+            visited++;
+            return visited < 2;
+        });
+        EXPECT_EQ(visited, 2);
+    });
+}
+
+TEST(SyncMap, ConcurrentLoadOrStoreInitializesOnce)
+{
+    // The etcd-4959 lazy-init bug, fixed with SyncMap: exactly one
+    // goroutine's value wins.
+    std::string winner;
+    run([&] {
+        SyncMap<std::string, std::string> m;
+        WaitGroup wg;
+        wg.add(4);
+        for (int g = 0; g < 4; ++g) {
+            go([&, g] {
+                m.loadOrStore("config", "goroutine-" +
+                                            std::to_string(g));
+                wg.done();
+            });
+        }
+        wg.wait();
+        winner = m.load("config").value();
+    });
+    EXPECT_EQ(winner.rfind("goroutine-", 0), 0u);
+}
+
+TEST(SyncMap, SuppressesRaceOnTheMapItself)
+{
+    race::Detector detector;
+    RunOptions options;
+    options.hooks = &detector;
+    SyncMap<int, int> m;
+    run([&] {
+        WaitGroup wg;
+        wg.add(2);
+        for (int g = 0; g < 2; ++g) {
+            go([&, g] {
+                m.store(g, g);
+                (void)m.load(1 - g);
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options);
+    EXPECT_TRUE(detector.reports().empty());
+}
+
+TEST(Pool, ReusesReturnedValues)
+{
+    run([] {
+        int made = 0;
+        Pool<int> pool([&made] { return ++made; });
+        int a = pool.get();
+        EXPECT_EQ(a, 1);
+        pool.put(a);
+        EXPECT_EQ(pool.idle(), 1u);
+        EXPECT_EQ(pool.get(), 1); // reused, factory not called
+        EXPECT_EQ(made, 1);
+        EXPECT_EQ(pool.get(), 2); // empty pool: factory again
+    });
+}
+
+TEST(Pool, WorksAcrossGoroutines)
+{
+    int made = 0;
+    run([&] {
+        Pool<std::string> pool([&made] {
+            made++;
+            return std::string("buf");
+        });
+        WaitGroup wg;
+        wg.add(3);
+        for (int g = 0; g < 3; ++g) {
+            go([&] {
+                std::string buffer = pool.get();
+                yield();
+                pool.put(std::move(buffer));
+                wg.done();
+            });
+        }
+        wg.wait();
+    });
+    EXPECT_GE(made, 1);
+    EXPECT_LE(made, 3);
+}
+
+TEST(AfterFunc, RunsAfterDelay)
+{
+    int fired_at = -1;
+    run([&] {
+        gotime::afterFunc(10 * kMillisecond, [&] {
+            fired_at = static_cast<int>(gotime::now() / kMillisecond);
+        });
+        gotime::sleep(20 * kMillisecond);
+    });
+    EXPECT_EQ(fired_at, 10);
+}
+
+TEST(AfterFunc, StopCancels)
+{
+    bool fired = false;
+    run([&] {
+        gotime::Timer t =
+            gotime::afterFunc(10 * kMillisecond, [&] { fired = true; });
+        EXPECT_TRUE(t.stop());
+        gotime::sleep(30 * kMillisecond);
+    });
+    EXPECT_FALSE(fired);
+}
+
+TEST(AfterFunc, RunsInItsOwnGoroutine)
+{
+    // The callback can block on channels (it is a real goroutine).
+    int got = 0;
+    run([&] {
+        Chan<int> ch = makeChan<int>();
+        gotime::afterFunc(5 * kMillisecond,
+                          [ch] { ch.send(99); });
+        got = ch.recv().value;
+    });
+    EXPECT_EQ(got, 99);
+}
+
+TEST(WithValue, LooksUpThroughTheChain)
+{
+    run([] {
+        ctx::Context root = ctx::background();
+        ctx::Context a = ctx::withValue(root, "user", std::any(42));
+        ctx::Context b =
+            ctx::withValue(a, "trace", std::any(std::string("t-1")));
+        ASSERT_NE(b->value("trace"), nullptr);
+        EXPECT_EQ(std::any_cast<std::string>(*b->value("trace")), "t-1");
+        ASSERT_NE(b->value("user"), nullptr);
+        EXPECT_EQ(std::any_cast<int>(*b->value("user")), 42);
+        EXPECT_EQ(b->value("missing"), nullptr);
+        EXPECT_EQ(a->value("trace"), nullptr); // child-only key
+    });
+}
+
+TEST(WithValue, ShadowingWorks)
+{
+    run([] {
+        ctx::Context a =
+            ctx::withValue(ctx::background(), "k", std::any(1));
+        ctx::Context b = ctx::withValue(a, "k", std::any(2));
+        EXPECT_EQ(std::any_cast<int>(*b->value("k")), 2);
+        EXPECT_EQ(std::any_cast<int>(*a->value("k")), 1);
+    });
+}
+
+TEST(WithValue, SharesParentCancellation)
+{
+    run([] {
+        auto [parent, cancel] = ctx::withCancel(ctx::background());
+        ctx::Context child =
+            ctx::withValue(parent, "k", std::any(1));
+        EXPECT_TRUE(static_cast<bool>(child->done()));
+        cancel();
+        // The shared done channel is closed exactly once; the child
+        // observes it.
+        auto r = child->done().tryRecv();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_FALSE(r->ok); // closed
+        EXPECT_TRUE(child->cancelled());
+    });
+}
+
+TEST(WithValue, CancelThroughValueNodeDoesNotDoubleClose)
+{
+    RunReport report = run([] {
+        auto [parent, cancel] = ctx::withCancel(ctx::background());
+        ctx::Context v1 = ctx::withValue(parent, "a", std::any(1));
+        ctx::Context v2 = ctx::withValue(v1, "b", std::any(2));
+        auto [leaf, cancel_leaf] = ctx::withCancel(v2);
+        cancel(); // cascades through the value nodes to the leaf
+        EXPECT_TRUE(leaf->cancelled());
+        cancel_leaf();
+    });
+    EXPECT_FALSE(report.panicked);
+}
+
+} // namespace
+} // namespace golite

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * sync package tests: Mutex (incl. the Go panic and double-lock
+ * semantics), writer-priority RWMutex (incl. the Go-specific deadlock
+ * interleaving from Section 5.1.1), WaitGroup, Once, Cond, Atomic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+TEST(Mutex, ProvidesMutualExclusion)
+{
+    int counter = 0;
+    RunReport report = run([&] {
+        Mutex mu;
+        WaitGroup wg;
+        wg.add(4);
+        for (int i = 0; i < 4; ++i) {
+            go([&] {
+                for (int j = 0; j < 100; ++j) {
+                    mu.lock();
+                    int tmp = counter;
+                    yield(); // widen the window: lock must protect us
+                    counter = tmp + 1;
+                    mu.unlock();
+                }
+                wg.done();
+            });
+        }
+        wg.wait();
+    });
+    EXPECT_EQ(counter, 400);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Mutex, DoubleLockSelfDeadlocks)
+{
+    // Go's Mutex is not reentrant: the classic double-lock bug.
+    RunReport report = run([] {
+        Mutex mu;
+        mu.lock();
+        mu.lock();
+    });
+    EXPECT_TRUE(report.globalDeadlock);
+}
+
+TEST(Mutex, UnlockOfUnlockedPanics)
+{
+    RunReport report = run([] {
+        Mutex mu;
+        mu.unlock();
+    });
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "sync: unlock of unlocked mutex");
+}
+
+TEST(Mutex, TryLock)
+{
+    run([] {
+        Mutex mu;
+        EXPECT_TRUE(mu.tryLock());
+        EXPECT_FALSE(mu.tryLock());
+        mu.unlock();
+        EXPECT_TRUE(mu.tryLock());
+        mu.unlock();
+    });
+}
+
+TEST(Mutex, HandoffIsFifo)
+{
+    std::vector<int> order;
+    Mutex mu; // outlives the run: lockers can finish during drain
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run([&] {
+        mu.lock();
+        for (int i = 0; i < 3; ++i) {
+            go([&, i] {
+                mu.lock();
+                order.push_back(i);
+                mu.unlock();
+            });
+        }
+        for (int i = 0; i < 6; ++i)
+            yield(); // all three park on the mutex
+        mu.unlock();
+    }, options);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RWMutex, ConcurrentReadersAllowed)
+{
+    int active_peak = 0;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run([&] {
+        RWMutex mu;
+        int active = 0;
+        WaitGroup wg;
+        wg.add(3);
+        for (int i = 0; i < 3; ++i) {
+            go([&] {
+                mu.rlock();
+                active++;
+                active_peak = std::max(active_peak, active);
+                yield();
+                active--;
+                mu.runlock();
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options);
+    EXPECT_GE(active_peak, 2);
+}
+
+TEST(RWMutex, WriterExcludesReadersAndWriters)
+{
+    std::vector<std::string> trace;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run([&] {
+        RWMutex mu;
+        mu.lock();
+        go([&] {
+            mu.rlock();
+            trace.push_back("reader");
+            mu.runlock();
+        });
+        go([&] {
+            mu.lock();
+            trace.push_back("writer2");
+            mu.unlock();
+        });
+        yield();
+        yield();
+        trace.push_back("unlock");
+        mu.unlock();
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0], "unlock");
+}
+
+TEST(RWMutex, GoWriterPriorityDeadlock)
+{
+    // Section 5.1.1: th-A holds a read lock; th-B requests the write
+    // lock; th-A's *second* read lock queues behind the writer. In C
+    // (reader-priority pthread_rwlock_t) this would succeed; in Go it
+    // deadlocks. 5 of the paper's bugs have this shape.
+    auto mu = std::make_shared<RWMutex>(); // outlives any schedule
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo; // writer queues at the yield
+    RunReport report = run([mu] {
+        mu->rlock();
+        go([mu] { mu->lock(); }); // writer waits for the reader
+        yield();
+        mu->rlock(); // queues behind the pending writer: deadlock
+    }, options);
+    EXPECT_TRUE(report.globalDeadlock);
+}
+
+TEST(RWMutex, RUnlockOfUnlockedPanics)
+{
+    RunReport report = run([] {
+        RWMutex mu;
+        mu.runlock();
+    });
+    EXPECT_TRUE(report.panicked);
+}
+
+TEST(RWMutex, WriterUnlockReleasesQueuedReaders)
+{
+    int readers_ran = 0;
+    run([&] {
+        RWMutex mu;
+        mu.lock();
+        WaitGroup wg;
+        wg.add(2);
+        for (int i = 0; i < 2; ++i) {
+            go([&] {
+                mu.rlock();
+                readers_ran++;
+                mu.runlock();
+                wg.done();
+            });
+        }
+        yield();
+        yield();
+        mu.unlock();
+        wg.wait();
+    });
+    EXPECT_EQ(readers_ran, 2);
+}
+
+TEST(WaitGroup, WaitBlocksUntilAllDone)
+{
+    int finished = 0;
+    RunReport report = run([&] {
+        WaitGroup wg;
+        wg.add(5);
+        for (int i = 0; i < 5; ++i) {
+            go([&] {
+                yield();
+                finished++;
+                wg.done();
+            });
+        }
+        wg.wait();
+        EXPECT_EQ(finished, 5);
+    });
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(WaitGroup, WaitWithZeroCountReturnsImmediately)
+{
+    bool reached = false;
+    run([&] {
+        WaitGroup wg;
+        wg.wait();
+        reached = true;
+    });
+    EXPECT_TRUE(reached);
+}
+
+TEST(WaitGroup, NegativeCounterPanics)
+{
+    RunReport report = run([] {
+        WaitGroup wg;
+        wg.done();
+    });
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "sync: negative WaitGroup counter");
+}
+
+TEST(WaitGroup, MissingDoneBlocksForever)
+{
+    RunReport report = run([] {
+        WaitGroup wg;
+        wg.add(1);
+        wg.wait();
+    });
+    EXPECT_TRUE(report.globalDeadlock);
+}
+
+TEST(WaitGroup, MultipleWaiters)
+{
+    int released = 0;
+    WaitGroup wg; // outlives the run: waiters can finish during drain
+    run([&] {
+        wg.add(1);
+        for (int i = 0; i < 2; ++i) {
+            go([&] {
+                wg.wait();
+                released++;
+            });
+        }
+        yield();
+        yield();
+        wg.done();
+        for (int i = 0; i < 4; ++i)
+            yield();
+    });
+    EXPECT_EQ(released, 2);
+}
+
+TEST(Once, RunsExactlyOnce)
+{
+    int runs = 0;
+    run([&] {
+        Once once;
+        WaitGroup wg;
+        wg.add(10);
+        for (int i = 0; i < 10; ++i) {
+            go([&] {
+                once.doOnce([&] { runs++; });
+                wg.done();
+            });
+        }
+        wg.wait();
+    });
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(Once, ConcurrentCallersWaitForTheFirst)
+{
+    // A second caller must not return before fn finished.
+    std::vector<std::string> trace;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run([&] {
+        Once once;
+        go([&] {
+            once.doOnce([&] {
+                trace.push_back("f-start");
+                yield();
+                yield();
+                trace.push_back("f-end");
+            });
+        });
+        go([&] {
+            yield();
+            once.doOnce([&] { trace.push_back("never"); });
+            trace.push_back("second-returned");
+        });
+        for (int i = 0; i < 10; ++i)
+            yield();
+    }, options);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0], "f-start");
+    EXPECT_EQ(trace[1], "f-end");
+    EXPECT_EQ(trace[2], "second-returned");
+}
+
+TEST(Cond, SignalWakesOneWaiter)
+{
+    int woken = 0;
+    Mutex mu;      // outlive the run: one waiter leaks by design
+    Cond cond(mu);
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run([&] {
+        for (int i = 0; i < 2; ++i) {
+            go([&] {
+                mu.lock();
+                cond.wait();
+                woken++;
+                mu.unlock();
+            });
+        }
+        for (int i = 0; i < 6; ++i)
+            yield();
+        mu.lock();
+        cond.signal();
+        mu.unlock();
+        for (int i = 0; i < 6; ++i)
+            yield();
+    }, options);
+    EXPECT_EQ(woken, 1);
+}
+
+TEST(Cond, BroadcastWakesAll)
+{
+    int woken = 0;
+    Mutex mu;
+    Cond cond(mu);
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    RunReport report = run([&] {
+        for (int i = 0; i < 3; ++i) {
+            go([&] {
+                mu.lock();
+                cond.wait();
+                woken++;
+                mu.unlock();
+            });
+        }
+        for (int i = 0; i < 9; ++i)
+            yield();
+        mu.lock();
+        cond.broadcast();
+        mu.unlock();
+        for (int i = 0; i < 9; ++i)
+            yield();
+    }, options);
+    EXPECT_EQ(woken, 3);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(Cond, MissingSignalBlocksForever)
+{
+    // Two of the paper's blocking bugs: Cond.Wait with no Signal.
+    RunReport report = run([] {
+        Mutex mu;
+        Cond cond(mu);
+        mu.lock();
+        cond.wait();
+    });
+    EXPECT_TRUE(report.globalDeadlock);
+}
+
+TEST(Cond, WaitWithoutMutexPanics)
+{
+    RunReport report = run([] {
+        Mutex mu;
+        Cond cond(mu);
+        cond.wait();
+    });
+    EXPECT_TRUE(report.panicked);
+}
+
+TEST(Atomic, LoadStoreAddCas)
+{
+    run([] {
+        Atomic<int64_t> a(10);
+        EXPECT_EQ(a.load(), 10);
+        a.store(20);
+        EXPECT_EQ(a.load(), 20);
+        EXPECT_EQ(a.add(5), 25);
+        EXPECT_TRUE(a.compareAndSwap(25, 30));
+        EXPECT_FALSE(a.compareAndSwap(25, 40));
+        EXPECT_EQ(a.load(), 30);
+    });
+}
+
+TEST(Atomic, CountsAcrossGoroutines)
+{
+    run([] {
+        Atomic<int64_t> total(0);
+        WaitGroup wg;
+        wg.add(8);
+        for (int i = 0; i < 8; ++i) {
+            go([&] {
+                for (int j = 0; j < 50; ++j)
+                    total.add(1);
+                wg.done();
+            });
+        }
+        wg.wait();
+        EXPECT_EQ(total.load(), 400);
+    });
+}
+
+} // namespace
+} // namespace golite

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Execution-trace recorder tests (the `go tool trace` analogue):
+ * event sequencing, wait-reason capture, clock advances, and the
+ * off-by-default contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+std::vector<TraceEvent>
+traced(const std::function<void()> &program,
+       SchedPolicy policy = SchedPolicy::Fifo)
+{
+    RunOptions options;
+    options.collectTrace = true;
+    options.policy = policy;
+    return run(program, options).trace;
+}
+
+TEST(Trace, OffByDefault)
+{
+    RunReport report = run([] {
+        go([] {});
+        yield();
+    });
+    EXPECT_TRUE(report.trace.empty());
+}
+
+TEST(Trace, RecordsSpawnDispatchFinish)
+{
+    auto trace = traced([] { go("worker", [] {}); });
+    // main dispatch, worker spawn, main finish, worker dispatch,
+    // worker finish — in FIFO order.
+    std::vector<std::pair<TraceKind, uint64_t>> expected = {
+        {TraceKind::Dispatch, 1}, {TraceKind::Spawn, 2},
+        {TraceKind::Finish, 1},   {TraceKind::Dispatch, 2},
+        {TraceKind::Finish, 2},
+    };
+    ASSERT_EQ(trace.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(trace[i].kind, expected[i].first) << i;
+        EXPECT_EQ(trace[i].gid, expected[i].second) << i;
+    }
+    EXPECT_EQ(trace[1].detail, "worker");
+}
+
+TEST(Trace, ParkCarriesTheWaitReason)
+{
+    auto trace = traced([] {
+        Chan<int> ch = makeChan<int>();
+        go([ch] { ch.send(5); });
+        ch.recv();
+    });
+    bool saw_park = false;
+    for (const TraceEvent &ev : trace) {
+        if (ev.kind == TraceKind::Park && ev.gid == 1) {
+            EXPECT_EQ(ev.detail, "chan receive");
+            saw_park = true;
+        }
+    }
+    EXPECT_TRUE(saw_park);
+}
+
+TEST(Trace, UnparkFollowsTheSenderHandoff)
+{
+    auto trace = traced([] {
+        Chan<int> ch = makeChan<int>();
+        go([ch] { ch.send(5); });
+        ch.recv();
+    });
+    // Order: main parks (recv), sender runs, main unparks.
+    int park_at = -1, unpark_at = -1;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].gid != 1)
+            continue;
+        if (trace[i].kind == TraceKind::Park)
+            park_at = static_cast<int>(i);
+        if (trace[i].kind == TraceKind::Unpark)
+            unpark_at = static_cast<int>(i);
+    }
+    ASSERT_GE(park_at, 0);
+    ASSERT_GE(unpark_at, 0);
+    EXPECT_LT(park_at, unpark_at);
+}
+
+TEST(Trace, ClockAdvancesAreRecorded)
+{
+    auto trace = traced([] { gotime::sleep(5 * gotime::kMillisecond); });
+    bool saw_clock = false;
+    for (const TraceEvent &ev : trace) {
+        if (ev.kind == TraceKind::ClockAdvance) {
+            EXPECT_EQ(ev.detail, "5000us");
+            saw_clock = true;
+        }
+    }
+    EXPECT_TRUE(saw_clock);
+}
+
+TEST(Trace, FormatTraceIsReadable)
+{
+    RunOptions options;
+    options.collectTrace = true;
+    options.policy = SchedPolicy::Fifo;
+    RunReport report = run([] {
+        go("helper", [] { gotime::sleep(gotime::kMillisecond); });
+        gotime::sleep(2 * gotime::kMillisecond); // outlive the helper
+    }, options);
+    const std::string text = report.formatTrace();
+    EXPECT_NE(text.find("spawn (helper)"), std::string::npos);
+    EXPECT_NE(text.find("park (sleep)"), std::string::npos);
+    EXPECT_NE(text.find("clock -> 1000us"), std::string::npos);
+    EXPECT_NE(text.find("finish"), std::string::npos);
+}
+
+TEST(Trace, DeterministicPerSeed)
+{
+    auto once = [] {
+        RunOptions options;
+        options.collectTrace = true;
+        options.seed = 77;
+        return run([] {
+            WaitGroup wg;
+            wg.add(3);
+            for (int i = 0; i < 3; ++i) {
+                go([&] {
+                    yield();
+                    wg.done();
+                });
+            }
+            wg.wait();
+        }, options).trace;
+    };
+    auto a = once();
+    auto b = once();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].gid, b[i].gid);
+        EXPECT_EQ(a[i].tick, b[i].tick);
+    }
+}
+
+} // namespace
+} // namespace golite
