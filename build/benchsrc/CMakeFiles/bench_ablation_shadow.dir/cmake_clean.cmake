@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_shadow"
+  "../bench/bench_ablation_shadow.pdb"
+  "CMakeFiles/bench_ablation_shadow.dir/bench_ablation_shadow.cc.o"
+  "CMakeFiles/bench_ablation_shadow.dir/bench_ablation_shadow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_anon_lint"
+  "../bench/bench_ext_anon_lint.pdb"
+  "CMakeFiles/bench_ext_anon_lint.dir/bench_ext_anon_lint.cc.o"
+  "CMakeFiles/bench_ext_anon_lint.dir/bench_ext_anon_lint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_anon_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_explorer"
+  "../bench/bench_ext_explorer.pdb"
+  "CMakeFiles/bench_ext_explorer.dir/bench_ext_explorer.cc.o"
+  "CMakeFiles/bench_ext_explorer.dir/bench_ext_explorer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

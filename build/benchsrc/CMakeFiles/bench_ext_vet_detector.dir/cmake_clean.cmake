@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_vet_detector"
+  "../bench/bench_ext_vet_detector.pdb"
+  "CMakeFiles/bench_ext_vet_detector.dir/bench_ext_vet_detector.cc.o"
+  "CMakeFiles/bench_ext_vet_detector.dir/bench_ext_vet_detector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_vet_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_03_usage_over_time.
+# This may be replaced when dependencies are built.

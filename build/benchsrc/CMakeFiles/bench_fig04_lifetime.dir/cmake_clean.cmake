@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_lifetime"
+  "../bench/bench_fig04_lifetime.pdb"
+  "CMakeFiles/bench_fig04_lifetime.dir/bench_fig04_lifetime.cc.o"
+  "CMakeFiles/bench_fig04_lifetime.dir/bench_fig04_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_observations"
+  "../bench/bench_observations.pdb"
+  "CMakeFiles/bench_observations.dir/bench_observations.cc.o"
+  "CMakeFiles/bench_observations.dir/bench_observations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_runtime"
+  "../bench/bench_perf_runtime.pdb"
+  "CMakeFiles/bench_perf_runtime.dir/bench_perf_runtime.cc.o"
+  "CMakeFiles/bench_perf_runtime.dir/bench_perf_runtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

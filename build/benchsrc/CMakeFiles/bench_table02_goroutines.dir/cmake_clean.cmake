@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table02_goroutines"
+  "../bench/bench_table02_goroutines.pdb"
+  "CMakeFiles/bench_table02_goroutines.dir/bench_table02_goroutines.cc.o"
+  "CMakeFiles/bench_table02_goroutines.dir/bench_table02_goroutines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_goroutines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table03_dynamic"
+  "../bench/bench_table03_dynamic.pdb"
+  "CMakeFiles/bench_table03_dynamic.dir/bench_table03_dynamic.cc.o"
+  "CMakeFiles/bench_table03_dynamic.dir/bench_table03_dynamic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table06_blocking_causes"
+  "../bench/bench_table06_blocking_causes.pdb"
+  "CMakeFiles/bench_table06_blocking_causes.dir/bench_table06_blocking_causes.cc.o"
+  "CMakeFiles/bench_table06_blocking_causes.dir/bench_table06_blocking_causes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_blocking_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

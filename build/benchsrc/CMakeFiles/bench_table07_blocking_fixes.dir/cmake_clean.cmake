@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table07_blocking_fixes"
+  "../bench/bench_table07_blocking_fixes.pdb"
+  "CMakeFiles/bench_table07_blocking_fixes.dir/bench_table07_blocking_fixes.cc.o"
+  "CMakeFiles/bench_table07_blocking_fixes.dir/bench_table07_blocking_fixes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_blocking_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

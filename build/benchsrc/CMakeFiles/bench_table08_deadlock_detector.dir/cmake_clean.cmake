@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table08_deadlock_detector"
+  "../bench/bench_table08_deadlock_detector.pdb"
+  "CMakeFiles/bench_table08_deadlock_detector.dir/bench_table08_deadlock_detector.cc.o"
+  "CMakeFiles/bench_table08_deadlock_detector.dir/bench_table08_deadlock_detector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_deadlock_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table10_nonblocking_fixes.cc" "benchsrc/CMakeFiles/bench_table10_nonblocking_fixes.dir/bench_table10_nonblocking_fixes.cc.o" "gcc" "benchsrc/CMakeFiles/bench_table10_nonblocking_fixes.dir/bench_table10_nonblocking_fixes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vet/CMakeFiles/golite_vet.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/golite_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/golite_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/golite_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/golite_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/gotime/CMakeFiles/golite_gotime.dir/DependInfo.cmake"
+  "/root/repo/build/src/goio/CMakeFiles/golite_goio.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/golite_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/golite_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpcbench/CMakeFiles/golite_rpcbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/golite_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/golite_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/golite_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/golite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

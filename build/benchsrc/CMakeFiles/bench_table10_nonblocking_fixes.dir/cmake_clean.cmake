@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table10_nonblocking_fixes"
+  "../bench/bench_table10_nonblocking_fixes.pdb"
+  "CMakeFiles/bench_table10_nonblocking_fixes.dir/bench_table10_nonblocking_fixes.cc.o"
+  "CMakeFiles/bench_table10_nonblocking_fixes.dir/bench_table10_nonblocking_fixes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_nonblocking_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

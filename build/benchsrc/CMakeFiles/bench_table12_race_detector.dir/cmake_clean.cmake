@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table12_race_detector"
+  "../bench/bench_table12_race_detector.pdb"
+  "CMakeFiles/bench_table12_race_detector.dir/bench_table12_race_detector.cc.o"
+  "CMakeFiles/bench_table12_race_detector.dir/bench_table12_race_detector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_race_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_detective.dir/bug_detective.cpp.o"
+  "CMakeFiles/bug_detective.dir/bug_detective.cpp.o.d"
+  "bug_detective"
+  "bug_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

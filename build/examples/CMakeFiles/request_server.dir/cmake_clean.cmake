@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_server.dir/request_server.cpp.o"
+  "CMakeFiles/request_server.dir/request_server.cpp.o.d"
+  "request_server"
+  "request_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

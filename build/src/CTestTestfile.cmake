@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("runtime")
+subdirs("channel")
+subdirs("sync")
+subdirs("gotime")
+subdirs("context")
+subdirs("goio")
+subdirs("race")
+subdirs("vet")
+subdirs("explore")
+subdirs("corpus")
+subdirs("study")
+subdirs("scanner")
+subdirs("rpcbench")

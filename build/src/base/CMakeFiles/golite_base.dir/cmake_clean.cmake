@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_base.dir/panic.cc.o"
+  "CMakeFiles/golite_base.dir/panic.cc.o.d"
+  "CMakeFiles/golite_base.dir/rng.cc.o"
+  "CMakeFiles/golite_base.dir/rng.cc.o.d"
+  "libgolite_base.a"
+  "libgolite_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

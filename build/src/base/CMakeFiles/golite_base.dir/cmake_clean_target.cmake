@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgolite_base.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_channel.dir/select.cc.o"
+  "CMakeFiles/golite_channel.dir/select.cc.o.d"
+  "libgolite_channel.a"
+  "libgolite_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_context.dir/context.cc.o"
+  "CMakeFiles/golite_context.dir/context.cc.o.d"
+  "libgolite_context.a"
+  "libgolite_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

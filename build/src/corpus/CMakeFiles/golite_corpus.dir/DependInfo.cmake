@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/blocking_channel.cc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_channel.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_channel.cc.o.d"
+  "/root/repo/src/corpus/blocking_library.cc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_library.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_library.cc.o.d"
+  "/root/repo/src/corpus/blocking_mixed.cc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_mixed.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_mixed.cc.o.d"
+  "/root/repo/src/corpus/blocking_mutex.cc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_mutex.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_mutex.cc.o.d"
+  "/root/repo/src/corpus/blocking_rwmutex_wait.cc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_rwmutex_wait.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/blocking_rwmutex_wait.cc.o.d"
+  "/root/repo/src/corpus/extended.cc" "src/corpus/CMakeFiles/golite_corpus.dir/extended.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/extended.cc.o.d"
+  "/root/repo/src/corpus/extended2.cc" "src/corpus/CMakeFiles/golite_corpus.dir/extended2.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/extended2.cc.o.d"
+  "/root/repo/src/corpus/nonblocking_anonymous.cc" "src/corpus/CMakeFiles/golite_corpus.dir/nonblocking_anonymous.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/nonblocking_anonymous.cc.o.d"
+  "/root/repo/src/corpus/nonblocking_misc.cc" "src/corpus/CMakeFiles/golite_corpus.dir/nonblocking_misc.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/nonblocking_misc.cc.o.d"
+  "/root/repo/src/corpus/nonblocking_traditional.cc" "src/corpus/CMakeFiles/golite_corpus.dir/nonblocking_traditional.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/nonblocking_traditional.cc.o.d"
+  "/root/repo/src/corpus/registry.cc" "src/corpus/CMakeFiles/golite_corpus.dir/registry.cc.o" "gcc" "src/corpus/CMakeFiles/golite_corpus.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/golite_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/golite_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/golite_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/gotime/CMakeFiles/golite_gotime.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/golite_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/goio/CMakeFiles/golite_goio.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/golite_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/golite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

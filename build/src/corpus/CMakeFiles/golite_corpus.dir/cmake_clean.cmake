@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_corpus.dir/blocking_channel.cc.o"
+  "CMakeFiles/golite_corpus.dir/blocking_channel.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/blocking_library.cc.o"
+  "CMakeFiles/golite_corpus.dir/blocking_library.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/blocking_mixed.cc.o"
+  "CMakeFiles/golite_corpus.dir/blocking_mixed.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/blocking_mutex.cc.o"
+  "CMakeFiles/golite_corpus.dir/blocking_mutex.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/blocking_rwmutex_wait.cc.o"
+  "CMakeFiles/golite_corpus.dir/blocking_rwmutex_wait.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/extended.cc.o"
+  "CMakeFiles/golite_corpus.dir/extended.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/extended2.cc.o"
+  "CMakeFiles/golite_corpus.dir/extended2.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/nonblocking_anonymous.cc.o"
+  "CMakeFiles/golite_corpus.dir/nonblocking_anonymous.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/nonblocking_misc.cc.o"
+  "CMakeFiles/golite_corpus.dir/nonblocking_misc.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/nonblocking_traditional.cc.o"
+  "CMakeFiles/golite_corpus.dir/nonblocking_traditional.cc.o.d"
+  "CMakeFiles/golite_corpus.dir/registry.cc.o"
+  "CMakeFiles/golite_corpus.dir/registry.cc.o.d"
+  "libgolite_corpus.a"
+  "libgolite_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_explore.dir/explorer.cc.o"
+  "CMakeFiles/golite_explore.dir/explorer.cc.o.d"
+  "libgolite_explore.a"
+  "libgolite_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_goio.dir/pipe.cc.o"
+  "CMakeFiles/golite_goio.dir/pipe.cc.o.d"
+  "libgolite_goio.a"
+  "libgolite_goio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_goio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gotime/time.cc" "src/gotime/CMakeFiles/golite_gotime.dir/time.cc.o" "gcc" "src/gotime/CMakeFiles/golite_gotime.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/golite_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/golite_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/golite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_gotime.dir/time.cc.o"
+  "CMakeFiles/golite_gotime.dir/time.cc.o.d"
+  "libgolite_gotime.a"
+  "libgolite_gotime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_gotime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_race.dir/detector.cc.o"
+  "CMakeFiles/golite_race.dir/detector.cc.o.d"
+  "libgolite_race.a"
+  "libgolite_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_rpcbench.dir/rpc.cc.o"
+  "CMakeFiles/golite_rpcbench.dir/rpc.cc.o.d"
+  "libgolite_rpcbench.a"
+  "libgolite_rpcbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_rpcbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for golite_rpcbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/fiber.cc" "src/runtime/CMakeFiles/golite_runtime.dir/fiber.cc.o" "gcc" "src/runtime/CMakeFiles/golite_runtime.dir/fiber.cc.o.d"
+  "/root/repo/src/runtime/report.cc" "src/runtime/CMakeFiles/golite_runtime.dir/report.cc.o" "gcc" "src/runtime/CMakeFiles/golite_runtime.dir/report.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/golite_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/golite_runtime.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/golite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

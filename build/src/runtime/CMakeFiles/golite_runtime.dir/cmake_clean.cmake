@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_runtime.dir/fiber.cc.o"
+  "CMakeFiles/golite_runtime.dir/fiber.cc.o.d"
+  "CMakeFiles/golite_runtime.dir/report.cc.o"
+  "CMakeFiles/golite_runtime.dir/report.cc.o.d"
+  "CMakeFiles/golite_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/golite_runtime.dir/scheduler.cc.o.d"
+  "libgolite_runtime.a"
+  "libgolite_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

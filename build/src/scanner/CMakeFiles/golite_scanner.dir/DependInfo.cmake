@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/counter.cc" "src/scanner/CMakeFiles/golite_scanner.dir/counter.cc.o" "gcc" "src/scanner/CMakeFiles/golite_scanner.dir/counter.cc.o.d"
+  "/root/repo/src/scanner/generator.cc" "src/scanner/CMakeFiles/golite_scanner.dir/generator.cc.o" "gcc" "src/scanner/CMakeFiles/golite_scanner.dir/generator.cc.o.d"
+  "/root/repo/src/scanner/lexer.cc" "src/scanner/CMakeFiles/golite_scanner.dir/lexer.cc.o" "gcc" "src/scanner/CMakeFiles/golite_scanner.dir/lexer.cc.o.d"
+  "/root/repo/src/scanner/lint.cc" "src/scanner/CMakeFiles/golite_scanner.dir/lint.cc.o" "gcc" "src/scanner/CMakeFiles/golite_scanner.dir/lint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/golite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

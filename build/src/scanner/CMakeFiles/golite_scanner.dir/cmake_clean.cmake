@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_scanner.dir/counter.cc.o"
+  "CMakeFiles/golite_scanner.dir/counter.cc.o.d"
+  "CMakeFiles/golite_scanner.dir/generator.cc.o"
+  "CMakeFiles/golite_scanner.dir/generator.cc.o.d"
+  "CMakeFiles/golite_scanner.dir/lexer.cc.o"
+  "CMakeFiles/golite_scanner.dir/lexer.cc.o.d"
+  "CMakeFiles/golite_scanner.dir/lint.cc.o"
+  "CMakeFiles/golite_scanner.dir/lint.cc.o.d"
+  "libgolite_scanner.a"
+  "libgolite_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_study.dir/database.cc.o"
+  "CMakeFiles/golite_study.dir/database.cc.o.d"
+  "CMakeFiles/golite_study.dir/stats.cc.o"
+  "CMakeFiles/golite_study.dir/stats.cc.o.d"
+  "CMakeFiles/golite_study.dir/tables.cc.o"
+  "CMakeFiles/golite_study.dir/tables.cc.o.d"
+  "libgolite_study.a"
+  "libgolite_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

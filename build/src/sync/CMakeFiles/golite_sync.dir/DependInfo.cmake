@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/cond.cc" "src/sync/CMakeFiles/golite_sync.dir/cond.cc.o" "gcc" "src/sync/CMakeFiles/golite_sync.dir/cond.cc.o.d"
+  "/root/repo/src/sync/mutex.cc" "src/sync/CMakeFiles/golite_sync.dir/mutex.cc.o" "gcc" "src/sync/CMakeFiles/golite_sync.dir/mutex.cc.o.d"
+  "/root/repo/src/sync/once.cc" "src/sync/CMakeFiles/golite_sync.dir/once.cc.o" "gcc" "src/sync/CMakeFiles/golite_sync.dir/once.cc.o.d"
+  "/root/repo/src/sync/rwmutex.cc" "src/sync/CMakeFiles/golite_sync.dir/rwmutex.cc.o" "gcc" "src/sync/CMakeFiles/golite_sync.dir/rwmutex.cc.o.d"
+  "/root/repo/src/sync/waitgroup.cc" "src/sync/CMakeFiles/golite_sync.dir/waitgroup.cc.o" "gcc" "src/sync/CMakeFiles/golite_sync.dir/waitgroup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/golite_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/golite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

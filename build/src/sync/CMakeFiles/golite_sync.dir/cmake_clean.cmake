@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_sync.dir/cond.cc.o"
+  "CMakeFiles/golite_sync.dir/cond.cc.o.d"
+  "CMakeFiles/golite_sync.dir/mutex.cc.o"
+  "CMakeFiles/golite_sync.dir/mutex.cc.o.d"
+  "CMakeFiles/golite_sync.dir/once.cc.o"
+  "CMakeFiles/golite_sync.dir/once.cc.o.d"
+  "CMakeFiles/golite_sync.dir/rwmutex.cc.o"
+  "CMakeFiles/golite_sync.dir/rwmutex.cc.o.d"
+  "CMakeFiles/golite_sync.dir/waitgroup.cc.o"
+  "CMakeFiles/golite_sync.dir/waitgroup.cc.o.d"
+  "libgolite_sync.a"
+  "libgolite_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

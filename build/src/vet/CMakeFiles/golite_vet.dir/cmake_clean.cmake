@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golite_vet.dir/vet.cc.o"
+  "CMakeFiles/golite_vet.dir/vet.cc.o.d"
+  "libgolite_vet.a"
+  "libgolite_vet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golite_vet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for golite_vet.
+# This may be replaced when dependencies are built.

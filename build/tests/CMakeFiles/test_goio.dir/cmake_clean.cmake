@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_goio.dir/goio_test.cc.o"
+  "CMakeFiles/test_goio.dir/goio_test.cc.o.d"
+  "test_goio"
+  "test_goio.pdb"
+  "test_goio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_goio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gotime.dir/gotime_test.cc.o"
+  "CMakeFiles/test_gotime.dir/gotime_test.cc.o.d"
+  "test_gotime"
+  "test_gotime.pdb"
+  "test_gotime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gotime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

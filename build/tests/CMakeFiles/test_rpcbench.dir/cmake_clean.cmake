@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpcbench.dir/rpcbench_test.cc.o"
+  "CMakeFiles/test_rpcbench.dir/rpcbench_test.cc.o.d"
+  "test_rpcbench"
+  "test_rpcbench.pdb"
+  "test_rpcbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpcbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

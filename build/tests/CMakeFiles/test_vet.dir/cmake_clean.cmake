@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vet.dir/vet_test.cc.o"
+  "CMakeFiles/test_vet.dir/vet_test.cc.o.d"
+  "test_vet"
+  "test_vet.pdb"
+  "test_vet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

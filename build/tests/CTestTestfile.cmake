@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_select[1]_include.cmake")
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_gotime[1]_include.cmake")
+include("/root/repo/build/tests/test_context[1]_include.cmake")
+include("/root/repo/build/tests/test_goio[1]_include.cmake")
+include("/root/repo/build/tests/test_race[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_study[1]_include.cmake")
+include("/root/repo/build/tests/test_scanner[1]_include.cmake")
+include("/root/repo/build/tests/test_rpcbench[1]_include.cmake")
+include("/root/repo/build/tests/test_vet[1]_include.cmake")
+include("/root/repo/build/tests/test_stdlib[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_lint[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
