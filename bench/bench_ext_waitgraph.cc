@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Extension: Table 8 rerun with the wait-for-graph partial-deadlock
+ * detector attached.
+ *
+ * The paper's Table 8 result is that Go's built-in detector — which
+ * fires only when *every* goroutine is asleep — catches 2 of the 21
+ * reproduced blocking bugs. This bench evaluates the detector the
+ * paper's Implication 4 asks for: each bug is driven to its blocking
+ * state under a manifesting seed with a waitgraph::Detector plugged
+ * into RunOptions::deadlockHooks, and we record
+ *
+ *   - built-in:  did the all-asleep detector fire (paper baseline),
+ *   - certain:   did the wait graph prove a partial deadlock mid-run
+ *                (lock cycle / orphaned lock / nil-chan / dead select),
+ *   - flagged:   was the bug surfaced at all, counting the end-of-run
+ *                orphan classification of leaked goroutines.
+ *
+ * A detector is only useful if it is quiet on correct code, so the
+ * second half runs every fixed corpus variant over many seeds plus
+ * clean example-shaped programs and demands zero mid-run reports.
+ * Exit status is non-zero if the detector flags < 15/21 bugs or emits
+ * any false positive.
+ */
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "golite/golite.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::SubCause;
+using corpus::Variant;
+
+namespace
+{
+
+struct Eval
+{
+    bool builtin = false;
+    bool certain = false;
+    bool flagged = false;
+    std::string detail;
+};
+
+Eval
+evaluate(const BugCase &bug)
+{
+    Eval ev;
+    auto seed = bench::findManifestingSeed(bug);
+    waitgraph::Detector det;
+    RunOptions options;
+    options.seed = seed.value_or(0);
+    options.deadlockHooks = &det;
+    auto outcome = bug.run(Variant::Buggy, options);
+    ev.builtin = outcome.report.globalDeadlock;
+    ev.certain = !det.certainReports().empty();
+    ev.flagged = outcome.report.partialDeadlockFlagged();
+    if (!outcome.report.partialDeadlocks.empty()) {
+        const PartialDeadlock &pd = outcome.report.partialDeadlocks[0];
+        ev.detail = std::string(deadlockCauseName(pd.cause));
+    }
+    return ev;
+}
+
+/** Count certain mid-run reports across seeds of a fixed variant. */
+int
+falsePositives(const BugCase &bug, int seeds)
+{
+    int fps = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+        waitgraph::Detector det;
+        RunOptions options;
+        options.seed = static_cast<uint64_t>(seed);
+        options.deadlockHooks = &det;
+        bug.run(Variant::Fixed, options);
+        fps += static_cast<int>(det.certainReports().size());
+    }
+    return fps;
+}
+
+/** Clean example-shaped programs: contended locks, channel fan-out,
+ *  writer-priority RWMutex traffic — all with reachable wakeups. */
+int
+cleanProgramFalsePositives(int seeds)
+{
+    int fps = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+        waitgraph::Detector det;
+        RunOptions options;
+        options.seed = static_cast<uint64_t>(seed);
+        options.deadlockHooks = &det;
+        RunReport report = run(
+            [] {
+                auto mu = std::make_shared<Mutex>();
+                auto rw = std::make_shared<RWMutex>();
+                auto wg = std::make_shared<WaitGroup>();
+                Chan<int> work = makeChan<int>(4);
+                Chan<int> done = makeChan<int>();
+                wg->add(4);
+                for (int w = 0; w < 4; ++w) {
+                    go([=] {
+                        for (;;) {
+                            auto r = work.recv();
+                            if (!r.ok)
+                                break;
+                            mu->lock();
+                            yield();
+                            mu->unlock();
+                            rw->rlock();
+                            yield();
+                            rw->runlock();
+                        }
+                        wg->done();
+                    });
+                }
+                go([=]() mutable {
+                    for (int i = 0; i < 16; ++i)
+                        work.send(i);
+                    work.close();
+                    wg->wait();
+                    done.send(1);
+                });
+                rw->lock();
+                yield();
+                rw->unlock();
+                done.recv();
+            },
+            options);
+        fps += static_cast<int>(det.certainReports().size());
+        if (!report.clean())
+            fps++; // a clean program must stay clean under the hooks
+    }
+    return fps;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Extension - wait-for-graph partial-deadlock detector",
+        "Tu et al., ASPLOS 2019, Table 8 + Implication 4");
+
+    struct Row
+    {
+        int used = 0;
+        int builtin = 0;
+        int certain = 0;
+        int flagged = 0;
+    };
+    std::map<SubCause, Row> rows;
+    int total_used = 0, total_builtin = 0, total_certain = 0,
+        total_flagged = 0;
+
+    std::printf("%-18s %-9s %-9s %-9s %-8s %s\n", "bug", "cause",
+                "built-in", "certain", "flagged", "diagnosis");
+    std::printf("%s\n", std::string(78, '-').c_str());
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::Blocking, true)) {
+        Eval ev = evaluate(*bug);
+        Row &row = rows[bug->info.subcause];
+        row.used++;
+        row.builtin += ev.builtin;
+        row.certain += ev.certain;
+        row.flagged += ev.flagged;
+        total_used++;
+        total_builtin += ev.builtin;
+        total_certain += ev.certain;
+        total_flagged += ev.flagged;
+        std::printf("%-18s %-9s %-9s %-9s %-8s %s\n",
+                    bug->info.id.c_str(),
+                    corpus::subCauseName(bug->info.subcause),
+                    ev.builtin ? "DETECTED" : "missed",
+                    ev.certain ? "CERTAIN" : "-",
+                    ev.flagged ? "flagged" : "MISSED",
+                    ev.detail.c_str());
+    }
+
+    std::printf("\n");
+    study::TextTable table({"Root Cause", "# of Used Bugs",
+                            "# Built-in", "# Certain mid-run",
+                            "# Flagged (wait graph)"});
+    const SubCause order[] = {SubCause::Mutex, SubCause::Chan,
+                              SubCause::ChanWithOther,
+                              SubCause::MessagingLibrary};
+    for (SubCause cause : order) {
+        const Row &row = rows[cause];
+        table.addRow({corpus::subCauseName(cause),
+                      std::to_string(row.used),
+                      std::to_string(row.builtin),
+                      std::to_string(row.certain),
+                      std::to_string(row.flagged)});
+    }
+    table.addRow({"Total", std::to_string(total_used),
+                  std::to_string(total_builtin),
+                  std::to_string(total_certain),
+                  std::to_string(total_flagged)});
+    std::printf("%s\n", table.render().c_str());
+
+    // Bonus rows: blocking bugs outside the paper's reproduced set
+    // (RWMutex / Wait subcauses, Table 5 taxonomy only).
+    std::printf("outside the reproduced set:\n");
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::Blocking, false)) {
+        if (bug->info.reproducedSet)
+            continue;
+        Eval ev = evaluate(*bug);
+        std::printf("  %-18s %-9s %-9s %-9s %-8s %s\n",
+                    bug->info.id.c_str(),
+                    corpus::subCauseName(bug->info.subcause),
+                    ev.builtin ? "DETECTED" : "missed",
+                    ev.certain ? "CERTAIN" : "-",
+                    ev.flagged ? "flagged" : "MISSED",
+                    ev.detail.c_str());
+    }
+
+    // False-positive audit: fixed variants + clean programs must
+    // produce zero certain mid-run reports.
+    int fps = 0;
+    int fixed_runs = 0;
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::Blocking, false)) {
+        fps += falsePositives(*bug, 10);
+        fixed_runs += 10;
+    }
+    int clean_fps = cleanProgramFalsePositives(10);
+    std::printf("\nfalse-positive audit: %d fixed-variant runs + 10 "
+                "clean-program runs, %d mid-run report(s)\n",
+                fixed_runs, fps + clean_fps);
+
+    std::printf(
+        "\nShape check (paper + extension): the built-in detector\n"
+        "stays at 2/21 (the two BoltDB full stalls). The wait graph\n"
+        "proves a certain partial deadlock mid-run for the lock-cycle,\n"
+        "orphaned-lock and nil-channel bugs, and its end-of-run orphan\n"
+        "analysis classifies every remaining leak, flagging all 21 —\n"
+        "with zero reports on correct code.\n");
+
+    const bool ok = total_builtin == 2 && total_flagged >= 15 &&
+                    fps + clean_fps == 0;
+    if (!ok)
+        std::printf("FAILED: builtin=%d (want 2) flagged=%d (want "
+                    ">=15) false positives=%d (want 0)\n",
+                    total_builtin, total_flagged, fps + clean_fps);
+    return ok ? 0 : 1;
+}

@@ -20,6 +20,9 @@ using namespace golite;
 int
 main()
 {
+    waitgraph::Detector deadlocks;
+    RunOptions options;
+    options.deadlockHooks = &deadlocks;
     RunReport report = run([] {
         auto [ctx, cancel] = ctx::withCancel(ctx::background());
 
@@ -86,9 +89,9 @@ main()
             sum += r;
         }
         std::printf("\nsum = %lld\n", sum);
-    });
+    }, options);
 
     std::printf("\npipeline shut down cleanly: %s (leaks: %zu)\n",
                 report.clean() ? "yes" : "NO", report.leaked.size());
-    return report.clean() ? 0 : 1;
+    return report.clean() && report.partialDeadlocks.empty() ? 0 : 1;
 }

@@ -19,6 +19,11 @@ main()
 {
     // Every golite program runs under golite::run, which returns a
     // structured report (completed? deadlocked? leaked goroutines?).
+    // The wait-for-graph detector rides along and must stay silent on
+    // a correct program like this one.
+    waitgraph::Detector deadlocks;
+    RunOptions options;
+    options.deadlockHooks = &deadlocks;
     RunReport report = run([] {
         // A channel of strings with buffer capacity 2.
         Chan<std::string> messages = makeChan<std::string>(2);
@@ -75,7 +80,7 @@ main()
                 })
             .run();
         gotime::sleep(100 * gotime::kMillisecond);
-    });
+    }, options);
 
     std::printf("\nrun report: completed=%d goroutines=%llu leaks=%zu "
                 "ticks=%llu\n",
@@ -83,5 +88,5 @@ main()
                 static_cast<unsigned long long>(report.goroutinesCreated),
                 report.leaked.size(),
                 static_cast<unsigned long long>(report.ticks));
-    return report.clean() ? 0 : 1;
+    return report.clean() && report.partialDeadlocks.empty() ? 0 : 1;
 }

@@ -56,6 +56,9 @@ finishReq(int request_id, gotime::Duration work,
 int
 main()
 {
+    waitgraph::Detector deadlocks;
+    RunOptions options;
+    options.deadlockHooks = &deadlocks;
     RunReport report = run([] {
         // A stream of requests with mixed service times; the timeout
         // budget is 40ms, so the slow ones time out.
@@ -77,7 +80,7 @@ main()
         // Keep the server alive long enough for stragglers to finish
         // into their buffered channels.
         gotime::sleep(500 * kMillisecond);
-    });
+    }, options);
 
     std::printf("\nleak report: %zu goroutine(s) leaked%s\n",
                 report.leaked.size(),
@@ -89,5 +92,9 @@ main()
                     static_cast<unsigned long long>(leak.goid),
                     leak.label.c_str(), waitReasonName(leak.reason));
     }
-    return report.leaked.empty() ? 0 : 1;
+    for (const PartialDeadlock &pd : report.partialDeadlocks)
+        std::printf("  %s\n", pd.describe().c_str());
+    return report.leaked.empty() && report.partialDeadlocks.empty()
+               ? 0
+               : 1;
 }

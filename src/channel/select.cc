@@ -46,7 +46,7 @@ Select::run()
     SelectToken token;
     std::vector<Waiter> waiters(cases_.size());
     std::vector<bool> enqueued(cases_.size(), false);
-    bool any = false;
+    std::vector<SelectWait> waits;
     for (size_t i = 0; i < cases_.size(); ++i) {
         detail::SelectCase &c = *cases_[i];
         if (c.isNil())
@@ -57,15 +57,18 @@ Select::run()
         w.caseIndex = static_cast<int>(i);
         c.enqueue(w);
         enqueued[i] = true;
-        any = true;
+        waits.push_back(SelectWait{c.channelKey(), c.isSendCase()});
     }
 
-    if (!any) {
-        // select{} or all-nil channels: block forever.
+    if (waits.empty()) {
+        // select{} or all-nil channels: block forever. The null wait
+        // object is how the wait-graph detector recognizes this as a
+        // certain stall.
         sched->park(WaitReason::Select, nullptr);
         return -1; // unreachable except during teardown unwind
     }
 
+    sched->deadlockHooks()->selectBlocked(sched->runningId(), waits);
     sched->park(WaitReason::Select, this);
 
     const int winner = token.winner;

@@ -51,6 +51,12 @@ class SelectCase
 
     /** Run the user handler. */
     virtual void invoke() = 0;
+
+    /** The channel's shared state (wait-graph identity). */
+    virtual const void *channelKey() const = 0;
+
+    /** True for send cases (wait-graph edge direction). */
+    virtual bool isSendCase() const = 0;
 };
 
 template <typename T>
@@ -101,6 +107,13 @@ class RecvCase : public SelectCase
 
     void invoke() override { handler_(std::move(value_), ok_); }
 
+    const void *channelKey() const override
+    {
+        return ch_.internalImpl();
+    }
+
+    bool isSendCase() const override { return false; }
+
   private:
     Chan<T> ch_;
     std::function<void(T, bool)> handler_;
@@ -146,6 +159,13 @@ class SendCase : public SelectCase
     }
 
     void invoke() override { handler_(); }
+
+    const void *channelKey() const override
+    {
+        return ch_.internalImpl();
+    }
+
+    bool isSendCase() const override { return true; }
 
   private:
     Chan<T> ch_;

@@ -5,8 +5,9 @@
  * golite is a Go-like concurrency runtime for C++ built to reproduce
  * the systems studied in "Understanding Real-World Concurrency Bugs in
  * Go" (ASPLOS 2019): goroutines, channels, select, the sync package,
- * time/context/io.Pipe libraries, and the two built-in detectors the
- * paper evaluates.
+ * time/context/io.Pipe libraries, the two built-in detectors the
+ * paper evaluates, and the wait-for-graph partial-deadlock detector
+ * that closes the Table 8 blind spot.
  */
 
 #ifndef GOLITE_GOLITE_HH
@@ -31,5 +32,6 @@
 #include "sync/syncmap.hh"
 #include "sync/waitgroup.hh"
 #include "vet/vet.hh"
+#include "waitgraph/waitgraph.hh"
 
 #endif // GOLITE_GOLITE_HH

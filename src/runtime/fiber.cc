@@ -3,11 +3,34 @@
 #include <cassert>
 #include <cstring>
 
+// ASan tracks which stack is live; without fiber-switch annotations
+// every swapcontext looks like a wild stack change and the first
+// goroutine switch reports stack-use-after-scope.
+#if defined(__SANITIZE_ADDRESS__)
+#define GOLITE_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GOLITE_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef GOLITE_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace golite
 {
 
 namespace
 {
+
+#ifdef GOLITE_ASAN_FIBERS
+// Stack bounds of the context that last switched into the running
+// fiber — always the scheduler's host stack, captured on fiber entry
+// so suspendTo() can announce where it is switching back to.
+thread_local const void *schedStackBottom = nullptr;
+thread_local size_t schedStackSize = 0;
+#endif
 
 // makecontext only passes int arguments portably; split a pointer into
 // two 32-bit halves and reassemble in the trampoline.
@@ -15,6 +38,10 @@ void
 trampoline(unsigned int entry_hi, unsigned int entry_lo,
            unsigned int arg_hi, unsigned int arg_lo)
 {
+#ifdef GOLITE_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(nullptr, &schedStackBottom,
+                                    &schedStackSize);
+#endif
     auto join = [](unsigned int hi, unsigned int lo) {
         return (static_cast<uintptr_t>(hi) << 32) |
                static_cast<uintptr_t>(lo);
@@ -22,6 +49,12 @@ trampoline(unsigned int entry_hi, unsigned int entry_lo,
     auto entry = reinterpret_cast<Fiber::EntryFn>(join(entry_hi, entry_lo));
     auto *arg = reinterpret_cast<void *>(join(arg_hi, arg_lo));
     entry(arg);
+#ifdef GOLITE_ASAN_FIBERS
+    // The return through uc_link abandons this stack for good; pass a
+    // null save slot so ASan releases the fiber's fake stack.
+    __sanitizer_start_switch_fiber(nullptr, schedStackBottom,
+                                   schedStackSize);
+#endif
 }
 
 unsigned int
@@ -69,20 +102,43 @@ Fiber::start(ucontext_t *from, EntryFn entry, void *arg)
                 loHalf(reinterpret_cast<void *>(entry)), hiHalf(arg),
                 loHalf(arg));
     started_ = true;
+#ifdef GOLITE_ASAN_FIBERS
+    void *fake = nullptr;
+    __sanitizer_start_switch_fiber(&fake, stack_.get(), stackBytes_);
+#endif
     swapcontext(from, &context_);
+#ifdef GOLITE_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
 }
 
 void
 Fiber::resume(ucontext_t *from)
 {
     assert(started_);
+#ifdef GOLITE_ASAN_FIBERS
+    void *fake = nullptr;
+    __sanitizer_start_switch_fiber(&fake, stack_.get(), stackBytes_);
+#endif
     swapcontext(from, &context_);
+#ifdef GOLITE_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
 }
 
 void
 Fiber::suspendTo(ucontext_t *to)
 {
+#ifdef GOLITE_ASAN_FIBERS
+    void *fake = nullptr;
+    __sanitizer_start_switch_fiber(&fake, schedStackBottom,
+                                   schedStackSize);
+#endif
     swapcontext(&context_, to);
+#ifdef GOLITE_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake, &schedStackBottom,
+                                    &schedStackSize);
+#endif
 }
 
 } // namespace golite

@@ -41,6 +41,10 @@ enum class WaitReason
     Other,        ///< library-defined wait
 };
 
+/** Number of WaitReason values (keep in sync with the enum; the
+ *  exhaustiveness test walks [0, kWaitReasonCount)). */
+constexpr int kWaitReasonCount = static_cast<int>(WaitReason::Other) + 1;
+
 /** Printable name of a wait reason. */
 const char *waitReasonName(WaitReason reason);
 

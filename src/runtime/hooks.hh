@@ -1,11 +1,15 @@
 /**
  * @file
- * Instrumentation interface between the runtime and bug detectors.
+ * Instrumentation interfaces between the runtime and bug detectors.
  *
  * The scheduler and every synchronization primitive report events
- * through this interface. The happens-before race detector
- * (src/race) implements it; passing a hooks object in RunOptions is the
- * golite equivalent of building a Go program with '-race'.
+ * through these interfaces. The happens-before race detector
+ * (src/race) implements RaceHooks; passing one in RunOptions is the
+ * golite equivalent of building a Go program with '-race'. The
+ * wait-for-graph partial-deadlock detector (src/waitgraph) implements
+ * DeadlockHooks, the blocking-side counterpart: it consumes park /
+ * unpark / ownership events and diagnoses the partial deadlocks that
+ * Go's built-in all-goroutines-asleep check misses (Table 8).
  */
 
 #ifndef GOLITE_RUNTIME_HOOKS_HH
@@ -15,8 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "runtime/goroutine.hh"
+
 namespace golite
 {
+
+struct RunReport;
 
 /**
  * Callbacks fired by the runtime on concurrency-relevant events.
@@ -214,6 +222,103 @@ class MultiHooks : public RaceHooks
 
   private:
     std::vector<RaceHooks *> sinks_;
+};
+
+/** One channel operation a blocked select is parked on. */
+struct SelectWait
+{
+    const void *chan = nullptr; ///< the channel's shared state
+    bool isSend = false;        ///< send case (else receive)
+};
+
+/**
+ * Callbacks fired by the runtime on blocking-relevant events: goroutine
+ * lifecycle, park/unpark, lock ownership, select-case registration, and
+ * WaitGroup counter changes.
+ *
+ * The wait-for-graph detector builds its bipartite
+ * goroutine/resource graph from exactly these events. As with
+ * RaceHooks, the default implementation ignores everything so the
+ * runtime can call unconditionally through
+ * Scheduler::deadlockHooks() (never null inside a run).
+ */
+class DeadlockHooks
+{
+  public:
+    virtual ~DeadlockHooks() = default;
+
+    /** A goroutine was spawned (parent 0 = the run's main). */
+    virtual void
+    goroutineCreated(uint64_t parent, uint64_t child,
+                     const std::string &label)
+    {
+        (void)parent;
+        (void)child;
+        (void)label;
+    }
+
+    /** A goroutine finished normally (not fired during teardown). */
+    virtual void goroutineFinished(uint64_t gid) { (void)gid; }
+
+    /** A goroutine parked on @p obj with @p reason. */
+    virtual void
+    parked(uint64_t gid, WaitReason reason, const void *obj)
+    {
+        (void)gid;
+        (void)reason;
+        (void)obj;
+    }
+
+    /** A parked goroutine was made runnable again. */
+    virtual void unparked(uint64_t gid) { (void)gid; }
+
+    /**
+     * @p gid now owns @p lock (Mutex / RWMutex write when
+     * @p is_write, RWMutex read otherwise). Readers accumulate.
+     */
+    virtual void
+    lockAcquired(const void *lock, uint64_t gid, bool is_write)
+    {
+        (void)lock;
+        (void)gid;
+        (void)is_write;
+    }
+
+    /** @p gid released @p lock (@p was_write as in lockAcquired). */
+    virtual void
+    lockReleased(const void *lock, uint64_t gid, bool was_write)
+    {
+        (void)lock;
+        (void)gid;
+        (void)was_write;
+    }
+
+    /**
+     * A select is about to park; @p cases lists every channel
+     * operation that could complete it. Fired immediately before the
+     * corresponding parked(gid, WaitReason::Select, ...) event.
+     */
+    virtual void
+    selectBlocked(uint64_t gid, const std::vector<SelectWait> &cases)
+    {
+        (void)gid;
+        (void)cases;
+    }
+
+    /** WaitGroup counter changed; @p count is the new value. */
+    virtual void
+    wgCounter(const void *wg, int count)
+    {
+        (void)wg;
+        (void)count;
+    }
+
+    /**
+     * The run ended and @p report holds the final leak list. The
+     * detector appends its structured PartialDeadlock diagnoses
+     * (mid-run certain reports plus end-of-run orphan analysis).
+     */
+    virtual void finalizeRun(RunReport &report) { (void)report; }
 };
 
 } // namespace golite

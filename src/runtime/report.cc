@@ -19,6 +19,41 @@ traceKindName(TraceKind kind)
     return "?";
 }
 
+const char *
+deadlockCauseName(DeadlockCause cause)
+{
+    switch (cause) {
+      case DeadlockCause::LockCycle: return "lock cycle";
+      case DeadlockCause::LockOrphaned: return "lock holder exited";
+      case DeadlockCause::LockChain: return "lock held by stuck goroutine";
+      case DeadlockCause::ChanNilOp: return "nil channel operation";
+      case DeadlockCause::ChanNoSender: return "chan recv, no sender";
+      case DeadlockCause::ChanNoReceiver: return "chan send, no receiver";
+      case DeadlockCause::SelectStuck: return "select never ready";
+      case DeadlockCause::WaitGroupStuck: return "WaitGroup never reaches 0";
+      case DeadlockCause::CondStuck: return "Cond.Wait never signalled";
+      case DeadlockCause::PipeStuck: return "io pipe peer gone";
+      case DeadlockCause::SleepOrphan: return "asleep at exit";
+      case DeadlockCause::Unknown: return "unclassified";
+    }
+    return "?";
+}
+
+std::string
+PartialDeadlock::describe() const
+{
+    std::ostringstream os;
+    os << (certain ? "partial deadlock (certain): "
+                   : "partial deadlock (post-mortem): ")
+       << deadlockCauseName(cause) << " [";
+    for (size_t i = 0; i < goids.size(); ++i)
+        os << (i ? " " : "") << "g" << goids[i];
+    os << "] blocked on " << waitReasonName(reason);
+    if (!chain.empty())
+        os << ": " << chain;
+    return os.str();
+}
+
 std::string
 RunReport::formatTrace() const
 {
@@ -63,6 +98,8 @@ RunReport::describe() const
                << "\n";
         }
     }
+    for (const PartialDeadlock &pd : partialDeadlocks)
+        os << pd.describe() << "\n";
     for (const std::string &msg : raceMessages)
         os << msg << "\n";
     return os.str();

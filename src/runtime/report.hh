@@ -22,6 +22,7 @@ namespace golite
 {
 
 class RaceHooks;
+class DeadlockHooks;
 
 /** Scheduler dispatch policy. */
 enum class SchedPolicy
@@ -86,6 +87,14 @@ struct RunOptions
     /** Detector instrumentation; null runs without a detector. */
     RaceHooks *hooks = nullptr;
 
+    /**
+     * Blocking-bug instrumentation (the wait-for-graph partial
+     * deadlock detector, src/waitgraph); null runs without it. Plugs
+     * in exactly like RaceHooks: pass a waitgraph::Detector here to
+     * get RunReport::partialDeadlocks populated.
+     */
+    DeadlockHooks *deadlockHooks = nullptr;
+
     /** Stack size per goroutine. */
     size_t stackBytes = 128 * 1024;
 
@@ -116,7 +125,64 @@ enum class TraceKind
     ClockAdvance, ///< virtual clock jumped to the next timer
 };
 
+/** Number of TraceKind values (for the exhaustiveness test). */
+constexpr int kTraceKindCount =
+    static_cast<int>(TraceKind::ClockAdvance) + 1;
+
 const char *traceKindName(TraceKind kind);
+
+/**
+ * Why a goroutine can never make progress, as diagnosed by the
+ * wait-for-graph detector. LockCycle/LockOrphaned plus the nil-channel
+ * and empty-select causes are *certain*: they are reported the moment
+ * they arise, mid-run. The rest come from the end-of-run orphan
+ * analysis that classifies each LeakInfo by cause.
+ */
+enum class DeadlockCause
+{
+    LockCycle,      ///< member of a mutex/rwmutex circular wait
+    LockOrphaned,   ///< blocked on a lock whose holder exited
+    LockChain,      ///< blocked on a lock held by another stuck goroutine
+    ChanNilOp,      ///< send/recv on a nil channel (blocks forever)
+    ChanNoSender,   ///< receive with no live sender left
+    ChanNoReceiver, ///< send with no live receiver left
+    SelectStuck,    ///< select whose cases can never fire (or select{})
+    WaitGroupStuck, ///< WaitGroup counter can never reach zero
+    CondStuck,      ///< Cond.Wait with no signal ever arriving
+    PipeStuck,      ///< io pipe peer gone without closing
+    SleepOrphan,    ///< still sleeping when the program exited
+    Unknown,        ///< leaked for a reason the detector cannot name
+};
+
+/** Number of DeadlockCause values (for the exhaustiveness test). */
+constexpr int kDeadlockCauseCount =
+    static_cast<int>(DeadlockCause::Unknown) + 1;
+
+const char *deadlockCauseName(DeadlockCause cause);
+
+/**
+ * One partial-deadlock diagnosis from the wait-for-graph detector.
+ * Certain diagnoses are emitted mid-run the moment the cycle (or
+ * orphaned resource) forms; the rest are end-of-run classifications
+ * of leaked goroutines.
+ */
+struct PartialDeadlock
+{
+    /** Reported mid-run with certainty (cycle / orphaned lock /
+     *  nil-channel op); false for end-of-run leak classification. */
+    bool certain = false;
+    DeadlockCause cause = DeadlockCause::Unknown;
+    /** Goroutines involved (all cycle members, or the one leak). */
+    std::vector<uint64_t> goids;
+    /** Wait reason of the first involved goroutine. */
+    WaitReason reason = WaitReason::None;
+    /** Human-readable resource chain, e.g.
+     *  "g2 [applier] holds mutex A, waits mutex B <- g3 ...". */
+    std::string chain;
+
+    /** One-line rendering ("partial deadlock: ..."). */
+    std::string describe() const;
+};
 
 /** One scheduler event, in execution order. */
 struct TraceEvent
@@ -163,6 +229,14 @@ struct RunReport
     /** Reports drained from the detector hooks (e.g. data races). */
     std::vector<std::string> raceMessages;
 
+    /**
+     * Structured partial-deadlock diagnoses from the wait-for-graph
+     * detector (empty unless RunOptions::deadlockHooks is set):
+     * mid-run certain reports first, then the end-of-run
+     * classification of each leaked goroutine.
+     */
+    std::vector<PartialDeadlock> partialDeadlocks;
+
     /** Total goroutines ever created (including main). */
     uint64_t goroutinesCreated = 0;
 
@@ -193,6 +267,31 @@ struct RunReport
     blocked() const
     {
         return globalDeadlock || !leaked.empty();
+    }
+
+    /** Number of mid-run (certain) partial-deadlock reports. */
+    size_t
+    certainDeadlocks() const
+    {
+        size_t n = 0;
+        for (const PartialDeadlock &pd : partialDeadlocks)
+            n += pd.certain;
+        return n;
+    }
+
+    /**
+     * True when the wait-graph detector diagnosed a real stall: any
+     * certain report, or any end-of-run classification other than a
+     * benign sleeping-at-exit orphan.
+     */
+    bool
+    partialDeadlockFlagged() const
+    {
+        for (const PartialDeadlock &pd : partialDeadlocks) {
+            if (pd.certain || pd.cause != DeadlockCause::SleepOrphan)
+                return true;
+        }
+        return false;
     }
 
     /**

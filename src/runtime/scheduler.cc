@@ -48,7 +48,9 @@ schedPolicyName(SchedPolicy policy)
 
 Scheduler::Scheduler(const RunOptions &options)
     : options_(options), rng_(options.seed),
-      hooks_(options.hooks ? options.hooks : &nullHooks_)
+      hooks_(options.hooks ? options.hooks : &nullHooks_),
+      dhooks_(options.deadlockHooks ? options.deadlockHooks
+                                    : &nullDeadlockHooks_)
 {
     if (options_.policy == SchedPolicy::Pct) {
         // Draw d-1 priority-change points over the expected run
@@ -94,6 +96,10 @@ Scheduler::goroutineBody(Goroutine *g)
     g->finishedTick = report_.ticks;
     traceEvent(TraceKind::Finish, g->id, {});
     hooks_->goroutineFinished(g->id);
+    // Teardown unwinds are not real finishes: the wait-graph must
+    // keep its pre-teardown snapshot for the end-of-run analysis.
+    if (!aborting_)
+        dhooks_->goroutineFinished(g->id);
     if (g == main_)
         mainDone_ = true;
     // Returning resumes schedContext_ via uc_link.
@@ -122,6 +128,7 @@ Scheduler::spawn(std::function<void()> fn, std::string label)
     }
     report_.goroutinesCreated++;
     hooks_->goroutineCreated(runningId(), id);
+    dhooks_->goroutineCreated(runningId(), id, g->label);
     traceEvent(TraceKind::Spawn, id, g->label);
     readyq_.push_back(g.get());
     goroutines_.emplace(id, std::move(g));
@@ -152,6 +159,9 @@ Scheduler::park(WaitReason reason, const void *wait_object)
     g->reason = reason;
     g->waitObject = wait_object;
     traceEvent(TraceKind::Park, g->id, waitReasonName(reason));
+    // Fires while the goroutine is already marked Waiting, so the
+    // detector's incremental cycle check sees the complete graph.
+    dhooks_->parked(g->id, reason, wait_object);
     g->fiber.suspendTo(&schedContext_);
     if (aborting_)
         throw RunAborted{};
@@ -165,6 +175,7 @@ Scheduler::unpark(Goroutine *g)
     assert(g->state == GoState::Waiting);
     g->state = GoState::Runnable;
     traceEvent(TraceKind::Unpark, g->id, {});
+    dhooks_->unparked(g->id);
     readyq_.push_back(g);
 }
 
@@ -327,6 +338,7 @@ Scheduler::finalize()
     }
     report_.finalTimeNs = nowNs_;
     report_.raceMessages = hooks_->drainReports();
+    dhooks_->finalizeRun(report_);
     report_.completed = !report_.globalDeadlock && !report_.panicked &&
                         !report_.livelocked;
 }
@@ -347,6 +359,7 @@ Scheduler::run(std::function<void()> main)
     main_ = g.get();
     report_.goroutinesCreated = 1;
     hooks_->goroutineCreated(0, id);
+    dhooks_->goroutineCreated(0, id, g->label);
     readyq_.push_back(g.get());
     goroutines_.emplace(id, std::move(g));
 

@@ -117,6 +117,9 @@ class Scheduler
     /** Instrumentation sink; never null inside a run. */
     RaceHooks *hooks() { return hooks_; }
 
+    /** Blocking-bug instrumentation sink; never null inside a run. */
+    DeadlockHooks *deadlockHooks() { return dhooks_; }
+
     /** Scheduler-owned RNG (select uses it for its random choice). */
     Rng &rng() { return rng_; }
 
@@ -162,6 +165,8 @@ class Scheduler
     Rng rng_;
     RaceHooks *hooks_;
     RaceHooks nullHooks_;
+    DeadlockHooks *dhooks_;
+    DeadlockHooks nullDeadlockHooks_;
 
     std::map<uint64_t, std::unique_ptr<Goroutine>> goroutines_;
     /** PCT state: per-goroutine priorities (higher runs first) and

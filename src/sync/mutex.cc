@@ -14,6 +14,7 @@ Mutex::lock()
         locked_ = true;
         holder_ = sched->runningId();
         sched->hooks()->lockAcquired(this, holder_, true);
+        sched->deadlockHooks()->lockAcquired(this, holder_, true);
         sched->hooks()->acquire(this);
         return;
     }
@@ -25,6 +26,7 @@ Mutex::lock()
     // Ownership was handed to us by unlock().
     holder_ = sched->runningId();
     sched->hooks()->lockAcquired(this, holder_, true);
+    sched->deadlockHooks()->lockAcquired(this, holder_, true);
     sched->hooks()->acquire(this);
 }
 
@@ -35,6 +37,8 @@ Mutex::unlock()
     if (!locked_)
         goPanic("sync: unlock of unlocked mutex");
     sched->hooks()->lockReleased(this, sched->runningId());
+    sched->deadlockHooks()->lockReleased(this, sched->runningId(),
+                                         true);
     sched->hooks()->release(this);
     if (!waitq_.empty()) {
         Goroutine *next = waitq_.front();

@@ -1,5 +1,7 @@
 #include "sync/rwmutex.hh"
 
+#include <algorithm>
+
 #include "base/panic.hh"
 #include "runtime/scheduler.hh"
 
@@ -20,7 +22,10 @@ RWMutex::rlock()
     } else {
         readers_++;
     }
+    readerGids_.push_back(sched->runningId());
     sched->hooks()->lockAcquired(this, sched->runningId(), false);
+    sched->deadlockHooks()->lockAcquired(this, sched->runningId(),
+                                         false);
     sched->hooks()->acquire(this);
 }
 
@@ -31,7 +36,13 @@ RWMutex::runlock()
     if (readers_ == 0)
         goPanic("sync: RUnlock of unlocked RWMutex");
     sched->hooks()->lockReleased(this, sched->runningId());
+    sched->deadlockHooks()->lockReleased(this, sched->runningId(),
+                                         false);
     sched->hooks()->release(this);
+    auto it = std::find(readerGids_.begin(), readerGids_.end(),
+                        sched->runningId());
+    if (it != readerGids_.end())
+        readerGids_.erase(it);
     readers_--;
     if (readers_ == 0 && !writerq_.empty()) {
         Goroutine *w = writerq_.front();
@@ -53,7 +64,10 @@ RWMutex::lock()
         sched->park(WaitReason::RWMutexWLock, this);
         // writerActive_ was set on our behalf by the waker.
     }
+    writerGid_ = sched->runningId();
     sched->hooks()->lockAcquired(this, sched->runningId(), true);
+    sched->deadlockHooks()->lockAcquired(this, sched->runningId(),
+                                         true);
     sched->hooks()->acquire(this);
 }
 
@@ -64,8 +78,11 @@ RWMutex::unlock()
     if (!writerActive_)
         goPanic("sync: Unlock of unlocked RWMutex");
     sched->hooks()->lockReleased(this, sched->runningId());
+    sched->deadlockHooks()->lockReleased(this, sched->runningId(),
+                                         true);
     sched->hooks()->release(this);
     writerActive_ = false;
+    writerGid_ = 0;
     if (!readerq_.empty()) {
         // Go releases the readers that queued behind us first.
         while (!readerq_.empty()) {

@@ -15,7 +15,9 @@
 #define GOLITE_SYNC_RWMUTEX_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <vector>
 
 namespace golite
 {
@@ -50,9 +52,23 @@ class RWMutex
     /** True when some writer is queued (diagnostics / tests). */
     bool writerPending() const { return !writerq_.empty(); }
 
+    // --- Owner tracking (diagnostics; feeds the wait-for-graph) ----
+
+    /** Id of the goroutine write-holding the lock (0 if none). */
+    uint64_t writerHolder() const { return writerGid_; }
+
+    /** Ids of the goroutines currently read-holding the lock. A
+     *  goroutine that read-locked twice appears twice. */
+    const std::vector<uint64_t> &readerHolders() const
+    {
+        return readerGids_;
+    }
+
   private:
     size_t readers_ = 0;
     bool writerActive_ = false;
+    uint64_t writerGid_ = 0;
+    std::vector<uint64_t> readerGids_;
     std::deque<Goroutine *> readerq_;
     std::deque<Goroutine *> writerq_;
 };

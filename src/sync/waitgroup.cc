@@ -14,6 +14,7 @@ WaitGroup::add(int delta)
     if (count_ < 0)
         goPanic("sync: negative WaitGroup counter");
     sched->hooks()->wgAdd(this, delta, count_);
+    sched->deadlockHooks()->wgCounter(this, count_);
     if (delta < 0)
         sched->hooks()->release(this);
     if (count_ == 0 && !waitq_.empty()) {

@@ -1,0 +1,405 @@
+#include "waitgraph/waitgraph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace golite::waitgraph
+{
+
+void
+Detector::goroutineCreated(uint64_t parent, uint64_t child,
+                           const std::string &label)
+{
+    (void)parent;
+    GoInfo &g = gos_[child];
+    g.label = label;
+    g.alive = true;
+}
+
+void
+Detector::goroutineFinished(uint64_t gid)
+{
+    GoInfo &g = gos_[gid];
+    g.alive = false;
+    g.blocked = false;
+    g.obj = nullptr;
+    g.selectCases.clear();
+
+    // A goroutine that exits while holding a lock orphans it: in Go
+    // only conventionally-correct code unlocks from another
+    // goroutine, so everyone already parked on the lock is stuck.
+    for (auto &[lock, info] : locks_) {
+        const bool held_by_dead =
+            info.writer == gid ||
+            std::find(info.readers.begin(), info.readers.end(), gid) !=
+                info.readers.end();
+        if (!held_by_dead)
+            continue;
+        std::vector<uint64_t> waiters;
+        for (auto &[wgid, wg] : gos_) {
+            if (wg.blocked && wg.obj == lock && isLockWait(wg.reason) &&
+                !reported_.count(wgid))
+                waiters.push_back(wgid);
+        }
+        if (waiters.empty())
+            continue;
+        std::ostringstream chain;
+        chain << resourceName(lock) << " still held by exited "
+              << goName(gid);
+        reportCertain(DeadlockCause::LockOrphaned, std::move(waiters),
+                      gos_[waiters.empty() ? gid : waiters[0]].reason,
+                      chain.str());
+    }
+}
+
+void
+Detector::parked(uint64_t gid, WaitReason reason, const void *obj)
+{
+    GoInfo &g = gos_[gid];
+    g.blocked = true;
+    g.reason = reason;
+    g.obj = obj;
+    if (reason != WaitReason::Select)
+        g.selectCases.clear();
+
+    switch (reason) {
+      case WaitReason::ChanSendNil:
+      case WaitReason::ChanRecvNil:
+        // Nil-channel operations block forever by definition.
+        if (!reported_.count(gid))
+            reportCertain(DeadlockCause::ChanNilOp, {gid}, reason,
+                          "operation on a nil channel can never "
+                          "complete");
+        break;
+      case WaitReason::Select:
+        // A select parked with no wait object has no live case
+        // (select{} or all-nil channels): certain forever-block.
+        if (obj == nullptr && !reported_.count(gid))
+            reportCertain(DeadlockCause::SelectStuck, {gid}, reason,
+                          "select with no live case (empty or "
+                          "all-nil)");
+        break;
+      case WaitReason::MutexLock:
+      case WaitReason::RWMutexRLock:
+      case WaitReason::RWMutexWLock:
+        checkLockDeadlock(gid);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Detector::unparked(uint64_t gid)
+{
+    GoInfo &g = gos_[gid];
+    g.blocked = false;
+    g.reason = WaitReason::None;
+    g.obj = nullptr;
+    g.selectCases.clear();
+}
+
+void
+Detector::lockAcquired(const void *lock, uint64_t gid, bool is_write)
+{
+    LockInfo &info = locks_[lock];
+    if (is_write)
+        info.writer = gid;
+    else
+        info.readers.push_back(gid);
+}
+
+void
+Detector::lockReleased(const void *lock, uint64_t gid, bool was_write)
+{
+    LockInfo &info = locks_[lock];
+    if (was_write) {
+        // Cleared unconditionally: Go permits unlocking from a
+        // goroutine other than the locker.
+        info.writer = 0;
+        return;
+    }
+    auto it = std::find(info.readers.begin(), info.readers.end(), gid);
+    if (it != info.readers.end())
+        info.readers.erase(it);
+    else if (!info.readers.empty())
+        info.readers.pop_back(); // cross-goroutine RUnlock
+}
+
+void
+Detector::selectBlocked(uint64_t gid,
+                        const std::vector<SelectWait> &cases)
+{
+    gos_[gid].selectCases = cases;
+}
+
+void
+Detector::wgCounter(const void *wg, int count)
+{
+    wgCounts_[wg] = count;
+}
+
+bool
+Detector::isLockWait(WaitReason reason)
+{
+    return reason == WaitReason::MutexLock ||
+           reason == WaitReason::RWMutexRLock ||
+           reason == WaitReason::RWMutexWLock;
+}
+
+std::vector<uint64_t>
+Detector::lockTargets(uint64_t gid) const
+{
+    std::vector<uint64_t> targets;
+    auto git = gos_.find(gid);
+    if (git == gos_.end() || !git->second.blocked)
+        return targets;
+    const GoInfo &g = git->second;
+    auto lit = locks_.find(g.obj);
+    const LockInfo *info =
+        lit != locks_.end() ? &lit->second : nullptr;
+
+    switch (g.reason) {
+      case WaitReason::MutexLock:
+      case WaitReason::RWMutexWLock:
+        // Waits for the write holder and every read holder.
+        if (info) {
+            if (info->writer != 0)
+                targets.push_back(info->writer);
+            for (uint64_t r : info->readers)
+                targets.push_back(r);
+        }
+        break;
+      case WaitReason::RWMutexRLock:
+        // Writer priority: a read wait is blocked by the active
+        // writer and by every queued writer ahead of it.
+        if (info && info->writer != 0)
+            targets.push_back(info->writer);
+        for (const auto &[ogid, og] : gos_) {
+            if (og.blocked && og.obj == g.obj &&
+                og.reason == WaitReason::RWMutexWLock)
+                targets.push_back(ogid);
+        }
+        break;
+      default:
+        break;
+    }
+    // Dedupe (a recursive read holder appears twice).
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    targets.erase(std::remove(targets.begin(), targets.end(), gid),
+                  targets.end());
+    // A goroutine waiting on a lock it holds itself is a self-cycle;
+    // keep that information by re-adding gid at the front.
+    auto self_holds = [&]() {
+        if (!info)
+            return false;
+        if (info->writer == gid)
+            return true;
+        return std::find(info->readers.begin(), info->readers.end(),
+                         gid) != info->readers.end();
+    };
+    if (g.reason != WaitReason::RWMutexRLock && self_holds())
+        targets.insert(targets.begin(), gid);
+    return targets;
+}
+
+bool
+Detector::findCycle(uint64_t cur, uint64_t start,
+                    std::vector<uint64_t> &path,
+                    std::unordered_set<uint64_t> &visited) const
+{
+    for (uint64_t t : lockTargets(cur)) {
+        if (t == start)
+            return true;
+        if (visited.count(t))
+            continue;
+        auto it = gos_.find(t);
+        if (it == gos_.end() || !it->second.blocked ||
+            !isLockWait(it->second.reason))
+            continue; // runnable/running holder: cannot be in a cycle
+        visited.insert(t);
+        path.push_back(t);
+        if (findCycle(t, start, path, visited))
+            return true;
+        path.pop_back();
+    }
+    return false;
+}
+
+void
+Detector::checkLockDeadlock(uint64_t gid)
+{
+    if (reported_.count(gid))
+        return;
+    const GoInfo &g = gos_[gid];
+
+    // Certain case 1: some holder already exited (orphaned lock).
+    for (uint64_t t : lockTargets(gid)) {
+        auto it = gos_.find(t);
+        if (it != gos_.end() && !it->second.alive) {
+            std::ostringstream chain;
+            chain << resourceName(g.obj) << " still held by exited "
+                  << goName(t);
+            reportCertain(DeadlockCause::LockOrphaned, {gid}, g.reason,
+                          chain.str());
+            return;
+        }
+    }
+
+    // Certain case 2: a cycle of blocked goroutines over lock edges
+    // (includes the self-cycle of a re-locked non-reentrant mutex).
+    std::vector<uint64_t> path;
+    std::unordered_set<uint64_t> visited{gid};
+    if (!findCycle(gid, gid, path, visited))
+        return;
+
+    std::vector<uint64_t> members;
+    members.push_back(gid);
+    members.insert(members.end(), path.begin(), path.end());
+    std::ostringstream chain;
+    for (size_t i = 0; i < members.size(); ++i) {
+        const GoInfo &m = gos_[members[i]];
+        if (i)
+            chain << " <- ";
+        chain << goName(members[i]) << " waits "
+              << resourceName(m.obj);
+    }
+    chain << " <- " << goName(gid) << " (cycle)";
+    reportCertain(DeadlockCause::LockCycle, std::move(members),
+                  g.reason, chain.str());
+}
+
+void
+Detector::reportCertain(DeadlockCause cause,
+                        std::vector<uint64_t> goids, WaitReason reason,
+                        std::string chain)
+{
+    for (uint64_t gid : goids)
+        reported_.insert(gid);
+    certain_.push_back(PartialDeadlock{true, cause, std::move(goids),
+                                       reason, std::move(chain)});
+}
+
+std::string
+Detector::goName(uint64_t gid) const
+{
+    std::ostringstream os;
+    os << "g" << gid;
+    auto it = gos_.find(gid);
+    if (it != gos_.end() && !it->second.label.empty())
+        os << " [" << it->second.label << "]";
+    return os.str();
+}
+
+std::string
+Detector::resourceName(const void *obj)
+{
+    auto [it, inserted] = resourceIds_.emplace(
+        obj, static_cast<int>(resourceIds_.size()) + 1);
+    (void)inserted;
+    return "lock#" + std::to_string(it->second);
+}
+
+PartialDeadlock
+Detector::classifyLeak(const LeakInfo &leak)
+{
+    PartialDeadlock pd;
+    pd.certain = false;
+    pd.goids = {leak.goid};
+    pd.reason = leak.reason;
+    const GoInfo &g = gos_[leak.goid];
+    std::ostringstream chain;
+
+    switch (leak.reason) {
+      case WaitReason::MutexLock:
+      case WaitReason::RWMutexRLock:
+      case WaitReason::RWMutexWLock: {
+        pd.cause = DeadlockCause::LockChain;
+        bool named = false;
+        for (uint64_t t : lockTargets(leak.goid)) {
+            auto it = gos_.find(t);
+            if (it == gos_.end())
+                continue;
+            if (!it->second.alive) {
+                pd.cause = DeadlockCause::LockOrphaned;
+                chain << resourceName(g.obj) << " held by exited "
+                      << goName(t);
+            } else {
+                chain << resourceName(g.obj) << " held by "
+                      << goName(t) << " (itself blocked on "
+                      << waitReasonName(it->second.reason) << ")";
+            }
+            named = true;
+            break;
+        }
+        if (!named)
+            chain << "blocked on " << resourceName(g.obj)
+                  << " with no recorded holder";
+        break;
+      }
+      case WaitReason::ChanSendNil:
+      case WaitReason::ChanRecvNil:
+        pd.cause = DeadlockCause::ChanNilOp;
+        chain << "operation on a nil channel";
+        break;
+      case WaitReason::ChanSend:
+        pd.cause = DeadlockCause::ChanNoReceiver;
+        chain << "no goroutine left to receive";
+        break;
+      case WaitReason::ChanRecv:
+        pd.cause = DeadlockCause::ChanNoSender;
+        chain << "no goroutine left to send or close";
+        break;
+      case WaitReason::Select:
+        pd.cause = DeadlockCause::SelectStuck;
+        chain << "none of " << g.selectCases.size()
+              << " case(s) can ever fire";
+        break;
+      case WaitReason::WaitGroupWait: {
+        pd.cause = DeadlockCause::WaitGroupStuck;
+        auto it = wgCounts_.find(g.obj);
+        chain << "counter stuck at "
+              << (it != wgCounts_.end() ? it->second : -1)
+              << " with no live goroutine to call Done";
+        break;
+      }
+      case WaitReason::CondWait:
+        pd.cause = DeadlockCause::CondStuck;
+        chain << "no Signal/Broadcast ever arrived";
+        break;
+      case WaitReason::PipeRead:
+        pd.cause = DeadlockCause::PipeStuck;
+        chain << "pipe writer gone without closing";
+        break;
+      case WaitReason::PipeWrite:
+        pd.cause = DeadlockCause::PipeStuck;
+        chain << "pipe reader gone without closing";
+        break;
+      case WaitReason::Sleep:
+        pd.cause = DeadlockCause::SleepOrphan;
+        chain << "still sleeping when the program exited";
+        break;
+      default:
+        pd.cause = DeadlockCause::Unknown;
+        chain << "blocked on " << waitReasonName(leak.reason);
+        break;
+    }
+    pd.chain = chain.str();
+    return pd;
+}
+
+void
+Detector::finalizeRun(RunReport &report)
+{
+    for (const PartialDeadlock &pd : certain_)
+        report.partialDeadlocks.push_back(pd);
+    for (const LeakInfo &leak : report.leaked) {
+        if (reported_.count(leak.goid))
+            continue; // already covered by a certain mid-run report
+        report.partialDeadlocks.push_back(classifyLeak(leak));
+    }
+}
+
+} // namespace golite::waitgraph

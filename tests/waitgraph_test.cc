@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Wait-for-graph partial-deadlock detector tests: certain mid-run
+ * reports (lock cycles, orphaned locks, nil-channel ops, dead
+ * selects), end-of-run leak classification, the no-false-positive
+ * guarantee for blocked-but-wakeable goroutines, and exhaustiveness
+ * of the enum name tables the diagnoses are rendered with.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+using waitgraph::Detector;
+
+bool
+hasCause(const RunReport &report, DeadlockCause cause, bool certain)
+{
+    for (const PartialDeadlock &pd : report.partialDeadlocks) {
+        if (pd.cause == cause && pd.certain == certain)
+            return true;
+    }
+    return false;
+}
+
+TEST(WaitGraph, MutexAbBaCycleIsCertain)
+{
+    // Classic AB-BA: both goroutines take their first lock, rendezvous
+    // over buffered channels, then cross. The moment the second one
+    // parks the cycle is complete and must be reported mid-run.
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            auto a = std::make_shared<Mutex>();
+            auto b = std::make_shared<Mutex>();
+            Chan<int> aHeld = makeChan<int>(1);
+            Chan<int> bHeld = makeChan<int>(1);
+            go([=] {
+                a->lock();
+                aHeld.send(1);
+                bHeld.recv();
+                b->lock(); // deadlock: partner holds b, wants a
+            });
+            go([=] {
+                b->lock();
+                bHeld.send(1);
+                aHeld.recv();
+                a->lock(); // deadlock: partner holds a, wants b
+            });
+        },
+        options);
+
+    ASSERT_EQ(det.certainReports().size(), 1u);
+    const PartialDeadlock &pd = det.certainReports()[0];
+    EXPECT_TRUE(pd.certain);
+    EXPECT_EQ(pd.cause, DeadlockCause::LockCycle);
+    EXPECT_EQ(pd.goids.size(), 2u);
+    EXPECT_NE(pd.chain.find("(cycle)"), std::string::npos);
+    EXPECT_TRUE(hasCause(report, DeadlockCause::LockCycle, true));
+    // Not a global deadlock: main exits fine. The built-in detector
+    // misses this bug; the wait graph does not.
+    EXPECT_FALSE(report.globalDeadlock);
+}
+
+TEST(WaitGraph, DoubleLockSelfCycleIsCertain)
+{
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            Mutex mu;
+            mu.lock();
+            mu.lock(); // Go mutexes are not reentrant
+        },
+        options);
+    EXPECT_TRUE(report.globalDeadlock); // built-in fires too (all asleep)
+    ASSERT_EQ(det.certainReports().size(), 1u);
+    EXPECT_EQ(det.certainReports()[0].cause, DeadlockCause::LockCycle);
+}
+
+TEST(WaitGraph, RWMutexReadCycleBehindPendingWriter)
+{
+    // Section 5.1.1 / cockroach-10214 shape: a goroutine re-RLocks a
+    // lock it already read-holds while a writer is queued. Go's
+    // writer-priority RWMutex parks the second RLock behind the
+    // writer, the writer waits for the first read hold: cycle.
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            auto mu = std::make_shared<RWMutex>();
+            mu->rlock();
+            go([=] {
+                mu->lock(); // blocks: read hold active
+                mu->unlock();
+            });
+            // Let the writer park (virtual clock only advances once
+            // every other goroutine is blocked).
+            gotime::sleep(gotime::kMillisecond);
+            mu->rlock(); // parks behind the queued writer: cycle
+        },
+        options);
+    EXPECT_TRUE(report.globalDeadlock);
+    ASSERT_GE(det.certainReports().size(), 1u);
+    const PartialDeadlock &pd = det.certainReports()[0];
+    EXPECT_EQ(pd.cause, DeadlockCause::LockCycle);
+    EXPECT_EQ(pd.reason, WaitReason::RWMutexRLock);
+    EXPECT_EQ(pd.goids.size(), 2u);
+}
+
+TEST(WaitGraph, OrphanedLockReportedWhenHolderExits)
+{
+    // docker-5416 shape: the holder exits without unlocking while
+    // another goroutine is already parked on the lock.
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            auto mu = std::make_shared<Mutex>();
+            go([=] {
+                mu->lock();
+                gotime::sleep(2 * gotime::kMillisecond);
+                // exits still holding mu
+            });
+            gotime::sleep(gotime::kMillisecond);
+            mu->lock(); // parks while the holder is merely asleep
+        },
+        options);
+    EXPECT_TRUE(report.globalDeadlock);
+    ASSERT_EQ(det.certainReports().size(), 1u);
+    const PartialDeadlock &pd = det.certainReports()[0];
+    EXPECT_EQ(pd.cause, DeadlockCause::LockOrphaned);
+    EXPECT_NE(pd.chain.find("exited"), std::string::npos);
+}
+
+TEST(WaitGraph, OrphanedLockReportedWhenParkingAfterExit)
+{
+    // Same bug, other event order: the holder is already gone by the
+    // time the victim parks.
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    run(
+        [] {
+            auto mu = std::make_shared<Mutex>();
+            go([=] { mu->lock(); });
+            gotime::sleep(gotime::kMillisecond); // holder runs and exits
+            mu->lock();
+        },
+        options);
+    ASSERT_EQ(det.certainReports().size(), 1u);
+    EXPECT_EQ(det.certainReports()[0].cause,
+              DeadlockCause::LockOrphaned);
+}
+
+TEST(WaitGraph, NilChannelOpIsCertain)
+{
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            Chan<int> nil; // default-constructed channel is nil
+            go([nil]() mutable { nil.send(1); });
+            yield();
+        },
+        options);
+    ASSERT_EQ(det.certainReports().size(), 1u);
+    EXPECT_EQ(det.certainReports()[0].cause, DeadlockCause::ChanNilOp);
+    EXPECT_EQ(det.certainReports()[0].reason, WaitReason::ChanSendNil);
+    EXPECT_EQ(report.leaked.size(), 1u);
+    // The leak is already explained by the certain report: no
+    // duplicate post-mortem entry for the same goroutine.
+    EXPECT_EQ(report.partialDeadlocks.size(), 1u);
+}
+
+TEST(WaitGraph, SelectWithNoLiveCaseIsCertain)
+{
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    run(
+        [] {
+            Chan<int> nil;
+            go([nil] {
+                Select()
+                    .recv<int>(nil, [](int, bool) {})
+                    .run(); // every case nil: can never fire
+            });
+            yield();
+        },
+        options);
+    ASSERT_EQ(det.certainReports().size(), 1u);
+    EXPECT_EQ(det.certainReports()[0].cause,
+              DeadlockCause::SelectStuck);
+}
+
+TEST(WaitGraph, ChannelWithNoSenderClassifiedPostMortem)
+{
+    // A receiver on a channel nobody will ever send on is NOT certain
+    // mid-run (a sender could still appear) — it is classified at end
+    // of run from the leak report.
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            Chan<int> ch = makeChan<int>();
+            go([ch] { ch.recv(); });
+            yield();
+        },
+        options);
+    EXPECT_TRUE(det.certainReports().empty());
+    ASSERT_EQ(report.partialDeadlocks.size(), 1u);
+    const PartialDeadlock &pd = report.partialDeadlocks[0];
+    EXPECT_FALSE(pd.certain);
+    EXPECT_EQ(pd.cause, DeadlockCause::ChanNoSender);
+    EXPECT_EQ(pd.reason, WaitReason::ChanRecv);
+    EXPECT_TRUE(report.partialDeadlockFlagged());
+}
+
+TEST(WaitGraph, LeakClassificationCoversSyncPrimitives)
+{
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            auto wg = std::make_shared<WaitGroup>();
+            wg->add(1);
+            go([wg] { wg->wait(); }); // nobody calls done()
+            auto mu = std::make_shared<Mutex>();
+            auto cond = std::make_shared<Cond>(*mu);
+            go([mu, cond] {
+                mu->lock();
+                cond->wait(); // nobody signals
+            });
+            Chan<int> full = makeChan<int>(0);
+            go([full]() mutable { full.send(7); }); // no receiver
+            gotime::sleep(gotime::kMillisecond);
+        },
+        options);
+    EXPECT_TRUE(det.certainReports().empty());
+    EXPECT_EQ(report.partialDeadlocks.size(), 3u);
+    EXPECT_TRUE(hasCause(report, DeadlockCause::WaitGroupStuck, false));
+    EXPECT_TRUE(hasCause(report, DeadlockCause::CondStuck, false));
+    EXPECT_TRUE(hasCause(report, DeadlockCause::ChanNoReceiver, false));
+}
+
+TEST(WaitGraph, NoFalsePositiveForReachableWakeups)
+{
+    // The soundness guarantee: goroutines that are blocked but will be
+    // woken must never be reported mid-run, and a clean run carries no
+    // diagnoses at all. Exercises every wait type the detector edges
+    // over: channel waits, contended locks (holder asleep, a state the
+    // cycle DFS must prune), writer-priority RWMutex waits, WaitGroup
+    // and Cond waits that do get signalled.
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            Chan<int> ch = makeChan<int>();
+            go([ch]() mutable { ch.send(1); }); // blocked until main recvs
+
+            auto mu = std::make_shared<Mutex>();
+            go([mu] {
+                mu->lock();
+                gotime::sleep(2 * gotime::kMillisecond);
+                mu->unlock();
+            });
+            auto rw = std::make_shared<RWMutex>();
+            go([rw] {
+                rw->rlock();
+                gotime::sleep(2 * gotime::kMillisecond);
+                rw->runlock();
+            });
+            auto wg = std::make_shared<WaitGroup>();
+            wg->add(1);
+            go([wg] { wg->wait(); });
+
+            gotime::sleep(gotime::kMillisecond);
+            mu->lock(); // contended: holder is asleep, not gone
+            mu->unlock();
+            rw->lock(); // writer waits out the sleeping reader
+            rw->unlock();
+            ch.recv();
+            wg->done();
+        },
+        options);
+    EXPECT_TRUE(report.clean());
+    EXPECT_TRUE(det.certainReports().empty());
+    EXPECT_TRUE(report.partialDeadlocks.empty());
+    EXPECT_FALSE(report.partialDeadlockFlagged());
+}
+
+TEST(WaitGraph, DescribeMentionsPartialDeadlocks)
+{
+    Detector det;
+    RunOptions options;
+    options.deadlockHooks = &det;
+    RunReport report = run(
+        [] {
+            Mutex mu;
+            mu.lock();
+            mu.lock();
+        },
+        options);
+    EXPECT_NE(report.describe().find("partial deadlock"),
+              std::string::npos);
+    EXPECT_NE(report.describe().find("lock cycle"), std::string::npos);
+    EXPECT_EQ(report.certainDeadlocks(), 1u);
+}
+
+// --- enum name exhaustiveness -------------------------------------
+// The diagnoses are rendered through these tables; a new enum value
+// without a name would silently print the fallback. Every value must
+// have a distinct, non-fallback name.
+
+TEST(EnumNames, WaitReasonNamesAreExhaustive)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < kWaitReasonCount; ++i) {
+        std::string name =
+            waitReasonName(static_cast<WaitReason>(i));
+        EXPECT_NE(name, "unknown") << "WaitReason value " << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate name: " << name;
+    }
+    EXPECT_STREQ(waitReasonName(static_cast<WaitReason>(
+                     kWaitReasonCount)),
+                 "unknown");
+}
+
+TEST(EnumNames, TraceKindNamesAreExhaustive)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < kTraceKindCount; ++i) {
+        std::string name = traceKindName(static_cast<TraceKind>(i));
+        EXPECT_NE(name, "?") << "TraceKind value " << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate name: " << name;
+    }
+    EXPECT_STREQ(traceKindName(static_cast<TraceKind>(kTraceKindCount)),
+                 "?");
+}
+
+TEST(EnumNames, DeadlockCauseNamesAreExhaustive)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < kDeadlockCauseCount; ++i) {
+        std::string name =
+            deadlockCauseName(static_cast<DeadlockCause>(i));
+        EXPECT_NE(name, "?") << "DeadlockCause value " << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate name: " << name;
+    }
+    EXPECT_STREQ(deadlockCauseName(static_cast<DeadlockCause>(
+                     kDeadlockCauseCount)),
+                 "?");
+}
+
+} // namespace
+} // namespace golite
