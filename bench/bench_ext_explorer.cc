@@ -17,12 +17,12 @@
 #include "bench_util.hh"
 #include "corpus/bug.hh"
 #include "explore/explorer.hh"
+#include "parallel/pexplore.hh"
 #include "study/tables.hh"
 
 using namespace golite;
 using corpus::BugCase;
 using corpus::Variant;
-using explore::ExploreOptions;
 using explore::ExploreResult;
 
 namespace
@@ -31,9 +31,13 @@ namespace
 ExploreResult
 exploreKernel(const BugCase &bug, Variant variant, size_t budget)
 {
-    ExploreOptions options;
-    options.maxSchedules = budget;
-    return explore::exploreAll(
+    // Subtree fan-out across workers (GOLITE_WORKERS overrides the
+    // default); exhaustive enumerations are identical to the serial
+    // explorer for every worker count, bounded ones deterministic
+    // for a fixed worker count.
+    parallel::ParallelExploreOptions options;
+    options.explore.maxSchedules = budget;
+    return parallel::exploreAllParallel(
         [&bug, variant](const RunOptions &run_options) {
             return bug.run(variant, run_options).report;
         },
@@ -56,6 +60,8 @@ main()
     bench::banner(
         "Extension - systematic schedule exploration",
         "replaces Section 4's repeated-run protocol with enumeration");
+    std::printf("exploration workers: %u\n\n",
+                parallel::defaultWorkers());
 
     const char *kernels[] = {
         // Small spaces (exhaustive): the detector-visible deadlocks,

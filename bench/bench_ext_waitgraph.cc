@@ -28,9 +28,12 @@
 #include <memory>
 #include <string>
 
+#include <numeric>
+
 #include "bench_util.hh"
 #include "corpus/bug.hh"
 #include "golite/golite.hh"
+#include "parallel/protocol.hh"
 #include "study/tables.hh"
 
 using namespace golite;
@@ -51,10 +54,10 @@ struct Eval
 };
 
 Eval
-evaluate(const BugCase &bug)
+evaluate(const BugCase &bug, golite::parallel::WorkerPool &pool)
 {
     Eval ev;
-    auto seed = bench::findManifestingSeed(bug);
+    auto seed = parallel::findManifestingSeed(bug, 200, pool);
     waitgraph::Detector det;
     RunOptions options;
     options.seed = seed.value_or(0);
@@ -70,29 +73,34 @@ evaluate(const BugCase &bug)
     return ev;
 }
 
-/** Count certain mid-run reports across seeds of a fixed variant. */
+/** Count certain mid-run reports across seeds of a fixed variant.
+ *  Seeds fan across the pool; each run owns a fresh detector, and the
+ *  sum is order-independent. */
 int
-falsePositives(const BugCase &bug, int seeds)
+falsePositives(const BugCase &bug, int seeds,
+               golite::parallel::WorkerPool &pool)
 {
-    int fps = 0;
-    for (int seed = 0; seed < seeds; ++seed) {
-        waitgraph::Detector det;
-        RunOptions options;
-        options.seed = static_cast<uint64_t>(seed);
-        options.deadlockHooks = &det;
-        bug.run(Variant::Fixed, options);
-        fps += static_cast<int>(det.certainReports().size());
-    }
-    return fps;
+    const auto counts = parallel::parallelMap(
+        pool, static_cast<size_t>(seeds), [&bug](size_t seed) {
+            waitgraph::Detector det;
+            RunOptions options;
+            options.seed = static_cast<uint64_t>(seed);
+            options.deadlockHooks = &det;
+            bug.run(Variant::Fixed, options);
+            return static_cast<int>(det.certainReports().size());
+        });
+    return std::accumulate(counts.begin(), counts.end(), 0);
 }
 
 /** Clean example-shaped programs: contended locks, channel fan-out,
  *  writer-priority RWMutex traffic — all with reachable wakeups. */
 int
-cleanProgramFalsePositives(int seeds)
+cleanProgramFalsePositives(int seeds,
+                           golite::parallel::WorkerPool &pool)
 {
-    int fps = 0;
-    for (int seed = 0; seed < seeds; ++seed) {
+    const auto counts = parallel::parallelMap(
+        pool, static_cast<size_t>(seeds), [](size_t seed) {
+        int fps = 0;
         waitgraph::Detector det;
         RunOptions options;
         options.seed = static_cast<uint64_t>(seed);
@@ -137,8 +145,9 @@ cleanProgramFalsePositives(int seeds)
         fps += static_cast<int>(det.certainReports().size());
         if (!report.clean())
             fps++; // a clean program must stay clean under the hooks
-    }
-    return fps;
+        return fps;
+        });
+    return std::accumulate(counts.begin(), counts.end(), 0);
 }
 
 } // namespace
@@ -149,6 +158,12 @@ main()
     bench::banner(
         "Extension - wait-for-graph partial-deadlock detector",
         "Tu et al., ASPLOS 2019, Table 8 + Implication 4");
+
+    // Seed searches and the false-positive audit fan across workers
+    // (GOLITE_WORKERS overrides); every count below is identical to
+    // the serial protocol for any worker count.
+    parallel::WorkerPool pool;
+    std::printf("protocol workers: %u\n\n", pool.workers());
 
     struct Row
     {
@@ -166,7 +181,7 @@ main()
     std::printf("%s\n", std::string(78, '-').c_str());
     for (const BugCase *bug :
          corpus::bugsByBehavior(Behavior::Blocking, true)) {
-        Eval ev = evaluate(*bug);
+        Eval ev = evaluate(*bug, pool);
         Row &row = rows[bug->info.subcause];
         row.used++;
         row.builtin += ev.builtin;
@@ -213,7 +228,7 @@ main()
          corpus::bugsByBehavior(Behavior::Blocking, false)) {
         if (bug->info.reproducedSet)
             continue;
-        Eval ev = evaluate(*bug);
+        Eval ev = evaluate(*bug, pool);
         std::printf("  %-18s %-9s %-9s %-9s %-8s %s\n",
                     bug->info.id.c_str(),
                     corpus::subCauseName(bug->info.subcause),
@@ -229,10 +244,10 @@ main()
     int fixed_runs = 0;
     for (const BugCase *bug :
          corpus::bugsByBehavior(Behavior::Blocking, false)) {
-        fps += falsePositives(*bug, 10);
+        fps += falsePositives(*bug, 10, pool);
         fixed_runs += 10;
     }
-    int clean_fps = cleanProgramFalsePositives(10);
+    int clean_fps = cleanProgramFalsePositives(10, pool);
     std::printf("\nfalse-positive audit: %d fixed-variant runs + 10 "
                 "clean-program runs, %d mid-run report(s)\n",
                 fixed_runs, fps + clean_fps);

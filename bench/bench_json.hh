@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON emitter for machine-readable bench results.
+ *
+ * The table benches print paper artefacts for humans; the perf
+ * benches additionally drop a BENCH_*.json next to the binary so CI
+ * and scripts can track throughput without scraping console output.
+ * One record per measurement: name, items/second, wall seconds, and
+ * the worker count that produced it.
+ */
+
+#ifndef GOLITE_BENCH_BENCH_JSON_HH
+#define GOLITE_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace golite::bench
+{
+
+/** One measured bench entry. */
+struct JsonEntry
+{
+    std::string name;
+    double itemsPerSecond = 0.0;
+    double wallSeconds = 0.0;
+    unsigned workers = 1;
+};
+
+class JsonReport
+{
+  public:
+    void
+    add(std::string name, double items_per_second,
+        double wall_seconds, unsigned workers = 1)
+    {
+        entries_.push_back({std::move(name), items_per_second,
+                            wall_seconds, workers});
+    }
+
+    /** Render the whole report as a JSON document. */
+    std::string
+    render() const
+    {
+        std::string out = "{\n  \"benchmarks\": [\n";
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            const JsonEntry &e = entries_[i];
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "      \"items_per_second\": %.3f,\n"
+                          "      \"wall_seconds\": %.6f,\n"
+                          "      \"workers\": %u\n",
+                          e.itemsPerSecond, e.wallSeconds, e.workers);
+            out += "    {\n      \"name\": \"" + escape(e.name) +
+                   "\",\n" + buf + "    }";
+            out += (i + 1 < entries_.size()) ? ",\n" : "\n";
+        }
+        out += "  ]\n}\n";
+        return out;
+    }
+
+    /** Write the report to @p path; false (with perror) on failure. */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::perror(("bench_json: " + path).c_str());
+            return false;
+        }
+        const std::string doc = render();
+        const bool ok =
+            std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+        std::fclose(f);
+        return ok;
+    }
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+                continue;
+            }
+            out += c;
+        }
+        return out;
+    }
+
+    std::vector<JsonEntry> entries_;
+};
+
+} // namespace golite::bench
+
+#endif // GOLITE_BENCH_BENCH_JSON_HH

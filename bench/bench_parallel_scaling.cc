@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Scaling harness for the parallel run machinery: the Table 8-shaped
+ * corpus sweep at 1/2/4/8 workers, with every parallel per-run report
+ * checked bit-identical (RunReport::fingerprint) against the serial
+ * baseline, plus a stack-pool A/B on the spawn/join hot path.
+ *
+ * The fingerprint gate is the load-bearing claim — parallelism must
+ * not perturb a single run — and fails the binary on any mismatch at
+ * any worker count. The speedup gate (>= 3x at 8 workers) is only
+ * enforced when the host actually has 8 hardware threads; on smaller
+ * machines the numbers are still printed and written to
+ * BENCH_parallel.json for the record.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.hh"
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "golite/golite.hh"
+#include "parallel/sweep.hh"
+#include "runtime/stack_pool.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::Variant;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point begin, Clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/**
+ * The sweep under test: every reproduced blocking bug x kSeeds seeds,
+ * buggy variant, fresh waitgraph::Detector per run — the Table 8
+ * protocol inner loop.
+ */
+constexpr int kSeeds = 50;
+
+std::vector<std::function<RunReport()>>
+protocolJobs()
+{
+    std::vector<std::function<RunReport()>> jobs;
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::Blocking, true)) {
+        for (int seed = 0; seed < kSeeds; ++seed) {
+            jobs.push_back([bug, seed] {
+                waitgraph::Detector det;
+                RunOptions options;
+                options.seed = static_cast<uint64_t>(seed);
+                options.deadlockHooks = &det;
+                return bug->run(Variant::Buggy, options).report;
+            });
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Parallel scaling - multi-worker sweeps + fiber stack pool",
+        "harness extension; protocol shape from Tu et al., Table 8");
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("hardware threads: %u\n\n", hw);
+
+    bench::JsonReport json;
+    bool ok = true;
+
+    // --- Serial baseline -------------------------------------------
+    const auto jobs = protocolJobs();
+    const auto serial_begin = Clock::now();
+    std::vector<std::string> serial_prints;
+    serial_prints.reserve(jobs.size());
+    for (const auto &job : jobs)
+        serial_prints.push_back(job().fingerprint());
+    const double serial_s = seconds(serial_begin, Clock::now());
+    std::printf("protocol sweep: %zu runs (21 bugs x %d seeds)\n",
+                jobs.size(), kSeeds);
+    std::printf("  serial       %8.3f s  %8.0f runs/s\n", serial_s,
+                jobs.size() / serial_s);
+    json.add("protocol_sweep/serial", jobs.size() / serial_s,
+             serial_s, 1);
+
+    // --- Worker scaling, fingerprint-gated -------------------------
+    double w1_s = serial_s;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        parallel::SweepOptions sweep;
+        sweep.workers = workers;
+        const auto begin = Clock::now();
+        const auto reports = parallel::runJobs(jobs, sweep);
+        const double took = seconds(begin, Clock::now());
+        size_t mismatches = 0;
+        for (size_t i = 0; i < reports.size(); ++i)
+            if (reports[i].fingerprint() != serial_prints[i])
+                mismatches++;
+        if (workers == 1)
+            w1_s = took;
+        const double speedup = w1_s / took;
+        std::printf("  %u worker(s)  %8.3f s  %8.0f runs/s  "
+                    "%.2fx vs 1 worker  %s\n",
+                    workers, took, jobs.size() / took, speedup,
+                    mismatches == 0 ? "reports bit-identical"
+                                    : "REPORTS DIVERGED");
+        json.add("protocol_sweep/w" + std::to_string(workers),
+                 jobs.size() / took, took, workers);
+        if (mismatches != 0) {
+            std::printf("FAILED: %zu/%zu parallel reports differ "
+                        "from serial at %u workers\n",
+                        mismatches, reports.size(), workers);
+            ok = false;
+        }
+        if (workers == 8 && hw >= 8 && speedup < 3.0) {
+            std::printf("FAILED: %.2fx speedup at 8 workers "
+                        "(want >= 3x on >= 8 hardware threads)\n",
+                        speedup);
+            ok = false;
+        }
+        if (workers == 8 && hw < 8)
+            std::printf("  (speedup gate skipped: %u hardware "
+                        "threads < 8)\n",
+                        hw);
+    }
+
+    // --- Stack pool A/B on the spawn/join hot path -----------------
+    constexpr int kGoroutines = 500;
+    constexpr int kRuns = 40;
+    const auto spawn_join = [] {
+        WaitGroup wg;
+        wg.add(kGoroutines);
+        for (int i = 0; i < kGoroutines; ++i)
+            go([&wg] { wg.done(); });
+        wg.wait();
+    };
+    const double total_spawns =
+        static_cast<double>(kGoroutines) * kRuns;
+
+    std::printf("\nstack pool A/B: %d runs x %d goroutines\n", kRuns,
+                kGoroutines);
+    double pool_s[2] = {0, 0};
+    for (const bool pooled : {false, true}) {
+        StackPool::setEnabled(pooled);
+        StackPool::local().clear(); // cold start for both variants
+        run(spawn_join);            // warm up code paths
+        const auto begin = Clock::now();
+        for (int i = 0; i < kRuns; ++i)
+            run(spawn_join);
+        const double took = seconds(begin, Clock::now());
+        pool_s[pooled] = took;
+        const auto &stats = StackPool::local().stats();
+        std::printf("  pool %-3s  %8.3f s  %10.0f spawns/s  "
+                    "(mapped %llu, reused %llu)\n",
+                    pooled ? "on" : "off", took, total_spawns / took,
+                    static_cast<unsigned long long>(stats.mapped),
+                    static_cast<unsigned long long>(stats.reused));
+        json.add(pooled ? "spawn_join/pool_on"
+                        : "spawn_join/pool_off",
+                 total_spawns / took, took, 1);
+    }
+    StackPool::setEnabled(true);
+    std::printf("  spawn/join speedup from pooling: %.2fx\n",
+                pool_s[0] / pool_s[1]);
+
+    json.writeFile("BENCH_parallel.json");
+    std::printf("\nwrote BENCH_parallel.json (%zu entries)\n",
+                json.size());
+    if (!ok)
+        std::printf("\nFAILED (see above)\n");
+    return ok ? 0 : 1;
+}

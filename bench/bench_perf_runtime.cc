@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hh"
 #include "golite/golite.hh"
 
 namespace
@@ -192,6 +193,51 @@ BM_TimerWheel(benchmark::State &state)
 }
 BENCHMARK(BM_TimerWheel)->Arg(100);
 
+/**
+ * Console output as usual, plus every finished run collected into
+ * BENCH_perf.json (items/sec from the SetItemsProcessed counter,
+ * wall time as mean real seconds per iteration).
+ */
+class JsonTeeReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            double items = 0.0;
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                items = it->second;
+            const double iters =
+                run.iterations > 0
+                    ? static_cast<double>(run.iterations)
+                    : 1.0;
+            report.add(run.benchmark_name(), items,
+                       run.real_accumulated_time / iters,
+                       /*workers=*/1);
+        }
+    }
+
+    golite::bench::JsonReport report;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonTeeReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    reporter.report.writeFile("BENCH_perf.json");
+    std::printf("wrote BENCH_perf.json (%zu entries)\n",
+                reporter.report.size());
+    return 0;
+}

@@ -16,6 +16,7 @@
 
 #include "bench_util.hh"
 #include "corpus/bug.hh"
+#include "parallel/protocol.hh"
 #include "race/detector.hh"
 #include "study/tables.hh"
 
@@ -32,6 +33,14 @@ main()
                   "Tu et al., ASPLOS 2019, Table 12");
 
     constexpr int kRuns = 100;
+
+    // The 100-seed protocol fans across workers (GOLITE_WORKERS
+    // overrides); each probe constructs its own race::Detector, so
+    // concurrent runs share nothing, and the wave search reports the
+    // same first detecting seed as the serial 0..99 scan.
+    parallel::WorkerPool pool;
+    std::printf("protocol workers: %u\n\n", pool.workers());
+
     struct Row
     {
         int used = 0;
@@ -45,16 +54,18 @@ main()
     std::printf("%s\n", std::string(72, '-').c_str());
     for (const BugCase *bug :
          corpus::bugsByBehavior(Behavior::NonBlocking, true)) {
-        int first_hit = -1;
-        for (int seed = 0; seed < kRuns && first_hit < 0; ++seed) {
-            race::Detector detector;
-            RunOptions options;
-            options.seed = static_cast<uint64_t>(seed);
-            options.hooks = &detector;
-            bug->run(Variant::Buggy, options);
-            if (!detector.reports().empty())
-                first_hit = seed;
-        }
+        const auto first = parallel::findFirstSeed(
+            [bug](uint64_t seed) {
+                race::Detector detector;
+                RunOptions options;
+                options.seed = seed;
+                options.hooks = &detector;
+                bug->run(Variant::Buggy, options);
+                return !detector.reports().empty();
+            },
+            kRuns, pool);
+        const int first_hit =
+            first ? static_cast<int>(*first) : -1;
         Row &row = rows[bug->info.subcause];
         row.used++;
         total_used++;

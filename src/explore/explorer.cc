@@ -41,23 +41,56 @@ tally(ExploreResult &result, const RunReport &report,
     }
 }
 
+/**
+ * Backtrack: drop exhausted tail decisions, advance the deepest one
+ * with an untried sibling. False when nothing above the pinned prefix
+ * remains to advance — the subtree is fully enumerated.
+ */
+bool
+advance(SubtreeCursor &cursor)
+{
+    while (cursor.prefix.size() > cursor.pinnedDepth &&
+           cursor.prefix.back() + 1 >= cursor.fanout.back()) {
+        cursor.prefix.pop_back();
+        cursor.fanout.pop_back();
+    }
+    if (cursor.prefix.size() == cursor.pinnedDepth)
+        return false;
+    cursor.prefix.back()++;
+    return true;
+}
+
 } // namespace
 
-ExploreResult
-exploreAll(const std::function<RunReport(const RunOptions &)> &run_once,
-           const ExploreOptions &options)
+void
+exploreSubtree(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const ExploreOptions &options, SubtreeCursor &cursor,
+    size_t budget, ExploreResult &result)
 {
-    ExploreResult result;
+    if (cursor.done)
+        return;
+    if (!cursor.started) {
+        cursor.started = true;
+        cursor.pinnedDepth = cursor.prefix.size();
+        // Replay overwrites these; sized so the chooser can index.
+        cursor.fanout.assign(cursor.prefix.size(), 1);
+    } else if (!advance(cursor)) {
+        // Resuming right after the subtree's last schedule.
+        cursor.done = true;
+        return;
+    }
 
-    // DFS over the choice tree. `prefix` holds the choice taken at
-    // each decision point of the current schedule; `fanout` the
+    // DFS over the choice (sub)tree. `prefix` holds the choice taken
+    // at each decision point of the current schedule; `fanout` the
     // number of alternatives observed there. New decision points
     // default to choice 0; after each run the deepest incrementable
-    // position advances and everything below is discarded.
-    std::vector<size_t> prefix;
-    std::vector<size_t> fanout;
+    // position above pinnedDepth advances and everything below is
+    // discarded.
+    std::vector<size_t> &prefix = cursor.prefix;
+    std::vector<size_t> &fanout = cursor.fanout;
 
-    for (;;) {
+    for (size_t used = 0;;) {
         size_t depth = 0;
         RunOptions run_options = normalized(options.runOptions);
         run_options.chooser = [&prefix, &fanout,
@@ -81,25 +114,52 @@ exploreAll(const std::function<RunReport(const RunOptions &)> &run_once,
 
         const RunReport report = run_once(run_options);
         tally(result, report, prefix);
+        used++;
 
-        if (options.maxSchedules &&
-            result.schedules >= options.maxSchedules) {
-            return result; // budget exhausted: not exhaustive
+        if (budget && used >= budget)
+            return; // ticket spent; cursor resumes from here
+        if (!advance(cursor)) {
+            cursor.done = true;
+            return;
         }
-
-        // Backtrack: drop exhausted tail decisions, advance the
-        // deepest one with an untried sibling.
-        while (!prefix.empty() &&
-               prefix.back() + 1 >= fanout.back()) {
-            prefix.pop_back();
-            fanout.pop_back();
-        }
-        if (prefix.empty()) {
-            result.exhaustive = true;
-            return result;
-        }
-        prefix.back()++;
     }
+}
+
+size_t
+fanoutAt(const std::function<RunReport(const RunOptions &)> &run_once,
+         const std::vector<size_t> &prefix,
+         const ExploreOptions &options)
+{
+    size_t depth = 0;
+    size_t observed = 0;
+    RunOptions run_options = normalized(options.runOptions);
+    run_options.chooser = [&prefix, &depth,
+                           &observed](size_t n) -> size_t {
+        if (depth < prefix.size()) {
+            const size_t pick =
+                prefix[depth] < n ? prefix[depth] : n - 1;
+            depth++;
+            return pick;
+        }
+        if (depth == prefix.size())
+            observed = n;
+        depth++;
+        return 0;
+    };
+    run_once(run_options);
+    return observed;
+}
+
+ExploreResult
+exploreAll(const std::function<RunReport(const RunOptions &)> &run_once,
+           const ExploreOptions &options)
+{
+    ExploreResult result;
+    SubtreeCursor cursor; // empty pinned prefix: the whole tree
+    exploreSubtree(run_once, options, cursor, options.maxSchedules,
+                   result);
+    result.exhaustive = cursor.done;
+    return result;
 }
 
 ExploreResult

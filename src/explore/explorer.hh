@@ -75,6 +75,51 @@ ExploreResult exploreAll(
     const std::function<RunReport(const RunOptions &)> &run_once,
     const ExploreOptions &options = {});
 
+/**
+ * Resumable DFS position inside one subtree of the choice tree.
+ *
+ * The first pinnedDepth entries of `prefix` select the subtree and
+ * are never advanced; the rest is the walker's backtracking state.
+ * The parallel explorer (parallel/pexplore.hh) hands each worker a
+ * cursor and grants schedule tickets round by round, which keeps the
+ * explored set deterministic under any worker count.
+ */
+struct SubtreeCursor
+{
+    /** Committed choice at each decision depth; initialise with the
+     *  subtree's pinned prefix before the first exploreSubtree call. */
+    std::vector<size_t> prefix;
+    /** Alternatives observed at each depth (parallel to prefix). */
+    std::vector<size_t> fanout;
+    size_t pinnedDepth = 0;
+    bool started = false;
+    /** Subtree fully enumerated; further calls are no-ops. */
+    bool done = false;
+};
+
+/**
+ * Continue enumerating the subtree @p cursor points into, running at
+ * most @p budget schedules (0 = unlimited) and accumulating tallies
+ * into @p result. Returns with cursor.done set once every schedule
+ * extending the pinned prefix has been counted. exploreAll is this
+ * with an empty pinned prefix and the whole budget in one call.
+ */
+void exploreSubtree(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const ExploreOptions &options, SubtreeCursor &cursor,
+    size_t budget, ExploreResult &result);
+
+/**
+ * Observe the branching factor at decision depth |prefix| when the
+ * first |prefix| choices are @p prefix (one uncounted replay run).
+ * Returns 0 when the program finishes without reaching that depth,
+ * i.e. @p prefix is a complete schedule. The parallel explorer uses
+ * this to split the tree into worker-sized subtrees.
+ */
+size_t fanoutAt(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const std::vector<size_t> &prefix, const ExploreOptions &options);
+
 /** Convenience: explore a plain program. */
 ExploreResult exploreProgram(const std::function<void()> &program,
                              const ExploreOptions &options = {});

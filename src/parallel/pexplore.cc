@@ -1,0 +1,196 @@
+#include "parallel/pexplore.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace golite::parallel
+{
+
+namespace
+{
+
+using explore::ExploreResult;
+using explore::SubtreeCursor;
+
+/** One subtree of the choice tree owned by the frontier. */
+struct Subtree
+{
+    SubtreeCursor cursor;
+    ExploreResult result;
+};
+
+/**
+ * Split the choice tree into roughly `target` subtrees by popping the
+ * shallowest prefix and replacing it with its children until the
+ * frontier is large enough. Prefixes whose replay finishes without a
+ * free decision are complete schedules and stay as one-schedule
+ * leaves. Entirely serial and replay-driven, hence deterministic.
+ */
+std::vector<std::vector<size_t>>
+buildFrontier(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const explore::ExploreOptions &options, size_t target)
+{
+    std::vector<std::vector<size_t>> leaves;
+    std::deque<std::vector<size_t>> open;
+    open.push_back({});
+
+    // Probe cap bounds the uncounted replays spent on splitting;
+    // single-choice chains (fanout 1) deepen a prefix without
+    // growing the frontier, so the loop is not otherwise bounded.
+    size_t probes = 0;
+    const size_t probe_cap = target * 8;
+
+    while (!open.empty() && leaves.size() + open.size() < target &&
+           probes < probe_cap) {
+        std::vector<size_t> prefix = std::move(open.front());
+        open.pop_front();
+        const size_t n = explore::fanoutAt(run_once, prefix, options);
+        probes++;
+        if (n == 0) {
+            leaves.push_back(std::move(prefix));
+            continue;
+        }
+        for (size_t choice = 0; choice < n; ++choice) {
+            std::vector<size_t> child = prefix;
+            child.push_back(choice);
+            open.push_back(std::move(child));
+        }
+    }
+
+    std::vector<std::vector<size_t>> prefixes = std::move(leaves);
+    prefixes.insert(prefixes.end(),
+                    std::make_move_iterator(open.begin()),
+                    std::make_move_iterator(open.end()));
+    // Lexicographic prefix order == serial DFS visit order; every
+    // later stage (ticket grants, merge) walks this order.
+    std::sort(prefixes.begin(), prefixes.end());
+    return prefixes;
+}
+
+/** Merge per-subtree tallies in lexicographic (== serial DFS) order. */
+ExploreResult
+mergeInOrder(const std::vector<Subtree> &subs, bool exhausted_budget)
+{
+    ExploreResult merged;
+    bool all_done = true;
+    for (const Subtree &sub : subs) {
+        const ExploreResult &r = sub.result;
+        merged.schedules += r.schedules;
+        merged.clean += r.clean;
+        merged.globalDeadlocks += r.globalDeadlocks;
+        merged.leakedOnly += r.leakedOnly;
+        merged.panicked += r.panicked;
+        merged.livelocked += r.livelocked;
+        all_done = all_done && sub.cursor.done;
+    }
+    // firstBad comes from the lexicographically earliest subtree that
+    // saw one; within a subtree the DFS already kept its first.
+    for (const Subtree &sub : subs) {
+        if (sub.result.anyBad()) {
+            merged.firstBad = sub.result.firstBad;
+            merged.firstBadSchedule = sub.result.firstBadSchedule;
+            break;
+        }
+    }
+    merged.exhaustive = all_done && !exhausted_budget;
+    return merged;
+}
+
+} // namespace
+
+ExploreResult
+exploreAllParallel(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const ParallelExploreOptions &options)
+{
+    const unsigned workers =
+        options.workers ? options.workers : defaultWorkers();
+    if (workers <= 1)
+        return explore::exploreAll(run_once, options.explore);
+
+    const size_t budget = options.explore.maxSchedules;
+    size_t target = static_cast<size_t>(workers) *
+                    std::max<size_t>(1, options.frontierPerWorker);
+    if (budget)
+        target = std::min(target, budget);
+    target = std::max<size_t>(target, 2);
+
+    const std::vector<std::vector<size_t>> prefixes =
+        buildFrontier(run_once, options.explore, target);
+
+    std::vector<Subtree> subs(prefixes.size());
+    for (size_t i = 0; i < prefixes.size(); ++i)
+        subs[i].cursor.prefix = prefixes[i];
+
+    const size_t ticket = std::max<size_t>(1, options.roundTicket);
+    size_t remaining = budget;
+    bool exhausted_budget = false;
+    WorkerPool pool(workers);
+
+    for (;;) {
+        // Grant tickets in lexicographic order from the remaining
+        // budget. Grants depend only on deterministic per-subtree
+        // counts, so the explored set is worker-count independent.
+        std::vector<size_t> grant(subs.size(), 0);
+        size_t avail = remaining;
+        bool any = false;
+        for (size_t i = 0; i < subs.size(); ++i) {
+            if (subs[i].cursor.done)
+                continue;
+            size_t t = ticket;
+            if (budget) {
+                t = std::min(t, avail);
+                avail -= t;
+            }
+            if (t == 0)
+                continue;
+            grant[i] = t;
+            any = true;
+        }
+        if (!any) {
+            exhausted_budget =
+                std::any_of(subs.begin(), subs.end(),
+                            [](const Subtree &s) {
+                                return !s.cursor.done;
+                            });
+            break;
+        }
+
+        pool.forEach(subs.size(), [&](size_t i) {
+            if (grant[i] == 0)
+                return;
+            exploreSubtree(run_once, options.explore, subs[i].cursor,
+                           grant[i], subs[i].result);
+        });
+
+        if (budget) {
+            size_t total = 0;
+            for (const Subtree &sub : subs)
+                total += sub.result.schedules;
+            remaining = budget > total ? budget - total : 0;
+        }
+
+        const bool all_done =
+            std::all_of(subs.begin(), subs.end(), [](const Subtree &s) {
+                return s.cursor.done;
+            });
+        if (all_done)
+            break;
+    }
+
+    return mergeInOrder(subs, exhausted_budget);
+}
+
+ExploreResult
+exploreProgramParallel(const std::function<void()> &program,
+                       const ParallelExploreOptions &options)
+{
+    return exploreAllParallel(
+        [&program](const RunOptions &run_options) {
+            return run(program, run_options);
+        },
+        options);
+}
+
+} // namespace golite::parallel

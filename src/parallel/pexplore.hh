@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Parallel schedule exploration: the explorer's choice-tree DFS fanned
+ * across workers by splitting the prefix space into subtrees.
+ *
+ * Determinism contract: for a fixed (program, options) the result —
+ * schedule counts, exhaustive flag, firstBad report and schedule — is
+ * identical for every worker count, and when the tree fits inside
+ * maxSchedules it is identical to serial explore::exploreAll. Three
+ * mechanisms buy this:
+ *
+ *  1. The frontier (the set of subtree prefixes) is built by a serial
+ *     breadth-first expansion whose probe runs are deterministic
+ *     replays, so every worker count sees the same subtrees.
+ *  2. Budget is granted in fixed-size tickets, round by round, in
+ *     lexicographic prefix order, from counts that are themselves
+ *     deterministic — never from completion order or a shared clock.
+ *  3. Results merge in lexicographic prefix order, which equals the
+ *     serial DFS visit order, so "first bad schedule" means the same
+ *     schedule serial DFS would have flagged first.
+ *
+ * The frontier probes are extra replay runs not counted against
+ * maxSchedules; with F frontier prefixes the overhead is at most F
+ * runs, negligible against the enumeration itself.
+ */
+
+#ifndef GOLITE_PARALLEL_PEXPLORE_HH
+#define GOLITE_PARALLEL_PEXPLORE_HH
+
+#include <functional>
+
+#include "explore/explorer.hh"
+#include "parallel/pool.hh"
+
+namespace golite::parallel
+{
+
+/** Knobs for one parallel exploration. */
+struct ParallelExploreOptions
+{
+    /** Limits and run options, as for explore::exploreAll. */
+    explore::ExploreOptions explore;
+    /** Worker threads; 0 = defaultWorkers(). With 1 worker the call
+     *  is exactly explore::exploreAll — no frontier, no probes. */
+    unsigned workers = 0;
+    /** Target frontier size is workers * frontierPerWorker subtrees:
+     *  enough slack for the chunked queue to balance uneven subtree
+     *  sizes. */
+    size_t frontierPerWorker = 8;
+    /** Schedules granted to one subtree per round. Smaller tickets
+     *  track the serial budget cutoff more closely when the tree
+     *  exceeds maxSchedules; larger ones mean fewer rounds. */
+    size_t roundTicket = 512;
+};
+
+/**
+ * Enumerate schedules of @p run_once across workers. @p run_once is
+ * invoked concurrently on several threads and must be thread-safe in
+ * the same sense as runSeeds' program argument (only touch state
+ * created inside the run).
+ */
+explore::ExploreResult exploreAllParallel(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const ParallelExploreOptions &options = {});
+
+/** Convenience: explore a plain program across workers. */
+explore::ExploreResult exploreProgramParallel(
+    const std::function<void()> &program,
+    const ParallelExploreOptions &options = {});
+
+} // namespace golite::parallel
+
+#endif // GOLITE_PARALLEL_PEXPLORE_HH

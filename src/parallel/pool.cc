@@ -1,0 +1,119 @@
+#include "parallel/pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace golite::parallel
+{
+
+unsigned
+defaultWorkers()
+{
+    if (const char *env = std::getenv("GOLITE_WORKERS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+WorkerPool::WorkerPool(unsigned workers)
+    : workers_(workers ? workers : defaultWorkers())
+{
+    threads_.reserve(workers_ - 1);
+    for (unsigned i = 0; i + 1 < workers_; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [this, seen] {
+                return stopping_ || epoch_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = epoch_;
+        }
+        drainCurrentJob();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--busy_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::drainCurrentJob()
+{
+    for (;;) {
+        const size_t begin = cursor_.fetch_add(chunk_);
+        if (begin >= n_)
+            return;
+        const size_t end = std::min(begin + chunk_, n_);
+        for (size_t i = begin; i < end; ++i) {
+            try {
+                (*fn_)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+                // Abandon the rest of the index space.
+                cursor_.store(n_);
+                return;
+            }
+        }
+    }
+}
+
+void
+WorkerPool::forEach(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_ == 1 || n == 1) {
+        // Pure caller-side path: no chunking, no synchronization —
+        // byte-for-byte the serial loop.
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = &fn;
+        n_ = n;
+        // ~8 chunks per worker self-balances uneven job costs while
+        // keeping cursor contention negligible.
+        chunk_ = std::max<size_t>(1, n / (workers_ * 8));
+        cursor_.store(0);
+        firstError_ = nullptr;
+        busy_ = static_cast<unsigned>(threads_.size());
+        epoch_++;
+    }
+    wake_.notify_all();
+    drainCurrentJob(); // the calling thread is the last worker
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return busy_ == 0; });
+    fn_ = nullptr;
+    if (firstError_)
+        std::rethrow_exception(firstError_);
+}
+
+} // namespace golite::parallel

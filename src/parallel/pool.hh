@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fixed worker pool for fanning independent golite runs across OS
+ * threads.
+ *
+ * Every measurement in this reproduction — the Table 8/12 detector
+ * protocols, the explorer's schedule enumeration, the PCT/random
+ * testers — is a sweep of independent deterministic runs. Since the
+ * runtime keeps all per-run state in the Scheduler instance and the
+ * active-run slot is thread_local, N workers can each drive their own
+ * run concurrently; this pool is the machinery that does so.
+ *
+ * Work distribution is a chunked dynamic queue: workers (including
+ * the calling thread) claim index ranges from a shared atomic cursor,
+ * so uneven job costs self-balance without per-job locking. Results
+ * are written by index, which makes every merge deterministic — the
+ * output order is the input order, never completion order.
+ */
+
+#ifndef GOLITE_PARALLEL_POOL_HH
+#define GOLITE_PARALLEL_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace golite::parallel
+{
+
+/**
+ * Worker count to use when the caller does not pin one: the
+ * GOLITE_WORKERS environment variable if set (CI pins 2 for
+ * reproducible timing), else std::thread::hardware_concurrency().
+ * Always at least 1.
+ */
+unsigned defaultWorkers();
+
+/**
+ * A fixed pool of worker threads executing index-space loops.
+ *
+ * The pool spawns workers()-1 threads; the thread calling forEach
+ * participates as the last worker, so workers == 1 means "run
+ * entirely on the caller, no threads at all" — handy both as the
+ * serial baseline and in single-core environments.
+ */
+class WorkerPool
+{
+  public:
+    /** @param workers worker count; 0 means defaultWorkers(). */
+    explicit WorkerPool(unsigned workers = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), fanned across the workers.
+     * Blocks until all indices completed. If any fn throws, the
+     * remaining indices are abandoned and the first exception is
+     * rethrown on the caller. Not reentrant: fn must not call
+     * forEach on the same pool.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    /** Claim and run chunks until the index space is exhausted. */
+    void drainCurrentJob();
+
+    unsigned workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t n_ = 0;
+    size_t chunk_ = 1;
+    std::atomic<size_t> cursor_{0};
+    uint64_t epoch_ = 0;     ///< bumped per forEach; workers watch it
+    unsigned busy_ = 0;      ///< workers still draining this epoch
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Map [0, n) through @p fn on @p pool, collecting results in index
+ * order. The result type must be default-constructible.
+ */
+template <typename F>
+auto
+parallelMap(WorkerPool &pool, size_t n, F &&fn)
+    -> std::vector<decltype(fn(size_t{}))>
+{
+    std::vector<decltype(fn(size_t{}))> out(n);
+    pool.forEach(n, [&out, &fn](size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace golite::parallel
+
+#endif // GOLITE_PARALLEL_POOL_HH

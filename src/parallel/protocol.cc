@@ -1,0 +1,68 @@
+#include "parallel/protocol.hh"
+
+#include <algorithm>
+
+namespace golite::parallel
+{
+
+std::optional<uint64_t>
+findFirstSeed(const std::function<bool(uint64_t)> &probe,
+              uint64_t limit, WorkerPool &pool)
+{
+    const uint64_t wave = std::max<uint64_t>(
+        1, static_cast<uint64_t>(pool.workers()) * 4);
+    for (uint64_t base = 0; base < limit; base += wave) {
+        const uint64_t count = std::min(wave, limit - base);
+        std::vector<char> hit(count, 0);
+        pool.forEach(static_cast<size_t>(count), [&](size_t i) {
+            hit[i] = probe(base + i) ? 1 : 0;
+        });
+        for (uint64_t i = 0; i < count; ++i)
+            if (hit[i])
+                return base + i;
+    }
+    return std::nullopt;
+}
+
+std::optional<uint64_t>
+findFirstSeed(const std::function<bool(uint64_t)> &probe,
+              uint64_t limit, const SweepOptions &sweep)
+{
+    WorkerPool pool(sweep.workers);
+    return findFirstSeed(probe, limit, pool);
+}
+
+std::optional<uint64_t>
+findManifestingSeed(const corpus::BugCase &bug, uint64_t limit,
+                    WorkerPool &pool)
+{
+    return findFirstSeed(
+        [&bug](uint64_t seed) {
+            RunOptions options;
+            options.seed = seed;
+            return bug.run(corpus::Variant::Buggy, options).manifested;
+        },
+        limit, pool);
+}
+
+std::vector<ProtocolResult>
+sweepCorpus(
+    const std::vector<const corpus::BugCase *> &bugs,
+    const std::function<bool(const corpus::BugCase &, uint64_t)> &probe,
+    uint64_t seed_limit, const SweepOptions &sweep)
+{
+    WorkerPool pool(sweep.workers);
+    std::vector<ProtocolResult> results;
+    results.reserve(bugs.size());
+    for (const corpus::BugCase *bug : bugs) {
+        ProtocolResult result;
+        result.bug = bug;
+        result.firstSeed = findFirstSeed(
+            [&probe, bug](uint64_t seed) { return probe(*bug, seed); },
+            seed_limit, pool);
+        results.push_back(result);
+    }
+    return results;
+}
+
+} // namespace golite::parallel

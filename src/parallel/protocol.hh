@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Corpus-wide protocol drivers: the Table 8/12 evaluation loops as
+ * parallel primitives.
+ *
+ * Both detector evaluations reduce to the same shape — "for each bug,
+ * find the first seed whose run satisfies a predicate" (manifests the
+ * blocking symptom for Table 8, trips the race detector for Table 12).
+ * findFirstSeed parallelises that search in seed waves: a wave of
+ * seeds runs concurrently, and the smallest satisfying seed in the
+ * earliest satisfying wave is the answer — exactly the seed a serial
+ * 0,1,2,... scan would have returned, for any worker count. The only
+ * cost of parallelism is up to one wave of extra runs past the hit.
+ *
+ * The probe must be self-contained: it runs concurrently on several
+ * threads, so anything mutable it needs (e.g. a race::Detector) must
+ * be constructed inside the call, never shared across seeds.
+ */
+
+#ifndef GOLITE_PARALLEL_PROTOCOL_HH
+#define GOLITE_PARALLEL_PROTOCOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "corpus/bug.hh"
+#include "parallel/pool.hh"
+#include "parallel/sweep.hh"
+
+namespace golite::parallel
+{
+
+/**
+ * Smallest seed in [0, limit) for which @p probe returns true, or
+ * nullopt. Seeds are probed in waves of workers * 4 across @p pool;
+ * within a wave all probes run, then the minimum hit (if any) wins —
+ * identical to the serial first-hit for every worker count.
+ */
+std::optional<uint64_t> findFirstSeed(
+    const std::function<bool(uint64_t)> &probe, uint64_t limit,
+    WorkerPool &pool);
+
+/** findFirstSeed on a temporary pool configured by @p sweep. */
+std::optional<uint64_t> findFirstSeed(
+    const std::function<bool(uint64_t)> &probe, uint64_t limit,
+    const SweepOptions &sweep = {});
+
+/**
+ * Parallel counterpart of bench::findManifestingSeed: smallest seed
+ * in [0, limit) under which @p bug's buggy variant manifests.
+ */
+std::optional<uint64_t> findManifestingSeed(
+    const corpus::BugCase &bug, uint64_t limit, WorkerPool &pool);
+
+/** Per-bug result of a corpus-wide protocol sweep. */
+struct ProtocolResult
+{
+    const corpus::BugCase *bug = nullptr;
+    /** First seed where the predicate held; nullopt = never. */
+    std::optional<uint64_t> firstSeed;
+};
+
+/**
+ * For every bug in @p bugs (order preserved), find the first seed in
+ * [0, seed_limit) where @p probe holds. Bugs are processed in order,
+ * each one's seed waves fanned across the pool, so the result vector
+ * is deterministic and worker-count independent.
+ */
+std::vector<ProtocolResult> sweepCorpus(
+    const std::vector<const corpus::BugCase *> &bugs,
+    const std::function<bool(const corpus::BugCase &, uint64_t)> &probe,
+    uint64_t seed_limit, const SweepOptions &sweep = {});
+
+} // namespace golite::parallel
+
+#endif // GOLITE_PARALLEL_PROTOCOL_HH

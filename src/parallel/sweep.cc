@@ -1,0 +1,47 @@
+#include "parallel/sweep.hh"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace golite::parallel
+{
+
+std::vector<RunReport>
+runSeeds(const std::function<void()> &program,
+         const std::vector<uint64_t> &seeds, const RunOptions &base,
+         const SweepOptions &sweep)
+{
+    if (base.hooks || base.deadlockHooks) {
+        throw std::logic_error(
+            "runSeeds: RunOptions carries a detector instance, which "
+            "concurrent runs would share and race on; attach a fresh "
+            "detector per run via runJobs instead");
+    }
+    WorkerPool pool(sweep.workers);
+    return parallelMap(pool, seeds.size(), [&](size_t i) {
+        RunOptions options = base;
+        options.seed = seeds[i];
+        return run(program, options);
+    });
+}
+
+std::vector<RunReport>
+runSeedRange(const std::function<void()> &program, uint64_t first,
+             uint64_t count, const RunOptions &base,
+             const SweepOptions &sweep)
+{
+    std::vector<uint64_t> seeds(count);
+    std::iota(seeds.begin(), seeds.end(), first);
+    return runSeeds(program, seeds, base, sweep);
+}
+
+std::vector<RunReport>
+runJobs(const std::vector<std::function<RunReport()>> &jobs,
+        const SweepOptions &sweep)
+{
+    WorkerPool pool(sweep.workers);
+    return parallelMap(pool, jobs.size(),
+                       [&](size_t i) { return jobs[i](); });
+}
+
+} // namespace golite::parallel

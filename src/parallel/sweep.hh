@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Seed sweeps: the paper's "run the buggy program ~100 times"
+ * protocol as a parallel primitive.
+ *
+ * runSeeds fans one program across a list of seeds; runJobs fans a
+ * list of arbitrary run thunks. Both merge deterministically: result
+ * i is the report of seed/job i regardless of which worker ran it or
+ * when it finished, and every report is bit-identical (same
+ * RunReport::fingerprint) to what a serial loop would produce —
+ * per-seed determinism survives parallelism because all runtime state
+ * is per-Scheduler and the active-run slot is thread_local.
+ */
+
+#ifndef GOLITE_PARALLEL_SWEEP_HH
+#define GOLITE_PARALLEL_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/pool.hh"
+#include "runtime/report.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite::parallel
+{
+
+/** Worker configuration for one sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = defaultWorkers() (GOLITE_WORKERS env or
+     *  hardware_concurrency). */
+    unsigned workers = 0;
+};
+
+/**
+ * Run @p program once per seed in @p seeds under @p base (seed field
+ * overridden per run), fanned across workers; reports in seed-list
+ * order.
+ *
+ * @p base must not carry detector hooks: a single detector instance
+ * shared by concurrent runs is a data race. Sweeps that need
+ * detectors attach a fresh instance per run via runJobs (see
+ * bench_table12 for the pattern). Throws std::logic_error otherwise.
+ *
+ * @p program is executed concurrently on several threads; it must
+ * only touch state created inside the run (true for every corpus
+ * kernel and example program).
+ */
+std::vector<RunReport> runSeeds(const std::function<void()> &program,
+                                const std::vector<uint64_t> &seeds,
+                                const RunOptions &base = {},
+                                const SweepOptions &sweep = {});
+
+/** runSeeds over the contiguous range [first, first + count). */
+std::vector<RunReport> runSeedRange(
+    const std::function<void()> &program, uint64_t first,
+    uint64_t count, const RunOptions &base = {},
+    const SweepOptions &sweep = {});
+
+/**
+ * Run every thunk in @p jobs (each a self-contained golite run,
+ * typically constructing its own detector), fanned across workers;
+ * reports in job-list order.
+ */
+std::vector<RunReport> runJobs(
+    const std::vector<std::function<RunReport()>> &jobs,
+    const SweepOptions &sweep = {});
+
+} // namespace golite::parallel
+
+#endif // GOLITE_PARALLEL_SWEEP_HH

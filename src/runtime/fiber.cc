@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "runtime/stack_pool.hh"
+
 // ASan tracks which stack is live; without fiber-switch annotations
 // every swapcontext looks like a wild stack change and the first
 // goroutine switch reports stack-use-after-scope.
@@ -14,8 +16,24 @@
 #endif
 #endif
 
+// TSan models each goroutine stack as a "fiber". The annotations are
+// Clang-only: GCC's libtsan crashes in its own fiber API
+// (FiberCreate -> CurrentStackId SEGV, observed with GCC 12), and its
+// swapcontext interceptor copes with unannotated same-thread fiber
+// switches — the TSan CI job validates exactly that configuration.
+// GOLITE_NO_TSAN_FIBERS force-disables the annotations under Clang.
+#if defined(__clang__) && !defined(GOLITE_NO_TSAN_FIBERS) &&           \
+    defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GOLITE_TSAN_FIBERS 1
+#endif
+#endif
+
 #ifdef GOLITE_ASAN_FIBERS
 #include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef GOLITE_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
 #endif
 
 namespace golite
@@ -30,6 +48,12 @@ namespace
 // so suspendTo() can announce where it is switching back to.
 thread_local const void *schedStackBottom = nullptr;
 thread_local size_t schedStackSize = 0;
+#endif
+
+#ifdef GOLITE_TSAN_FIBERS
+// TSan handle of the scheduler's host context, captured before every
+// switch into a fiber so the fiber can announce the switch back.
+thread_local void *schedTsanFiber = nullptr;
 #endif
 
 // makecontext only passes int arguments portably; split a pointer into
@@ -49,11 +73,14 @@ trampoline(unsigned int entry_hi, unsigned int entry_lo,
     auto entry = reinterpret_cast<Fiber::EntryFn>(join(entry_hi, entry_lo));
     auto *arg = reinterpret_cast<void *>(join(arg_hi, arg_lo));
     entry(arg);
+    // The return through uc_link abandons this stack for good.
 #ifdef GOLITE_ASAN_FIBERS
-    // The return through uc_link abandons this stack for good; pass a
-    // null save slot so ASan releases the fiber's fake stack.
+    // Pass a null save slot so ASan releases the fiber's fake stack.
     __sanitizer_start_switch_fiber(nullptr, schedStackBottom,
                                    schedStackSize);
+#endif
+#ifdef GOLITE_TSAN_FIBERS
+    __tsan_switch_to_fiber(schedTsanFiber, 0);
 #endif
 }
 
@@ -77,23 +104,35 @@ Fiber::Fiber(size_t stack_bytes) : stackBytes_(stack_bytes)
     std::memset(&context_, 0, sizeof(context_));
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber()
+{
+    release();
+}
 
 void
 Fiber::release()
 {
-    stack_.reset();
+    if (stack_) {
+        StackPool::local().give(stack_, stackBytes_);
+        stack_ = nullptr;
+    }
+#ifdef GOLITE_TSAN_FIBERS
+    if (tsanFiber_) {
+        __tsan_destroy_fiber(tsanFiber_);
+        tsanFiber_ = nullptr;
+    }
+#endif
 }
 
 void
 Fiber::start(ucontext_t *from, EntryFn entry, void *arg)
 {
     assert(!started_);
-    // Stacks are allocated lazily so that spawning many goroutines
+    // Stacks are acquired lazily so that spawning many goroutines
     // that have not run yet stays cheap.
-    stack_.reset(new uint8_t[stackBytes_]);
+    stack_ = StackPool::local().acquire(stackBytes_);
     getcontext(&context_);
-    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_sp = stack_;
     context_.uc_stack.ss_size = stackBytes_;
     // When the entry function returns, resume the scheduler context.
     context_.uc_link = from;
@@ -104,7 +143,12 @@ Fiber::start(ucontext_t *from, EntryFn entry, void *arg)
     started_ = true;
 #ifdef GOLITE_ASAN_FIBERS
     void *fake = nullptr;
-    __sanitizer_start_switch_fiber(&fake, stack_.get(), stackBytes_);
+    __sanitizer_start_switch_fiber(&fake, stack_, stackBytes_);
+#endif
+#ifdef GOLITE_TSAN_FIBERS
+    tsanFiber_ = __tsan_create_fiber(0);
+    schedTsanFiber = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsanFiber_, 0);
 #endif
     swapcontext(from, &context_);
 #ifdef GOLITE_ASAN_FIBERS
@@ -118,7 +162,11 @@ Fiber::resume(ucontext_t *from)
     assert(started_);
 #ifdef GOLITE_ASAN_FIBERS
     void *fake = nullptr;
-    __sanitizer_start_switch_fiber(&fake, stack_.get(), stackBytes_);
+    __sanitizer_start_switch_fiber(&fake, stack_, stackBytes_);
+#endif
+#ifdef GOLITE_TSAN_FIBERS
+    schedTsanFiber = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsanFiber_, 0);
 #endif
     swapcontext(from, &context_);
 #ifdef GOLITE_ASAN_FIBERS
@@ -133,6 +181,9 @@ Fiber::suspendTo(ucontext_t *to)
     void *fake = nullptr;
     __sanitizer_start_switch_fiber(&fake, schedStackBottom,
                                    schedStackSize);
+#endif
+#ifdef GOLITE_TSAN_FIBERS
+    __tsan_switch_to_fiber(schedTsanFiber, 0);
 #endif
     swapcontext(&context_, to);
 #ifdef GOLITE_ASAN_FIBERS

@@ -3,10 +3,14 @@
  * Stackful fiber (user-level context) used to implement goroutines.
  *
  * golite multiplexes all goroutines onto the OS thread that called
- * golite::run(). Each goroutine owns a Fiber: a heap-allocated stack plus
- * a ucontext_t. Context switches happen only at golite operations
+ * golite::run(). Each goroutine owns a Fiber: a pooled stack plus a
+ * ucontext_t. Context switches happen only at golite operations
  * (channel ops, lock ops, yield, preemption points), which makes every
  * interleaving reproducible from the scheduler seed.
+ *
+ * Stacks come from the per-thread StackPool: start() acquires one,
+ * release() (or the destructor) returns it, so spawn-heavy workloads
+ * recycle a handful of stacks instead of allocating per goroutine.
  */
 
 #ifndef GOLITE_RUNTIME_FIBER_HH
@@ -16,7 +20,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 
 namespace golite
 {
@@ -55,17 +58,19 @@ class Fiber
     bool started() const { return started_; }
 
     /**
-     * Free the stack once the fiber has finished (must not be called
-     * while the fiber could still be resumed). Keeps thousands of
-     * short-lived goroutines cheap.
+     * Return the stack to the pool once the fiber has finished (must
+     * not be called while the fiber could still be resumed). Keeps
+     * thousands of short-lived goroutines cheap.
      */
     void release();
 
   private:
-    std::unique_ptr<uint8_t[]> stack_;
+    uint8_t *stack_ = nullptr; ///< owned by the thread's StackPool
     size_t stackBytes_;
     ucontext_t context_;
     bool started_ = false;
+    /** ThreadSanitizer fiber handle (null unless built with TSan). */
+    void *tsanFiber_ = nullptr;
 };
 
 } // namespace golite

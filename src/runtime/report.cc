@@ -73,6 +73,33 @@ RunReport::formatTrace() const
 }
 
 std::string
+RunReport::fingerprint() const
+{
+    std::ostringstream os;
+    os << "completed=" << completed << ";deadlock=" << globalDeadlock
+       << ";panicked=" << panicked << ";panic=" << panicMessage
+       << ";livelocked=" << livelocked << ";created="
+       << goroutinesCreated << ";ticks=" << ticks << ";time="
+       << finalTimeNs << "\n";
+    for (const LeakInfo &leak : leaked)
+        os << "leak:" << leak.goid << ","
+           << static_cast<int>(leak.reason) << "," << leak.label
+           << "\n";
+    for (const std::string &msg : raceMessages)
+        os << "race:" << msg << "\n";
+    for (const PartialDeadlock &pd : partialDeadlocks)
+        os << "pd:" << pd.describe() << "\n";
+    for (const GoroutineStat &stat : stats)
+        os << "stat:" << stat.goid << "," << stat.createdTick << ","
+           << stat.finishedTick << "," << stat.finished << "\n";
+    for (const TraceEvent &ev : trace)
+        os << "ev:" << ev.tick << "," << ev.timeNs << "," << ev.gid
+           << "," << static_cast<int>(ev.kind) << "," << ev.detail
+           << "\n";
+    return os.str();
+}
+
+std::string
 RunReport::describe() const
 {
     std::ostringstream os;

@@ -255,6 +255,15 @@ struct RunReport
     /** Render the trace as an indented timeline (empty if none). */
     std::string formatTrace() const;
 
+    /**
+     * Canonical serialization of every field (outcome flags, leaks,
+     * detector output, counters, stats, trace). Two runs produced the
+     * same observable execution iff their fingerprints are equal —
+     * the parallel sweep harness uses this to prove its reports are
+     * bit-identical to the serial baseline.
+     */
+    std::string fingerprint() const;
+
     /** True when the program finished cleanly with no leaks or races. */
     bool
     clean() const

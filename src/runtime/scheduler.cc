@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "base/panic.hh"
 
 namespace golite
 {
 
-Scheduler *Scheduler::current_ = nullptr;
+// One scheduler slot per OS thread: N threads can each drive an
+// independent deterministic run concurrently (the parallel sweep
+// harness in src/parallel relies on exactly this).
+thread_local Scheduler *Scheduler::current_ = nullptr;
 
 const char *
 waitReasonName(WaitReason reason)
@@ -346,7 +350,14 @@ Scheduler::finalize()
 RunReport
 Scheduler::run(std::function<void()> main)
 {
-    assert(current_ == nullptr && "nested golite::run is not supported");
+    if (current_ != nullptr) {
+        // Loud in release builds too: silently overwriting current_
+        // would corrupt the outer run's scheduler slot.
+        throw std::logic_error(
+            "nested golite::run is not supported: a run is already "
+            "active on this thread (start independent runs on their "
+            "own threads, e.g. via golite::parallel)");
+    }
     current_ = this;
     report_ = RunReport{};
 
@@ -413,6 +424,14 @@ Scheduler::run(std::function<void()> main)
     }
     abortAll();
     finalize();
+    // Destroy the goroutines (returning their fiber stacks to this
+    // thread's StackPool) before the scheduler can migrate: the pool
+    // is thread_local and fibers must be freed where they ran.
+    running_ = nullptr;
+    main_ = nullptr;
+    readyq_.clear();
+    pctPriority_.clear();
+    goroutines_.clear();
     current_ = nullptr;
     return report_;
 }

@@ -3,6 +3,11 @@
  * The golite scheduler: cooperative M-goroutine runtime on one OS
  * thread, with a virtual clock, seeded nondeterminism, and the built-in
  * global deadlock detector the paper evaluates in Table 8.
+ *
+ * All per-run state lives in the Scheduler instance and the active-run
+ * slot is thread_local, so independent runs can execute concurrently
+ * on separate OS threads (see src/parallel) while each stays
+ * deterministic in its seed.
  */
 
 #ifndef GOLITE_RUNTIME_SCHEDULER_HH
@@ -58,10 +63,18 @@ class Scheduler
     Scheduler(const Scheduler &) = delete;
     Scheduler &operator=(const Scheduler &) = delete;
 
-    /** The scheduler driving the current run (null outside runs). */
+    /**
+     * The scheduler driving the current run on the calling thread
+     * (null outside runs). The slot is thread_local, so independent
+     * runs on different OS threads never see each other.
+     */
     static Scheduler *current();
 
-    /** Execute @p main as the main goroutine and run to completion. */
+    /**
+     * Execute @p main as the main goroutine and run to completion.
+     * Throws std::logic_error if a run is already active on this
+     * thread (nested runs would corrupt the scheduler slot).
+     */
     RunReport run(std::function<void()> main);
 
     // --- Goroutine API (called from inside goroutines) -------------
@@ -201,7 +214,7 @@ class Scheduler
 
     RunReport report_;
 
-    static Scheduler *current_;
+    static thread_local Scheduler *current_;
 };
 
 // --- Free-function API (the golite "language surface") ---------------

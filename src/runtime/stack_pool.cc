@@ -1,0 +1,192 @@
+#include "runtime/stack_pool.hh"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define GOLITE_ASAN_STACKS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GOLITE_ASAN_STACKS 1
+#endif
+#endif
+
+#ifdef GOLITE_ASAN_STACKS
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace golite
+{
+
+namespace
+{
+
+std::atomic<bool> poolEnabled{[] {
+    const char *env = std::getenv("GOLITE_STACK_POOL");
+    return !(env && env[0] == '0' && env[1] == '\0');
+}()};
+
+size_t
+pageSize()
+{
+    static const size_t page =
+        static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    return page;
+}
+
+uint8_t *
+mapStack(size_t bytes)
+{
+    void *p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED)
+        throw std::bad_alloc{};
+    return static_cast<uint8_t *>(p);
+}
+
+void
+unmapStack(uint8_t *stack, size_t bytes)
+{
+    munmap(stack, bytes);
+}
+
+/**
+ * A recycled stack may carry ASan poison from the previous fiber's
+ * redzones (frames that never formally unwound after a teardown);
+ * scrub it before the next fiber builds frames there.
+ */
+void
+scrub(uint8_t *stack, size_t bytes)
+{
+#ifdef GOLITE_ASAN_STACKS
+    __asan_unpoison_memory_region(stack, bytes);
+#else
+    (void)stack;
+    (void)bytes;
+#endif
+}
+
+} // namespace
+
+StackPool &
+StackPool::local()
+{
+    thread_local StackPool pool;
+    return pool;
+}
+
+bool
+StackPool::enabled()
+{
+    return poolEnabled.load(std::memory_order_relaxed);
+}
+
+void
+StackPool::setEnabled(bool on)
+{
+    poolEnabled.store(on, std::memory_order_relaxed);
+}
+
+size_t
+StackPool::bucketSize(size_t bytes)
+{
+    const size_t page = pageSize();
+    if (bytes < page)
+        bytes = page;
+    return (bytes + page - 1) & ~(page - 1);
+}
+
+uint8_t *
+StackPool::acquire(size_t bytes)
+{
+    const size_t size = bucketSize(bytes);
+    if (enabled()) {
+        auto it = buckets_.find(size);
+        if (it != buckets_.end() && !it->second.empty()) {
+            uint8_t *stack = it->second.back();
+            it->second.pop_back();
+            stats_.reused++;
+            stats_.cachedBytes -= size;
+            return stack;
+        }
+    }
+    stats_.mapped++;
+    return mapStack(size);
+}
+
+void
+StackPool::give(uint8_t *stack, size_t bytes)
+{
+    const size_t size = bucketSize(bytes);
+    if (!enabled()) {
+        unmapStack(stack, size);
+        return;
+    }
+    scrub(stack, size);
+    buckets_[size].push_back(stack);
+    stats_.returned++;
+    stats_.cachedBytes += size;
+    if (stats_.cachedBytes > maxCachedBytes_)
+        evictOverflow();
+}
+
+void
+StackPool::evictOverflow()
+{
+    // Evict from the largest bucket first: big stacks cost the most
+    // to cache and the least to re-map relative to their use.
+    for (auto it = buckets_.rbegin();
+         it != buckets_.rend() && stats_.cachedBytes > maxCachedBytes_;
+         ++it) {
+        while (!it->second.empty() &&
+               stats_.cachedBytes > maxCachedBytes_) {
+            unmapStack(it->second.back(), it->first);
+            it->second.pop_back();
+            stats_.cachedBytes -= it->first;
+            stats_.evicted++;
+        }
+    }
+}
+
+void
+StackPool::trim()
+{
+    for (auto &[size, stacks] : buckets_) {
+        for (uint8_t *stack : stacks) {
+            madvise(stack, size, MADV_DONTNEED);
+            stats_.trimmed++;
+        }
+    }
+}
+
+void
+StackPool::clear()
+{
+    for (auto &[size, stacks] : buckets_) {
+        for (uint8_t *stack : stacks) {
+            unmapStack(stack, size);
+            stats_.cachedBytes -= size;
+        }
+        stacks.clear();
+    }
+    buckets_.clear();
+}
+
+void
+StackPool::setMaxCachedBytes(size_t bytes)
+{
+    maxCachedBytes_ = bytes;
+    if (stats_.cachedBytes > maxCachedBytes_)
+        evictOverflow();
+}
+
+StackPool::~StackPool()
+{
+    clear();
+}
+
+} // namespace golite

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-thread free-list of fiber stacks.
+ *
+ * Spawn-heavy workloads (the Table 8/12 sweeps create hundreds of
+ * goroutines per run, thousands of runs per sweep) used to pay one
+ * 128 KiB heap allocation per goroutine start. The pool recycles
+ * stacks instead: stacks are mmap'd once, handed out from a
+ * size-bucketed free list, and returned when the fiber finishes.
+ *
+ * The pool is thread_local — one instance per OS thread — because the
+ * whole runtime is: a golite run executes on exactly one thread, and
+ * the parallel sweep harness (src/parallel) drives one independent run
+ * per worker thread. No locks, no sharing, no cross-thread frees.
+ *
+ * Memory discipline: the cached bytes are capped; exceeding the cap
+ * unmaps the excess immediately. trim() keeps the mappings (so reuse
+ * stays a free-list pop) but madvise(MADV_DONTNEED)s their pages back
+ * to the OS — the "shrink between sweeps" operation.
+ */
+
+#ifndef GOLITE_RUNTIME_STACK_POOL_HH
+#define GOLITE_RUNTIME_STACK_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace golite
+{
+
+class StackPool
+{
+  public:
+    /** Pool usage counters (per thread, monotonic except cachedBytes). */
+    struct Stats
+    {
+        uint64_t mapped = 0;   ///< stacks mmap'd fresh
+        uint64_t reused = 0;   ///< acquires served from the free list
+        uint64_t returned = 0; ///< stacks given back to the pool
+        uint64_t evicted = 0;  ///< stacks unmapped by the cache cap
+        uint64_t trimmed = 0;  ///< stacks madvise'd by trim()
+        size_t cachedBytes = 0;
+    };
+
+    /** The calling thread's pool. */
+    static StackPool &local();
+
+    /**
+     * Global on/off switch (on by default; GOLITE_STACK_POOL=0 in the
+     * environment disables it). When off, acquire/give degenerate to
+     * mmap/munmap per stack — the pre-pool behaviour, kept for A/B
+     * measurement in bench_parallel_scaling.
+     */
+    static bool enabled();
+    static void setEnabled(bool on);
+
+    /** Get a stack of at least @p bytes (rounded up to whole pages). */
+    uint8_t *acquire(size_t bytes);
+
+    /** Return a stack obtained from acquire(bytes). */
+    void give(uint8_t *stack, size_t bytes);
+
+    /**
+     * Release the cached stacks' pages to the OS (madvise) while
+     * keeping the mappings for cheap reuse.
+     */
+    void trim();
+
+    /** Unmap everything cached (the destructor does this too). */
+    void clear();
+
+    const Stats &stats() const { return stats_; }
+
+    /** Cache cap in bytes; exceeding it evicts (unmaps) stacks. */
+    void setMaxCachedBytes(size_t bytes);
+    size_t maxCachedBytes() const { return maxCachedBytes_; }
+
+    ~StackPool();
+
+    StackPool(const StackPool &) = delete;
+    StackPool &operator=(const StackPool &) = delete;
+
+  private:
+    StackPool() = default;
+
+    /** Round @p bytes up to the page size (the bucket key). */
+    static size_t bucketSize(size_t bytes);
+
+    /** Unmap cached stacks until cachedBytes_ <= maxCachedBytes_. */
+    void evictOverflow();
+
+    std::map<size_t, std::vector<uint8_t *>> buckets_;
+    Stats stats_;
+    size_t maxCachedBytes_ = 256u << 20;
+};
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_STACK_POOL_HH

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Parallel harness tests: concurrent independent runs on raw
+ * std::threads (the thread_local scheduler slot contract), the seed
+ * sweep and protocol primitives, the parallel explorer's equivalence
+ * with serial enumeration, the worker pool's error path, and the
+ * fiber stack pool.
+ *
+ * The central assertion everywhere is RunReport::fingerprint
+ * equality: a run must be bit-identical whether it executes alone,
+ * on a worker thread, or interleaved with unrelated runs — including
+ * runs that panic or deadlock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "corpus/bug.hh"
+#include "golite/golite.hh"
+#include "parallel/pexplore.hh"
+#include "parallel/pool.hh"
+#include "parallel/protocol.hh"
+#include "parallel/sweep.hh"
+#include "runtime/stack_pool.hh"
+
+namespace golite::parallel
+{
+namespace
+{
+
+/** Spawn/join workload exercising dispatch order and the stack pool. */
+void
+mingleProgram()
+{
+    Chan<int> ch = makeChan<int>(2);
+    WaitGroup wg;
+    wg.add(3);
+    for (int g = 0; g < 3; ++g) {
+        go([&, g] {
+            ch.send(g);
+            ch.recv();
+            wg.done();
+        });
+    }
+    // Not covered by the WaitGroup, so it can outlive this frame:
+    // capture the channel handle by value.
+    go([ch]() mutable {
+        ch.send(99);
+        ch.recv();
+    });
+    wg.wait();
+}
+
+/** Always panics, at a schedule-dependent point. */
+void
+panicProgram()
+{
+    Chan<int> ch = makeChan<int>(1);
+    go([ch]() mutable { ch.close(); });
+    go([ch]() mutable { ch.close(); }); // double close -> panic
+}
+
+/** Always deadlocks: both goroutines recv on never-sent channels. */
+void
+deadlockProgram()
+{
+    Chan<int> a = makeChan<int>();
+    Chan<int> b = makeChan<int>();
+    go([a, b]() mutable { b.send(a.recv().value); });
+    a.recv();
+}
+
+TEST(ConcurrentRuns, ThreadsMatchSerialFingerprints)
+{
+    struct Job
+    {
+        std::function<void()> program;
+        uint64_t seed;
+    };
+    const std::vector<Job> jobs = {
+        {mingleProgram, 1},   {mingleProgram, 2},
+        {panicProgram, 3},    {deadlockProgram, 4},
+        {mingleProgram, 42},  {deadlockProgram, 7},
+    };
+
+    std::vector<std::string> serial;
+    for (const Job &job : jobs) {
+        RunOptions options;
+        options.seed = job.seed;
+        serial.push_back(run(job.program, options).fingerprint());
+    }
+
+    // All runs in flight at once on dedicated threads.
+    std::vector<std::string> concurrent(jobs.size());
+    std::vector<std::thread> threads;
+    threads.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        threads.emplace_back([&, i] {
+            RunOptions options;
+            options.seed = jobs[i].seed;
+            concurrent[i] =
+                run(jobs[i].program, options).fingerprint();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    for (size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(concurrent[i], serial[i]) << "job " << i;
+}
+
+TEST(ConcurrentRuns, NestedRunThrowsLogicError)
+{
+    bool threw = false;
+    RunReport report = run([&threw] {
+        try {
+            run([] {});
+        } catch (const std::logic_error &) {
+            threw = true;
+        }
+    });
+    EXPECT_TRUE(threw);
+    EXPECT_TRUE(report.completed);
+    // The outer run survives the rejected nested attempt.
+    EXPECT_TRUE(run([] {}).completed);
+}
+
+TEST(Sweep, RunSeedsMatchesSerialInSeedOrder)
+{
+    const std::vector<uint64_t> seeds = {9, 3, 7, 0, 11, 5, 2, 8};
+    std::vector<std::string> serial;
+    for (uint64_t seed : seeds) {
+        RunOptions options;
+        options.seed = seed;
+        serial.push_back(run(mingleProgram, options).fingerprint());
+    }
+    for (unsigned workers : {1u, 2u, 4u}) {
+        SweepOptions sweep;
+        sweep.workers = workers;
+        const auto reports = runSeeds(mingleProgram, seeds, {}, sweep);
+        ASSERT_EQ(reports.size(), seeds.size());
+        for (size_t i = 0; i < seeds.size(); ++i)
+            EXPECT_EQ(reports[i].fingerprint(), serial[i])
+                << "seed " << seeds[i] << " @ " << workers
+                << " workers";
+    }
+}
+
+TEST(Sweep, RejectsSharedDetectorInstance)
+{
+    race::Detector detector;
+    RunOptions base;
+    base.hooks = &detector;
+    EXPECT_THROW(runSeeds(mingleProgram, {1, 2, 3}, base),
+                 std::logic_error);
+
+    waitgraph::Detector deadlock_detector;
+    RunOptions base2;
+    base2.deadlockHooks = &deadlock_detector;
+    EXPECT_THROW(runSeeds(mingleProgram, {1, 2, 3}, base2),
+                 std::logic_error);
+}
+
+TEST(Sweep, RunJobsKeepsJobOrderWithFreshDetectors)
+{
+    std::vector<std::function<RunReport()>> jobs;
+    for (uint64_t seed = 0; seed < 12; ++seed) {
+        jobs.push_back([seed] {
+            waitgraph::Detector det;
+            RunOptions options;
+            options.seed = seed;
+            options.deadlockHooks = &det;
+            return run(deadlockProgram, options);
+        });
+    }
+    SweepOptions sweep;
+    sweep.workers = 4;
+    const auto reports = runJobs(jobs, sweep);
+    ASSERT_EQ(reports.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(reports[i].fingerprint(), jobs[i]().fingerprint())
+            << "job " << i;
+        EXPECT_TRUE(reports[i].globalDeadlock);
+    }
+}
+
+TEST(Pool, ExceptionPropagatesAndPoolSurvives)
+{
+    WorkerPool pool(3);
+    EXPECT_THROW(
+        pool.forEach(100,
+                     [](size_t i) {
+                         if (i == 37)
+                             throw std::runtime_error("job 37");
+                     }),
+        std::runtime_error);
+    // The pool is reusable after a failed job.
+    std::atomic<int> hits{0};
+    pool.forEach(50, [&hits](size_t) { hits++; });
+    EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(Protocol, FindFirstSeedMatchesSerialScan)
+{
+    // Predicate with hits at 13, 14, 29: the wave search must return
+    // 13 — the serial minimum — for every worker count.
+    const auto probe = [](uint64_t seed) {
+        return seed == 13 || seed == 14 || seed == 29;
+    };
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        SweepOptions sweep;
+        sweep.workers = workers;
+        const auto hit = findFirstSeed(probe, 100, sweep);
+        ASSERT_TRUE(hit.has_value()) << workers << " workers";
+        EXPECT_EQ(*hit, 13u) << workers << " workers";
+        EXPECT_FALSE(
+            findFirstSeed([](uint64_t) { return false; }, 40, sweep));
+    }
+}
+
+TEST(Protocol, ManifestingSeedMatchesSerialHelperOnCorpus)
+{
+    const corpus::BugCase *bug = corpus::findBug("moby-17176");
+    ASSERT_NE(bug, nullptr);
+    std::optional<uint64_t> serial;
+    for (uint64_t seed = 0; seed < 200 && !serial; ++seed) {
+        RunOptions options;
+        options.seed = seed;
+        if (bug->run(corpus::Variant::Buggy, options).manifested)
+            serial = seed;
+    }
+    WorkerPool pool(4);
+    EXPECT_EQ(findManifestingSeed(*bug, 200, pool), serial);
+}
+
+void
+branchyProgram()
+{
+    Chan<int> ch = makeChan<int>(1);
+    WaitGroup wg;
+    wg.add(3);
+    for (int g = 0; g < 3; ++g) {
+        go([&] {
+            ch.trySend(1);
+            yield();
+            ch.tryRecv();
+            wg.done();
+        });
+    }
+    wg.wait();
+}
+
+TEST(ParallelExplorer, ExhaustiveMatchesSerialForAnyWorkerCount)
+{
+    const explore::ExploreResult serial =
+        explore::exploreProgram(branchyProgram);
+    ASSERT_TRUE(serial.exhaustive);
+    ASSERT_GT(serial.schedules, 10u);
+
+    for (unsigned workers : {1u, 2u, 3u, 4u, 8u}) {
+        ParallelExploreOptions options;
+        options.workers = workers;
+        const explore::ExploreResult parallel =
+            exploreProgramParallel(branchyProgram, options);
+        EXPECT_TRUE(parallel.exhaustive) << workers;
+        EXPECT_EQ(parallel.schedules, serial.schedules) << workers;
+        EXPECT_EQ(parallel.clean, serial.clean) << workers;
+        EXPECT_EQ(parallel.globalDeadlocks, serial.globalDeadlocks);
+        EXPECT_EQ(parallel.panicked, serial.panicked) << workers;
+    }
+}
+
+TEST(ParallelExplorer, FirstBadScheduleMatchesSerial)
+{
+    const explore::ExploreResult serial =
+        explore::exploreProgram(panicProgram);
+    ASSERT_TRUE(serial.exhaustive);
+    ASSERT_TRUE(serial.anyBad());
+
+    ParallelExploreOptions options;
+    options.workers = 4;
+    const explore::ExploreResult parallel =
+        exploreProgramParallel(panicProgram, options);
+    EXPECT_EQ(parallel.schedules, serial.schedules);
+    EXPECT_EQ(parallel.panicked, serial.panicked);
+    EXPECT_EQ(parallel.firstBadSchedule, serial.firstBadSchedule);
+    EXPECT_EQ(parallel.firstBad.fingerprint(),
+              serial.firstBad.fingerprint());
+}
+
+TEST(ParallelExplorer, BoundedBudgetIsDeterministicAndRespected)
+{
+    ParallelExploreOptions options;
+    options.workers = 4;
+    options.explore.maxSchedules = 25;
+    options.roundTicket = 4;
+    const explore::ExploreResult first =
+        exploreProgramParallel(branchyProgram, options);
+    const explore::ExploreResult second =
+        exploreProgramParallel(branchyProgram, options);
+    EXPECT_LE(first.schedules, 25u);
+    EXPECT_FALSE(first.exhaustive);
+    EXPECT_EQ(first.schedules, second.schedules);
+    EXPECT_EQ(first.clean, second.clean);
+}
+
+TEST(StackPool, RecyclesStacksAcrossRuns)
+{
+    ASSERT_TRUE(StackPool::enabled());
+    StackPool::local().clear();
+    run(mingleProgram);
+    const uint64_t mapped_after_warm =
+        StackPool::local().stats().mapped;
+    for (int i = 0; i < 5; ++i)
+        run(mingleProgram);
+    const StackPool::Stats &stats = StackPool::local().stats();
+    // Steady state: later runs are served from the free list.
+    EXPECT_EQ(stats.mapped, mapped_after_warm);
+    EXPECT_GT(stats.reused, 0u);
+    EXPECT_GT(stats.returned, 0u);
+}
+
+TEST(StackPool, DisabledModeStillRunsCorrectly)
+{
+    RunOptions options;
+    options.seed = 5;
+    const std::string pooled =
+        run(mingleProgram, options).fingerprint();
+    StackPool::setEnabled(false);
+    const std::string unpooled =
+        run(mingleProgram, options).fingerprint();
+    StackPool::setEnabled(true);
+    EXPECT_EQ(pooled, unpooled);
+}
+
+TEST(StackPool, TrimKeepsReuseWorking)
+{
+    StackPool::local().clear();
+    run(mingleProgram);
+    StackPool::local().trim();
+    EXPECT_GT(StackPool::local().stats().trimmed, 0u);
+    EXPECT_TRUE(run(mingleProgram).completed);
+}
+
+} // namespace
+} // namespace golite::parallel
