@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Race-detector overhead: ns/access on an instrumented-heavy kernel
+ * and sweep wall-clock with reusable (reset) detectors.
+ *
+ * The detector is the dominant cost of every -race protocol sweep
+ * (Table 12, the shadow ablation), so this bench gates the FastTrack
+ * rework: it drives the memRead/memWrite hot path directly from
+ * inside a run — several goroutines taking mutex-ordered bursts over
+ * a small address set, the access shape bug kernels produce — and
+ * A/Bs the epoch fast paths on vs off (setFastPath / the
+ * GOLITE_RACE_FASTPATH=0 env), with a no-op-hooks baseline
+ * subtracted so the ratio compares detector work, not fixed harness
+ * cost. The deep-history configuration must show >= 3x or the bench
+ * fails. A second section times the Table 12
+ * 100-seed corpus sweep with a fresh detector per seed vs one
+ * reset() detector per worker. Results land in BENCH_race.json.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.hh"
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "golite/golite.hh"
+#include "parallel/sweep.hh"
+
+using namespace golite;
+using corpus::Behavior;
+using corpus::BugCase;
+using corpus::Variant;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point begin, Clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+// The instrumented-heavy kernel: kGoroutines goroutines take turns
+// under one mutex doing bursts of accesses over a shared address set.
+// Burst reuse is what the epoch fast path accelerates; the rotating
+// writers keep every shadow history full of foreign-goroutine cells,
+// which is what the full scan pays for.
+constexpr int kGoroutines = 4;
+constexpr int kBursts = 32;
+constexpr int kAddrs = 8;
+constexpr int kReps = 32;
+constexpr double kAccessesPerRun =
+    double(kGoroutines) * kBursts * kAddrs * kReps;
+
+void
+heavyKernel()
+{
+    static int slots[kAddrs]; // addresses only; never dereferenced
+    Mutex mu;
+    WaitGroup wg;
+    wg.add(kGoroutines);
+    for (int g = 0; g < kGoroutines; ++g) {
+        go([&] {
+            RaceHooks *hooks = Scheduler::current()->hooks();
+            for (int b = 0; b < kBursts; ++b) {
+                mu.lock();
+                for (int a = 0; a < kAddrs; ++a) {
+                    for (int r = 0; r < kReps; ++r) {
+                        if (r & 1)
+                            hooks->memRead(&slots[a], "hot");
+                        else
+                            hooks->memWrite(&slots[a], "hot");
+                    }
+                }
+                mu.unlock();
+            }
+            wg.done();
+        });
+    }
+    wg.wait();
+}
+
+/**
+ * ns/access of the heavy kernel: best (minimum) of @p reps timed
+ * batches of @p runs runs each — the min is robust against scheduler
+ * interference on loaded machines. A null @p detector measures the
+ * kernel under no-op hooks, i.e. everything that is not detector
+ * work.
+ */
+double
+measureNsPerAccess(race::Detector *detector, size_t depth, int runs,
+                   int reps)
+{
+    RaceHooks noop;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    options.hooks = detector ? detector : &noop;
+
+    auto oneRun = [&] {
+        if (detector)
+            detector->reset(depth);
+        run(heavyKernel, options);
+    };
+    oneRun(); // warm up slab, tables, code paths
+
+    double best = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto begin = Clock::now();
+        for (int i = 0; i < runs; ++i)
+            oneRun();
+        best = std::min(best, seconds(begin, Clock::now()));
+    }
+    return best * 1e9 / (kAccessesPerRun * runs);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Race detector overhead - epoch fast paths + detector reuse",
+        "perf gate for the Section 6.3 detector rework");
+
+    bench::JsonReport json;
+    bool ok = true;
+    constexpr int kRuns = 10;
+    constexpr int kTimedReps = 5;
+
+    // --- ns/access A/B ---------------------------------------------
+    // The no-op-hooks baseline (kernel, scheduler, virtual dispatch)
+    // is subtracted from both arms so the speedup compares what the
+    // detector itself spends per access — that cost, not the fixed
+    // harness cost, is what the epoch fast paths remove.
+    std::printf("instrumented-heavy kernel: %d goroutines x %d "
+                "bursts x %d addrs x %d reps (%.0f accesses/run; "
+                "best of %d x %d runs)\n\n",
+                kGoroutines, kBursts, kAddrs, kReps, kAccessesPerRun,
+                kTimedReps, kRuns);
+    const double base =
+        measureNsPerAccess(nullptr, 0, kRuns, kTimedReps);
+    std::printf("no-op hooks baseline: %.1f ns/access\n\n", base);
+    json.add("ns_per_access/noop_hooks", 1e9 / base, base * 1e-9, 1);
+
+    std::printf("%-12s %-14s %-14s %s\n", "shadow depth",
+                "fastpath off", "fastpath on", "detector speedup");
+    for (size_t depth : {size_t{4}, size_t{16}}) {
+        race::Detector detector(depth);
+        detector.setFastPath(false);
+        const double off =
+            measureNsPerAccess(&detector, depth, kRuns, kTimedReps);
+        detector.setFastPath(true);
+        const double on =
+            measureNsPerAccess(&detector, depth, kRuns, kTimedReps);
+        const double speedup = (off - base) / (on - base);
+        std::printf("%-12zu %9.1f ns  %9.1f ns  %8.2fx\n", depth, off,
+                    on, speedup);
+        const std::string stem =
+            "ns_per_access/depth" + std::to_string(depth);
+        json.add(stem + "/fastpath_off", 1e9 / off, off * 1e-9, 1);
+        json.add(stem + "/fastpath_on", 1e9 / on, on * 1e-9, 1);
+        if (depth == 16 && speedup < 3.0) {
+            std::printf("FAILED: %.2fx at depth 16 (want >= 3x from "
+                        "the epoch fast paths)\n",
+                        speedup);
+            ok = false;
+        }
+    }
+
+    // --- Detection parity spot-check (full gate: race_diff_test) ---
+    int parity_runs = 0, parity_mismatches = 0;
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::NonBlocking, true)) {
+        for (uint64_t seed = 0; seed < 10; ++seed) {
+            bool raced[2];
+            for (const bool fast : {false, true}) {
+                race::Detector detector;
+                detector.setFastPath(fast);
+                RunOptions options;
+                options.seed = seed;
+                options.hooks = &detector;
+                bug->run(Variant::Buggy, options);
+                raced[fast] = !detector.reports().empty();
+            }
+            parity_runs++;
+            parity_mismatches += raced[0] != raced[1];
+        }
+    }
+    std::printf("\nfastpath on/off detection parity: %d/%d runs "
+                "agree\n",
+                parity_runs - parity_mismatches, parity_runs);
+    if (parity_mismatches != 0) {
+        std::printf("FAILED: fast path changed detection outcomes\n");
+        ok = false;
+    }
+
+    // --- Sweep wall-clock: fresh detector/seed vs reset() reuse ----
+    constexpr int kSeeds = 100;
+    std::vector<std::function<RunReport()>> fresh, reused;
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::NonBlocking, true)) {
+        for (int seed = 0; seed < kSeeds; ++seed) {
+            fresh.push_back([bug, seed] {
+                race::Detector detector;
+                RunOptions options;
+                options.seed = static_cast<uint64_t>(seed);
+                options.hooks = &detector;
+                return bug->run(Variant::Buggy, options).report;
+            });
+            reused.push_back([bug, seed] {
+                race::Detector &detector =
+                    parallel::threadLocalDetector();
+                RunOptions options;
+                options.seed = static_cast<uint64_t>(seed);
+                options.hooks = &detector;
+                return bug->run(Variant::Buggy, options).report;
+            });
+        }
+    }
+    std::printf("\nTable 12 sweep (%zu runs), fresh vs reused "
+                "detectors:\n",
+                fresh.size());
+    for (unsigned workers : {1u, 4u, 8u}) {
+        parallel::SweepOptions sweep;
+        sweep.workers = workers;
+        double wall[2];
+        const char *names[2] = {"fresh", "reused"};
+        const std::vector<std::function<RunReport()>> *jobs[2] = {
+            &fresh, &reused};
+        for (int arm = 0; arm < 2; ++arm) {
+            const auto begin = Clock::now();
+            const auto reports = parallel::runJobs(*jobs[arm], sweep);
+            wall[arm] = seconds(begin, Clock::now());
+            json.add("sweep_table12/" + std::string(names[arm]) +
+                         "/w" + std::to_string(workers),
+                     reports.size() / wall[arm], wall[arm], workers);
+        }
+        std::printf("  %u worker(s)  fresh %7.3f s  reused %7.3f s  "
+                    "(%.2fx)\n",
+                    workers, wall[0], wall[1], wall[0] / wall[1]);
+    }
+
+    json.writeFile("BENCH_race.json");
+    std::printf("\nwrote BENCH_race.json (%zu entries)\n",
+                json.size());
+    if (!ok)
+        std::printf("\nFAILED (see above)\n");
+    return ok ? 0 : 1;
+}

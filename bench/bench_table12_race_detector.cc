@@ -9,10 +9,16 @@
  * paper's point: plain data races are caught, while atomicity/order
  * violations, WaitGroup misuse, double close, and library timing
  * bugs are structurally invisible to a race detector.
+ *
+ * Besides the human-readable table, the bench writes the detection
+ * counts to BENCH_table12.json; CI diffs that file against the
+ * checked-in baselines/BENCH_table12_expected.json so any detector
+ * change that drifts a count fails the bench smoke job.
  */
 
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "bench_util.hh"
 #include "corpus/bug.hh"
@@ -35,9 +41,10 @@ main()
     constexpr int kRuns = 100;
 
     // The 100-seed protocol fans across workers (GOLITE_WORKERS
-    // overrides); each probe constructs its own race::Detector, so
-    // concurrent runs share nothing, and the wave search reports the
-    // same first detecting seed as the serial 0..99 scan.
+    // overrides); each worker thread reuses one reset() detector for
+    // every seed it probes, so concurrent runs share nothing and the
+    // sweep loop constructs no detectors, and the wave search
+    // reports the same first detecting seed as the serial 0..99 scan.
     parallel::WorkerPool pool;
     std::printf("protocol workers: %u\n\n", pool.workers());
 
@@ -54,16 +61,8 @@ main()
     std::printf("%s\n", std::string(72, '-').c_str());
     for (const BugCase *bug :
          corpus::bugsByBehavior(Behavior::NonBlocking, true)) {
-        const auto first = parallel::findFirstSeed(
-            [bug](uint64_t seed) {
-                race::Detector detector;
-                RunOptions options;
-                options.seed = seed;
-                options.hooks = &detector;
-                bug->run(Variant::Buggy, options);
-                return !detector.reports().empty();
-            },
-            kRuns, pool);
+        const auto first =
+            parallel::findFirstRaceSeed(*bug, kRuns, pool);
         const int first_hit =
             first ? static_cast<int>(*first) : -1;
         Row &row = rows[bug->info.subcause];
@@ -96,6 +95,26 @@ main()
     table.addRow({"Total", std::to_string(total_used),
                   std::to_string(total_detected)});
     std::printf("%s\n", table.render().c_str());
+
+    // Machine-readable counts for the CI drift gate.
+    std::string json = "{\n  \"rows\": [\n";
+    for (SubCause cause : order) {
+        const Row &row = rows[cause];
+        json += std::string("    {\"cause\": \"") +
+                corpus::subCauseName(cause) +
+                "\", \"used\": " + std::to_string(row.used) +
+                ", \"detected\": " + std::to_string(row.detected) +
+                "},\n";
+    }
+    json += "    {\"cause\": \"total\", \"used\": " +
+            std::to_string(total_used) +
+            ", \"detected\": " + std::to_string(total_detected) +
+            "}\n  ]\n}\n";
+    if (std::FILE *f = std::fopen("BENCH_table12.json", "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote BENCH_table12.json\n");
+    }
     std::printf(
         "Shape check (paper): 7/13 traditional and 3/4 anonymous-\n"
         "function bugs are detected (10/20 overall); WaitGroup\n"

@@ -45,6 +45,23 @@ findManifestingSeed(const corpus::BugCase &bug, uint64_t limit,
         limit, pool);
 }
 
+std::optional<uint64_t>
+findFirstRaceSeed(const corpus::BugCase &bug, uint64_t limit,
+                  WorkerPool &pool, size_t shadow_depth)
+{
+    return findFirstSeed(
+        [&bug, shadow_depth](uint64_t seed) {
+            race::Detector &detector =
+                threadLocalDetector(shadow_depth);
+            RunOptions options;
+            options.seed = seed;
+            options.hooks = &detector;
+            bug.run(corpus::Variant::Buggy, options);
+            return !detector.reports().empty();
+        },
+        limit, pool);
+}
+
 std::vector<ProtocolResult>
 sweepCorpus(
     const std::vector<const corpus::BugCase *> &bugs,

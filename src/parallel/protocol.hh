@@ -54,6 +54,17 @@ std::optional<uint64_t> findFirstSeed(
 std::optional<uint64_t> findManifestingSeed(
     const corpus::BugCase &bug, uint64_t limit, WorkerPool &pool);
 
+/**
+ * The Table 12 inner loop: smallest seed in [0, limit) under which
+ * @p bug's buggy variant trips the happens-before race detector.
+ * Each worker thread reuses one reset() detector across all the
+ * seeds it probes (threadLocalDetector), so the sweep constructs no
+ * detectors and, warm, allocates nothing per seed.
+ */
+std::optional<uint64_t> findFirstRaceSeed(
+    const corpus::BugCase &bug, uint64_t limit, WorkerPool &pool,
+    size_t shadow_depth = 4);
+
 /** Per-bug result of a corpus-wide protocol sweep. */
 struct ProtocolResult
 {

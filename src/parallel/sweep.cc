@@ -44,4 +44,34 @@ runJobs(const std::vector<std::function<RunReport()>> &jobs,
                        [&](size_t i) { return jobs[i](); });
 }
 
+race::Detector &
+threadLocalDetector(size_t shadow_depth)
+{
+    thread_local race::Detector detector(shadow_depth);
+    detector.reset(shadow_depth);
+    return detector;
+}
+
+std::vector<RunReport>
+runSeedsRaced(const std::function<void()> &program,
+              const std::vector<uint64_t> &seeds,
+              const RunOptions &base, const SweepOptions &sweep,
+              size_t shadow_depth)
+{
+    if (base.hooks || base.deadlockHooks) {
+        throw std::logic_error(
+            "runSeedsRaced: RunOptions already carries a detector "
+            "instance; the race detector is attached per worker "
+            "thread by the sweep itself");
+    }
+    WorkerPool pool(sweep.workers);
+    return parallelMap(pool, seeds.size(), [&](size_t i) {
+        race::Detector &detector = threadLocalDetector(shadow_depth);
+        RunOptions options = base;
+        options.seed = seeds[i];
+        options.hooks = &detector;
+        return run(program, options);
+    });
+}
+
 } // namespace golite::parallel

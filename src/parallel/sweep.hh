@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "parallel/pool.hh"
+#include "race/detector.hh"
 #include "runtime/report.hh"
 #include "runtime/scheduler.hh"
 
@@ -67,6 +68,31 @@ std::vector<RunReport> runSeedRange(
 std::vector<RunReport> runJobs(
     const std::vector<std::function<RunReport()>> &jobs,
     const SweepOptions &sweep = {});
+
+/**
+ * The calling OS thread's reusable race detector, reset() (with
+ * @p shadow_depth) on every call. One detector instance lives per
+ * worker thread, so a sweep that attaches detectors through this
+ * slot performs zero detector construction — and, at steady state,
+ * zero allocation — per seed. Pointers obtained here must not cross
+ * threads.
+ */
+race::Detector &threadLocalDetector(size_t shadow_depth = 4);
+
+/**
+ * runSeeds with the race detector attached: each run gets this
+ * worker's threadLocalDetector (reset between seeds) as
+ * RunOptions::hooks, and race reports land in the corresponding
+ * RunReport::raceMessages. Same determinism contract as runSeeds —
+ * reports are seed-list-ordered and bit-identical to a serial loop.
+ *
+ * @p base must not carry hooks of its own (throws std::logic_error),
+ * exactly like runSeeds.
+ */
+std::vector<RunReport> runSeedsRaced(
+    const std::function<void()> &program,
+    const std::vector<uint64_t> &seeds, const RunOptions &base = {},
+    const SweepOptions &sweep = {}, size_t shadow_depth = 4);
 
 } // namespace golite::parallel
 

@@ -1,11 +1,36 @@
 #include "race/detector.hh"
 
+#include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "runtime/scheduler.hh"
 
 namespace golite::race
 {
+
+namespace
+{
+
+bool
+envFastPathDefault()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("GOLITE_RACE_FASTPATH");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    return enabled;
+}
+
+size_t
+clampDepth(size_t depth)
+{
+    if (depth == 0)
+        return 1;
+    return std::min(depth, Detector::kMaxShadowDepth);
+}
+
+} // namespace
 
 std::string
 RaceReport::describe() const
@@ -20,30 +45,36 @@ RaceReport::describe() const
 }
 
 Detector::Detector(size_t shadow_depth)
-    : shadowDepth_(std::min<size_t>(shadow_depth, 8))
+    : shadowDepth_(clampDepth(shadow_depth)),
+      fastPath_(envFastPathDefault())
 {
-    if (shadowDepth_ == 0)
-        shadowDepth_ = 1;
 }
 
 VectorClock &
 Detector::clockOf(uint64_t gid)
 {
-    auto [it, inserted] = goroutineClocks_.try_emplace(gid);
-    if (inserted)
-        it->second.set(gid, 1);
-    return it->second;
+    if (gid >= goroutineClocks_.size()) {
+        goroutineClocks_.resize(gid + 1);
+        cachedGid_ = 0; // vector growth moved the clocks
+        cachedClock_ = nullptr;
+    }
+    VectorClock &vc = goroutineClocks_[gid];
+    if (vc.get(gid) == 0)
+        vc.set(gid, 1); // first touch this run
+    return vc;
 }
 
 void
 Detector::goroutineCreated(uint64_t parent, uint64_t child)
 {
     if (parent != 0) {
-        VectorClock &pc = clockOf(parent);
-        VectorClock child_clock = pc; // inherit the parent's history
+        // Copy before clockOf(child) can grow the clock vector.
+        VectorClock child_clock = clockOf(parent);
         child_clock.set(child, 1);
-        goroutineClocks_[child] = child_clock;
-        pc.tick(parent); // parent's later events are not HB child
+        clockOf(child) = std::move(child_clock);
+        clockOf(parent).tick(parent); // parent's later events not HB child
+        if (parent == cachedGid_)
+            cachedEpoch_++; // keep the epoch cache on the new tick
     } else {
         clockOf(child);
     }
@@ -61,10 +92,10 @@ Detector::acquire(const void *sync_obj)
     const uint64_t gid = Scheduler::current()->runningId();
     if (gid == 0)
         return;
-    auto it = syncClocks_.find(sync_obj);
-    if (it == syncClocks_.end())
+    VectorClock *sync_clock = syncClocks_.find(sync_obj);
+    if (sync_clock == nullptr)
         return;
-    clockOf(gid).join(it->second);
+    clockOf(gid).join(*sync_clock);
 }
 
 void
@@ -76,6 +107,68 @@ Detector::release(const void *sync_obj)
     VectorClock &vc = clockOf(gid);
     syncClocks_[sync_obj].join(vc);
     vc.tick(gid);
+    if (gid == cachedGid_)
+        cachedEpoch_++; // keep the epoch cache on the new tick
+}
+
+void
+Detector::recordCell(ShadowState &state, uint64_t gid, uint64_t epoch,
+                     bool is_write)
+{
+    PackedCell *cells = state.cells(shadowDepth_, slab_);
+    const PackedCell mine = packCell(gid, is_write, epoch);
+    if (state.used < shadowDepth_) {
+        cells[state.used++] = mine;
+    } else {
+        cells[state.next] = mine;
+        if (++state.next == shadowDepth_)
+            state.next = 0;
+    }
+}
+
+void
+Detector::scanAndRecord(ShadowState &state, uint64_t gid,
+                        const VectorClock &vc, uint64_t epoch,
+                        bool is_write, const void *addr,
+                        const char *label)
+{
+    PackedCell *cells = state.cells(shadowDepth_, slab_);
+    const size_t live = std::min<size_t>(state.used, shadowDepth_);
+    bool saw_conflict = false;
+    for (size_t i = 0; i < live; ++i) {
+        const PackedCell cell = cells[i];
+        const uint64_t cell_gid = cellGid(cell);
+        if (cell_gid == gid)
+            continue;
+        if (!cellIsWrite(cell) && !is_write)
+            continue;
+        // The old access happened-before us iff its epoch is covered
+        // by our clock's view of its goroutine.
+        if (cellEpoch(cell) <= vc.get(cell_gid))
+            continue;
+        saw_conflict = true;
+        if (state.comboCount >= reportLimit_)
+            break; // per-object budget exhausted
+        const uint64_t key =
+            comboKey(cell_gid, cellIsWrite(cell), gid, is_write);
+        if (state.comboReported(key))
+            continue; // already reported this pair; look for a new one
+        state.combos[state.comboCount++] = key;
+        RaceReport report{label,        addr,    cell_gid,
+                          cellIsWrite(cell), gid, is_write};
+        pendingMessages_.push_back(report.describe());
+        reports_.push_back(std::move(report));
+        break;
+    }
+
+    // Epoch fast-path summary: a same-goroutine same-epoch repeat of
+    // a conflict-free scan cannot conflict either (clocks only grow,
+    // and cells recorded since are our own), so it may skip the scan.
+    state.lastKey = epochKey(gid, epoch);
+    state.lastWasWrite = is_write;
+    state.lastScanHadConflict = saw_conflict;
+
+    recordCell(state, gid, epoch, is_write);
 }
 
 void
@@ -84,39 +177,62 @@ Detector::access(const void *addr, const char *label, bool is_write)
     const uint64_t gid = Scheduler::current()->runningId();
     if (gid == 0)
         return;
-    VectorClock &vc = clockOf(gid);
-    ShadowState &state = shadow_[addr];
-    state.label = label;
 
-    const size_t live = std::min(state.used, shadowDepth_);
-    for (size_t i = 0; i < live; ++i) {
-        const ShadowCell &cell = state.cells[i];
-        if (cell.gid == gid)
-            continue;
-        if (!cell.isWrite && !is_write)
-            continue;
-        // The old access happened-before us iff its epoch is covered
-        // by our clock's view of its goroutine.
-        if (cell.epoch <= vc.get(cell.gid))
-            continue;
-        if (!state.reported) {
-            state.reported = true;
-            RaceReport report{label, addr, cell.gid, cell.isWrite,
-                              gid, is_write};
-            pendingMessages_.push_back(report.describe());
-            reports_.push_back(std::move(report));
-        }
-        break;
+    if (!fastPath_) {
+        ShadowState &state = shadow_[addr];
+        VectorClock &vc = clockOf(gid);
+        scanAndRecord(state, gid, vc, vc.get(gid), is_write, addr,
+                      label);
+        return;
     }
 
-    // Record this access in the bounded history (ring once full).
-    ShadowCell mine{gid, vc.get(gid), is_write};
-    if (state.used < shadowDepth_) {
-        state.cells[state.used++] = mine;
+    // Hot path: one-entry caches for the address's shadow state and
+    // the running goroutine's clock, refreshed only on miss. The
+    // cached state pointer is always the most recently touched slot,
+    // so no rehash can have moved it since (inserts only happen on a
+    // cache miss, which refreshes the cache).
+    ShadowState *state;
+    if (addr == cachedAddr_) {
+        state = cachedState_;
     } else {
-        state.cells[state.next] = mine;
-        state.next = (state.next + 1) % shadowDepth_;
+        state = &shadow_[addr];
+        cachedAddr_ = addr;
+        cachedState_ = state;
     }
+
+    uint64_t epoch;
+    if (gid == cachedGid_) {
+        epoch = cachedEpoch_; // ticks keep this current (see release)
+    } else {
+        VectorClock &vc = clockOf(gid);
+        epoch = vc.get(gid);
+        cachedGid_ = gid;
+        cachedClock_ = &vc;
+        cachedEpoch_ = epoch;
+    }
+
+    // Fast path 1 (FastTrack "same epoch"): same goroutine, same
+    // epoch, kind covered by the last scanned access (a write covers
+    // both; a read only covers reads), and that scan saw no unordered
+    // conflict. Nothing observable can change: skip the scan. The
+    // last* fields stay on the scanned access, which remains the
+    // witness for every later access it covers.
+    if (state->lastKey == epochKey(gid, epoch) &&
+        (state->lastWasWrite || !is_write) &&
+        !state->lastScanHadConflict) {
+        recordCell(*state, gid, epoch, is_write);
+        return;
+    }
+
+    // Fast path 2: the per-object report budget is exhausted, so a
+    // scan could not emit anything; only the history needs updating.
+    if (state->comboCount >= reportLimit_) {
+        recordCell(*state, gid, epoch, is_write);
+        return;
+    }
+
+    scanAndRecord(*state, gid, *cachedClock_, epoch, is_write, addr,
+                  label);
 }
 
 void
@@ -137,6 +253,32 @@ Detector::drainReports()
     std::vector<std::string> out;
     out.swap(pendingMessages_);
     return out;
+}
+
+void
+Detector::reset()
+{
+    for (VectorClock &vc : goroutineClocks_)
+        vc.clear();
+    syncClocks_.clear();
+    shadow_.clear(); // nulls every deep-cell pointer ...
+    slab_.rewind();  // ... before the slab reclaims their blocks
+    reports_.clear();
+    pendingMessages_.clear();
+    invalidateCaches();
+}
+
+void
+Detector::reset(size_t shadow_depth)
+{
+    shadowDepth_ = clampDepth(shadow_depth);
+    reset();
+}
+
+void
+Detector::setReportLimit(size_t n)
+{
+    reportLimit_ = std::clamp<size_t>(n, 1, ShadowState::kMaxReports);
 }
 
 bool

@@ -4,11 +4,27 @@
  *
  * Implements the algorithm the paper attributes to Go's built-in race
  * detector (Section 6.3): ThreadSanitizer-style happens-before
- * tracking, with *up to four shadow words per memory object* storing
+ * tracking, with a bounded shadow history per memory object storing
  * the access history. The bounded history is faithful on purpose — it
  * reproduces the detector's published miss mode ("with only four
  * shadow words ... the detector cannot keep a long history and may
  * miss data races"), which the shadow-depth ablation bench measures.
+ *
+ * The hot path is FastTrack-shaped: every recorded access is a packed
+ * (gid, epoch, kind) word, and two O(1) epoch fast paths skip the
+ * history scan entirely when it provably cannot report — a
+ * same-goroutine same-epoch repeat whose last scan was conflict-free,
+ * or an object whose per-object report budget is exhausted. Both are
+ * report-for-report identical to always scanning (the differential
+ * test in tests/race_diff_test.cc holds the optimized detector
+ * against a full-VC reference); GOLITE_RACE_FASTPATH=0 (or
+ * setFastPath(false)) disables them for A/B measurement with
+ * bench_race_overhead.
+ *
+ * All detector state lives in open-addressing pointer tables, SBO
+ * vector clocks, and a cell slab that survive reset(), so one
+ * detector instance can be reused across a seed sweep with zero
+ * steady-state allocation (see parallel::runSeedsRaced).
  *
  * Plug an instance into RunOptions::hooks to run a golite program
  * "built with -race".
@@ -17,13 +33,12 @@
 #ifndef GOLITE_RACE_DETECTOR_HH
 #define GOLITE_RACE_DETECTOR_HH
 
-#include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "race/ptr_table.hh"
+#include "race/shadow.hh"
 #include "race/vector_clock.hh"
 #include "runtime/hooks.hh"
 
@@ -46,9 +61,16 @@ struct RaceReport
 class Detector : public RaceHooks
 {
   public:
+    /** Hard cap on the history depth (requests above it clamp). */
+    static constexpr size_t kMaxShadowDepth = 1024;
+
+    /** TSan-style per-object report budget (see setReportLimit). */
+    static constexpr size_t kDefaultReportLimit = 4;
+
     /**
      * @param shadow_depth Access-history cells kept per object. Go's
      *        detector keeps at most 4; the ablation sweeps this.
+     *        Clamped into [1, kMaxShadowDepth].
      */
     explicit Detector(size_t shadow_depth = 4);
 
@@ -61,6 +83,17 @@ class Detector : public RaceHooks
     void memWrite(const void *addr, const char *label) override;
     std::vector<std::string> drainReports() override;
 
+    /**
+     * Clear all per-run state (clocks, sync clocks, shadow cells,
+     * reports) while keeping every allocation — tables, clock spill
+     * vectors, and the cell slab — so a detector reused across a
+     * sweep allocates nothing in steady state.
+     */
+    void reset();
+
+    /** reset(), additionally changing the shadow depth. */
+    void reset(size_t shadow_depth);
+
     /** All structured reports so far (not cleared by drainReports). */
     const std::vector<RaceReport> &reports() const { return reports_; }
 
@@ -69,31 +102,69 @@ class Detector : public RaceHooks
 
     size_t shadowDepth() const { return shadowDepth_; }
 
+    /**
+     * Per-object report budget, mirroring TSan's per-object
+     * suppression: for each address at most @p n races are reported,
+     * and a (first gid, first kind, second gid, second kind) pair is
+     * reported at most once, so looped kernels cannot flood the
+     * report list. Clamped into [1, ShadowState::kMaxReports].
+     */
+    void setReportLimit(size_t n);
+    size_t reportLimit() const { return reportLimit_; }
+
+    /** Enable/disable the epoch fast paths (default: on unless the
+     *  GOLITE_RACE_FASTPATH environment variable is "0"). */
+    void
+    setFastPath(bool on)
+    {
+        fastPath_ = on;
+        invalidateCaches(); // baseline mode does not maintain them
+    }
+    bool fastPath() const { return fastPath_; }
+
   private:
-    struct ShadowCell
-    {
-        uint64_t gid = 0;
-        uint64_t epoch = 0;
-        bool isWrite = false;
-    };
-
-    struct ShadowState
-    {
-        std::array<ShadowCell, 8> cells{};
-        size_t used = 0;
-        size_t next = 0; ///< ring cursor once full
-        const char *label = "";
-        bool reported = false;
-    };
-
     void access(const void *addr, const char *label, bool is_write);
+
+    /** Full history scan + ring record (the reference slow path). */
+    void scanAndRecord(ShadowState &state, uint64_t gid,
+                       const VectorClock &vc, uint64_t epoch,
+                       bool is_write, const void *addr,
+                       const char *label);
+
+    /** Append the access to the bounded history ring. */
+    void recordCell(ShadowState &state, uint64_t gid, uint64_t epoch,
+                    bool is_write);
+
     VectorClock &clockOf(uint64_t gid);
 
+    void
+    invalidateCaches()
+    {
+        cachedAddr_ = nullptr;
+        cachedState_ = nullptr;
+        cachedGid_ = 0;
+        cachedClock_ = nullptr;
+    }
+
     size_t shadowDepth_;
-    uint64_t currentGid_ = 0; // updated via scheduler query
-    std::unordered_map<uint64_t, VectorClock> goroutineClocks_;
-    std::unordered_map<const void *, VectorClock> syncClocks_;
-    std::unordered_map<const void *, ShadowState> shadow_;
+    size_t reportLimit_ = kDefaultReportLimit;
+    bool fastPath_;
+
+    std::vector<VectorClock> goroutineClocks_; ///< indexed by gid
+    PtrTable<VectorClock> syncClocks_{64};
+    PtrTable<ShadowState> shadow_{256};
+    CellSlab slab_;
+
+    // Single-entry caches for the hot path (fast-path mode only).
+    // cachedEpoch_ is the cached goroutine's own clock component; it
+    // only moves on tick(), so release() and goroutineCreated()
+    // invalidate and fast-path hits never touch the clock at all.
+    const void *cachedAddr_ = nullptr;
+    ShadowState *cachedState_ = nullptr;
+    uint64_t cachedGid_ = 0;
+    VectorClock *cachedClock_ = nullptr;
+    uint64_t cachedEpoch_ = 0;
+
     std::vector<RaceReport> reports_;
     std::vector<std::string> pendingMessages_;
 };

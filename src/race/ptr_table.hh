@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Open-addressing pointer-keyed hash table for the race detector.
+ *
+ * The detector maps object addresses to shadow state and sync-object
+ * addresses to clocks on every instrumented access; std::unordered_map
+ * was the dominant cost of that hot path. This table is tuned for the
+ * detector's access pattern: power-of-two capacity, linear probing,
+ * Fibonacci pointer hashing, and no per-entry erase — entries only go
+ * away wholesale via clear(), so there are no tombstones and probes
+ * stop at the first empty slot.
+ *
+ * clear() empties the table but calls Value::clear() on occupied
+ * slots instead of destroying them, keeping whatever capacity the
+ * values have accumulated (clock spill vectors, shadow cell blocks):
+ * a reset() detector reaches steady state with zero allocation.
+ */
+
+#ifndef GOLITE_RACE_PTR_TABLE_HH
+#define GOLITE_RACE_PTR_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace golite::race
+{
+
+template <typename Value>
+class PtrTable
+{
+  public:
+    explicit PtrTable(size_t initial_capacity = 64)
+    {
+        size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /** Value for @p key, inserting a cleared one if absent. */
+    Value &
+    operator[](const void *key)
+    {
+        size_t i = indexOf(key);
+        while (slots_[i].key != nullptr) {
+            if (slots_[i].key == key)
+                return slots_[i].value;
+            i = (i + 1) & mask_;
+        }
+        if ((count_ + 1) * 4 > slots_.size() * 3) { // load factor 3/4
+            grow();
+            i = probeEmpty(key);
+        }
+        slots_[i].key = key;
+        count_++;
+        return slots_[i].value;
+    }
+
+    /** Value for @p key, or nullptr if absent. */
+    Value *
+    find(const void *key)
+    {
+        size_t i = indexOf(key);
+        while (slots_[i].key != nullptr) {
+            if (slots_[i].key == key)
+                return &slots_[i].value;
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    /** Empty the table; occupied values are clear()ed, not destroyed. */
+    void
+    clear()
+    {
+        for (Slot &slot : slots_) {
+            if (slot.key != nullptr) {
+                slot.key = nullptr;
+                slot.value.clear();
+            }
+        }
+        count_ = 0;
+    }
+
+    size_t size() const { return count_; }
+    size_t capacity() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        const void *key = nullptr;
+        Value value{};
+    };
+
+    size_t
+    indexOf(const void *key) const
+    {
+        // Fibonacci hashing; low pointer bits are alignment zeros.
+        const uint64_t h =
+            (reinterpret_cast<uintptr_t>(key) >> 3) *
+            UINT64_C(0x9E3779B97F4A7C15);
+        return static_cast<size_t>(h) & mask_;
+    }
+
+    size_t
+    probeEmpty(const void *key) const
+    {
+        size_t i = indexOf(key);
+        while (slots_[i].key != nullptr)
+            i = (i + 1) & mask_;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.clear();
+        slots_.resize(old.size() * 2);
+        mask_ = slots_.size() - 1;
+        for (Slot &slot : old) {
+            if (slot.key == nullptr)
+                continue;
+            Slot &dst = slots_[probeEmpty(slot.key)];
+            dst.key = slot.key;
+            dst.value = std::move(slot.value);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace golite::race
+
+#endif // GOLITE_RACE_PTR_TABLE_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Shadow cells for the happens-before race detector.
+ *
+ * Each tracked address keeps a bounded ring of access cells, the
+ * "shadow words" of Section 6.3. A cell is one packed word in
+ * FastTrack epoch style — [gid:31][isWrite:1][clock:32] — so a
+ * history scan is a linear walk over a few words. Histories up to
+ * kInlineCells live inline in the ShadowState; deeper histories
+ * (the ablation sweeps past Go's 4 and our inline 8) draw a block
+ * from the detector's CellSlab, a bump allocator that rewind()s on
+ * Detector::reset() so repeated sweeps allocate nothing in steady
+ * state.
+ */
+
+#ifndef GOLITE_RACE_SHADOW_HH
+#define GOLITE_RACE_SHADOW_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace golite::race
+{
+
+/** One access: [gid:31][isWrite:1][epoch:32]. */
+using PackedCell = uint64_t;
+
+inline PackedCell
+packCell(uint64_t gid, bool is_write, uint64_t epoch)
+{
+    return (gid << 33) | (static_cast<uint64_t>(is_write) << 32) |
+           (epoch & 0xFFFFFFFFu);
+}
+
+inline uint64_t cellGid(PackedCell c) { return c >> 33; }
+inline bool cellIsWrite(PackedCell c) { return (c >> 32) & 1; }
+inline uint64_t cellEpoch(PackedCell c) { return c & 0xFFFFFFFFu; }
+
+/** Epoch fast-path key: (gid, epoch) as one comparable word. */
+inline uint64_t
+epochKey(uint64_t gid, uint64_t epoch)
+{
+    return (gid << 32) | (epoch & 0xFFFFFFFFu);
+}
+
+/**
+ * Bump allocator for deep shadow histories. Blocks are only ever
+ * released by the destructor; rewind() makes the memory reusable for
+ * the next run, so a detector reused across a sweep stops allocating
+ * once every block it needs exists.
+ */
+class CellSlab
+{
+  public:
+    PackedCell *
+    alloc(size_t n)
+    {
+        while (true) {
+            if (cur_ >= blocks_.size()) {
+                const size_t cells = n > kBlockCells ? n : kBlockCells;
+                blocks_.push_back(
+                    Block{std::make_unique<PackedCell[]>(cells),
+                          cells});
+                off_ = 0;
+            }
+            if (off_ + n <= blocks_[cur_].cells) {
+                PackedCell *out = blocks_[cur_].data.get() + off_;
+                off_ += n;
+                return out;
+            }
+            cur_++;
+            off_ = 0;
+        }
+    }
+
+    /** Make every block reusable; nothing is freed. */
+    void
+    rewind()
+    {
+        cur_ = 0;
+        off_ = 0;
+    }
+
+  private:
+    static constexpr size_t kBlockCells = 4096;
+    struct Block
+    {
+        std::unique_ptr<PackedCell[]> data;
+        size_t cells;
+    };
+    std::vector<Block> blocks_;
+    size_t cur_ = 0;
+    size_t off_ = 0;
+};
+
+/**
+ * Per-address detector state: the access-history ring, the report
+ * suppression set, and the epoch fast-path summary of the last
+ * recorded access (see Detector::access for the invariants).
+ */
+struct ShadowState
+{
+    static constexpr size_t kInlineCells = 8;
+    static constexpr size_t kMaxReports = 8;
+
+    PackedCell inlineCells[kInlineCells] = {};
+    PackedCell *deep = nullptr; ///< CellSlab block when depth > inline
+    uint32_t used = 0;          ///< live cells
+    uint32_t next = 0;          ///< ring cursor once full
+
+    // Epoch fast path: the last scanned access ((gid << 32) | epoch
+    // in one comparable word; 0 never matches, gids start at 1) and
+    // whether its history scan saw any unordered conflicting cell.
+    uint64_t lastKey = 0;
+    bool lastWasWrite = false;
+    bool lastScanHadConflict = false;
+
+    // Report dedup: packed (firstGid, firstWrite, secondGid,
+    // secondWrite) combos already reported for this address.
+    uint8_t comboCount = 0;
+    uint64_t combos[kMaxReports] = {};
+
+    PackedCell *
+    cells(size_t depth, CellSlab &slab)
+    {
+        if (depth <= kInlineCells)
+            return inlineCells;
+        if (deep == nullptr)
+            deep = slab.alloc(depth);
+        return deep;
+    }
+
+    bool
+    comboReported(uint64_t key) const
+    {
+        for (uint8_t i = 0; i < comboCount; ++i)
+            if (combos[i] == key)
+                return true;
+        return false;
+    }
+
+    /** Reset for reuse; the deep block belongs to a rewound slab. */
+    void
+    clear()
+    {
+        deep = nullptr;
+        used = 0;
+        next = 0;
+        lastKey = 0;
+        lastWasWrite = false;
+        lastScanHadConflict = false;
+        comboCount = 0;
+    }
+};
+
+/** Dedup key for one (older access, newer access) report pair. */
+inline uint64_t
+comboKey(uint64_t first_gid, bool first_write, uint64_t second_gid,
+         bool second_write)
+{
+    return (first_gid << 33) |
+           (static_cast<uint64_t>(first_write) << 32) |
+           (second_gid << 1) | static_cast<uint64_t>(second_write);
+}
+
+} // namespace golite::race
+
+#endif // GOLITE_RACE_SHADOW_HH

@@ -2,13 +2,19 @@
  * @file
  * Vector clocks for the happens-before race detector.
  *
- * Components are goroutine ids (dense, starting at 1), so a flat
- * vector indexed by id is the natural representation.
+ * Components are goroutine ids (dense, starting at 1). The clock
+ * keeps the first kInline components in an inline array — nearly all
+ * bug kernels spawn <= 8 goroutines, so the detector hot path
+ * (get/tick/join on the running goroutine's clock) never touches the
+ * heap — and spills higher components into a vector that keeps its
+ * capacity across clear(), so a reset() detector reuses it without
+ * reallocating.
  */
 
 #ifndef GOLITE_RACE_VECTOR_CLOCK_HH
 #define GOLITE_RACE_VECTOR_CLOCK_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -18,61 +24,90 @@ namespace golite::race
 class VectorClock
 {
   public:
+    /** Components stored inline (gids 0..kInline-1). */
+    static constexpr uint64_t kInline = 8;
+
+    VectorClock() { std::fill(inline_, inline_ + kInline, 0); }
+
     /** Clock value for goroutine @p gid (0 when absent). */
     uint64_t
     get(uint64_t gid) const
     {
-        return gid < clocks_.size() ? clocks_[gid] : 0;
+        if (gid < kInline)
+            return inline_[gid];
+        const uint64_t i = gid - kInline;
+        return i < spill_.size() ? spill_[i] : 0;
     }
 
     /** Set the component for @p gid. */
     void
     set(uint64_t gid, uint64_t value)
     {
-        grow(gid);
-        clocks_[gid] = value;
+        component(gid) = value;
     }
 
     /** Increment the component for @p gid and return the new value. */
     uint64_t
     tick(uint64_t gid)
     {
-        grow(gid);
-        return ++clocks_[gid];
+        return ++component(gid);
     }
 
     /** Pointwise maximum with @p other. */
     void
     join(const VectorClock &other)
     {
-        if (other.clocks_.size() > clocks_.size())
-            clocks_.resize(other.clocks_.size(), 0);
-        for (size_t i = 0; i < other.clocks_.size(); ++i)
-            clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+        for (uint64_t i = 0; i < kInline; ++i)
+            inline_[i] = std::max(inline_[i], other.inline_[i]);
+        if (other.spill_.size() > spill_.size())
+            spill_.resize(other.spill_.size(), 0);
+        for (size_t i = 0; i < other.spill_.size(); ++i)
+            spill_[i] = std::max(spill_[i], other.spill_[i]);
     }
 
     /** True when every component of *this is <= other's. */
     bool
     leq(const VectorClock &other) const
     {
-        for (size_t i = 0; i < clocks_.size(); ++i) {
-            if (clocks_[i] > other.get(i))
+        for (uint64_t i = 0; i < kInline; ++i) {
+            if (inline_[i] > other.inline_[i])
+                return false;
+        }
+        for (size_t i = 0; i < spill_.size(); ++i) {
+            if (spill_[i] > other.get(kInline + i))
                 return false;
         }
         return true;
     }
 
-    size_t size() const { return clocks_.size(); }
-
-  private:
+    /**
+     * Zero every component but keep the spill capacity, so a clock in
+     * a reset() detector is reusable without reallocation.
+     */
     void
-    grow(uint64_t gid)
+    clear()
     {
-        if (gid >= clocks_.size())
-            clocks_.resize(gid + 1, 0);
+        std::fill(inline_, inline_ + kInline, 0);
+        std::fill(spill_.begin(), spill_.end(), 0);
     }
 
-    std::vector<uint64_t> clocks_;
+    /** One past the highest gid this clock has storage for. */
+    size_t size() const { return kInline + spill_.size(); }
+
+  private:
+    uint64_t &
+    component(uint64_t gid)
+    {
+        if (gid < kInline)
+            return inline_[gid];
+        const uint64_t i = gid - kInline;
+        if (i >= spill_.size())
+            spill_.resize(i + 1, 0);
+        return spill_[i];
+    }
+
+    uint64_t inline_[kInline];
+    std::vector<uint64_t> spill_;
 };
 
 } // namespace golite::race

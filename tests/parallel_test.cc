@@ -188,6 +188,83 @@ TEST(Sweep, RunJobsKeepsJobOrderWithFreshDetectors)
     }
 }
 
+/** Two goroutines bump an unprotected counter: always a race. */
+void
+racyProgram()
+{
+    race::Shared<int> x("x");
+    WaitGroup wg;
+    wg.add(2);
+    for (int i = 0; i < 2; ++i) {
+        go([&] {
+            x.update([](int &v) { v++; });
+            wg.done();
+        });
+    }
+    wg.wait();
+}
+
+TEST(Sweep, RunSeedsRacedMatchesSerialFreshDetectorLoop)
+{
+    const std::vector<uint64_t> seeds{0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<RunReport> serial;
+    for (uint64_t seed : seeds) {
+        race::Detector detector;
+        RunOptions options;
+        options.seed = seed;
+        options.hooks = &detector;
+        serial.push_back(run(racyProgram, options));
+    }
+    for (unsigned workers : {1u, 4u}) {
+        SweepOptions sweep;
+        sweep.workers = workers;
+        const auto reports =
+            runSeedsRaced(racyProgram, seeds, {}, sweep);
+        ASSERT_EQ(reports.size(), seeds.size());
+        for (size_t i = 0; i < seeds.size(); ++i) {
+            ASSERT_FALSE(reports[i].raceMessages.empty())
+                << "seed " << seeds[i];
+            EXPECT_EQ(reports[i].raceMessages,
+                      serial[i].raceMessages)
+                << "seed " << seeds[i] << " @ " << workers;
+            EXPECT_EQ(reports[i].fingerprint(),
+                      serial[i].fingerprint())
+                << "seed " << seeds[i] << " @ " << workers;
+        }
+    }
+}
+
+TEST(Sweep, RunSeedsRacedRejectsBaseCarryingHooks)
+{
+    race::Detector detector;
+    RunOptions base;
+    base.hooks = &detector;
+    EXPECT_THROW(runSeedsRaced(racyProgram, {1, 2}, base),
+                 std::logic_error);
+}
+
+TEST(Protocol, FindFirstRaceSeedMatchesSerialScan)
+{
+    const corpus::BugCase *bug = corpus::findBug("grpc-2371");
+    ASSERT_NE(bug, nullptr);
+    std::optional<uint64_t> serial;
+    for (uint64_t seed = 0; seed < 100 && !serial; ++seed) {
+        race::Detector detector;
+        RunOptions options;
+        options.seed = seed;
+        options.hooks = &detector;
+        bug->run(corpus::Variant::Buggy, options);
+        if (!detector.reports().empty())
+            serial = seed;
+    }
+    ASSERT_TRUE(serial.has_value());
+    for (unsigned workers : {1u, 2u, 4u}) {
+        WorkerPool pool(workers);
+        EXPECT_EQ(findFirstRaceSeed(*bug, 100, pool), serial)
+            << workers << " workers";
+    }
+}
+
 TEST(Pool, ExceptionPropagatesAndPoolSurvives)
 {
     WorkerPool pool(3);

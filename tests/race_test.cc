@@ -345,6 +345,144 @@ TEST(RaceDetector, DepthOneStillCatchesAdjacentRace)
     EXPECT_TRUE(detector.racedOn("x"));
 }
 
+TEST(RaceDetector, LoopedRaceIsDeduplicatedPerPair)
+{
+    // A racy counter bumped in a loop produces thousands of racy
+    // accesses but only a handful of (first, second) goroutine/kind
+    // combinations; the per-object dedup must collapse them.
+    Detector detector;
+    runRaced(detector, [] {
+        Shared<int> x("x");
+        WaitGroup wg;
+        wg.add(2);
+        for (int i = 0; i < 2; ++i) {
+            go([&] {
+                for (int k = 0; k < 200; ++k)
+                    x.update([](int &v) { v++; });
+                wg.done();
+            });
+        }
+        wg.wait();
+    });
+    ASSERT_TRUE(detector.racedOn("x"));
+    ASSERT_LE(detector.reports().size(), detector.reportLimit());
+    for (size_t i = 0; i < detector.reports().size(); ++i) {
+        for (size_t j = i + 1; j < detector.reports().size(); ++j) {
+            const auto &a = detector.reports()[i];
+            const auto &b = detector.reports()[j];
+            EXPECT_FALSE(a.firstGid == b.firstGid &&
+                         a.firstWrite == b.firstWrite &&
+                         a.secondGid == b.secondGid &&
+                         a.secondWrite == b.secondWrite)
+                << "duplicate combo reported at " << i << "," << j;
+        }
+    }
+}
+
+TEST(RaceDetector, ReportLimitCapsPerObjectReports)
+{
+    Detector detector;
+    detector.setReportLimit(1);
+    EXPECT_EQ(detector.reportLimit(), 1u);
+    runRaced(detector, [] {
+        Shared<int> x("x");
+        WaitGroup wg;
+        wg.add(3);
+        for (int i = 0; i < 3; ++i) {
+            go([&] {
+                for (int k = 0; k < 50; ++k)
+                    x.update([](int &v) { v++; });
+                wg.done();
+            });
+        }
+        wg.wait();
+    });
+    EXPECT_EQ(detector.reports().size(), 1u);
+}
+
+TEST(RaceDetector, ShadowDepthAboveInlineCapIsHonored)
+{
+    // The former fixed-size history silently truncated any requested
+    // depth to 8 cells; deep histories now live in the cell slab.
+    Detector deep(16);
+    EXPECT_EQ(deep.shadowDepth(), 16u);
+    EXPECT_EQ(Detector(Detector::kMaxShadowDepth + 100).shadowDepth(),
+              Detector::kMaxShadowDepth);
+
+    // A write followed by 12 same-goroutine reads is evicted from an
+    // 8-cell history but must survive a 16-cell one.
+    auto detected = [](size_t depth) {
+        Detector detector(depth);
+        RunOptions options;
+        options.hooks = &detector;
+        options.policy = SchedPolicy::Fifo;
+        options.preemptProb = 0.0;
+        Shared<int> x("x");
+        run([&] {
+            go([&] {
+                x.store(1);
+                for (int i = 0; i < 12; ++i)
+                    (void)x.load();
+            });
+            go([&] { (void)x.load(); });
+            yield();
+            yield();
+        }, options);
+        return detector.racedOn("x");
+    };
+    EXPECT_FALSE(detected(8));
+    EXPECT_TRUE(detected(16));
+}
+
+TEST(RaceDetector, ResetReusesDetectorAcrossRuns)
+{
+    auto racy = [] {
+        Shared<int> x("x");
+        WaitGroup wg;
+        wg.add(2);
+        for (int i = 0; i < 2; ++i) {
+            go([&] {
+                x.store(1);
+                wg.done();
+            });
+        }
+        wg.wait();
+    };
+    auto clean = [] {
+        Shared<int> y("y");
+        Mutex mu;
+        WaitGroup wg;
+        wg.add(2);
+        for (int i = 0; i < 2; ++i) {
+            go([&] {
+                mu.lock();
+                y.update([](int &v) { v++; });
+                mu.unlock();
+                wg.done();
+            });
+        }
+        wg.wait();
+    };
+
+    Detector reused;
+    runRaced(reused, racy);
+    const size_t first_count = reused.reports().size();
+    EXPECT_TRUE(reused.racedOn("x"));
+
+    reused.reset();
+    runRaced(reused, clean);
+    EXPECT_TRUE(reused.reports().empty()) << "stale state leaked";
+
+    reused.reset();
+    runRaced(reused, racy);
+    EXPECT_TRUE(reused.racedOn("x"));
+    EXPECT_EQ(reused.reports().size(), first_count);
+
+    // reset(depth) also retargets the history depth.
+    reused.reset(32);
+    EXPECT_EQ(reused.shadowDepth(), 32u);
+}
+
 class RaceSeedSweep : public ::testing::TestWithParam<uint64_t>
 {
 };

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unoptimized full-vector-clock reference race detector.
+ *
+ * Test-only oracle for the differential test: the same
+ * happens-before algorithm as race::Detector — bounded ring history,
+ * per-object report budget, (gids, kinds) report dedup — written with
+ * naive containers (std::map clocks and shadow, std::vector cells,
+ * std::set combos), no epoch fast paths, no caches, no truncation,
+ * no reuse. Every access performs the full scan against full-width
+ * vector clocks. Any report-sequence divergence from the optimized
+ * detector on the same run is a bug in one of them.
+ */
+
+#ifndef GOLITE_TESTS_REF_DETECTOR_HH
+#define GOLITE_TESTS_REF_DETECTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "race/detector.hh"
+#include "runtime/hooks.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite::race
+{
+
+class RefDetector : public RaceHooks
+{
+  public:
+    explicit RefDetector(size_t shadow_depth = 4,
+                         size_t report_limit = 4)
+        : depth_(shadow_depth == 0 ? 1 : shadow_depth),
+          reportLimit_(report_limit)
+    {
+    }
+
+    void
+    goroutineCreated(uint64_t parent, uint64_t child) override
+    {
+        if (parent != 0) {
+            std::map<uint64_t, uint64_t> child_clock = clockOf(parent);
+            child_clock[child] = 1;
+            clocks_[child] = std::move(child_clock);
+            clockOf(parent)[parent]++;
+        } else {
+            clockOf(child);
+        }
+    }
+
+    void
+    acquire(const void *sync_obj) override
+    {
+        const uint64_t gid = Scheduler::current()->runningId();
+        if (gid == 0)
+            return;
+        auto it = syncClocks_.find(sync_obj);
+        if (it == syncClocks_.end())
+            return;
+        std::map<uint64_t, uint64_t> &vc = clockOf(gid);
+        for (const auto &[g, t] : it->second)
+            if (t > vc[g])
+                vc[g] = t;
+    }
+
+    void
+    release(const void *sync_obj) override
+    {
+        const uint64_t gid = Scheduler::current()->runningId();
+        if (gid == 0)
+            return;
+        std::map<uint64_t, uint64_t> &vc = clockOf(gid);
+        std::map<uint64_t, uint64_t> &sync = syncClocks_[sync_obj];
+        for (const auto &[g, t] : vc)
+            if (t > sync[g])
+                sync[g] = t;
+        vc[gid]++;
+    }
+
+    void
+    memRead(const void *addr, const char *label) override
+    {
+        access(addr, label, false);
+    }
+
+    void
+    memWrite(const void *addr, const char *label) override
+    {
+        access(addr, label, true);
+    }
+
+    const std::vector<RaceReport> &reports() const { return reports_; }
+
+  private:
+    struct Cell
+    {
+        uint64_t gid;
+        bool isWrite;
+        uint64_t epoch;
+    };
+
+    struct Shadow
+    {
+        std::vector<Cell> cells; ///< ring, same slot order as optimized
+        size_t next = 0;
+        std::set<uint64_t> combos;
+    };
+
+    std::map<uint64_t, uint64_t> &
+    clockOf(uint64_t gid)
+    {
+        std::map<uint64_t, uint64_t> &vc = clocks_[gid];
+        if (vc[gid] == 0)
+            vc[gid] = 1;
+        return vc;
+    }
+
+    void
+    access(const void *addr, const char *label, bool is_write)
+    {
+        const uint64_t gid = Scheduler::current()->runningId();
+        if (gid == 0)
+            return;
+        Shadow &shadow = shadow_[addr];
+        std::map<uint64_t, uint64_t> &vc = clockOf(gid);
+
+        // Full scan, mirroring Detector::scanAndRecord slot for slot.
+        for (const Cell &cell : shadow.cells) {
+            if (cell.gid == gid)
+                continue;
+            if (!cell.isWrite && !is_write)
+                continue;
+            auto seen = vc.find(cell.gid);
+            if (cell.epoch <= (seen == vc.end() ? 0 : seen->second))
+                continue;
+            if (shadow.combos.size() >= reportLimit_)
+                break;
+            const uint64_t key =
+                comboKey(cell.gid, cell.isWrite, gid, is_write);
+            if (shadow.combos.count(key))
+                continue;
+            shadow.combos.insert(key);
+            reports_.push_back(RaceReport{label, addr, cell.gid,
+                                          cell.isWrite, gid,
+                                          is_write});
+            break;
+        }
+
+        const Cell mine{gid, is_write, vc[gid]};
+        if (shadow.cells.size() < depth_) {
+            shadow.cells.push_back(mine);
+        } else {
+            shadow.cells[shadow.next] = mine;
+            if (++shadow.next == depth_)
+                shadow.next = 0;
+        }
+    }
+
+    size_t depth_;
+    size_t reportLimit_;
+    std::map<uint64_t, std::map<uint64_t, uint64_t>> clocks_;
+    std::map<const void *, std::map<uint64_t, uint64_t>> syncClocks_;
+    std::map<const void *, Shadow> shadow_;
+    std::vector<RaceReport> reports_;
+};
+
+} // namespace golite::race
+
+#endif // GOLITE_TESTS_REF_DETECTOR_HH
