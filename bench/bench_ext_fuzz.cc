@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Extension experiment: coverage-guided schedule fuzzing vs the
+ * paper's repeated-run reproduction protocol vs systematic
+ * exploration — executions to first bug, per corpus kernel.
+ *
+ * Three searchers get the same execution budget per kernel:
+ *
+ *   - rand:    the paper's Section 4 protocol — rerun the buggy
+ *              variant under fresh random seeds until the bug shows
+ *              (race detector attached, like a -race build),
+ *   - fuzz:    fuzz::fuzzKernel — record schedules, mutate them,
+ *              keep mutants reaching new concurrency states,
+ *   - explore: the systematic explorer's DFS (schedules to the first
+ *              bad report; preemption disabled and report-level
+ *              predicate only, so detector-only races and
+ *              wrong-result kernels are out of its reach — that gap
+ *              is the point of measuring it here).
+ *
+ * Everything is deterministic (single fuzz worker, fixed seeds,
+ * stable coverage hashes), so BENCH_fuzz.json is byte-stable and CI
+ * diffs it against baselines/BENCH_fuzz.json. The bench itself exits
+ * non-zero unless the fuzzer finds the bug at least as fast as the
+ * random protocol on >= 75% of the kernels either side can find at
+ * all (ties count: most kernels manifest on the very first
+ * execution, where "faster than 1" is impossible).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "corpus/bug.hh"
+#include "explore/explorer.hh"
+#include "fuzz/fuzzer.hh"
+#include "golite/golite.hh"
+#include "study/tables.hh"
+
+using namespace golite;
+using corpus::BugCase;
+using corpus::Variant;
+
+namespace
+{
+
+constexpr size_t kBudget = 300;
+
+struct KernelRow
+{
+    std::string id;
+    size_t randExecs = 0;    ///< 1-based first-bug execution, 0=never
+    size_t fuzzExecs = 0;    ///< same, for the fuzzer
+    size_t exploreSchedules = 0; ///< explorer firstBadAt, 0=never
+    size_t coverageStates = 0;   ///< fuzzer campaign coverage
+};
+
+/** The paper's protocol: fresh random seeds until the bug manifests
+ *  or the detector reports, budget capped. */
+size_t
+randomToFirstBug(const BugCase &bug)
+{
+    race::Detector det(4);
+    for (size_t i = 1; i <= kBudget; ++i) {
+        det.reset();
+        RunOptions ro;
+        ro.seed = 0xb5ad4eceda1ce2a9ULL ^ (i * 0x2545f4914f6cdd1dULL);
+        ro.hooks = &det;
+        const corpus::BugOutcome out = bug.run(Variant::Buggy, ro);
+        if (out.manifested || !out.report.raceMessages.empty())
+            return i;
+    }
+    return 0;
+}
+
+size_t
+fuzzToFirstBug(const BugCase &bug, size_t &coverage_states)
+{
+    fuzz::FuzzOptions fo;
+    fo.maxExecutions = kBudget;
+    fo.workers = 1; // deterministic, comparable to the serial sweep
+    fo.fuzzSeed = 1;
+    fo.attachRaceDetector = true;
+    const fuzz::FuzzResult r =
+        fuzz::fuzzKernel(bug, Variant::Buggy, fo);
+    coverage_states = r.coverageStates;
+    return r.executionsToBug;
+}
+
+size_t
+exploreToFirstBug(const BugCase &bug)
+{
+    explore::ExploreOptions eo;
+    eo.maxSchedules = kBudget;
+    const explore::ExploreResult r = explore::exploreAll(
+        [&bug](const RunOptions &ro) {
+            return bug.run(Variant::Buggy, ro).report;
+        },
+        eo);
+    return r.firstBadAt;
+}
+
+std::string
+cell(size_t v)
+{
+    return v == 0 ? std::string("-") : std::to_string(v);
+}
+
+std::string
+renderJson(const std::vector<KernelRow> &rows, size_t comparable,
+           size_t fuzz_wins)
+{
+    std::string out = "{\n";
+    out += "  \"budget\": " + std::to_string(kBudget) + ",\n";
+    out += "  \"kernels\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const KernelRow &r = rows[i];
+        out += "    {\"id\": \"" + r.id +
+               "\", \"rand_execs\": " + std::to_string(r.randExecs) +
+               ", \"fuzz_execs\": " + std::to_string(r.fuzzExecs) +
+               ", \"explore_schedules\": " +
+               std::to_string(r.exploreSchedules) +
+               ", \"coverage_states\": " +
+               std::to_string(r.coverageStates) + "}";
+        out += (i + 1 < rows.size()) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  \"summary\": {\"kernels\": %zu, \"comparable\": "
+                  "%zu, \"fuzz_wins\": %zu, \"win_rate\": %.3f}\n",
+                  rows.size(), comparable, fuzz_wins,
+                  comparable ? 1.0 * fuzz_wins / comparable : 0.0);
+    out += buf;
+    out += "}\n";
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Extension - coverage-guided schedule fuzzing",
+        "executions to first bug: random rerun vs fuzzer vs explorer");
+    std::printf("budget per kernel per searcher: %zu executions\n\n",
+                kBudget);
+
+    std::vector<KernelRow> rows;
+    size_t comparable = 0;
+    size_t fuzz_wins = 0;
+    size_t rand_found = 0;
+    size_t fuzz_found = 0;
+    size_t explore_found = 0;
+
+    study::TextTable table(
+        {"bug", "rand", "fuzz", "explore", "cov states"});
+    for (const BugCase &bug : corpus::corpus()) {
+        KernelRow row;
+        row.id = bug.info.id;
+        row.randExecs = randomToFirstBug(bug);
+        row.fuzzExecs = fuzzToFirstBug(bug, row.coverageStates);
+        row.exploreSchedules = exploreToFirstBug(bug);
+
+        rand_found += row.randExecs != 0;
+        fuzz_found += row.fuzzExecs != 0;
+        explore_found += row.exploreSchedules != 0;
+        if (row.randExecs != 0 || row.fuzzExecs != 0) {
+            comparable++;
+            if (row.fuzzExecs != 0 &&
+                (row.randExecs == 0 ||
+                 row.fuzzExecs <= row.randExecs))
+                fuzz_wins++;
+        }
+        table.addRow({row.id, cell(row.randExecs),
+                      cell(row.fuzzExecs),
+                      cell(row.exploreSchedules),
+                      std::to_string(row.coverageStates)});
+        rows.push_back(row);
+    }
+    std::printf("%s", table.render().c_str());
+
+    const double win_rate =
+        comparable ? 1.0 * fuzz_wins / comparable : 0.0;
+    std::printf("\nfound within budget: rand %zu/%zu, fuzz %zu/%zu, "
+                "explore %zu/%zu\n",
+                rand_found, rows.size(), fuzz_found, rows.size(),
+                explore_found, rows.size());
+    std::printf("fuzz at least as fast as rand: %zu/%zu (%.1f%%)\n",
+                fuzz_wins, comparable, 100.0 * win_rate);
+
+    const std::string json =
+        renderJson(rows, comparable, fuzz_wins);
+    std::FILE *f = std::fopen("BENCH_fuzz.json", "w");
+    if (f != nullptr) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_fuzz.json (%zu kernels)\n",
+                    rows.size());
+    }
+
+    if (fuzz_found < rand_found) {
+        std::printf("FAIL: fuzzer finds fewer bugs than the random "
+                    "protocol\n");
+        return 1;
+    }
+    if (win_rate < 0.75) {
+        std::printf("FAIL: fuzz win rate %.1f%% below the 75%% "
+                    "acceptance bar\n",
+                    100.0 * win_rate);
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}

@@ -385,7 +385,8 @@ etcd9956(Variant variant, const RunOptions &options)
     return runNonBlockingKernel([st, fixed] {
         Chan<int> status =
             fixed ? makeChan<int>(1) : makeChan<int>();
-        go("publisher", [fixed, status] {
+        Chan<Unit> done = makeChan<Unit>();
+        go("publisher", [fixed, status, done] {
             for (int leader = 1; leader <= 3; ++leader) {
                 if (fixed) {
                     // Latest-value channel: displace the stale value.
@@ -398,10 +399,12 @@ etcd9956(Variant variant, const RunOptions &options)
                 }
                 yield();
             }
+            done.close();
         });
-        // Slow consumer: polls once at the end.
-        for (int i = 0; i < 12; ++i)
-            yield();
+        // Slow consumer: polls only after the publisher is finished
+        // (so the judgement is about the channel discipline, not
+        // about scheduler fairness towards the publisher).
+        done.recv();
         auto r = status.tryRecv();
         if (r && r->ok)
             st->lastSeen = r->value;

@@ -38,6 +38,7 @@ tally(ExploreResult &result, const RunReport &report,
     if (!was_bad) {
         result.firstBad = report;
         result.firstBadSchedule = schedule;
+        result.firstBadAt = result.schedules;
     }
 }
 

@@ -58,6 +58,9 @@ struct ExploreResult
     RunReport firstBad;
     /** Choice sequence that produced firstBad (replayable). */
     std::vector<size_t> firstBadSchedule;
+    /** 1-based schedule count at which firstBad appeared (0 = never);
+     *  the explorer's "executions to first bug" for bench_ext_fuzz. */
+    size_t firstBadAt = 0;
 
     bool
     anyBad() const

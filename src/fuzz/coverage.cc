@@ -1,0 +1,233 @@
+#include "fuzz/coverage.hh"
+
+#include <cstring>
+
+#include "runtime/scheduler.hh"
+
+namespace golite::fuzz
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Event-kind tags keep states from different probes/hooks disjoint.
+enum : uint64_t
+{
+    kTagParked = 0x70,
+    kTagLock = 0x71,
+    kTagWg = 0x72,
+    kTagSelect = 0x73,
+    kTagAccessPair = 0x74,
+    kTagLockSite = 0x75,
+};
+
+} // namespace
+
+uint64_t
+fnv1a(const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t h = kFnvOffset;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
+fnv1aStr(const char *s)
+{
+    return s ? fnv1a(s, std::strlen(s)) : kFnvOffset;
+}
+
+uint64_t
+hashMix(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+// --- BlockingCoverage -------------------------------------------------
+
+void
+BlockingCoverage::beginRun()
+{
+    parked_.clear();
+    resourceIds_.clear();
+    seen_.clear();
+    observed_.clear();
+}
+
+uint64_t
+BlockingCoverage::resourceId(const void *obj)
+{
+    if (obj == nullptr)
+        return 0;
+    auto [it, inserted] =
+        resourceIds_.emplace(obj, resourceIds_.size() + 1);
+    (void)inserted;
+    return it->second;
+}
+
+uint64_t
+BlockingCoverage::blockedFingerprint() const
+{
+    uint64_t h = kFnvOffset;
+    for (const auto &[gid, what] : parked_) {
+        h = hashMix(h, gid);
+        h = hashMix(h, static_cast<uint64_t>(what.first));
+        h = hashMix(h, what.second);
+    }
+    return h;
+}
+
+void
+BlockingCoverage::note(uint64_t state)
+{
+    if (seen_.insert(state).second)
+        observed_.push_back(state);
+}
+
+void
+BlockingCoverage::parked(uint64_t gid, WaitReason reason,
+                         const void *obj)
+{
+    parked_[gid] = {reason, resourceId(obj)};
+    uint64_t h = hashMix(blockedFingerprint(), kTagParked);
+    h = hashMix(h, gid);
+    h = hashMix(h, static_cast<uint64_t>(reason));
+    note(h);
+}
+
+void
+BlockingCoverage::unparked(uint64_t gid)
+{
+    parked_.erase(gid);
+}
+
+void
+BlockingCoverage::goroutineFinished(uint64_t gid)
+{
+    parked_.erase(gid);
+}
+
+void
+BlockingCoverage::lockAcquired(const void *lock, uint64_t gid,
+                               bool is_write)
+{
+    uint64_t h = hashMix(blockedFingerprint(), kTagLock);
+    h = hashMix(h, resourceId(lock));
+    h = hashMix(h, gid);
+    h = hashMix(h, is_write);
+    note(h);
+}
+
+void
+BlockingCoverage::wgCounter(const void *wg, int count)
+{
+    uint64_t h = hashMix(blockedFingerprint(), kTagWg);
+    h = hashMix(h, resourceId(wg));
+    h = hashMix(h, static_cast<uint64_t>(static_cast<int64_t>(count)));
+    note(h);
+}
+
+void
+BlockingCoverage::selectBlocked(uint64_t gid,
+                                const std::vector<SelectWait> &cases)
+{
+    uint64_t h = hashMix(blockedFingerprint(), kTagSelect);
+    h = hashMix(h, gid);
+    for (const SelectWait &w : cases) {
+        h = hashMix(h, resourceId(w.chan));
+        h = hashMix(h, w.isSend);
+    }
+    note(h);
+}
+
+// --- AccessCoverage ---------------------------------------------------
+
+void
+AccessCoverage::beginRun()
+{
+    last_.clear();
+    objectIds_.clear();
+    seen_.clear();
+    observed_.clear();
+}
+
+uint64_t
+AccessCoverage::currentGid() const
+{
+    Scheduler *sched = Scheduler::current();
+    return sched ? sched->runningId() : 0;
+}
+
+void
+AccessCoverage::note(uint64_t state)
+{
+    if (seen_.insert(state).second)
+        observed_.push_back(state);
+}
+
+void
+AccessCoverage::access(const void *addr, const char *label, bool write)
+{
+    const uint64_t gid = currentGid();
+    const uint64_t cur = hashMix(fnv1aStr(label), write);
+    auto [it, inserted] = last_.emplace(addr, LastAccess{});
+    const LastAccess &prev = it->second;
+    uint64_t h = hashMix(kFnvOffset, kTagAccessPair);
+    h = hashMix(h, inserted ? 0 : prev.labelHash);
+    h = hashMix(h, cur);
+    h = hashMix(h, !inserted && prev.gid != gid);
+    note(h);
+    it->second = LastAccess{cur, gid, write};
+}
+
+void
+AccessCoverage::memRead(const void *addr, const char *label)
+{
+    access(addr, label, false);
+}
+
+void
+AccessCoverage::memWrite(const void *addr, const char *label)
+{
+    access(addr, label, true);
+}
+
+void
+AccessCoverage::lockAcquired(const void *lock_obj, uint64_t gid,
+                             bool is_write)
+{
+    auto [it, inserted] =
+        objectIds_.emplace(lock_obj, objectIds_.size() + 1);
+    (void)inserted;
+    uint64_t h = hashMix(kFnvOffset, kTagLockSite);
+    h = hashMix(h, it->second);
+    h = hashMix(h, gid);
+    h = hashMix(h, is_write);
+    note(h);
+}
+
+void
+AccessCoverage::lockReleased(const void *lock_obj, uint64_t gid)
+{
+    auto [it, inserted] =
+        objectIds_.emplace(lock_obj, objectIds_.size() + 1);
+    (void)inserted;
+    uint64_t h = hashMix(kFnvOffset, kTagLockSite);
+    h = hashMix(h, it->second);
+    h = hashMix(h, gid);
+    h = hashMix(h, 2);
+    note(h);
+}
+
+} // namespace golite::fuzz

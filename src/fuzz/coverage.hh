@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Coverage signal for the schedule fuzzer: concurrency-state hashes
+ * harvested from the runtime's detector hook interfaces.
+ *
+ * A schedule mutant is worth keeping iff it drives the program into a
+ * concurrency state no earlier execution reached. Two probes define
+ * "state":
+ *
+ *  - BlockingCoverage (a DeadlockHooks) fingerprints the *blocked
+ *    set* — which goroutines are parked on which resources, hashed
+ *    with the parking/locking event that produced it. This is the
+ *    state space blocking bugs (Section 5 of the paper) live in: a
+ *    new fingerprint means a new partial configuration of waiters.
+ *
+ *  - AccessCoverage (a RaceHooks) hashes *sync-op site pairs* — the
+ *    (previous access label, current access label, cross-goroutine?)
+ *    triple per shared address. New pairs mean the schedule ordered
+ *    two instrumented sites in a way never seen before, the raw
+ *    material of non-blocking bugs.
+ *
+ * Everything hashes through FNV-1a over stable features (goroutine
+ * ids, wait reasons, first-seen resource ordinals, label strings) —
+ * never raw pointers — so coverage is identical across runs, ASLR,
+ * platforms, and workers, which keeps the fuzzer deterministic for a
+ * fixed seed and worker count of one.
+ */
+
+#ifndef GOLITE_FUZZ_COVERAGE_HH
+#define GOLITE_FUZZ_COVERAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/hooks.hh"
+
+namespace golite::fuzz
+{
+
+/** 64-bit FNV-1a over a byte range (stable across platforms). */
+uint64_t fnv1a(const void *data, size_t len);
+
+/** FNV-1a over a NUL-terminated string (null-safe). */
+uint64_t fnv1aStr(const char *s);
+
+/** Mix one 64-bit value into a running FNV-1a hash. */
+uint64_t hashMix(uint64_t h, uint64_t v);
+
+/**
+ * The global set of concurrency-state hashes observed so far.
+ * Workers buffer their runs' states locally and merge in batches
+ * under the fuzzer's mutex (CoverageMap itself is not thread-safe).
+ */
+class CoverageMap
+{
+  public:
+    /** Insert one state; true if it was new. */
+    bool
+    add(uint64_t state)
+    {
+        return states_.insert(state).second;
+    }
+
+    bool
+    contains(uint64_t state) const
+    {
+        return states_.count(state) != 0;
+    }
+
+    /** Insert a batch; returns how many were new. */
+    size_t
+    merge(const std::vector<uint64_t> &batch)
+    {
+        size_t fresh = 0;
+        for (uint64_t s : batch)
+            fresh += states_.insert(s).second;
+        return fresh;
+    }
+
+    size_t size() const { return states_.size(); }
+
+  private:
+    std::unordered_set<uint64_t> states_;
+};
+
+/**
+ * Blocked-set fingerprint probe. Attach via RunOptions::deadlockHooks
+ * (or chain behind a real detector with a fan-out), call beginRun()
+ * before every run, read observed() after.
+ */
+class BlockingCoverage : public DeadlockHooks
+{
+  public:
+    /** Reset all per-run state (parked set, resource ids, states). */
+    void beginRun();
+
+    /** Deduplicated state hashes observed in the current run. */
+    const std::vector<uint64_t> &observed() const { return observed_; }
+
+    void parked(uint64_t gid, WaitReason reason,
+                const void *obj) override;
+    void unparked(uint64_t gid) override;
+    void goroutineFinished(uint64_t gid) override;
+    void lockAcquired(const void *lock, uint64_t gid,
+                      bool is_write) override;
+    void wgCounter(const void *wg, int count) override;
+    void selectBlocked(uint64_t gid,
+                       const std::vector<SelectWait> &cases) override;
+
+  private:
+    /** Stable per-run ordinal for a resource pointer (1-based,
+     *  first-seen order — deterministic for a fixed schedule). */
+    uint64_t resourceId(const void *obj);
+
+    /** Fold the current parked set into one hash. */
+    uint64_t blockedFingerprint() const;
+
+    void note(uint64_t state);
+
+    /** gid -> (wait reason, resource ordinal), ordered by gid so the
+     *  fingerprint fold is canonical. */
+    std::map<uint64_t, std::pair<WaitReason, uint64_t>> parked_;
+    std::unordered_map<const void *, uint64_t> resourceIds_;
+    std::unordered_set<uint64_t> seen_;
+    std::vector<uint64_t> observed_;
+};
+
+/**
+ * Access site-pair probe. Attach via RunOptions::hooks; per shared
+ * address it hashes consecutive instrumented-access label pairs plus
+ * lock-site transitions.
+ */
+class AccessCoverage : public RaceHooks
+{
+  public:
+    void beginRun();
+
+    const std::vector<uint64_t> &observed() const { return observed_; }
+
+    void memRead(const void *addr, const char *label) override;
+    void memWrite(const void *addr, const char *label) override;
+    void lockAcquired(const void *lock_obj, uint64_t gid,
+                      bool is_write) override;
+    void lockReleased(const void *lock_obj, uint64_t gid) override;
+
+  private:
+    struct LastAccess
+    {
+        uint64_t labelHash = 0;
+        uint64_t gid = 0;
+        bool write = false;
+    };
+
+    void access(const void *addr, const char *label, bool write);
+    void note(uint64_t state);
+
+    uint64_t currentGid() const;
+
+    std::unordered_map<const void *, LastAccess> last_;
+    std::unordered_map<const void *, uint64_t> objectIds_;
+    std::unordered_set<uint64_t> seen_;
+    std::vector<uint64_t> observed_;
+};
+
+} // namespace golite::fuzz
+
+#endif // GOLITE_FUZZ_COVERAGE_HH

@@ -1,0 +1,340 @@
+#include "fuzz/fuzzer.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "fuzz/coverage.hh"
+#include "parallel/pool.hh"
+#include "race/detector.hh"
+#include "runtime/hooks.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite::fuzz
+{
+
+namespace
+{
+
+/** splitmix64: decorrelate derived seeds from the campaign seed. */
+uint64_t
+deriveSeed(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Cross-worker shared campaign state. Everything behind `mu` except
+ *  the two atomics, which workers poll without blocking. */
+struct CampaignState
+{
+    std::mutex mu;
+    CoverageMap coverage;
+    std::vector<ScheduleTrace> pool;
+    size_t poolNext = 0; ///< ring cursor once the pool is full
+
+    std::atomic<size_t> tickets{0}; ///< claimed execution slots
+    std::atomic<size_t> performed{0};
+    std::atomic<bool> stop{false};
+
+    bool bugFound = false;
+    size_t bugAt = 0; ///< 1-based ticket of the earliest bug
+    ScheduleTrace bugTrace;
+    RunReport bugReport;
+};
+
+void
+validate(const FuzzOptions &options)
+{
+    if (options.runOptions.policy != SchedPolicy::Random)
+        throw std::logic_error(
+            "fuzzRun: trace record/replay requires SchedPolicy::Random");
+    if (options.runOptions.hooks != nullptr ||
+        options.runOptions.deadlockHooks != nullptr)
+        throw std::logic_error(
+            "fuzzRun: the fuzzer owns both hook slots for its coverage "
+            "probes; attach detectors when replaying the found trace");
+    if (options.runOptions.recordTrace != nullptr ||
+        options.runOptions.replayTrace != nullptr)
+        throw std::logic_error(
+            "fuzzRun: record/replay traces are managed by the fuzzer");
+    if (options.runOptions.chooser)
+        throw std::logic_error(
+            "fuzzRun: a chooser conflicts with trace replay");
+    if (options.maxExecutions == 0)
+        throw std::logic_error("fuzzRun: maxExecutions must be > 0");
+    if (options.maxPoolSize == 0)
+        throw std::logic_error("fuzzRun: maxPoolSize must be > 0");
+}
+
+} // namespace
+
+ScheduleTrace
+mutateTrace(const ScheduleTrace &parent, Rng &rng)
+{
+    ScheduleTrace t = parent;
+    if (t.empty())
+        return t;
+
+    // Re-pick decision i to any different alternative.
+    auto flip = [&t, &rng](size_t i) {
+        Decision &d = t.decisions[i];
+        if (d.alternatives <= 1)
+            return;
+        d.pick = static_cast<uint32_t>(
+            (d.pick + 1 + rng.below(d.alternatives - 1)) %
+            d.alternatives);
+    };
+    // First decision of kind `k` at or cyclically after a random
+    // start; t.size() when the trace has none.
+    auto findKind = [&t, &rng](DecisionKind k) -> size_t {
+        const size_t start = static_cast<size_t>(rng.below(t.size()));
+        for (size_t off = 0; off < t.size(); ++off) {
+            const size_t i = (start + off) % t.size();
+            if (t.decisions[i].kind == k)
+                return i;
+        }
+        return t.size();
+    };
+
+    switch (rng.below(6)) {
+    case 0: // flip one decision
+        flip(static_cast<size_t>(rng.below(t.size())));
+        break;
+    case 1: { // toggle a preemption point (inject or remove a switch)
+        const size_t i = findKind(DecisionKind::Preempt);
+        if (i < t.size())
+            t.decisions[i].pick ^= 1;
+        else
+            flip(static_cast<size_t>(rng.below(t.size())));
+        break;
+    }
+    case 2: { // swap adjacent decisions' picks (reorder two events)
+        const size_t i = static_cast<size_t>(rng.below(t.size()));
+        if (i + 1 < t.size())
+            std::swap(t.decisions[i].pick, t.decisions[i + 1].pick);
+        else
+            flip(i);
+        break;
+    }
+    case 3: { // delay the picked goroutine: rotate a dispatch pick
+        const size_t i = findKind(DecisionKind::Pick);
+        if (i < t.size()) {
+            Decision &d = t.decisions[i];
+            d.pick = (d.pick + 1) % d.alternatives;
+        } else {
+            flip(static_cast<size_t>(rng.below(t.size())));
+        }
+        break;
+    }
+    case 4: // truncate: keep a random prefix, defaults after it
+        t.decisions.resize(1 + static_cast<size_t>(
+                                   rng.below(t.size())));
+        break;
+    default: { // havoc: a burst of flips
+        const size_t flips = 2 + static_cast<size_t>(rng.below(7));
+        for (size_t k = 0; k < flips; ++k)
+            flip(static_cast<size_t>(rng.below(t.size())));
+        break;
+    }
+    }
+    return t;
+}
+
+FuzzResult
+fuzzRun(const RunProgram &run_once, const FuzzOptions &options)
+{
+    validate(options);
+
+    const unsigned workers =
+        options.workers != 0 ? options.workers
+                             : parallel::defaultWorkers();
+
+    CampaignState st;
+
+    auto worker = [&](size_t w) {
+        Rng rng(deriveSeed(options.fuzzSeed ^
+                           (0x9e3779b97f4a7c15ULL * (w + 1))));
+        BlockingCoverage blocking;
+        AccessCoverage access;
+        race::Detector races(4);
+        MultiHooks racedHooks({&races, &access});
+
+        // States this worker has ever seen (its approximation of the
+        // global map between merges) and the batch pending merge.
+        std::unordered_set<uint64_t> knownStates;
+        std::vector<uint64_t> pendingStates;
+        std::vector<ScheduleTrace> pendingTraces;
+        size_t sinceMerge = 0;
+
+        auto mergePending = [&] {
+            sinceMerge = 0;
+            if (pendingStates.empty() && pendingTraces.empty())
+                return;
+            std::lock_guard<std::mutex> lock(st.mu);
+            st.coverage.merge(pendingStates);
+            for (ScheduleTrace &t : pendingTraces) {
+                if (st.pool.size() < options.maxPoolSize) {
+                    st.pool.push_back(std::move(t));
+                } else {
+                    st.pool[st.poolNext] = std::move(t);
+                    st.poolNext =
+                        (st.poolNext + 1) % options.maxPoolSize;
+                }
+            }
+            pendingStates.clear();
+            pendingTraces.clear();
+        };
+
+        ScheduleTrace recorded;
+
+        // One fuzzed execution. Returns false once the campaign is
+        // over (budget exhausted or stop flagged).
+        auto execute = [&](const ScheduleTrace *replay,
+                           uint64_t seed) -> bool {
+            const size_t ticket = st.tickets.fetch_add(1) + 1;
+            if (ticket > options.maxExecutions) {
+                st.stop.store(true);
+                return false;
+            }
+
+            RunOptions ro = options.runOptions;
+            ro.seed = seed;
+            ro.replayTrace = replay;
+            ro.replayStrict = false;
+            ro.recordTrace = &recorded;
+            ro.hooks = options.attachRaceDetector
+                           ? static_cast<RaceHooks *>(&racedHooks)
+                           : &access;
+            ro.deadlockHooks = &blocking;
+            blocking.beginRun();
+            access.beginRun();
+            if (options.attachRaceDetector)
+                races.reset();
+
+            Execution ex = run_once(ro);
+            st.performed.fetch_add(1);
+
+            bool fresh = false;
+            for (const auto *obs :
+                 {&blocking.observed(), &access.observed()}) {
+                for (uint64_t s : *obs) {
+                    if (knownStates.insert(s).second) {
+                        pendingStates.push_back(s);
+                        fresh = true;
+                    }
+                }
+            }
+            if (fresh && options.coverageGuided)
+                pendingTraces.push_back(recorded);
+
+            if (ex.bug) {
+                std::lock_guard<std::mutex> lock(st.mu);
+                if (!st.bugFound || ticket < st.bugAt) {
+                    st.bugFound = true;
+                    st.bugAt = ticket;
+                    st.bugTrace = recorded;
+                    st.bugReport = ex.report;
+                }
+                if (options.stopAtFirstBug)
+                    st.stop.store(true);
+            }
+            return !st.stop.load();
+        };
+
+        // Phase 1: this worker's share of the seed recordings —
+        // plain random runs, recorded.
+        for (size_t i = w; i < options.initialRecordings; i += workers) {
+            if (st.stop.load() ||
+                !execute(nullptr,
+                         deriveSeed(options.fuzzSeed + 0x1000 + i)))
+                break;
+        }
+        mergePending();
+
+        // Phase 2: mutate pool traces, with occasional fresh random
+        // recordings to keep exploring from new roots.
+        uint64_t freshCounter = 0;
+        ScheduleTrace parent;
+        while (!st.stop.load()) {
+            parent.decisions.clear();
+            {
+                std::lock_guard<std::mutex> lock(st.mu);
+                if (!st.pool.empty())
+                    parent = st.pool[static_cast<size_t>(
+                        rng.below(st.pool.size()))];
+            }
+            const bool explore = parent.empty() || rng.chance(0.15);
+            bool keep_going;
+            if (explore) {
+                keep_going = execute(
+                    nullptr,
+                    deriveSeed(options.fuzzSeed ^
+                               (0xa0761d6478bd642fULL * (w + 1)) ^
+                               ++freshCounter));
+            } else {
+                const ScheduleTrace mutant = mutateTrace(parent, rng);
+                keep_going = execute(&mutant, 0);
+            }
+            if (!keep_going)
+                break;
+            if (++sinceMerge >= options.mergeBatch)
+                mergePending();
+        }
+        mergePending();
+    };
+
+    if (workers == 1) {
+        worker(0);
+    } else {
+        parallel::WorkerPool pool(workers);
+        pool.forEach(workers, worker);
+    }
+
+    FuzzResult result;
+    result.executions = st.performed.load();
+    result.bugFound = st.bugFound;
+    result.executionsToBug = st.bugAt;
+    result.bugTrace = std::move(st.bugTrace);
+    result.bugReport = std::move(st.bugReport);
+    result.coverageStates = st.coverage.size();
+    result.poolSize = st.pool.size();
+    return result;
+}
+
+FuzzResult
+fuzzProgram(const std::function<void()> &program,
+            const std::function<bool(const RunReport &)> &is_bug,
+            const FuzzOptions &options)
+{
+    return fuzzRun(
+        [&program, &is_bug](const RunOptions &ro) {
+            Execution ex;
+            ex.report = run(program, ro);
+            ex.bug = is_bug && is_bug(ex.report);
+            return ex;
+        },
+        options);
+}
+
+FuzzResult
+fuzzKernel(const corpus::BugCase &bug, corpus::Variant variant,
+           const FuzzOptions &options)
+{
+    const bool raced = options.attachRaceDetector;
+    return fuzzRun(
+        [&bug, variant, raced](const RunOptions &ro) {
+            corpus::BugOutcome out = bug.run(variant, ro);
+            const bool bug_hit =
+                out.manifested ||
+                (raced && !out.report.raceMessages.empty());
+            return Execution{std::move(out.report), bug_hit};
+        },
+        options);
+}
+
+} // namespace golite::fuzz

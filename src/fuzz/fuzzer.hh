@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Coverage-guided schedule fuzzing over the deterministic runtime.
+ *
+ * The paper's reproduction protocol (Section 5) reruns a buggy
+ * program under varied schedules and hopes; the systematic explorer
+ * (src/explore) enumerates schedules exhaustively but only scales to
+ * tiny programs and cannot drive preemption. The fuzzer sits between
+ * the two, following GoAT's observation that coverage-guided schedule
+ * perturbation finds interleaving bugs orders of magnitude faster
+ * than blind rerunning:
+ *
+ *   1. seed the pool by *recording* a few random runs as
+ *      ScheduleTraces (runtime/sched_trace.hh),
+ *   2. mutate a recorded trace (flip a pick, force a preemption,
+ *      swap adjacent decisions, truncate, havoc),
+ *   3. replay the mutant loosely while re-recording the decision
+ *      sequence it actually executed (its normalized, exactly
+ *      replayable form),
+ *   4. keep mutants that reach new coverage — blocked-set
+ *      fingerprints and access site pairs from fuzz/coverage.hh —
+ *      and report the first execution whose report satisfies the
+ *      bug predicate.
+ *
+ * With workers > 1 the fuzz loop fans across a parallel::WorkerPool:
+ * per-worker fuzzer instances (own probes, own RNG) share the
+ * coverage map and trace pool under one mutex, merging observations
+ * in batches. A single-worker fuzz with a fixed fuzzSeed is fully
+ * deterministic, which is what the corpus regression test and the
+ * BENCH_fuzz baseline gate rely on.
+ */
+
+#ifndef GOLITE_FUZZ_FUZZER_HH
+#define GOLITE_FUZZ_FUZZER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "base/rng.hh"
+#include "corpus/bug.hh"
+#include "runtime/report.hh"
+#include "runtime/sched_trace.hh"
+
+namespace golite::fuzz
+{
+
+/** One fuzzed execution: the run's report plus the driver's verdict
+ *  (kernel-specific manifestation for corpus bugs, a report predicate
+ *  for plain programs). */
+struct Execution
+{
+    RunReport report;
+    bool bug = false;
+};
+
+/**
+ * Execute the target once under the given options (which carry the
+ * fuzzer's replay/record traces and coverage probes). Must be safe to
+ * call concurrently from several OS threads, i.e. all program state
+ * is created inside the call — true for every corpus kernel.
+ */
+using RunProgram = std::function<Execution(const RunOptions &)>;
+
+/** Tuning for one fuzzing campaign. */
+struct FuzzOptions
+{
+    /**
+     * Base options for every execution. Policy must be Random (the
+     * recordable policy); hooks/deadlockHooks must be null — the
+     * fuzzer owns both slots for its coverage probes, and a single
+     * detector shared across workers would race.
+     */
+    RunOptions runOptions;
+
+    /** Total execution budget across all workers. */
+    size_t maxExecutions = 2000;
+
+    /** Random recordings that seed the trace pool (also interleaved
+     *  later as occasional fresh explorations). */
+    size_t initialRecordings = 8;
+
+    /** Seed for mutation choices and the derived per-recording run
+     *  seeds. Two campaigns with equal options are identical. */
+    uint64_t fuzzSeed = 1;
+
+    /** Parallel fuzzer instances; 0 = parallel::defaultWorkers().
+     *  1 (the default) is deterministic. */
+    unsigned workers = 1;
+
+    /** Executions a worker buffers before merging its coverage
+     *  observations into the shared map. */
+    size_t mergeBatch = 8;
+
+    /** Keep at most this many traces in the shared pool (ring
+     *  replacement beyond it). */
+    size_t maxPoolSize = 256;
+
+    /** Stop all workers at the first bug-satisfying execution. */
+    bool stopAtFirstBug = true;
+
+    /**
+     * Chain a per-worker race detector (shadow depth 4) behind the
+     * access-coverage probe. Needed for the corpus kernels whose
+     * defect is a pure data race with no observable misbehaviour —
+     * like the original reports, such bugs are visible only to the
+     * -race build. fuzzKernel widens its predicate to
+     * `manifested || raceMessages non-empty` when this is set.
+     */
+    bool attachRaceDetector = false;
+
+    /**
+     * Ablation switch: when false, mutants are kept never (pure
+     * random schedule replay — the blind-rerun baseline with the
+     * same mutation engine). bench_ext_fuzz uses this to isolate the
+     * value of the coverage signal.
+     */
+    bool coverageGuided = true;
+};
+
+/** Outcome of a fuzzing campaign. */
+struct FuzzResult
+{
+    bool bugFound = false;
+    /** Executions performed (capped at maxExecutions). */
+    size_t executions = 0;
+    /** 1-based execution index of the first bug (0 = none). */
+    size_t executionsToBug = 0;
+    /** Normalized (exactly replayable) trace of the bug execution. */
+    ScheduleTrace bugTrace;
+    RunReport bugReport;
+    /** Distinct concurrency states reached across the campaign. */
+    size_t coverageStates = 0;
+    /** Traces retained in the pool at the end. */
+    size_t poolSize = 0;
+};
+
+/** Fuzz an arbitrary target. */
+FuzzResult fuzzRun(const RunProgram &run_once,
+                   const FuzzOptions &options = {});
+
+/** Fuzz a plain program with a report-level bug predicate. */
+FuzzResult fuzzProgram(
+    const std::function<void()> &program,
+    const std::function<bool(const RunReport &)> &is_bug,
+    const FuzzOptions &options = {});
+
+/**
+ * Fuzz one corpus kernel variant; the bug predicate is the kernel's
+ * own manifestation judgement (BugOutcome::manifested), so wrong-
+ * result non-blocking bugs count, not just report-visible ones.
+ * This is the uniform driver benches and tests share.
+ */
+FuzzResult fuzzKernel(const corpus::BugCase &bug,
+                      corpus::Variant variant,
+                      const FuzzOptions &options = {});
+
+/**
+ * Derive one schedule mutant from @p parent (exposed for the property
+ * tests). Operators: flip a pick, force/clear a preemption, swap
+ * adjacent picks, rotate a pick (delay the chosen goroutine),
+ * truncate the tail, or a small havoc burst of the above.
+ */
+ScheduleTrace mutateTrace(const ScheduleTrace &parent, Rng &rng);
+
+} // namespace golite::fuzz
+
+#endif // GOLITE_FUZZ_FUZZER_HH

@@ -1,0 +1,33 @@
+#include "fuzz/golden.hh"
+
+#include "race/detector.hh"
+#include "waitgraph/waitgraph.hh"
+
+namespace golite::fuzz
+{
+
+GoldenReplay
+goldenReplay(const corpus::BugCase &bug, const ScheduleTrace &trace)
+{
+    race::Detector races(4);
+    waitgraph::Detector waits;
+
+    RunOptions ro;
+    ro.seed = 1; // irrelevant: every decision comes from the trace
+    ro.policy = SchedPolicy::Random;
+    ro.replayTrace = &trace;
+    ro.replayStrict = true;
+    ro.hooks = &races;
+    ro.deadlockHooks = &waits;
+
+    corpus::BugOutcome out = bug.run(corpus::Variant::Buggy, ro);
+
+    GoldenReplay result;
+    result.diverged = out.report.replayDivergence.diverged;
+    result.manifested = out.manifested;
+    result.raced = !out.report.raceMessages.empty();
+    result.report = std::move(out.report);
+    return result;
+}
+
+} // namespace golite::fuzz

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Golden replay: run a committed .trace artifact against its corpus
+ * kernel under strict replay with both detectors attached, so the
+ * resulting RunReport fingerprint can be byte-compared against the
+ * committed .report artifact.
+ *
+ * The mktrace tool (tools/mktrace.cc) and the golden replay test
+ * (tests/replay_golden_test.cc) share this one entry point — any
+ * drift between the two would defeat the comparison.
+ */
+
+#ifndef GOLITE_FUZZ_GOLDEN_HH
+#define GOLITE_FUZZ_GOLDEN_HH
+
+#include "corpus/bug.hh"
+#include "runtime/sched_trace.hh"
+
+namespace golite::fuzz
+{
+
+/** Outcome of one golden replay. */
+struct GoldenReplay
+{
+    /** Report of the strictly replayed buggy-variant run (detector
+     *  output included; fingerprint() is the committed artifact). */
+    RunReport report;
+    /** The kernel's own bug judgement for the replayed run. */
+    bool manifested = false;
+    /** The attached race detector reported at least one race. */
+    bool raced = false;
+    /** Strict replay diverged — the trace no longer matches the
+     *  kernel (report.replayDivergence has the details). */
+    bool diverged = false;
+};
+
+/**
+ * Strictly replay @p trace against the buggy variant of @p bug with a
+ * race detector (shadow depth 4, the Go default) and the wait-for
+ * graph detector attached. Deterministic: equal inputs produce a
+ * byte-identical report fingerprint.
+ */
+GoldenReplay goldenReplay(const corpus::BugCase &bug,
+                          const ScheduleTrace &trace);
+
+} // namespace golite::fuzz
+
+#endif // GOLITE_FUZZ_GOLDEN_HH

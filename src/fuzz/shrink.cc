@@ -1,0 +1,210 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "race/detector.hh"
+
+namespace golite::fuzz
+{
+
+namespace
+{
+
+void
+validate(const ShrinkOptions &options)
+{
+    if (options.runOptions.policy != SchedPolicy::Random)
+        throw std::logic_error(
+            "shrinkTrace: trace replay requires SchedPolicy::Random");
+    if (options.runOptions.recordTrace != nullptr ||
+        options.runOptions.replayTrace != nullptr)
+        throw std::logic_error(
+            "shrinkTrace: record/replay traces are managed by the "
+            "shrinker");
+    if (options.runOptions.chooser)
+        throw std::logic_error(
+            "shrinkTrace: a chooser conflicts with trace replay");
+    if (options.maxExecutions == 0)
+        throw std::logic_error("shrinkTrace: maxExecutions must be > 0");
+}
+
+ScheduleTrace
+withoutRange(const ScheduleTrace &t, size_t start, size_t len)
+{
+    ScheduleTrace out;
+    out.decisions.reserve(t.size() - len);
+    out.decisions.insert(out.decisions.end(), t.decisions.begin(),
+                         t.decisions.begin() +
+                             static_cast<long>(start));
+    out.decisions.insert(out.decisions.end(),
+                         t.decisions.begin() +
+                             static_cast<long>(start + len),
+                         t.decisions.end());
+    return out;
+}
+
+/** Drop trailing default decisions (pick 0) — loose replay past the
+ *  end of the trace falls back to the same defaults, so this is a
+ *  replay identity and needs no verification run. */
+void
+stripTrailingDefaults(ScheduleTrace &t)
+{
+    while (!t.empty() && t.decisions.back().pick == 0)
+        t.decisions.pop_back();
+}
+
+} // namespace
+
+ShrinkResult
+shrinkTrace(const RunProgram &run_once, const ScheduleTrace &input,
+            const ShrinkOptions &options)
+{
+    validate(options);
+
+    ShrinkResult result;
+
+    // Loose-replay one candidate; true iff the bug still triggers.
+    auto attempt = [&](const ScheduleTrace &t, ScheduleTrace *record,
+                       RunReport *out) -> bool {
+        result.executions++;
+        RunOptions ro = options.runOptions;
+        ro.replayTrace = &t;
+        ro.replayStrict = false;
+        ro.recordTrace = record;
+        Execution ex = run_once(ro);
+        if (out != nullptr)
+            *out = std::move(ex.report);
+        return ex.bug;
+    };
+    auto budgetLeft = [&] {
+        return result.executions < options.maxExecutions;
+    };
+
+    if (!attempt(input, nullptr, &result.report)) {
+        result.trace = input;
+        return result; // stillBug stays false
+    }
+    result.stillBug = true;
+
+    ScheduleTrace cur = input;
+
+    // 1. Shortest triggering prefix, by binary search. The predicate
+    // need not be monotone in the prefix length; the search is a
+    // heuristic, but every prefix it commits to was verified to
+    // trigger (lo only passes a length whose replay failed, hi only a
+    // length whose replay triggered).
+    {
+        size_t lo = 0;
+        size_t hi = cur.size();
+        while (lo < hi && budgetLeft()) {
+            const size_t mid = lo + (hi - lo) / 2;
+            ScheduleTrace cand;
+            cand.decisions.assign(
+                cur.decisions.begin(),
+                cur.decisions.begin() + static_cast<long>(mid));
+            if (attempt(cand, nullptr, nullptr))
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        cur.decisions.resize(hi);
+    }
+
+    // 2. ddmin chunk removal: try deleting chunks, halving the chunk
+    // size; repeat at size 1 until a fixpoint.
+    for (size_t chunk = std::max<size_t>(cur.size() / 4, 1);
+         budgetLeft();) {
+        bool removed = false;
+        for (size_t start = 0; start < cur.size() && budgetLeft();) {
+            const size_t len = std::min(chunk, cur.size() - start);
+            const ScheduleTrace cand = withoutRange(cur, start, len);
+            if (attempt(cand, nullptr, nullptr)) {
+                cur = cand;
+                removed = true; // keep start: next chunk shifted in
+            } else {
+                start += len;
+            }
+        }
+        if (chunk > 1)
+            chunk /= 2;
+        else if (!removed)
+            break;
+    }
+
+    // 3. Canonicalize surviving picks toward the default 0.
+    for (bool changed = true; changed && budgetLeft();) {
+        changed = false;
+        for (size_t i = 0; i < cur.size() && budgetLeft(); ++i) {
+            if (cur.decisions[i].pick == 0)
+                continue;
+            ScheduleTrace cand = cur;
+            cand.decisions[i].pick = 0;
+            if (attempt(cand, nullptr, nullptr)) {
+                cur = std::move(cand);
+                changed = true;
+            }
+        }
+    }
+
+    // 4. 1-removal local minimality (canonicalization introduced new
+    // defaults, so removal may have reopened): strip trailing
+    // defaults, then retry single removals until none survives.
+    for (;;) {
+        stripTrailingDefaults(cur);
+        if (!budgetLeft())
+            break;
+        bool removed = false;
+        for (size_t i = 0; i < cur.size() && budgetLeft(); ++i) {
+            const ScheduleTrace cand = withoutRange(cur, i, 1);
+            if (attempt(cand, nullptr, nullptr)) {
+                cur = cand;
+                removed = true;
+                break; // indices shifted; restart the pass
+            }
+        }
+        if (!removed) {
+            result.locallyMinimal = budgetLeft() || cur.empty();
+            break;
+        }
+    }
+
+    // Final run: re-verify and capture the normalized (full, strictly
+    // replayable) decision record plus the minimized run's report.
+    result.stillBug =
+        attempt(cur, &result.normalized, &result.report);
+    result.trace = std::move(cur);
+    return result;
+}
+
+ShrinkResult
+shrinkKernelTrace(const corpus::BugCase &bug, corpus::Variant variant,
+                  const ScheduleTrace &input,
+                  const ShrinkOptions &options)
+{
+    if (!options.attachRaceDetector) {
+        return shrinkTrace(
+            [&bug, variant](const RunOptions &ro) {
+                corpus::BugOutcome out = bug.run(variant, ro);
+                return Execution{std::move(out.report),
+                                 out.manifested};
+            },
+            input, options);
+    }
+
+    race::Detector races(4);
+    ShrinkOptions raced = options;
+    raced.runOptions.hooks = &races;
+    return shrinkTrace(
+        [&bug, variant, &races](const RunOptions &ro) {
+            races.reset();
+            corpus::BugOutcome out = bug.run(variant, ro);
+            const bool bug_hit = out.manifested ||
+                                 !out.report.raceMessages.empty();
+            return Execution{std::move(out.report), bug_hit};
+        },
+        input, raced);
+}
+
+} // namespace golite::fuzz

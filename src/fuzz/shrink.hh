@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Delta-debugging shrinker for bug-triggering schedule traces.
+ *
+ * A fuzzer-found trace is typically hundreds of decisions long, most
+ * of them irrelevant. The shrinker reduces it to a locally-minimal
+ * guidance sequence the bug still needs:
+ *
+ *   1. binary-search the shortest bug-triggering prefix (loose replay
+ *      past the end of a trace falls back to defaults, so any prefix
+ *      is a valid guidance trace),
+ *   2. ddmin-style chunk removal, halving the chunk size down to
+ *      single decisions,
+ *   3. canonicalize surviving picks toward 0 (the default), then
+ *      strip trailing default decisions — a replay identity,
+ *   4. verify 1-removal local minimality: removing any single
+ *      remaining decision stops the bug from triggering.
+ *
+ * Every candidate is verified by an actual replay; the result carries
+ * both the minimized guidance trace and its *normalized* form — the
+ * full decision sequence the minimized run actually executed, which
+ * is what strict replay and the committed golden artifacts need
+ * (removing decisions shifts alignment, so the guidance trace itself
+ * is only loose-replayable).
+ */
+
+#ifndef GOLITE_FUZZ_SHRINK_HH
+#define GOLITE_FUZZ_SHRINK_HH
+
+#include "fuzz/fuzzer.hh"
+
+namespace golite::fuzz
+{
+
+/** Tuning for one shrink. */
+struct ShrinkOptions
+{
+    /** Base options for every verification replay. Policy must be
+     *  Random; record/replay slots must be free (the shrinker owns
+     *  them). Hooks are allowed — shrinking is single-threaded. */
+    RunOptions runOptions;
+
+    /** Replay budget; the shrinker returns its best-so-far when the
+     *  budget runs out (locallyMinimal then reports false). */
+    size_t maxExecutions = 4000;
+
+    /** shrinkKernelTrace only: attach a race detector and widen the
+     *  bug predicate to `manifested || raceMessages non-empty`, the
+     *  same judgement FuzzOptions::attachRaceDetector applies. */
+    bool attachRaceDetector = false;
+};
+
+/** Outcome of shrinking one trace. */
+struct ShrinkResult
+{
+    /** False iff the input trace did not trigger the bug (nothing
+     *  was shrunk; `trace` echoes the input). */
+    bool stillBug = false;
+    /** Minimized guidance trace (loose-replayable). */
+    ScheduleTrace trace;
+    /** Full decision record of the minimized run — strict-replayable;
+     *  this is the form to commit as a golden artifact. */
+    ScheduleTrace normalized;
+    /** Report of the minimized run. */
+    RunReport report;
+    /** Replays spent. */
+    size_t executions = 0;
+    /** True when the final 1-removal pass completed within budget
+     *  without finding a smaller trigger. */
+    bool locallyMinimal = false;
+};
+
+/** Shrink @p input against an arbitrary target. */
+ShrinkResult shrinkTrace(const RunProgram &run_once,
+                         const ScheduleTrace &input,
+                         const ShrinkOptions &options = {});
+
+/** Shrink against a corpus kernel variant; the bug predicate is the
+ *  kernel's own BugOutcome::manifested, as in fuzzKernel. */
+ShrinkResult shrinkKernelTrace(const corpus::BugCase &bug,
+                               corpus::Variant variant,
+                               const ScheduleTrace &input,
+                               const ShrinkOptions &options = {});
+
+} // namespace golite::fuzz
+
+#endif // GOLITE_FUZZ_SHRINK_HH

@@ -55,6 +55,20 @@ PartialDeadlock::describe() const
 }
 
 std::string
+ReplayDivergence::describe() const
+{
+    std::ostringstream os;
+    os << "replay divergence at decision " << index << ": trace "
+       << "recorded " << decisionKindName(expectedKind) << " among "
+       << expectedAlternatives << ", program offered "
+       << decisionKindName(actualKind) << " among "
+       << actualAlternatives;
+    if (!runnable.empty())
+        os << "; runnable: " << runnable;
+    return os.str();
+}
+
+std::string
 RunReport::formatTrace() const
 {
     std::ostringstream os;
@@ -81,6 +95,10 @@ RunReport::fingerprint() const
        << ";livelocked=" << livelocked << ";created="
        << goroutinesCreated << ";ticks=" << ticks << ";time="
        << finalTimeNs << "\n";
+    // Only emitted when set, so pre-replay fingerprints stay
+    // byte-identical (committed baselines depend on that).
+    if (replayDivergence.diverged)
+        os << "divergence:" << replayDivergence.describe() << "\n";
     for (const LeakInfo &leak : leaked)
         os << "leak:" << leak.goid << ","
            << static_cast<int>(leak.reason) << "," << leak.label
@@ -103,7 +121,9 @@ std::string
 RunReport::describe() const
 {
     std::ostringstream os;
-    if (panicked) {
+    if (replayDivergence.diverged) {
+        os << "fatal error: " << replayDivergence.describe() << "\n";
+    } else if (panicked) {
         os << "panic: " << panicMessage << "\n";
     } else if (globalDeadlock) {
         os << "fatal error: all goroutines are asleep - deadlock!\n";

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "runtime/goroutine.hh"
+#include "runtime/sched_trace.hh"
 
 namespace golite
 {
@@ -83,6 +84,39 @@ struct RunOptions
      * enumerate schedules exhaustively.
      */
     std::function<size_t(size_t)> chooser;
+
+    /**
+     * When set, the scheduler appends every nondeterministic decision
+     * (dispatch pick, select shuffle, preemption coin) to this trace;
+     * the recorded sequence replays the run exactly, independent of
+     * the seed. Cleared at run start. Recording requires
+     * SchedPolicy::Random (the only policy whose dispatch picks all
+     * funnel through the decision engine); other policies throw
+     * std::logic_error.
+     */
+    ScheduleTrace *recordTrace = nullptr;
+
+    /**
+     * When set, every decision is taken from this trace instead of
+     * the RNG/chooser; the seed becomes irrelevant to scheduling.
+     * Past the end of the trace, decisions fall back to defaults
+     * (first runnable goroutine, no preemption), so a shrunk prefix
+     * is a valid replay input. Requires SchedPolicy::Random and no
+     * chooser (std::logic_error otherwise). May be combined with
+     * recordTrace (into a *different* trace object) to re-record the
+     * normalized decision sequence a guided replay actually executed.
+     */
+    const ScheduleTrace *replayTrace = nullptr;
+
+    /**
+     * Strict replay (default): if the program offers a different
+     * decision kind or alternative count than the trace recorded at
+     * some index, the run aborts immediately and
+     * RunReport::replayDivergence carries the structured mismatch.
+     * Loose replay (false, the fuzzer's mode for mutated traces)
+     * clamps mismatches and keeps going.
+     */
+    bool replayStrict = true;
 
     /** Detector instrumentation; null runs without a detector. */
     RaceHooks *hooks = nullptr;
@@ -194,6 +228,31 @@ struct TraceEvent
     std::string detail; ///< label, wait reason, or new time
 };
 
+/**
+ * Structured report of a strict replay failing fast: the program, at
+ * decision @p index of the trace, offered a different choice than the
+ * trace recorded — the fingerprint of a program (or runtime
+ * scheduling semantics) that changed since the trace was captured.
+ */
+struct ReplayDivergence
+{
+    bool diverged = false;
+    /** Index of the mismatching decision in the replayed trace. */
+    size_t index = 0;
+    DecisionKind expectedKind = DecisionKind::Pick;
+    DecisionKind actualKind = DecisionKind::Pick;
+    /** Alternative count the trace recorded at this index. */
+    size_t expectedAlternatives = 0;
+    /** Alternative count the program actually offered. */
+    size_t actualAlternatives = 0;
+    /** The actual runnable set (or select shape) at the divergence,
+     *  e.g. "g1[main] g3[worker]". */
+    std::string runnable;
+
+    /** One-line rendering ("replay divergence at decision ..."). */
+    std::string describe() const;
+};
+
 /** Per-goroutine lifetime statistics (for the Table 3 experiment). */
 struct GoroutineStat
 {
@@ -222,6 +281,12 @@ struct RunReport
 
     /** The run exceeded its dispatch budget. */
     bool livelocked = false;
+
+    /**
+     * Strict replay aborted on a trace mismatch (see
+     * RunOptions::replayTrace); `completed` is false when set.
+     */
+    ReplayDivergence replayDivergence;
 
     /** Goroutines still parked when the run ended (goroutine leaks). */
     std::vector<LeakInfo> leaked;

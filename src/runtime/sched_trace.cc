@@ -1,0 +1,181 @@
+#include "runtime/sched_trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace golite
+{
+
+namespace
+{
+
+/** Upper bound on a parsed alternatives/count field: large enough for
+ *  any real run queue or select, small enough to reject garbage. */
+constexpr uint64_t kMaxField = 1u << 20;
+
+bool
+isNoPreempt(const Decision &d)
+{
+    return d.kind == DecisionKind::Preempt && d.pick == 0;
+}
+
+} // namespace
+
+const char *
+decisionKindName(DecisionKind kind)
+{
+    switch (kind) {
+      case DecisionKind::Pick: return "pick";
+      case DecisionKind::SelectArm: return "select-arm";
+      case DecisionKind::Preempt: return "preempt";
+    }
+    return "?";
+}
+
+size_t
+ScheduleTrace::nonDefaultCount() const
+{
+    size_t n = 0;
+    for (const Decision &d : decisions)
+        n += d.pick != 0;
+    return n;
+}
+
+std::string
+ScheduleTrace::serialize() const
+{
+    std::ostringstream os;
+    os << "golite-trace v1\n";
+    for (size_t i = 0; i < decisions.size();) {
+        const Decision &d = decisions[i];
+        if (isNoPreempt(d)) {
+            // Run-length encode consecutive no-preempt decisions.
+            size_t run = 1;
+            while (i + run < decisions.size() &&
+                   isNoPreempt(decisions[i + run]))
+                run++;
+            if (run > 1)
+                os << "r " << run << "\n";
+            else
+                os << "e 0\n";
+            i += run;
+            continue;
+        }
+        switch (d.kind) {
+          case DecisionKind::Pick:
+            os << "p " << d.alternatives << " " << d.pick << "\n";
+            break;
+          case DecisionKind::SelectArm:
+            os << "s " << d.alternatives << " " << d.pick << "\n";
+            break;
+          case DecisionKind::Preempt:
+            os << "e " << d.pick << "\n";
+            break;
+        }
+        i++;
+    }
+    return os.str();
+}
+
+bool
+ScheduleTrace::parse(const std::string &text, ScheduleTrace &out,
+                     std::string *error)
+{
+    auto fail = [error](size_t line, const std::string &why) {
+        if (error) {
+            *error = "golite-trace line " + std::to_string(line) +
+                     ": " + why;
+        }
+        return false;
+    };
+
+    std::istringstream is(text);
+    std::string line;
+    size_t lineno = 0;
+    ScheduleTrace parsed;
+    bool sawHeader = false;
+    while (std::getline(is, line)) {
+        lineno++;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (!sawHeader) {
+            if (line != "golite-trace v1")
+                return fail(lineno, "missing 'golite-trace v1' header");
+            sawHeader = true;
+            continue;
+        }
+        std::istringstream ls(line);
+        std::string op;
+        ls >> op;
+        uint64_t a = 0, b = 0;
+        if (op == "p" || op == "s") {
+            if (!(ls >> a >> b))
+                return fail(lineno, "expected '" + op + " <n> <pick>'");
+            if (a < 2 || a > kMaxField)
+                return fail(lineno, "alternatives out of range");
+            if (b >= a)
+                return fail(lineno, "pick >= alternatives");
+            parsed.decisions.push_back(Decision{
+                op == "p" ? DecisionKind::Pick : DecisionKind::SelectArm,
+                static_cast<uint32_t>(a), static_cast<uint32_t>(b)});
+        } else if (op == "e") {
+            if (!(ls >> a))
+                return fail(lineno, "expected 'e <0|1>'");
+            if (a > 1)
+                return fail(lineno, "preempt pick must be 0 or 1");
+            parsed.decisions.push_back(Decision{
+                DecisionKind::Preempt, 2, static_cast<uint32_t>(a)});
+        } else if (op == "r") {
+            if (!(ls >> a) || a == 0 || a > kMaxField)
+                return fail(lineno, "expected 'r <count>' with count in "
+                                    "[1, 2^20]");
+            for (uint64_t i = 0; i < a; ++i)
+                parsed.decisions.push_back(
+                    Decision{DecisionKind::Preempt, 2, 0});
+        } else {
+            return fail(lineno, "unknown op '" + op + "'");
+        }
+        std::string rest;
+        if (ls >> rest && rest[0] != '#')
+            return fail(lineno, "trailing garbage '" + rest + "'");
+    }
+    if (!sawHeader)
+        return fail(lineno, "empty trace (no header)");
+    out = std::move(parsed);
+    return true;
+}
+
+bool
+ScheduleTrace::saveFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string doc = serialize();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+bool
+ScheduleTrace::loadFile(const std::string &path, ScheduleTrace &out,
+                        std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return parse(text, out, error);
+}
+
+} // namespace golite

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ScheduleTrace: the exact record of every nondeterministic decision a
+ * run made, replayable independently of the seed that produced it.
+ *
+ * The scheduler funnels all nondeterminism through three decision
+ * kinds — the dispatch pick among runnable goroutines, select's
+ * shuffle draw, and the per-access preemption coin — so a recorded
+ * decision sequence pins the entire interleaving. Record a run with
+ * RunOptions::recordTrace, replay it with RunOptions::replayTrace:
+ * strict replay reproduces the recorded run decision for decision and
+ * fails fast with a structured ReplayDivergence if the program no
+ * longer offers the recorded alternatives; loose replay (the fuzzer's
+ * mode) treats the trace as guidance and clamps mismatches.
+ *
+ * Traces serialize to a line-oriented text format ("golite-trace v1")
+ * compact enough to commit as regression artifacts; see
+ * DESIGN.md ("Fuzzing & replay") for the format specification.
+ */
+
+#ifndef GOLITE_RUNTIME_SCHED_TRACE_HH
+#define GOLITE_RUNTIME_SCHED_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace golite
+{
+
+/** Kind of one recorded scheduling decision. */
+enum class DecisionKind : uint8_t
+{
+    Pick,      ///< dispatch pick among the runnable goroutines
+    SelectArm, ///< select's shuffle draw over its cases
+    Preempt,   ///< preemption coin at an instrumented shared access
+};
+
+/** Number of DecisionKind values (for the exhaustiveness test). */
+constexpr int kDecisionKindCount =
+    static_cast<int>(DecisionKind::Preempt) + 1;
+
+const char *decisionKindName(DecisionKind kind);
+
+/** One recorded decision: which alternative of how many was taken. */
+struct Decision
+{
+    DecisionKind kind = DecisionKind::Pick;
+    /** Alternatives offered (>= 2; 1-way choices are never recorded).
+     *  Preempt decisions always offer 2: 0 = keep running, 1 = yield. */
+    uint32_t alternatives = 2;
+    uint32_t pick = 0;
+
+    bool
+    operator==(const Decision &o) const
+    {
+        return kind == o.kind && alternatives == o.alternatives &&
+               pick == o.pick;
+    }
+    bool operator!=(const Decision &o) const { return !(*this == o); }
+};
+
+/**
+ * A replayable schedule: the decision sequence of one run, in the
+ * order the runtime consumed it. A trace may also be a *prefix*:
+ * replay past the last decision falls back to defaults (first
+ * runnable goroutine, no preemption), which is what lets the shrinker
+ * cut a bug-triggering trace down to its essential prefix.
+ */
+struct ScheduleTrace
+{
+    std::vector<Decision> decisions;
+
+    size_t size() const { return decisions.size(); }
+    bool empty() const { return decisions.empty(); }
+
+    /** Decisions that deviate from the replay default (pick != 0) —
+     *  the measure the shrinker minimizes after prefix truncation. */
+    size_t nonDefaultCount() const;
+
+    bool
+    operator==(const ScheduleTrace &o) const
+    {
+        return decisions == o.decisions;
+    }
+
+    /**
+     * Render as the committable "golite-trace v1" text format.
+     * Runs of no-preempt decisions are run-length encoded, so traces
+     * of preemption-heavy runs stay compact.
+     */
+    std::string serialize() const;
+
+    /**
+     * Parse the text format. Returns false (and sets @p error, when
+     * non-null, to a message naming the offending line) on malformed
+     * input; @p out is unchanged on failure.
+     */
+    static bool parse(const std::string &text, ScheduleTrace &out,
+                      std::string *error = nullptr);
+
+    /** Write serialize() to @p path; false (with errno intact) on
+     *  I/O failure. */
+    bool saveFile(const std::string &path) const;
+
+    /** Read and parse @p path; false on I/O or parse failure. */
+    static bool loadFile(const std::string &path, ScheduleTrace &out,
+                         std::string *error = nullptr);
+};
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_SCHED_TRACE_HH

@@ -188,17 +188,94 @@ Scheduler::choose(size_t n)
 {
     if (n <= 1)
         return 0;
-    if (options_.chooser) {
-        const size_t pick = options_.chooser(n);
-        return pick < n ? pick : n - 1;
+    return decide(DecisionKind::SelectArm, n);
+}
+
+std::string
+Scheduler::runnableDescription() const
+{
+    std::string out;
+    for (const Goroutine *g : readyq_) {
+        if (!out.empty())
+            out += " ";
+        out += "g" + std::to_string(g->id);
+        if (!g->label.empty())
+            out += "[" + g->label + "]";
     }
-    return rng_.below(n);
+    if (running_) {
+        if (!out.empty())
+            out += " ";
+        out += "g" + std::to_string(running_->id) + "(running)";
+    }
+    return out;
+}
+
+size_t
+Scheduler::replayPick(DecisionKind kind, size_t n)
+{
+    const std::vector<Decision> &decisions =
+        options_.replayTrace->decisions;
+    if (replayAt_ >= decisions.size()) {
+        // Past the recorded prefix: a (possibly shrunk) trace is
+        // guidance; the remainder of the run takes defaults.
+        return 0;
+    }
+    const Decision &d = decisions[replayAt_];
+    if (options_.replayStrict &&
+        (d.kind != kind || d.alternatives != n)) {
+        // The program no longer offers the recorded choice: fail
+        // fast with the structured mismatch instead of silently
+        // replaying a different interleaving.
+        ReplayDivergence &div = report_.replayDivergence;
+        div.diverged = true;
+        div.index = replayAt_;
+        div.expectedKind = d.kind;
+        div.actualKind = kind;
+        div.expectedAlternatives = d.alternatives;
+        div.actualAlternatives = n;
+        div.runnable = runnableDescription();
+        aborting_ = true;
+        if (running_ != nullptr) {
+            // Goroutine context (select arm / preemption coin):
+            // unwind this goroutine now; the run loop then aborts.
+            throw RunAborted{};
+        }
+        return 0; // dispatch pick: the run loop aborts before dispatch
+    }
+    replayAt_++;
+    return d.pick < n ? d.pick : n - 1;
+}
+
+size_t
+Scheduler::decide(DecisionKind kind, size_t n)
+{
+    size_t pick;
+    if (options_.replayTrace != nullptr) {
+        pick = replayPick(kind, n);
+    } else if (kind == DecisionKind::Preempt) {
+        pick = rng_.chance(options_.preemptProb) ? 1 : 0;
+    } else if (options_.chooser) {
+        pick = options_.chooser(n);
+        if (pick >= n)
+            pick = n - 1;
+    } else {
+        pick = rng_.below(n);
+    }
+    if (options_.recordTrace != nullptr) {
+        options_.recordTrace->decisions.push_back(
+            Decision{kind, static_cast<uint32_t>(n),
+                     static_cast<uint32_t>(pick)});
+    }
+    return pick;
 }
 
 void
 Scheduler::maybePreempt()
 {
-    if (running_ && rng_.chance(options_.preemptProb))
+    // The natural draw inside decide() is the same
+    // rng_.chance(preemptProb) coin as always, so seed sweeps and
+    // committed baselines see an unchanged stream.
+    if (running_ && decide(DecisionKind::Preempt, 2) == 1)
         yield();
 }
 
@@ -254,7 +331,8 @@ Scheduler::pickNext()
     size_t index = 0;
     switch (options_.policy) {
       case SchedPolicy::Random:
-        index = choose(readyq_.size());
+        if (readyq_.size() > 1)
+            index = decide(DecisionKind::Pick, readyq_.size());
         break;
       case SchedPolicy::Fifo:
         index = 0;
@@ -344,7 +422,8 @@ Scheduler::finalize()
     report_.raceMessages = hooks_->drainReports();
     dhooks_->finalizeRun(report_);
     report_.completed = !report_.globalDeadlock && !report_.panicked &&
-                        !report_.livelocked;
+                        !report_.livelocked &&
+                        !report_.replayDivergence.diverged;
 }
 
 RunReport
@@ -358,8 +437,28 @@ Scheduler::run(std::function<void()> main)
             "active on this thread (start independent runs on their "
             "own threads, e.g. via golite::parallel)");
     }
+    if ((options_.recordTrace || options_.replayTrace) &&
+        options_.policy != SchedPolicy::Random) {
+        // Fifo/Lifo/Pct picks bypass the decision engine, so a trace
+        // would miss (or could not drive) the dispatch choices.
+        throw std::logic_error(
+            "schedule trace record/replay requires SchedPolicy::Random");
+    }
+    if (options_.replayTrace && options_.chooser) {
+        throw std::logic_error(
+            "RunOptions::replayTrace and RunOptions::chooser are both "
+            "decision drivers; set only one");
+    }
+    if (options_.recordTrace &&
+        options_.recordTrace == options_.replayTrace) {
+        throw std::logic_error(
+            "recordTrace must be a different object than replayTrace");
+    }
     current_ = this;
     report_ = RunReport{};
+    replayAt_ = 0;
+    if (options_.recordTrace)
+        options_.recordTrace->decisions.clear();
 
     const uint64_t id = nextId_;
     auto g = std::make_unique<Goroutine>(id, std::move(main),
@@ -404,7 +503,13 @@ Scheduler::run(std::function<void()> main)
         if (mainDone_ && !options_.drainAfterMain)
             break;
 
-        dispatch(pickNext());
+        Goroutine *next = pickNext();
+        if (aborting_) {
+            // Strict replay diverged during the pick; the goroutine
+            // was never dispatched, abortAll() unwinds it below.
+            break;
+        }
+        dispatch(next);
 
         if (aborting_) {
             // A goroutine panicked: crash the program (unwind all).

@@ -137,10 +137,12 @@ class Scheduler
     Rng &rng() { return rng_; }
 
     /**
-     * Resolve one nondeterministic choice among @p n alternatives:
-     * via RunOptions::chooser when set (systematic exploration),
-     * else the seeded RNG. Every choice point in the runtime funnels
-     * through here.
+     * Resolve select's shuffle choice among @p n alternatives via the
+     * decision engine (trace replay > chooser > seeded RNG). Select is
+     * the only primitive with its own choice point; dispatch picks and
+     * preemption coins go through decide() internally, so together the
+     * three decision kinds cover every bit of runtime nondeterminism —
+     * which is what makes a recorded ScheduleTrace an exact replay.
      */
     size_t choose(size_t n);
 
@@ -152,6 +154,21 @@ class Scheduler
 
     /** Body of a goroutine: run entry, catch panics, mark done. */
     void goroutineBody(Goroutine *g);
+
+    /**
+     * The decision engine: every nondeterministic choice (dispatch
+     * pick, select arm, preemption coin) resolves here, in priority
+     * order replay trace > natural draw (chooser for picks/arms, the
+     * preemptProb coin for preemptions), and is appended to
+     * RunOptions::recordTrace when recording. Only called with n >= 2.
+     */
+    size_t decide(DecisionKind kind, size_t n);
+
+    /** Take the next replayed decision; handles strict divergence. */
+    size_t replayPick(DecisionKind kind, size_t n);
+
+    /** "g1[main] g2[worker]" rendering of the ready queue. */
+    std::string runnableDescription() const;
 
     /** Pick the next runnable goroutine per policy. */
     Goroutine *pickNext();
@@ -211,6 +228,9 @@ class Scheduler
     std::priority_queue<PendingTimer, std::vector<PendingTimer>,
                         std::greater<>> timers_;
     uint64_t timerSeq_ = 0;
+
+    /** Next decision to consume from RunOptions::replayTrace. */
+    size_t replayAt_ = 0;
 
     RunReport report_;
 

@@ -14,6 +14,9 @@
 #include <tuple>
 #include <vector>
 
+#include "corpus/bug.hh"
+#include "fuzz/fuzzer.hh"
+#include "fuzz/shrink.hh"
 #include "golite/golite.hh"
 
 namespace golite
@@ -277,6 +280,75 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Params> &info) {
         return std::string(schedPolicyName(std::get<0>(info.param))) +
                "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// ----------------------------------------------------------------
+// Shrinker property: for any fuzzer-found bug trace, the shrunk
+// trace (a) still triggers the bug, and (b) is 1-removal minimal —
+// deleting any single remaining decision loses the bug. Swept over
+// several schedule-dependent kernels and fuzz seeds.
+
+using ShrinkParams = std::tuple<const char *, uint64_t>;
+
+class ShrinkMinimality
+    : public ::testing::TestWithParam<ShrinkParams>
+{
+};
+
+TEST_P(ShrinkMinimality, ShrunkTraceIsLocallyMinimal)
+{
+    const auto [id, fuzz_seed] = GetParam();
+    const corpus::BugCase *bug = corpus::findBug(id);
+    ASSERT_NE(bug, nullptr);
+
+    fuzz::FuzzOptions fo;
+    fo.maxExecutions = 1500;
+    fo.fuzzSeed = fuzz_seed;
+    fo.workers = 1;
+    const fuzz::FuzzResult found =
+        fuzz::fuzzKernel(*bug, corpus::Variant::Buggy, fo);
+    ASSERT_TRUE(found.bugFound) << id;
+
+    const fuzz::ShrinkResult shrunk = fuzz::shrinkKernelTrace(
+        *bug, corpus::Variant::Buggy, found.bugTrace);
+    ASSERT_TRUE(shrunk.stillBug) << id;
+    ASSERT_TRUE(shrunk.locallyMinimal) << id;
+
+    auto triggers = [&](const ScheduleTrace &t) {
+        RunOptions ro;
+        ro.policy = SchedPolicy::Random;
+        ro.replayTrace = &t;
+        ro.replayStrict = false;
+        return bug->run(corpus::Variant::Buggy, ro).manifested;
+    };
+
+    // (a) the shrunk trace still triggers.
+    EXPECT_TRUE(triggers(shrunk.trace)) << id;
+
+    // (b) removing any single decision loses the bug.
+    for (size_t i = 0; i < shrunk.trace.size(); ++i) {
+        ScheduleTrace cut;
+        cut.decisions = shrunk.trace.decisions;
+        cut.decisions.erase(cut.decisions.begin() +
+                            static_cast<long>(i));
+        EXPECT_FALSE(triggers(cut))
+            << id << ": decision " << i << " of "
+            << shrunk.trace.size() << " is removable";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ShrinkMinimality,
+    ::testing::Combine(::testing::Values("cockroach-6111",
+                                         "kubernetes-41113",
+                                         "etcd-5027", "etcd-6873"),
+                       ::testing::Values<uint64_t>(1, 2)),
+    [](const ::testing::TestParamInfo<ShrinkParams> &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_f" + std::to_string(std::get<1>(info.param));
     });
 
 } // namespace

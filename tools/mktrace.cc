@@ -1,0 +1,155 @@
+/**
+ * @file
+ * mktrace: regenerate the committed golden replay artifacts under
+ * tests/traces/.
+ *
+ * For each requested corpus kernel it (1) fuzzes the buggy variant
+ * deterministically until the bug manifests, (2) shrinks the found
+ * trace to a locally-minimal guidance sequence, (3) strictly replays
+ * the shrunk run's normalized trace through fuzz::goldenReplay — the
+ * exact code path the golden test uses — and (4) writes
+ * <id>.trace (the normalized trace) and <id>.report (the replay's
+ * RunReport fingerprint) into the output directory.
+ *
+ * Usage: mktrace <output-dir> [bug-id...]
+ * With no ids, the default golden set (kDefaultIds) is regenerated.
+ * Exits non-zero if any kernel cannot be fuzzed, shrunk, and
+ * replayed to a manifesting, non-diverging run.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "corpus/bug.hh"
+#include "fuzz/fuzzer.hh"
+#include "fuzz/golden.hh"
+#include "fuzz/shrink.hh"
+
+namespace
+{
+
+using namespace golite;
+
+/** The committed golden set: the deterministic double-lock classic
+ *  plus schedule-dependent kernels whose shrunk traces are
+ *  non-trivial (the bug needs specific picks/preemptions), and one
+ *  detector-only data race. */
+const char *const kDefaultIds[] = {
+    "boltdb-392",       // blocking / mutex: deterministic deadlock
+    "cockroach-6111",   // non-blocking: lost increments, rare
+    "kubernetes-41113", // non-blocking: schedule-dependent
+    "etcd-4959",        // blocking: manifests on few schedules
+    "etcd-5027",        // non-blocking: rare interleaving
+    "etcd-6873",        // blocking: schedule-dependent leak
+    "docker-22985",     // race visible only to the detector
+};
+
+bool
+writeText(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+bool
+makeArtifacts(const std::string &outdir, const std::string &id)
+{
+    const corpus::BugCase *bug = corpus::findBug(id);
+    if (bug == nullptr) {
+        std::fprintf(stderr, "mktrace: unknown bug id '%s'\n",
+                     id.c_str());
+        return false;
+    }
+
+    // Prefer the kernel's own manifestation judgement — it yields
+    // schedule-specific traces; fall back to the race detector for
+    // kernels whose defect only the detector can see.
+    fuzz::FuzzOptions fo;
+    fo.maxExecutions = 5000;
+    fo.workers = 1; // deterministic
+    fuzz::FuzzResult found =
+        fuzz::fuzzKernel(*bug, corpus::Variant::Buggy, fo);
+    bool raced_mode = false;
+    if (!found.bugFound) {
+        fo.attachRaceDetector = true;
+        found = fuzz::fuzzKernel(*bug, corpus::Variant::Buggy, fo);
+        raced_mode = true;
+    }
+    if (!found.bugFound) {
+        std::fprintf(stderr,
+                     "mktrace: %s: no bug within %zu executions\n",
+                     id.c_str(), found.executions);
+        return false;
+    }
+
+    fuzz::ShrinkOptions so;
+    so.attachRaceDetector = raced_mode;
+    fuzz::ShrinkResult shrunk =
+        fuzz::shrinkKernelTrace(*bug, corpus::Variant::Buggy,
+                                found.bugTrace, so);
+    if (!shrunk.stillBug) {
+        std::fprintf(stderr, "mktrace: %s: shrink lost the bug\n",
+                     id.c_str());
+        return false;
+    }
+
+    const fuzz::GoldenReplay golden =
+        fuzz::goldenReplay(*bug, shrunk.normalized);
+    if (golden.diverged || !(golden.manifested || golden.raced)) {
+        std::fprintf(stderr,
+                     "mktrace: %s: golden replay %s\n", id.c_str(),
+                     golden.diverged ? "diverged"
+                                     : "did not manifest the bug");
+        return false;
+    }
+
+    std::string header = "# " + id + ": shrunk schedule, " +
+                         std::to_string(shrunk.trace.size()) +
+                         " guidance decisions, normalized to " +
+                         std::to_string(shrunk.normalized.size()) +
+                         "\n";
+    if (!writeText(outdir + "/" + id + ".trace",
+                   header + shrunk.normalized.serialize()) ||
+        !writeText(outdir + "/" + id + ".report",
+                   golden.report.fingerprint())) {
+        std::fprintf(stderr, "mktrace: %s: cannot write artifacts\n",
+                     id.c_str());
+        return false;
+    }
+
+    std::printf("%-18s fuzz %zu execs (bug at %zu), shrunk %zu -> %zu "
+                "(%zu normalized), %zu shrink replays%s\n",
+                id.c_str(), found.executions, found.executionsToBug,
+                found.bugTrace.size(), shrunk.trace.size(),
+                shrunk.normalized.size(), shrunk.executions,
+                shrunk.locallyMinimal ? "" : " [not minimal]");
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: mktrace <output-dir> [bug-id...]\n");
+        return 2;
+    }
+    const std::string outdir = argv[1];
+    std::vector<std::string> ids;
+    for (int i = 2; i < argc; ++i)
+        ids.push_back(argv[i]);
+    if (ids.empty())
+        ids.assign(std::begin(kDefaultIds), std::end(kDefaultIds));
+
+    bool ok = true;
+    for (const std::string &id : ids)
+        ok = makeArtifacts(outdir, id) && ok;
+    return ok ? 0 : 1;
+}
