@@ -36,7 +36,7 @@ evictionStressDetected(size_t depth, int reads_between)
 {
     race::Detector detector(depth);
     RunOptions options;
-    options.hooks = &detector;
+    options.subscribers.push_back(&detector);
     options.policy = SchedPolicy::Fifo;
     options.preemptProb = 0.0;
     race::Shared<int> x("stress");

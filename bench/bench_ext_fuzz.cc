@@ -65,7 +65,7 @@ randomToFirstBug(const BugCase &bug)
         det.reset();
         RunOptions ro;
         ro.seed = 0xb5ad4eceda1ce2a9ULL ^ (i * 0x2545f4914f6cdd1dULL);
-        ro.hooks = &det;
+        ro.subscribers.push_back(&det);
         const corpus::BugOutcome out = bug.run(Variant::Buggy, ro);
         if (out.manifested || !out.report.raceMessages.empty())
             return i;

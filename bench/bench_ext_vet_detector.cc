@@ -61,7 +61,7 @@ main()
             vet::BlockingVet checker;
             RunOptions options;
             options.seed = seed;
-            options.hooks = &checker;
+            options.subscribers.push_back(&checker);
             auto outcome = bug.run(Variant::Buggy, options);
             builtin |= outcome.report.globalDeadlock;
             leak |= !outcome.report.leaked.empty();

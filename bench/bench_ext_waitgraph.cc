@@ -8,7 +8,7 @@
  * reproduced blocking bugs. This bench evaluates the detector the
  * paper's Implication 4 asks for: each bug is driven to its blocking
  * state under a manifesting seed with a waitgraph::Detector plugged
- * into RunOptions::deadlockHooks, and we record
+ * onto the run's event bus, and we record
  *
  *   - built-in:  did the all-asleep detector fire (paper baseline),
  *   - certain:   did the wait graph prove a partial deadlock mid-run
@@ -61,7 +61,7 @@ evaluate(const BugCase &bug, golite::parallel::WorkerPool &pool)
     waitgraph::Detector det;
     RunOptions options;
     options.seed = seed.value_or(0);
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     auto outcome = bug.run(Variant::Buggy, options);
     ev.builtin = outcome.report.globalDeadlock;
     ev.certain = !det.certainReports().empty();
@@ -85,7 +85,7 @@ falsePositives(const BugCase &bug, int seeds,
             waitgraph::Detector det;
             RunOptions options;
             options.seed = static_cast<uint64_t>(seed);
-            options.deadlockHooks = &det;
+            options.subscribers.push_back(&det);
             bug.run(Variant::Fixed, options);
             return static_cast<int>(det.certainReports().size());
         });
@@ -104,7 +104,7 @@ cleanProgramFalsePositives(int seeds,
         waitgraph::Detector det;
         RunOptions options;
         options.seed = static_cast<uint64_t>(seed);
-        options.deadlockHooks = &det;
+        options.subscribers.push_back(&det);
         RunReport report = run(
             [] {
                 auto mu = std::make_shared<Mutex>();
@@ -144,7 +144,7 @@ cleanProgramFalsePositives(int seeds,
             options);
         fps += static_cast<int>(det.certainReports().size());
         if (!report.clean())
-            fps++; // a clean program must stay clean under the hooks
+            fps++; // a clean program must stay clean under the detector
         return fps;
         });
     return std::accumulate(counts.begin(), counts.end(), 0);

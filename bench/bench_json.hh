@@ -39,6 +39,18 @@ class JsonReport
                             wall_seconds, workers});
     }
 
+    /**
+     * Attach one obs::MetricsSink counter document (the single-line
+     * RunMetrics::json() output) rendered as a "run_metrics"
+     * top-level key, so throughput numbers travel with the exact
+     * operation mix that produced them.
+     */
+    void
+    setRunMetrics(std::string metrics_json)
+    {
+        runMetrics_ = std::move(metrics_json);
+    }
+
     /** Render the whole report as a JSON document. */
     std::string
     render() const
@@ -56,7 +68,10 @@ class JsonReport
                    "\",\n" + buf + "    }";
             out += (i + 1 < entries_.size()) ? ",\n" : "\n";
         }
-        out += "  ]\n}\n";
+        out += "  ]";
+        if (!runMetrics_.empty())
+            out += ",\n  \"run_metrics\": " + runMetrics_;
+        out += "\n}\n";
         return out;
     }
 
@@ -99,6 +114,7 @@ class JsonReport
     }
 
     std::vector<JsonEntry> entries_;
+    std::string runMetrics_; ///< pre-rendered RunMetrics::json()
 };
 
 } // namespace golite::bench

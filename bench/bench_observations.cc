@@ -207,7 +207,7 @@ main()
             vet::BlockingVet checker;
             RunOptions options;
             options.seed = seed.value_or(0);
-            options.hooks = &checker;
+            options.subscribers.push_back(&checker);
             auto outcome = bug->run(corpus::Variant::Buggy, options);
             builtin += outcome.report.globalDeadlock;
             vet_hits += !checker.reports().empty();
@@ -247,7 +247,7 @@ main()
                 race::Detector detector;
                 RunOptions options;
                 options.seed = seed;
-                options.hooks = &detector;
+                options.subscribers.push_back(&detector);
                 bug->run(corpus::Variant::Buggy, options);
                 if (!detector.reports().empty()) {
                     detected++;

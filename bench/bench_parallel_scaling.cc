@@ -58,7 +58,7 @@ protocolJobs()
                 waitgraph::Detector det;
                 RunOptions options;
                 options.seed = static_cast<uint64_t>(seed);
-                options.deadlockHooks = &det;
+                options.subscribers.push_back(&det);
                 return bug->run(Variant::Buggy, options).report;
             });
         }

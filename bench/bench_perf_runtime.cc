@@ -127,14 +127,12 @@ BM_MutexContention(benchmark::State &state)
 }
 BENCHMARK(BM_MutexContention)->Arg(2)->Arg(8);
 
-void
-raceWorkload(golite::RaceHooks *hooks)
+RunReport
+raceWorkload(RunOptions options)
 {
-    RunOptions options;
-    options.hooks = hooks;
     options.preemptProb = 0.1;
     race::Shared<int> x("bench");
-    run([&x] {
+    return run([&x] {
         Mutex mu;
         WaitGroup wg;
         wg.add(4);
@@ -150,6 +148,15 @@ raceWorkload(golite::RaceHooks *hooks)
         }
         wg.wait();
     }, options);
+}
+
+RunReport
+raceWorkload(golite::Subscriber *detector)
+{
+    RunOptions options;
+    if (detector)
+        options.subscribers.push_back(detector);
+    return raceWorkload(options);
 }
 
 void
@@ -236,6 +243,17 @@ main(int argc, char **argv)
     JsonTeeReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
+
+    // One instrumented pass over the race workload at a fixed seed:
+    // its operation mix rides along in BENCH_perf.json so a
+    // throughput shift can be read against what the runs actually did.
+    obs::MetricsSink metrics;
+    RunOptions options;
+    options.seed = 1;
+    options.subscribers.push_back(&metrics);
+    reporter.report.setRunMetrics(
+        raceWorkload(options).metrics.json());
+
     reporter.report.writeFile("BENCH_perf.json");
     std::printf("wrote BENCH_perf.json (%zu entries)\n",
                 reporter.report.size());

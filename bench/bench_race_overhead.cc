@@ -9,9 +9,10 @@
  * inside a run — several goroutines taking mutex-ordered bursts over
  * a small address set, the access shape bug kernels produce — and
  * A/Bs the epoch fast paths on vs off (setFastPath / the
- * GOLITE_RACE_FASTPATH=0 env), with a no-op-hooks baseline
+ * GOLITE_RACE_FASTPATH=0 env), with a no-op-subscriber baseline
  * subtracted so the ratio compares detector work, not fixed harness
- * cost. The deep-history configuration must show >= 3x or the bench
+ * cost (the subscriber keeps the bus's mem-event lane active, so
+ * both arms pay the same emission + dispatch overhead). The deep-history configuration must show >= 3x or the bench
  * fails. A second section times the Table 12
  * 100-seed corpus sweep with a fresh detector per seed vs one
  * reset() detector per worker. Results land in BENCH_race.json.
@@ -65,15 +66,17 @@ heavyKernel()
     wg.add(kGoroutines);
     for (int g = 0; g < kGoroutines; ++g) {
         go([&] {
-            RaceHooks *hooks = Scheduler::current()->hooks();
+            Scheduler *sched = Scheduler::current();
+            EventBus &bus = sched->bus();
+            const uint64_t gid = sched->runningId();
             for (int b = 0; b < kBursts; ++b) {
                 mu.lock();
                 for (int a = 0; a < kAddrs; ++a) {
                     for (int r = 0; r < kReps; ++r) {
                         if (r & 1)
-                            hooks->memRead(&slots[a], "hot");
+                            bus.memRead(&slots[a], "hot", gid);
                         else
-                            hooks->memWrite(&slots[a], "hot");
+                            bus.memWrite(&slots[a], "hot", gid);
                     }
                 }
                 mu.unlock();
@@ -84,21 +87,40 @@ heavyKernel()
     wg.wait();
 }
 
+/** Subscribes to the mem-access lane and discards every event:
+ *  measures emission + bus dispatch with zero detector work. */
+class NoopSink : public Subscriber
+{
+  public:
+    EventMask
+    eventMask() const override
+    {
+        return eventBit(EventKind::MemRead) |
+               eventBit(EventKind::MemWrite);
+    }
+    void onEvent(const RuntimeEvent &) override {}
+    void
+    onMemAccess(const void *, const char *, uint64_t, bool) override
+    {
+    }
+};
+
 /**
  * ns/access of the heavy kernel: best (minimum) of @p reps timed
  * batches of @p runs runs each — the min is robust against scheduler
  * interference on loaded machines. A null @p detector measures the
- * kernel under no-op hooks, i.e. everything that is not detector
- * work.
+ * kernel under a no-op subscriber, i.e. everything that is not
+ * detector work.
  */
 double
 measureNsPerAccess(race::Detector *detector, size_t depth, int runs,
                    int reps)
 {
-    RaceHooks noop;
+    NoopSink noop;
     RunOptions options;
     options.policy = SchedPolicy::Fifo;
-    options.hooks = detector ? detector : &noop;
+    options.subscribers.push_back(
+        detector ? static_cast<Subscriber *>(detector) : &noop);
 
     auto oneRun = [&] {
         if (detector)
@@ -132,7 +154,7 @@ main()
     constexpr int kTimedReps = 5;
 
     // --- ns/access A/B ---------------------------------------------
-    // The no-op-hooks baseline (kernel, scheduler, virtual dispatch)
+    // The no-op-subscriber baseline (kernel, scheduler, bus dispatch)
     // is subtracted from both arms so the speedup compares what the
     // detector itself spends per access — that cost, not the fixed
     // harness cost, is what the epoch fast paths remove.
@@ -143,7 +165,7 @@ main()
                 kTimedReps, kRuns);
     const double base =
         measureNsPerAccess(nullptr, 0, kRuns, kTimedReps);
-    std::printf("no-op hooks baseline: %.1f ns/access\n\n", base);
+    std::printf("no-op subscriber baseline: %.1f ns/access\n\n", base);
     json.add("ns_per_access/noop_hooks", 1e9 / base, base * 1e-9, 1);
 
     std::printf("%-12s %-14s %-14s %s\n", "shadow depth",
@@ -182,7 +204,7 @@ main()
                 detector.setFastPath(fast);
                 RunOptions options;
                 options.seed = seed;
-                options.hooks = &detector;
+                options.subscribers.push_back(&detector);
                 bug->run(Variant::Buggy, options);
                 raced[fast] = !detector.reports().empty();
             }
@@ -208,7 +230,7 @@ main()
                 race::Detector detector;
                 RunOptions options;
                 options.seed = static_cast<uint64_t>(seed);
-                options.hooks = &detector;
+                options.subscribers.push_back(&detector);
                 return bug->run(Variant::Buggy, options).report;
             });
             reused.push_back([bug, seed] {
@@ -216,7 +238,7 @@ main()
                     parallel::threadLocalDetector();
                 RunOptions options;
                 options.seed = static_cast<uint64_t>(seed);
-                options.hooks = &detector;
+                options.subscribers.push_back(&detector);
                 return bug->run(Variant::Buggy, options).report;
             });
         }

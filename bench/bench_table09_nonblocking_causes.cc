@@ -44,7 +44,7 @@ main()
             race::Detector detector;
             RunOptions options;
             options.seed = seed;
-            options.hooks = &detector;
+            options.subscribers.push_back(&detector);
             auto outcome = bug.run(Variant::Buggy, options);
             if (outcome.manifested) {
                 buggy_note = outcome.note;

@@ -45,8 +45,8 @@ investigate(const char *id)
         waitgraph::Detector graph;
         RunOptions options;
         options.seed = seed;
-        options.hooks = &detector;
-        options.deadlockHooks = &graph;
+        options.subscribers.push_back(&detector);
+        options.subscribers.push_back(&graph);
         auto outcome = bug->run(Variant::Buggy, options);
 
         const bool raced = !detector.reports().empty();
@@ -74,7 +74,7 @@ investigate(const char *id)
 
     waitgraph::Detector fixedGraph;
     RunOptions fixedOptions;
-    fixedOptions.deadlockHooks = &fixedGraph;
+    fixedOptions.subscribers.push_back(&fixedGraph);
     auto fixed = bug->run(Variant::Fixed, fixedOptions);
     falseAlarms += static_cast<int>(fixedGraph.certainReports().size());
     std::printf("    fixed variant: %s\n\n", fixed.note.c_str());
@@ -96,11 +96,21 @@ main()
     std::printf("--- execution trace of boltdb-392 (double lock) "
                 "---\n");
     const BugCase *bug = corpus::findBug("boltdb-392");
+    obs::TraceEventSink timeline;
     RunOptions options;
     options.collectTrace = true;
+    options.subscribers.push_back(&timeline);
     auto outcome = bug->run(Variant::Buggy, options);
     std::printf("%s\n%s", outcome.report.formatTrace().c_str(),
                 outcome.report.describe().c_str());
+
+    // The same run, exported as a Chrome trace-event timeline: one
+    // lane per goroutine, open it in chrome://tracing or Perfetto.
+    if (timeline.writeFile("boltdb-392.trace.json")) {
+        std::printf("\nwrote boltdb-392.trace.json "
+                    "(%zu trace events) — open in Perfetto\n",
+                    timeline.size());
+    }
     // Smoke-test contract: the wait-graph detector must stay silent
     // on every fixed variant it watched above.
     return falseAlarms == 0 ? 0 : 1;

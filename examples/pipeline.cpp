@@ -22,7 +22,7 @@ main()
 {
     waitgraph::Detector deadlocks;
     RunOptions options;
-    options.deadlockHooks = &deadlocks;
+    options.subscribers.push_back(&deadlocks);
     RunReport report = run([] {
         auto [ctx, cancel] = ctx::withCancel(ctx::background());
 

@@ -23,7 +23,7 @@ main()
     // a correct program like this one.
     waitgraph::Detector deadlocks;
     RunOptions options;
-    options.deadlockHooks = &deadlocks;
+    options.subscribers.push_back(&deadlocks);
     RunReport report = run([] {
         // A channel of strings with buffer capacity 2.
         Chan<std::string> messages = makeChan<std::string>(2);

@@ -58,7 +58,7 @@ main()
 {
     waitgraph::Detector deadlocks;
     RunOptions options;
-    options.deadlockHooks = &deadlocks;
+    options.subscribers.push_back(&deadlocks);
     RunReport report = run([] {
         // A stream of requests with mixed service times; the timeout
         // budget is 40ms, so the slow ones time out.

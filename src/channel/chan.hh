@@ -114,10 +114,11 @@ class Chan
             return; // unreachable except during teardown unwind
         }
         auto *c = impl_.get();
+        sched->bus().chanOp(c, sched->runningId(), ChanOpKind::Send);
         if (c->closed)
             goPanic("send on closed channel");
 
-        sched->hooks()->release(c);
+        sched->bus().release(c, sched->runningId());
 
         // Direct handoff to a parked receiver.
         while (!c->recvq.empty()) {
@@ -129,7 +130,7 @@ class Chan
             w->ok = true;
             w->completed = true;
             if (c->unbuffered())
-                sched->hooks()->acquire(c);
+                sched->bus().acquire(c, sched->runningId());
             sched->unpark(w->g);
             return;
         }
@@ -148,7 +149,7 @@ class Chan
         if (self.closedWake)
             goPanic("send on closed channel");
         if (c->unbuffered())
-            sched->hooks()->acquire(c);
+            sched->bus().acquire(c, sched->runningId());
     }
 
     /**
@@ -165,12 +166,13 @@ class Chan
             return {};
         }
         auto *c = impl_.get();
+        sched->bus().chanOp(c, sched->runningId(), ChanOpKind::Recv);
 
         // Buffered data first (FIFO).
         if (!c->buffer.empty()) {
             RecvResult<T> out{std::move(c->buffer.front()), true};
             c->buffer.pop_front();
-            sched->hooks()->acquire(c);
+            sched->bus().acquire(c, sched->runningId());
             // A parked sender can move its value into the freed slot.
             while (!c->sendq.empty()) {
                 Waiter *w = c->sendq.front();
@@ -193,15 +195,15 @@ class Chan
                 continue;
             RecvResult<T> out{std::move(*static_cast<T *>(w->slot)), true};
             w->completed = true;
-            sched->hooks()->acquire(c);
+            sched->bus().acquire(c, sched->runningId());
             if (c->unbuffered())
-                sched->hooks()->release(c);
+                sched->bus().release(c, sched->runningId());
             sched->unpark(w->g);
             return out;
         }
 
         if (c->closed) {
-            sched->hooks()->acquire(c);
+            sched->bus().acquire(c, sched->runningId());
             return {};
         }
 
@@ -211,10 +213,10 @@ class Chan
         self.g = sched->running();
         self.slot = &out.value;
         if (c->unbuffered())
-            sched->hooks()->release(c);
+            sched->bus().release(c, sched->runningId());
         c->recvq.push_back(&self);
         sched->park(WaitReason::ChanRecv, c);
-        sched->hooks()->acquire(c);
+        sched->bus().acquire(c, sched->runningId());
         out.ok = self.ok;
         if (!self.ok)
             out.value = T{};
@@ -232,10 +234,11 @@ class Chan
         if (!impl_)
             goPanic("close of nil channel");
         auto *c = impl_.get();
+        sched->bus().chanOp(c, sched->runningId(), ChanOpKind::Close);
         if (c->closed)
             goPanic("close of closed channel");
         c->closed = true;
-        sched->hooks()->release(c);
+        sched->bus().release(c, sched->runningId());
         while (!c->recvq.empty()) {
             Waiter *w = c->recvq.front();
             c->recvq.pop_front();
@@ -268,6 +271,7 @@ class Chan
             return false;
         Scheduler *sched = Scheduler::current();
         auto *c = impl_.get();
+        sched->bus().chanOp(c, sched->runningId(), ChanOpKind::TrySend);
         if (c->closed)
             goPanic("send on closed channel");
         while (!c->recvq.empty()) {
@@ -275,17 +279,17 @@ class Chan
             c->recvq.pop_front();
             if (!claimWaiter(w))
                 continue;
-            sched->hooks()->release(c);
+            sched->bus().release(c, sched->runningId());
             *static_cast<T *>(w->slot) = std::move(value);
             w->ok = true;
             w->completed = true;
             if (c->unbuffered())
-                sched->hooks()->acquire(c);
+                sched->bus().acquire(c, sched->runningId());
             sched->unpark(w->g);
             return true;
         }
         if (c->buffer.size() < c->capacity) {
-            sched->hooks()->release(c);
+            sched->bus().release(c, sched->runningId());
             c->buffer.push_back(std::move(value));
             return true;
         }
@@ -304,10 +308,11 @@ class Chan
             return std::nullopt;
         Scheduler *sched = Scheduler::current();
         auto *c = impl_.get();
+        sched->bus().chanOp(c, sched->runningId(), ChanOpKind::TryRecv);
         if (!c->buffer.empty()) {
             RecvResult<T> out{std::move(c->buffer.front()), true};
             c->buffer.pop_front();
-            sched->hooks()->acquire(c);
+            sched->bus().acquire(c, sched->runningId());
             while (!c->sendq.empty()) {
                 Waiter *w = c->sendq.front();
                 c->sendq.pop_front();
@@ -327,14 +332,14 @@ class Chan
                 continue;
             RecvResult<T> out{std::move(*static_cast<T *>(w->slot)), true};
             w->completed = true;
-            sched->hooks()->acquire(c);
+            sched->bus().acquire(c, sched->runningId());
             if (c->unbuffered())
-                sched->hooks()->release(c);
+                sched->bus().release(c, sched->runningId());
             sched->unpark(w->g);
             return out;
         }
         if (c->closed) {
-            sched->hooks()->acquire(c);
+            sched->bus().acquire(c, sched->runningId());
             return RecvResult<T>{};
         }
         return std::nullopt;

@@ -68,7 +68,7 @@ Select::run()
         return -1; // unreachable except during teardown unwind
     }
 
-    sched->deadlockHooks()->selectBlocked(sched->runningId(), waits);
+    sched->bus().selectBlock(sched->runningId(), waits);
     sched->park(WaitReason::Select, this);
 
     const int winner = token.winner;

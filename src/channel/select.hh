@@ -85,8 +85,11 @@ class RecvCase : public SelectCase
     enqueue(Waiter &waiter) override
     {
         waiter.slot = &value_;
-        if (ch_.internalImpl()->unbuffered())
-            Scheduler::current()->hooks()->release(ch_.internalImpl());
+        if (ch_.internalImpl()->unbuffered()) {
+            Scheduler *sched = Scheduler::current();
+            sched->bus().release(ch_.internalImpl(),
+                                 sched->runningId());
+        }
         ch_.internalImpl()->recvq.push_back(&waiter);
     }
 
@@ -99,7 +102,8 @@ class RecvCase : public SelectCase
     void
     complete(Waiter &waiter) override
     {
-        Scheduler::current()->hooks()->acquire(ch_.internalImpl());
+        Scheduler *sched = Scheduler::current();
+        sched->bus().acquire(ch_.internalImpl(), sched->runningId());
         ok_ = waiter.ok;
         if (!ok_)
             value_ = T{};
@@ -139,7 +143,8 @@ class SendCase : public SelectCase
     enqueue(Waiter &waiter) override
     {
         waiter.slot = &value_;
-        Scheduler::current()->hooks()->release(ch_.internalImpl());
+        Scheduler *sched = Scheduler::current();
+        sched->bus().release(ch_.internalImpl(), sched->runningId());
         ch_.internalImpl()->sendq.push_back(&waiter);
     }
 
@@ -154,8 +159,11 @@ class SendCase : public SelectCase
     {
         if (waiter.closedWake)
             goPanic("send on closed channel");
-        if (ch_.internalImpl()->unbuffered())
-            Scheduler::current()->hooks()->acquire(ch_.internalImpl());
+        if (ch_.internalImpl()->unbuffered()) {
+            Scheduler *sched = Scheduler::current();
+            sched->bus().acquire(ch_.internalImpl(),
+                                 sched->runningId());
+        }
     }
 
     void invoke() override { handler_(); }

@@ -2,8 +2,6 @@
 
 #include <cstring>
 
-#include "runtime/scheduler.hh"
-
 namespace golite::fuzz
 {
 
@@ -56,6 +54,46 @@ hashMix(uint64_t h, uint64_t v)
 
 // --- BlockingCoverage -------------------------------------------------
 
+EventMask
+BlockingCoverage::eventMask() const
+{
+    return eventBit(EventKind::GoPark) |
+           eventBit(EventKind::GoUnpark) |
+           eventBit(EventKind::GoFinish) |
+           eventBit(EventKind::LockAcquire) |
+           eventBit(EventKind::WgDelta) |
+           eventBit(EventKind::SelectBlock);
+}
+
+void
+BlockingCoverage::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::GoPark:
+        parked(ev.gid, ev.reason, ev.obj);
+        break;
+      case EventKind::GoUnpark:
+        parked_.erase(ev.gid);
+        break;
+      case EventKind::GoFinish:
+        // Teardown unwinds are post-run bookkeeping, not coverage.
+        if (!ev.flag)
+            parked_.erase(ev.gid);
+        break;
+      case EventKind::LockAcquire:
+        lockAcquired(ev.obj, ev.gid, ev.flag);
+        break;
+      case EventKind::WgDelta:
+        wgCounter(ev.obj, static_cast<int>(ev.a));
+        break;
+      case EventKind::SelectBlock:
+        selectBlocked(ev.gid, *ev.waits);
+        break;
+      default:
+        break;
+    }
+}
+
 void
 BlockingCoverage::beginRun()
 {
@@ -107,18 +145,6 @@ BlockingCoverage::parked(uint64_t gid, WaitReason reason,
 }
 
 void
-BlockingCoverage::unparked(uint64_t gid)
-{
-    parked_.erase(gid);
-}
-
-void
-BlockingCoverage::goroutineFinished(uint64_t gid)
-{
-    parked_.erase(gid);
-}
-
-void
 BlockingCoverage::lockAcquired(const void *lock, uint64_t gid,
                                bool is_write)
 {
@@ -153,6 +179,35 @@ BlockingCoverage::selectBlocked(uint64_t gid,
 
 // --- AccessCoverage ---------------------------------------------------
 
+EventMask
+AccessCoverage::eventMask() const
+{
+    return eventBit(EventKind::MemRead) |
+           eventBit(EventKind::MemWrite) |
+           eventBit(EventKind::LockAcquire) |
+           eventBit(EventKind::LockRelease);
+}
+
+void
+AccessCoverage::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::MemRead:
+      case EventKind::MemWrite:
+        onMemAccess(ev.obj, ev.label, ev.gid,
+                    ev.kind == EventKind::MemWrite);
+        break;
+      case EventKind::LockAcquire:
+        lockAcquired(ev.obj, ev.gid, ev.flag);
+        break;
+      case EventKind::LockRelease:
+        lockReleased(ev.obj, ev.gid);
+        break;
+      default:
+        break;
+    }
+}
+
 void
 AccessCoverage::beginRun()
 {
@@ -160,13 +215,6 @@ AccessCoverage::beginRun()
     objectIds_.clear();
     seen_.clear();
     observed_.clear();
-}
-
-uint64_t
-AccessCoverage::currentGid() const
-{
-    Scheduler *sched = Scheduler::current();
-    return sched ? sched->runningId() : 0;
 }
 
 void
@@ -177,10 +225,10 @@ AccessCoverage::note(uint64_t state)
 }
 
 void
-AccessCoverage::access(const void *addr, const char *label, bool write)
+AccessCoverage::onMemAccess(const void *addr, const char *label,
+                            uint64_t gid, bool is_write)
 {
-    const uint64_t gid = currentGid();
-    const uint64_t cur = hashMix(fnv1aStr(label), write);
+    const uint64_t cur = hashMix(fnv1aStr(label), is_write);
     auto [it, inserted] = last_.emplace(addr, LastAccess{});
     const LastAccess &prev = it->second;
     uint64_t h = hashMix(kFnvOffset, kTagAccessPair);
@@ -188,19 +236,7 @@ AccessCoverage::access(const void *addr, const char *label, bool write)
     h = hashMix(h, cur);
     h = hashMix(h, !inserted && prev.gid != gid);
     note(h);
-    it->second = LastAccess{cur, gid, write};
-}
-
-void
-AccessCoverage::memRead(const void *addr, const char *label)
-{
-    access(addr, label, false);
-}
-
-void
-AccessCoverage::memWrite(const void *addr, const char *label)
-{
-    access(addr, label, true);
+    it->second = LastAccess{cur, gid, is_write};
 }
 
 void

@@ -1,19 +1,19 @@
 /**
  * @file
  * Coverage signal for the schedule fuzzer: concurrency-state hashes
- * harvested from the runtime's detector hook interfaces.
+ * harvested from the runtime event bus.
  *
  * A schedule mutant is worth keeping iff it drives the program into a
  * concurrency state no earlier execution reached. Two probes define
  * "state":
  *
- *  - BlockingCoverage (a DeadlockHooks) fingerprints the *blocked
- *    set* — which goroutines are parked on which resources, hashed
- *    with the parking/locking event that produced it. This is the
- *    state space blocking bugs (Section 5 of the paper) live in: a
- *    new fingerprint means a new partial configuration of waiters.
+ *  - BlockingCoverage fingerprints the *blocked set* — which
+ *    goroutines are parked on which resources, hashed with the
+ *    parking/locking event that produced it. This is the state space
+ *    blocking bugs (Section 5 of the paper) live in: a new
+ *    fingerprint means a new partial configuration of waiters.
  *
- *  - AccessCoverage (a RaceHooks) hashes *sync-op site pairs* — the
+ *  - AccessCoverage hashes *sync-op site pairs* — the
  *    (previous access label, current access label, cross-goroutine?)
  *    triple per shared address. New pairs mean the schedule ordered
  *    two instrumented sites in a way never seen before, the raw
@@ -35,7 +35,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "runtime/hooks.hh"
+#include "runtime/events.hh"
 
 namespace golite::fuzz
 {
@@ -87,11 +87,11 @@ class CoverageMap
 };
 
 /**
- * Blocked-set fingerprint probe. Attach via RunOptions::deadlockHooks
- * (or chain behind a real detector with a fan-out), call beginRun()
- * before every run, read observed() after.
+ * Blocked-set fingerprint probe. Attach via RunOptions::subscribers
+ * (next to any real detectors), call beginRun() before every run,
+ * read observed() after.
  */
-class BlockingCoverage : public DeadlockHooks
+class BlockingCoverage : public Subscriber
 {
   public:
     /** Reset all per-run state (parked set, resource ids, states). */
@@ -100,17 +100,15 @@ class BlockingCoverage : public DeadlockHooks
     /** Deduplicated state hashes observed in the current run. */
     const std::vector<uint64_t> &observed() const { return observed_; }
 
-    void parked(uint64_t gid, WaitReason reason,
-                const void *obj) override;
-    void unparked(uint64_t gid) override;
-    void goroutineFinished(uint64_t gid) override;
-    void lockAcquired(const void *lock, uint64_t gid,
-                      bool is_write) override;
-    void wgCounter(const void *wg, int count) override;
-    void selectBlocked(uint64_t gid,
-                       const std::vector<SelectWait> &cases) override;
+    EventMask eventMask() const override;
+    void onEvent(const RuntimeEvent &ev) override;
 
   private:
+    void parked(uint64_t gid, WaitReason reason, const void *obj);
+    void lockAcquired(const void *lock, uint64_t gid, bool is_write);
+    void wgCounter(const void *wg, int count);
+    void selectBlocked(uint64_t gid,
+                       const std::vector<SelectWait> &cases);
     /** Stable per-run ordinal for a resource pointer (1-based,
      *  first-seen order — deterministic for a fixed schedule). */
     uint64_t resourceId(const void *obj);
@@ -129,22 +127,21 @@ class BlockingCoverage : public DeadlockHooks
 };
 
 /**
- * Access site-pair probe. Attach via RunOptions::hooks; per shared
- * address it hashes consecutive instrumented-access label pairs plus
- * lock-site transitions.
+ * Access site-pair probe. Attach via RunOptions::subscribers; per
+ * shared address it hashes consecutive instrumented-access label
+ * pairs plus lock-site transitions.
  */
-class AccessCoverage : public RaceHooks
+class AccessCoverage : public Subscriber
 {
   public:
     void beginRun();
 
     const std::vector<uint64_t> &observed() const { return observed_; }
 
-    void memRead(const void *addr, const char *label) override;
-    void memWrite(const void *addr, const char *label) override;
-    void lockAcquired(const void *lock_obj, uint64_t gid,
-                      bool is_write) override;
-    void lockReleased(const void *lock_obj, uint64_t gid) override;
+    EventMask eventMask() const override;
+    void onEvent(const RuntimeEvent &ev) override;
+    void onMemAccess(const void *addr, const char *label, uint64_t gid,
+                     bool is_write) override;
 
   private:
     struct LastAccess
@@ -154,10 +151,10 @@ class AccessCoverage : public RaceHooks
         bool write = false;
     };
 
-    void access(const void *addr, const char *label, bool write);
+    void lockAcquired(const void *lock_obj, uint64_t gid,
+                      bool is_write);
+    void lockReleased(const void *lock_obj, uint64_t gid);
     void note(uint64_t state);
-
-    uint64_t currentGid() const;
 
     std::unordered_map<const void *, LastAccess> last_;
     std::unordered_map<const void *, uint64_t> objectIds_;

@@ -9,7 +9,6 @@
 #include "fuzz/coverage.hh"
 #include "parallel/pool.hh"
 #include "race/detector.hh"
-#include "runtime/hooks.hh"
 #include "runtime/scheduler.hh"
 
 namespace golite::fuzz
@@ -53,11 +52,11 @@ validate(const FuzzOptions &options)
     if (options.runOptions.policy != SchedPolicy::Random)
         throw std::logic_error(
             "fuzzRun: trace record/replay requires SchedPolicy::Random");
-    if (options.runOptions.hooks != nullptr ||
-        options.runOptions.deadlockHooks != nullptr)
+    if (!options.runOptions.subscribers.empty())
         throw std::logic_error(
-            "fuzzRun: the fuzzer owns both hook slots for its coverage "
-            "probes; attach detectors when replaying the found trace");
+            "fuzzRun: the fuzzer owns the subscriber list for its "
+            "coverage probes; attach detectors when replaying the "
+            "found trace");
     if (options.runOptions.recordTrace != nullptr ||
         options.runOptions.replayTrace != nullptr)
         throw std::logic_error(
@@ -162,7 +161,6 @@ fuzzRun(const RunProgram &run_once, const FuzzOptions &options)
         BlockingCoverage blocking;
         AccessCoverage access;
         race::Detector races(4);
-        MultiHooks racedHooks({&races, &access});
 
         // States this worker has ever seen (its approximation of the
         // global map between merges) and the batch pending merge.
@@ -207,10 +205,10 @@ fuzzRun(const RunProgram &run_once, const FuzzOptions &options)
             ro.replayTrace = replay;
             ro.replayStrict = false;
             ro.recordTrace = &recorded;
-            ro.hooks = options.attachRaceDetector
-                           ? static_cast<RaceHooks *>(&racedHooks)
-                           : &access;
-            ro.deadlockHooks = &blocking;
+            if (options.attachRaceDetector)
+                ro.subscribers.push_back(&races);
+            ro.subscribers.push_back(&access);
+            ro.subscribers.push_back(&blocking);
             blocking.beginRun();
             access.beginRun();
             if (options.attachRaceDetector)

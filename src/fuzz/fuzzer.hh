@@ -66,8 +66,8 @@ struct FuzzOptions
 {
     /**
      * Base options for every execution. Policy must be Random (the
-     * recordable policy); hooks/deadlockHooks must be null — the
-     * fuzzer owns both slots for its coverage probes, and a single
+     * recordable policy); subscribers must be empty — the fuzzer
+     * attaches its own per-worker coverage probes, and a single
      * detector shared across workers would race.
      */
     RunOptions runOptions;

@@ -17,8 +17,7 @@ goldenReplay(const corpus::BugCase &bug, const ScheduleTrace &trace)
     ro.policy = SchedPolicy::Random;
     ro.replayTrace = &trace;
     ro.replayStrict = true;
-    ro.hooks = &races;
-    ro.deadlockHooks = &waits;
+    ro.subscribers = {&races, &waits};
 
     corpus::BugOutcome out = bug.run(corpus::Variant::Buggy, ro);
 

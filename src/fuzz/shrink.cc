@@ -195,7 +195,7 @@ shrinkKernelTrace(const corpus::BugCase &bug, corpus::Variant variant,
 
     race::Detector races(4);
     ShrinkOptions raced = options;
-    raced.runOptions.hooks = &races;
+    raced.runOptions.subscribers.push_back(&races);
     return shrinkTrace(
         [&bug, variant, &races](const RunOptions &ro) {
             races.reset();

@@ -50,7 +50,7 @@ PipeReader::read(std::string &out, size_t max)
                 std::min(max, p->pending.size() - p->offset);
             out.assign(p->pending, p->offset, n);
             p->offset += n;
-            sched->hooks()->acquire(p);
+            sched->bus().acquire(p, sched->runningId());
             if (p->offset == p->pending.size()) {
                 p->writerDone = true;
                 sched->unpark(p->writer);
@@ -59,7 +59,7 @@ PipeReader::read(std::string &out, size_t max)
             return {n, ""};
         }
         if (p->writeClosed) {
-            sched->hooks()->acquire(p);
+            sched->bus().acquire(p, sched->runningId());
             return {0, p->readErr.empty() ? "EOF" : p->readErr};
         }
         p->readq.push_back(sched->running());
@@ -77,7 +77,7 @@ PipeReader::close(const std::string &cause)
     p->readClosed = true;
     p->writeErr =
         cause.empty() ? "io: write on closed pipe" : cause;
-    sched->hooks()->release(p);
+    sched->bus().release(p, sched->runningId());
     if (p->writer) {
         p->writerDone = false; // writer wakes to an error
         sched->unpark(p->writer);
@@ -108,7 +108,7 @@ PipeWriter::write(const std::string &data)
     p->offset = 0;
     p->writer = sched->running();
     p->writerDone = false;
-    sched->hooks()->release(p);
+    sched->bus().release(p, sched->runningId());
 
     while (!p->readq.empty()) {
         sched->unpark(p->readq.front());
@@ -137,7 +137,7 @@ PipeWriter::close(const std::string &cause)
         return;
     p->writeClosed = true;
     p->readErr = cause.empty() ? "EOF" : cause;
-    sched->hooks()->release(p);
+    sched->bus().release(p, sched->runningId());
     while (!p->readq.empty()) {
         sched->unpark(p->readq.front());
         p->readq.pop_front();

@@ -19,8 +19,11 @@
 #include "context/context.hh"
 #include "goio/pipe.hh"
 #include "gotime/time.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_event_sink.hh"
 #include "race/detector.hh"
 #include "race/shared.hh"
+#include "runtime/events.hh"
 #include "runtime/report.hh"
 #include "runtime/scheduler.hh"
 #include "sync/atomic.hh"

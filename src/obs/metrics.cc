@@ -1,0 +1,106 @@
+#include "obs/metrics.hh"
+
+namespace golite::obs
+{
+
+EventMask
+MetricsSink::eventMask() const
+{
+    return eventBit(EventKind::GoSpawn) |
+           eventBit(EventKind::GoFinish) |
+           eventBit(EventKind::GoPark) |
+           eventBit(EventKind::GoDispatch) |
+           eventBit(EventKind::LockAcquire) |
+           eventBit(EventKind::LockRelease) |
+           eventBit(EventKind::WgDelta) | eventBit(EventKind::WgWait) |
+           eventBit(EventKind::SelectBlock) |
+           eventBit(EventKind::ChanOp) | eventBit(EventKind::OnceOp) |
+           eventBit(EventKind::MemRead) |
+           eventBit(EventKind::MemWrite);
+}
+
+void
+MetricsSink::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::GoSpawn:
+        metrics_.spawns++;
+        live_++;
+        if (live_ > metrics_.maxLiveGoroutines)
+            metrics_.maxLiveGoroutines = live_;
+        break;
+      case EventKind::GoFinish:
+        if (live_ > 0)
+            live_--;
+        break;
+      case EventKind::GoPark:
+        metrics_.parks++;
+        metrics_.blocksByReason[static_cast<int>(ev.reason)]++;
+        break;
+      case EventKind::GoDispatch:
+        metrics_.dispatches++;
+        if (lastDispatched_ != 0 && lastDispatched_ != ev.gid)
+            metrics_.contextSwitches++;
+        lastDispatched_ = ev.gid;
+        break;
+      case EventKind::LockAcquire:
+        if (ev.flag)
+            metrics_.lockWriteAcquires++;
+        else
+            metrics_.lockReadAcquires++;
+        break;
+      case EventKind::LockRelease:
+        metrics_.lockReleases++;
+        break;
+      case EventKind::WgDelta:
+        metrics_.wgDeltas++;
+        break;
+      case EventKind::WgWait:
+        metrics_.wgWaits++;
+        break;
+      case EventKind::SelectBlock:
+        metrics_.selectBlocks++;
+        break;
+      case EventKind::OnceOp:
+        metrics_.onceOps++;
+        break;
+      case EventKind::ChanOp:
+        switch (ev.chanOp) {
+          case ChanOpKind::Send:
+            metrics_.chanSends++;
+            break;
+          case ChanOpKind::Recv:
+            metrics_.chanRecvs++;
+            break;
+          case ChanOpKind::Close:
+            metrics_.chanCloses++;
+            break;
+          case ChanOpKind::TrySend:
+          case ChanOpKind::TryRecv:
+            metrics_.chanTryOps++;
+            break;
+        }
+        break;
+      case EventKind::MemRead:
+      case EventKind::MemWrite:
+        // Broadcast mode only (masked dispatch routes these through
+        // onMemAccess).
+        onMemAccess(ev.obj, ev.label, ev.gid,
+                    ev.kind == EventKind::MemWrite);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+MetricsSink::finalizeRun(RunReport &report)
+{
+    metrics_.collected = true;
+    report.metrics = metrics_;
+    metrics_ = RunMetrics{};
+    lastDispatched_ = 0;
+    live_ = 0;
+}
+
+} // namespace golite::obs

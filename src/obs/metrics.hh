@@ -1,0 +1,58 @@
+/**
+ * @file
+ * obs::MetricsSink: per-run operation counters off the event bus.
+ *
+ * Subscribes to every countable kind and tallies ops by primitive,
+ * blocks by wait reason, context switches, and the live-goroutine
+ * high-water mark. finalizeRun() lands the totals in
+ * RunReport::metrics (and resets the sink for the next run, so one
+ * instance can ride along a whole sweep).
+ *
+ * The counters are a pure function of the schedule, so for a fixed
+ * seed they are byte-stable across machines — CI diffs
+ * RunMetrics::json() for one fixed-seed kernel against a committed
+ * expectation (tools/metrics_smoke).
+ */
+
+#ifndef GOLITE_OBS_METRICS_HH
+#define GOLITE_OBS_METRICS_HH
+
+#include "runtime/events.hh"
+#include "runtime/report.hh"
+
+namespace golite::obs
+{
+
+class MetricsSink : public Subscriber
+{
+  public:
+    EventMask eventMask() const override;
+
+    void onEvent(const RuntimeEvent &ev) override;
+
+    /** Hot path: count without packing a RuntimeEvent. */
+    void
+    onMemAccess(const void *, const char *, uint64_t,
+                bool is_write) override
+    {
+        if (is_write)
+            metrics_.memWrites++;
+        else
+            metrics_.memReads++;
+    }
+
+    /** Publish the totals into @p report and reset for the next run. */
+    void finalizeRun(RunReport &report) override;
+
+    /** Counters accumulated since the last finalizeRun(). */
+    const RunMetrics &current() const { return metrics_; }
+
+  private:
+    RunMetrics metrics_;
+    uint64_t lastDispatched_ = 0;
+    uint64_t live_ = 0;
+};
+
+} // namespace golite::obs
+
+#endif // GOLITE_OBS_METRICS_HH

@@ -1,0 +1,169 @@
+#include "obs/trace_event_sink.hh"
+
+#include <cstdio>
+
+namespace golite::obs
+{
+
+namespace
+{
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+EventMask
+TraceEventSink::eventMask() const
+{
+    return eventBit(EventKind::GoSpawn) |
+           eventBit(EventKind::GoFinish) |
+           eventBit(EventKind::GoPark) |
+           eventBit(EventKind::GoUnpark) |
+           eventBit(EventKind::GoDispatch) |
+           eventBit(EventKind::GoDesched) |
+           eventBit(EventKind::ClockAdvance) |
+           eventBit(EventKind::ChanOp) |
+           eventBit(EventKind::LockAcquire) |
+           eventBit(EventKind::LockRelease) |
+           eventBit(EventKind::SelectBlock) |
+           eventBit(EventKind::OnceOp) |
+           eventBit(EventKind::WgDelta) | eventBit(EventKind::WgWait);
+}
+
+void
+TraceEventSink::push(const char *ph, uint64_t tid,
+                     const std::string &name, const std::string &args)
+{
+    std::string rec = "{\"name\":\"" + escapeJson(name) +
+                      "\",\"ph\":\"" + ph +
+                      "\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                      ",\"ts\":" + std::to_string(seq_++);
+    if (ph[0] == 'i')
+        rec += ",\"s\":\"t\"";
+    if (!args.empty())
+        rec += ",\"args\":" + args;
+    rec += "}";
+    events_.push_back(std::move(rec));
+}
+
+void
+TraceEventSink::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::GoSpawn: {
+        // Name the goroutine's lane, then mark the spawn itself
+        // (skipped for the synthetic main-goroutine registration:
+        // there is no `go` statement to mark).
+        const std::string label =
+            ev.name && !ev.name->empty()
+                ? *ev.name
+                : "g" + std::to_string(ev.gid);
+        push("M", ev.gid, "thread_name",
+             "{\"name\":\"g" + std::to_string(ev.gid) + " " +
+                 escapeJson(label) + "\"}");
+        if (!ev.flag)
+            push("i", ev.gid,
+                 "spawned by g" + std::to_string(ev.a));
+        break;
+      }
+      case EventKind::GoFinish:
+        push("i", ev.gid, ev.flag ? "finish (teardown)" : "finish");
+        break;
+      case EventKind::GoPark:
+        push("i", ev.gid,
+             std::string("park: ") + waitReasonName(ev.reason));
+        break;
+      case EventKind::GoUnpark:
+        push("i", ev.gid, "unpark");
+        break;
+      case EventKind::GoDispatch:
+        push("B", ev.gid, "run");
+        break;
+      case EventKind::GoDesched:
+        push("E", ev.gid, "run");
+        break;
+      case EventKind::ClockAdvance:
+        push("i", 0,
+             "clock -> " + std::to_string(ev.b / 1000) + "us");
+        break;
+      case EventKind::ChanOp:
+        push("i", ev.gid,
+             std::string("chan ") + chanOpKindName(ev.chanOp));
+        break;
+      case EventKind::LockAcquire:
+        push("i", ev.gid,
+             ev.flag ? "lock acquire (w)" : "lock acquire (r)");
+        break;
+      case EventKind::LockRelease:
+        push("i", ev.gid, "lock release");
+        break;
+      case EventKind::SelectBlock:
+        push("i", ev.gid,
+             "select block (" +
+                 std::to_string(ev.waits ? ev.waits->size() : 0) +
+                 " cases)");
+        break;
+      case EventKind::OnceOp:
+        push("i", ev.gid, ev.flag ? "once: ran" : "once: skipped");
+        break;
+      case EventKind::WgDelta: {
+        const std::string delta =
+            (ev.b >= 0 ? "+" : "") + std::to_string(ev.b);
+        push("i", ev.gid,
+             "wg " + delta + " -> " + std::to_string(ev.a));
+        break;
+      }
+      case EventKind::WgWait:
+        push("i", ev.gid, "wg wait");
+        break;
+      default:
+        break; // broadcast mode delivers kinds outside the mask
+    }
+}
+
+std::string
+TraceEventSink::json() const
+{
+    std::string out =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    for (size_t i = 0; i < events_.size(); ++i) {
+        out += events_[i];
+        out += (i + 1 < events_.size()) ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+bool
+TraceEventSink::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::perror(("TraceEventSink: " + path).c_str());
+        return false;
+    }
+    const std::string doc = json();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace golite::obs

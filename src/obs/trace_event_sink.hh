@@ -1,0 +1,73 @@
+/**
+ * @file
+ * obs::TraceEventSink: Chrome trace-event JSON off the event bus.
+ *
+ * Renders a run as a timeline openable in chrome://tracing or
+ * Perfetto: one lane (tid) per goroutine, a "run" duration slice per
+ * scheduling quantum (GoDispatch..GoDesched), and instant markers for
+ * parks, unparks, channel/lock/Once/WaitGroup operations, select
+ * blocks, and virtual-clock jumps.
+ *
+ * Timestamps are the event ordinal, not wall time: run N of a fixed
+ * seed produces byte-identical JSON on every machine (the golden test
+ * in tests/obs_test.cc depends on this). No pointer values are ever
+ * printed for the same reason.
+ *
+ * Typical use (see README "Observability quickstart"):
+ *
+ *     obs::TraceEventSink timeline;
+ *     RunOptions options;
+ *     options.subscribers.push_back(&timeline);
+ *     run(program, options);
+ *     timeline.writeFile("trace.json");   // open in Perfetto
+ */
+
+#ifndef GOLITE_OBS_TRACE_EVENT_SINK_HH
+#define GOLITE_OBS_TRACE_EVENT_SINK_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/events.hh"
+
+namespace golite::obs
+{
+
+class TraceEventSink : public Subscriber
+{
+  public:
+    EventMask eventMask() const override;
+
+    void onEvent(const RuntimeEvent &ev) override;
+
+    /** The complete Chrome trace-event document accumulated so far. */
+    std::string json() const;
+
+    /** Write json() to @p path; false (with perror) on failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** Drop everything recorded (reuse across runs). */
+    void
+    clear()
+    {
+        events_.clear();
+        seq_ = 0;
+    }
+
+    /** Recorded trace-event count (metadata records included). */
+    size_t size() const { return events_.size(); }
+
+  private:
+    /** Append one trace-event record on lane @p tid. @p ph is the
+     *  Chrome phase ("B"/"E"/"i"/"M"); instant events get thread
+     *  scope. The ordinal timestamp is appended here. */
+    void push(const char *ph, uint64_t tid, const std::string &name,
+              const std::string &args = "");
+
+    std::vector<std::string> events_; ///< pre-rendered JSON objects
+    uint64_t seq_ = 0;                ///< deterministic "timestamp"
+};
+
+} // namespace golite::obs
+
+#endif // GOLITE_OBS_TRACE_EVENT_SINK_HH

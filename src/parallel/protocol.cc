@@ -55,7 +55,7 @@ findFirstRaceSeed(const corpus::BugCase &bug, uint64_t limit,
                 threadLocalDetector(shadow_depth);
             RunOptions options;
             options.seed = seed;
-            options.hooks = &detector;
+            options.subscribers.push_back(&detector);
             bug.run(corpus::Variant::Buggy, options);
             return !detector.reports().empty();
         },

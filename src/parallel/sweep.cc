@@ -11,7 +11,7 @@ runSeeds(const std::function<void()> &program,
          const std::vector<uint64_t> &seeds, const RunOptions &base,
          const SweepOptions &sweep)
 {
-    if (base.hooks || base.deadlockHooks) {
+    if (!base.subscribers.empty()) {
         throw std::logic_error(
             "runSeeds: RunOptions carries a detector instance, which "
             "concurrent runs would share and race on; attach a fresh "
@@ -58,7 +58,7 @@ runSeedsRaced(const std::function<void()> &program,
               const RunOptions &base, const SweepOptions &sweep,
               size_t shadow_depth)
 {
-    if (base.hooks || base.deadlockHooks) {
+    if (!base.subscribers.empty()) {
         throw std::logic_error(
             "runSeedsRaced: RunOptions already carries a detector "
             "instance; the race detector is attached per worker "
@@ -69,7 +69,7 @@ runSeedsRaced(const std::function<void()> &program,
         race::Detector &detector = threadLocalDetector(shadow_depth);
         RunOptions options = base;
         options.seed = seeds[i];
-        options.hooks = &detector;
+        options.subscribers.push_back(&detector);
         return run(program, options);
     });
 }

@@ -40,7 +40,7 @@ struct SweepOptions
  * overridden per run), fanned across workers; reports in seed-list
  * order.
  *
- * @p base must not carry detector hooks: a single detector instance
+ * @p base must not carry subscribers: a single detector instance
  * shared by concurrent runs is a data race. Sweeps that need
  * detectors attach a fresh instance per run via runJobs (see
  * bench_table12 for the pattern). Throws std::logic_error otherwise.
@@ -81,13 +81,13 @@ race::Detector &threadLocalDetector(size_t shadow_depth = 4);
 
 /**
  * runSeeds with the race detector attached: each run gets this
- * worker's threadLocalDetector (reset between seeds) as
- * RunOptions::hooks, and race reports land in the corresponding
+ * worker's threadLocalDetector (reset between seeds) as an event-bus
+ * subscriber, and race reports land in the corresponding
  * RunReport::raceMessages. Same determinism contract as runSeeds —
  * reports are seed-list-ordered and bit-identical to a serial loop.
  *
- * @p base must not carry hooks of its own (throws std::logic_error),
- * exactly like runSeeds.
+ * @p base must not carry subscribers of its own (throws
+ * std::logic_error), exactly like runSeeds.
  */
 std::vector<RunReport> runSeedsRaced(
     const std::function<void()> &program,

@@ -4,8 +4,6 @@
 #include <cstdlib>
 #include <sstream>
 
-#include "runtime/scheduler.hh"
-
 namespace golite::race
 {
 
@@ -86,10 +84,46 @@ Detector::goroutineFinished(uint64_t gid)
     (void)gid; // clocks kept: sync objects may still reference them
 }
 
-void
-Detector::acquire(const void *sync_obj)
+EventMask
+Detector::eventMask() const
 {
-    const uint64_t gid = Scheduler::current()->runningId();
+    return eventBit(EventKind::GoSpawn) |
+           eventBit(EventKind::GoFinish) |
+           eventBit(EventKind::SyncAcquire) |
+           eventBit(EventKind::SyncRelease) |
+           eventBit(EventKind::MemRead) | eventBit(EventKind::MemWrite);
+}
+
+void
+Detector::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::GoSpawn:
+        goroutineCreated(ev.a, ev.gid);
+        break;
+      case EventKind::GoFinish:
+        goroutineFinished(ev.gid);
+        break;
+      case EventKind::SyncAcquire:
+        acquire(ev.obj, ev.gid);
+        break;
+      case EventKind::SyncRelease:
+        release(ev.obj, ev.gid);
+        break;
+      case EventKind::MemRead:
+      case EventKind::MemWrite:
+        // Broadcast-mode delivery (the masked hot path arrives via
+        // onMemAccess, never here).
+        access(ev.obj, ev.label, ev.gid, ev.kind == EventKind::MemWrite);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Detector::acquire(const void *sync_obj, uint64_t gid)
+{
     if (gid == 0)
         return;
     VectorClock *sync_clock = syncClocks_.find(sync_obj);
@@ -99,9 +133,8 @@ Detector::acquire(const void *sync_obj)
 }
 
 void
-Detector::release(const void *sync_obj)
+Detector::release(const void *sync_obj, uint64_t gid)
 {
-    const uint64_t gid = Scheduler::current()->runningId();
     if (gid == 0)
         return;
     VectorClock &vc = clockOf(gid);
@@ -172,9 +205,9 @@ Detector::scanAndRecord(ShadowState &state, uint64_t gid,
 }
 
 void
-Detector::access(const void *addr, const char *label, bool is_write)
+Detector::access(const void *addr, const char *label, uint64_t gid,
+                 bool is_write)
 {
-    const uint64_t gid = Scheduler::current()->runningId();
     if (gid == 0)
         return;
 
@@ -236,15 +269,10 @@ Detector::access(const void *addr, const char *label, bool is_write)
 }
 
 void
-Detector::memRead(const void *addr, const char *label)
+Detector::onMemAccess(const void *addr, const char *label, uint64_t gid,
+                      bool is_write)
 {
-    access(addr, label, false);
-}
-
-void
-Detector::memWrite(const void *addr, const char *label)
-{
-    access(addr, label, true);
+    access(addr, label, gid, is_write);
 }
 
 std::vector<std::string>

@@ -26,8 +26,10 @@
  * detector instance can be reused across a seed sweep with zero
  * steady-state allocation (see parallel::runSeedsRaced).
  *
- * Plug an instance into RunOptions::hooks to run a golite program
- * "built with -race".
+ * Plug an instance into RunOptions::subscribers to run a golite
+ * program "built with -race"; it declares the goroutine-lifecycle,
+ * sync, and shadow-memory event kinds and receives memory accesses
+ * through the Subscriber::onMemAccess hot path.
  */
 
 #ifndef GOLITE_RACE_DETECTOR_HH
@@ -40,7 +42,7 @@
 #include "race/ptr_table.hh"
 #include "race/shadow.hh"
 #include "race/vector_clock.hh"
-#include "runtime/hooks.hh"
+#include "runtime/events.hh"
 
 namespace golite::race
 {
@@ -58,7 +60,7 @@ struct RaceReport
     std::string describe() const;
 };
 
-class Detector : public RaceHooks
+class Detector : public Subscriber
 {
   public:
     /** Hard cap on the history depth (requests above it clamp). */
@@ -74,14 +76,20 @@ class Detector : public RaceHooks
      */
     explicit Detector(size_t shadow_depth = 4);
 
-    // RaceHooks interface ------------------------------------------
-    void goroutineCreated(uint64_t parent, uint64_t child) override;
-    void goroutineFinished(uint64_t gid) override;
-    void acquire(const void *sync_obj) override;
-    void release(const void *sync_obj) override;
-    void memRead(const void *addr, const char *label) override;
-    void memWrite(const void *addr, const char *label) override;
+    // Subscriber interface -----------------------------------------
+    EventMask eventMask() const override;
+    void onEvent(const RuntimeEvent &ev) override;
+    /** The hot path: one virtual call per instrumented access. */
+    void onMemAccess(const void *addr, const char *label, uint64_t gid,
+                     bool is_write) override;
     std::vector<std::string> drainReports() override;
+
+    // Event handlers (public so the differential test and the
+    // overhead bench can drive the detector directly).
+    void goroutineCreated(uint64_t parent, uint64_t child);
+    void goroutineFinished(uint64_t gid);
+    void acquire(const void *sync_obj, uint64_t gid);
+    void release(const void *sync_obj, uint64_t gid);
 
     /**
      * Clear all per-run state (clocks, sync clocks, shadow cells,
@@ -123,7 +131,8 @@ class Detector : public RaceHooks
     bool fastPath() const { return fastPath_; }
 
   private:
-    void access(const void *addr, const char *label, bool is_write);
+    void access(const void *addr, const char *label, uint64_t gid,
+                bool is_write);
 
     /** Full history scan + ring record (the reference slow path). */
     void scanAndRecord(ShadowState &state, uint64_t gid,

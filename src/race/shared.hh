@@ -4,8 +4,8 @@
  *
  * Plays the role of a plain Go variable accessed from multiple
  * goroutines: every load/store is a preemption point (so races can
- * manifest, seed-dependently) and is reported to the detector hooks
- * (so races can be *detected* when a Detector is installed).
+ * manifest, seed-dependently) and is emitted on the runtime event bus
+ * (so races can be *detected* when a Detector subscribes).
  *
  * Bug kernels use Shared<T> for exactly the variables the original
  * bugs raced on, and plain C++ for everything else.
@@ -39,7 +39,7 @@ class Shared
     {
         Scheduler *sched = Scheduler::current();
         sched->maybePreempt();
-        sched->hooks()->memRead(&value_, label_);
+        sched->bus().memRead(&value_, label_, sched->runningId());
         return value_;
     }
 
@@ -49,7 +49,7 @@ class Shared
     {
         Scheduler *sched = Scheduler::current();
         sched->maybePreempt();
-        sched->hooks()->memWrite(&value_, label_);
+        sched->bus().memWrite(&value_, label_, sched->runningId());
         value_ = std::move(value);
     }
 

@@ -1,0 +1,88 @@
+#include "runtime/events.hh"
+
+#include <cstdlib>
+
+namespace golite
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::GoSpawn: return "go spawn";
+      case EventKind::GoFinish: return "go finish";
+      case EventKind::GoPark: return "go park";
+      case EventKind::GoUnpark: return "go unpark";
+      case EventKind::GoDispatch: return "go dispatch";
+      case EventKind::GoDesched: return "go desched";
+      case EventKind::Decision: return "decision";
+      case EventKind::ClockAdvance: return "clock advance";
+      case EventKind::SyncAcquire: return "sync acquire";
+      case EventKind::SyncRelease: return "sync release";
+      case EventKind::LockRequest: return "lock request";
+      case EventKind::LockAcquire: return "lock acquire";
+      case EventKind::LockRelease: return "lock release";
+      case EventKind::WgDelta: return "wg delta";
+      case EventKind::WgWait: return "wg wait";
+      case EventKind::SelectBlock: return "select block";
+      case EventKind::ChanOp: return "chan op";
+      case EventKind::OnceOp: return "once op";
+      case EventKind::MemRead: return "mem read";
+      case EventKind::MemWrite: return "mem write";
+    }
+    return "unknown";
+}
+
+const char *
+chanOpKindName(ChanOpKind op)
+{
+    switch (op) {
+      case ChanOpKind::Send: return "send";
+      case ChanOpKind::Recv: return "recv";
+      case ChanOpKind::Close: return "close";
+      case ChanOpKind::TrySend: return "try send";
+      case ChanOpKind::TryRecv: return "try recv";
+    }
+    return "unknown";
+}
+
+bool
+EventBus::maskedDispatch()
+{
+    static const bool masked = [] {
+        const char *env = std::getenv("GOLITE_EVENT_BUS");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    return masked;
+}
+
+EventBus::EventBus() : masked_(maskedDispatch()) {}
+
+void
+EventBus::attach(Subscriber *sub)
+{
+    subs_.push_back(sub);
+    if (masked_) {
+        const EventMask mask = sub->eventMask();
+        active_ |= mask;
+        for (int k = 0; k < kEventKindCount; ++k) {
+            if (mask & (EventMask{1} << k))
+                byKind_[k].push_back(sub);
+        }
+    } else {
+        // Broadcast mode: everyone gets everything, so any attached
+        // subscriber makes every kind live.
+        active_ = kEventMaskAll;
+    }
+}
+
+void
+EventBus::reset()
+{
+    subs_.clear();
+    for (auto &list : byKind_)
+        list.clear();
+    active_ = 0;
+}
+
+} // namespace golite

@@ -1,0 +1,532 @@
+/**
+ * @file
+ * The runtime event bus: every concurrency-relevant event the runtime
+ * produces — goroutine lifecycle, dispatch picks, select draws,
+ * preemption coins, chan/mutex/once/waitgroup operations, and
+ * shadow-memory accesses — flows through one typed RuntimeEvent
+ * stream that subscribers tap with declared event masks.
+ *
+ * This replaces the three parallel instrumentation pathways of the
+ * earlier design (RaceHooks, DeadlockHooks, and the hand-wired
+ * ScheduleTrace recording): the scheduler and the primitives emit
+ * each event exactly once, and the bus fans it out only to the
+ * subscribers whose mask includes that kind. The race detector
+ * (src/race), the wait-for-graph detector (src/waitgraph), the vet
+ * checkers (src/vet), the fuzzer's coverage probes (src/fuzz), the
+ * schedule-trace recorder, and the observability sinks (src/obs) are
+ * all ordinary subscribers.
+ *
+ * Overhead contract (measured by bench_race_overhead):
+ *  - zero subscribers for a kind: emitting is an inline mask test —
+ *    one load, one AND, one predicted branch, no event construction;
+ *  - shadow-memory accesses (the hot path) dispatch through the
+ *    dedicated Subscriber::onMemAccess virtual, so a subscribed race
+ *    detector pays one virtual call exactly as it did when it was
+ *    hand-wired, never a RuntimeEvent pack + unpack;
+ *  - every other kind packs one RuntimeEvent on the stack and makes
+ *    one onEvent virtual call per matching subscriber.
+ *
+ * GOLITE_EVENT_BUS=0 is the transition escape hatch: it disables the
+ * per-kind mask filtering and broadcasts every event to every
+ * subscriber (the old MultiHooks-style fan-out), for A/B measurement
+ * of the masked dispatch. Results are identical — subscribers ignore
+ * kinds outside their mask — only the dispatch cost changes.
+ */
+
+#ifndef GOLITE_RUNTIME_EVENTS_HH
+#define GOLITE_RUNTIME_EVENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/goroutine.hh"
+#include "runtime/sched_trace.hh"
+
+namespace golite
+{
+
+struct RunReport;
+
+/** One channel operation a blocked select is parked on. */
+struct SelectWait
+{
+    const void *chan = nullptr; ///< the channel's shared state
+    bool isSend = false;        ///< send case (else receive)
+};
+
+/** Kind of one runtime event (see DESIGN.md "Instrumentation bus"
+ *  for the full payload taxonomy). */
+enum class EventKind : uint8_t
+{
+    // Goroutine lifecycle & scheduling.
+    GoSpawn,      ///< created (gid=child, a=parent, name; flag=main)
+    GoFinish,     ///< goroutine ended (flag = teardown unwind)
+    GoPark,       ///< goroutine blocked (reason, obj)
+    GoUnpark,     ///< parked goroutine made runnable again
+    GoDispatch,   ///< goroutine starts a scheduling slice (name)
+    GoDesched,    ///< slice ended; control returned to the scheduler
+    Decision,     ///< nondeterministic choice (decision, a=n, b=pick)
+    ClockAdvance, ///< virtual clock jumped to a timer (b=new time ns)
+    // Synchronization & memory.
+    SyncAcquire,  ///< happens-before edge acquired from obj
+    SyncRelease,  ///< clock published into obj
+    LockRequest,  ///< about to block on a lock (flag = write)
+    LockAcquire,  ///< lock now held (flag = write)
+    LockRelease,  ///< lock released (flag = was write)
+    WgDelta,      ///< WaitGroup counter changed (b=delta, a=count)
+    WgWait,       ///< goroutine entered WaitGroup::wait
+    SelectBlock,  ///< select about to park (waits = its cases)
+    ChanOp,       ///< channel operation (chanOp = which)
+    OnceOp,       ///< Once::doOnce completed (flag = ran the fn)
+    MemRead,      ///< instrumented shared read (obj=addr, label)
+    MemWrite,     ///< instrumented shared write (obj=addr, label)
+};
+
+/** Number of EventKind values (for the exhaustiveness test). */
+constexpr int kEventKindCount =
+    static_cast<int>(EventKind::MemWrite) + 1;
+
+const char *eventKindName(EventKind kind);
+
+/** Bitmask over EventKind values. */
+using EventMask = uint32_t;
+
+constexpr EventMask
+eventBit(EventKind kind)
+{
+    return EventMask{1} << static_cast<int>(kind);
+}
+
+/** Every event kind. */
+constexpr EventMask kEventMaskAll =
+    (EventMask{1} << kEventKindCount) - 1;
+
+/** Channel operation subtypes for EventKind::ChanOp. */
+enum class ChanOpKind : uint8_t
+{
+    Send,    ///< blocking send entered
+    Recv,    ///< blocking receive entered
+    Close,   ///< channel closed
+    TrySend, ///< non-blocking send attempted (select poll / trySend)
+    TryRecv, ///< non-blocking receive attempted
+};
+
+/** Number of ChanOpKind values (for the exhaustiveness test). */
+constexpr int kChanOpKindCount =
+    static_cast<int>(ChanOpKind::TryRecv) + 1;
+
+const char *chanOpKindName(ChanOpKind op);
+
+/**
+ * One typed runtime event. Only the fields the kind's taxonomy names
+ * are meaningful; the rest hold their defaults. Pointer fields
+ * (name, waits) reference storage owned by the emitter and are valid
+ * only for the duration of the onEvent call.
+ */
+struct RuntimeEvent
+{
+    EventKind kind = EventKind::GoSpawn;
+    /** is_write / was_write (locks, mem), teardown (GoFinish),
+     *  ran-the-fn (OnceOp). */
+    bool flag = false;
+    WaitReason reason = WaitReason::None;       ///< GoPark
+    DecisionKind decision = DecisionKind::Pick; ///< Decision
+    ChanOpKind chanOp = ChanOpKind::Send;       ///< ChanOp
+    /** Acting goroutine (0 = scheduler context / run setup). */
+    uint64_t gid = 0;
+    /** Kind-specific: parent gid (GoSpawn), alternatives (Decision),
+     *  new WaitGroup count (WgDelta). */
+    uint64_t a = 0;
+    /** Kind-specific signed payload: pick (Decision), delta
+     *  (WgDelta), new virtual time ns (ClockAdvance). */
+    int64_t b = 0;
+    /** Sync object / lock / channel state / shadow address. */
+    const void *obj = nullptr;
+    /** Static label of an instrumented access (MemRead/MemWrite). */
+    const char *label = nullptr;
+    /** Goroutine label (GoSpawn, GoDispatch). */
+    const std::string *name = nullptr;
+    /** Blocked select's cases (SelectBlock). */
+    const std::vector<SelectWait> *waits = nullptr;
+    /** Dispatch tick at emission (stamped by the bus). */
+    uint64_t tick = 0;
+    /** Virtual time at emission (stamped by the bus). */
+    int64_t timeNs = 0;
+};
+
+/**
+ * A bus subscriber: a detector, coverage probe, recorder, or
+ * observability sink. Declare the event kinds you consume in
+ * eventMask(); with masked dispatch (the default) onEvent is called
+ * only for those kinds, but implementations must still ignore
+ * unexpected kinds — the GOLITE_EVENT_BUS=0 escape hatch broadcasts
+ * everything.
+ */
+class Subscriber
+{
+  public:
+    virtual ~Subscriber() = default;
+
+    /** Kinds this subscriber consumes (OR of eventBit values). */
+    virtual EventMask eventMask() const = 0;
+
+    /** One event whose kind matches the mask. */
+    virtual void onEvent(const RuntimeEvent &ev) = 0;
+
+    /**
+     * Hot-path specialization for shadow-memory accesses: called
+     * instead of onEvent for MemRead/MemWrite so detectors avoid a
+     * RuntimeEvent round-trip. The default packs the event and
+     * forwards to onEvent, so generic sinks need not care.
+     */
+    virtual void
+    onMemAccess(const void *addr, const char *label, uint64_t gid,
+                bool is_write)
+    {
+        RuntimeEvent ev;
+        ev.kind = is_write ? EventKind::MemWrite : EventKind::MemRead;
+        ev.flag = is_write;
+        ev.gid = gid;
+        ev.obj = addr;
+        ev.label = label;
+        onEvent(ev);
+    }
+
+    /** Human-readable reports accumulated so far; cleared by the
+     *  call. Collected into RunReport::raceMessages at end of run. */
+    virtual std::vector<std::string> drainReports() { return {}; }
+
+    /** The run ended; append structured results to the report. */
+    virtual void finalizeRun(RunReport &report) { (void)report; }
+};
+
+/**
+ * The fan-out core. One EventBus lives inside each Scheduler; the
+ * scheduler and the primitives emit through the inline helpers below,
+ * and attached subscribers receive the kinds their mask declares.
+ * Not thread-safe — like the Scheduler that owns it, a bus belongs to
+ * exactly one run on one OS thread.
+ */
+class EventBus
+{
+  public:
+    EventBus();
+
+    /** Global dispatch mode (GOLITE_EVENT_BUS != "0": masked). */
+    static bool maskedDispatch();
+
+    /**
+     * Attach a subscriber for the rest of the run. Events are
+     * delivered in attach order; drainReports/finalizeRun are
+     * collected in the same order at end of run.
+     */
+    void attach(Subscriber *sub);
+
+    /** Detach everyone (the scheduler re-attaches at each run). */
+    void reset();
+
+    /** All subscribers, in attach order. */
+    const std::vector<Subscriber *> &subscribers() const
+    {
+        return subs_;
+    }
+
+    /** True when at least one subscriber wants @p kind. */
+    bool
+    wants(EventKind kind) const
+    {
+        return (active_ & eventBit(kind)) != 0;
+    }
+
+    /** Point the bus at the counters it stamps into events. */
+    void
+    bindClocks(const uint64_t *tick, const int64_t *now)
+    {
+        tick_ = tick;
+        now_ = now;
+    }
+
+    /** Fan @p ev out to the matching subscribers (stamps tick/time).
+     *  Callers gate on wants() so unobserved events cost one test. */
+    void
+    publish(RuntimeEvent &ev)
+    {
+        ev.tick = tick_ ? *tick_ : 0;
+        ev.timeNs = now_ ? *now_ : 0;
+        for (Subscriber *s : listFor(ev.kind))
+            s->onEvent(ev);
+    }
+
+    // --- Typed emit helpers (the runtime's entire emission API) ----
+
+    /** @p synthetic marks the run's main-goroutine registration —
+     *  not a `go` statement (RunReport::trace omits it). */
+    void
+    goSpawn(uint64_t parent, uint64_t child, const std::string &label,
+            bool synthetic = false)
+    {
+        if (!wants(EventKind::GoSpawn))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::GoSpawn;
+        ev.gid = child;
+        ev.a = parent;
+        ev.name = &label;
+        ev.flag = synthetic;
+        publish(ev);
+    }
+
+    void
+    goFinish(uint64_t gid, bool teardown)
+    {
+        if (!wants(EventKind::GoFinish))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::GoFinish;
+        ev.gid = gid;
+        ev.flag = teardown;
+        publish(ev);
+    }
+
+    void
+    goPark(uint64_t gid, WaitReason reason, const void *obj)
+    {
+        if (!wants(EventKind::GoPark))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::GoPark;
+        ev.gid = gid;
+        ev.reason = reason;
+        ev.obj = obj;
+        publish(ev);
+    }
+
+    void
+    goUnpark(uint64_t gid)
+    {
+        if (!wants(EventKind::GoUnpark))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::GoUnpark;
+        ev.gid = gid;
+        publish(ev);
+    }
+
+    void
+    goDispatch(uint64_t gid, const std::string &label)
+    {
+        if (!wants(EventKind::GoDispatch))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::GoDispatch;
+        ev.gid = gid;
+        ev.name = &label;
+        publish(ev);
+    }
+
+    void
+    goDesched(uint64_t gid)
+    {
+        if (!wants(EventKind::GoDesched))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::GoDesched;
+        ev.gid = gid;
+        publish(ev);
+    }
+
+    void
+    decision(DecisionKind kind, size_t alternatives, size_t pick,
+             uint64_t gid)
+    {
+        if (!wants(EventKind::Decision))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::Decision;
+        ev.decision = kind;
+        ev.gid = gid;
+        ev.a = alternatives;
+        ev.b = static_cast<int64_t>(pick);
+        publish(ev);
+    }
+
+    void
+    clockAdvance(int64_t now_ns)
+    {
+        if (!wants(EventKind::ClockAdvance))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::ClockAdvance;
+        ev.b = now_ns;
+        publish(ev);
+    }
+
+    void
+    acquire(const void *obj, uint64_t gid)
+    {
+        if (!wants(EventKind::SyncAcquire))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::SyncAcquire;
+        ev.gid = gid;
+        ev.obj = obj;
+        publish(ev);
+    }
+
+    void
+    release(const void *obj, uint64_t gid)
+    {
+        if (!wants(EventKind::SyncRelease))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::SyncRelease;
+        ev.gid = gid;
+        ev.obj = obj;
+        publish(ev);
+    }
+
+    void
+    lockRequest(const void *lock, uint64_t gid, bool is_write)
+    {
+        if (!wants(EventKind::LockRequest))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::LockRequest;
+        ev.gid = gid;
+        ev.obj = lock;
+        ev.flag = is_write;
+        publish(ev);
+    }
+
+    void
+    lockAcquire(const void *lock, uint64_t gid, bool is_write)
+    {
+        if (!wants(EventKind::LockAcquire))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::LockAcquire;
+        ev.gid = gid;
+        ev.obj = lock;
+        ev.flag = is_write;
+        publish(ev);
+    }
+
+    void
+    lockRelease(const void *lock, uint64_t gid, bool was_write)
+    {
+        if (!wants(EventKind::LockRelease))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::LockRelease;
+        ev.gid = gid;
+        ev.obj = lock;
+        ev.flag = was_write;
+        publish(ev);
+    }
+
+    void
+    wgDelta(const void *wg, uint64_t gid, int delta, int count)
+    {
+        if (!wants(EventKind::WgDelta))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::WgDelta;
+        ev.gid = gid;
+        ev.obj = wg;
+        ev.a = static_cast<uint64_t>(count);
+        ev.b = delta;
+        publish(ev);
+    }
+
+    void
+    wgWait(const void *wg, uint64_t gid)
+    {
+        if (!wants(EventKind::WgWait))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::WgWait;
+        ev.gid = gid;
+        ev.obj = wg;
+        publish(ev);
+    }
+
+    void
+    selectBlock(uint64_t gid, const std::vector<SelectWait> &waits)
+    {
+        if (!wants(EventKind::SelectBlock))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::SelectBlock;
+        ev.gid = gid;
+        ev.waits = &waits;
+        publish(ev);
+    }
+
+    void
+    chanOp(const void *chan, uint64_t gid, ChanOpKind op)
+    {
+        if (!wants(EventKind::ChanOp))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::ChanOp;
+        ev.gid = gid;
+        ev.obj = chan;
+        ev.chanOp = op;
+        publish(ev);
+    }
+
+    void
+    onceOp(const void *once, uint64_t gid, bool ran)
+    {
+        if (!wants(EventKind::OnceOp))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::OnceOp;
+        ev.gid = gid;
+        ev.obj = once;
+        ev.flag = ran;
+        publish(ev);
+    }
+
+    /** Hot path: shadow-memory access via onMemAccess (no packing). */
+    void
+    memRead(const void *addr, const char *label, uint64_t gid)
+    {
+        if (!wants(EventKind::MemRead))
+            return;
+        for (Subscriber *s : listFor(EventKind::MemRead))
+            s->onMemAccess(addr, label, gid, false);
+    }
+
+    void
+    memWrite(const void *addr, const char *label, uint64_t gid)
+    {
+        if (!wants(EventKind::MemWrite))
+            return;
+        for (Subscriber *s : listFor(EventKind::MemWrite))
+            s->onMemAccess(addr, label, gid, true);
+    }
+
+  private:
+    /** Receivers of @p kind: the mask-filtered per-kind list, or
+     *  every subscriber under the GOLITE_EVENT_BUS=0 broadcast. */
+    const std::vector<Subscriber *> &
+    listFor(EventKind kind) const
+    {
+        return masked_ ? byKind_[static_cast<int>(kind)] : subs_;
+    }
+
+    std::vector<Subscriber *> subs_;
+    std::vector<Subscriber *> byKind_[kEventKindCount];
+    /** Union of subscriber masks (all kinds when broadcasting with
+     *  at least one subscriber attached). */
+    EventMask active_ = 0;
+    bool masked_ = true;
+    const uint64_t *tick_ = nullptr;
+    const int64_t *now_ = nullptr;
+};
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_EVENTS_HH

@@ -69,6 +69,78 @@ ReplayDivergence::describe() const
 }
 
 std::string
+RunMetrics::json() const
+{
+    // Fixed key order, no whitespace variation: CI diffs this output
+    // byte-for-byte against a committed expectation.
+    std::ostringstream os;
+    os << "{\"chanSends\":" << chanSends
+       << ",\"chanRecvs\":" << chanRecvs
+       << ",\"chanCloses\":" << chanCloses
+       << ",\"chanTryOps\":" << chanTryOps
+       << ",\"lockWriteAcquires\":" << lockWriteAcquires
+       << ",\"lockReadAcquires\":" << lockReadAcquires
+       << ",\"lockReleases\":" << lockReleases
+       << ",\"onceOps\":" << onceOps
+       << ",\"wgDeltas\":" << wgDeltas
+       << ",\"wgWaits\":" << wgWaits
+       << ",\"selectBlocks\":" << selectBlocks
+       << ",\"memReads\":" << memReads
+       << ",\"memWrites\":" << memWrites
+       << ",\"dispatches\":" << dispatches
+       << ",\"contextSwitches\":" << contextSwitches
+       << ",\"parks\":" << parks
+       << ",\"spawns\":" << spawns
+       << ",\"maxLiveGoroutines\":" << maxLiveGoroutines
+       << ",\"blocksByReason\":{";
+    bool first = true;
+    for (size_t i = 0; i < blocksByReason.size(); ++i) {
+        if (blocksByReason[i] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << waitReasonName(static_cast<WaitReason>(i))
+           << "\":" << blocksByReason[i];
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+RunMetrics::describe() const
+{
+    std::ostringstream os;
+    os << "scheduler: " << dispatches << " dispatches, "
+       << contextSwitches << " context switches, " << spawns
+       << " spawns, " << maxLiveGoroutines << " max live\n";
+    os << "channels: " << chanSends << " sends, " << chanRecvs
+       << " recvs, " << chanCloses << " closes, " << chanTryOps
+       << " try-ops\n";
+    os << "locks: " << lockWriteAcquires << " write acquires, "
+       << lockReadAcquires << " read acquires, " << lockReleases
+       << " releases\n";
+    os << "misc: " << onceOps << " once ops, " << wgDeltas
+       << " wg deltas, " << wgWaits << " wg waits, " << selectBlocks
+       << " select blocks\n";
+    os << "memory: " << memReads << " reads, " << memWrites
+       << " writes\n";
+    os << "blocks (" << parks << " total):";
+    bool any = false;
+    for (size_t i = 0; i < blocksByReason.size(); ++i) {
+        if (blocksByReason[i] == 0)
+            continue;
+        any = true;
+        os << " " << waitReasonName(static_cast<WaitReason>(i)) << "="
+           << blocksByReason[i];
+    }
+    if (!any)
+        os << " none";
+    os << "\n";
+    return os.str();
+}
+
+std::string
 RunReport::formatTrace() const
 {
     std::ostringstream os;

@@ -11,6 +11,7 @@
 #ifndef GOLITE_RUNTIME_REPORT_HH
 #define GOLITE_RUNTIME_REPORT_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -22,8 +23,7 @@
 namespace golite
 {
 
-class RaceHooks;
-class DeadlockHooks;
+class Subscriber;
 
 /** Scheduler dispatch policy. */
 enum class SchedPolicy
@@ -118,16 +118,17 @@ struct RunOptions
      */
     bool replayStrict = true;
 
-    /** Detector instrumentation; null runs without a detector. */
-    RaceHooks *hooks = nullptr;
-
     /**
-     * Blocking-bug instrumentation (the wait-for-graph partial
-     * deadlock detector, src/waitgraph); null runs without it. Plugs
-     * in exactly like RaceHooks: pass a waitgraph::Detector here to
-     * get RunReport::partialDeadlocks populated.
+     * Event-bus subscribers for this run, attached in order before the
+     * main goroutine starts: detectors (race::Detector,
+     * waitgraph::Detector), vet checkers, fuzzer coverage probes, and
+     * observability sinks (obs::TraceEventSink, obs::MetricsSink) all
+     * plug in here. Empty runs without instrumentation — emitting an
+     * event nobody wants costs one inline mask test. Each subscriber's
+     * drainReports() feeds RunReport::raceMessages and finalizeRun()
+     * runs at end of run, both in attach order.
      */
-    DeadlockHooks *deadlockHooks = nullptr;
+    std::vector<Subscriber *> subscribers;
 
     /** Stack size per goroutine. */
     size_t stackBytes = 128 * 1024;
@@ -262,6 +263,53 @@ struct GoroutineStat
     bool finished;
 };
 
+/**
+ * Per-run operation counters collected by obs::MetricsSink: ops by
+ * primitive, blocks by wait reason, scheduling churn. Deliberately
+ * excluded from RunReport::fingerprint() — fingerprints prove
+ * *observable-execution* equality and predate metrics, so committed
+ * goldens (tests/traces, bench baselines) must not depend on whether
+ * a metrics sink was attached.
+ */
+struct RunMetrics
+{
+    /** True when a MetricsSink actually populated this. */
+    bool collected = false;
+
+    // Ops by primitive.
+    uint64_t chanSends = 0;
+    uint64_t chanRecvs = 0;
+    uint64_t chanCloses = 0;
+    uint64_t chanTryOps = 0;
+    uint64_t lockWriteAcquires = 0;
+    uint64_t lockReadAcquires = 0;
+    uint64_t lockReleases = 0;
+    uint64_t onceOps = 0;
+    uint64_t wgDeltas = 0;
+    uint64_t wgWaits = 0;
+    uint64_t selectBlocks = 0;
+    uint64_t memReads = 0;
+    uint64_t memWrites = 0;
+
+    // Scheduling.
+    uint64_t dispatches = 0;
+    /** Dispatches that switched to a different goroutine than the
+     *  previous slice ran. */
+    uint64_t contextSwitches = 0;
+    uint64_t parks = 0;
+    /** Parks by wait reason, indexed by WaitReason. */
+    std::array<uint64_t, kWaitReasonCount> blocksByReason{};
+    uint64_t spawns = 0;
+    /** Peak number of live (spawned, not yet finished) goroutines. */
+    uint64_t maxLiveGoroutines = 0;
+
+    /** Stable single-line JSON (fixed key order; CI diffs this). */
+    std::string json() const;
+
+    /** Multi-line human-readable rendering. */
+    std::string describe() const;
+};
+
 /** Structured outcome of one golite::run. */
 struct RunReport
 {
@@ -291,12 +339,13 @@ struct RunReport
     /** Goroutines still parked when the run ended (goroutine leaks). */
     std::vector<LeakInfo> leaked;
 
-    /** Reports drained from the detector hooks (e.g. data races). */
+    /** Reports drained from the attached subscribers (e.g. data
+     *  races). */
     std::vector<std::string> raceMessages;
 
     /**
      * Structured partial-deadlock diagnoses from the wait-for-graph
-     * detector (empty unless RunOptions::deadlockHooks is set):
+     * detector (empty unless one subscribed):
      * mid-run certain reports first, then the end-of-run
      * classification of each leaked goroutine.
      */
@@ -316,6 +365,10 @@ struct RunReport
 
     /** Scheduler event trace, if RunOptions::collectTrace. */
     std::vector<TraceEvent> trace;
+
+    /** Operation counters, if an obs::MetricsSink subscribed. Not
+     *  part of fingerprint() (see RunMetrics). */
+    RunMetrics metrics;
 
     /** Render the trace as an indented timeline (empty if none). */
     std::string formatTrace() const;

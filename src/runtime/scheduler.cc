@@ -50,11 +50,106 @@ schedPolicyName(SchedPolicy policy)
     return "unknown";
 }
 
+namespace
+{
+
+/**
+ * Internal subscriber behind RunOptions::collectTrace: renders the
+ * lifecycle/scheduling events into the RunReport::trace timeline,
+ * preserving the exact entries the scheduler used to append by hand.
+ */
+class ReportTraceSink : public Subscriber
+{
+  public:
+    explicit ReportTraceSink(std::vector<TraceEvent> *out) : out_(out) {}
+
+    EventMask
+    eventMask() const override
+    {
+        return eventBit(EventKind::GoSpawn) |
+               eventBit(EventKind::GoFinish) |
+               eventBit(EventKind::GoPark) |
+               eventBit(EventKind::GoUnpark) |
+               eventBit(EventKind::GoDispatch) |
+               eventBit(EventKind::ClockAdvance);
+    }
+
+    void
+    onEvent(const RuntimeEvent &ev) override
+    {
+        switch (ev.kind) {
+          case EventKind::GoSpawn:
+            // The main goroutine's registration is synthetic — the
+            // timeline starts at its first dispatch, as always.
+            if (!ev.flag)
+                push(TraceKind::Spawn, ev, *ev.name);
+            break;
+          case EventKind::GoFinish:
+            push(TraceKind::Finish, ev, {});
+            break;
+          case EventKind::GoPark:
+            push(TraceKind::Park, ev, waitReasonName(ev.reason));
+            break;
+          case EventKind::GoUnpark:
+            push(TraceKind::Unpark, ev, {});
+            break;
+          case EventKind::GoDispatch:
+            push(TraceKind::Dispatch, ev, *ev.name);
+            break;
+          case EventKind::ClockAdvance:
+            push(TraceKind::ClockAdvance, ev,
+                 std::to_string(ev.b / 1000) + "us");
+            break;
+          default:
+            break;
+        }
+    }
+
+  private:
+    void
+    push(TraceKind kind, const RuntimeEvent &ev, std::string detail)
+    {
+        out_->push_back(TraceEvent{ev.tick, ev.timeNs, ev.gid, kind,
+                                   std::move(detail)});
+    }
+
+    std::vector<TraceEvent> *out_;
+};
+
+/**
+ * Internal subscriber behind RunOptions::recordTrace: every Decision
+ * event becomes one recorded trace entry, replacing the append the
+ * decision engine used to hard-code.
+ */
+class TraceRecorderSub : public Subscriber
+{
+  public:
+    explicit TraceRecorderSub(ScheduleTrace *out) : out_(out) {}
+
+    EventMask
+    eventMask() const override
+    {
+        return eventBit(EventKind::Decision);
+    }
+
+    void
+    onEvent(const RuntimeEvent &ev) override
+    {
+        if (ev.kind != EventKind::Decision)
+            return;
+        out_->decisions.push_back(
+            Decision{ev.decision, static_cast<uint32_t>(ev.a),
+                     static_cast<uint32_t>(ev.b)});
+    }
+
+  private:
+    ScheduleTrace *out_;
+};
+
+} // namespace
+
 Scheduler::Scheduler(const RunOptions &options)
-    : options_(options), rng_(options.seed),
-      hooks_(options.hooks ? options.hooks : &nullHooks_),
-      dhooks_(options.deadlockHooks ? options.deadlockHooks
-                                    : &nullDeadlockHooks_)
+    : options_(options), rng_(options.seed)
 {
     if (options_.policy == SchedPolicy::Pct) {
         // Draw d-1 priority-change points over the expected run
@@ -98,24 +193,14 @@ Scheduler::goroutineBody(Goroutine *g)
     }
     g->state = GoState::Done;
     g->finishedTick = report_.ticks;
-    traceEvent(TraceKind::Finish, g->id, {});
-    hooks_->goroutineFinished(g->id);
-    // Teardown unwinds are not real finishes: the wait-graph must
-    // keep its pre-teardown snapshot for the end-of-run analysis.
-    if (!aborting_)
-        dhooks_->goroutineFinished(g->id);
+    // The teardown flag tells subscribers this finish is an abort
+    // unwind, not a real completion: the wait-graph keeps its
+    // pre-teardown snapshot for the end-of-run analysis, while the
+    // race detector and the trace timeline consume it as always.
+    bus_.goFinish(g->id, aborting_);
     if (g == main_)
         mainDone_ = true;
     // Returning resumes schedContext_ via uc_link.
-}
-
-void
-Scheduler::traceEvent(TraceKind kind, uint64_t gid, std::string detail)
-{
-    if (!options_.collectTrace)
-        return;
-    report_.trace.push_back(
-        TraceEvent{report_.ticks, nowNs_, gid, kind, std::move(detail)});
 }
 
 void
@@ -131,9 +216,7 @@ Scheduler::spawn(std::function<void()> fn, std::string label)
         pctPriority_[g.get()] = 1'000'000 + rng_.below(1'000'000);
     }
     report_.goroutinesCreated++;
-    hooks_->goroutineCreated(runningId(), id);
-    dhooks_->goroutineCreated(runningId(), id, g->label);
-    traceEvent(TraceKind::Spawn, id, g->label);
+    bus_.goSpawn(runningId(), id, g->label);
     readyq_.push_back(g.get());
     goroutines_.emplace(id, std::move(g));
 }
@@ -162,10 +245,9 @@ Scheduler::park(WaitReason reason, const void *wait_object)
     g->state = GoState::Waiting;
     g->reason = reason;
     g->waitObject = wait_object;
-    traceEvent(TraceKind::Park, g->id, waitReasonName(reason));
     // Fires while the goroutine is already marked Waiting, so the
-    // detector's incremental cycle check sees the complete graph.
-    dhooks_->parked(g->id, reason, wait_object);
+    // wait-graph's incremental cycle check sees the complete graph.
+    bus_.goPark(g->id, reason, wait_object);
     g->fiber.suspendTo(&schedContext_);
     if (aborting_)
         throw RunAborted{};
@@ -178,8 +260,7 @@ Scheduler::unpark(Goroutine *g)
 {
     assert(g->state == GoState::Waiting);
     g->state = GoState::Runnable;
-    traceEvent(TraceKind::Unpark, g->id, {});
-    dhooks_->unparked(g->id);
+    bus_.goUnpark(g->id);
     readyq_.push_back(g);
 }
 
@@ -261,11 +342,9 @@ Scheduler::decide(DecisionKind kind, size_t n)
     } else {
         pick = rng_.below(n);
     }
-    if (options_.recordTrace != nullptr) {
-        options_.recordTrace->decisions.push_back(
-            Decision{kind, static_cast<uint32_t>(n),
-                     static_cast<uint32_t>(pick)});
-    }
+    // Every resolved choice is one Decision event; the trace recorder
+    // (RunOptions::recordTrace) is just a subscriber of these.
+    bus_.decision(kind, n, pick, runningId());
     return pick;
 }
 
@@ -373,7 +452,7 @@ void
 Scheduler::dispatch(Goroutine *g)
 {
     report_.ticks++;
-    traceEvent(TraceKind::Dispatch, g->id, g->label);
+    bus_.goDispatch(g->id, g->label);
     g->state = GoState::Running;
     running_ = g;
     if (!g->fiber.started())
@@ -381,6 +460,7 @@ Scheduler::dispatch(Goroutine *g)
     else
         g->fiber.resume(&schedContext_);
     running_ = nullptr;
+    bus_.goDesched(g->id);
     if (g->state == GoState::Done) {
         g->fiber.release();
         g->entry = nullptr;
@@ -419,8 +499,15 @@ Scheduler::finalize()
         }
     }
     report_.finalTimeNs = nowNs_;
-    report_.raceMessages = hooks_->drainReports();
-    dhooks_->finalizeRun(report_);
+    // Drain everyone first, then finalize everyone, in attach order —
+    // finalizers may read the full raceMessages list.
+    for (Subscriber *s : bus_.subscribers()) {
+        std::vector<std::string> msgs = s->drainReports();
+        report_.raceMessages.insert(report_.raceMessages.end(),
+                                    msgs.begin(), msgs.end());
+    }
+    for (Subscriber *s : bus_.subscribers())
+        s->finalizeRun(report_);
     report_.completed = !report_.globalDeadlock && !report_.panicked &&
                         !report_.livelocked &&
                         !report_.replayDivergence.diverged;
@@ -460,6 +547,22 @@ Scheduler::run(std::function<void()> main)
     if (options_.recordTrace)
         options_.recordTrace->decisions.clear();
 
+    // Wire the bus: caller subscribers in declared order, then the
+    // internal recorder and trace sinks.
+    bus_.reset();
+    for (Subscriber *s : options_.subscribers)
+        bus_.attach(s);
+    if (options_.recordTrace) {
+        recorderSub_ =
+            std::make_unique<TraceRecorderSub>(options_.recordTrace);
+        bus_.attach(recorderSub_.get());
+    }
+    if (options_.collectTrace) {
+        traceSink_ = std::make_unique<ReportTraceSink>(&report_.trace);
+        bus_.attach(traceSink_.get());
+    }
+    bus_.bindClocks(&report_.ticks, &nowNs_);
+
     const uint64_t id = nextId_;
     auto g = std::make_unique<Goroutine>(id, std::move(main),
                                          options_.stackBytes);
@@ -468,8 +571,7 @@ Scheduler::run(std::function<void()> main)
         pctPriority_[g.get()] = 1'000'000 + rng_.below(1'000'000);
     main_ = g.get();
     report_.goroutinesCreated = 1;
-    hooks_->goroutineCreated(0, id);
-    dhooks_->goroutineCreated(0, id, g->label);
+    bus_.goSpawn(0, id, g->label, /*synthetic=*/true);
     readyq_.push_back(g.get());
     goroutines_.emplace(id, std::move(g));
 
@@ -490,8 +592,7 @@ Scheduler::run(std::function<void()> main)
             if (!timers_.empty()) {
                 // Discrete-event step: advance virtual time.
                 nowNs_ = timers_.top().when;
-                traceEvent(TraceKind::ClockAdvance, 0,
-                           std::to_string(nowNs_ / 1000) + "us");
+                bus_.clockAdvance(nowNs_);
                 continue;
             }
             // Every goroutine is asleep with nothing to wake it: the

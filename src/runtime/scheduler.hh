@@ -23,8 +23,8 @@
 #include <vector>
 
 #include "base/rng.hh"
+#include "runtime/events.hh"
 #include "runtime/goroutine.hh"
-#include "runtime/hooks.hh"
 #include "runtime/report.hh"
 
 namespace golite
@@ -125,13 +125,15 @@ class Scheduler
     /** Park the current goroutine for @p delay_ns of virtual time. */
     void sleep(int64_t delay_ns);
 
-    // --- Detector plumbing ------------------------------------------
+    // --- Instrumentation --------------------------------------------
 
-    /** Instrumentation sink; never null inside a run. */
-    RaceHooks *hooks() { return hooks_; }
-
-    /** Blocking-bug instrumentation sink; never null inside a run. */
-    DeadlockHooks *deadlockHooks() { return dhooks_; }
+    /**
+     * The run's event bus. Primitives emit every concurrency event
+     * through it; detectors, probes, and sinks listen (see
+     * runtime/events.hh). Emitting with zero matching subscribers is
+     * an inline mask test.
+     */
+    EventBus &bus() { return bus_; }
 
     /** Scheduler-owned RNG (select uses it for its random choice). */
     Rng &rng() { return rng_; }
@@ -185,18 +187,18 @@ class Scheduler
     /** Unwind all live goroutines so their destructors run. */
     void abortAll();
 
-    /** Append a trace event when RunOptions::collectTrace is set. */
-    void traceEvent(TraceKind kind, uint64_t gid, std::string detail);
-
     /** Collect leaks/stats into the report at end of run. */
     void finalize();
 
     RunOptions options_;
     Rng rng_;
-    RaceHooks *hooks_;
-    RaceHooks nullHooks_;
-    DeadlockHooks *dhooks_;
-    DeadlockHooks nullDeadlockHooks_;
+    EventBus bus_;
+    /** Internal subscriber feeding RunReport::trace
+     *  (RunOptions::collectTrace). */
+    std::unique_ptr<Subscriber> traceSink_;
+    /** Internal subscriber appending Decision events to
+     *  RunOptions::recordTrace. */
+    std::unique_ptr<Subscriber> recorderSub_;
 
     std::map<uint64_t, std::unique_ptr<Goroutine>> goroutines_;
     /** PCT state: per-goroutine priorities (higher runs first) and

@@ -25,7 +25,8 @@ class Atomic
     T
     load() const
     {
-        Scheduler::current()->hooks()->acquire(this);
+        Scheduler *sched = Scheduler::current();
+        sched->bus().acquire(this, sched->runningId());
         return value_;
     }
 
@@ -33,7 +34,8 @@ class Atomic
     store(T value)
     {
         value_ = value;
-        Scheduler::current()->hooks()->release(this);
+        Scheduler *sched = Scheduler::current();
+        sched->bus().release(this, sched->runningId());
     }
 
     /** Atomic add; returns the new value (Go's AddInt64 convention). */
@@ -41,9 +43,9 @@ class Atomic
     add(T delta)
     {
         Scheduler *sched = Scheduler::current();
-        sched->hooks()->acquire(this);
+        sched->bus().acquire(this, sched->runningId());
         value_ += delta;
-        sched->hooks()->release(this);
+        sched->bus().release(this, sched->runningId());
         return value_;
     }
 
@@ -52,11 +54,11 @@ class Atomic
     compareAndSwap(T expect, T desired)
     {
         Scheduler *sched = Scheduler::current();
-        sched->hooks()->acquire(this);
+        sched->bus().acquire(this, sched->runningId());
         const bool swapped = (value_ == expect);
         if (swapped)
             value_ = desired;
-        sched->hooks()->release(this);
+        sched->bus().release(this, sched->runningId());
         return swapped;
     }
 

@@ -10,24 +10,23 @@ void
 Mutex::lock()
 {
     Scheduler *sched = Scheduler::current();
+    EventBus &bus = sched->bus();
     if (!locked_) {
         locked_ = true;
         holder_ = sched->runningId();
-        sched->hooks()->lockAcquired(this, holder_, true);
-        sched->deadlockHooks()->lockAcquired(this, holder_, true);
-        sched->hooks()->acquire(this);
+        bus.lockAcquire(this, holder_, true);
+        bus.acquire(this, holder_);
         return;
     }
     // Note: no reentrancy check — locking a mutex the current
     // goroutine already holds blocks forever, exactly as in Go.
-    sched->hooks()->lockRequested(this, sched->runningId(), true);
+    bus.lockRequest(this, sched->runningId(), true);
     waitq_.push_back(sched->running());
     sched->park(WaitReason::MutexLock, this);
     // Ownership was handed to us by unlock().
     holder_ = sched->runningId();
-    sched->hooks()->lockAcquired(this, holder_, true);
-    sched->deadlockHooks()->lockAcquired(this, holder_, true);
-    sched->hooks()->acquire(this);
+    bus.lockAcquire(this, holder_, true);
+    bus.acquire(this, holder_);
 }
 
 void
@@ -36,10 +35,9 @@ Mutex::unlock()
     Scheduler *sched = Scheduler::current();
     if (!locked_)
         goPanic("sync: unlock of unlocked mutex");
-    sched->hooks()->lockReleased(this, sched->runningId());
-    sched->deadlockHooks()->lockReleased(this, sched->runningId(),
-                                         true);
-    sched->hooks()->release(this);
+    const uint64_t gid = sched->runningId();
+    sched->bus().lockRelease(this, gid, true);
+    sched->bus().release(this, gid);
     if (!waitq_.empty()) {
         Goroutine *next = waitq_.front();
         waitq_.pop_front();

@@ -9,25 +9,29 @@ void
 Once::doOnce(const std::function<void()> &fn)
 {
     Scheduler *sched = Scheduler::current();
+    EventBus &bus = sched->bus();
     if (done_) {
-        sched->hooks()->acquire(this);
+        bus.acquire(this, sched->runningId());
+        bus.onceOp(this, sched->runningId(), false);
         return;
     }
     if (running_) {
         waitq_.push_back(sched->running());
         sched->park(WaitReason::OnceWait, this);
-        sched->hooks()->acquire(this);
+        bus.acquire(this, sched->runningId());
+        bus.onceOp(this, sched->runningId(), false);
         return;
     }
     running_ = true;
     fn();
     running_ = false;
     done_ = true;
-    sched->hooks()->release(this);
+    bus.release(this, sched->runningId());
     while (!waitq_.empty()) {
         sched->unpark(waitq_.front());
         waitq_.pop_front();
     }
+    bus.onceOp(this, sched->runningId(), true);
 }
 
 } // namespace golite

@@ -38,7 +38,8 @@ class Pool
     T
     get()
     {
-        Scheduler::current()->hooks()->acquire(this);
+        Scheduler *sched = Scheduler::current();
+        sched->bus().acquire(this, sched->runningId());
         if (items_.empty())
             return factory_();
         T out = std::move(items_.back());
@@ -51,7 +52,8 @@ class Pool
     put(T value)
     {
         items_.push_back(std::move(value));
-        Scheduler::current()->hooks()->release(this);
+        Scheduler *sched = Scheduler::current();
+        sched->bus().release(this, sched->runningId());
     }
 
     size_t idle() const { return items_.size(); }

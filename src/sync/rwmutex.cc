@@ -12,33 +12,31 @@ void
 RWMutex::rlock()
 {
     Scheduler *sched = Scheduler::current();
+    EventBus &bus = sched->bus();
     // Writer privilege: a waiting writer blocks new readers even
     // though readers currently hold the lock. This is what makes the
     // recursive-read-lock pattern deadlock in Go.
     if (writerActive_ || !writerq_.empty()) {
-        sched->hooks()->lockRequested(this, sched->runningId(), false);
+        bus.lockRequest(this, sched->runningId(), false);
         readerq_.push_back(sched->running());
         sched->park(WaitReason::RWMutexRLock, this);
     } else {
         readers_++;
     }
     readerGids_.push_back(sched->runningId());
-    sched->hooks()->lockAcquired(this, sched->runningId(), false);
-    sched->deadlockHooks()->lockAcquired(this, sched->runningId(),
-                                         false);
-    sched->hooks()->acquire(this);
+    bus.lockAcquire(this, sched->runningId(), false);
+    bus.acquire(this, sched->runningId());
 }
 
 void
 RWMutex::runlock()
 {
     Scheduler *sched = Scheduler::current();
+    EventBus &bus = sched->bus();
     if (readers_ == 0)
         goPanic("sync: RUnlock of unlocked RWMutex");
-    sched->hooks()->lockReleased(this, sched->runningId());
-    sched->deadlockHooks()->lockReleased(this, sched->runningId(),
-                                         false);
-    sched->hooks()->release(this);
+    bus.lockRelease(this, sched->runningId(), false);
+    bus.release(this, sched->runningId());
     auto it = std::find(readerGids_.begin(), readerGids_.end(),
                         sched->runningId());
     if (it != readerGids_.end())
@@ -56,31 +54,29 @@ void
 RWMutex::lock()
 {
     Scheduler *sched = Scheduler::current();
+    EventBus &bus = sched->bus();
     if (readers_ == 0 && !writerActive_ && writerq_.empty()) {
         writerActive_ = true;
     } else {
-        sched->hooks()->lockRequested(this, sched->runningId(), true);
+        bus.lockRequest(this, sched->runningId(), true);
         writerq_.push_back(sched->running());
         sched->park(WaitReason::RWMutexWLock, this);
         // writerActive_ was set on our behalf by the waker.
     }
     writerGid_ = sched->runningId();
-    sched->hooks()->lockAcquired(this, sched->runningId(), true);
-    sched->deadlockHooks()->lockAcquired(this, sched->runningId(),
-                                         true);
-    sched->hooks()->acquire(this);
+    bus.lockAcquire(this, sched->runningId(), true);
+    bus.acquire(this, sched->runningId());
 }
 
 void
 RWMutex::unlock()
 {
     Scheduler *sched = Scheduler::current();
+    EventBus &bus = sched->bus();
     if (!writerActive_)
         goPanic("sync: Unlock of unlocked RWMutex");
-    sched->hooks()->lockReleased(this, sched->runningId());
-    sched->deadlockHooks()->lockReleased(this, sched->runningId(),
-                                         true);
-    sched->hooks()->release(this);
+    bus.lockRelease(this, sched->runningId(), true);
+    bus.release(this, sched->runningId());
     writerActive_ = false;
     writerGid_ = 0;
     if (!readerq_.empty()) {

@@ -35,7 +35,8 @@ class SyncMap
     std::optional<V>
     load(const K &key) const
     {
-        Scheduler::current()->hooks()->acquire(this);
+        Scheduler *sched = Scheduler::current();
+        sched->bus().acquire(this, sched->runningId());
         auto it = map_.find(key);
         if (it == map_.end())
             return std::nullopt;
@@ -47,7 +48,8 @@ class SyncMap
     store(const K &key, V value)
     {
         map_[key] = std::move(value);
-        Scheduler::current()->hooks()->release(this);
+        Scheduler *sched = Scheduler::current();
+        sched->bus().release(this, sched->runningId());
     }
 
     /**
@@ -58,12 +60,12 @@ class SyncMap
     loadOrStore(const K &key, V value)
     {
         Scheduler *sched = Scheduler::current();
-        sched->hooks()->acquire(this);
+        sched->bus().acquire(this, sched->runningId());
         auto it = map_.find(key);
         if (it != map_.end())
             return {it->second, true};
         map_[key] = value;
-        sched->hooks()->release(this);
+        sched->bus().release(this, sched->runningId());
         return {std::move(value), false};
     }
 
@@ -72,13 +74,13 @@ class SyncMap
     loadAndDelete(const K &key)
     {
         Scheduler *sched = Scheduler::current();
-        sched->hooks()->acquire(this);
+        sched->bus().acquire(this, sched->runningId());
         auto it = map_.find(key);
         if (it == map_.end())
             return std::nullopt;
         V out = std::move(it->second);
         map_.erase(it);
-        sched->hooks()->release(this);
+        sched->bus().release(this, sched->runningId());
         return out;
     }
 
@@ -87,7 +89,8 @@ class SyncMap
     del(const K &key)
     {
         map_.erase(key);
-        Scheduler::current()->hooks()->release(this);
+        Scheduler *sched = Scheduler::current();
+        sched->bus().release(this, sched->runningId());
     }
 
     /**
@@ -98,7 +101,8 @@ class SyncMap
     void
     range(const std::function<bool(const K &, const V &)> &fn) const
     {
-        Scheduler::current()->hooks()->acquire(this);
+        Scheduler *sched = Scheduler::current();
+        sched->bus().acquire(this, sched->runningId());
         const std::map<K, V> snapshot = map_;
         for (const auto &[key, value] : snapshot) {
             if (!fn(key, value))

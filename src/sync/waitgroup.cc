@@ -13,10 +13,9 @@ WaitGroup::add(int delta)
     count_ += delta;
     if (count_ < 0)
         goPanic("sync: negative WaitGroup counter");
-    sched->hooks()->wgAdd(this, delta, count_);
-    sched->deadlockHooks()->wgCounter(this, count_);
+    sched->bus().wgDelta(this, sched->runningId(), delta, count_);
     if (delta < 0)
-        sched->hooks()->release(this);
+        sched->bus().release(this, sched->runningId());
     if (count_ == 0 && !waitq_.empty()) {
         while (!waitq_.empty()) {
             sched->unpark(waitq_.front());
@@ -29,12 +28,12 @@ void
 WaitGroup::wait()
 {
     Scheduler *sched = Scheduler::current();
-    sched->hooks()->wgWait(this);
+    sched->bus().wgWait(this, sched->runningId());
     if (count_ > 0) {
         waitq_.push_back(sched->running());
         sched->park(WaitReason::WaitGroupWait, this);
     }
-    sched->hooks()->acquire(this);
+    sched->bus().acquire(this, sched->runningId());
 }
 
 } // namespace golite

@@ -20,6 +20,40 @@ ruleKindName(RuleKind kind)
     return "unknown";
 }
 
+EventMask
+BlockingVet::eventMask() const
+{
+    return eventBit(EventKind::LockRequest) |
+           eventBit(EventKind::LockAcquire) |
+           eventBit(EventKind::LockRelease) |
+           eventBit(EventKind::WgDelta) | eventBit(EventKind::WgWait);
+}
+
+void
+BlockingVet::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::LockRequest:
+        lockRequested(ev.obj, ev.gid, ev.flag);
+        break;
+      case EventKind::LockAcquire:
+        lockAcquired(ev.obj, ev.gid, ev.flag);
+        break;
+      case EventKind::LockRelease:
+        lockReleased(ev.obj, ev.gid);
+        break;
+      case EventKind::WgDelta:
+        wgAdd(ev.obj, static_cast<int>(ev.b),
+              static_cast<int>(ev.a));
+        break;
+      case EventKind::WgWait:
+        wgWait(ev.obj);
+        break;
+      default:
+        break;
+    }
+}
+
 void
 BlockingVet::report(RuleKind kind, const void *object, uint64_t gid,
                     std::string message)

@@ -34,7 +34,7 @@
 #include <string>
 #include <vector>
 
-#include "runtime/hooks.hh"
+#include "runtime/events.hh"
 
 namespace golite::vet
 {
@@ -60,23 +60,27 @@ struct VetReport
 };
 
 /**
- * The checker. Install via RunOptions::hooks (alone, or fanned out
- * together with the race detector through MultiHooks).
+ * The checker. Install via RunOptions::subscribers (alone, or next to
+ * the race detector — the bus fans events out to both).
  */
-class BlockingVet : public RaceHooks
+class BlockingVet : public Subscriber
 {
   public:
     BlockingVet() = default;
 
-    // RaceHooks events --------------------------------------------
-    void lockRequested(const void *lock_obj, uint64_t gid,
-                       bool is_write) override;
-    void lockAcquired(const void *lock_obj, uint64_t gid,
-                      bool is_write) override;
-    void lockReleased(const void *lock_obj, uint64_t gid) override;
-    void wgAdd(const void *wg, int delta, int new_count) override;
-    void wgWait(const void *wg) override;
+    // Subscriber interface ----------------------------------------
+    EventMask eventMask() const override;
+    void onEvent(const RuntimeEvent &ev) override;
     std::vector<std::string> drainReports() override;
+
+    // Event handlers (public for direct-drive unit tests).
+    void lockRequested(const void *lock_obj, uint64_t gid,
+                       bool is_write);
+    void lockAcquired(const void *lock_obj, uint64_t gid,
+                      bool is_write);
+    void lockReleased(const void *lock_obj, uint64_t gid);
+    void wgAdd(const void *wg, int delta, int new_count);
+    void wgWait(const void *wg);
 
     /** All structured reports (not cleared by drainReports). */
     const std::vector<VetReport> &reports() const { return reports_; }

@@ -6,6 +6,55 @@
 namespace golite::waitgraph
 {
 
+EventMask
+Detector::eventMask() const
+{
+    return eventBit(EventKind::GoSpawn) |
+           eventBit(EventKind::GoFinish) |
+           eventBit(EventKind::GoPark) |
+           eventBit(EventKind::GoUnpark) |
+           eventBit(EventKind::LockAcquire) |
+           eventBit(EventKind::LockRelease) |
+           eventBit(EventKind::SelectBlock) |
+           eventBit(EventKind::WgDelta);
+}
+
+void
+Detector::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::GoSpawn:
+        goroutineCreated(ev.a, ev.gid, *ev.name);
+        break;
+      case EventKind::GoFinish:
+        // Teardown unwinds are not real finishes: keep the
+        // pre-teardown snapshot for the end-of-run leak analysis.
+        if (!ev.flag)
+            goroutineFinished(ev.gid);
+        break;
+      case EventKind::GoPark:
+        parked(ev.gid, ev.reason, ev.obj);
+        break;
+      case EventKind::GoUnpark:
+        unparked(ev.gid);
+        break;
+      case EventKind::LockAcquire:
+        lockAcquired(ev.obj, ev.gid, ev.flag);
+        break;
+      case EventKind::LockRelease:
+        lockReleased(ev.obj, ev.gid, ev.flag);
+        break;
+      case EventKind::SelectBlock:
+        selectBlocked(ev.gid, *ev.waits);
+        break;
+      case EventKind::WgDelta:
+        wgCounter(ev.obj, static_cast<int>(ev.a));
+        break;
+      default:
+        break;
+    }
+}
+
 void
 Detector::goroutineCreated(uint64_t parent, uint64_t child,
                            const std::string &label)

@@ -5,7 +5,7 @@
  * The paper's Table 8 shows Go's built-in detector firing only when
  * *every* goroutine is asleep — 2 of the 21 reproduced blocking bugs.
  * This detector closes that gap at runtime: it maintains a bipartite
- * wait-for graph of goroutines and sync resources from DeadlockHooks
+ * wait-for graph of goroutines and sync resources from runtime bus
  * events and reports partial deadlocks in two layers:
  *
  *  1. Mid-run, with certainty, the moment the condition forms:
@@ -21,8 +21,9 @@
  *     every leaked goroutine by cause: lock chains, channels with no
  *     live counterpart, stuck selects / WaitGroups / Conds / pipes.
  *
- * Plug an instance into RunOptions::deadlockHooks — the exact analogue
- * of running the race::Detector through RunOptions::hooks.
+ * Plug an instance into RunOptions::subscribers — the exact analogue
+ * of running the race::Detector there; the two masks barely overlap,
+ * so each sees only its own slice of the event stream.
  */
 
 #ifndef GOLITE_WAITGRAPH_WAITGRAPH_HH
@@ -34,32 +35,34 @@
 #include <unordered_set>
 #include <vector>
 
-#include "runtime/hooks.hh"
+#include "runtime/events.hh"
 #include "runtime/report.hh"
 
 namespace golite::waitgraph
 {
 
-class Detector : public DeadlockHooks
+class Detector : public Subscriber
 {
   public:
     Detector() = default;
 
-    // DeadlockHooks interface --------------------------------------
-    void goroutineCreated(uint64_t parent, uint64_t child,
-                          const std::string &label) override;
-    void goroutineFinished(uint64_t gid) override;
-    void parked(uint64_t gid, WaitReason reason,
-                const void *obj) override;
-    void unparked(uint64_t gid) override;
-    void lockAcquired(const void *lock, uint64_t gid,
-                      bool is_write) override;
-    void lockReleased(const void *lock, uint64_t gid,
-                      bool was_write) override;
-    void selectBlocked(uint64_t gid,
-                       const std::vector<SelectWait> &cases) override;
-    void wgCounter(const void *wg, int count) override;
+    // Subscriber interface -----------------------------------------
+    EventMask eventMask() const override;
+    void onEvent(const RuntimeEvent &ev) override;
     void finalizeRun(RunReport &report) override;
+
+    // Event handlers (public so the detector can also be driven
+    // directly by unit tests).
+    void goroutineCreated(uint64_t parent, uint64_t child,
+                          const std::string &label);
+    void goroutineFinished(uint64_t gid);
+    void parked(uint64_t gid, WaitReason reason, const void *obj);
+    void unparked(uint64_t gid);
+    void lockAcquired(const void *lock, uint64_t gid, bool is_write);
+    void lockReleased(const void *lock, uint64_t gid, bool was_write);
+    void selectBlocked(uint64_t gid,
+                       const std::vector<SelectWait> &cases);
+    void wgCounter(const void *wg, int count);
 
     /** Mid-run certain reports accumulated so far. */
     const std::vector<PartialDeadlock> &certainReports() const

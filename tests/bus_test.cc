@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Event-bus mechanics and RunReport drain/merge paths: masked
+ * delivery, attach-order draining with several subscribers in one
+ * run, reportLimit suppression interacting with dedup, and
+ * partial-deadlock + race reports coexisting in one report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+/** Records the kinds it sees; reports one message per run. */
+class ProbeSub : public Subscriber
+{
+  public:
+    ProbeSub(EventMask mask, std::string tag)
+        : mask_(mask), tag_(std::move(tag))
+    {
+    }
+
+    EventMask eventMask() const override { return mask_; }
+
+    void
+    onEvent(const RuntimeEvent &ev) override
+    {
+        seen.push_back(ev.kind);
+    }
+
+    std::vector<std::string>
+    drainReports() override
+    {
+        return {tag_ + ": saw " + std::to_string(seen.size()) +
+                " events"};
+    }
+
+    void
+    finalizeRun(RunReport &report) override
+    {
+        finalized = true;
+        (void)report;
+    }
+
+    std::vector<EventKind> seen;
+    bool finalized = false;
+
+  private:
+    EventMask mask_;
+    std::string tag_;
+};
+
+void
+racyLeakyProgram()
+{
+    // One data race (two unsynchronized writers) and one goroutine
+    // leaked on a channel nobody sends to.
+    race::Shared<int> shared("shared-x");
+    Chan<int> never = makeChan<int>();
+    WaitGroup wg;
+    wg.add(2);
+    for (int i = 0; i < 2; ++i) {
+        go([&] {
+            shared.store(1);
+            wg.done();
+        });
+    }
+    go("leaky-recv", [never] { never.recv(); });
+    wg.wait();
+}
+
+TEST(EventBus, MaskedDispatchDeliversOnlyDeclaredKinds)
+{
+    ProbeSub chan_only(eventBit(EventKind::ChanOp), "chan");
+    RunOptions options;
+    options.subscribers.push_back(&chan_only);
+    run([] {
+        Chan<int> ch = makeChan<int>(1);
+        ch.send(7);
+        ch.recv();
+        Mutex mu;
+        mu.lock();
+        mu.unlock();
+    }, options);
+
+    ASSERT_FALSE(chan_only.seen.empty());
+    if (EventBus::maskedDispatch()) {
+        for (EventKind kind : chan_only.seen)
+            EXPECT_EQ(kind, EventKind::ChanOp);
+    }
+    const size_t chan_ops = std::count(chan_only.seen.begin(),
+                                       chan_only.seen.end(),
+                                       EventKind::ChanOp);
+    EXPECT_EQ(chan_ops, 2u); // one send, one recv
+}
+
+TEST(EventBus, DrainsSubscriberReportsInAttachOrder)
+{
+    ProbeSub first(eventBit(EventKind::GoSpawn), "first");
+    ProbeSub second(eventBit(EventKind::GoSpawn), "second");
+    RunOptions options;
+    options.subscribers = {&first, &second};
+    RunReport report = run([] { go([] {}); }, options);
+
+    ASSERT_EQ(report.raceMessages.size(), 2u);
+    EXPECT_EQ(report.raceMessages[0].rfind("first:", 0), 0u);
+    EXPECT_EQ(report.raceMessages[1].rfind("second:", 0), 0u);
+    EXPECT_TRUE(first.finalized);
+    EXPECT_TRUE(second.finalized);
+}
+
+TEST(EventBus, RaceAndPartialDeadlockReportsCoexist)
+{
+    race::Detector races;
+    waitgraph::Detector waits;
+    RunOptions options;
+    options.seed = 3;
+    options.subscribers = {&races, &waits};
+    RunReport report = run(racyLeakyProgram, options);
+
+    // The race lands in raceMessages, the leaked receiver in
+    // partialDeadlocks — one run, two detectors, one report.
+    EXPECT_FALSE(report.raceMessages.empty());
+    ASSERT_FALSE(report.partialDeadlocks.empty());
+    EXPECT_EQ(report.partialDeadlocks[0].cause,
+              DeadlockCause::ChanNoSender);
+    ASSERT_EQ(report.leaked.size(), 1u);
+    EXPECT_EQ(report.leaked[0].label, "leaky-recv");
+}
+
+TEST(EventBus, ReportLimitSuppressionComposesWithDedup)
+{
+    // Three goroutines hammer one address: many racy pairs, every
+    // one repeated many times. Dedup collapses repeats of a (gids,
+    // kinds) combo; the per-object reportLimit then caps how many
+    // distinct combos are reported at all.
+    auto hammer = [] {
+        race::Shared<int> x("hammer");
+        WaitGroup wg;
+        wg.add(3);
+        for (int g = 0; g < 3; ++g) {
+            go([&] {
+                for (int i = 0; i < 8; ++i)
+                    x.update([](int &v) { v++; });
+                wg.done();
+            });
+        }
+        wg.wait();
+    };
+
+    race::Detector capped;
+    capped.setReportLimit(2);
+    RunOptions options;
+    options.seed = 7;
+    options.preemptProb = 0.3;
+    options.subscribers.push_back(&capped);
+    run(hammer, options);
+
+    EXPECT_LE(capped.reports().size(), 2u);
+
+    // Same run, generous limit: dedup alone keeps each combo once.
+    race::Detector uncapped;
+    uncapped.setReportLimit(64);
+    RunOptions options2;
+    options2.seed = 7;
+    options2.preemptProb = 0.3;
+    options2.subscribers.push_back(&uncapped);
+    run(hammer, options2);
+
+    std::set<std::tuple<uint64_t, bool, uint64_t, bool>> combos;
+    for (const race::RaceReport &r : uncapped.reports()) {
+        EXPECT_TRUE(combos
+                        .insert({r.firstGid, r.firstWrite,
+                                 r.secondGid, r.secondWrite})
+                        .second)
+            << "duplicate (gids, kinds) combo reported";
+    }
+    EXPECT_GE(uncapped.reports().size(), capped.reports().size());
+}
+
+TEST(EventBus, EventKindNamesAreExhaustive)
+{
+    for (int i = 0; i < kEventKindCount; ++i)
+        EXPECT_STRNE(eventKindName(static_cast<EventKind>(i)), "?")
+            << "EventKind " << i;
+    for (int i = 0; i < kChanOpKindCount; ++i)
+        EXPECT_STRNE(chanOpKindName(static_cast<ChanOpKind>(i)), "?")
+            << "ChanOpKind " << i;
+}
+
+TEST(EventBus, ZeroSubscribersMeansNoActiveKinds)
+{
+    EventBus bus;
+    for (int i = 0; i < kEventKindCount; ++i)
+        EXPECT_FALSE(bus.wants(static_cast<EventKind>(i)));
+    ProbeSub probe(eventBit(EventKind::GoPark), "probe");
+    bus.attach(&probe);
+    EXPECT_TRUE(bus.wants(EventKind::GoPark));
+    if (EventBus::maskedDispatch()) {
+        EXPECT_FALSE(bus.wants(EventKind::GoUnpark));
+    }
+    bus.reset();
+    EXPECT_FALSE(bus.wants(EventKind::GoPark));
+}
+
+} // namespace
+} // namespace golite

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "corpus/bug.hh"
@@ -22,6 +24,33 @@ namespace golite::corpus
 {
 namespace
 {
+
+/**
+ * Re-run a failing (kernel, variant, seed) with a TraceEventSink
+ * attached and dump the Chrome trace JSON next to the test binary
+ * (or under $GOLITE_TRACE_DUMP_DIR), so a corpus regression arrives
+ * with its schedule timeline instead of just a seed number.
+ */
+void
+dumpFailureTrace(const BugCase &bug, Variant variant, uint64_t seed)
+{
+    obs::TraceEventSink sink;
+    RunOptions options;
+    options.seed = seed;
+    options.subscribers.push_back(&sink);
+    bug.run(variant, options);
+
+    const char *dir = std::getenv("GOLITE_TRACE_DUMP_DIR");
+    std::string path = dir != nullptr ? std::string(dir) + "/" : "";
+    path += bug.info.id;
+    path += variant == Variant::Fixed ? "-fixed" : "-buggy";
+    path += "-seed" + std::to_string(seed) + ".trace.json";
+    if (sink.writeFile(path)) {
+        std::fprintf(stderr,
+                     "[ trace    ] schedule timeline dumped to %s\n",
+                     path.c_str());
+    }
+}
 
 class EveryBug : public ::testing::TestWithParam<const BugCase *>
 {
@@ -64,6 +93,10 @@ TEST_P(EveryBug, FixedVariantNeverMisbehaves)
         EXPECT_FALSE(outcome.report.globalDeadlock)
             << bug.info.id << " fixed variant deadlocked at seed "
             << seed;
+        if (outcome.manifested || outcome.report.panicked ||
+            !outcome.report.leaked.empty() ||
+            outcome.report.globalDeadlock)
+            dumpFailureTrace(bug, Variant::Fixed, seed);
     }
 }
 
@@ -78,7 +111,7 @@ TEST_P(EveryBug, BuggyVariantManifestsOrRaces)
         race::Detector detector;
         RunOptions options;
         options.seed = seed;
-        options.hooks = &detector;
+        options.subscribers.push_back(&detector);
         BugOutcome outcome = bug.run(Variant::Buggy, options);
         exposed = outcome.manifested || !detector.reports().empty();
     }
@@ -94,11 +127,13 @@ TEST_P(EveryBug, FixedVariantIsRaceFreeToTheDetector)
         race::Detector detector;
         RunOptions options;
         options.seed = seed;
-        options.hooks = &detector;
+        options.subscribers.push_back(&detector);
         bug.run(Variant::Fixed, options);
         EXPECT_TRUE(detector.reports().empty())
             << bug.info.id << " fixed variant raced at seed " << seed
             << ": " << detector.reports()[0].describe();
+        if (!detector.reports().empty())
+            dumpFailureTrace(bug, Variant::Fixed, seed);
     }
 }
 
@@ -235,7 +270,7 @@ TEST(FigureKernels, Figure8LoopCaptureRaces)
     ASSERT_NE(bug, nullptr);
     race::Detector detector;
     RunOptions options;
-    options.hooks = &detector;
+    options.subscribers.push_back(&detector);
     bug->run(Variant::Buggy, options);
     EXPECT_TRUE(detector.racedOn("i"));
 }

@@ -305,8 +305,8 @@ TEST(Coverage, ProbesAreDeterministicPerSchedule)
         blocking.beginRun();
         access.beginRun();
         RunOptions ro = randomOptions(seed);
-        ro.deadlockHooks = &blocking;
-        ro.hooks = &access;
+        ro.subscribers.push_back(&blocking);
+        ro.subscribers.push_back(&access);
         run(sampleProgram, ro);
         std::vector<uint64_t> all = blocking.observed();
         all.insert(all.end(), access.observed().begin(),
@@ -338,8 +338,8 @@ TEST(Coverage, DifferentSchedulesReachDifferentStates)
         access.beginRun();
         blocking.beginRun();
         RunOptions ro = randomOptions(seed * 131);
-        ro.hooks = &access;
-        ro.deadlockHooks = &blocking;
+        ro.subscribers.push_back(&access);
+        ro.subscribers.push_back(&blocking);
         run(rendezvous, ro);
         size_t fresh = map.merge(access.observed());
         fresh += map.merge(blocking.observed());
@@ -414,7 +414,7 @@ TEST(Fuzzer, RejectsPreattachedHooksAndTraces)
 
     fuzz::FuzzOptions fo2;
     fuzz::BlockingCoverage probe;
-    fo2.runOptions.deadlockHooks = &probe;
+    fo2.runOptions.subscribers.push_back(&probe);
     EXPECT_THROW(
         fuzz::fuzzKernel(*bug, corpus::Variant::Buggy, fo2),
         std::logic_error);

@@ -254,9 +254,8 @@ TEST(Integration, AllDetectorsComposeOnARealWorkload)
 {
     race::Detector racer;
     vet::BlockingVet vet_checker;
-    MultiHooks hooks({&racer, &vet_checker});
     RunOptions options;
-    options.hooks = &hooks;
+    options.subscribers = {&racer, &vet_checker};
     int processed = 0;
     RunReport report = run([&] {
         Mutex mu;

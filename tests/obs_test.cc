@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Observability sinks: Chrome trace-event JSON export
+ * (obs::TraceEventSink) and per-run operation counters
+ * (obs::MetricsSink).
+ *
+ * The trace exporter's contract is determinism: timestamps are event
+ * ordinals, never wall time, and no pointer value is printed, so a
+ * fixed-seed run renders byte-identical JSON on every machine — held
+ * down here by an exact golden for a minimal run and a
+ * render-twice comparison for a real kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+size_t
+countOccurrences(const std::string &haystack,
+                 const std::string &needle)
+{
+    size_t n = 0;
+    for (size_t at = haystack.find(needle);
+         at != std::string::npos;
+         at = haystack.find(needle, at + needle.size()))
+        n++;
+    return n;
+}
+
+void
+workload()
+{
+    Mutex mu;
+    WaitGroup wg;
+    race::Shared<int> counter("counter");
+    Chan<int> ch = makeChan<int>(1);
+    wg.add(2);
+    for (int g = 0; g < 2; ++g) {
+        go([&] {
+            ch.send(g);
+            mu.lock();
+            counter.update([](int &v) { v++; });
+            mu.unlock();
+            ch.recv();
+            wg.done();
+        });
+    }
+    wg.wait();
+}
+
+TEST(TraceEventSink, GoldenMinimalRun)
+{
+    // The empty program: the synthetic main registration (lane
+    // metadata only — no `go` statement to mark), one scheduling
+    // slice, one finish. Everything else in the format hangs off
+    // these records, so this golden pins field order, phases, lane
+    // ids, and ordinal timestamps exactly.
+    obs::TraceEventSink sink;
+    RunOptions options;
+    options.subscribers.push_back(&sink);
+    run([] {}, options);
+
+    EXPECT_EQ(sink.json(),
+              "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+              "\"tid\":1,\"ts\":0,\"args\":{\"name\":\"g1 main\"}},\n"
+              "{\"name\":\"run\",\"ph\":\"B\",\"pid\":1,\"tid\":1,"
+              "\"ts\":1},\n"
+              "{\"name\":\"finish\",\"ph\":\"i\",\"pid\":1,\"tid\":1,"
+              "\"ts\":2,\"s\":\"t\"},\n"
+              "{\"name\":\"run\",\"ph\":\"E\",\"pid\":1,\"tid\":1,"
+              "\"ts\":3}\n"
+              "]}\n");
+}
+
+TEST(TraceEventSink, DeterministicAndStructurallyValid)
+{
+    std::string renders[2];
+    for (std::string &out : renders) {
+        obs::TraceEventSink sink;
+        RunOptions options;
+        options.seed = 11;
+        options.subscribers.push_back(&sink);
+        run(workload, options);
+        out = sink.json();
+    }
+    EXPECT_EQ(renders[0], renders[1]);
+
+    const std::string &doc = renders[0];
+    // Every scheduling slice opened is closed, on some lane.
+    EXPECT_EQ(countOccurrences(doc, "\"ph\":\"B\""),
+              countOccurrences(doc, "\"ph\":\"E\""));
+    // One lane-name record per goroutine (main + 2 workers).
+    EXPECT_EQ(countOccurrences(doc, "\"thread_name\""), 3u);
+    // Channel ops and lock ops made it onto the timeline.
+    EXPECT_EQ(countOccurrences(doc, "chan send"), 2u);
+    EXPECT_EQ(countOccurrences(doc, "chan recv"), 2u);
+    EXPECT_EQ(countOccurrences(doc, "lock acquire (w)"), 2u);
+    // Determinism implies no raw pointers in the output.
+    EXPECT_EQ(doc.find("0x"), std::string::npos);
+}
+
+TEST(TraceEventSink, ClearResetsForReuse)
+{
+    obs::TraceEventSink sink;
+    RunOptions options;
+    options.seed = 11;
+    options.subscribers.push_back(&sink);
+    run(workload, options);
+    const std::string first = sink.json();
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+    run(workload, options);
+    EXPECT_EQ(sink.json(), first);
+}
+
+TEST(MetricsSink, CountsSchedulingAndPrimitiveOps)
+{
+    obs::MetricsSink metrics;
+    RunOptions options;
+    options.seed = 5;
+    options.subscribers.push_back(&metrics);
+    RunReport report = run(workload, options);
+
+    ASSERT_TRUE(report.metrics.collected);
+    const RunMetrics &m = report.metrics;
+    // Schedule-independent counts are exact.
+    EXPECT_EQ(m.spawns, report.goroutinesCreated);
+    EXPECT_EQ(m.maxLiveGoroutines, 3u);
+    EXPECT_EQ(m.chanSends, 2u);
+    EXPECT_EQ(m.chanRecvs, 2u);
+    EXPECT_EQ(m.lockWriteAcquires, 2u);
+    EXPECT_EQ(m.lockReleases, 2u);
+    EXPECT_EQ(m.wgDeltas, 3u); // add(2) + two done()
+    EXPECT_EQ(m.wgWaits, 1u);
+    EXPECT_EQ(m.memReads, 2u);
+    EXPECT_EQ(m.memWrites, 2u);
+    // Every dispatch tick is one GoDispatch event.
+    EXPECT_EQ(m.dispatches, report.ticks);
+    EXPECT_GT(m.contextSwitches, 0u);
+    EXPECT_LT(m.contextSwitches, m.dispatches);
+    // parks equals the per-reason breakdown's total.
+    uint64_t by_reason = 0;
+    for (uint64_t n : m.blocksByReason)
+        by_reason += n;
+    EXPECT_EQ(m.parks, by_reason);
+
+    // The JSON emitter is single-line with fixed key order.
+    const std::string json = m.json();
+    EXPECT_EQ(json.rfind("{\"chanSends\":2,\"chanRecvs\":2,", 0), 0u);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+    EXPECT_FALSE(m.describe().empty());
+}
+
+TEST(MetricsSink, DoesNotPerturbTheScheduleOrFingerprint)
+{
+    RunOptions plain;
+    plain.seed = 9;
+    RunReport without = run(workload, plain);
+
+    obs::MetricsSink metrics;
+    RunOptions observed;
+    observed.seed = 9;
+    observed.subscribers.push_back(&metrics);
+    RunReport with = run(workload, observed);
+
+    // Metrics are deliberately outside the fingerprint, and the sink
+    // must not change a single scheduling decision.
+    EXPECT_EQ(without.fingerprint(), with.fingerprint());
+    EXPECT_FALSE(without.metrics.collected);
+    EXPECT_TRUE(with.metrics.collected);
+}
+
+TEST(MetricsSink, ResetsBetweenRunsWhenReused)
+{
+    obs::MetricsSink metrics;
+    RunOptions options;
+    options.seed = 5;
+    options.subscribers.push_back(&metrics);
+    RunReport first = run(workload, options);
+    RunReport second = run(workload, options);
+    // Same seed, same program: identical counters — a sink that
+    // failed to reset would double them.
+    EXPECT_EQ(first.metrics.json(), second.metrics.json());
+}
+
+} // namespace
+} // namespace golite

@@ -154,13 +154,13 @@ TEST(Sweep, RejectsSharedDetectorInstance)
 {
     race::Detector detector;
     RunOptions base;
-    base.hooks = &detector;
+    base.subscribers.push_back(&detector);
     EXPECT_THROW(runSeeds(mingleProgram, {1, 2, 3}, base),
                  std::logic_error);
 
     waitgraph::Detector deadlock_detector;
     RunOptions base2;
-    base2.deadlockHooks = &deadlock_detector;
+    base2.subscribers.push_back(&deadlock_detector);
     EXPECT_THROW(runSeeds(mingleProgram, {1, 2, 3}, base2),
                  std::logic_error);
 }
@@ -173,7 +173,7 @@ TEST(Sweep, RunJobsKeepsJobOrderWithFreshDetectors)
             waitgraph::Detector det;
             RunOptions options;
             options.seed = seed;
-            options.deadlockHooks = &det;
+            options.subscribers.push_back(&det);
             return run(deadlockProgram, options);
         });
     }
@@ -212,7 +212,7 @@ TEST(Sweep, RunSeedsRacedMatchesSerialFreshDetectorLoop)
         race::Detector detector;
         RunOptions options;
         options.seed = seed;
-        options.hooks = &detector;
+        options.subscribers.push_back(&detector);
         serial.push_back(run(racyProgram, options));
     }
     for (unsigned workers : {1u, 4u}) {
@@ -238,7 +238,7 @@ TEST(Sweep, RunSeedsRacedRejectsBaseCarryingHooks)
 {
     race::Detector detector;
     RunOptions base;
-    base.hooks = &detector;
+    base.subscribers.push_back(&detector);
     EXPECT_THROW(runSeedsRaced(racyProgram, {1, 2}, base),
                  std::logic_error);
 }
@@ -252,7 +252,7 @@ TEST(Protocol, FindFirstRaceSeedMatchesSerialScan)
         race::Detector detector;
         RunOptions options;
         options.seed = seed;
-        options.hooks = &detector;
+        options.subscribers.push_back(&detector);
         bug->run(corpus::Variant::Buggy, options);
         if (!detector.reports().empty())
             serial = seed;

@@ -3,7 +3,7 @@
  * Differential test: the optimized race detector against the full-VC
  * reference (tests/ref_detector.hh).
  *
- * Both detectors observe the SAME run through MultiHooks, so every
+ * Both detectors subscribe to the SAME run's event bus, so every
  * address, goroutine id, and interleaving is identical; the optimized
  * detector (epoch fast paths, packed cells, pointer tables, SBO
  * clocks, reset() reuse) must then produce the exact report sequence
@@ -65,10 +65,9 @@ TEST_P(RaceDifferential, CorpusMatchesFullVectorClockReference)
             for (uint64_t seed = 0; seed < 3; ++seed) {
                 optimized.reset(depth);
                 RefDetector reference(depth);
-                MultiHooks both({&optimized, &reference});
                 RunOptions options;
                 options.seed = seed;
-                options.hooks = &both;
+                options.subscribers = {&optimized, &reference};
                 bug->run(variant, options);
                 expectSameReports(
                     optimized.reports(), reference.reports(),
@@ -91,9 +90,8 @@ TEST_P(RaceDifferential, EvictionStressMatchesReference)
     for (int reads = 0; reads <= 12; ++reads) {
         Detector optimized(depth);
         RefDetector reference(depth);
-        MultiHooks both({&optimized, &reference});
         RunOptions options;
-        options.hooks = &both;
+        options.subscribers = {&optimized, &reference};
         options.policy = SchedPolicy::Fifo;
         options.preemptProb = 0.0;
         race::Shared<int> x("stress");
@@ -125,10 +123,9 @@ TEST_P(RaceDifferential, FastPathOffMatchesOnWithinOneRun)
         for (uint64_t seed = 0; seed < 3; ++seed) {
             fast_on.reset(depth);
             fast_off.reset(depth);
-            MultiHooks both({&fast_on, &fast_off});
             RunOptions options;
             options.seed = seed;
-            options.hooks = &both;
+            options.subscribers = {&fast_on, &fast_off};
             bug->run(Variant::Buggy, options);
             expectSameReports(fast_on.reports(), fast_off.reports(),
                               bug->info.id + "/seed" +

@@ -26,7 +26,7 @@ runRaced(Detector &detector, std::function<void()> main,
 {
     RunOptions options;
     options.seed = seed;
-    options.hooks = &detector;
+    options.subscribers.push_back(&detector);
     return run(std::move(main), options);
 }
 
@@ -305,7 +305,7 @@ TEST(RaceDetector, ShadowHistoryBoundCausesMisses)
     auto detected = [](size_t depth) {
         Detector detector(depth);
         RunOptions options;
-        options.hooks = &detector;
+        options.subscribers.push_back(&detector);
         options.policy = SchedPolicy::Fifo;
         options.preemptProb = 0.0;
         Shared<int> x("x");
@@ -329,7 +329,7 @@ TEST(RaceDetector, DepthOneStillCatchesAdjacentRace)
 {
     Detector detector(1);
     RunOptions options;
-    options.hooks = &detector;
+    options.subscribers.push_back(&detector);
     run([] {
         Shared<int> x("x");
         WaitGroup wg;
@@ -414,7 +414,7 @@ TEST(RaceDetector, ShadowDepthAboveInlineCapIsHonored)
     auto detected = [](size_t depth) {
         Detector detector(depth);
         RunOptions options;
-        options.hooks = &detector;
+        options.subscribers.push_back(&detector);
         options.policy = SchedPolicy::Fifo;
         options.preemptProb = 0.0;
         Shared<int> x("x");

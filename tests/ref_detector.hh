@@ -21,13 +21,12 @@
 #include <vector>
 
 #include "race/detector.hh"
-#include "runtime/hooks.hh"
-#include "runtime/scheduler.hh"
+#include "runtime/events.hh"
 
 namespace golite::race
 {
 
-class RefDetector : public RaceHooks
+class RefDetector : public Subscriber
 {
   public:
     explicit RefDetector(size_t shadow_depth = 4,
@@ -37,8 +36,46 @@ class RefDetector : public RaceHooks
     {
     }
 
+    EventMask
+    eventMask() const override
+    {
+        return eventBit(EventKind::GoSpawn) |
+               eventBit(EventKind::SyncAcquire) |
+               eventBit(EventKind::SyncRelease) |
+               eventBit(EventKind::MemRead) |
+               eventBit(EventKind::MemWrite);
+    }
+
     void
-    goroutineCreated(uint64_t parent, uint64_t child) override
+    onEvent(const RuntimeEvent &ev) override
+    {
+        switch (ev.kind) {
+          case EventKind::GoSpawn:
+            goroutineCreated(ev.a, ev.gid);
+            break;
+          case EventKind::SyncAcquire:
+            acquire(ev.obj, ev.gid);
+            break;
+          case EventKind::SyncRelease:
+            release(ev.obj, ev.gid);
+            break;
+          default:
+            break; // MemRead/MemWrite arrive via onMemAccess
+        }
+    }
+
+    void
+    onMemAccess(const void *addr, const char *label, uint64_t gid,
+                bool is_write) override
+    {
+        access(addr, label, gid, is_write);
+    }
+
+    const std::vector<RaceReport> &reports() const { return reports_; }
+
+  private:
+    void
+    goroutineCreated(uint64_t parent, uint64_t child)
     {
         if (parent != 0) {
             std::map<uint64_t, uint64_t> child_clock = clockOf(parent);
@@ -51,9 +88,8 @@ class RefDetector : public RaceHooks
     }
 
     void
-    acquire(const void *sync_obj) override
+    acquire(const void *sync_obj, uint64_t gid)
     {
-        const uint64_t gid = Scheduler::current()->runningId();
         if (gid == 0)
             return;
         auto it = syncClocks_.find(sync_obj);
@@ -66,9 +102,8 @@ class RefDetector : public RaceHooks
     }
 
     void
-    release(const void *sync_obj) override
+    release(const void *sync_obj, uint64_t gid)
     {
-        const uint64_t gid = Scheduler::current()->runningId();
         if (gid == 0)
             return;
         std::map<uint64_t, uint64_t> &vc = clockOf(gid);
@@ -79,21 +114,6 @@ class RefDetector : public RaceHooks
         vc[gid]++;
     }
 
-    void
-    memRead(const void *addr, const char *label) override
-    {
-        access(addr, label, false);
-    }
-
-    void
-    memWrite(const void *addr, const char *label) override
-    {
-        access(addr, label, true);
-    }
-
-    const std::vector<RaceReport> &reports() const { return reports_; }
-
-  private:
     struct Cell
     {
         uint64_t gid;
@@ -118,9 +138,9 @@ class RefDetector : public RaceHooks
     }
 
     void
-    access(const void *addr, const char *label, bool is_write)
+    access(const void *addr, const char *label, uint64_t gid,
+           bool is_write)
     {
-        const uint64_t gid = Scheduler::current()->runningId();
         if (gid == 0)
             return;
         Shadow &shadow = shadow_[addr];

@@ -107,7 +107,7 @@ TEST(SyncMap, SuppressesRaceOnTheMapItself)
 {
     race::Detector detector;
     RunOptions options;
-    options.hooks = &detector;
+    options.subscribers.push_back(&detector);
     SyncMap<int, int> m;
     run([&] {
         WaitGroup wg;

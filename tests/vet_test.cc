@@ -27,7 +27,7 @@ runVetted(const BugCase *bug, Variant variant, BlockingVet &vet,
 {
     RunOptions options;
     options.seed = seed;
-    options.hooks = &vet;
+    options.subscribers.push_back(&vet);
     return bug->run(variant, options);
 }
 
@@ -157,7 +157,7 @@ TEST_P(VetEveryFixed, NoFalsePositivesOnFixedVariants)
         BlockingVet vet;
         RunOptions options;
         options.seed = seed;
-        options.hooks = &vet;
+        options.subscribers.push_back(&vet);
         bug.run(Variant::Fixed, options);
         EXPECT_TRUE(vet.reports().empty())
             << bug.info.id << " seed " << seed << ": "
@@ -187,13 +187,12 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
-TEST(Vet, ComposesWithRaceDetectorViaMultiHooks)
+TEST(Vet, ComposesWithRaceDetectorOnTheBus)
 {
     race::Detector detector;
     BlockingVet vet;
-    MultiHooks hooks({&detector, &vet});
     RunOptions options;
-    options.hooks = &hooks;
+    options.subscribers = {&detector, &vet};
     race::Shared<int> x("x");
     Mutex mu;
     RunReport report = run([&] {
@@ -219,7 +218,7 @@ TEST(Vet, NestedLocksInConsistentOrderAreFine)
 {
     BlockingVet vet;
     RunOptions options;
-    options.hooks = &vet;
+    options.subscribers.push_back(&vet);
     Mutex a, b;
     run([&] {
         WaitGroup wg;
@@ -245,7 +244,7 @@ TEST(Vet, SequentialLockReacquisitionIsFine)
 {
     BlockingVet vet;
     RunOptions options;
-    options.hooks = &vet;
+    options.subscribers.push_back(&vet);
     Mutex mu;
     run([&] {
         for (int i = 0; i < 10; ++i) {

@@ -38,7 +38,7 @@ TEST(WaitGraph, MutexAbBaCycleIsCertain)
     // parks the cycle is complete and must be reported mid-run.
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             auto a = std::make_shared<Mutex>();
@@ -76,7 +76,7 @@ TEST(WaitGraph, DoubleLockSelfCycleIsCertain)
 {
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             Mutex mu;
@@ -97,7 +97,7 @@ TEST(WaitGraph, RWMutexReadCycleBehindPendingWriter)
     // writer, the writer waits for the first read hold: cycle.
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             auto mu = std::make_shared<RWMutex>();
@@ -126,7 +126,7 @@ TEST(WaitGraph, OrphanedLockReportedWhenHolderExits)
     // another goroutine is already parked on the lock.
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             auto mu = std::make_shared<Mutex>();
@@ -152,7 +152,7 @@ TEST(WaitGraph, OrphanedLockReportedWhenParkingAfterExit)
     // time the victim parks.
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     run(
         [] {
             auto mu = std::make_shared<Mutex>();
@@ -170,7 +170,7 @@ TEST(WaitGraph, NilChannelOpIsCertain)
 {
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             Chan<int> nil; // default-constructed channel is nil
@@ -191,7 +191,7 @@ TEST(WaitGraph, SelectWithNoLiveCaseIsCertain)
 {
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     run(
         [] {
             Chan<int> nil;
@@ -215,7 +215,7 @@ TEST(WaitGraph, ChannelWithNoSenderClassifiedPostMortem)
     // of run from the leak report.
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             Chan<int> ch = makeChan<int>();
@@ -236,7 +236,7 @@ TEST(WaitGraph, LeakClassificationCoversSyncPrimitives)
 {
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             auto wg = std::make_shared<WaitGroup>();
@@ -270,7 +270,7 @@ TEST(WaitGraph, NoFalsePositiveForReachableWakeups)
     // and Cond waits that do get signalled.
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             Chan<int> ch = makeChan<int>();
@@ -311,7 +311,7 @@ TEST(WaitGraph, DescribeMentionsPartialDeadlocks)
 {
     Detector det;
     RunOptions options;
-    options.deadlockHooks = &det;
+    options.subscribers.push_back(&det);
     RunReport report = run(
         [] {
             Mutex mu;

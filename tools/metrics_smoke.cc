@@ -1,0 +1,82 @@
+/**
+ * @file
+ * metrics_smoke: print obs::MetricsSink counters for one fixed-seed
+ * kernel, as single-line JSON on stdout.
+ *
+ * The workload exercises every counted primitive — channels, mutex,
+ * RWMutex, Once, WaitGroup, select, and instrumented shared memory —
+ * under seed 42. The counters are a pure function of the schedule, so
+ * the output is byte-stable across machines and builds; CI diffs it
+ * against baselines/METRICS_smoke.json. A drift means a primitive
+ * changed what it emits on the event bus (or the scheduler changed
+ * its decision sequence) — regenerate the baseline deliberately if
+ * that was intended:
+ *
+ *     ./build/tools/metrics_smoke > baselines/METRICS_smoke.json
+ */
+
+#include <cstdio>
+
+#include "golite/golite.hh"
+
+using namespace golite;
+
+namespace
+{
+
+void
+workload()
+{
+    Mutex mu;
+    RWMutex rw;
+    Once once;
+    WaitGroup wg;
+    race::Shared<int> counter("counter");
+    Chan<int> work = makeChan<int>(2);
+    Chan<int> done = makeChan<int>();
+
+    wg.add(2);
+    for (int w = 0; w < 2; ++w) {
+        go([&] {
+            for (;;) {
+                auto r = work.recv();
+                if (!r.ok)
+                    break;
+                once.doOnce([&] { counter.store(0); });
+                mu.lock();
+                counter.update([](int &v) { v++; });
+                mu.unlock();
+                rw.rlock();
+                counter.load();
+                rw.runlock();
+            }
+            wg.done();
+        });
+    }
+    go([&] {
+        for (int i = 0; i < 8; ++i)
+            work.send(i);
+        work.close();
+        wg.wait();
+        done.send(1);
+    });
+    Select().recv<int>(done, [](int, bool) {}).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    obs::MetricsSink metrics;
+    RunOptions options;
+    options.seed = 42;
+    options.subscribers.push_back(&metrics);
+    RunReport report = run(workload, options);
+    if (!report.completed || !report.metrics.collected) {
+        std::fprintf(stderr, "metrics_smoke: run did not complete\n");
+        return 1;
+    }
+    std::printf("%s\n", report.metrics.json().c_str());
+    return 0;
+}

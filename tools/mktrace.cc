@@ -12,12 +12,22 @@
  * RunReport fingerprint) into the output directory.
  *
  * Usage: mktrace <output-dir> [bug-id...]
- * With no ids, the default golden set (kDefaultIds) is regenerated.
+ *        mktrace --check <trace-dir> [bug-id...]
+ * With no ids, the default golden set (kDefaultIds) is processed.
  * Exits non-zero if any kernel cannot be fuzzed, shrunk, and
  * replayed to a manifesting, non-diverging run.
+ *
+ * --check strict-replays the committed artifacts in <trace-dir>
+ * against the current binaries without regenerating anything: each
+ * <id>.trace must replay without divergence, still manifest the bug
+ * (or race), and fingerprint byte-identically to <id>.report. The
+ * fast local version of the replay_golden test, for verifying a
+ * runtime change before committing.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +35,7 @@
 #include "fuzz/fuzzer.hh"
 #include "fuzz/golden.hh"
 #include "fuzz/shrink.hh"
+#include "runtime/sched_trace.hh"
 
 namespace
 {
@@ -131,25 +142,101 @@ makeArtifacts(const std::string &outdir, const std::string &id)
     return true;
 }
 
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return in ? os.str() : std::string();
+}
+
+/** --check: strict-replay <dir>/<id>.trace and hold its fingerprint
+ *  against the committed <dir>/<id>.report, regenerating nothing. */
+bool
+checkArtifacts(const std::string &dir, const std::string &id)
+{
+    const corpus::BugCase *bug = corpus::findBug(id);
+    if (bug == nullptr) {
+        std::fprintf(stderr, "mktrace: unknown bug id '%s'\n",
+                     id.c_str());
+        return false;
+    }
+
+    ScheduleTrace trace;
+    std::string error;
+    if (!ScheduleTrace::loadFile(dir + "/" + id + ".trace", trace,
+                                 &error)) {
+        std::fprintf(stderr, "mktrace: %s.trace: %s\n", id.c_str(),
+                     error.empty() ? "cannot read" : error.c_str());
+        return false;
+    }
+    const std::string expected = slurp(dir + "/" + id + ".report");
+    if (expected.empty()) {
+        std::fprintf(stderr, "mktrace: %s.report: cannot read\n",
+                     id.c_str());
+        return false;
+    }
+
+    const fuzz::GoldenReplay golden = fuzz::goldenReplay(*bug, trace);
+    if (golden.diverged) {
+        std::fprintf(stderr, "mktrace: %s: replay diverged: %s\n",
+                     id.c_str(),
+                     golden.report.replayDivergence.describe().c_str());
+        return false;
+    }
+    if (!(golden.manifested || golden.raced)) {
+        std::fprintf(stderr,
+                     "mktrace: %s: replay no longer manifests the "
+                     "bug\n",
+                     id.c_str());
+        return false;
+    }
+    if (golden.report.fingerprint() != expected) {
+        std::fprintf(stderr,
+                     "mktrace: %s: report fingerprint drifted from "
+                     "the committed artifact (regenerate with "
+                     "`mktrace <dir> %s` if intended)\n",
+                     id.c_str(), id.c_str());
+        return false;
+    }
+    std::printf("%-18s replay ok: %zu decisions, %s\n", id.c_str(),
+                trace.size(),
+                golden.raced ? "raced" : "manifested");
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: mktrace <output-dir> [bug-id...]\n");
+        std::fprintf(
+            stderr,
+            "usage: mktrace <output-dir> [bug-id...]\n"
+            "       mktrace --check <trace-dir> [bug-id...]\n");
         return 2;
     }
-    const std::string outdir = argv[1];
+    int arg = 1;
+    const bool check = std::string(argv[arg]) == "--check";
+    if (check && ++arg >= argc) {
+        std::fprintf(stderr,
+                     "usage: mktrace --check <trace-dir> "
+                     "[bug-id...]\n");
+        return 2;
+    }
+    const std::string dir = argv[arg++];
     std::vector<std::string> ids;
-    for (int i = 2; i < argc; ++i)
+    for (int i = arg; i < argc; ++i)
         ids.push_back(argv[i]);
     if (ids.empty())
         ids.assign(std::begin(kDefaultIds), std::end(kDefaultIds));
 
     bool ok = true;
     for (const std::string &id : ids)
-        ok = makeArtifacts(outdir, id) && ok;
+        ok = (check ? checkArtifacts(dir, id)
+                    : makeArtifacts(dir, id)) &&
+             ok;
     return ok ? 0 : 1;
 }
