@@ -12,8 +12,10 @@
 #ifndef GOLITE_BENCH_BENCH_JSON_HH
 #define GOLITE_BENCH_BENCH_JSON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace golite::bench
@@ -26,6 +28,10 @@ struct JsonEntry
     double itemsPerSecond = 0.0;
     double wallSeconds = 0.0;
     unsigned workers = 1;
+    /** Additional numeric keys (latency quantiles, goroutine counts,
+     *  overhead ratios), emitted after the fixed keys in insertion
+     *  order. */
+    std::vector<std::pair<std::string, double>> extras;
 };
 
 class JsonReport
@@ -33,10 +39,12 @@ class JsonReport
   public:
     void
     add(std::string name, double items_per_second,
-        double wall_seconds, unsigned workers = 1)
+        double wall_seconds, unsigned workers = 1,
+        std::vector<std::pair<std::string, double>> extras = {})
     {
         entries_.push_back({std::move(name), items_per_second,
-                            wall_seconds, workers});
+                            wall_seconds, workers,
+                            std::move(extras)});
     }
 
     /**
@@ -62,10 +70,16 @@ class JsonReport
             std::snprintf(buf, sizeof buf,
                           "      \"items_per_second\": %.3f,\n"
                           "      \"wall_seconds\": %.6f,\n"
-                          "      \"workers\": %u\n",
+                          "      \"workers\": %u",
                           e.itemsPerSecond, e.wallSeconds, e.workers);
             out += "    {\n      \"name\": \"" + escape(e.name) +
-                   "\",\n" + buf + "    }";
+                   "\",\n" + buf;
+            for (const auto &[key, value] : e.extras) {
+                char ebuf[96];
+                std::snprintf(ebuf, sizeof ebuf, "%.3f", value);
+                out += ",\n      \"" + escape(key) + "\": " + ebuf;
+            }
+            out += "\n    }";
             out += (i + 1 < entries_.size()) ? ",\n" : "\n";
         }
         out += "  ]";
@@ -92,6 +106,43 @@ class JsonReport
     }
 
     size_t size() const { return entries_.size(); }
+
+    /**
+     * Structural fingerprint of the report: entry names and their
+     * (sorted) key sets, no values. Byte-stable as long as the bench
+     * emits the same entries with the same fields, so CI can diff it
+     * against a committed schema file and catch silent shape drift
+     * without pinning machine-dependent numbers.
+     */
+    std::string
+    schemaFingerprint() const
+    {
+        std::string out = "{\n  \"schema\": [\n";
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            const JsonEntry &e = entries_[i];
+            std::vector<std::string> keys = {"items_per_second",
+                                             "name", "wall_seconds",
+                                             "workers"};
+            for (const auto &[key, value] : e.extras) {
+                (void)value;
+                keys.push_back(key);
+            }
+            std::sort(keys.begin(), keys.end());
+            out += "    {\"name\": \"" + escape(e.name) +
+                   "\", \"keys\": [";
+            for (size_t k = 0; k < keys.size(); ++k) {
+                out += "\"" + escape(keys[k]) + "\"";
+                if (k + 1 < keys.size())
+                    out += ", ";
+            }
+            out += "]}";
+            out += (i + 1 < entries_.size()) ? ",\n" : "\n";
+        }
+        out += "  ],\n  \"run_metrics\": ";
+        out += runMetrics_.empty() ? "false" : "true";
+        out += "\n}\n";
+        return out;
+    }
 
   private:
     static std::string

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * bench_soak: the million-goroutine soak evaluation — open-loop load
+ * over real epoll sockets at several live-goroutine concurrency
+ * tiers, bare and with the race / wait-graph detectors subscribed.
+ *
+ * Each tier fixes a target concurrency C and derives the arrival rate
+ * from Little's law (rate = C / (serviceTime * (1 + fanout))), so the
+ * steady-state live-goroutine count is the independent variable and
+ * throughput/latency/detector-overhead are the measurements. Detector
+ * overhead is reported as a CPU-time ratio against the bare run at
+ * the same tier: under an open-loop schedule a keeping-up server
+ * shows identical throughput no matter how expensive the detector is
+ * — the cost surfaces in CPU burned and in the latency tail, so both
+ * are emitted.
+ *
+ * Tier sets (GOLITE_SOAK_TIERS): "smoke" (default, ~2k live
+ * goroutines — the CI configuration), "full" (2k/10k/100k — the
+ * local acceptance run), "stretch" (adds the documented 1M tier).
+ * GOLITE_SOAK_MIN_RPS, when set, is a hard floor on every bare
+ * tier's achieved throughput (CI's regression gate).
+ *
+ * Output: BENCH_soak.json through the shared bench_json emitter,
+ * plus BENCH_soak_schema.json — the structural fingerprint CI diffs
+ * against baselines/BENCH_soak_schema.json so the document shape
+ * cannot drift silently.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/resource.h>
+#include <vector>
+
+#include "bench_json.hh"
+#include "golite/golite.hh"
+
+using namespace golite;
+
+namespace
+{
+
+/** One concurrency tier of the evaluation. */
+struct Tier
+{
+    const char *name;
+    uint64_t targetLive;    ///< goal for peak live goroutines
+    double rps;             ///< derived arrival rate
+    gotime::Duration service;
+    uint32_t fanout;
+    gotime::Duration duration;
+    uint32_t connections;
+    /**
+     * Detector configs to run at this tier. The vector-clock race
+     * detector saturates the single-threaded runtime somewhere above
+     * ~2k live goroutines (its per-event cost grows with the live
+     * goroutine count), so it only runs where it can keep up with the
+     * open-loop schedule; the wait-graph detector's per-event cost is
+     * O(1) and rides along at every tier.
+     */
+    bool raceConfig;
+    bool waitgraphConfig;
+};
+
+double
+cpuSeconds()
+{
+    struct rusage ru;
+    getrusage(RUSAGE_SELF, &ru);
+    auto tv = [](const timeval &t) {
+        return static_cast<double>(t.tv_sec) +
+               static_cast<double>(t.tv_usec) / 1e6;
+    };
+    return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+load::SoakOptions
+tierOptions(const Tier &tier)
+{
+    load::SoakOptions opts;
+    opts.connections = tier.connections;
+    opts.targetRps = tier.rps;
+    opts.durationNs = tier.duration;
+    opts.serviceTimeNs = tier.service;
+    opts.fanout = tier.fanout;
+    opts.payloadBytes = 64;
+    opts.seed = 42;
+    // In-flight requests need a full service time past the arrival
+    // window, plus slack for a backlogged server to clear its queue.
+    opts.drainTimeoutNs = tier.service + 10 * gotime::kSecond;
+    return opts;
+}
+
+struct Measured
+{
+    load::SoakResult res;
+    double cpuSec = 0;
+    bool ok = false;
+};
+
+Measured
+measure(const Tier &tier, std::vector<Subscriber *> subscribers,
+        const char *config)
+{
+    load::SoakOptions opts = tierOptions(tier);
+    opts.subscribers = std::move(subscribers);
+    const double cpu0 = cpuSeconds();
+    Measured m;
+    m.res = load::runSoak(opts);
+    m.cpuSec = cpuSeconds() - cpu0;
+    m.ok = m.res.ok();
+    std::printf("%-10s %-10s rps=%8.0f live=%8llu resp=%8llu "
+                "p50=%8.2fms p99=%8.2fms p999=%8.2fms cpu=%6.2fs%s\n",
+                tier.name, config, m.res.achievedRps,
+                static_cast<unsigned long long>(
+                    m.res.peakLiveGoroutines),
+                static_cast<unsigned long long>(m.res.responses),
+                m.res.latency.quantile(0.50) / 1e6,
+                m.res.latency.quantile(0.99) / 1e6,
+                m.res.latency.quantile(0.999) / 1e6, m.cpuSec,
+                m.ok ? "" : "  [NOT CLEAN]");
+    if (!m.ok)
+        std::printf("    report: sent=%llu resp=%llu dropped=%llu "
+                    "connErrors=%llu\n%s\n",
+                    static_cast<unsigned long long>(
+                        m.res.requestsSent),
+                    static_cast<unsigned long long>(m.res.responses),
+                    static_cast<unsigned long long>(m.res.dropped),
+                    static_cast<unsigned long long>(m.res.connErrors),
+                    m.res.report.describe().c_str());
+    return m;
+}
+
+std::vector<std::pair<std::string, double>>
+extrasFor(const Measured &m, const Measured &bare)
+{
+    const RunMetrics &rm = m.res.report.metrics;
+    const double mean_life =
+        rm.lifetimesCounted > 0
+            ? static_cast<double>(rm.lifetimeSumNs) /
+                  static_cast<double>(rm.lifetimesCounted)
+            : 0.0;
+    return {
+        {"p50_ns", static_cast<double>(m.res.latency.quantile(0.50))},
+        {"p99_ns", static_cast<double>(m.res.latency.quantile(0.99))},
+        {"p999_ns",
+         static_cast<double>(m.res.latency.quantile(0.999))},
+        {"max_ns", static_cast<double>(m.res.latency.maxValue())},
+        {"responses", static_cast<double>(m.res.responses)},
+        {"dropped", static_cast<double>(m.res.dropped)},
+        {"peak_live_goroutines",
+         static_cast<double>(m.res.peakLiveGoroutines)},
+        {"goroutines_created",
+         static_cast<double>(m.res.goroutinesCreated)},
+        {"mean_goroutine_lifetime_ns", mean_life},
+        {"cpu_seconds", m.cpuSec},
+        {"cpu_overhead_ratio",
+         bare.cpuSec > 0 ? m.cpuSec / bare.cpuSec : 0.0},
+        {"p99_overhead_ratio",
+         bare.res.latency.quantile(0.99) > 0
+             ? static_cast<double>(m.res.latency.quantile(0.99)) /
+                   static_cast<double>(
+                       bare.res.latency.quantile(0.99))
+             : 0.0},
+    };
+}
+
+/**
+ * Detection under load: a connection whose reader can never be
+ * answered (the peer holds it open and silent) amid thousands of
+ * healthy sleeping goroutines; the wait-graph detector must classify
+ * the leak as NetIoStuck at end of run.
+ */
+bool
+stuckConnDetected(double *wall_seconds)
+{
+    waitgraph::Detector detector;
+    RunOptions ro;
+    ro.realTime = true;
+    ro.policy = SchedPolicy::Fifo;
+    ro.subscribers = {&detector};
+    const double cpu0 = cpuSeconds();
+    RunReport report = run(
+        [] {
+            netpoll::Poller poller;
+            auto ln = poller.listen(0);
+            auto conn = poller.dial(ln.port());
+            go("stuck-reader", [conn] {
+                std::string buf;
+                conn.read(buf); // silent peer: never ready
+            });
+            // Background load: 2000 goroutines sleeping in the timer
+            // wheel while the stuck reader waits.
+            WaitGroup wg;
+            for (int i = 0; i < 2000; ++i) {
+                wg.add(1);
+                go("load", [&wg] {
+                    gotime::sleep(20 * gotime::kMillisecond);
+                    wg.done();
+                });
+            }
+            wg.wait();
+        },
+        ro);
+    *wall_seconds = cpuSeconds() - cpu0;
+    for (const PartialDeadlock &pd : report.partialDeadlocks)
+        if (pd.cause == DeadlockCause::NetIoStuck)
+            return true;
+    return false;
+}
+
+bool
+writeText(const char *path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::perror(path);
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Progress must be visible while a multi-minute tier runs, even
+    // through a pipe.
+    std::setvbuf(stdout, nullptr, _IONBF, 0);
+    const char *mode_env = std::getenv("GOLITE_SOAK_TIERS");
+    const std::string mode = mode_env ? mode_env : "smoke";
+
+    // rate = targetLive / (service * (1 + fanout)).
+    std::vector<Tier> tiers = {
+        {"soak_2k", 2'000, 5'000, 200 * gotime::kMillisecond, 1,
+         1 * gotime::kSecond, 16, true, true},
+    };
+    if (mode == "full" || mode == "stretch") {
+        tiers.push_back({"soak_10k", 10'000, 6'250,
+                         400 * gotime::kMillisecond, 3,
+                         1'500 * gotime::kMillisecond, 32, false,
+                         true});
+        tiers.push_back({"soak_100k", 100'000, 10'000,
+                         1 * gotime::kSecond, 9, 3 * gotime::kSecond,
+                         64, false, true});
+    }
+    if (mode == "stretch")
+        // The documented 1M tier. The binding constraint is spawn
+        // rate, not memory: one core sustains ~50k goroutine
+        // lifecycles/second, so a million concurrent residents need a
+        // long service time (Little's law with rate capped), not a
+        // fast arrival rate: 500 rps x 20s service x fanout 99.
+        tiers.push_back({"soak_1m", 1'000'000, 500,
+                         20 * gotime::kSecond, 99,
+                         30 * gotime::kSecond, 64, false, false});
+
+    bench::JsonReport report;
+    bool all_clean = true;
+    double min_bare_rps = -1;
+
+    for (const Tier &tier : tiers) {
+        Measured bare = measure(tier, {}, "bare");
+        all_clean &= bare.ok;
+        if (min_bare_rps < 0 || bare.res.achievedRps < min_bare_rps)
+            min_bare_rps = bare.res.achievedRps;
+        // The tier must actually reach (most of) its concurrency goal,
+        // or the headline "N live goroutines" claim is hollow.
+        if (bare.res.peakLiveGoroutines < tier.targetLive / 2) {
+            std::printf("FAIL: %s peaked at %llu live goroutines "
+                        "(target %llu)\n",
+                        tier.name,
+                        static_cast<unsigned long long>(
+                            bare.res.peakLiveGoroutines),
+                        static_cast<unsigned long long>(
+                            tier.targetLive));
+            all_clean = false;
+        }
+        report.add(std::string(tier.name) + "/bare",
+                   bare.res.achievedRps, bare.res.wallSeconds, 1,
+                   extrasFor(bare, bare));
+
+        if (tier.raceConfig) {
+            race::Detector race_detector;
+            Measured raced =
+                measure(tier, {&race_detector}, "race");
+            all_clean &= raced.ok;
+            report.add(std::string(tier.name) + "/race",
+                       raced.res.achievedRps, raced.res.wallSeconds,
+                       1, extrasFor(raced, bare));
+        }
+        if (tier.waitgraphConfig) {
+            waitgraph::Detector wait_detector;
+            Measured waited =
+                measure(tier, {&wait_detector}, "waitgraph");
+            all_clean &= waited.ok;
+            report.add(std::string(tier.name) + "/waitgraph",
+                       waited.res.achievedRps,
+                       waited.res.wallSeconds, 1,
+                       extrasFor(waited, bare));
+        }
+    }
+
+    double detect_wall = 0;
+    const bool detected = stuckConnDetected(&detect_wall);
+    std::printf("stuck-conn detection under 2k-goroutine load: %s "
+                "(%.2fs cpu)\n",
+                detected ? "classified NetIoStuck" : "MISSED",
+                detect_wall);
+    all_clean &= detected;
+    report.add("soak_detection/waitgraph_stuck_conn",
+               detected ? 1.0 : 0.0, detect_wall, 1,
+               {{"detected", detected ? 1.0 : 0.0}});
+
+    if (const char *floor_env = std::getenv("GOLITE_SOAK_MIN_RPS")) {
+        const double floor = std::atof(floor_env);
+        if (min_bare_rps < floor) {
+            std::printf("FAIL: bare throughput %.0f rps below floor "
+                        "%.0f\n",
+                        min_bare_rps, floor);
+            all_clean = false;
+        }
+    }
+
+    if (!report.writeFile("BENCH_soak.json"))
+        return 1;
+    if (!writeText("BENCH_soak_schema.json",
+                   report.schemaFingerprint()))
+        return 1;
+    std::printf("wrote BENCH_soak.json (%zu entries) + "
+                "BENCH_soak_schema.json\n",
+                report.size());
+    return all_clean ? 0 : 1;
+}

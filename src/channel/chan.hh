@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "base/panic.hh"
 #include "channel/waiter.hh"
@@ -41,24 +42,18 @@ struct ChanImpl
     const size_t capacity;
     std::deque<T> buffer;
     bool closed = false;
-    std::deque<Waiter *> sendq;
-    std::deque<Waiter *> recvq;
+    WaitQueue sendq;
+    WaitQueue recvq;
 
     bool unbuffered() const { return capacity == 0; }
 
     void
     removeWaiter(Waiter *w)
     {
-        auto scrub = [w](std::deque<Waiter *> &q) {
-            for (auto it = q.begin(); it != q.end(); ++it) {
-                if (*it == w) {
-                    q.erase(it);
-                    return;
-                }
-            }
-        };
-        scrub(sendq);
-        scrub(recvq);
+        // The waiter's backpointer makes each of these O(1); at most
+        // one of them actually unlinks.
+        sendq.remove(w);
+        recvq.remove(w);
     }
 };
 
@@ -122,8 +117,7 @@ class Chan
 
         // Direct handoff to a parked receiver.
         while (!c->recvq.empty()) {
-            Waiter *w = c->recvq.front();
-            c->recvq.pop_front();
+            Waiter *w = c->recvq.popFront();
             if (!claimWaiter(w))
                 continue;
             *static_cast<T *>(w->slot) = std::move(value);
@@ -144,7 +138,7 @@ class Chan
         Waiter self;
         self.g = sched->running();
         self.slot = &value;
-        c->sendq.push_back(&self);
+        c->sendq.pushBack(&self);
         sched->park(WaitReason::ChanSend, c);
         if (self.closedWake)
             goPanic("send on closed channel");
@@ -175,8 +169,7 @@ class Chan
             sched->bus().acquire(c, sched->runningId());
             // A parked sender can move its value into the freed slot.
             while (!c->sendq.empty()) {
-                Waiter *w = c->sendq.front();
-                c->sendq.pop_front();
+                Waiter *w = c->sendq.popFront();
                 if (!claimWaiter(w))
                     continue;
                 c->buffer.push_back(std::move(*static_cast<T *>(w->slot)));
@@ -189,8 +182,7 @@ class Chan
 
         // Direct handoff from a parked sender (unbuffered channel).
         while (!c->sendq.empty()) {
-            Waiter *w = c->sendq.front();
-            c->sendq.pop_front();
+            Waiter *w = c->sendq.popFront();
             if (!claimWaiter(w))
                 continue;
             RecvResult<T> out{std::move(*static_cast<T *>(w->slot)), true};
@@ -214,7 +206,7 @@ class Chan
         self.slot = &out.value;
         if (c->unbuffered())
             sched->bus().release(c, sched->runningId());
-        c->recvq.push_back(&self);
+        c->recvq.pushBack(&self);
         sched->park(WaitReason::ChanRecv, c);
         sched->bus().acquire(c, sched->runningId());
         out.ok = self.ok;
@@ -239,24 +231,28 @@ class Chan
             goPanic("close of closed channel");
         c->closed = true;
         sched->bus().release(c, sched->runningId());
+        // Claim every waiter first, then wake them in one batched
+        // readyq splice (identical events and FIFO order to
+        // one-by-one unparks; see Scheduler::unparkBatch).
+        std::vector<Goroutine *> woken;
+        woken.reserve(c->recvq.size() + c->sendq.size());
         while (!c->recvq.empty()) {
-            Waiter *w = c->recvq.front();
-            c->recvq.pop_front();
+            Waiter *w = c->recvq.popFront();
             if (!claimWaiter(w))
                 continue;
             w->ok = false;
             w->completed = true;
-            sched->unpark(w->g);
+            woken.push_back(w->g);
         }
         while (!c->sendq.empty()) {
-            Waiter *w = c->sendq.front();
-            c->sendq.pop_front();
+            Waiter *w = c->sendq.popFront();
             if (!claimWaiter(w))
                 continue;
             w->closedWake = true;
             w->completed = true;
-            sched->unpark(w->g);
+            woken.push_back(w->g);
         }
+        sched->unparkBatch(woken.data(), woken.size());
     }
 
     /**
@@ -275,8 +271,7 @@ class Chan
         if (c->closed)
             goPanic("send on closed channel");
         while (!c->recvq.empty()) {
-            Waiter *w = c->recvq.front();
-            c->recvq.pop_front();
+            Waiter *w = c->recvq.popFront();
             if (!claimWaiter(w))
                 continue;
             sched->bus().release(c, sched->runningId());
@@ -314,8 +309,7 @@ class Chan
             c->buffer.pop_front();
             sched->bus().acquire(c, sched->runningId());
             while (!c->sendq.empty()) {
-                Waiter *w = c->sendq.front();
-                c->sendq.pop_front();
+                Waiter *w = c->sendq.popFront();
                 if (!claimWaiter(w))
                     continue;
                 c->buffer.push_back(std::move(*static_cast<T *>(w->slot)));
@@ -326,8 +320,7 @@ class Chan
             return out;
         }
         while (!c->sendq.empty()) {
-            Waiter *w = c->sendq.front();
-            c->sendq.pop_front();
+            Waiter *w = c->sendq.popFront();
             if (!claimWaiter(w))
                 continue;
             RecvResult<T> out{std::move(*static_cast<T *>(w->slot)), true};

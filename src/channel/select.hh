@@ -90,7 +90,7 @@ class RecvCase : public SelectCase
             sched->bus().release(ch_.internalImpl(),
                                  sched->runningId());
         }
-        ch_.internalImpl()->recvq.push_back(&waiter);
+        ch_.internalImpl()->recvq.pushBack(&waiter);
     }
 
     void
@@ -145,7 +145,7 @@ class SendCase : public SelectCase
         waiter.slot = &value_;
         Scheduler *sched = Scheduler::current();
         sched->bus().release(ch_.internalImpl(), sched->runningId());
-        ch_.internalImpl()->sendq.push_back(&waiter);
+        ch_.internalImpl()->sendq.pushBack(&waiter);
     }
 
     void

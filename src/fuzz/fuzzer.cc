@@ -169,10 +169,47 @@ fuzzRun(const RunProgram &run_once, const FuzzOptions &options)
         std::vector<ScheduleTrace> pendingTraces;
         size_t sinceMerge = 0;
 
+        // Multi-worker parent cache: phase 2 picks mutation parents
+        // from this worker-local snapshot instead of taking st.mu on
+        // every iteration, so the shared lock is touched only at
+        // mergeBatch cadence. Refreshed inside mergePending while the
+        // lock is already held. Single-worker campaigns skip the
+        // cache entirely and keep the original (byte-stable) pick
+        // sequence straight from the shared pool.
+        constexpr size_t kLocalParents = 32;
+        std::vector<ScheduleTrace> localPool;
+
+        // Caller holds st.mu. Copies the most recently inserted
+        // traces, walking the ring backwards from the write cursor.
+        auto refreshLocalPool = [&] {
+            if (workers == 1)
+                return;
+            localPool.clear();
+            const size_t n =
+                std::min(kLocalParents, st.pool.size());
+            for (size_t i = 0; i < n; ++i) {
+                size_t idx;
+                if (st.pool.size() < options.maxPoolSize)
+                    idx = st.pool.size() - 1 - i;
+                else
+                    idx = (st.poolNext + options.maxPoolSize - 1 -
+                           i) %
+                          options.maxPoolSize;
+                localPool.push_back(st.pool[idx]);
+            }
+        };
+
         auto mergePending = [&] {
             sinceMerge = 0;
-            if (pendingStates.empty() && pendingTraces.empty())
+            if (pendingStates.empty() && pendingTraces.empty()) {
+                // Nothing to publish, but other workers may have
+                // grown the pool since the last refresh.
+                if (workers > 1) {
+                    std::lock_guard<std::mutex> lock(st.mu);
+                    refreshLocalPool();
+                }
                 return;
+            }
             std::lock_guard<std::mutex> lock(st.mu);
             st.coverage.merge(pendingStates);
             for (ScheduleTrace &t : pendingTraces) {
@@ -186,6 +223,7 @@ fuzzRun(const RunProgram &run_once, const FuzzOptions &options)
             }
             pendingStates.clear();
             pendingTraces.clear();
+            refreshLocalPool();
         };
 
         ScheduleTrace recorded;
@@ -260,11 +298,14 @@ fuzzRun(const RunProgram &run_once, const FuzzOptions &options)
         ScheduleTrace parent;
         while (!st.stop.load()) {
             parent.decisions.clear();
-            {
+            if (workers == 1) {
                 std::lock_guard<std::mutex> lock(st.mu);
                 if (!st.pool.empty())
                     parent = st.pool[static_cast<size_t>(
                         rng.below(st.pool.size()))];
+            } else if (!localPool.empty()) {
+                parent = localPool[static_cast<size_t>(
+                    rng.below(localPool.size()))];
             }
             const bool explore = parent.empty() || rng.chance(0.15);
             bool keep_going;

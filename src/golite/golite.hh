@@ -19,6 +19,9 @@
 #include "context/context.hh"
 #include "goio/pipe.hh"
 #include "gotime/time.hh"
+#include "load/soak.hh"
+#include "netpoll/netpoll.hh"
+#include "obs/histogram.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_event_sink.hh"
 #include "race/detector.hh"

@@ -1,0 +1,369 @@
+#include "load/soak.hh"
+
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include "base/panic.hh"
+#include "channel/chan.hh"
+#include "netpoll/netpoll.hh"
+#include "obs/metrics.hh"
+#include "runtime/scheduler.hh"
+#include "sync/waitgroup.hh"
+
+namespace golite::load
+{
+namespace
+{
+
+/** Frame: [u32 bodyLen][u64 reqId][u64 intendedNs][payload]. The
+ *  length field counts the bytes after itself. */
+constexpr size_t kLenBytes = 4;
+constexpr size_t kBodyFixed = 16;
+
+void
+putU32(std::string &s, uint32_t v)
+{
+    char b[4];
+    std::memcpy(b, &v, 4);
+    s.append(b, 4);
+}
+
+void
+putU64(std::string &s, uint64_t v)
+{
+    char b[8];
+    std::memcpy(b, &v, 8);
+    s.append(b, 8);
+}
+
+uint32_t
+getU32(const char *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+uint64_t
+getU64(const char *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+std::string
+encodeFrame(uint64_t req_id, int64_t intended_ns, uint32_t payload_bytes)
+{
+    std::string f;
+    f.reserve(kLenBytes + kBodyFixed + payload_bytes);
+    putU32(f, static_cast<uint32_t>(kBodyFixed + payload_bytes));
+    putU64(f, req_id);
+    putU64(f, static_cast<uint64_t>(intended_ns));
+    f.append(payload_bytes, 'x');
+    return f;
+}
+
+/** Incremental frame splitter over the TCP byte stream. */
+class FrameParser
+{
+  public:
+    void
+    feed(const std::string &bytes)
+    {
+        buf_.append(bytes);
+    }
+
+    /** Pop the next complete frame; false when more bytes are needed. */
+    bool
+    next(uint64_t *req_id, int64_t *intended_ns, std::string *frame)
+    {
+        if (buf_.size() - pos_ < kLenBytes)
+            return compactAndWait();
+        const uint32_t body = getU32(buf_.data() + pos_);
+        if (buf_.size() - pos_ < kLenBytes + body)
+            return compactAndWait();
+        *req_id = getU64(buf_.data() + pos_ + kLenBytes);
+        *intended_ns =
+            static_cast<int64_t>(getU64(buf_.data() + pos_ + kLenBytes + 8));
+        frame->assign(buf_, pos_, kLenBytes + body);
+        pos_ += kLenBytes + body;
+        return true;
+    }
+
+  private:
+    bool
+    compactAndWait()
+    {
+        if (pos_ > 0) {
+            buf_.erase(0, pos_);
+            pos_ = 0;
+        }
+        return false;
+    }
+
+    std::string buf_;
+    size_t pos_ = 0;
+};
+
+/** Mutable state shared (single-threaded) between the generator and
+ *  the per-connection client goroutines. */
+struct ClientShared
+{
+    const SoakOptions *opts = nullptr;
+    obs::LatencyHistogram hist;
+    uint64_t sent = 0;
+    uint64_t responses = 0;
+    uint64_t dropped = 0;
+    uint64_t connErrors = 0;
+};
+
+/** One client connection: its socket plus the open-loop send queue
+ *  drained by the connection's writer goroutine ("" = shutdown). */
+struct ClientConn
+{
+    netpoll::TcpConn conn;
+    Chan<std::string> sendq;
+};
+
+constexpr size_t kClientQueue = 1024;
+constexpr size_t kServerQueue = 256;
+
+bool
+isShutdownErr(const std::string &err)
+{
+    return err == "EOF" || err == "use of closed network connection";
+}
+
+/** Per-connection server loop: split frames, spawn one handler
+ *  goroutine per request, echo responses through a writer goroutine. */
+void
+serveConn(netpoll::TcpConn conn, const SoakOptions &opts)
+{
+    auto replies = makeChan<std::string>(kServerQueue);
+    go("soak-conn-writer", [conn, replies] {
+        for (;;) {
+            auto msg = replies.recv();
+            if (!msg.ok || msg.value.empty())
+                break;
+            // A failed write means the peer is gone; keep draining so
+            // parked handlers still complete.
+            conn.write(msg.value);
+        }
+    });
+
+    WaitGroup handlers;
+    FrameParser parser;
+    std::string bytes;
+    for (;;) {
+        auto res = conn.read(bytes);
+        if (!res.ok())
+            break;
+        parser.feed(bytes);
+        uint64_t req_id;
+        int64_t intended_ns;
+        std::string frame;
+        while (parser.next(&req_id, &intended_ns, &frame)) {
+            handlers.add(1);
+            go("soak-handler", [&opts, &handlers, replies,
+                                frame = std::move(frame)] {
+                if (opts.fanout > 0) {
+                    // Fan-out worker pattern: the handler joins its
+                    // children before replying.
+                    WaitGroup kids;
+                    for (uint32_t i = 0; i < opts.fanout; ++i) {
+                        kids.add(1);
+                        go("soak-fanout", [&opts, &kids] {
+                            if (opts.serviceTimeNs > 0)
+                                gotime::sleep(opts.serviceTimeNs);
+                            kids.done();
+                        });
+                    }
+                    kids.wait();
+                } else if (opts.serviceTimeNs > 0) {
+                    gotime::sleep(opts.serviceTimeNs);
+                }
+                replies.send(frame);
+                handlers.done();
+            });
+        }
+    }
+    // All in-flight handlers must finish (their replies enqueue) before
+    // the sentinel stops the writer.
+    handlers.wait();
+    replies.send("");
+    conn.close();
+}
+
+/** The open-loop arrival process: Poisson gaps at the (burst-phased)
+ *  target rate, never blocking on a full send queue. */
+void
+generateArrivals(ClientShared &st, std::vector<ClientConn> &conns)
+{
+    const SoakOptions &opts = *st.opts;
+    std::mt19937_64 rng(opts.seed);
+    std::exponential_distribution<double> exp1(1.0);
+    const int64_t start = gotime::now();
+    int64_t intended = start;
+    uint64_t req_id = 0;
+    for (;;) {
+        double rate = opts.targetRps;
+        if (opts.burstEveryNs > 0 &&
+            (intended - start) % opts.burstEveryNs < opts.burstLenNs)
+            rate *= opts.burstMultiplier;
+        rate = std::max(rate, 1e-3);
+        const double gap_sec = exp1(rng) / rate;
+        intended += std::max<int64_t>(
+            static_cast<int64_t>(gap_sec * 1e9), 1);
+        if (intended - start >= opts.durationNs)
+            return;
+        const int64_t now = gotime::now();
+        if (intended > now)
+            gotime::sleep(intended - now);
+        // The intended stamp stays on the open-loop schedule even when
+        // we are running behind — that is the CO correction.
+        ClientConn &cc = conns[req_id % conns.size()];
+        if (cc.sendq.trySend(
+                encodeFrame(req_id, intended, opts.payloadBytes)))
+            st.sent++;
+        else
+            st.dropped++;
+        req_id++;
+    }
+}
+
+} // namespace
+
+bool
+SoakResult::ok() const
+{
+    return report.completed && !report.panicked && report.leaked.empty() &&
+           connErrors == 0 && responses == requestsSent;
+}
+
+SoakResult
+runSoak(const SoakOptions &options)
+{
+    SoakResult result;
+    ClientShared st;
+    st.opts = &options;
+
+    obs::MetricsSink metrics;
+    RunOptions ro;
+    ro.realTime = true;
+    ro.reapFinished = true;
+    ro.policy = SchedPolicy::Fifo;
+    ro.seed = options.seed;
+    ro.maxTicks = std::numeric_limits<uint64_t>::max();
+    ro.subscribers = options.subscribers;
+    ro.subscribers.push_back(&metrics);
+
+    result.report = run(
+        [&] {
+            netpoll::Poller poller;
+            auto ln = poller.listen(0);
+            if (!ln)
+                goPanic("soak: listen failed");
+
+            WaitGroup wg;
+            wg.add(1);
+            go("soak-acceptor", [ln, &wg, &options] {
+                for (;;) {
+                    auto conn = ln.accept();
+                    if (!conn)
+                        break; // listener closed
+                    wg.add(1);
+                    go("soak-conn-reader", [conn, &wg, &options] {
+                        serveConn(conn, options);
+                        wg.done();
+                    });
+                }
+                wg.done();
+            });
+
+            std::vector<ClientConn> conns;
+            conns.reserve(options.connections);
+            for (uint32_t i = 0; i < options.connections; ++i) {
+                auto conn = poller.dial(ln.port());
+                if (!conn) {
+                    st.connErrors++;
+                    continue;
+                }
+                conns.push_back(
+                    {conn, makeChan<std::string>(kClientQueue)});
+            }
+            if (conns.empty())
+                goPanic("soak: no connections established");
+
+            for (ClientConn &cc : conns) {
+                wg.add(2);
+                go("soak-client-writer", [cc, &wg] {
+                    for (;;) {
+                        auto msg = cc.sendq.recv();
+                        if (!msg.ok || msg.value.empty())
+                            break;
+                        cc.conn.write(msg.value);
+                    }
+                    wg.done();
+                });
+                go("soak-client-reader", [cc, &wg, &st] {
+                    FrameParser parser;
+                    std::string bytes;
+                    for (;;) {
+                        auto res = cc.conn.read(bytes);
+                        if (!res.ok()) {
+                            if (!isShutdownErr(res.err))
+                                st.connErrors++;
+                            break;
+                        }
+                        parser.feed(bytes);
+                        uint64_t req_id;
+                        int64_t intended_ns;
+                        std::string frame;
+                        while (parser.next(&req_id, &intended_ns,
+                                           &frame)) {
+                            st.hist.record(gotime::now() - intended_ns);
+                            st.responses++;
+                        }
+                    }
+                    wg.done();
+                });
+            }
+
+            generateArrivals(st, conns);
+
+            // Drain: every sent frame should come back; give up after
+            // the timeout so a wedged run still reports what it saw.
+            const int64_t deadline =
+                gotime::now() + options.serviceTimeNs +
+                options.drainTimeoutNs;
+            while (st.responses < st.sent && st.connErrors == 0 &&
+                   gotime::now() < deadline)
+                gotime::sleep(5 * gotime::kMillisecond);
+
+            for (ClientConn &cc : conns)
+                cc.sendq.send(""); // stop writers
+            for (ClientConn &cc : conns)
+                cc.conn.close(); // wake parked readers
+            ln.close();
+            wg.wait();
+        },
+        ro);
+
+    result.requestsSent = st.sent;
+    result.responses = st.responses;
+    result.dropped = st.dropped;
+    result.connErrors = st.connErrors;
+    result.latency = st.hist;
+    result.peakLiveGoroutines = result.report.metrics.maxLiveGoroutines;
+    result.goroutinesCreated = result.report.goroutinesCreated;
+    result.wallSeconds =
+        static_cast<double>(result.report.finalTimeNs) / 1e9;
+    result.achievedRps =
+        static_cast<double>(st.responses) /
+        (static_cast<double>(options.durationNs) / 1e9);
+    return result;
+}
+
+} // namespace golite::load

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * load: an open-loop soak harness driving the netpoll reactor at
+ * production-shaped concurrency.
+ *
+ * The generator schedules request arrivals from a Poisson process
+ * (optionally modulated by periodic burst phases) and stamps each
+ * frame with its *intended* send time, taken from the open-loop
+ * schedule rather than from when the socket actually accepted the
+ * bytes. Latency is measured against that stamp, so queueing delay
+ * inflicted by a saturated server shows up in the histogram instead
+ * of being silently absorbed — the coordinated-omission correction.
+ *
+ * The server is the Go idiom under study: one acceptor, one reader
+ * and one writer goroutine per connection, and one goroutine per
+ * request (plus optional fan-out children), each holding real stack
+ * and timer state for its service time. Live-goroutine concurrency is
+ * therefore arrival rate x service time x (1 + fanout), independent
+ * of the (small) connection count — the knob bench_soak turns to
+ * reach 100k..1M live goroutines.
+ */
+
+#ifndef GOLITE_LOAD_SOAK_HH
+#define GOLITE_LOAD_SOAK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gotime/time.hh"
+#include "obs/histogram.hh"
+#include "runtime/report.hh"
+
+namespace golite::load
+{
+
+/** Configuration for one runSoak(). */
+struct SoakOptions
+{
+    /** Concurrent TCP connections (requests round-robin over them). */
+    uint32_t connections = 16;
+
+    /** Open-loop Poisson arrival rate, requests/second. */
+    double targetRps = 5000;
+
+    /** Length of the arrival window (drain time comes on top). */
+    gotime::Duration durationNs = gotime::kSecond;
+
+    /**
+     * Periodic burst phases: for the first @c burstLenNs of every
+     * @c burstEveryNs, the arrival rate is multiplied by
+     * @c burstMultiplier. burstEveryNs == 0 disables bursts.
+     */
+    gotime::Duration burstEveryNs = 0;
+    gotime::Duration burstLenNs = 0;
+    double burstMultiplier = 1.0;
+
+    /** Simulated per-request work: the handler sleeps this long. */
+    gotime::Duration serviceTimeNs = 50 * gotime::kMillisecond;
+
+    /** Extra worker goroutines spawned per request, each sleeping the
+     *  service time; the handler joins them before replying. */
+    uint32_t fanout = 0;
+
+    /** Request payload size (response echoes it back). */
+    uint32_t payloadBytes = 16;
+
+    /** Seed for the arrival-process RNG. */
+    uint64_t seed = 1;
+
+    /** Extra time past the arrival window to wait for stragglers. */
+    gotime::Duration drainTimeoutNs = 2 * gotime::kSecond;
+
+    /** Detectors/sinks to attach to the run (a MetricsSink is always
+     *  attached internally; do not add another). */
+    std::vector<Subscriber *> subscribers;
+};
+
+/** Outcome of one soak run. */
+struct SoakResult
+{
+    uint64_t requestsSent = 0; ///< frames actually written to sockets
+    uint64_t responses = 0;    ///< echo replies received and timed
+    /** Arrivals shed because a connection's send queue was full — the
+     *  open-loop generator never blocks on backpressure. */
+    uint64_t dropped = 0;
+    uint64_t connErrors = 0; ///< connections that died mid-run
+
+    /** End-to-end latency vs intended send time (CO-corrected). */
+    obs::LatencyHistogram latency;
+
+    /** Live-goroutine high-water mark during the run. */
+    uint64_t peakLiveGoroutines = 0;
+    uint64_t goroutinesCreated = 0;
+
+    double wallSeconds = 0;   ///< full run wall time, including drain
+    double achievedRps = 0;   ///< responses / arrival-window seconds
+
+    /** Full runtime report (metrics, leaks, detector output). */
+    RunReport report;
+
+    /** Every arrival was answered and the run finished cleanly. */
+    bool ok() const;
+};
+
+/**
+ * Run one open-loop soak: spin up the echo server and the generator
+ * inside a realTime + reapFinished golite run, drive @p options'
+ * arrival schedule, and collect latency/goroutine statistics.
+ */
+SoakResult runSoak(const SoakOptions &options);
+
+} // namespace golite::load
+
+#endif // GOLITE_LOAD_SOAK_HH

@@ -1,0 +1,354 @@
+#include "netpoll/netpoll.hh"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace golite::netpoll
+{
+
+namespace
+{
+
+constexpr const char *kClosedErr = "use of closed network connection";
+
+std::string
+errnoStr()
+{
+    return std::strerror(errno);
+}
+
+sockaddr_in
+loopbackAddr(uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+} // namespace
+
+// --- Poller -----------------------------------------------------------
+
+Poller::Poller()
+{
+    sched_ = Scheduler::current();
+    if (sched_ == nullptr) {
+        throw std::logic_error(
+            "netpoll::Poller must be created inside golite::run");
+    }
+    if (sched_->ioPoller() != nullptr) {
+        throw std::logic_error(
+            "this run already has an IoPoller attached");
+    }
+    epfd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ < 0) {
+        throw std::runtime_error("epoll_create1: " + errnoStr());
+    }
+    sched_->setIoPoller(this);
+}
+
+Poller::~Poller()
+{
+    if (sched_ != nullptr && sched_->ioPoller() == this)
+        sched_->setIoPoller(nullptr);
+    if (epfd_ >= 0)
+        ::close(epfd_);
+}
+
+Poller *
+Poller::current()
+{
+    Scheduler *sched = Scheduler::current();
+    // Only netpoll::Poller implementations register themselves in this
+    // codebase, so the downcast is safe by construction.
+    return sched != nullptr ? static_cast<Poller *>(sched->ioPoller())
+                            : nullptr;
+}
+
+std::shared_ptr<detail::FdState>
+Poller::adopt(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+    auto *s = new detail::FdState;
+    s->fd = fd;
+    s->poller = this;
+
+    // Edge-triggered, both directions, registered exactly once: the
+    // kernel latches readiness transitions until the next epoll_wait,
+    // and since this runtime is single-threaded a goroutine only parks
+    // after seeing EAGAIN — i.e. after consuming the previous edge —
+    // so no wakeup can be lost.
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.ptr = s;
+    if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        delete s;
+        return nullptr;
+    }
+
+    return std::shared_ptr<detail::FdState>(
+        s, [](detail::FdState *state) {
+            if (state->fd >= 0)
+                state->poller->closeFd(state);
+            delete state;
+        });
+}
+
+void
+Poller::closeFd(detail::FdState *s)
+{
+    if (s->fd < 0)
+        return;
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, s->fd, nullptr);
+    ::close(s->fd);
+    s->fd = -1;
+    // Wake parked peers so they observe the close (skipped during
+    // teardown: abortAll is already unwinding every goroutine).
+    Goroutine *wake[2];
+    size_t n = 0;
+    if (s->reader != nullptr) {
+        wake[n++] = s->reader;
+        s->reader = nullptr;
+    }
+    if (s->writer != nullptr) {
+        wake[n++] = s->writer;
+        s->writer = nullptr;
+    }
+    if (n > 0 && !sched_->aborting())
+        sched_->unparkBatch(wake, n);
+}
+
+void
+Poller::wait(detail::FdState *s, Goroutine *detail::FdState::*end)
+{
+    assert(s->*end == nullptr &&
+           "two goroutines blocked on the same fd end");
+    s->*end = sched_->running();
+    waiters_++;
+    try {
+        sched_->park(WaitReason::NetIO, s);
+    } catch (...) {
+        // Teardown unwind (RunAborted): undo the bookkeeping so the
+        // poller never wakes a dead goroutine.
+        waiters_--;
+        s->*end = nullptr;
+        throw;
+    }
+    waiters_--;
+    s->*end = nullptr;
+}
+
+size_t
+Poller::poll(int timeout_ms)
+{
+    epoll_event events[256];
+    const int n = epoll_wait(epfd_, events, 256, timeout_ms);
+    if (n <= 0)
+        return 0;
+    wakeBuf_.clear();
+    for (int i = 0; i < n; ++i) {
+        auto *s = static_cast<detail::FdState *>(events[i].data.ptr);
+        const uint32_t e = events[i].events;
+        // Error/hangup wakes both ends; the retried syscall reports
+        // the actual condition (EOF, ECONNRESET, ...).
+        const bool broken = (e & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0;
+        if (((e & EPOLLIN) != 0 || broken) && s->reader != nullptr) {
+            wakeBuf_.push_back(s->reader);
+            s->reader = nullptr;
+        }
+        if (((e & EPOLLOUT) != 0 || broken) && s->writer != nullptr) {
+            wakeBuf_.push_back(s->writer);
+            s->writer = nullptr;
+        }
+    }
+    sched_->unparkBatch(wakeBuf_.data(), wakeBuf_.size());
+    return wakeBuf_.size();
+}
+
+TcpListener
+Poller::listen(uint16_t port)
+{
+    const int fd =
+        socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return {};
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddr(port);
+    if (bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 4096) != 0) {
+        ::close(fd);
+        return {};
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+    auto state = adopt(fd);
+    if (!state)
+        return {};
+    return TcpListener(std::move(state), ntohs(addr.sin_port));
+}
+
+TcpConn
+Poller::dial(uint16_t port)
+{
+    const int fd =
+        socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_in addr = loopbackAddr(port);
+    const int rc =
+        connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+        ::close(fd);
+        return {};
+    }
+    auto state = adopt(fd);
+    if (!state)
+        return {};
+    if (rc != 0) {
+        // Nonblocking connect: park until writable, then read the
+        // handshake outcome.
+        waitWritable(state.get());
+        if (state->fd < 0)
+            return {};
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(state->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+            closeFd(state.get());
+            return {};
+        }
+    }
+    return TcpConn(std::move(state));
+}
+
+// --- TcpConn ----------------------------------------------------------
+
+TcpConn::operator bool() const
+{
+    return state_ != nullptr && state_->fd >= 0;
+}
+
+IoResult
+TcpConn::read(std::string &out, size_t max) const
+{
+    detail::FdState *s = state_.get();
+    out.clear();
+    if (s == nullptr || s->fd < 0)
+        return {0, kClosedErr};
+    out.resize(max);
+    for (;;) {
+        const ssize_t r = ::read(s->fd, out.data(), max);
+        if (r > 0) {
+            out.resize(static_cast<size_t>(r));
+            return {static_cast<size_t>(r), {}};
+        }
+        if (r == 0) {
+            out.clear();
+            return {0, "EOF"};
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            out.clear();
+            return {0, errnoStr()};
+        }
+        s->poller->waitReadable(s);
+        if (s->fd < 0) {
+            out.clear();
+            return {0, kClosedErr};
+        }
+    }
+}
+
+IoResult
+TcpConn::write(std::string_view data) const
+{
+    detail::FdState *s = state_.get();
+    if (s == nullptr || s->fd < 0)
+        return {0, kClosedErr};
+    size_t done = 0;
+    while (done < data.size()) {
+        // MSG_NOSIGNAL: a peer that vanished mid-run must surface as
+        // EPIPE on this connection, not SIGPIPE for the process.
+        const ssize_t r = ::send(s->fd, data.data() + done,
+                                 data.size() - done, MSG_NOSIGNAL);
+        if (r >= 0) {
+            done += static_cast<size_t>(r);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            return {done, errnoStr()};
+        s->poller->waitWritable(s);
+        if (s->fd < 0)
+            return {done, kClosedErr};
+    }
+    return {done, {}};
+}
+
+void
+TcpConn::close() const
+{
+    if (state_ != nullptr)
+        state_->poller->closeFd(state_.get());
+}
+
+// --- TcpListener ------------------------------------------------------
+
+TcpListener::operator bool() const
+{
+    return state_ != nullptr && state_->fd >= 0;
+}
+
+TcpConn
+TcpListener::accept() const
+{
+    detail::FdState *s = state_.get();
+    if (s == nullptr || s->fd < 0)
+        return {};
+    for (;;) {
+        const int fd = accept4(s->fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd >= 0) {
+            const int one = 1;
+            setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            auto state = s->poller->adopt(fd);
+            if (!state)
+                continue;
+            return TcpConn(std::move(state));
+        }
+        if (errno == EINTR || errno == ECONNABORTED)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            return {};
+        s->poller->waitReadable(s);
+        if (s->fd < 0)
+            return {};
+    }
+}
+
+void
+TcpListener::close() const
+{
+    if (state_ != nullptr)
+        state_->poller->closeFd(state_.get());
+}
+
+} // namespace golite::netpoll

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The netpoller: real nonblocking TCP sockets as first-class goroutine
+ * blocking points, backed by an edge-triggered epoll reactor.
+ *
+ * This is the production-concurrency counterpart of the deterministic
+ * goio pipe: goroutine-per-request servers (the paper's Table 3 regime)
+ * park their goroutines on WaitReason::NetIO when a socket would block,
+ * and the scheduler consults the Poller (runtime IoPoller hook) to wake
+ * them when the kernel reports readiness. Determinism boundary: none of
+ * this is replayable — wakeup order depends on the kernel — so netpoll
+ * is opt-in per run and the goio pipe remains the record/replay oracle.
+ *
+ * Usage (inside golite::run, typically with RunOptions::realTime):
+ *
+ *   netpoll::Poller poller;                  // attaches to the run
+ *   auto ln = poller.listen(0);              // 127.0.0.1, kernel port
+ *   go([ln] { for (;;) { auto c = ln.accept(); ... } });
+ *   auto conn = poller.dial(ln.port());
+ *
+ * All sockets are IPv4 loopback: this wing exists to drive the soak
+ * harness (src/load), not to be a general net package.
+ */
+
+#ifndef GOLITE_NETPOLL_NETPOLL_HH
+#define GOLITE_NETPOLL_NETPOLL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "goio/pipe.hh"
+#include "runtime/scheduler.hh"
+
+namespace golite::netpoll
+{
+
+/** Same result shape as the goio pipe: bytes moved + error string. */
+using goio::IoResult;
+
+class Poller;
+
+namespace detail
+{
+
+/** Per-fd readiness state; address doubles as the epoll cookie and
+ *  the park wait-object. At most one parked reader and one parked
+ *  writer per fd (Go's netpoll has the same rule). */
+struct FdState
+{
+    int fd = -1;
+    Poller *poller = nullptr;
+    Goroutine *reader = nullptr;
+    Goroutine *writer = nullptr;
+};
+
+} // namespace detail
+
+/**
+ * A connected loopback TCP stream. Value-semantic handle (copies
+ * share the socket); default-constructed or failed handles are
+ * invalid. The fd closes when close() is called or the last handle
+ * drops.
+ */
+class TcpConn
+{
+  public:
+    TcpConn() = default;
+
+    /** True for a usable (dialed/accepted, not closed) connection. */
+    explicit operator bool() const;
+
+    /**
+     * Read up to @p max bytes into @p out (replacing its contents),
+     * parking until data arrives. err="EOF" at stream end, "use of
+     * closed network connection" after close().
+     */
+    IoResult read(std::string &out, size_t max = 64 * 1024) const;
+
+    /** Write all of @p data, parking while the kernel buffer is
+     *  full. n is the byte count actually written. */
+    IoResult write(std::string_view data) const;
+
+    /** Close the socket; parked peers wake with an error. */
+    void close() const;
+
+  private:
+    friend class Poller;
+    friend class TcpListener;
+    explicit TcpConn(std::shared_ptr<detail::FdState> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<detail::FdState> state_;
+};
+
+/**
+ * A listening loopback TCP socket. Value-semantic handle, like
+ * TcpConn.
+ */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+
+    explicit operator bool() const;
+
+    /** The kernel-assigned port (after listen(0)). */
+    uint16_t port() const { return port_; }
+
+    /** Accept one connection, parking until a peer dials. Returns an
+     *  invalid conn once the listener is closed. */
+    TcpConn accept() const;
+
+    /** Close the listener; a parked accept() wakes and returns an
+     *  invalid conn. */
+    void close() const;
+
+  private:
+    friend class Poller;
+    TcpListener(std::shared_ptr<detail::FdState> state, uint16_t port)
+        : state_(std::move(state)), port_(port)
+    {
+    }
+
+    std::shared_ptr<detail::FdState> state_;
+    uint16_t port_ = 0;
+};
+
+/**
+ * The epoll reactor. Construct one per run, inside the run, before any
+ * sockets (it attaches itself as the scheduler's IoPoller); it must
+ * outlive every TcpConn/TcpListener it produced. The scheduler calls
+ * poll() when goroutines are parked on I/O — blocking in epoll_wait up
+ * to the next timer deadline when nothing is runnable, nonblocking
+ * every RunOptions::ioPollEvery dispatches otherwise.
+ */
+class Poller : public IoPoller
+{
+  public:
+    /** Attaches to the current run (std::logic_error outside a run or
+     *  if the run already has a poller). */
+    Poller();
+    ~Poller() override;
+
+    Poller(const Poller &) = delete;
+    Poller &operator=(const Poller &) = delete;
+
+    /** Bind + listen on 127.0.0.1:@p port (0 = kernel-assigned).
+     *  Returns an invalid listener on failure. */
+    TcpListener listen(uint16_t port);
+
+    /** Connect to 127.0.0.1:@p port, parking during the handshake.
+     *  Returns an invalid conn on failure (e.g. refused). */
+    TcpConn dial(uint16_t port);
+
+    // --- IoPoller ---------------------------------------------------
+
+    size_t poll(int timeout_ms) override;
+
+    size_t ioWaiters() const override { return waiters_; }
+
+    /** The poller attached to the current run (null when none). */
+    static Poller *current();
+
+  private:
+    friend class TcpConn;
+    friend class TcpListener;
+
+    /** Set nonblocking, register with epoll (edge-triggered, in+out),
+     *  and wrap in a shared FdState that closes on last release. */
+    std::shared_ptr<detail::FdState> adopt(int fd);
+
+    /** Deregister + close the fd and wake parked peers. */
+    void closeFd(detail::FdState *s);
+
+    /** Park the running goroutine until the fd's end is ready. */
+    void wait(detail::FdState *s, Goroutine *detail::FdState::*end);
+
+    void waitReadable(detail::FdState *s) { wait(s, &detail::FdState::reader); }
+    void waitWritable(detail::FdState *s) { wait(s, &detail::FdState::writer); }
+
+    Scheduler *sched_ = nullptr;
+    int epfd_ = -1;
+    size_t waiters_ = 0;
+    std::vector<Goroutine *> wakeBuf_;
+};
+
+} // namespace golite::netpoll
+
+#endif // GOLITE_NETPOLL_NETPOLL_HH

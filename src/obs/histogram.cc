@@ -1,0 +1,96 @@
+#include "obs/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace golite::obs
+{
+
+size_t
+LatencyHistogram::bucketIndex(int64_t v)
+{
+    if (v < 64)
+        return static_cast<size_t>(v);
+    // Bracket k holds [2^k, 2^(k+1)) in 64 sub-buckets of 2^(k-6) ns.
+    const int k = 63 - __builtin_clzll(static_cast<uint64_t>(v));
+    const size_t offset =
+        static_cast<size_t>(v >> (k - 6)) - 64; // in [0, 64)
+    const size_t idx = static_cast<size_t>(k - 5) * 64 + offset;
+    return std::min(idx, kBuckets - 1);
+}
+
+int64_t
+LatencyHistogram::bucketUpper(size_t idx)
+{
+    if (idx < 64)
+        return static_cast<int64_t>(idx);
+    const int k = 6 + static_cast<int>(idx / 64) - 1;
+    const int64_t offset = static_cast<int64_t>(idx % 64);
+    const int64_t width = int64_t{1} << (k - 6);
+    return (64 + offset) * width + width - 1;
+}
+
+void
+LatencyHistogram::record(int64_t value_ns)
+{
+    const int64_t v = std::max<int64_t>(value_ns, 0);
+    buckets_[bucketIndex(v)]++;
+    count_++;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (size_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+int64_t
+LatencyHistogram::meanValue() const
+{
+    return count_ > 0 ? sum_ / static_cast<int64_t>(count_) : 0;
+}
+
+int64_t
+LatencyHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const uint64_t target = std::max<uint64_t>(
+        static_cast<uint64_t>(std::ceil(clamped * count_)), 1);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= target)
+            return std::min(bucketUpper(i), max_);
+    }
+    return max_;
+}
+
+std::string
+LatencyHistogram::json() const
+{
+    std::ostringstream os;
+    os << "{\"count\":" << count_
+       << ",\"minNs\":" << minValue()
+       << ",\"meanNs\":" << meanValue()
+       << ",\"p50Ns\":" << quantile(0.50)
+       << ",\"p90Ns\":" << quantile(0.90)
+       << ",\"p99Ns\":" << quantile(0.99)
+       << ",\"p999Ns\":" << quantile(0.999)
+       << ",\"maxNs\":" << maxValue() << "}";
+    return os.str();
+}
+
+} // namespace golite::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * obs::LatencyHistogram: a log-linear (HdrHistogram-style) latency
+ * histogram for the soak harness's coordinated-omission-safe latency
+ * measurements.
+ *
+ * Values bucket into power-of-two brackets split into 64 linear
+ * sub-buckets, so any recorded value lands within 1/64 (~1.6%) of its
+ * true magnitude while the whole structure stays a fixed ~3.7k-counter
+ * array: record() is O(1) with no allocation (safe on the load
+ * generator's hot path), merge() is element-wise addition (per-
+ * connection histograms combine at end of run), and quantile() walks
+ * the array once. Values below 64 are exact.
+ */
+
+#ifndef GOLITE_OBS_HISTOGRAM_HH
+#define GOLITE_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace golite::obs
+{
+
+class LatencyHistogram
+{
+  public:
+    /** Record one value (nanoseconds; negatives clamp to 0). */
+    void record(int64_t value_ns);
+
+    /** Add @p other's counts into this histogram. */
+    void merge(const LatencyHistogram &other);
+
+    uint64_t count() const { return count_; }
+
+    /** Smallest / largest recorded value (0 when empty). */
+    int64_t minValue() const { return count_ > 0 ? min_ : 0; }
+    int64_t maxValue() const { return max_; }
+
+    /** Arithmetic mean of recorded values (0 when empty). */
+    int64_t meanValue() const;
+
+    /**
+     * Value at quantile @p q in [0,1]: the upper bound of the bucket
+     * holding the ceil(q*count)-th smallest sample (clamped to the
+     * recorded max), i.e. within 1/64 above the true quantile.
+     */
+    int64_t quantile(double q) const;
+
+    /**
+     * One-line JSON with fixed key order: count, minNs, meanNs, p50Ns,
+     * p90Ns, p99Ns, p999Ns, maxNs.
+     */
+    std::string json() const;
+
+  private:
+    /** 64 exact unit buckets + 57 brackets x 64 sub-buckets. */
+    static constexpr size_t kBuckets = 64 + 57 * 64;
+
+    static size_t bucketIndex(int64_t v);
+    static int64_t bucketUpper(size_t idx);
+
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+    int64_t min_ = INT64_MAX;
+    int64_t max_ = 0;
+    int64_t sum_ = 0;
+};
+
+} // namespace golite::obs
+
+#endif // GOLITE_OBS_HISTOGRAM_HH

@@ -28,11 +28,26 @@ MetricsSink::onEvent(const RuntimeEvent &ev)
         live_++;
         if (live_ > metrics_.maxLiveGoroutines)
             metrics_.maxLiveGoroutines = live_;
+        spawnTimeNs_.emplace(ev.gid, ev.timeNs);
         break;
-      case EventKind::GoFinish:
+      case EventKind::GoFinish: {
         if (live_ > 0)
             live_--;
+        auto it = spawnTimeNs_.find(ev.gid);
+        if (it != spawnTimeNs_.end()) {
+            // Teardown unwinds (ev.flag) are not real completions;
+            // drop the entry without counting a lifetime.
+            if (!ev.flag) {
+                const int64_t lifetime = ev.timeNs - it->second;
+                metrics_.lifetimesCounted++;
+                metrics_.lifetimeSumNs += lifetime;
+                if (lifetime > metrics_.lifetimeMaxNs)
+                    metrics_.lifetimeMaxNs = lifetime;
+            }
+            spawnTimeNs_.erase(it);
+        }
         break;
+      }
       case EventKind::GoPark:
         metrics_.parks++;
         metrics_.blocksByReason[static_cast<int>(ev.reason)]++;
@@ -101,6 +116,7 @@ MetricsSink::finalizeRun(RunReport &report)
     metrics_ = RunMetrics{};
     lastDispatched_ = 0;
     live_ = 0;
+    spawnTimeNs_.clear();
 }
 
 } // namespace golite::obs

@@ -17,6 +17,8 @@
 #ifndef GOLITE_OBS_METRICS_HH
 #define GOLITE_OBS_METRICS_HH
 
+#include <unordered_map>
+
 #include "runtime/events.hh"
 #include "runtime/report.hh"
 
@@ -51,6 +53,11 @@ class MetricsSink : public Subscriber
     RunMetrics metrics_;
     uint64_t lastDispatched_ = 0;
     uint64_t live_ = 0;
+    /** Spawn run-clock time per live goroutine, for the lifetime
+     *  stats (Table 3's goroutine-lifetime dimension); entries are
+     *  erased at finish, so the map stays at live-goroutine size even
+     *  over soak runs. */
+    std::unordered_map<uint64_t, int64_t> spawnTimeNs_;
 };
 
 } // namespace golite::obs

@@ -38,6 +38,7 @@ enum class WaitReason
     Sleep,        ///< blocked in time::sleep / timer wait
     PipeRead,     ///< blocked reading from an io pipe
     PipeWrite,    ///< blocked writing to an io pipe
+    NetIO,        ///< blocked on network I/O (netpoll readiness)
     Other,        ///< library-defined wait
 };
 

@@ -33,6 +33,7 @@ deadlockCauseName(DeadlockCause cause)
       case DeadlockCause::WaitGroupStuck: return "WaitGroup never reaches 0";
       case DeadlockCause::CondStuck: return "Cond.Wait never signalled";
       case DeadlockCause::PipeStuck: return "io pipe peer gone";
+      case DeadlockCause::NetIoStuck: return "network I/O never ready";
       case DeadlockCause::SleepOrphan: return "asleep at exit";
       case DeadlockCause::Unknown: return "unclassified";
     }
@@ -92,6 +93,9 @@ RunMetrics::json() const
        << ",\"parks\":" << parks
        << ",\"spawns\":" << spawns
        << ",\"maxLiveGoroutines\":" << maxLiveGoroutines
+       << ",\"lifetimesCounted\":" << lifetimesCounted
+       << ",\"lifetimeSumNs\":" << lifetimeSumNs
+       << ",\"lifetimeMaxNs\":" << lifetimeMaxNs
        << ",\"blocksByReason\":{";
     bool first = true;
     for (size_t i = 0; i < blocksByReason.size(); ++i) {
@@ -114,6 +118,12 @@ RunMetrics::describe() const
     os << "scheduler: " << dispatches << " dispatches, "
        << contextSwitches << " context switches, " << spawns
        << " spawns, " << maxLiveGoroutines << " max live\n";
+    if (lifetimesCounted > 0) {
+        os << "lifetimes: " << lifetimesCounted << " finished, mean "
+           << lifetimeSumNs / static_cast<int64_t>(lifetimesCounted) /
+                  1000
+           << "us, max " << lifetimeMaxNs / 1000 << "us\n";
+    }
     os << "channels: " << chanSends << " sends, " << chanRecvs
        << " recvs, " << chanCloses << " closes, " << chanTryOps
        << " try-ops\n";

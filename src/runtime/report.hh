@@ -133,6 +133,33 @@ struct RunOptions
     /** Stack size per goroutine. */
     size_t stackBytes = 128 * 1024;
 
+    /**
+     * Drive the run clock from CLOCK_MONOTONIC instead of the virtual
+     * discrete-event clock: now() is real elapsed nanoseconds, timers
+     * fire at real deadlines (the scheduler sleeps or polls I/O until
+     * the next one), and no ClockAdvance events are emitted. This is
+     * the soak/netpoll mode — determinism is deliberately given up, so
+     * it is unsuitable for golden traces or fingerprint comparison.
+     */
+    bool realTime = false;
+
+    /**
+     * Reap finished goroutines immediately instead of keeping their
+     * records until end of run. Required to keep memory bounded over
+     * soak runs that create hundreds of millions of goroutines.
+     * Incompatible with collectStats (std::logic_error): stats need
+     * the records the reaper destroys.
+     */
+    bool reapFinished = false;
+
+    /**
+     * With an IoPoller attached: run a nonblocking poll after this
+     * many dispatches even while goroutines stay runnable, so sockets
+     * keep progressing under constant load (the open-loop soak never
+     * empties the run queue).
+     */
+    uint32_t ioPollEvery = 64;
+
     /** Record per-goroutine creation/finish ticks in the report. */
     bool collectStats = false;
 
@@ -185,6 +212,7 @@ enum class DeadlockCause
     WaitGroupStuck, ///< WaitGroup counter can never reach zero
     CondStuck,      ///< Cond.Wait with no signal ever arriving
     PipeStuck,      ///< io pipe peer gone without closing
+    NetIoStuck,     ///< parked on network I/O that never became ready
     SleepOrphan,    ///< still sleeping when the program exited
     Unknown,        ///< leaked for a reason the detector cannot name
 };
@@ -302,6 +330,11 @@ struct RunMetrics
     uint64_t spawns = 0;
     /** Peak number of live (spawned, not yet finished) goroutines. */
     uint64_t maxLiveGoroutines = 0;
+
+    // Goroutine lifetimes (spawn to non-teardown finish, run-clock ns).
+    uint64_t lifetimesCounted = 0;
+    int64_t lifetimeSumNs = 0;
+    int64_t lifetimeMaxNs = 0;
 
     /** Stable single-line JSON (fixed key order; CI diffs this). */
     std::string json() const;

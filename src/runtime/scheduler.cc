@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <ctime>
 #include <stdexcept>
 
 #include "base/panic.hh"
@@ -33,6 +35,7 @@ waitReasonName(WaitReason reason)
       case WaitReason::Sleep: return "sleep";
       case WaitReason::PipeRead: return "io pipe read";
       case WaitReason::PipeWrite: return "io pipe write";
+      case WaitReason::NetIO: return "network I/O wait";
       case WaitReason::Other: return "other";
     }
     return "unknown";
@@ -52,6 +55,18 @@ schedPolicyName(SchedPolicy policy)
 
 namespace
 {
+
+/** Batched readyq wakes (unparkBatch); GOLITE_BATCH_WAKE=0 selects
+ *  the one-at-a-time baseline for A/B measurement. */
+bool
+batchWakeEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("GOLITE_BATCH_WAKE");
+        return env == nullptr || env[0] != '0';
+    }();
+    return enabled;
+}
 
 /**
  * Internal subscriber behind RunOptions::collectTrace: renders the
@@ -149,7 +164,7 @@ class TraceRecorderSub : public Subscriber
 } // namespace
 
 Scheduler::Scheduler(const RunOptions &options)
-    : options_(options), rng_(options.seed)
+    : options_(options), rng_(options.seed), timerq_(makeTimerQueue())
 {
     if (options_.policy == SchedPolicy::Pct) {
         // Draw d-1 priority-change points over the expected run
@@ -264,6 +279,27 @@ Scheduler::unpark(Goroutine *g)
     readyq_.push_back(g);
 }
 
+void
+Scheduler::unparkBatch(Goroutine *const *gs, size_t n)
+{
+    if (n == 0)
+        return;
+    if (!batchWakeEnabled()) {
+        for (size_t i = 0; i < n; ++i)
+            unpark(gs[i]);
+        return;
+    }
+    // Same per-goroutine events and FIFO order as n unpark() calls;
+    // only the readyq insertion is batched.
+    for (size_t i = 0; i < n; ++i) {
+        Goroutine *g = gs[i];
+        assert(g->state == GoState::Waiting);
+        g->state = GoState::Runnable;
+        bus_.goUnpark(g->id);
+    }
+    readyq_.insert(readyq_.end(), gs, gs + n);
+}
+
 size_t
 Scheduler::choose(size_t n)
 {
@@ -363,8 +399,10 @@ Scheduler::scheduleTimer(int64_t delay_ns, std::function<void()> fn)
 {
     auto token = std::make_shared<TimerToken>();
     token->when = nowNs_ + std::max<int64_t>(delay_ns, 0);
-    timers_.push(PendingTimer{token->when, timerSeq_++, token,
-                              std::move(fn)});
+    timerq_->push(TimerEntry{token->when, timerSeq_++, token,
+                             std::move(fn)});
+    if (token->when < nextDeadline_)
+        nextDeadline_ = token->when;
     return token;
 }
 
@@ -393,14 +431,90 @@ Scheduler::sleep(int64_t delay_ns)
 void
 Scheduler::fireDueTimers()
 {
-    while (!timers_.empty() && timers_.top().when <= nowNs_) {
-        PendingTimer t = timers_.top();
-        timers_.pop();
-        if (t.token->cancelled)
-            continue;
-        t.token->fired = true;
-        t.fn();
+    // Batch-then-refetch keeps the heap's exact semantics: a fired
+    // callback can only push deadlines >= nowNs_ with a larger seq,
+    // so they sort after every entry of the current batch and are
+    // picked up by the next popDue round.
+    while (true) {
+        dueBuf_.clear();
+        timerq_->popDue(nowNs_, dueBuf_);
+        if (dueBuf_.empty())
+            break;
+        for (TimerEntry &t : dueBuf_) {
+            if (t.token->cancelled)
+                continue;
+            t.token->fired = true;
+            t.fn();
+        }
     }
+    dueBuf_.clear();
+    nextDeadline_ = timerq_->nextDeadline();
+}
+
+int64_t
+Scheduler::realElapsedNs() const
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return ts.tv_sec * 1'000'000'000LL + ts.tv_nsec - realStartNs_;
+}
+
+bool
+Scheduler::idleWait()
+{
+    if (mainDone_) {
+        // Program over (Go exits when main returns). Parked
+        // goroutines are leaks; timer-only and I/O waiters count too.
+        return false;
+    }
+    if (ioPoller_ != nullptr && ioPoller_->ioWaiters() > 0) {
+        // Block in the poller up to the next timer deadline (capped so
+        // an external stall never wedges the loop for good).
+        int timeout_ms = 1000;
+        if (nextDeadline_ != INT64_MAX) {
+            timeout_ms =
+                options_.realTime
+                    ? static_cast<int>(std::clamp<int64_t>(
+                          (nextDeadline_ - nowNs_ + 999'999) /
+                              1'000'000,
+                          0, 1000))
+                    : 0; // virtual clock: check readiness, don't wait
+        }
+        const size_t woken = ioPoller_->poll(timeout_ms);
+        if (options_.realTime) {
+            const int64_t t = realElapsedNs();
+            if (t > nowNs_)
+                nowNs_ = t;
+        } else if (woken == 0 && nextDeadline_ != INT64_MAX) {
+            // Nothing ready: discrete-event step to the next timer.
+            nowNs_ = nextDeadline_;
+            bus_.clockAdvance(nowNs_);
+        }
+        return true;
+    }
+    if (nextDeadline_ != INT64_MAX) {
+        if (options_.realTime) {
+            const int64_t remain = nextDeadline_ - realElapsedNs();
+            if (remain > 0) {
+                timespec ts{
+                    static_cast<time_t>(remain / 1'000'000'000),
+                    static_cast<long>(remain % 1'000'000'000)};
+                nanosleep(&ts, nullptr);
+            }
+            nowNs_ =
+                std::max(nextDeadline_,
+                         std::max(nowNs_, realElapsedNs()));
+        } else {
+            // Discrete-event step: advance virtual time.
+            nowNs_ = nextDeadline_;
+            bus_.clockAdvance(nowNs_);
+        }
+        return true;
+    }
+    // Every goroutine is asleep with nothing to wake it: the exact
+    // condition Go's built-in detector reports.
+    report_.globalDeadlock = true;
+    return false;
 }
 
 Goroutine *
@@ -541,6 +655,11 @@ Scheduler::run(std::function<void()> main)
         throw std::logic_error(
             "recordTrace must be a different object than replayTrace");
     }
+    if (options_.reapFinished && options_.collectStats) {
+        throw std::logic_error(
+            "RunOptions::reapFinished destroys the per-goroutine "
+            "records RunOptions::collectStats reads; set only one");
+    }
     current_ = this;
     report_ = RunReport{};
     replayAt_ = 0;
@@ -575,8 +694,20 @@ Scheduler::run(std::function<void()> main)
     readyq_.push_back(g.get());
     goroutines_.emplace(id, std::move(g));
 
+    if (options_.realTime) {
+        // Two-step so realElapsedNs() measures from this instant.
+        realStartNs_ = 0;
+        realStartNs_ = realElapsedNs();
+    }
+
     while (true) {
-        fireDueTimers();
+        if (options_.realTime) {
+            const int64_t t = realElapsedNs();
+            if (t > nowNs_)
+                nowNs_ = t;
+        }
+        if (nextDeadline_ <= nowNs_)
+            fireDueTimers();
 
         if (report_.ticks >= options_.maxTicks) {
             report_.livelocked = true;
@@ -584,21 +715,9 @@ Scheduler::run(std::function<void()> main)
         }
 
         if (readyq_.empty()) {
-            if (mainDone_) {
-                // Program over (Go exits when main returns). Parked
-                // goroutines are leaks; timer-only waiters count too.
+            if (!idleWait())
                 break;
-            }
-            if (!timers_.empty()) {
-                // Discrete-event step: advance virtual time.
-                nowNs_ = timers_.top().when;
-                bus_.clockAdvance(nowNs_);
-                continue;
-            }
-            // Every goroutine is asleep with nothing to wake it: the
-            // exact condition Go's built-in detector reports.
-            report_.globalDeadlock = true;
-            break;
+            continue;
         }
 
         if (mainDone_ && !options_.drainAfterMain)
@@ -615,6 +734,21 @@ Scheduler::run(std::function<void()> main)
         if (aborting_) {
             // A goroutine panicked: crash the program (unwind all).
             break;
+        }
+
+        if (options_.reapFinished && next != main_ &&
+            next->state == GoState::Done) {
+            pctPriority_.erase(next);
+            goroutines_.erase(next->id);
+        }
+
+        if (ioPoller_ != nullptr &&
+            ++sincePoll_ >= options_.ioPollEvery) {
+            // Keep sockets progressing while the run queue never
+            // empties (the open-loop soak's steady state).
+            sincePoll_ = 0;
+            if (ioPoller_->ioWaiters() > 0)
+                ioPoller_->poll(0);
         }
     }
 

@@ -26,6 +26,7 @@
 #include "runtime/events.hh"
 #include "runtime/goroutine.hh"
 #include "runtime/report.hh"
+#include "runtime/timer_wheel.hh"
 
 namespace golite
 {
@@ -49,6 +50,27 @@ class TimerToken
 };
 
 using TimerId = std::shared_ptr<TimerToken>;
+
+/**
+ * Readiness source the scheduler consults when goroutines are parked
+ * on WaitReason::NetIO (see src/netpoll for the epoll implementation).
+ * poll() checks the kernel for ready fds, unparks their waiters, and
+ * returns how many goroutines it woke; with no runnable goroutines the
+ * scheduler blocks inside poll() up to the next timer deadline instead
+ * of declaring a global deadlock.
+ */
+class IoPoller
+{
+  public:
+    virtual ~IoPoller() = default;
+
+    /** Poll for readiness, waking parked goroutines; blocks up to
+     *  @p timeout_ms (0 = nonblocking). Returns goroutines woken. */
+    virtual size_t poll(int timeout_ms) = 0;
+
+    /** Number of goroutines currently parked waiting on I/O. */
+    virtual size_t ioWaiters() const = 0;
+};
 
 /**
  * The runtime core. One Scheduler drives one golite::run; primitives
@@ -95,6 +117,14 @@ class Scheduler
     /** Make a parked goroutine runnable again. */
     void unpark(Goroutine *g);
 
+    /**
+     * Unpark @p n goroutines in one readyq splice (same per-goroutine
+     * GoUnpark events and FIFO order as n unpark() calls, so traces
+     * and fingerprints are unchanged). GOLITE_BATCH_WAKE=0 falls back
+     * to the one-at-a-time path for A/B measurement.
+     */
+    void unparkBatch(Goroutine *const *gs, size_t n);
+
     /** The currently executing goroutine (null in scheduler context). */
     Goroutine *running() const { return running_; }
 
@@ -124,6 +154,20 @@ class Scheduler
 
     /** Park the current goroutine for @p delay_ns of virtual time. */
     void sleep(int64_t delay_ns);
+
+    // --- Network I/O ------------------------------------------------
+
+    /**
+     * Attach/detach the run's readiness source (null to detach). One
+     * poller per run; netpoll::Poller registers itself here.
+     */
+    void setIoPoller(IoPoller *poller) { ioPoller_ = poller; }
+
+    /** The attached readiness source (null when none). */
+    IoPoller *ioPoller() const { return ioPoller_; }
+
+    /** True when this run drives its clock from CLOCK_MONOTONIC. */
+    bool realTime() const { return options_.realTime; }
 
     // --- Instrumentation --------------------------------------------
 
@@ -184,6 +228,14 @@ class Scheduler
     /** Fire all timers due at the current virtual time. */
     void fireDueTimers();
 
+    /** CLOCK_MONOTONIC nanoseconds since the run started. */
+    int64_t realElapsedNs() const;
+
+    /** Handle an empty run queue: poll I/O, advance or sleep the
+     *  clock, or flag the global deadlock. Returns false to end the
+     *  run loop. */
+    bool idleWait();
+
     /** Unwind all live goroutines so their destructors run. */
     void abortAll();
 
@@ -216,20 +268,20 @@ class Scheduler
     ucontext_t schedContext_;
 
     int64_t nowNs_ = 0;
-    struct PendingTimer
-    {
-        int64_t when;
-        uint64_t seq;
-        TimerId token;
-        std::function<void()> fn;
-        bool operator>(const PendingTimer &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
-    };
-    std::priority_queue<PendingTimer, std::vector<PendingTimer>,
-                        std::greater<>> timers_;
+    /** Pending timers (hashed wheel or heap; runtime/timer_wheel.hh). */
+    std::unique_ptr<TimerQueue> timerq_;
+    /** Exact earliest pending deadline (mirror of
+     *  timerq_->nextDeadline(); INT64_MAX when no timers). */
+    int64_t nextDeadline_ = INT64_MAX;
+    /** Scratch batch for fireDueTimers (reused across calls). */
+    std::vector<TimerEntry> dueBuf_;
     uint64_t timerSeq_ = 0;
+
+    IoPoller *ioPoller_ = nullptr;
+    /** Dispatches since the last nonblocking I/O poll. */
+    uint32_t sincePoll_ = 0;
+    /** CLOCK_MONOTONIC at run start (realTime mode). */
+    int64_t realStartNs_ = 0;
 
     /** Next decision to consume from RunOptions::replayTrace. */
     size_t replayAt_ = 0;

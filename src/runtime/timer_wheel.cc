@@ -1,0 +1,296 @@
+#include "runtime/timer_wheel.hh"
+
+#include <algorithm>
+#include <climits>
+#include <cstdlib>
+#include <queue>
+
+namespace golite
+{
+
+namespace
+{
+
+/** (when, seq) min-order, the firing order both implementations share. */
+struct EntryAfter
+{
+    bool
+    operator()(const TimerEntry &a, const TimerEntry &b) const
+    {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+};
+
+bool
+entryBefore(const TimerEntry &a, const TimerEntry &b)
+{
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+}
+
+// --- Heap (the original std::priority_queue implementation) -----------
+
+class HeapTimerQueue : public TimerQueue
+{
+  public:
+    void
+    push(TimerEntry entry) override
+    {
+        heap_.push(std::move(entry));
+    }
+
+    bool empty() const override { return heap_.empty(); }
+
+    size_t size() const override { return heap_.size(); }
+
+    int64_t
+    nextDeadline() const override
+    {
+        return heap_.empty() ? INT64_MAX : heap_.top().when;
+    }
+
+    void
+    popDue(int64_t now, std::vector<TimerEntry> &out) override
+    {
+        while (!heap_.empty() && heap_.top().when <= now) {
+            // priority_queue::top is const; the entry is moved out via
+            // const_cast immediately before pop, the standard idiom.
+            out.push_back(
+                std::move(const_cast<TimerEntry &>(heap_.top())));
+            heap_.pop();
+        }
+    }
+
+  private:
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>, EntryAfter>
+        heap_;
+};
+
+// --- Hashed wheel + spillover heap ------------------------------------
+
+class WheelTimerQueue : public TimerQueue
+{
+    /** Tick resolution: 2^18 ns = 262.1 us. */
+    static constexpr int kTickShift = 18;
+    /** Slots (one tick each): 8192 ticks = 2.15 s of near horizon. */
+    static constexpr size_t kSlots = 8192;
+    static constexpr size_t kWords = kSlots / 64;
+
+  public:
+    void
+    push(TimerEntry entry) override
+    {
+        size_++;
+        const int64_t tick = tickOf(entry.when);
+        if (tick - curTick_ >= static_cast<int64_t>(kSlots)) {
+            spill_.push(std::move(entry));
+            return;
+        }
+        place(std::move(entry), tick);
+    }
+
+    bool empty() const override { return size_ == 0; }
+
+    size_t size() const override { return size_; }
+
+    int64_t
+    nextDeadline() const override
+    {
+        int64_t best = spill_.empty() ? INT64_MAX : spill_.top().when;
+        const size_t idx = firstOccupiedSlot();
+        if (idx != kSlots) {
+            for (const TimerEntry &e : slots_[idx])
+                best = std::min(best, e.when);
+        }
+        return best;
+    }
+
+    void
+    popDue(int64_t now, std::vector<TimerEntry> &out) override
+    {
+        if (size_ == 0) {
+            curTick_ = std::max(curTick_, tickOf(now));
+            return;
+        }
+        const int64_t now_tick = tickOf(now);
+        const size_t first = out.size();
+
+        // Collect wheel slots whose tick the cursor passes. Slots map
+        // back to ticks via their cyclic distance from the cursor, so
+        // the occupancy bitmap walk visits only non-empty slots.
+        if (!slots_.empty()) {
+            const size_t cur_idx = slotOf(curTick_);
+            for (size_t idx = firstOccupiedSlot(); idx != kSlots;
+                 idx = nextOccupiedSlot(idx)) {
+                const int64_t dist = static_cast<int64_t>(
+                    (idx + kSlots - cur_idx) % kSlots);
+                const int64_t tick = curTick_ + dist;
+                if (tick > now_tick)
+                    break;
+                takeDue(slots_[idx], idx, tick == now_tick, now, out);
+                if (tick == now_tick)
+                    break;
+            }
+        }
+        curTick_ = std::max(curTick_, now_tick);
+
+        // Entries whose deadline now falls inside the near horizon
+        // migrate out of the spillover heap (or fire directly).
+        while (!spill_.empty()) {
+            const TimerEntry &top = spill_.top();
+            const int64_t tick = tickOf(top.when);
+            if (tick - curTick_ >= static_cast<int64_t>(kSlots))
+                break;
+            TimerEntry e = std::move(const_cast<TimerEntry &>(top));
+            spill_.pop();
+            if (e.when <= now) {
+                out.push_back(std::move(e));
+            } else {
+                size_--; // place() is reached via push() accounting
+                size_++;
+                place(std::move(e), tick);
+            }
+        }
+
+        size_ -= out.size() - first;
+        std::sort(out.begin() + static_cast<ptrdiff_t>(first),
+                  out.end(), entryBefore);
+    }
+
+  private:
+    static int64_t
+    tickOf(int64_t when_ns)
+    {
+        return (when_ns < 0 ? 0 : when_ns) >> kTickShift;
+    }
+
+    static size_t
+    slotOf(int64_t tick)
+    {
+        return static_cast<size_t>(tick) & (kSlots - 1);
+    }
+
+    void
+    place(TimerEntry entry, int64_t tick)
+    {
+        if (slots_.empty()) {
+            slots_.resize(kSlots);
+            occupied_.assign(kWords, 0);
+        }
+        // Past-due deadlines park in the cursor slot so the next
+        // popDue picks them up immediately.
+        const size_t idx = slotOf(std::max(tick, curTick_));
+        slots_[idx].push_back(std::move(entry));
+        occupied_[idx / 64] |= uint64_t{1} << (idx % 64);
+    }
+
+    /** Move due entries (boundary slots filter by exact `when`). */
+    void
+    takeDue(std::vector<TimerEntry> &slot, size_t idx, bool boundary,
+            int64_t now, std::vector<TimerEntry> &out)
+    {
+        if (!boundary) {
+            for (TimerEntry &e : slot)
+                out.push_back(std::move(e));
+            slot.clear();
+        } else {
+            size_t keep = 0;
+            for (TimerEntry &e : slot) {
+                if (e.when <= now)
+                    out.push_back(std::move(e));
+                else
+                    slot[keep++] = std::move(e);
+            }
+            slot.resize(keep);
+        }
+        if (slot.empty())
+            occupied_[idx / 64] &= ~(uint64_t{1} << (idx % 64));
+    }
+
+    /** First occupied slot cyclically at/after the cursor (kSlots when
+     *  the wheel is empty). Cyclic order equals deadline order because
+     *  every resident tick lies within one revolution of the cursor. */
+    size_t
+    firstOccupiedSlot() const
+    {
+        return slots_.empty() ? kSlots
+                              : scanFrom(slotOf(curTick_), kSlots);
+    }
+
+    size_t
+    nextOccupiedSlot(size_t idx) const
+    {
+        const size_t cur_idx = slotOf(curTick_);
+        const size_t walked = (idx + kSlots - cur_idx) % kSlots + 1;
+        return walked >= kSlots
+                   ? kSlots
+                   : scanFrom((idx + 1) % kSlots, kSlots - walked);
+    }
+
+    /** Scan the occupancy bitmap cyclically from @p start, visiting at
+     *  most @p limit slots; kSlots when none is set. */
+    size_t
+    scanFrom(size_t start, size_t limit) const
+    {
+        size_t remaining = limit;
+        size_t word = start / 64;
+        uint64_t mask = ~uint64_t{0} << (start % 64);
+        size_t base_covered = 64 - start % 64;
+        while (remaining > 0) {
+            const uint64_t bits = occupied_[word] & mask;
+            if (bits != 0) {
+                const size_t idx =
+                    word * 64 +
+                    static_cast<size_t>(__builtin_ctzll(bits));
+                const size_t dist = (idx + kSlots - start) % kSlots;
+                return dist < limit ? idx : kSlots;
+            }
+            remaining = remaining > base_covered
+                            ? remaining - base_covered
+                            : 0;
+            word = (word + 1) % kWords;
+            mask = ~uint64_t{0};
+            base_covered = 64;
+        }
+        return kSlots;
+    }
+
+    std::vector<std::vector<TimerEntry>> slots_; ///< lazily allocated
+    std::vector<uint64_t> occupied_;
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                        EntryAfter> spill_;
+    int64_t curTick_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TimerQueue>
+makeHeapTimerQueue()
+{
+    return std::make_unique<HeapTimerQueue>();
+}
+
+std::unique_ptr<TimerQueue>
+makeWheelTimerQueue()
+{
+    return std::make_unique<WheelTimerQueue>();
+}
+
+bool
+timerWheelEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("GOLITE_TIMER_WHEEL");
+        return env == nullptr || env[0] != '0';
+    }();
+    return enabled;
+}
+
+std::unique_ptr<TimerQueue>
+makeTimerQueue()
+{
+    return timerWheelEnabled() ? makeWheelTimerQueue()
+                               : makeHeapTimerQueue();
+}
+
+} // namespace golite

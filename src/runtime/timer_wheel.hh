@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Pending-timer storage for the scheduler: a hashed timer wheel with a
+ * heap spillover, A/B-selectable against the original binary heap.
+ *
+ * The soak workload (src/load) keeps 100k-1M goroutines sleeping at
+ * once; with the binary heap every push/pop pays O(log n) comparisons
+ * on one ever-growing array. The wheel spreads near-term deadlines
+ * (within ~2s of the cursor) over kSlots hash buckets — O(1) push,
+ * O(1) amortized expiry — and spills far deadlines into a small heap
+ * that drains into the wheel as the cursor advances. An occupancy
+ * bitmap makes "next occupied slot" a few word scans, so the virtual
+ * clock can still jump straight to the next deadline.
+ *
+ * Exactness contract: nextDeadline() returns the exact minimum `when`
+ * and popDue() yields due entries in exactly the (when, seq) order the
+ * heap produced, so golden traces and fingerprints are byte-identical
+ * under either implementation. GOLITE_TIMER_WHEEL=0 selects the heap
+ * (the A/B baseline measured by bench_soak).
+ */
+
+#ifndef GOLITE_RUNTIME_TIMER_WHEEL_HH
+#define GOLITE_RUNTIME_TIMER_WHEEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace golite
+{
+
+class TimerToken;
+using TimerId = std::shared_ptr<TimerToken>;
+
+/** One pending timer: deadline, tiebreak sequence, token, callback. */
+struct TimerEntry
+{
+    int64_t when = 0;  ///< absolute deadline (run clock, ns)
+    uint64_t seq = 0;  ///< scheduling order tiebreak (unique)
+    TimerId token;     ///< cancellation/fired flags
+    std::function<void()> fn;
+};
+
+/**
+ * Storage for the scheduler's pending timers. Implementations must
+ * agree on observable behaviour: popDue() returns every entry with
+ * when <= now, sorted by (when, seq); nextDeadline() is the exact
+ * minimum pending deadline. Cancelled entries are kept until due (the
+ * token is checked at fire time), matching the original heap.
+ */
+class TimerQueue
+{
+  public:
+    virtual ~TimerQueue() = default;
+
+    virtual void push(TimerEntry entry) = 0;
+
+    virtual bool empty() const = 0;
+
+    virtual size_t size() const = 0;
+
+    /** Exact earliest pending deadline; INT64_MAX when empty. */
+    virtual int64_t nextDeadline() const = 0;
+
+    /**
+     * Move every entry with when <= now into @p out, ordered by
+     * (when, seq). @p now must be monotonically non-decreasing across
+     * calls. Appends to @p out.
+     */
+    virtual void popDue(int64_t now, std::vector<TimerEntry> &out) = 0;
+};
+
+/** The original binary heap (std::priority_queue equivalent). */
+std::unique_ptr<TimerQueue> makeHeapTimerQueue();
+
+/** The hashed wheel + spillover heap. */
+std::unique_ptr<TimerQueue> makeWheelTimerQueue();
+
+/**
+ * The configured implementation: the wheel, unless GOLITE_TIMER_WHEEL=0
+ * selects the heap baseline (read once per process).
+ */
+std::unique_ptr<TimerQueue> makeTimerQueue();
+
+/** True when makeTimerQueue() returns the wheel (for diagnostics). */
+bool timerWheelEnabled();
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_TIMER_WHEEL_HH

@@ -430,6 +430,11 @@ Detector::classifyLeak(const LeakInfo &leak)
         pd.cause = DeadlockCause::SleepOrphan;
         chain << "still sleeping when the program exited";
         break;
+      case WaitReason::NetIO:
+        pd.cause = DeadlockCause::NetIoStuck;
+        chain << "socket never became ready (peer gone without "
+                 "closing?)";
+        break;
       default:
         pd.cause = DeadlockCause::Unknown;
         chain << "blocked on " << waitReasonName(leak.reason);

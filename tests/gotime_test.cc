@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "golite/golite.hh"
@@ -155,6 +156,164 @@ TEST(Time, TimersOrderAcrossGoroutines)
         wg.wait();
     });
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// --- Timer-wheel boundary cases -----------------------------------
+//
+// The hashed wheel (src/runtime/timer_wheel) spans ~2.15s of virtual
+// time per revolution; these tests pin the exactness contract at its
+// edges — coincident deadlines, cancellation around a shared firing
+// instant, deadlines past the span (spillover), and multi-revolution
+// runs — and prove the wheel and the heap baseline produce
+// byte-identical executions.
+
+TEST(TimerWheel, CoincidentDeadlinesFireInCreationOrder)
+{
+    // Same deadline => (when, seq) order == creation order, even
+    // though all eight land in one wheel slot and one due batch. The
+    // callbacks run as spawned goroutines, so FIFO dispatch keeps the
+    // observed order equal to the firing order.
+    std::vector<int> order;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    run(
+        [&] {
+            WaitGroup wg;
+            wg.add(8);
+            for (int i = 0; i < 8; ++i) {
+                gotime::afterFunc(5 * kMillisecond,
+                                  [&order, &wg, i] {
+                                      order.push_back(i);
+                                      wg.done();
+                                  });
+            }
+            wg.wait();
+        },
+        options);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TimerWheel, StopAfterCoincidentBatchReturnsFalse)
+{
+    // Two timers on the same instant both fire in one batch; by the
+    // time the first's receiver runs, stopping the second is too late
+    // (Go semantics: Stop returns false and does not drain).
+    run([&] {
+        gotime::Timer a = gotime::newTimer(3 * kMillisecond);
+        gotime::Timer b = gotime::newTimer(3 * kMillisecond);
+        a.c.recv();
+        EXPECT_FALSE(b.stop());
+        EXPECT_TRUE(b.c.tryRecv().has_value());
+    });
+}
+
+TEST(TimerWheel, StopBeforeSharedDeadlinePreventsOnlyThatTimer)
+{
+    // Cancelling one of two coincident timers ahead of the deadline
+    // leaves a dead entry in the shared slot; the batch must skip it
+    // and still fire its twin.
+    int fired = 0;
+    run([&] {
+        gotime::Timer a = gotime::newTimer(3 * kMillisecond);
+        gotime::Timer b = gotime::newTimer(3 * kMillisecond);
+        EXPECT_TRUE(b.stop());
+        a.c.recv();
+        fired++;
+        gotime::sleep(5 * kMillisecond);
+        EXPECT_FALSE(b.c.tryRecv().has_value());
+    });
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, DeadlinesBeyondOneRevolutionOrderCorrectly)
+{
+    // 3s and 5s exceed the wheel span (~2.15s) and sit in the
+    // spillover heap; they must still interleave exactly with
+    // in-wheel deadlines.
+    std::vector<int> order;
+    run([&] {
+        WaitGroup wg;
+        wg.add(3);
+        go([&] {
+            gotime::sleep(5 * gotime::kSecond);
+            order.push_back(3);
+            wg.done();
+        });
+        go([&] {
+            gotime::sleep(100 * kMillisecond);
+            order.push_back(1);
+            wg.done();
+        });
+        go([&] {
+            gotime::sleep(3 * gotime::kSecond);
+            order.push_back(2);
+            wg.done();
+        });
+        const auto t0 = gotime::now();
+        wg.wait();
+        EXPECT_EQ(gotime::now() - t0, 5 * gotime::kSecond);
+    });
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheel, TickerAcrossMultipleRevolutions)
+{
+    // 20 x 400ms = 8s of virtual time, several cursor wrap-arounds;
+    // each tick must land exactly on its period.
+    int ticks = 0;
+    run([&] {
+        const auto t0 = gotime::now();
+        gotime::Ticker tk = gotime::newTicker(400 * kMillisecond);
+        for (int i = 0; i < 20; ++i) {
+            tk.c.recv();
+            ticks++;
+        }
+        EXPECT_EQ(gotime::now() - t0, 20 * 400 * kMillisecond);
+        tk.stop();
+    });
+    EXPECT_EQ(ticks, 20);
+}
+
+TEST(TimerWheel, WheelAndHeapProduceIdenticalExecutions)
+{
+    // The A/B gate behind every golden trace: the same timer-heavy
+    // kernel, once on the wheel (default) and once on the heap
+    // baseline (GOLITE_TIMER_WHEEL=0), must yield byte-identical
+    // report fingerprints, full event trace included.
+    auto kernel = [] {
+        WaitGroup wg;
+        wg.add(3);
+        go("short", [&] {
+            for (int i = 0; i < 5; ++i)
+                gotime::sleep(7 * kMillisecond);
+            wg.done();
+        });
+        go("long", [&] {
+            gotime::sleep(3 * gotime::kSecond); // spillover range
+            wg.done();
+        });
+        go("timers", [&] {
+            gotime::Timer t = gotime::newTimer(2 * kMillisecond);
+            t.c.recv();
+            t.reset(11 * kMillisecond);
+            t.c.recv();
+            gotime::Timer dead = gotime::newTimer(4 * kMillisecond);
+            dead.stop();
+            wg.done();
+        });
+        wg.wait();
+    };
+    RunOptions options;
+    options.seed = 99;
+    options.collectTrace = true;
+
+    RunReport wheel = run(kernel, options);
+    ::setenv("GOLITE_TIMER_WHEEL", "0", 1);
+    RunReport heap = run(kernel, options);
+    ::unsetenv("GOLITE_TIMER_WHEEL");
+
+    EXPECT_TRUE(wheel.clean());
+    EXPECT_EQ(wheel.fingerprint(), heap.fingerprint());
 }
 
 } // namespace

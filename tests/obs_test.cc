@@ -191,5 +191,87 @@ TEST(MetricsSink, ResetsBetweenRunsWhenReused)
     EXPECT_EQ(first.metrics.json(), second.metrics.json());
 }
 
+// --- LatencyHistogram ---------------------------------------------
+
+TEST(LatencyHistogram, ExactBelowSixtyFour)
+{
+    obs::LatencyHistogram h;
+    for (int64_t v = 0; v < 64; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 64u);
+    EXPECT_EQ(h.minValue(), 0);
+    EXPECT_EQ(h.maxValue(), 63);
+    // Small values land in exact unit buckets: every quantile is the
+    // true order statistic.
+    EXPECT_EQ(h.quantile(0.5), 31);
+    EXPECT_EQ(h.quantile(1.0), 63);
+}
+
+TEST(LatencyHistogram, QuantileErrorWithinOneSixtyFourth)
+{
+    obs::LatencyHistogram h;
+    for (int64_t v = 1; v <= 100'000; ++v)
+        h.record(v);
+    auto check = [&](double q) {
+        const double expected = q * 100'000;
+        const int64_t got = h.quantile(q);
+        EXPECT_GE(got, static_cast<int64_t>(expected) - 1) << q;
+        EXPECT_LE(static_cast<double>(got),
+                  expected * (1.0 + 1.0 / 64) + 1) << q;
+    };
+    check(0.50);
+    check(0.90);
+    check(0.99);
+    check(0.999);
+    EXPECT_EQ(h.quantile(1.0), 100'000);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording)
+{
+    obs::LatencyHistogram a, b, combined;
+    for (int64_t v = 0; v < 5'000; ++v) {
+        const int64_t sample = (v * 2'654'435'761LL) % 1'000'000;
+        ((v % 2 == 0) ? a : b).record(sample);
+        combined.record(sample);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.json(), combined.json());
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
+{
+    obs::LatencyHistogram h, empty;
+    h.record(42);
+    const std::string before = h.json();
+    h.merge(empty);
+    EXPECT_EQ(h.json(), before);
+    empty.merge(h);
+    EXPECT_EQ(empty.json(), h.json());
+}
+
+TEST(LatencyHistogram, EmptyAndNegativeInputs)
+{
+    obs::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0);
+    EXPECT_EQ(h.minValue(), 0);
+    EXPECT_EQ(h.meanValue(), 0);
+    h.record(-5); // clamps to zero rather than corrupting a bucket
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.maxValue(), 0);
+}
+
+TEST(LatencyHistogram, JsonShapeIsFixed)
+{
+    obs::LatencyHistogram h;
+    h.record(1000);
+    const std::string j = h.json();
+    EXPECT_EQ(j.find("{\"count\":1,\"minNs\":"), 0u);
+    for (const char *key : {"meanNs", "p50Ns", "p90Ns", "p99Ns",
+                            "p999Ns", "maxNs"})
+        EXPECT_NE(j.find(key), std::string::npos) << key;
+}
+
 } // namespace
 } // namespace golite

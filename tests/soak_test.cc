@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Soak-harness tests: the open-loop generator against the netpoll echo
+ * server under real time. These assert statistical outcomes (all
+ * arrivals answered, latency bounded below by the service time,
+ * goroutine concurrency in the expected band), not schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "golite/golite.hh"
+
+namespace golite
+{
+namespace
+{
+
+TEST(Soak, SmokeAllRequestsAnswered)
+{
+    load::SoakOptions opts;
+    opts.connections = 8;
+    opts.targetRps = 2000;
+    opts.durationNs = 400 * gotime::kMillisecond;
+    opts.serviceTimeNs = 20 * gotime::kMillisecond;
+    opts.fanout = 1;
+    opts.payloadBytes = 32;
+    opts.seed = 7;
+
+    load::SoakResult res = load::runSoak(opts);
+    EXPECT_TRUE(res.ok()) << res.report.describe();
+    EXPECT_GT(res.requestsSent, 100u);
+    EXPECT_EQ(res.responses, res.requestsSent);
+    EXPECT_EQ(res.dropped, 0u);
+    EXPECT_EQ(res.latency.count(), res.responses);
+    // Every reply waited out the 20ms service time; the histogram's
+    // 1/64 resolution cannot hide that.
+    EXPECT_GE(res.latency.quantile(0.50), opts.serviceTimeNs);
+    // rate x service x (1 + fanout) = 2000 * 0.02 * 2 = 80 expected
+    // concurrent request goroutines at steady state (plus the fixed
+    // per-connection ones); allow generous slack for a loaded box.
+    EXPECT_GE(res.peakLiveGoroutines, 40u);
+    EXPECT_GT(res.goroutinesCreated, res.requestsSent);
+}
+
+TEST(Soak, ThousandsOfConcurrentGoroutines)
+{
+    // The concurrency knob: modest request rate, long service time,
+    // fanout 1 -> ~5000 * 0.2 * 2 = ~2000 live goroutines at peak.
+    load::SoakOptions opts;
+    opts.connections = 16;
+    opts.targetRps = 5000;
+    opts.durationNs = 600 * gotime::kMillisecond;
+    opts.serviceTimeNs = 200 * gotime::kMillisecond;
+    opts.fanout = 1;
+    opts.seed = 11;
+
+    load::SoakResult res = load::runSoak(opts);
+    EXPECT_TRUE(res.ok()) << res.report.describe();
+    EXPECT_GE(res.peakLiveGoroutines, 1000u);
+    EXPECT_EQ(res.responses, res.requestsSent);
+}
+
+TEST(Soak, BurstsShiftTheTail)
+{
+    // 5x bursts for 50ms out of every 200ms: the load in a burst
+    // exceeds the steady rate, so arrivals queue and p99 >> p50.
+    load::SoakOptions opts;
+    opts.connections = 8;
+    opts.targetRps = 1000;
+    opts.durationNs = 600 * gotime::kMillisecond;
+    opts.burstEveryNs = 200 * gotime::kMillisecond;
+    opts.burstLenNs = 50 * gotime::kMillisecond;
+    opts.burstMultiplier = 5.0;
+    opts.serviceTimeNs = 5 * gotime::kMillisecond;
+    opts.seed = 3;
+
+    load::SoakResult res = load::runSoak(opts);
+    EXPECT_TRUE(res.ok()) << res.report.describe();
+    // Bursts raise the average rate ~2x over the steady 1000 rps.
+    EXPECT_GT(res.requestsSent, 600u);
+    EXPECT_GE(res.latency.quantile(0.99), res.latency.quantile(0.50));
+}
+
+TEST(Soak, DetectorsRideAlongCleanly)
+{
+    // The production-concurrency detector configuration: race +
+    // waitgraph subscribed to a soak run. The harness itself must be
+    // race-free and leak-free under their instrumentation.
+    race::Detector race_detector;
+    waitgraph::Detector wait_detector;
+    load::SoakOptions opts;
+    opts.connections = 4;
+    opts.targetRps = 500;
+    opts.durationNs = 300 * gotime::kMillisecond;
+    opts.serviceTimeNs = 10 * gotime::kMillisecond;
+    opts.seed = 5;
+    opts.subscribers = {&race_detector, &wait_detector};
+
+    load::SoakResult res = load::runSoak(opts);
+    EXPECT_TRUE(res.ok()) << res.report.describe();
+    EXPECT_TRUE(res.report.raceMessages.empty());
+    EXPECT_TRUE(res.report.partialDeadlocks.empty());
+}
+
+} // namespace
+} // namespace golite
