@@ -107,6 +107,23 @@ class JsonReport
 
     size_t size() const { return entries_.size(); }
 
+    /** Write schemaFingerprint() to @p path (the committed-baseline
+     *  side of the CI schema byte-diff); false on failure. */
+    bool
+    writeSchemaFile(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::perror(("bench_json: " + path).c_str());
+            return false;
+        }
+        const std::string doc = schemaFingerprint();
+        const bool ok =
+            std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+        std::fclose(f);
+        return ok;
+    }
+
     /**
      * Structural fingerprint of the report: entry names and their
      * (sorted) key sets, no values. Byte-stable as long as the bench

@@ -330,8 +330,10 @@ fuzzRun(const RunProgram &run_once, const FuzzOptions &options)
     if (workers == 1) {
         worker(0);
     } else {
-        parallel::WorkerPool pool(workers);
-        pool.forEach(workers, worker);
+        // n == active workers, so the pool's adaptive claiming
+        // degenerates to one campaign index per worker — each runs
+        // its whole campaign on its own thread, as before.
+        parallel::sharedPool().forEach(workers, worker, workers);
     }
 
     FuzzResult result;

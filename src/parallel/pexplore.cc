@@ -126,7 +126,7 @@ exploreAllParallel(
     const size_t ticket = std::max<size_t>(1, options.roundTicket);
     size_t remaining = budget;
     bool exhausted_budget = false;
-    WorkerPool pool(workers);
+    WorkerPool &pool = sharedPool();
 
     for (;;) {
         // Grant tickets in lexicographic order from the remaining
@@ -157,12 +157,16 @@ exploreAllParallel(
             break;
         }
 
-        pool.forEach(subs.size(), [&](size_t i) {
-            if (grant[i] == 0)
-                return;
-            exploreSubtree(run_once, options.explore, subs[i].cursor,
-                           grant[i], subs[i].result);
-        });
+        pool.forEach(
+            subs.size(),
+            [&](size_t i) {
+                if (grant[i] == 0)
+                    return;
+                exploreSubtree(run_once, options.explore,
+                               subs[i].cursor, grant[i],
+                               subs[i].result);
+            },
+            workers);
 
         if (budget) {
             size_t total = 0;

@@ -6,6 +6,22 @@
 namespace golite::parallel
 {
 
+namespace
+{
+
+/** Set while the calling thread is executing inside a pool epoch
+ *  (worker thread or submitting caller). Guards against nested
+ *  forEach: a sweep submitted from inside a job runs inline. */
+thread_local bool inEpoch = false;
+
+struct EpochScope
+{
+    EpochScope() { inEpoch = true; }
+    ~EpochScope() { inEpoch = false; }
+};
+
+} // namespace
+
 unsigned
 defaultWorkers()
 {
@@ -22,8 +38,8 @@ WorkerPool::WorkerPool(unsigned workers)
     : workers_(workers ? workers : defaultWorkers())
 {
     threads_.reserve(workers_ - 1);
-    for (unsigned i = 0; i + 1 < workers_; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+    for (unsigned slot = 1; slot < workers_; ++slot)
+        threads_.emplace_back([this, slot] { workerLoop(slot, 0); });
 }
 
 WorkerPool::~WorkerPool()
@@ -37,11 +53,44 @@ WorkerPool::~WorkerPool()
         t.join();
 }
 
-void
-WorkerPool::workerLoop()
+bool
+WorkerPool::insideEpoch()
 {
-    uint64_t seen = 0;
+    return inEpoch;
+}
+
+void
+WorkerPool::ensureWorkers(unsigned workers)
+{
+    // Only called with submitMu_ held (or from the constructor-free
+    // single-threaded path), so no epoch is in flight while threads
+    // are added.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers <= workers_)
+        return;
+    threads_.reserve(workers - 1);
+    for (unsigned slot = workers_; slot < workers; ++slot) {
+        // The baseline epoch is captured HERE, under mu_, not read by
+        // the new thread itself: a thread added just before an epoch
+        // submission might not get scheduled until after epoch_ is
+        // bumped, and reading epoch_ then would make it skip the very
+        // epoch whose busy_ count includes it — deadlocking the
+        // barrier.
+        threads_.emplace_back(
+            [this, slot, seen = epoch_] { workerLoop(slot, seen); });
+    }
+    workers_ = workers;
+}
+
+void
+WorkerPool::workerLoop(unsigned slot, uint64_t seen)
+{
+    // @p seen is the epoch counter at the moment this thread was
+    // created (captured under mu_ by the spawner): epochs at or
+    // before it finished without counting this thread; anything
+    // newer includes it.
     for (;;) {
+        bool participate;
         {
             std::unique_lock<std::mutex> lock(mu_);
             wake_.wait(lock, [this, seen] {
@@ -50,8 +99,17 @@ WorkerPool::workerLoop()
             if (stopping_)
                 return;
             seen = epoch_;
+            // Epochs may cap participation below the pool size; a
+            // spectator waits for the next epoch without touching
+            // busy_.
+            participate = slot < active_;
         }
-        drainCurrentJob();
+        if (!participate)
+            continue;
+        {
+            EpochScope scope;
+            drainCurrentJob(slot);
+        }
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (--busy_ == 0)
@@ -60,17 +118,42 @@ WorkerPool::workerLoop()
     }
 }
 
-void
-WorkerPool::drainCurrentJob()
+size_t
+WorkerPool::claimSize(size_t remaining) const
 {
+    // Guided self-scheduling: claim a 1/(2k) share of what is left,
+    // so early claims are large (few cursor touches, no per-item
+    // synchronization) and tail claims shrink to 1 (uneven job costs
+    // still balance across workers).
+    return std::max<size_t>(1, remaining / (2 * active_));
+}
+
+void
+WorkerPool::drainCurrentJob(unsigned slot)
+{
+    if (perWorker_) {
+        // onAllWorkers epoch: one call per worker, no claiming.
+        try {
+            (*fn_)(slot, slot);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        return;
+    }
     for (;;) {
-        const size_t begin = cursor_.fetch_add(chunk_);
+        const size_t seen = cursor_.load(std::memory_order_relaxed);
+        if (seen >= n_)
+            return;
+        const size_t want = claimSize(n_ - seen);
+        const size_t begin = cursor_.fetch_add(want);
         if (begin >= n_)
             return;
-        const size_t end = std::min(begin + chunk_, n_);
+        const size_t end = std::min(begin + want, n_);
         for (size_t i = begin; i < end; ++i) {
             try {
-                (*fn_)(i);
+                (*fn_)(slot, i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mu_);
                 if (!firstError_)
@@ -84,36 +167,86 @@ WorkerPool::drainCurrentJob()
 }
 
 void
-WorkerPool::forEach(size_t n, const std::function<void(size_t)> &fn)
+WorkerPool::runEpoch(size_t n, unsigned active,
+                     const std::function<void(unsigned, size_t)> &fn,
+                     bool per_worker)
 {
-    if (n == 0)
-        return;
-    if (workers_ == 1 || n == 1) {
-        // Pure caller-side path: no chunking, no synchronization —
-        // byte-for-byte the serial loop.
-        for (size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
+    // One epoch at a time: concurrent sweeps from different threads
+    // serialize here (each still runs fully parallel inside its
+    // epoch).
+    std::lock_guard<std::mutex> submit(submitMu_);
+    if (active > workers_)
+        ensureWorkers(active);
     {
         std::lock_guard<std::mutex> lock(mu_);
         fn_ = &fn;
         n_ = n;
-        // ~8 chunks per worker self-balances uneven job costs while
-        // keeping cursor contention negligible.
-        chunk_ = std::max<size_t>(1, n / (workers_ * 8));
+        active_ = active;
+        perWorker_ = per_worker;
         cursor_.store(0);
         firstError_ = nullptr;
-        busy_ = static_cast<unsigned>(threads_.size());
+        busy_ = active - 1; // pool threads; the caller is worker 0
         epoch_++;
     }
     wake_.notify_all();
-    drainCurrentJob(); // the calling thread is the last worker
+    {
+        EpochScope scope;
+        drainCurrentJob(0); // the calling thread is worker 0
+    }
     std::unique_lock<std::mutex> lock(mu_);
     done_.wait(lock, [this] { return busy_ == 0; });
     fn_ = nullptr;
     if (firstError_)
         std::rethrow_exception(firstError_);
+}
+
+void
+WorkerPool::forEachWorker(
+    size_t n, const std::function<void(unsigned, size_t)> &fn,
+    unsigned use_workers)
+{
+    if (n == 0)
+        return;
+    const unsigned active = std::max(1u, activeWorkers(use_workers));
+    if (active == 1 || n == 1 || inEpoch) {
+        // Pure caller-side path: no chunking, no synchronization —
+        // byte-for-byte the serial loop. Also the nested-submission
+        // fallback: a job that fans out again runs its fan-out
+        // inline, keeping the pool deadlock-free.
+        for (size_t i = 0; i < n; ++i)
+            fn(0, i);
+        return;
+    }
+    runEpoch(n, active, fn, /*per_worker=*/false);
+}
+
+void
+WorkerPool::onAllWorkers(const std::function<void(unsigned)> &fn,
+                         unsigned use_workers)
+{
+    const unsigned active = std::max(1u, activeWorkers(use_workers));
+    if (active == 1 || inEpoch) {
+        fn(0);
+        return;
+    }
+    runEpoch(active, active,
+             [&fn](unsigned worker, size_t) { fn(worker); },
+             /*per_worker=*/true);
+}
+
+void
+WorkerPool::forEach(size_t n, const std::function<void(size_t)> &fn,
+                    unsigned use_workers)
+{
+    forEachWorker(
+        n, [&fn](unsigned, size_t i) { fn(i); }, use_workers);
+}
+
+WorkerPool &
+sharedPool()
+{
+    static WorkerPool pool(defaultWorkers());
+    return pool;
 }
 
 } // namespace golite::parallel

@@ -1,6 +1,6 @@
 /**
  * @file
- * Fixed worker pool for fanning independent golite runs across OS
+ * Persistent worker pool for fanning independent golite runs across OS
  * threads.
  *
  * Every measurement in this reproduction — the Table 8/12 detector
@@ -10,11 +10,23 @@
  * active-run slot is thread_local, N workers can each drive their own
  * run concurrently; this pool is the machinery that does so.
  *
- * Work distribution is a chunked dynamic queue: workers (including
- * the calling thread) claim index ranges from a shared atomic cursor,
- * so uneven job costs self-balance without per-job locking. Results
- * are written by index, which makes every merge deterministic — the
- * output order is the input order, never completion order.
+ * The pool is built for *reuse*: threads are spawned once and sweeps
+ * are submitted as epochs, so a worker thread's thread_local arenas —
+ * its fiber StackPool, its reusable race/waitgraph detectors, its
+ * scheduler run arena — stay warm from one sweep to the next instead
+ * of being rebuilt per call. sharedPool() is the process-wide
+ * instance every sweep primitive in src/parallel submits to; it grows
+ * on demand (ensureWorkers) and never shrinks.
+ *
+ * Work distribution is batched dynamic claiming: workers (including
+ * the calling thread) claim index *ranges* from a shared atomic
+ * cursor, with a range size that adapts to the work remaining (large
+ * ranges early to keep cursor traffic negligible, shrinking toward 1
+ * so uneven job costs still self-balance at the tail). Results are
+ * written by index — or appended to per-worker cache-line-aligned
+ * buffers and merged once per sweep (parallelMap) — which makes every
+ * merge deterministic: the output order is the input order, never
+ * completion order.
  */
 
 #ifndef GOLITE_PARALLEL_POOL_HH
@@ -27,6 +39,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace golite::parallel
@@ -41,12 +54,19 @@ namespace golite::parallel
 unsigned defaultWorkers();
 
 /**
- * A fixed pool of worker threads executing index-space loops.
+ * A persistent pool of worker threads executing index-space loops
+ * submitted as epochs.
  *
  * The pool spawns workers()-1 threads; the thread calling forEach
- * participates as the last worker, so workers == 1 means "run
- * entirely on the caller, no threads at all" — handy both as the
- * serial baseline and in single-core environments.
+ * participates as worker 0, so workers == 1 means "run entirely on
+ * the caller, no threads at all" — handy both as the serial baseline
+ * and in single-core environments. An epoch may cap how many of the
+ * pool's workers participate (use_workers), so one long-lived pool
+ * serves sweeps at any worker count without respawning threads.
+ *
+ * Submissions from different threads serialize (one epoch at a time);
+ * a forEach issued from *inside* a pool job runs inline on the caller
+ * — serial, deterministic, and deadlock-free — rather than nesting.
  */
 class WorkerPool
 {
@@ -60,48 +80,146 @@ class WorkerPool
 
     unsigned workers() const { return workers_; }
 
+    /** Grow the pool to at least @p workers slots (never shrinks).
+     *  Spawns only the missing threads; cheap when already large
+     *  enough. forEach calls this automatically for its cap. */
+    void ensureWorkers(unsigned workers);
+
     /**
-     * Run fn(i) for every i in [0, n), fanned across the workers.
-     * Blocks until all indices completed. If any fn throws, the
-     * remaining indices are abandoned and the first exception is
-     * rethrown on the caller. Not reentrant: fn must not call
-     * forEach on the same pool.
+     * Worker slots an epoch submitted with @p use_workers would
+     * occupy: use_workers itself (0 = all current workers), at least
+     * 1. Sizing helper for per-worker result buffers.
      */
-    void forEach(size_t n, const std::function<void(size_t)> &fn);
+    unsigned
+    activeWorkers(unsigned use_workers = 0) const
+    {
+        return use_workers == 0 ? workers_ : use_workers;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n), fanned across at most
+     * @p use_workers workers (0 = all). Blocks until all indices
+     * completed. If any fn throws, the remaining indices are
+     * abandoned and the first exception is rethrown on the caller.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned use_workers = 0);
+
+    /**
+     * forEach variant whose callback also receives the executing
+     * worker's stable slot id (0 = the calling thread, 1..k-1 = pool
+     * threads, always < activeWorkers(use_workers)). The id indexes
+     * per-worker state — result buffers, arenas — without locking.
+     */
+    void forEachWorker(
+        size_t n, const std::function<void(unsigned, size_t)> &fn,
+        unsigned use_workers = 0);
+
+    /**
+     * Run fn(worker) exactly once on every participating worker —
+     * the calling thread (worker 0) included. Unlike forEach, work is
+     * not claimed from a cursor: each worker executes its own call,
+     * so per-thread arenas (StackPool, thread_local detectors,
+     * scheduler run arenas) can be warmed or inspected on every
+     * thread deterministically.
+     */
+    void onAllWorkers(const std::function<void(unsigned)> &fn,
+                      unsigned use_workers = 0);
+
+    /** True while the calling thread is executing a pool job (any
+     *  pool); forEach from such a context runs inline. */
+    static bool insideEpoch();
 
   private:
-    void workerLoop();
+    /** @p start_epoch: epoch_ at spawn time (captured under mu_);
+     *  the thread only joins epochs newer than it. */
+    void workerLoop(unsigned slot, uint64_t start_epoch);
 
-    /** Claim and run chunks until the index space is exhausted. */
-    void drainCurrentJob();
+    /** Submit one epoch and participate as worker 0. */
+    void runEpoch(size_t n, unsigned active,
+                  const std::function<void(unsigned, size_t)> &fn,
+                  bool per_worker);
+
+    /** Claim and run index ranges until the epoch is exhausted. */
+    void drainCurrentJob(unsigned slot);
+
+    /** Next claim size under guided self-scheduling: proportional to
+     *  the work remaining per active worker, floored at 1. */
+    size_t claimSize(size_t remaining) const;
 
     unsigned workers_;
     std::vector<std::thread> threads_;
 
+    /** Serializes whole epochs across submitting threads. */
+    std::mutex submitMu_;
+
     std::mutex mu_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    const std::function<void(size_t)> *fn_ = nullptr;
+    const std::function<void(unsigned, size_t)> *fn_ = nullptr;
     size_t n_ = 0;
-    size_t chunk_ = 1;
-    std::atomic<size_t> cursor_{0};
+    unsigned active_ = 1;    ///< worker slots participating this epoch
+    bool perWorker_ = false; ///< onAllWorkers epoch (no cursor claims)
     uint64_t epoch_ = 0;     ///< bumped per forEach; workers watch it
-    unsigned busy_ = 0;      ///< workers still draining this epoch
+    unsigned busy_ = 0;      ///< pool threads still draining this epoch
     bool stopping_ = false;
     std::exception_ptr firstError_;
+
+    /** The claim cursor lives on its own cache line: it is the one
+     *  word every worker hammers, and sharing its line with the
+     *  epoch/wait fields above would put false sharing on the claim
+     *  fast path. */
+    alignas(64) std::atomic<size_t> cursor_{0};
 };
+
+/**
+ * The process-wide pool all sweep primitives submit to. Created on
+ * first use sized defaultWorkers(); grows on demand when a sweep asks
+ * for more. Long-lived so worker threads' thread_local arenas stay
+ * warm across sweeps.
+ */
+WorkerPool &sharedPool();
 
 /**
  * Map [0, n) through @p fn on @p pool, collecting results in index
  * order. The result type must be default-constructible.
+ *
+ * Contention-free by construction: each worker appends (index,
+ * result) pairs to its own cache-line-aligned buffer, and the caller
+ * merges every buffer into the output vector once, after the epoch
+ * barrier — no lock is taken per result, and no two workers ever
+ * write the same cache line.
  */
 template <typename F>
 auto
-parallelMap(WorkerPool &pool, size_t n, F &&fn)
+parallelMap(WorkerPool &pool, size_t n, F &&fn,
+            unsigned use_workers = 0)
     -> std::vector<decltype(fn(size_t{}))>
 {
-    std::vector<decltype(fn(size_t{}))> out(n);
-    pool.forEach(n, [&out, &fn](size_t i) { out[i] = fn(i); });
+    using R = decltype(fn(size_t{}));
+    std::vector<R> out(n);
+    const unsigned active = pool.activeWorkers(use_workers);
+    if (active <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = fn(i);
+        return out;
+    }
+    struct alignas(64) WorkerBuffer
+    {
+        std::vector<std::pair<size_t, R>> items;
+    };
+    std::vector<WorkerBuffer> buffers(active);
+    for (WorkerBuffer &buffer : buffers)
+        buffer.items.reserve(n / active + 8);
+    pool.forEachWorker(
+        n,
+        [&buffers, &fn](unsigned worker, size_t i) {
+            buffers[worker].items.emplace_back(i, fn(i));
+        },
+        use_workers);
+    for (WorkerBuffer &buffer : buffers)
+        for (auto &[i, result] : buffer.items)
+            out[i] = std::move(result);
     return out;
 }
 

@@ -7,16 +7,24 @@ namespace golite::parallel
 
 std::optional<uint64_t>
 findFirstSeed(const std::function<bool(uint64_t)> &probe,
-              uint64_t limit, WorkerPool &pool)
+              uint64_t limit, WorkerPool &pool, unsigned use_workers)
 {
+    if (use_workers > pool.workers())
+        pool.ensureWorkers(use_workers);
     const uint64_t wave = std::max<uint64_t>(
-        1, static_cast<uint64_t>(pool.workers()) * 4);
+        1,
+        static_cast<uint64_t>(pool.activeWorkers(use_workers)) * 4);
     for (uint64_t base = 0; base < limit; base += wave) {
         const uint64_t count = std::min(wave, limit - base);
-        std::vector<char> hit(count, 0);
-        pool.forEach(static_cast<size_t>(count), [&](size_t i) {
-            hit[i] = probe(base + i) ? 1 : 0;
-        });
+        // parallelMap keeps workers out of each other's cache lines:
+        // each appends to its own aligned buffer (a shared hit[]
+        // vector of bytes would false-share under fine probes).
+        const std::vector<char> hit = parallelMap(
+            pool, static_cast<size_t>(count),
+            [&](size_t i) {
+                return static_cast<char>(probe(base + i) ? 1 : 0);
+            },
+            use_workers);
         for (uint64_t i = 0; i < count; ++i)
             if (hit[i])
                 return base + i;
@@ -28,8 +36,7 @@ std::optional<uint64_t>
 findFirstSeed(const std::function<bool(uint64_t)> &probe,
               uint64_t limit, const SweepOptions &sweep)
 {
-    WorkerPool pool(sweep.workers);
-    return findFirstSeed(probe, limit, pool);
+    return findFirstSeed(probe, limit, sharedPool(), sweep.workers);
 }
 
 std::optional<uint64_t>
@@ -68,7 +75,7 @@ sweepCorpus(
     const std::function<bool(const corpus::BugCase &, uint64_t)> &probe,
     uint64_t seed_limit, const SweepOptions &sweep)
 {
-    WorkerPool pool(sweep.workers);
+    WorkerPool &pool = sharedPool();
     std::vector<ProtocolResult> results;
     results.reserve(bugs.size());
     for (const corpus::BugCase *bug : bugs) {
@@ -76,7 +83,7 @@ sweepCorpus(
         result.bug = bug;
         result.firstSeed = findFirstSeed(
             [&probe, bug](uint64_t seed) { return probe(*bug, seed); },
-            seed_limit, pool);
+            seed_limit, pool, sweep.workers);
         results.push_back(result);
     }
     return results;

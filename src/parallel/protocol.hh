@@ -34,15 +34,17 @@ namespace golite::parallel
 
 /**
  * Smallest seed in [0, limit) for which @p probe returns true, or
- * nullopt. Seeds are probed in waves of workers * 4 across @p pool;
+ * nullopt. Seeds are probed in waves of active-workers * 4 across
+ * @p pool (@p use_workers caps participation, 0 = the whole pool);
  * within a wave all probes run, then the minimum hit (if any) wins —
  * identical to the serial first-hit for every worker count.
  */
 std::optional<uint64_t> findFirstSeed(
     const std::function<bool(uint64_t)> &probe, uint64_t limit,
-    WorkerPool &pool);
+    WorkerPool &pool, unsigned use_workers = 0);
 
-/** findFirstSeed on a temporary pool configured by @p sweep. */
+/** findFirstSeed on the persistent sharedPool(), capped at
+ *  @p sweep.workers workers (0 = defaultWorkers()). */
 std::optional<uint64_t> findFirstSeed(
     const std::function<bool(uint64_t)> &probe, uint64_t limit,
     const SweepOptions &sweep = {});

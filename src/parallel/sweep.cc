@@ -1,10 +1,92 @@
 #include "parallel/sweep.hh"
 
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+
+#include "runtime/stack_pool.hh"
 
 namespace golite::parallel
 {
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * parallelMap with the sweep's phase accounting: buffer setup, the
+ * epoch itself, and the index-ordered merge are timed separately when
+ * the sweep carries a SweepProfile. Shared state is touched exactly
+ * twice per sweep — once to submit the epoch, once to merge — and
+ * each worker appends results to its own cache-line-aligned buffer in
+ * between.
+ */
+std::vector<RunReport>
+mapReports(size_t n, const std::function<RunReport(size_t)> &fn,
+           const SweepOptions &sweep)
+{
+    WorkerPool &pool = sharedPool();
+    const unsigned active =
+        std::max(1u, sweep.workers == 0 ? defaultWorkers()
+                                        : sweep.workers);
+
+    if (active == 1 || n <= 1 || WorkerPool::insideEpoch()) {
+        // Serial / nested path: the plain loop, still profiled as
+        // pure run time.
+        const double t0 = sweep.profile ? nowSeconds() : 0;
+        std::vector<RunReport> out(n);
+        for (size_t i = 0; i < n; ++i)
+            out[i] = fn(i);
+        if (sweep.profile) {
+            sweep.profile->runSeconds += nowSeconds() - t0;
+            sweep.profile->epochs++;
+        }
+        return out;
+    }
+
+    const double tSetup = sweep.profile ? nowSeconds() : 0;
+    pool.ensureWorkers(active);
+    std::vector<RunReport> out(n);
+    struct alignas(64) WorkerBuffer
+    {
+        std::vector<std::pair<size_t, RunReport>> items;
+    };
+    std::vector<WorkerBuffer> buffers(active);
+    for (WorkerBuffer &buffer : buffers)
+        buffer.items.reserve(n / active + 8);
+
+    const double tRun = sweep.profile ? nowSeconds() : 0;
+    pool.forEachWorker(
+        n,
+        [&buffers, &fn](unsigned worker, size_t i) {
+            buffers[worker].items.emplace_back(i, fn(i));
+        },
+        active);
+
+    const double tMerge = sweep.profile ? nowSeconds() : 0;
+    for (WorkerBuffer &buffer : buffers)
+        for (auto &[i, report] : buffer.items)
+            out[i] = std::move(report);
+
+    if (sweep.profile) {
+        const double tEnd = nowSeconds();
+        sweep.profile->setupSeconds += tRun - tSetup;
+        sweep.profile->runSeconds += tMerge - tRun;
+        sweep.profile->mergeSeconds += tEnd - tMerge;
+        sweep.profile->epochs++;
+    }
+    return out;
+}
+
+} // namespace
 
 std::vector<RunReport>
 runSeeds(const std::function<void()> &program,
@@ -17,12 +99,14 @@ runSeeds(const std::function<void()> &program,
             "concurrent runs would share and race on; attach a fresh "
             "detector per run via runJobs instead");
     }
-    WorkerPool pool(sweep.workers);
-    return parallelMap(pool, seeds.size(), [&](size_t i) {
-        RunOptions options = base;
-        options.seed = seeds[i];
-        return run(program, options);
-    });
+    return mapReports(
+        seeds.size(),
+        [&](size_t i) {
+            RunOptions options = base;
+            options.seed = seeds[i];
+            return run(program, options);
+        },
+        sweep);
 }
 
 std::vector<RunReport>
@@ -39,9 +123,8 @@ std::vector<RunReport>
 runJobs(const std::vector<std::function<RunReport()>> &jobs,
         const SweepOptions &sweep)
 {
-    WorkerPool pool(sweep.workers);
-    return parallelMap(pool, jobs.size(),
-                       [&](size_t i) { return jobs[i](); });
+    return mapReports(
+        jobs.size(), [&](size_t i) { return jobs[i](); }, sweep);
 }
 
 race::Detector &
@@ -49,6 +132,14 @@ threadLocalDetector(size_t shadow_depth)
 {
     thread_local race::Detector detector(shadow_depth);
     detector.reset(shadow_depth);
+    return detector;
+}
+
+waitgraph::Detector &
+threadLocalWaitgraphDetector()
+{
+    thread_local waitgraph::Detector detector;
+    detector.reset();
     return detector;
 }
 
@@ -64,14 +155,43 @@ runSeedsRaced(const std::function<void()> &program,
             "instance; the race detector is attached per worker "
             "thread by the sweep itself");
     }
-    WorkerPool pool(sweep.workers);
-    return parallelMap(pool, seeds.size(), [&](size_t i) {
-        race::Detector &detector = threadLocalDetector(shadow_depth);
-        RunOptions options = base;
-        options.seed = seeds[i];
-        options.subscribers.push_back(&detector);
-        return run(program, options);
-    });
+    return mapReports(
+        seeds.size(),
+        [&](size_t i) {
+            race::Detector &detector =
+                threadLocalDetector(shadow_depth);
+            RunOptions options = base;
+            options.seed = seeds[i];
+            options.subscribers.push_back(&detector);
+            return run(program, options);
+        },
+        sweep);
+}
+
+void
+warmSweepWorkers(const SweepOptions &sweep, size_t stacks_per_worker,
+                 size_t stack_bytes)
+{
+    WorkerPool &pool = sharedPool();
+    const unsigned active =
+        std::max(1u, sweep.workers == 0 ? defaultWorkers()
+                                        : sweep.workers);
+    pool.ensureWorkers(active);
+    pool.onAllWorkers(
+        [&](unsigned) {
+            // Pre-map fiber stacks so the first measured epoch pays
+            // no mmap/page-fault traffic, and touch the reusable
+            // detectors so their hash tables exist.
+            StackPool::local().reserve(stacks_per_worker,
+                                       stack_bytes);
+            threadLocalDetector();
+            threadLocalWaitgraphDetector();
+            // One trivial run warms this worker's scheduler arena.
+            RunOptions options;
+            options.seed = 1;
+            run([] {}, options);
+        },
+        active);
 }
 
 } // namespace golite::parallel

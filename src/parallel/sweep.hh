@@ -10,6 +10,15 @@
  * RunReport::fingerprint) to what a serial loop would produce —
  * per-seed determinism survives parallelism because all runtime state
  * is per-Scheduler and the active-run slot is thread_local.
+ *
+ * All sweeps submit epochs to the persistent sharedPool(), so worker
+ * threads — and their thread_local arenas: the scheduler run arena,
+ * the fiber StackPool, the reusable race and waitgraph detectors
+ * below — survive from one sweep to the next. A sweep's hot path
+ * touches no shared mutable state per run: results go to per-worker
+ * cache-line-aligned buffers (parallelMap) and are merged once per
+ * sweep, detector state is per worker thread, and work is claimed in
+ * adaptive batches from one atomic cursor.
  */
 
 #ifndef GOLITE_PARALLEL_SWEEP_HH
@@ -23,16 +32,48 @@
 #include "race/detector.hh"
 #include "runtime/report.hh"
 #include "runtime/scheduler.hh"
+#include "waitgraph/waitgraph.hh"
 
 namespace golite::parallel
 {
+
+/**
+ * Wall-time breakdown of the sweeps that ran with a profile attached
+ * (SweepOptions::profile). Fields accumulate (+=) across sweeps so a
+ * multi-wave protocol sums naturally; clear() between measurements.
+ * bench_parallel_scaling emits these as the setup/run/merge columns
+ * of BENCH_parallel.json.
+ */
+struct SweepProfile
+{
+    /** Pool/buffer preparation before the epoch starts (worker
+     *  spawn-on-growth, per-worker result buffer allocation). */
+    double setupSeconds = 0;
+    /** The epoch itself: all runs, start to barrier. */
+    double runSeconds = 0;
+    /** Merging per-worker buffers into the index-ordered result. */
+    double mergeSeconds = 0;
+    /** Epochs accumulated into the fields above. */
+    uint64_t epochs = 0;
+
+    void
+    clear()
+    {
+        *this = SweepProfile{};
+    }
+};
 
 /** Worker configuration for one sweep. */
 struct SweepOptions
 {
     /** Worker threads; 0 = defaultWorkers() (GOLITE_WORKERS env or
-     *  hardware_concurrency). */
+     *  hardware_concurrency). The sweep uses this many slots of the
+     *  persistent sharedPool(), growing it if needed. */
     unsigned workers = 0;
+
+    /** When set, the sweep accumulates its per-phase wall-time
+     *  breakdown here (see SweepProfile). */
+    SweepProfile *profile = nullptr;
 };
 
 /**
@@ -62,8 +103,8 @@ std::vector<RunReport> runSeedRange(
 
 /**
  * Run every thunk in @p jobs (each a self-contained golite run,
- * typically constructing its own detector), fanned across workers;
- * reports in job-list order.
+ * typically attaching a worker-local detector), fanned across
+ * workers; reports in job-list order.
  */
 std::vector<RunReport> runJobs(
     const std::vector<std::function<RunReport()>> &jobs,
@@ -80,6 +121,15 @@ std::vector<RunReport> runJobs(
 race::Detector &threadLocalDetector(size_t shadow_depth = 4);
 
 /**
+ * The calling OS thread's reusable wait-for-graph detector, reset()
+ * on every call — the Table 8 counterpart of threadLocalDetector.
+ * Steady state, a sweep constructs no waitgraph detectors and reuses
+ * each worker's hash-table capacity run over run. Pointers obtained
+ * here must not cross threads.
+ */
+waitgraph::Detector &threadLocalWaitgraphDetector();
+
+/**
  * runSeeds with the race detector attached: each run gets this
  * worker's threadLocalDetector (reset between seeds) as an event-bus
  * subscriber, and race reports land in the corresponding
@@ -93,6 +143,19 @@ std::vector<RunReport> runSeedsRaced(
     const std::function<void()> &program,
     const std::vector<uint64_t> &seeds, const RunOptions &base = {},
     const SweepOptions &sweep = {}, size_t shadow_depth = 4);
+
+/**
+ * Warm the sweep machinery ahead of a measured run: spawns (or
+ * grows to) the sweep's worker threads in sharedPool() and pre-sizes
+ * each worker's fiber StackPool with @p stacks_per_worker stacks of
+ * @p stack_bytes, so the first measured epoch pays neither thread
+ * startup nor first-touch mmap traffic. Harmless to skip — arenas
+ * warm themselves after one epoch — but benches call it so their
+ * first timed configuration is steady-state.
+ */
+void warmSweepWorkers(const SweepOptions &sweep = {},
+                      size_t stacks_per_worker = 8,
+                      size_t stack_bytes = 128 * 1024);
 
 } // namespace golite::parallel
 

@@ -166,14 +166,59 @@ class TraceRecorderSub : public Subscriber
 Scheduler::Scheduler(const RunOptions &options)
     : options_(options), rng_(options.seed), timerq_(makeTimerQueue())
 {
-    if (options_.policy == SchedPolicy::Pct) {
-        // Draw d-1 priority-change points over the expected run
-        // length (PCT: Burckhardt et al.).
-        const uint64_t horizon =
-            std::max<uint64_t>(options_.pctExpectedSteps, 2);
-        for (int i = 0; i + 1 < options_.pctDepth; ++i)
-            pctChangePoints_.insert(1 + rng_.below(horizon));
+    drawPctChangePoints();
+}
+
+void
+Scheduler::drawPctChangePoints()
+{
+    if (options_.policy != SchedPolicy::Pct)
+        return;
+    // Draw d-1 priority-change points over the expected run length
+    // (PCT: Burckhardt et al.). Must be the first draws from a
+    // freshly seeded RNG — reset() reseeds and then calls this, so a
+    // reused scheduler consumes the identical stream.
+    const uint64_t horizon =
+        std::max<uint64_t>(options_.pctExpectedSteps, 2);
+    for (int i = 0; i + 1 < options_.pctDepth; ++i)
+        pctChangePoints_.insert(1 + rng_.below(horizon));
+}
+
+void
+Scheduler::reset(const RunOptions &options)
+{
+    if (current_ == this) {
+        throw std::logic_error(
+            "Scheduler::reset while the instance is driving a run");
     }
+    options_ = options;
+    rng_.seed(options.seed);
+    traceSink_.reset();
+    recorderSub_.reset();
+    // clear() keeps the map/deque/wheel capacity allocated — the
+    // whole point of the arena — while every observable field goes
+    // back to its constructed value.
+    goroutines_.clear();
+    pctPriority_.clear();
+    pctChangePoints_.clear();
+    pctLowCounter_ = 0;
+    readyq_.clear();
+    nextId_ = 1;
+    running_ = nullptr;
+    main_ = nullptr;
+    mainDone_ = false;
+    aborting_ = false;
+    nowNs_ = 0;
+    timerq_->clear();
+    nextDeadline_ = INT64_MAX;
+    dueBuf_.clear();
+    timerSeq_ = 0;
+    ioPoller_ = nullptr;
+    sincePoll_ = 0;
+    realStartNs_ = 0;
+    replayAt_ = 0;
+    report_ = RunReport{};
+    drawPctChangePoints();
 }
 
 Scheduler::~Scheduler() = default;
@@ -800,9 +845,41 @@ yield()
     sched->yield();
 }
 
+namespace
+{
+
+/** GOLITE_RUN_ARENA=0 disables scheduler reuse in the free run()
+ *  (A/B baseline: construct a Scheduler per run, pre-arena). */
+bool
+runArenaEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("GOLITE_RUN_ARENA");
+        return env == nullptr || env[0] != '0';
+    }();
+    return enabled;
+}
+
+} // namespace
+
 RunReport
 run(std::function<void()> main, const RunOptions &options)
 {
+    // Steady-state sweeps reuse one scheduler per OS thread: reset()
+    // rewinds it to the constructed state while keeping container
+    // capacity, so per-run setup does no allocation. The nested-run
+    // case (current() already set) constructs a throwaway instance
+    // whose run() raises the usual logic_error — reusing the arena
+    // there would corrupt the active run's state.
+    if (runArenaEnabled() && Scheduler::current() == nullptr) {
+        thread_local std::unique_ptr<Scheduler> arena;
+        if (!arena) {
+            arena = std::make_unique<Scheduler>(options);
+        } else {
+            arena->reset(options);
+        }
+        return arena->run(std::move(main));
+    }
     Scheduler sched(options);
     return sched.run(std::move(main));
 }

@@ -99,6 +99,21 @@ class Scheduler
      */
     RunReport run(std::function<void()> main);
 
+    /**
+     * Rewind to the freshly-constructed state for @p options so the
+     * instance can drive another run. Equivalent to destroying and
+     * re-constructing — same RNG stream, same PCT change points, same
+     * goroutine ids, same timer behaviour, so a reused scheduler's
+     * reports are bit-identical (RunReport::fingerprint) to a fresh
+     * one's — but container capacity (goroutine map buckets, ready
+     * queue, timer wheel slots, due-timer scratch) is retained, which
+     * is what makes steady-state run setup allocation-free. The
+     * parallel sweep path (golite::run on a pool worker) reuses one
+     * scheduler per thread this way; GOLITE_RUN_ARENA=0 disables the
+     * reuse for A/B measurement.
+     */
+    void reset(const RunOptions &options);
+
     // --- Goroutine API (called from inside goroutines) -------------
 
     /** Spawn a goroutine (the `go` statement). */
@@ -197,6 +212,10 @@ class Scheduler
 
   private:
     static void fiberEntry(void *arg);
+
+    /** Draw the PCT priority-change points (ctor and reset()); must
+     *  run immediately after seeding rng_. */
+    void drawPctChangePoints();
 
     /** Body of a goroutine: run entry, catch panics, mark done. */
     void goroutineBody(Goroutine *g);

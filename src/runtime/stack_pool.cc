@@ -135,6 +135,21 @@ StackPool::give(uint8_t *stack, size_t bytes)
 }
 
 void
+StackPool::reserve(size_t count, size_t bytes)
+{
+    if (!enabled())
+        return;
+    const size_t size = bucketSize(bytes);
+    std::vector<uint8_t *> &bucket = buckets_[size];
+    while (bucket.size() < count &&
+           stats_.cachedBytes + size <= maxCachedBytes_) {
+        bucket.push_back(mapStack(size));
+        stats_.mapped++;
+        stats_.cachedBytes += size;
+    }
+}
+
+void
 StackPool::evictOverflow()
 {
     // Evict from the largest bucket first: big stacks cost the most

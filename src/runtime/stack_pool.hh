@@ -63,6 +63,14 @@ class StackPool
     void give(uint8_t *stack, size_t bytes);
 
     /**
+     * Pre-map stacks until @p count of size @p bytes are cached (a
+     * top-up: existing cached stacks count toward it). Respects the
+     * cache cap and the enabled() switch. Warm-up hook so a sweep's
+     * first runs pay no mmap/page-fault traffic on the hot path.
+     */
+    void reserve(size_t count, size_t bytes);
+
+    /**
      * Release the cached stacks' pages to the OS (madvise) while
      * keeping the mappings for cheap reuse.
      */

@@ -60,6 +60,13 @@ class HeapTimerQueue : public TimerQueue
         }
     }
 
+    void
+    clear() override
+    {
+        while (!heap_.empty())
+            heap_.pop();
+    }
+
   private:
     std::priority_queue<TimerEntry, std::vector<TimerEntry>, EntryAfter>
         heap_;
@@ -154,6 +161,33 @@ class WheelTimerQueue : public TimerQueue
         size_ -= out.size() - first;
         std::sort(out.begin() + static_cast<ptrdiff_t>(first),
                   out.end(), entryBefore);
+    }
+
+    void
+    clear() override
+    {
+        // Visit only occupied slots (bitmap scan over kWords words),
+        // not all kSlots vectors — reset cost is proportional to use.
+        if (!slots_.empty()) {
+            for (size_t word = 0; word < kWords; ++word) {
+                uint64_t bits = occupied_[word];
+                while (bits != 0) {
+                    const size_t idx =
+                        word * 64 +
+                        static_cast<size_t>(__builtin_ctzll(bits));
+                    bits &= bits - 1;
+                    slots_[idx].clear();
+                }
+                occupied_[word] = 0;
+            }
+        }
+        while (!spill_.empty())
+            spill_.pop();
+        // The cursor must rewind even when the wheel is empty:
+        // otherwise the next run's early deadlines would hash
+        // relative to the previous run's final virtual time.
+        curTick_ = 0;
+        size_ = 0;
     }
 
   private:

@@ -69,6 +69,14 @@ class TimerQueue
      * calls. Appends to @p out.
      */
     virtual void popDue(int64_t now, std::vector<TimerEntry> &out) = 0;
+
+    /**
+     * Drop every pending entry and rewind to the freshly-constructed
+     * state (including any internal cursor), keeping allocated
+     * capacity. Scheduler::reset uses this so a reused scheduler's
+     * timer behaviour is bit-identical to a fresh one.
+     */
+    virtual void clear() = 0;
 };
 
 /** The original binary heap (std::priority_queue equivalent). */

@@ -6,6 +6,19 @@
 namespace golite::waitgraph
 {
 
+void
+Detector::reset()
+{
+    // clear() keeps bucket arrays allocated, so a reused detector's
+    // steady state does no hashing-table allocation at all.
+    gos_.clear();
+    locks_.clear();
+    wgCounts_.clear();
+    resourceIds_.clear();
+    reported_.clear();
+    certain_.clear();
+}
+
 EventMask
 Detector::eventMask() const
 {

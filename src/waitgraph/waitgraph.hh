@@ -46,6 +46,13 @@ class Detector : public Subscriber
   public:
     Detector() = default;
 
+    /** Clear all per-run state so the instance can be reused by the
+     *  next run — including the lock naming counters, so "lock#N"
+     *  labels (and thus report text and fingerprints) match a fresh
+     *  instance exactly. Hash-table bucket capacity is retained, so
+     *  steady-state reuse allocates nothing. */
+    void reset();
+
     // Subscriber interface -----------------------------------------
     EventMask eventMask() const override;
     void onEvent(const RuntimeEvent &ev) override;

@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -421,6 +423,300 @@ TEST(StackPool, TrimKeepsReuseWorking)
     StackPool::local().trim();
     EXPECT_GT(StackPool::local().stats().trimmed, 0u);
     EXPECT_TRUE(run(mingleProgram).completed);
+}
+
+TEST(StackPool, ReserveTopsUpBucketForReuse)
+{
+    ASSERT_TRUE(StackPool::enabled());
+    StackPool &pool = StackPool::local();
+    pool.clear();
+    const uint64_t mapped_before = pool.stats().mapped;
+    pool.reserve(4, 128 * 1024);
+    EXPECT_EQ(pool.stats().mapped, mapped_before + 4);
+    // A second reserve is a no-op top-up: the stacks are cached.
+    pool.reserve(4, 128 * 1024);
+    EXPECT_EQ(pool.stats().mapped, mapped_before + 4);
+    // Acquires are now served from the reserved cache, not mmap.
+    const uint64_t reused_before = pool.stats().reused;
+    uint8_t *stack = pool.acquire(128 * 1024);
+    EXPECT_EQ(pool.stats().reused, reused_before + 1);
+    EXPECT_EQ(pool.stats().mapped, mapped_before + 4);
+    pool.give(stack, 128 * 1024);
+    pool.clear();
+}
+
+// --- Persistent shared pool ------------------------------------------
+
+TEST(Pool, SharedPoolCapsActiveWorkersPerEpoch)
+{
+    WorkerPool &pool = sharedPool();
+    pool.ensureWorkers(4);
+    EXPECT_GE(pool.workers(), 4u);
+    unsigned max_worker = 0;
+    std::mutex mu;
+    pool.forEachWorker(
+        64,
+        [&](unsigned worker, size_t) {
+            std::lock_guard<std::mutex> lock(mu);
+            max_worker = std::max(max_worker, worker);
+        },
+        2);
+    EXPECT_LT(max_worker, 2u);
+}
+
+TEST(Pool, AdaptiveClaimingCoversEveryIndexExactlyOnce)
+{
+    WorkerPool &pool = sharedPool();
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto &h : hits)
+        h.store(0);
+    pool.forEach(kN, [&hits](size_t i) { hits[i]++; }, 3);
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Pool, NestedForEachRunsInlineWithoutDeadlock)
+{
+    WorkerPool &pool = sharedPool();
+    std::atomic<int> inner_total{0};
+    std::atomic<int> nested_parallel{0};
+    pool.forEach(
+        8,
+        [&](size_t) {
+            EXPECT_TRUE(WorkerPool::insideEpoch());
+            // A job that fans out again must run its fan-out inline
+            // on this worker (worker id 0 on the inner loop).
+            sharedPool().forEachWorker(
+                4,
+                [&](unsigned worker, size_t) {
+                    inner_total++;
+                    if (worker != 0)
+                        nested_parallel++;
+                },
+                4);
+        },
+        4);
+    EXPECT_EQ(inner_total.load(), 8 * 4);
+    EXPECT_EQ(nested_parallel.load(), 0);
+    EXPECT_FALSE(WorkerPool::insideEpoch());
+}
+
+TEST(Pool, OnAllWorkersRunsExactlyOncePerWorker)
+{
+    WorkerPool &pool = sharedPool();
+    pool.ensureWorkers(4);
+    std::vector<std::atomic<int>> counts(4);
+    for (auto &c : counts)
+        c.store(0);
+    pool.onAllWorkers(
+        [&counts](unsigned worker) {
+            ASSERT_LT(worker, 4u);
+            counts[worker]++;
+        },
+        4);
+    for (size_t slot = 0; slot < 4; ++slot)
+        EXPECT_EQ(counts[slot].load(), 1) << "worker " << slot;
+}
+
+TEST(Pool, ParallelMapMergesInIndexOrder)
+{
+    WorkerPool &pool = sharedPool();
+    const auto out = parallelMap(
+        pool, 500, [](size_t i) { return i * i; }, 4);
+    ASSERT_EQ(out.size(), 500u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+// --- Determinism across worker counts and arena modes ----------------
+
+/**
+ * The satellite contract: fingerprints, race reports, and
+ * partial-deadlock classifications from a sweep must be bit-identical
+ * across workers in {1, 2, 8} and identical to the serial loop — with
+ * the stack pool on and off.
+ */
+TEST(Sweep, DeterminismAcrossWorkerCountsAndStackPoolModes)
+{
+    const corpus::BugCase *bug = corpus::findBug("moby-17176");
+    ASSERT_NE(bug, nullptr);
+    const std::vector<uint64_t> seeds = {0, 1, 2, 3, 4, 5, 6, 7,
+                                         8, 9, 10, 11};
+
+    // One job per seed: buggy variant, wait-for-graph detector, so
+    // the reports carry partial-deadlock classifications.
+    std::vector<std::function<RunReport()>> jobs;
+    for (uint64_t seed : seeds) {
+        jobs.push_back([bug, seed] {
+            waitgraph::Detector &det = threadLocalWaitgraphDetector();
+            RunOptions options;
+            options.seed = seed;
+            options.subscribers.push_back(&det);
+            return bug->run(corpus::Variant::Buggy, options).report;
+        });
+    }
+
+    for (const bool pooled : {true, false}) {
+        StackPool::setEnabled(pooled);
+
+        std::vector<RunReport> serial;
+        for (const auto &job : jobs)
+            serial.push_back(job());
+
+        for (unsigned workers : {1u, 2u, 8u}) {
+            SweepOptions sweep;
+            sweep.workers = workers;
+            const auto reports = runJobs(jobs, sweep);
+            ASSERT_EQ(reports.size(), serial.size());
+            for (size_t i = 0; i < reports.size(); ++i) {
+                EXPECT_EQ(reports[i].fingerprint(),
+                          serial[i].fingerprint())
+                    << "seed " << seeds[i] << " @ " << workers
+                    << " workers, pool " << pooled;
+                ASSERT_EQ(reports[i].partialDeadlocks.size(),
+                          serial[i].partialDeadlocks.size());
+                for (size_t p = 0;
+                     p < reports[i].partialDeadlocks.size(); ++p)
+                    EXPECT_EQ(
+                        reports[i].partialDeadlocks[p].describe(),
+                        serial[i].partialDeadlocks[p].describe());
+            }
+
+            const auto raced =
+                runSeedsRaced(racyProgram, seeds, {}, sweep);
+            race::Detector ref_detector;
+            for (size_t i = 0; i < seeds.size(); ++i) {
+                race::Detector fresh;
+                RunOptions options;
+                options.seed = seeds[i];
+                options.subscribers.push_back(&fresh);
+                const RunReport ref = run(racyProgram, options);
+                EXPECT_EQ(raced[i].raceMessages, ref.raceMessages)
+                    << "seed " << seeds[i] << " @ " << workers
+                    << " workers, pool " << pooled;
+                EXPECT_EQ(raced[i].fingerprint(), ref.fingerprint());
+            }
+        }
+    }
+    StackPool::setEnabled(true);
+}
+
+/** Virtual-clock timers on top of spawn/join, for arena reset parity. */
+void
+timedProgram()
+{
+    WaitGroup wg;
+    wg.add(3);
+    for (int i = 0; i < 3; ++i) {
+        go([&wg, i] {
+            gotime::sleep((i + 1) * gotime::kMillisecond);
+            wg.done();
+        });
+    }
+    wg.wait();
+}
+
+TEST(RunArena, ResetReproducesFreshSchedulerBitIdentical)
+{
+    for (const auto policy :
+         {SchedPolicy::Random, SchedPolicy::Pct}) {
+        RunOptions options;
+        options.policy = policy;
+        options.seed = 7;
+        options.collectTrace = true;
+
+        Scheduler fresh(options);
+        const std::string expect =
+            fresh.run(timedProgram).fingerprint();
+
+        // One instance, three consecutive runs via reset(): each must
+        // be bit-identical to the fresh scheduler's run — same RNG
+        // stream, same PCT change points, same goroutine ids, same
+        // timer behaviour.
+        Scheduler arena(options);
+        EXPECT_EQ(arena.run(timedProgram).fingerprint(), expect);
+        for (int round = 0; round < 2; ++round) {
+            arena.reset(options);
+            EXPECT_EQ(arena.run(timedProgram).fingerprint(), expect)
+                << "policy " << static_cast<int>(policy) << " round "
+                << round;
+        }
+
+        // Reset also rewinds cleanly out of a different seed/policy.
+        RunOptions other;
+        other.seed = 99;
+        arena.reset(other);
+        (void)arena.run(mingleProgram);
+        arena.reset(options);
+        EXPECT_EQ(arena.run(timedProgram).fingerprint(), expect);
+    }
+}
+
+TEST(RunArena, FreeRunReusesArenaWithIdenticalReports)
+{
+    // The free run() reuses a thread_local scheduler (unless
+    // GOLITE_RUN_ARENA=0); consecutive runs at the same seed must
+    // stay bit-identical, and at different seeds must differ the
+    // same way fresh schedulers would.
+    RunOptions options;
+    options.seed = 21;
+    const std::string first = run(timedProgram, options).fingerprint();
+    const std::string second =
+        run(timedProgram, options).fingerprint();
+    EXPECT_EQ(first, second);
+
+    Scheduler fresh(options);
+    EXPECT_EQ(fresh.run(timedProgram).fingerprint(), first);
+}
+
+TEST(Sweep, ThreadLocalWaitgraphDetectorResetsBetweenRuns)
+{
+    const corpus::BugCase *bug = corpus::findBug("moby-17176");
+    ASSERT_NE(bug, nullptr);
+    RunOptions options;
+    options.seed = 3;
+
+    // Fresh-detector reference.
+    waitgraph::Detector fresh;
+    RunOptions ref_options = options;
+    ref_options.subscribers.push_back(&fresh);
+    const RunReport ref =
+        bug->run(corpus::Variant::Buggy, ref_options).report;
+
+    // The thread-local slot, used twice in a row: the second run must
+    // classify identically (reset() clears the "lock#N" naming and
+    // all graph state).
+    for (int round = 0; round < 2; ++round) {
+        waitgraph::Detector &det = threadLocalWaitgraphDetector();
+        RunOptions o = options;
+        o.subscribers.push_back(&det);
+        const RunReport report =
+            bug->run(corpus::Variant::Buggy, o).report;
+        EXPECT_EQ(report.fingerprint(), ref.fingerprint())
+            << "round " << round;
+        ASSERT_EQ(report.partialDeadlocks.size(),
+                  ref.partialDeadlocks.size());
+        for (size_t p = 0; p < report.partialDeadlocks.size(); ++p)
+            EXPECT_EQ(report.partialDeadlocks[p].describe(),
+                      ref.partialDeadlocks[p].describe());
+    }
+}
+
+TEST(Sweep, WarmSweepWorkersPreparesArenasHarmlessly)
+{
+    SweepOptions sweep;
+    sweep.workers = 3;
+    warmSweepWorkers(sweep);
+    // Sweeps after warming behave exactly as before it.
+    const std::vector<uint64_t> seeds = {5, 6, 7};
+    const auto warmed = runSeeds(mingleProgram, seeds, {}, sweep);
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        RunOptions options;
+        options.seed = seeds[i];
+        EXPECT_EQ(warmed[i].fingerprint(),
+                  run(mingleProgram, options).fingerprint());
+    }
 }
 
 } // namespace
