@@ -105,6 +105,19 @@ class NoopSink : public Subscriber
     }
 };
 
+/** Noop with the detector's full mask, so the baseline arm pays the
+ *  same bus emission/dispatch for every event kind the detector
+ *  receives (spawn, finish, sync, mem, free). */
+class DetectorMaskNoop : public NoopSink
+{
+  public:
+    EventMask
+    eventMask() const override
+    {
+        return race::Detector().eventMask();
+    }
+};
+
 /**
  * ns/access of the heavy kernel: best (minimum) of @p reps timed
  * batches of @p runs runs each — the min is robust against scheduler
@@ -137,6 +150,68 @@ measureNsPerAccess(race::Detector *detector, size_t depth, int runs,
         best = std::min(best, seconds(begin, Clock::now()));
     }
     return best * 1e9 / (kAccessesPerRun * runs);
+}
+
+// --- Live-goroutine scaling ------------------------------------------
+// L resident goroutines sit parked on a channel while a fixed churn
+// load (repeated heavyKernel rounds) drives the access hot path. The
+// per-event detector cost must not grow with L: slots are recycled,
+// clocks are chunked-sparse, and parked residents that never
+// synchronize with the churners stay out of every clock the hot path
+// touches.
+
+constexpr int kScaleRounds = 4; ///< churn rounds per timed batch
+constexpr int kScaleBatches = 7; ///< timed batches (best-of)
+
+/**
+ * Wall seconds of the best timed churn batch with @p residents
+ * parked, measured *inside* the run: a warm-up round parks every
+ * resident first (buffered channel, so a blocking recv parks without
+ * a pre-park release edge), after which residents are never scheduled
+ * again and the timed window contains only churn scheduling, event
+ * emission, and — in the detector arm — detector work. That makes
+ * the O(residents) spawn/park/finish phase structurally excluded
+ * instead of subtracted, which whole-run timing is too noisy for at
+ * 10k+ residents. A null @p detector runs the full-detector-mask
+ * noop arm.
+ */
+double
+liveChurnSeconds(race::Detector *detector, size_t residents)
+{
+    DetectorMaskNoop noop;
+    RunOptions options;
+    options.policy = SchedPolicy::Fifo;
+    options.stackBytes = 16 * 1024; // residents only park
+    options.reapFinished = true;
+    options.subscribers.push_back(
+        detector ? static_cast<Subscriber *>(detector) : &noop);
+    if (detector)
+        detector->reset();
+    double best = 1e100;
+    run([&] {
+        auto parked = makeChan<Unit>(1);
+        for (size_t i = 0; i < residents; ++i)
+            go([parked] { parked.recv(); });
+        heavyKernel(); // parks the residents, warms the detector
+        for (int batch = 0; batch < kScaleBatches; ++batch) {
+            const auto begin = Clock::now();
+            for (int r = 0; r < kScaleRounds; ++r)
+                heavyKernel();
+            best = std::min(best, seconds(begin, Clock::now()));
+        }
+        parked.close();
+    }, options);
+    return best;
+}
+
+/** Detector ns per churn access with @p residents parked (noop-arm
+ *  baseline subtracted, so harness emission cost stays out). */
+double
+detectorNsPerEventAtLive(race::Detector &detector, size_t residents)
+{
+    const double det = liveChurnSeconds(&detector, residents);
+    const double noop = liveChurnSeconds(nullptr, residents);
+    return (det - noop) * 1e9 / (kAccessesPerRun * kScaleRounds);
 }
 
 } // namespace
@@ -191,6 +266,40 @@ main()
                         speedup);
             ok = false;
         }
+    }
+
+    // --- Per-event cost vs live goroutine count --------------------
+    // The slot-recycling/sparse-clock gate: detector cost per access
+    // must stay flat (within 2x) from 100 to 10k parked residents.
+    // 100k is reported for the curve but not gated (its run is
+    // dominated by spawn churn and noisier on loaded machines).
+    std::printf("\nper-access detector cost vs live goroutines "
+                "(best of %d batches x %d churn rounds, %.0f "
+                "accesses/batch):\n",
+                kScaleBatches, kScaleRounds,
+                kAccessesPerRun * kScaleRounds);
+    std::printf("%-12s %-16s %s\n", "live", "detector cost",
+                "vs 100 live");
+    double ns_at_100 = 0, ns_at_10k = 0;
+    for (size_t live : {size_t{100}, size_t{1000}, size_t{10000},
+                        size_t{100000}}) {
+        race::Detector detector;
+        const double ns = detectorNsPerEventAtLive(detector, live);
+        if (live == 100)
+            ns_at_100 = ns;
+        if (live == 10000)
+            ns_at_10k = ns;
+        std::printf("%-12zu %9.1f ns     %6.2fx\n", live, ns,
+                    ns_at_100 > 0 ? ns / ns_at_100 : 0.0);
+        json.add("live_scaling/live" + std::to_string(live) +
+                     "/detector_ns_per_event",
+                 1e9 / ns, ns * 1e-9, 1);
+    }
+    if (ns_at_100 > 0 && ns_at_10k / ns_at_100 > 2.0) {
+        std::printf("FAILED: %.2fx per-access cost growth from 100 "
+                    "to 10k live goroutines (want <= 2x)\n",
+                    ns_at_10k / ns_at_100);
+        ok = false;
     }
 
     // --- Detection parity spot-check (full gate: race_diff_test) ---

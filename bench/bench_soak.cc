@@ -52,12 +52,13 @@ struct Tier
     gotime::Duration duration;
     uint32_t connections;
     /**
-     * Detector configs to run at this tier. The vector-clock race
-     * detector saturates the single-threaded runtime somewhere above
-     * ~2k live goroutines (its per-event cost grows with the live
-     * goroutine count), so it only runs where it can keep up with the
-     * open-loop schedule; the wait-graph detector's per-event cost is
-     * O(1) and rides along at every tier.
+     * Detector configs to run at this tier. The race detector's
+     * per-event cost tracks *live* goroutines (slot-recycled sparse
+     * clocks + shadow reclamation), so it keeps the open-loop
+     * schedule through the 10k tier; 100k and up remain
+     * waitgraph-only — there the detector's O(live) lifecycle work
+     * alone outruns a single core. The wait-graph detector's
+     * per-event cost is O(1) and rides along at every tier.
      */
     bool raceConfig;
     bool waitgraphConfig;
@@ -141,7 +142,7 @@ extrasFor(const Measured &m, const Measured &bare)
             ? static_cast<double>(rm.lifetimeSumNs) /
                   static_cast<double>(rm.lifetimesCounted)
             : 0.0;
-    return {
+    std::vector<std::pair<std::string, double>> extras = {
         {"p50_ns", static_cast<double>(m.res.latency.quantile(0.50))},
         {"p99_ns", static_cast<double>(m.res.latency.quantile(0.99))},
         {"p999_ns",
@@ -164,6 +165,25 @@ extrasFor(const Measured &m, const Measured &bare)
                        bare.res.latency.quantile(0.99))
              : 0.0},
     };
+    // Race-detector rows also report the detector's memory footprint
+    // (race::Detector::finalizeRun -> RunMetrics::detector), so a
+    // regression that re-couples detector state to ever-created
+    // goroutines or ever-touched addresses shows up in the artifact,
+    // not just in CPU time.
+    if (rm.detector.collected) {
+        const auto &fp = rm.detector;
+        extras.push_back({"peak_clock_slots",
+                          static_cast<double>(fp.peakClockSlots)});
+        extras.push_back(
+            {"slot_space", static_cast<double>(fp.slotSpace)});
+        extras.push_back({"peak_shadow_entries",
+                          static_cast<double>(fp.peakShadowEntries)});
+        extras.push_back(
+            {"shadow_freed", static_cast<double>(fp.shadowFreed)});
+        extras.push_back({"detector_arena_bytes",
+                          static_cast<double>(fp.arenaBytes)});
+    }
+    return extras;
 }
 
 /**
@@ -240,10 +260,21 @@ main()
         {"soak_2k", 2'000, 5'000, 200 * gotime::kMillisecond, 1,
          1 * gotime::kSecond, 16, true, true},
     };
+    if (mode == "race-smoke") {
+        // The CI race-at-concurrency lane: just the 10k tier, bare
+        // (for the overhead ratio and the GOLITE_SOAK_MIN_RPS floor)
+        // plus the race detector, which must keep the open-loop
+        // schedule with 10k goroutines live.
+        tiers.clear();
+        tiers.push_back({"soak_10k", 10'000, 6'250,
+                         400 * gotime::kMillisecond, 3,
+                         1'500 * gotime::kMillisecond, 32, true,
+                         false});
+    }
     if (mode == "full" || mode == "stretch") {
         tiers.push_back({"soak_10k", 10'000, 6'250,
                          400 * gotime::kMillisecond, 3,
-                         1'500 * gotime::kMillisecond, 32, false,
+                         1'500 * gotime::kMillisecond, 32, true,
                          true});
         tiers.push_back({"soak_100k", 100'000, 10'000,
                          1 * gotime::kSecond, 9, 3 * gotime::kSecond,

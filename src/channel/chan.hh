@@ -39,6 +39,11 @@ struct ChanImpl
 {
     explicit ChanImpl(size_t capacity) : capacity(capacity) {}
 
+    /** The impl pointer is the channel's sync-object identity on the
+     *  event bus; its destruction retires the detectors' clock state
+     *  for it (soak runs churn through millions of channels). */
+    ~ChanImpl() { notifyMemFree(this); }
+
     const size_t capacity;
     std::deque<T> buffer;
     bool closed = false;

@@ -112,6 +112,10 @@ void
 MetricsSink::finalizeRun(RunReport &report)
 {
     metrics_.collected = true;
+    // A race::Detector attached ahead of this sink has already
+    // published its footprint into the report; carry it through the
+    // wholesale overwrite.
+    metrics_.detector = report.metrics.detector;
     report.metrics = metrics_;
     metrics_ = RunMetrics{};
     lastDispatched_ = 0;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "runtime/report.hh"
+
 namespace golite::race
 {
 
@@ -15,6 +17,16 @@ envFastPathDefault()
 {
     static const bool enabled = [] {
         const char *env = std::getenv("GOLITE_RACE_FASTPATH");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    return enabled;
+}
+
+bool
+envRecycleDefault()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("GOLITE_RACE_RECYCLE");
         return !(env && env[0] == '0' && env[1] == '\0');
     }();
     return enabled;
@@ -44,44 +56,110 @@ RaceReport::describe() const
 
 Detector::Detector(size_t shadow_depth)
     : shadowDepth_(clampDepth(shadow_depth)),
-      fastPath_(envFastPathDefault())
+      fastPath_(envFastPathDefault()),
+      recycle_(envRecycleDefault())
 {
 }
 
-VectorClock &
-Detector::clockOf(uint64_t gid)
+uint32_t
+Detector::bindSlot(uint64_t gid)
 {
-    if (gid >= goroutineClocks_.size()) {
-        goroutineClocks_.resize(gid + 1);
-        cachedGid_ = 0; // vector growth moved the clocks
+    uint32_t slot;
+    if (recycle_ && !freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        slotGen_[slot]++; // new binding: stale release memos die
+    } else if (slotCount_ < clocksBySlot_.size()) {
+        slot = slotCount_++; // rewound storage from a previous run
+    } else {
+        slot = slotCount_++;
+        clocksBySlot_.emplace_back();
+        slotGid_.push_back(0);
+        slotGen_.push_back(0);
+        slotFloor_.push_back(0);
+        slotCellRefs_.push_back(0);
+        slotRetired_.push_back(0);
+        // Growth moved the clocks; drop the clock cache.
+        cachedGid_ = 0;
         cachedClock_ = nullptr;
     }
-    VectorClock &vc = goroutineClocks_[gid];
-    if (vc.get(gid) == 0)
-        vc.set(gid, 1); // first touch this run
-    return vc;
+    slotGid_[slot] = gid;
+    slotRetired_[slot] = 0;
+    gidToSlot_[gid] = slot;
+    VectorClock &vc = clocksBySlot_[slot];
+    vc.bindPool(&chunkPool_);
+    // Epoch handoff: the binding's epochs continue above the previous
+    // binding's final epoch, so each binding owns a disjoint ascending
+    // range and a stale view can never cover a new binding's cells.
+    vc.set(slot, slotFloor_[slot] + 1);
+    if (gidToSlot_.size() > peakLiveSlots_)
+        peakLiveSlots_ = gidToSlot_.size();
+    return slot;
+}
+
+uint32_t
+Detector::slotOf(uint64_t gid)
+{
+    uint32_t *entry = gidToSlot_.find(gid);
+    if (entry != nullptr)
+        return *entry;
+    return bindSlot(gid);
+}
+
+void
+Detector::retireToFreeList(uint32_t slot)
+{
+    slotRetired_[slot] = 0;
+    if (slotFloor_[slot] >= kEpochReuseLimit)
+        return; // 32-bit packed epochs would overflow; park forever
+    freeSlots_.push_back(slot);
 }
 
 void
 Detector::goroutineCreated(uint64_t parent, uint64_t child)
 {
-    if (parent != 0) {
-        // Copy before clockOf(child) can grow the clock vector.
-        VectorClock child_clock = clockOf(parent);
-        child_clock.set(child, 1);
-        clockOf(child) = std::move(child_clock);
-        clockOf(parent).tick(parent); // parent's later events not HB child
-        if (parent == cachedGid_)
-            cachedEpoch_++; // keep the epoch cache on the new tick
-    } else {
-        clockOf(child);
+    if (parent == 0) {
+        slotOf(child);
+        return;
     }
+    const uint32_t ps = slotOf(parent);
+    const uint32_t cs = slotOf(child);
+    // Child inherits the parent's clock by COW chunk sharing; its own
+    // component must be (re)set after the copy, both because copyFrom
+    // overwrote the bind-time value and because the parent may carry a
+    // stale (<= floor) component from the slot's previous binding.
+    VectorClock &child_clock = clocksBySlot_[cs];
+    child_clock.copyFrom(clocksBySlot_[ps]);
+    child_clock.set(cs, slotFloor_[cs] + 1);
+    clocksBySlot_[ps].tick(ps); // parent's later events not HB child
+    if (parent == cachedGid_)
+        cachedEpoch_++; // keep the epoch cache on the new tick
 }
 
 void
 Detector::goroutineFinished(uint64_t gid)
 {
-    (void)gid; // clocks kept: sync objects may still reference them
+    uint32_t *entry = gidToSlot_.find(gid);
+    if (entry == nullptr)
+        return; // never produced a clocked event
+    const uint32_t slot = *entry;
+    VectorClock &vc = clocksBySlot_[slot];
+    slotFloor_[slot] = vc.get(slot); // final epoch becomes the floor
+    vc.clear();                      // chunks back to the pool
+    gidToSlot_.erase(gid);
+    if (gid == cachedGid_) {
+        cachedGid_ = 0;
+        cachedClock_ = nullptr;
+    }
+    if (!recycle_)
+        return;
+    // The slot becomes rebindable only once no shadow cell names it:
+    // that guarantees every live cell belongs to the slot's current
+    // binding, keeping report rendering and same-slot checks exact.
+    if (slotCellRefs_[slot] == 0)
+        retireToFreeList(slot);
+    else
+        slotRetired_[slot] = 1;
 }
 
 EventMask
@@ -91,7 +169,9 @@ Detector::eventMask() const
            eventBit(EventKind::GoFinish) |
            eventBit(EventKind::SyncAcquire) |
            eventBit(EventKind::SyncRelease) |
-           eventBit(EventKind::MemRead) | eventBit(EventKind::MemWrite);
+           eventBit(EventKind::MemRead) |
+           eventBit(EventKind::MemWrite) |
+           eventBit(EventKind::MemFree);
 }
 
 void
@@ -110,6 +190,9 @@ Detector::onEvent(const RuntimeEvent &ev)
       case EventKind::SyncRelease:
         release(ev.obj, ev.gid);
         break;
+      case EventKind::MemFree:
+        memFreed(ev.obj);
+        break;
       case EventKind::MemRead:
       case EventKind::MemWrite:
         // Broadcast-mode delivery (the masked hot path arrives via
@@ -126,10 +209,21 @@ Detector::acquire(const void *sync_obj, uint64_t gid)
 {
     if (gid == 0)
         return;
-    VectorClock *sync_clock = syncClocks_.find(sync_obj);
-    if (sync_clock == nullptr)
+    SyncClock *sync = syncClocks_.find(sync_obj);
+    if (sync == nullptr)
         return;
-    clockOf(gid).join(*sync_clock);
+    const uint32_t slot = slotOf(gid);
+    VectorClock &vc = clocksBySlot_[slot];
+    // Release-memo fast path: the sync clock is exactly some
+    // releaser's snapshot, and our view of that releaser (same
+    // binding, checked via the generation) already covers it — the
+    // join would be a no-op, so skip it.
+    if (fastPath_ && sync->exact && sync->relSlot != kNoSlot &&
+        slotGen_[sync->relSlot] == sync->relGen &&
+        vc.get(sync->relSlot) >= sync->relEpoch) {
+        return;
+    }
+    vc.joinFrom(sync->vc);
 }
 
 void
@@ -137,30 +231,81 @@ Detector::release(const void *sync_obj, uint64_t gid)
 {
     if (gid == 0)
         return;
-    VectorClock &vc = clockOf(gid);
-    syncClocks_[sync_obj].join(vc);
-    vc.tick(gid);
+    const uint32_t slot = slotOf(gid);
+    VectorClock &vc = clocksBySlot_[slot];
+    SyncClock &sync = syncClocks_[sync_obj];
+    sync.vc.bindPool(&chunkPool_);
+    const uint64_t own = vc.get(slot);
+    bool exact;
+    if (fastPath_ && sync.exact && sync.relSlot != kNoSlot &&
+        slotGen_[sync.relSlot] == sync.relGen &&
+        vc.get(sync.relSlot) >= sync.relEpoch) {
+        // The stored snapshot is <= our clock, so joining equals
+        // copying — and copying is O(present chunks) refcount bumps:
+        // the FastTrack-style publish-once release.
+        sync.vc.copyFrom(vc);
+        exact = true;
+    } else {
+        exact = sync.vc.joinFrom(vc);
+    }
+    sync.relSlot = slot;
+    sync.relGen = slotGen_[slot];
+    sync.relEpoch = own;
+    sync.exact = fastPath_ && exact;
+    vc.tick(slot);
     if (gid == cachedGid_)
         cachedEpoch_++; // keep the epoch cache on the new tick
 }
 
 void
-Detector::recordCell(ShadowState &state, uint64_t gid, uint64_t epoch,
+Detector::memFreed(const void *addr)
+{
+    ShadowState *state = shadow_.find(addr);
+    if (state != nullptr) {
+        PackedCell *cells =
+            state->deep != nullptr ? state->deep : state->inlineCells;
+        const size_t live = std::min<size_t>(state->used, shadowDepth_);
+        for (size_t i = 0; i < live; ++i)
+            dropCellRef(static_cast<uint32_t>(cellSlot(cells[i])));
+        if (state->deep != nullptr)
+            slab_.release(state->deep);
+        shadow_.erase(addr); // clear()s the state, nulling deep
+        freedShadow_++;
+        // Erase can compact the table, moving shadow states out from
+        // under the address cache.
+        cachedAddr_ = nullptr;
+        cachedState_ = nullptr;
+    }
+    syncClocks_.erase(addr);
+}
+
+void
+Detector::recordCell(ShadowState &state, uint32_t slot, uint64_t epoch,
                      bool is_write)
 {
     PackedCell *cells = state.cells(shadowDepth_, slab_);
-    const PackedCell mine = packCell(gid, is_write, epoch);
+    const PackedCell mine = packCell(slot, is_write, epoch);
     if (state.used < shadowDepth_) {
         cells[state.used++] = mine;
+        slotCellRefs_[slot]++;
     } else {
+        const uint32_t evicted =
+            static_cast<uint32_t>(cellSlot(cells[state.next]));
         cells[state.next] = mine;
         if (++state.next == shadowDepth_)
             state.next = 0;
+        // Bursty reuse overwrites the goroutine's own cell; the
+        // refcount round-trip is a no-op then, and skipping it keeps
+        // the maintenance off the epoch fast path's record.
+        if (evicted != slot) {
+            slotCellRefs_[slot]++;
+            dropCellRef(evicted);
+        }
     }
 }
 
 void
-Detector::scanAndRecord(ShadowState &state, uint64_t gid,
+Detector::scanAndRecord(ShadowState &state, uint32_t slot,
                         const VectorClock &vc, uint64_t epoch,
                         bool is_write, const void *addr,
                         const char *label)
@@ -170,18 +315,23 @@ Detector::scanAndRecord(ShadowState &state, uint64_t gid,
     bool saw_conflict = false;
     for (size_t i = 0; i < live; ++i) {
         const PackedCell cell = cells[i];
-        const uint64_t cell_gid = cellGid(cell);
-        if (cell_gid == gid)
+        const uint64_t cell_slot = cellSlot(cell);
+        if (cell_slot == slot)
             continue;
         if (!cellIsWrite(cell) && !is_write)
             continue;
         // The old access happened-before us iff its epoch is covered
-        // by our clock's view of its goroutine.
-        if (cellEpoch(cell) <= vc.get(cell_gid))
+        // by our clock's view of its slot. Live cells always belong
+        // to the slot's current binding, and bindings own disjoint
+        // ascending epoch ranges, so the comparison is exact even
+        // with recycling.
+        if (cellEpoch(cell) <= vc.get(cell_slot))
             continue;
         saw_conflict = true;
         if (state.comboCount >= reportLimit_)
             break; // per-object budget exhausted
+        const uint64_t cell_gid = slotGid_[cell_slot];
+        const uint64_t gid = slotGid_[slot];
         const uint64_t key =
             comboKey(cell_gid, cellIsWrite(cell), gid, is_write);
         if (state.comboReported(key))
@@ -197,11 +347,11 @@ Detector::scanAndRecord(ShadowState &state, uint64_t gid,
     // Epoch fast-path summary: a same-goroutine same-epoch repeat of
     // a conflict-free scan cannot conflict either (clocks only grow,
     // and cells recorded since are our own), so it may skip the scan.
-    state.lastKey = epochKey(gid, epoch);
+    state.lastKey = epochKey(slot, epoch);
     state.lastWasWrite = is_write;
     state.lastScanHadConflict = saw_conflict;
 
-    recordCell(state, gid, epoch, is_write);
+    recordCell(state, slot, epoch, is_write);
 }
 
 void
@@ -212,18 +362,22 @@ Detector::access(const void *addr, const char *label, uint64_t gid,
         return;
 
     if (!fastPath_) {
+        const uint32_t slot = slotOf(gid);
         ShadowState &state = shadow_[addr];
-        VectorClock &vc = clockOf(gid);
-        scanAndRecord(state, gid, vc, vc.get(gid), is_write, addr,
+        if (shadow_.size() > peakShadow_)
+            peakShadow_ = shadow_.size();
+        VectorClock &vc = clocksBySlot_[slot];
+        scanAndRecord(state, slot, vc, vc.get(slot), is_write, addr,
                       label);
         return;
     }
 
     // Hot path: one-entry caches for the address's shadow state and
-    // the running goroutine's clock, refreshed only on miss. The
-    // cached state pointer is always the most recently touched slot,
-    // so no rehash can have moved it since (inserts only happen on a
-    // cache miss, which refreshes the cache).
+    // the running goroutine's slot + clock, refreshed only on miss.
+    // The cached state pointer is always the most recently touched
+    // slot, so no rehash can have moved it since (inserts only happen
+    // on a cache miss, which refreshes the cache, and erases clear
+    // it).
     ShadowState *state;
     if (addr == cachedAddr_) {
         state = cachedState_;
@@ -231,40 +385,46 @@ Detector::access(const void *addr, const char *label, uint64_t gid,
         state = &shadow_[addr];
         cachedAddr_ = addr;
         cachedState_ = state;
+        if (shadow_.size() > peakShadow_)
+            peakShadow_ = shadow_.size();
     }
 
+    uint32_t slot;
     uint64_t epoch;
     if (gid == cachedGid_) {
+        slot = cachedSlot_;
         epoch = cachedEpoch_; // ticks keep this current (see release)
     } else {
-        VectorClock &vc = clockOf(gid);
-        epoch = vc.get(gid);
+        slot = slotOf(gid);
+        VectorClock &vc = clocksBySlot_[slot];
+        epoch = vc.get(slot);
         cachedGid_ = gid;
+        cachedSlot_ = slot;
         cachedClock_ = &vc;
         cachedEpoch_ = epoch;
     }
 
-    // Fast path 1 (FastTrack "same epoch"): same goroutine, same
-    // epoch, kind covered by the last scanned access (a write covers
-    // both; a read only covers reads), and that scan saw no unordered
+    // Fast path 1 (FastTrack "same epoch"): same slot, same epoch,
+    // kind covered by the last scanned access (a write covers both; a
+    // read only covers reads), and that scan saw no unordered
     // conflict. Nothing observable can change: skip the scan. The
     // last* fields stay on the scanned access, which remains the
     // witness for every later access it covers.
-    if (state->lastKey == epochKey(gid, epoch) &&
+    if (state->lastKey == epochKey(slot, epoch) &&
         (state->lastWasWrite || !is_write) &&
         !state->lastScanHadConflict) {
-        recordCell(*state, gid, epoch, is_write);
+        recordCell(*state, slot, epoch, is_write);
         return;
     }
 
     // Fast path 2: the per-object report budget is exhausted, so a
     // scan could not emit anything; only the history needs updating.
     if (state->comboCount >= reportLimit_) {
-        recordCell(*state, gid, epoch, is_write);
+        recordCell(*state, slot, epoch, is_write);
         return;
     }
 
-    scanAndRecord(*state, gid, *cachedClock_, epoch, is_write, addr,
+    scanAndRecord(*state, slot, *cachedClock_, epoch, is_write, addr,
                   label);
 }
 
@@ -284,13 +444,38 @@ Detector::drainReports()
 }
 
 void
+Detector::finalizeRun(RunReport &report)
+{
+    RunMetrics::DetectorFootprint &fp = report.metrics.detector;
+    fp.collected = true;
+    fp.liveClockSlots = gidToSlot_.size();
+    fp.peakClockSlots = peakLiveSlots_;
+    fp.slotSpace = slotCount_;
+    fp.shadowEntries = shadow_.size();
+    fp.peakShadowEntries = peakShadow_;
+    fp.shadowFreed = freedShadow_;
+    fp.arenaBytes = arenaBytes();
+}
+
+void
 Detector::reset()
 {
-    for (VectorClock &vc : goroutineClocks_)
+    gidToSlot_.clear();
+    for (VectorClock &vc : clocksBySlot_)
         vc.clear();
+    std::fill(slotGid_.begin(), slotGid_.end(), 0);
+    std::fill(slotGen_.begin(), slotGen_.end(), 0u);
+    std::fill(slotFloor_.begin(), slotFloor_.end(), 0);
+    std::fill(slotCellRefs_.begin(), slotCellRefs_.end(), 0u);
+    std::fill(slotRetired_.begin(), slotRetired_.end(), uint8_t{0});
+    freeSlots_.clear();
+    slotCount_ = 0;
     syncClocks_.clear();
     shadow_.clear(); // nulls every deep-cell pointer ...
     slab_.rewind();  // ... before the slab reclaims their blocks
+    peakLiveSlots_ = 0;
+    peakShadow_ = 0;
+    freedShadow_ = 0;
     reports_.clear();
     pendingMessages_.clear();
     invalidateCaches();

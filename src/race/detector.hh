@@ -11,7 +11,7 @@
  * miss data races"), which the shadow-depth ablation bench measures.
  *
  * The hot path is FastTrack-shaped: every recorded access is a packed
- * (gid, epoch, kind) word, and two O(1) epoch fast paths skip the
+ * (slot, epoch, kind) word, and two O(1) epoch fast paths skip the
  * history scan entirely when it provably cannot report — a
  * same-goroutine same-epoch repeat whose last scan was conflict-free,
  * or an object whose per-object report budget is exhausted. Both are
@@ -21,10 +21,36 @@
  * setFastPath(false)) disables them for A/B measurement with
  * bench_race_overhead.
  *
- * All detector state lives in open-addressing pointer tables, SBO
- * vector clocks, and a cell slab that survive reset(), so one
- * detector instance can be reused across a seed sweep with zero
- * steady-state allocation (see parallel::runSeedsRaced).
+ * Clock lifecycle (what makes -race scale with *live* goroutines, see
+ * DESIGN.md "Clock lifecycle" for the invariants):
+ *  - Clocks are indexed by recycled *slot*, not goroutine id. On
+ *    GoFinish a goroutine's slot is retired: its final epoch becomes
+ *    the slot's floor, its clock's chunks go back to the pool, and
+ *    once no shadow cell references the slot anymore (a per-slot cell
+ *    refcount gates this) the slot is rebound to the next spawned
+ *    goroutine. A rebound slot's epochs continue above the floor, so
+ *    every binding owns a disjoint ascending epoch range and
+ *    happens-before comparisons are bit-identical to never recycling
+ *    (GOLITE_RACE_RECYCLE=0 / setRecycle(false) for the A/B arm).
+ *  - Clocks are chunked and sparse (race/vector_clock.hh): joins and
+ *    copies walk a dirty-chunk bitmap, so their cost tracks how many
+ *    distinct goroutines a clock has actually heard from, not the
+ *    slot-space width.
+ *  - Sync objects hold copy-on-write snapshots: a release whose
+ *    previous clock is dominated publishes the releaser's clock by
+ *    refcount bumps (FastTrack-style), and the (slot, epoch,
+ *    generation) release memo lets a caught-up acquirer skip the join
+ *    entirely.
+ *  - EventKind::MemFree (emitted by Shared<T> and the sync
+ *    primitives' destructors) erases the freed address's shadow and
+ *    sync state, so a soak run's detector footprint is O(live), not
+ *    O(ever-allocated). Freed-state erasure is active in both recycle
+ *    modes and mirrored by the differential-test reference.
+ *
+ * All detector state lives in open-addressing tables, chunked COW
+ * vector clocks, and slabs that survive reset(), so one detector
+ * instance can be reused across a seed sweep with zero steady-state
+ * allocation (see parallel::runSeedsRaced).
  *
  * Plug an instance into RunOptions::subscribers to run a golite
  * program "built with -race"; it declares the goroutine-lifecycle,
@@ -83,6 +109,9 @@ class Detector : public Subscriber
     void onMemAccess(const void *addr, const char *label, uint64_t gid,
                      bool is_write) override;
     std::vector<std::string> drainReports() override;
+    /** Publishes the memory-footprint counters into
+     *  RunReport::metrics.detector. */
+    void finalizeRun(RunReport &report) override;
 
     // Event handlers (public so the differential test and the
     // overhead bench can drive the detector directly).
@@ -90,12 +119,16 @@ class Detector : public Subscriber
     void goroutineFinished(uint64_t gid);
     void acquire(const void *sync_obj, uint64_t gid);
     void release(const void *sync_obj, uint64_t gid);
+    /** The memory at @p addr was freed: drop its shadow history and
+     *  any sync clock keyed on it. */
+    void memFreed(const void *addr);
 
     /**
      * Clear all per-run state (clocks, sync clocks, shadow cells,
-     * reports) while keeping every allocation — tables, clock spill
-     * vectors, and the cell slab — so a detector reused across a
-     * sweep allocates nothing in steady state.
+     * slot bindings, reports) while keeping every allocation —
+     * tables, chunk pool, clock chunk vectors, and the cell slab —
+     * so a detector reused across a sweep allocates nothing in
+     * steady state.
      */
     void reset();
 
@@ -130,21 +163,95 @@ class Detector : public Subscriber
     }
     bool fastPath() const { return fastPath_; }
 
+    /** Enable/disable slot recycling (default: on unless the
+     *  GOLITE_RACE_RECYCLE environment variable is "0"). Reports and
+     *  run fingerprints are identical either way; only clock width
+     *  and memory differ. */
+    void setRecycle(bool on) { recycle_ = on; }
+    bool recycle() const { return recycle_; }
+
+    // Footprint (test/metrics hooks) --------------------------------
+
+    /** Clock slots currently bound to a live goroutine. */
+    size_t liveSlots() const { return gidToSlot_.size(); }
+
+    /** Distinct slots ever materialized this run (the slot-space
+     *  width — O(peak live) with recycling, O(total) without). */
+    size_t slotSpace() const { return slotCount_; }
+
+    /** Tracked addresses with live shadow state. */
+    size_t shadowEntries() const { return shadow_.size(); }
+
+    /** Freed addresses whose shadow state was erased this run. */
+    size_t shadowFreed() const { return freedShadow_; }
+
+    /** Bytes held by clock chunks + deep shadow cells. */
+    size_t
+    arenaBytes() const
+    {
+        return chunkPool_.bytesAllocated() + slab_.bytesAllocated();
+    }
+
   private:
+    /** No binding / no memo sentinel for slot fields. */
+    static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+    /** Floor above which a slot is never rebound: packed cells keep
+     *  32-bit epochs, so a binding must not start near the top. */
+    static constexpr uint64_t kEpochReuseLimit = uint64_t{1} << 30;
+
+    /** Per-sync-object state: the published clock and the release
+     *  memo that makes repeat release/acquire by caught-up
+     *  goroutines O(1) (see DESIGN.md "Clock lifecycle"). */
+    struct SyncClock
+    {
+        VectorClock vc;
+        uint32_t relSlot = kNoSlot; ///< slot of the last releaser
+        uint32_t relGen = 0;        ///< its binding generation
+        uint64_t relEpoch = 0;      ///< its own epoch at that release
+        bool exact = false;         ///< vc == that releaser's clock
+
+        void
+        clear()
+        {
+            vc.clear();
+            relSlot = kNoSlot;
+            relGen = 0;
+            relEpoch = 0;
+            exact = false;
+        }
+    };
+
     void access(const void *addr, const char *label, uint64_t gid,
                 bool is_write);
 
     /** Full history scan + ring record (the reference slow path). */
-    void scanAndRecord(ShadowState &state, uint64_t gid,
+    void scanAndRecord(ShadowState &state, uint32_t slot,
                        const VectorClock &vc, uint64_t epoch,
                        bool is_write, const void *addr,
                        const char *label);
 
-    /** Append the access to the bounded history ring. */
-    void recordCell(ShadowState &state, uint64_t gid, uint64_t epoch,
+    /** Append the access to the bounded history ring, maintaining
+     *  the per-slot cell refcounts that gate slot reuse. */
+    void recordCell(ShadowState &state, uint32_t slot, uint64_t epoch,
                     bool is_write);
 
-    VectorClock &clockOf(uint64_t gid);
+    /** Slot bound to @p gid, binding a fresh or recycled one on
+     *  first sight. */
+    uint32_t slotOf(uint64_t gid);
+
+    /** Bind @p gid to a slot and start its clock at floor+1. */
+    uint32_t bindSlot(uint64_t gid);
+
+    /** One shadow cell stopped referencing @p slot. */
+    void
+    dropCellRef(uint32_t slot)
+    {
+        if (--slotCellRefs_[slot] == 0 && slotRetired_[slot])
+            retireToFreeList(slot);
+    }
+
+    void retireToFreeList(uint32_t slot);
 
     void
     invalidateCaches()
@@ -152,17 +259,38 @@ class Detector : public Subscriber
         cachedAddr_ = nullptr;
         cachedState_ = nullptr;
         cachedGid_ = 0;
+        cachedSlot_ = kNoSlot;
         cachedClock_ = nullptr;
     }
 
     size_t shadowDepth_;
     size_t reportLimit_ = kDefaultReportLimit;
     bool fastPath_;
+    bool recycle_;
 
-    std::vector<VectorClock> goroutineClocks_; ///< indexed by gid
-    PtrTable<VectorClock> syncClocks_{64};
+    // Chunk pool first: clocks in the containers below release their
+    // chunks into it on destruction.
+    ChunkPool chunkPool_;
+
+    // Slot machinery (all indexed by slot, except gidToSlot_).
+    PtrTable<uint32_t, uint64_t> gidToSlot_{64};
+    std::vector<VectorClock> clocksBySlot_;
+    std::vector<uint64_t> slotGid_;      ///< current/last binding
+    std::vector<uint32_t> slotGen_;      ///< bumped at each rebind
+    std::vector<uint64_t> slotFloor_;    ///< epochs start at floor+1
+    std::vector<uint32_t> slotCellRefs_; ///< live cells naming slot
+    std::vector<uint8_t> slotRetired_;   ///< finished, awaiting refs 0
+    std::vector<uint32_t> freeSlots_;    ///< rebindable slots (LIFO)
+    uint32_t slotCount_ = 0;             ///< slots materialized
+
+    PtrTable<SyncClock> syncClocks_{64};
     PtrTable<ShadowState> shadow_{256};
     CellSlab slab_;
+
+    // Footprint peaks and counters for finalizeRun.
+    size_t peakLiveSlots_ = 0;
+    size_t peakShadow_ = 0;
+    size_t freedShadow_ = 0;
 
     // Single-entry caches for the hot path (fast-path mode only).
     // cachedEpoch_ is the cached goroutine's own clock component; it
@@ -171,6 +299,7 @@ class Detector : public Subscriber
     const void *cachedAddr_ = nullptr;
     ShadowState *cachedState_ = nullptr;
     uint64_t cachedGid_ = 0;
+    uint32_t cachedSlot_ = kNoSlot;
     VectorClock *cachedClock_ = nullptr;
     uint64_t cachedEpoch_ = 0;
 

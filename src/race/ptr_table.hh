@@ -1,24 +1,30 @@
 /**
  * @file
- * Open-addressing pointer-keyed hash table for the race detector.
+ * Open-addressing hash table for the race detector.
  *
- * The detector maps object addresses to shadow state and sync-object
- * addresses to clocks on every instrumented access; std::unordered_map
- * was the dominant cost of that hot path. This table is tuned for the
- * detector's access pattern: power-of-two capacity, linear probing,
- * Fibonacci pointer hashing, and no per-entry erase — entries only go
- * away wholesale via clear(), so there are no tombstones and probes
- * stop at the first empty slot.
+ * The detector maps object addresses to shadow state, sync-object
+ * addresses to clocks, and goroutine ids to clock slots on every
+ * instrumented access; std::unordered_map was the dominant cost of
+ * that hot path. This table is tuned for the detector's access
+ * pattern: power-of-two capacity, linear probing, Fibonacci hashing.
+ *
+ * Entries can be erased (freed memory, finished goroutines): erase
+ * leaves a tombstone so probe chains stay intact, inserts reuse
+ * tombstones, and when tombstones pass a quarter of capacity the
+ * table compacts — rehashing live entries and shrinking toward the
+ * live count — so a soak run that touches millions of addresses but
+ * keeps only thousands live stays O(live), not O(ever-touched).
  *
  * clear() empties the table but calls Value::clear() on occupied
  * slots instead of destroying them, keeping whatever capacity the
- * values have accumulated (clock spill vectors, shadow cell blocks):
+ * values have accumulated (clock chunk vectors, shadow cell blocks):
  * a reset() detector reaches steady state with zero allocation.
  */
 
 #ifndef GOLITE_RACE_PTR_TABLE_HH
 #define GOLITE_RACE_PTR_TABLE_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -27,13 +33,50 @@
 namespace golite::race
 {
 
-template <typename Value>
+/** Key policy: sentinel values and hash for each supported key type. */
+template <typename Key>
+struct PtrTableKey;
+
+template <>
+struct PtrTableKey<const void *>
+{
+    static const void *empty() { return nullptr; }
+    /** Never a real key: no object lives at address 1. */
+    static const void *tombstone()
+    {
+        return reinterpret_cast<const void *>(1);
+    }
+    static uint64_t
+    hash(const void *key)
+    {
+        // Fibonacci hashing; low pointer bits are alignment zeros.
+        return (reinterpret_cast<uintptr_t>(key) >> 3) *
+               UINT64_C(0x9E3779B97F4A7C15);
+    }
+};
+
+template <>
+struct PtrTableKey<uint64_t>
+{
+    /** Goroutine ids start at 1, so 0 and ~0 are free as sentinels. */
+    static uint64_t empty() { return 0; }
+    static uint64_t tombstone() { return ~UINT64_C(0); }
+    static uint64_t
+    hash(uint64_t key)
+    {
+        return key * UINT64_C(0x9E3779B97F4A7C15);
+    }
+};
+
+template <typename Value, typename Key = const void *>
 class PtrTable
 {
+    using Traits = PtrTableKey<Key>;
+
   public:
     explicit PtrTable(size_t initial_capacity = 64)
     {
-        size_t cap = 16;
+        size_t cap = kMinCapacity;
         while (cap < initial_capacity)
             cap <<= 1;
         slots_.resize(cap);
@@ -42,15 +85,23 @@ class PtrTable
 
     /** Value for @p key, inserting a cleared one if absent. */
     Value &
-    operator[](const void *key)
+    operator[](Key key)
     {
         size_t i = indexOf(key);
-        while (slots_[i].key != nullptr) {
+        size_t insert_at = SIZE_MAX;
+        while (slots_[i].key != Traits::empty()) {
             if (slots_[i].key == key)
                 return slots_[i].value;
+            if (slots_[i].key == Traits::tombstone() &&
+                insert_at == SIZE_MAX) {
+                insert_at = i;
+            }
             i = (i + 1) & mask_;
         }
-        if ((count_ + 1) * 4 > slots_.size() * 3) { // load factor 3/4
+        if (insert_at != SIZE_MAX) {
+            i = insert_at;
+            tombstones_--;
+        } else if ((count_ + tombstones_ + 1) * 4 > slots_.size() * 3) {
             grow();
             i = probeEmpty(key);
         }
@@ -61,10 +112,10 @@ class PtrTable
 
     /** Value for @p key, or nullptr if absent. */
     Value *
-    find(const void *key)
+    find(Key key)
     {
         size_t i = indexOf(key);
-        while (slots_[i].key != nullptr) {
+        while (slots_[i].key != Traits::empty()) {
             if (slots_[i].key == key)
                 return &slots_[i].value;
             i = (i + 1) & mask_;
@@ -72,57 +123,125 @@ class PtrTable
         return nullptr;
     }
 
+    /**
+     * Remove @p key (no-op when absent; returns whether it was
+     * present). The slot becomes a tombstone and its value is
+     * clear()ed; when tombstones exceed a quarter of capacity the
+     * table compacts. Compaction moves values, so callers holding
+     * raw value pointers must refresh them after any erase.
+     */
+    bool
+    erase(Key key)
+    {
+        size_t i = indexOf(key);
+        while (slots_[i].key != Traits::empty()) {
+            if (slots_[i].key == key) {
+                slots_[i].key = Traits::tombstone();
+                clearValue(slots_[i].value);
+                count_--;
+                tombstones_++;
+                if (tombstones_ * 4 > slots_.size())
+                    compact();
+                return true;
+            }
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
     /** Empty the table; occupied values are clear()ed, not destroyed. */
     void
     clear()
     {
         for (Slot &slot : slots_) {
-            if (slot.key != nullptr) {
-                slot.key = nullptr;
-                slot.value.clear();
+            if (slot.key == Traits::tombstone()) {
+                slot.key = Traits::empty();
+            } else if (slot.key != Traits::empty()) {
+                slot.key = Traits::empty();
+                clearValue(slot.value);
             }
         }
         count_ = 0;
+        tombstones_ = 0;
+    }
+
+    /** Visit every live (key, value) pair. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (Slot &slot : slots_) {
+            if (slot.key != Traits::empty() &&
+                slot.key != Traits::tombstone()) {
+                fn(slot.key, slot.value);
+            }
+        }
     }
 
     size_t size() const { return count_; }
     size_t capacity() const { return slots_.size(); }
 
   private:
+    static constexpr size_t kMinCapacity = 16;
+
     struct Slot
     {
-        const void *key = nullptr;
+        Key key = Traits::empty();
         Value value{};
     };
 
-    size_t
-    indexOf(const void *key) const
+    static void
+    clearValue(Value &v)
     {
-        // Fibonacci hashing; low pointer bits are alignment zeros.
-        const uint64_t h =
-            (reinterpret_cast<uintptr_t>(key) >> 3) *
-            UINT64_C(0x9E3779B97F4A7C15);
-        return static_cast<size_t>(h) & mask_;
+        if constexpr (requires(Value &x) { x.clear(); })
+            v.clear();
+        else
+            v = Value{};
     }
 
     size_t
-    probeEmpty(const void *key) const
+    indexOf(Key key) const
+    {
+        return static_cast<size_t>(Traits::hash(key)) & mask_;
+    }
+
+    size_t
+    probeEmpty(Key key) const
     {
         size_t i = indexOf(key);
-        while (slots_[i].key != nullptr)
+        while (slots_[i].key != Traits::empty())
             i = (i + 1) & mask_;
         return i;
     }
 
     void
-    grow()
+    grow() { rehash(slots_.size() * 2); }
+
+    /**
+     * Drop every tombstone, shrinking toward the live count (but not
+     * below the initial floor) so erased entries return their slot
+     * memory instead of accumulating forever.
+     */
+    void
+    compact()
+    {
+        size_t cap = kMinCapacity;
+        while (count_ * 2 > cap) // rehash to <= 1/2 load
+            cap <<= 1;
+        rehash(std::max(cap, kMinCapacity));
+    }
+
+    void
+    rehash(size_t new_capacity)
     {
         std::vector<Slot> old = std::move(slots_);
         slots_.clear();
-        slots_.resize(old.size() * 2);
+        slots_.resize(new_capacity);
         mask_ = slots_.size() - 1;
+        tombstones_ = 0;
         for (Slot &slot : old) {
-            if (slot.key == nullptr)
+            if (slot.key == Traits::empty() ||
+                slot.key == Traits::tombstone())
                 continue;
             Slot &dst = slots_[probeEmpty(slot.key)];
             dst.key = slot.key;
@@ -133,6 +252,7 @@ class PtrTable
     std::vector<Slot> slots_;
     size_t mask_ = 0;
     size_t count_ = 0;
+    size_t tombstones_ = 0;
 };
 
 } // namespace golite::race

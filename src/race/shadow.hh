@@ -4,13 +4,19 @@
  *
  * Each tracked address keeps a bounded ring of access cells, the
  * "shadow words" of Section 6.3. A cell is one packed word in
- * FastTrack epoch style — [gid:31][isWrite:1][clock:32] — so a
- * history scan is a linear walk over a few words. Histories up to
- * kInlineCells live inline in the ShadowState; deeper histories
- * (the ablation sweeps past Go's 4 and our inline 8) draw a block
- * from the detector's CellSlab, a bump allocator that rewind()s on
- * Detector::reset() so repeated sweeps allocate nothing in steady
- * state.
+ * FastTrack epoch style — [slot:31][isWrite:1][clock:32] — so a
+ * history scan is a linear walk over a few words. The 31-bit field is
+ * the accessor's clock *slot* (recycled index, O(live goroutines)),
+ * not its goroutine id; the detector resolves slots back to gids for
+ * reports and guarantees a slot is never rebound while any of its
+ * cells are live (see race/detector.hh "Clock lifecycle").
+ *
+ * Histories up to kInlineCells live inline in the ShadowState; deeper
+ * histories (the ablation sweeps past Go's 4 and our inline 8) draw a
+ * block from the detector's CellSlab, a bump allocator with a free
+ * list: blocks released when freed memory's shadow entry is erased
+ * are recycled, and rewind() on Detector::reset() makes everything
+ * reusable, so repeated sweeps allocate nothing in steady state.
  */
 
 #ifndef GOLITE_RACE_SHADOW_HH
@@ -23,32 +29,33 @@
 namespace golite::race
 {
 
-/** One access: [gid:31][isWrite:1][epoch:32]. */
+/** One access: [slot:31][isWrite:1][epoch:32]. */
 using PackedCell = uint64_t;
 
 inline PackedCell
-packCell(uint64_t gid, bool is_write, uint64_t epoch)
+packCell(uint64_t slot, bool is_write, uint64_t epoch)
 {
-    return (gid << 33) | (static_cast<uint64_t>(is_write) << 32) |
+    return (slot << 33) | (static_cast<uint64_t>(is_write) << 32) |
            (epoch & 0xFFFFFFFFu);
 }
 
-inline uint64_t cellGid(PackedCell c) { return c >> 33; }
+inline uint64_t cellSlot(PackedCell c) { return c >> 33; }
 inline bool cellIsWrite(PackedCell c) { return (c >> 32) & 1; }
 inline uint64_t cellEpoch(PackedCell c) { return c & 0xFFFFFFFFu; }
 
-/** Epoch fast-path key: (gid, epoch) as one comparable word. */
+/** Epoch fast-path key: (slot, epoch) as one comparable word. */
 inline uint64_t
-epochKey(uint64_t gid, uint64_t epoch)
+epochKey(uint64_t slot, uint64_t epoch)
 {
-    return (gid << 32) | (epoch & 0xFFFFFFFFu);
+    return (slot << 32) | (epoch & 0xFFFFFFFFu);
 }
 
 /**
- * Bump allocator for deep shadow histories. Blocks are only ever
- * released by the destructor; rewind() makes the memory reusable for
- * the next run, so a detector reused across a sweep stops allocating
- * once every block it needs exists.
+ * Allocator for deep shadow histories: a bump slab plus a free list
+ * of released blocks. Within one run every deep block has the same
+ * size (the detector's shadow depth), so the free list is a plain
+ * stack. rewind() makes all memory reusable for the next run; the
+ * destructor is the only thing that returns it to the OS.
  */
 class CellSlab
 {
@@ -56,6 +63,11 @@ class CellSlab
     PackedCell *
     alloc(size_t n)
     {
+        if (!free_.empty()) {
+            PackedCell *out = free_.back();
+            free_.pop_back();
+            return out;
+        }
         while (true) {
             if (cur_ >= blocks_.size()) {
                 const size_t cells = n > kBlockCells ? n : kBlockCells;
@@ -74,12 +86,30 @@ class CellSlab
         }
     }
 
+    /** Recycle a block obtained from alloc() with the same size. */
+    void
+    release(PackedCell *block)
+    {
+        free_.push_back(block);
+    }
+
     /** Make every block reusable; nothing is freed. */
     void
     rewind()
     {
         cur_ = 0;
         off_ = 0;
+        free_.clear();
+    }
+
+    /** Bytes of cell memory drawn from the OS. */
+    size_t
+    bytesAllocated() const
+    {
+        size_t total = 0;
+        for (const Block &b : blocks_)
+            total += b.cells * sizeof(PackedCell);
+        return total;
     }
 
   private:
@@ -90,6 +120,7 @@ class CellSlab
         size_t cells;
     };
     std::vector<Block> blocks_;
+    std::vector<PackedCell *> free_;
     size_t cur_ = 0;
     size_t off_ = 0;
 };
@@ -109,8 +140,8 @@ struct ShadowState
     uint32_t used = 0;          ///< live cells
     uint32_t next = 0;          ///< ring cursor once full
 
-    // Epoch fast path: the last scanned access ((gid << 32) | epoch
-    // in one comparable word; 0 never matches, gids start at 1) and
+    // Epoch fast path: the last scanned access ((slot << 32) | epoch
+    // in one comparable word; 0 never matches, epochs start at 1) and
     // whether its history scan saw any unordered conflicting cell.
     uint64_t lastKey = 0;
     bool lastWasWrite = false;

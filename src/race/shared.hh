@@ -33,6 +33,10 @@ class Shared
     Shared(const Shared &) = delete;
     Shared &operator=(const Shared &) = delete;
 
+    /** Destroying the variable retires its shadow history, so soak
+     *  runs that churn through tracked objects stay O(live). */
+    ~Shared() { notifyMemFree(&value_); }
+
     /** Instrumented read. */
     T
     load() const

@@ -1,113 +1,353 @@
 /**
  * @file
- * Vector clocks for the happens-before race detector.
+ * Chunked sparse vector clocks for the happens-before race detector.
  *
- * Components are goroutine ids (dense, starting at 1). The clock
- * keeps the first kInline components in an inline array — nearly all
- * bug kernels spawn <= 8 goroutines, so the detector hot path
- * (get/tick/join on the running goroutine's clock) never touches the
- * heap — and spills higher components into a vector that keeps its
- * capacity across clear(), so a reset() detector reuses it without
- * reallocating.
+ * Components are clock *slots* (the detector's recycled goroutine
+ * indices, see race/detector.hh), grouped into 64-component chunks.
+ * A clock holds a pointer per chunk plus a dirty-chunk bitmap, so
+ * joins and copies walk only the chunks that have ever been written —
+ * at soak concurrency a goroutine's clock is typically two or three
+ * chunks wide no matter how many thousands of slots exist.
+ *
+ * Chunks are refcounted and copy-on-write: copyFrom (goroutine spawn,
+ * sync-clock snapshot publish) bumps refcounts instead of copying
+ * words, and a mutation un-shares only the chunk it touches. All
+ * chunks come from a ChunkPool free list owned by the detector, so a
+ * reset() detector reaches steady state with zero allocation, exactly
+ * like the old SBO representation did.
+ *
+ * Everything here is single-threaded (one detector per run per OS
+ * thread), so refcounts are plain integers.
  */
 
 #ifndef GOLITE_RACE_VECTOR_CLOCK_HH
 #define GOLITE_RACE_VECTOR_CLOCK_HH
 
-#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace golite::race
 {
 
+/** One 64-component span of a clock, shared copy-on-write. */
+struct ClockChunk
+{
+    static constexpr uint64_t kSlots = 64;
+
+    uint32_t refs = 0;
+    uint64_t epochs[kSlots] = {};
+};
+
+/**
+ * Free-list allocator for ClockChunks. Chunks are recycled, never
+ * returned to the OS before destruction, so clock churn (goroutine
+ * finish, sync-object free, reset) is allocation-free once the pool
+ * has grown to the run's working set.
+ */
+class ChunkPool
+{
+  public:
+    ClockChunk *
+    alloc()
+    {
+        if (!free_.empty()) {
+            ClockChunk *c = free_.back();
+            free_.pop_back();
+            c->refs = 1;
+            return c;
+        }
+        if (slabs_.empty() || slabFill_ == kSlabChunks) {
+            slabs_.push_back(std::make_unique<ClockChunk[]>(kSlabChunks));
+            slabFill_ = 0;
+        }
+        ClockChunk *c = &slabs_.back()[slabFill_++];
+        c->refs = 1;
+        allocated_++;
+        return c;
+    }
+
+    /** Drop one reference; a dead chunk is zeroed and recycled. */
+    void
+    release(ClockChunk *c)
+    {
+        if (--c->refs == 0) {
+            for (uint64_t &e : c->epochs)
+                e = 0;
+            free_.push_back(c);
+        }
+    }
+
+    /** Chunks ever drawn from the OS (free-listed ones included). */
+    size_t chunksAllocated() const { return allocated_; }
+
+    /** Chunks currently referenced by some clock. */
+    size_t chunksLive() const { return allocated_ - free_.size(); }
+
+    size_t bytesAllocated() const
+    {
+        return allocated_ * sizeof(ClockChunk);
+    }
+
+  private:
+    static constexpr size_t kSlabChunks = 64;
+
+    std::vector<std::unique_ptr<ClockChunk[]>> slabs_;
+    std::vector<ClockChunk *> free_;
+    size_t slabFill_ = 0;
+    size_t allocated_ = 0;
+};
+
 class VectorClock
 {
   public:
-    /** Components stored inline (gids 0..kInline-1). */
-    static constexpr uint64_t kInline = 8;
+    VectorClock() = default;
 
-    VectorClock() { std::fill(inline_, inline_ + kInline, 0); }
+    VectorClock(const VectorClock &) = delete;
+    VectorClock &operator=(const VectorClock &) = delete;
 
-    /** Clock value for goroutine @p gid (0 when absent). */
+    VectorClock(VectorClock &&other) noexcept { moveFrom(other); }
+
+    VectorClock &
+    operator=(VectorClock &&other) noexcept
+    {
+        if (this != &other) {
+            clear();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~VectorClock() { clear(); }
+
+    /**
+     * Attach the chunk pool all mutations draw from. Idempotent; the
+     * detector binds every clock it hands out (including table-default
+     * constructed ones) before first use.
+     */
+    void bindPool(ChunkPool *pool) { pool_ = pool; }
+
+    /** Clock value for @p slot (0 when absent). */
     uint64_t
-    get(uint64_t gid) const
+    get(uint64_t slot) const
     {
-        if (gid < kInline)
-            return inline_[gid];
-        const uint64_t i = gid - kInline;
-        return i < spill_.size() ? spill_[i] : 0;
+        const uint64_t c = slot / ClockChunk::kSlots;
+        if (c >= chunks_.size() || chunks_[c] == nullptr)
+            return 0;
+        return chunks_[c]->epochs[slot % ClockChunk::kSlots];
     }
 
-    /** Set the component for @p gid. */
+    /** Set the component for @p slot. */
     void
-    set(uint64_t gid, uint64_t value)
+    set(uint64_t slot, uint64_t value)
     {
-        component(gid) = value;
+        writable(slot / ClockChunk::kSlots)
+            ->epochs[slot % ClockChunk::kSlots] = value;
     }
 
-    /** Increment the component for @p gid and return the new value. */
+    /** Increment the component for @p slot; returns the new value. */
     uint64_t
-    tick(uint64_t gid)
+    tick(uint64_t slot)
     {
-        return ++component(gid);
+        return ++writable(slot / ClockChunk::kSlots)
+                    ->epochs[slot % ClockChunk::kSlots];
     }
 
-    /** Pointwise maximum with @p other. */
+    /**
+     * Become a copy of @p other by sharing its chunks (refcount bumps
+     * only; O(present chunks), no epoch words touched). This is the
+     * FastTrack-style snapshot publish: a hot channel's release clock
+     * is "copied" to the sync object or to a spawned child this way.
+     */
     void
-    join(const VectorClock &other)
+    copyFrom(const VectorClock &other)
     {
-        for (uint64_t i = 0; i < kInline; ++i)
-            inline_[i] = std::max(inline_[i], other.inline_[i]);
-        if (other.spill_.size() > spill_.size())
-            spill_.resize(other.spill_.size(), 0);
-        for (size_t i = 0; i < other.spill_.size(); ++i)
-            spill_[i] = std::max(spill_[i], other.spill_[i]);
+        clear();
+        chunks_.resize(other.chunks_.size(), nullptr);
+        present_.resize(other.present_.size(), 0);
+        for (size_t w = 0; w < other.present_.size(); ++w) {
+            uint64_t bits = other.present_[w];
+            present_[w] = bits;
+            while (bits) {
+                const size_t c =
+                    w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                chunks_[c] = other.chunks_[c];
+                chunks_[c]->refs++;
+            }
+        }
+    }
+
+    /**
+     * Pointwise maximum with @p other, walking only chunks present in
+     * either side's bitmap and skipping chunks the two clocks already
+     * share. Returns true when *this was dominated by @p other before
+     * the join (every component <= other's, i.e. the join made *this
+     * equal to other) — the release path uses that to mark its memo
+     * exact. The answer is allowed to be conservatively false.
+     */
+    bool
+    joinFrom(const VectorClock &other)
+    {
+        bool dominated = true;
+        if (other.chunks_.size() > chunks_.size()) {
+            chunks_.resize(other.chunks_.size(), nullptr);
+            present_.resize(other.present_.size(), 0);
+        }
+        const size_t words = present_.size();
+        for (size_t w = 0; w < words; ++w) {
+            const uint64_t theirs =
+                w < other.present_.size() ? other.present_[w] : 0;
+            uint64_t bits = present_[w] | theirs;
+            while (bits) {
+                const size_t c =
+                    w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                ClockChunk *mine = chunks_[c];
+                ClockChunk *from =
+                    c < other.chunks_.size() ? other.chunks_[c] : nullptr;
+                if (mine == from)
+                    continue; // shared: identical, nothing to do
+                if (from == nullptr) {
+                    // Only we have it; any nonzero component breaks
+                    // domination (chunks are materialized on write,
+                    // so present chunks are taken as nonzero).
+                    dominated = false;
+                    continue;
+                }
+                if (mine == nullptr) {
+                    chunks_[c] = from;
+                    from->refs++;
+                    present_[w] |= uint64_t{1} << (c % 64);
+                    continue;
+                }
+                bool needs_write = false;
+                for (uint64_t i = 0; i < ClockChunk::kSlots; ++i) {
+                    if (from->epochs[i] > mine->epochs[i])
+                        needs_write = true;
+                    else if (mine->epochs[i] > from->epochs[i])
+                        dominated = false;
+                }
+                if (!needs_write)
+                    continue;
+                if (mine->refs > 1)
+                    mine = unshare(c);
+                for (uint64_t i = 0; i < ClockChunk::kSlots; ++i) {
+                    if (from->epochs[i] > mine->epochs[i])
+                        mine->epochs[i] = from->epochs[i];
+                }
+            }
+        }
+        return dominated;
     }
 
     /** True when every component of *this is <= other's. */
     bool
     leq(const VectorClock &other) const
     {
-        for (uint64_t i = 0; i < kInline; ++i) {
-            if (inline_[i] > other.inline_[i])
-                return false;
-        }
-        for (size_t i = 0; i < spill_.size(); ++i) {
-            if (spill_[i] > other.get(kInline + i))
-                return false;
+        for (size_t w = 0; w < present_.size(); ++w) {
+            uint64_t bits = present_[w];
+            while (bits) {
+                const size_t c =
+                    w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                const ClockChunk *mine = chunks_[c];
+                const ClockChunk *theirs =
+                    c < other.chunks_.size() ? other.chunks_[c] : nullptr;
+                if (mine == theirs)
+                    continue;
+                for (uint64_t i = 0; i < ClockChunk::kSlots; ++i) {
+                    const uint64_t t =
+                        theirs ? theirs->epochs[i] : 0;
+                    if (mine->epochs[i] > t)
+                        return false;
+                }
+            }
         }
         return true;
     }
 
     /**
-     * Zero every component but keep the spill capacity, so a clock in
-     * a reset() detector is reusable without reallocation.
+     * Release every chunk back to the pool. Keeps the chunk-pointer
+     * and bitmap vector capacity, so a clock in a reset() detector is
+     * reusable without reallocation.
      */
     void
     clear()
     {
-        std::fill(inline_, inline_ + kInline, 0);
-        std::fill(spill_.begin(), spill_.end(), 0);
+        for (size_t w = 0; w < present_.size(); ++w) {
+            uint64_t bits = present_[w];
+            present_[w] = 0;
+            while (bits) {
+                const size_t c =
+                    w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                pool_->release(chunks_[c]);
+                chunks_[c] = nullptr;
+            }
+        }
     }
 
-    /** One past the highest gid this clock has storage for. */
-    size_t size() const { return kInline + spill_.size(); }
+    /** Chunks this clock currently references (test/metrics hook). */
+    size_t
+    chunkCount() const
+    {
+        size_t n = 0;
+        for (uint64_t w : present_)
+            n += static_cast<size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** One past the highest slot this clock has chunk storage for. */
+    size_t size() const { return chunks_.size() * ClockChunk::kSlots; }
 
   private:
-    uint64_t &
-    component(uint64_t gid)
+    void
+    moveFrom(VectorClock &other) noexcept
     {
-        if (gid < kInline)
-            return inline_[gid];
-        const uint64_t i = gid - kInline;
-        if (i >= spill_.size())
-            spill_.resize(i + 1, 0);
-        return spill_[i];
+        chunks_ = std::move(other.chunks_);
+        present_ = std::move(other.present_);
+        pool_ = other.pool_;
+        other.chunks_.clear();
+        other.present_.clear();
     }
 
-    uint64_t inline_[kInline];
-    std::vector<uint64_t> spill_;
+    /** Chunk @p c, materialized and exclusively owned. */
+    ClockChunk *
+    writable(uint64_t c)
+    {
+        if (c >= chunks_.size()) {
+            chunks_.resize(c + 1, nullptr);
+            present_.resize((chunks_.size() + 63) / 64, 0);
+        }
+        ClockChunk *chunk = chunks_[c];
+        if (chunk == nullptr) {
+            chunk = pool_->alloc();
+            chunks_[c] = chunk;
+            present_[c / 64] |= uint64_t{1} << (c % 64);
+            return chunk;
+        }
+        if (chunk->refs > 1)
+            return unshare(c);
+        return chunk;
+    }
+
+    /** Replace a shared chunk with a private copy of its contents. */
+    ClockChunk *
+    unshare(uint64_t c)
+    {
+        ClockChunk *shared = chunks_[c];
+        ClockChunk *mine = pool_->alloc();
+        for (uint64_t i = 0; i < ClockChunk::kSlots; ++i)
+            mine->epochs[i] = shared->epochs[i];
+        shared->refs--; // >1 by precondition; never reaches zero here
+        chunks_[c] = mine;
+        return mine;
+    }
+
+    std::vector<ClockChunk *> chunks_; ///< nullptr = absent chunk
+    std::vector<uint64_t> present_;    ///< dirty-chunk bitmap
+    ChunkPool *pool_ = nullptr;
 };
 
 } // namespace golite::race

@@ -29,6 +29,7 @@ eventKindName(EventKind kind)
       case EventKind::OnceOp: return "once op";
       case EventKind::MemRead: return "mem read";
       case EventKind::MemWrite: return "mem write";
+      case EventKind::MemFree: return "mem free";
     }
     return "unknown";
 }

@@ -81,11 +81,14 @@ enum class EventKind : uint8_t
     OnceOp,       ///< Once::doOnce completed (flag = ran the fn)
     MemRead,      ///< instrumented shared read (obj=addr, label)
     MemWrite,     ///< instrumented shared write (obj=addr, label)
+    MemFree,      ///< tracked object destroyed (obj=addr); detectors
+                  ///< drop its shadow/sync state (race detector
+                  ///< shadow reclamation)
 };
 
 /** Number of EventKind values (for the exhaustiveness test). */
 constexpr int kEventKindCount =
-    static_cast<int>(EventKind::MemWrite) + 1;
+    static_cast<int>(EventKind::MemFree) + 1;
 
 const char *eventKindName(EventKind kind);
 
@@ -506,6 +509,21 @@ class EventBus
             return;
         for (Subscriber *s : listFor(EventKind::MemWrite))
             s->onMemAccess(addr, label, gid, true);
+    }
+
+    /** A tracked object (shadowed address or sync object) was
+     *  destroyed; detectors reclaim its state. gid 0 = destroyed
+     *  outside any goroutine (run setup/teardown). */
+    void
+    memFree(const void *addr, uint64_t gid)
+    {
+        if (!wants(EventKind::MemFree))
+            return;
+        RuntimeEvent ev;
+        ev.kind = EventKind::MemFree;
+        ev.gid = gid;
+        ev.obj = addr;
+        publish(ev);
     }
 
   private:

@@ -107,7 +107,20 @@ RunMetrics::json() const
         os << "\"" << waitReasonName(static_cast<WaitReason>(i))
            << "\":" << blocksByReason[i];
     }
-    os << "}}";
+    os << "}";
+    // The detector footprint only appears when a race detector ran,
+    // so fixed-kernel expectations without one stay byte-stable.
+    if (detector.collected) {
+        os << ",\"detector\":{\"liveClockSlots\":"
+           << detector.liveClockSlots
+           << ",\"peakClockSlots\":" << detector.peakClockSlots
+           << ",\"slotSpace\":" << detector.slotSpace
+           << ",\"shadowEntries\":" << detector.shadowEntries
+           << ",\"peakShadowEntries\":" << detector.peakShadowEntries
+           << ",\"shadowFreed\":" << detector.shadowFreed
+           << ",\"arenaBytes\":" << detector.arenaBytes << "}";
+    }
+    os << "}";
     return os.str();
 }
 

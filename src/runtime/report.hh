@@ -301,8 +301,32 @@ struct GoroutineStat
  */
 struct RunMetrics
 {
+    /**
+     * Race-detector memory footprint, published by
+     * race::Detector::finalizeRun (MetricsSink preserves it when it
+     * writes the rest of the struct). Makes detector scaling
+     * regressions visible in soak extras, not just timed. Excluded
+     * from fingerprint() like everything else here, and omitted from
+     * json() unless collected.
+     */
+    struct DetectorFootprint
+    {
+        /** True when a race::Detector actually populated this. */
+        bool collected = false;
+        uint64_t liveClockSlots = 0;   ///< slots bound at end of run
+        uint64_t peakClockSlots = 0;   ///< peak concurrently bound
+        uint64_t slotSpace = 0;        ///< distinct slots materialized
+        uint64_t shadowEntries = 0;    ///< addresses tracked at end
+        uint64_t peakShadowEntries = 0;
+        uint64_t shadowFreed = 0;      ///< addresses erased by MemFree
+        uint64_t arenaBytes = 0;       ///< clock chunks + cell slab
+    };
+
     /** True when a MetricsSink actually populated this. */
     bool collected = false;
+
+    /** See DetectorFootprint. */
+    DetectorFootprint detector;
 
     // Ops by primitive.
     uint64_t chanSends = 0;

@@ -884,4 +884,12 @@ run(std::function<void()> main, const RunOptions &options)
     return sched.run(std::move(main));
 }
 
+void
+notifyMemFree(const void *addr)
+{
+    Scheduler *sched = Scheduler::current();
+    if (sched != nullptr)
+        sched->bus().memFree(addr, sched->runningId());
+}
+
 } // namespace golite

@@ -327,6 +327,15 @@ void yield();
  */
 RunReport run(std::function<void()> main, const RunOptions &options = {});
 
+/**
+ * Announce that a tracked object (an instrumented shared variable or
+ * a sync primitive usable as a happens-before edge source) is being
+ * destroyed. Emits EventKind::MemFree on the active run's bus so
+ * detectors can reclaim the address's shadow/clock state; a no-op
+ * outside a run (objects owned beyond the run's lifetime).
+ */
+void notifyMemFree(const void *addr);
+
 } // namespace golite
 
 #endif // GOLITE_RUNTIME_SCHEDULER_HH

@@ -6,6 +6,11 @@
 namespace golite
 {
 
+Mutex::~Mutex()
+{
+    notifyMemFree(this);
+}
+
 void
 Mutex::lock()
 {

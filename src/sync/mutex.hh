@@ -24,6 +24,8 @@ class Mutex
 {
   public:
     Mutex() = default;
+    /** Emits MemFree so detectors drop this lock's clock state. */
+    ~Mutex();
     Mutex(const Mutex &) = delete;
     Mutex &operator=(const Mutex &) = delete;
 

@@ -5,6 +5,11 @@
 namespace golite
 {
 
+Once::~Once()
+{
+    notifyMemFree(this);
+}
+
 void
 Once::doOnce(const std::function<void()> &fn)
 {

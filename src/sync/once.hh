@@ -21,6 +21,8 @@ class Once
 {
   public:
     Once() = default;
+    /** Emits MemFree so detectors drop this object's clock state. */
+    ~Once();
     Once(const Once &) = delete;
     Once &operator=(const Once &) = delete;
 

@@ -8,6 +8,11 @@
 namespace golite
 {
 
+RWMutex::~RWMutex()
+{
+    notifyMemFree(this);
+}
+
 void
 RWMutex::rlock()
 {

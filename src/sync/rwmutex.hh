@@ -28,6 +28,8 @@ class RWMutex
 {
   public:
     RWMutex() = default;
+    /** Emits MemFree so detectors drop this lock's clock state. */
+    ~RWMutex();
     RWMutex(const RWMutex &) = delete;
     RWMutex &operator=(const RWMutex &) = delete;
 

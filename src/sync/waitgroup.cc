@@ -6,6 +6,11 @@
 namespace golite
 {
 
+WaitGroup::~WaitGroup()
+{
+    notifyMemFree(this);
+}
+
 void
 WaitGroup::add(int delta)
 {

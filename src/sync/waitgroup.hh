@@ -23,6 +23,8 @@ class WaitGroup
 {
   public:
     WaitGroup() = default;
+    /** Emits MemFree so detectors drop this object's clock state. */
+    ~WaitGroup();
     WaitGroup(const WaitGroup &) = delete;
     WaitGroup &operator=(const WaitGroup &) = delete;
 

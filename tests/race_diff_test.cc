@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "corpus/bug.hh"
 #include "golite/golite.hh"
 #include "ref_detector.hh"
@@ -137,6 +139,178 @@ TEST_P(RaceDifferential, FastPathOffMatchesOnWithinOneRun)
 
 INSTANTIATE_TEST_SUITE_P(Depths, RaceDifferential,
                          ::testing::Values<size_t>(1, 2, 4, 16));
+
+// ---------------------------------------------------------------------
+// Churn: slot recycling and shadow reclamation under goroutine waves.
+// ---------------------------------------------------------------------
+
+constexpr size_t kWaves = 6;
+constexpr size_t kWorkers = 8;
+
+/**
+ * Waves of short-lived goroutines. Even-numbered workers race on a
+ * wave-local heap variable that is freed between waves (MemFree with
+ * allocator address reuse); odd-numbered ones take a mutex and touch
+ * nothing shared, so their slots retire with zero cell refs and are
+ * rebound by the next wave. Exercises every lifecycle edge the
+ * recycled detector has: bind, retire, refs-gated rebind, epoch
+ * handoff above the floor, and freed-shadow erasure.
+ */
+void
+churnWaves()
+{
+    Mutex mu;
+    int guarded = 0;
+    for (size_t w = 0; w < kWaves; ++w) {
+        auto x = std::make_unique<race::Shared<int>>("wave");
+        auto done = makeChan<Unit>();
+        for (size_t i = 0; i < kWorkers; ++i) {
+            go([&, i] {
+                if (i % 2 == 0) {
+                    x->store(static_cast<int>(i));
+                } else {
+                    mu.lock();
+                    guarded++;
+                    mu.unlock();
+                }
+                done.send(Unit{});
+            });
+        }
+        for (size_t i = 0; i < kWorkers; ++i)
+            done.recv();
+        x.reset(); // mid-run MemFree of a raced-on address
+    }
+}
+
+TEST(RaceChurn, ChurnWavesMatchReferenceAcrossModes)
+{
+    for (const bool reap : {false, true}) {
+        for (const bool recycle : {false, true}) {
+            for (uint64_t seed = 0; seed < 3; ++seed) {
+                Detector optimized(4);
+                optimized.setRecycle(recycle);
+                RefDetector reference(4);
+                RunOptions options;
+                options.seed = seed;
+                options.reapFinished = reap;
+                options.subscribers = {&optimized, &reference};
+                run(churnWaves, options);
+                const std::string what =
+                    std::string("churn/reap") + (reap ? "1" : "0") +
+                    "/recycle" + (recycle ? "1" : "0") + "/seed" +
+                    std::to_string(seed);
+                expectSameReports(optimized.reports(),
+                                  reference.reports(), what);
+                // Recycling keeps the slot space at O(peak live).
+                // A worker emits GoFinish only when rescheduled
+                // after its channel handoff, so main can start the
+                // next wave while the previous one is still
+                // finishing — peak live is up to two waves, never
+                // one slot per goroutine ever created.
+                if (recycle)
+                    EXPECT_LE(optimized.slotSpace(), 2 * kWorkers + 2)
+                        << what;
+                else
+                    EXPECT_EQ(optimized.slotSpace(),
+                              1 + kWaves * kWorkers)
+                        << what;
+                // The freed wave variables' shadow state is gone.
+                EXPECT_GE(optimized.shadowFreed(), kWaves - 1) << what;
+            }
+        }
+    }
+}
+
+TEST(RaceChurn, RaceOnRecycledSlotReportsCurrentGoroutines)
+{
+    // A race between two goroutines whose slots were recycled from an
+    // earlier, finished wave must still be reported — and attributed
+    // to the *new* goroutine ids, not the retired bindings that used
+    // the same slots.
+    Detector optimized(4);
+    optimized.setRecycle(true);
+    RefDetector reference(4);
+    RunOptions options;
+    options.reapFinished = true;
+    options.subscribers = {&optimized, &reference};
+    // Gids are sequential: main=1, wave 1 gets 2..9, so the wave-2
+    // racers are 10 and 11.
+    constexpr uint64_t firstRacerGid = 10;
+    run([&] {
+        // Wave 1: workers that share nothing; their slots retire
+        // with zero cell refs and go straight to the free list.
+        auto done = makeChan<Unit>();
+        for (int i = 0; i < 8; ++i)
+            go([done] { done.send(Unit{}); });
+        for (int i = 0; i < 8; ++i)
+            done.recv();
+        // Wave 2: two unsynchronized writers on recycled slots.
+        race::Shared<int> x("reuse");
+        auto done2 = makeChan<Unit>();
+        go([&] {
+            x.store(1);
+            done2.send(Unit{});
+        });
+        go([&] {
+            x.store(2);
+            done2.send(Unit{});
+        });
+        done2.recv();
+        done2.recv();
+    }, options);
+    expectSameReports(optimized.reports(), reference.reports(),
+                      "recycled-slot race");
+    ASSERT_FALSE(optimized.reports().empty());
+    for (const RaceReport &r : optimized.reports()) {
+        EXPECT_GE(r.firstGid, firstRacerGid) << r.describe();
+        EXPECT_GE(r.secondGid, firstRacerGid) << r.describe();
+    }
+    // Wave 2 reused wave 1's slots rather than materializing more.
+    EXPECT_LE(optimized.slotSpace(), 9u);
+}
+
+TEST(RaceChurn, FingerprintsIdenticalAcrossRecycleModes)
+{
+    // Recycling must be invisible in the run artifact: same seed, one
+    // run with a recycling detector and one without, byte-identical
+    // RunReport fingerprints (race messages render real gids either
+    // way) — the ISSUE's RECYCLE=0 vs =1 acceptance gate.
+    for (const bool reap : {false, true}) {
+        for (uint64_t seed = 0; seed < 3; ++seed) {
+            RunReport byMode[2];
+            for (const bool recycle : {false, true}) {
+                Detector det(4);
+                det.setRecycle(recycle);
+                RunOptions options;
+                options.seed = seed;
+                options.reapFinished = reap;
+                options.subscribers = {&det};
+                byMode[recycle ? 1 : 0] = run(churnWaves, options);
+            }
+            EXPECT_EQ(byMode[0].fingerprint(), byMode[1].fingerprint())
+                << "reap" << reap << "/seed" << seed;
+        }
+    }
+}
+
+TEST(RaceChurn, CorpusFingerprintsIdenticalAcrossRecycleModes)
+{
+    // Same gate across the whole non-blocking corpus, buggy variants.
+    for (const BugCase *bug :
+         corpus::bugsByBehavior(Behavior::NonBlocking, true)) {
+        RunReport byMode[2];
+        for (const bool recycle : {false, true}) {
+            Detector det(4);
+            det.setRecycle(recycle);
+            RunOptions options;
+            options.subscribers = {&det};
+            byMode[recycle ? 1 : 0] =
+                bug->run(Variant::Buggy, options).report;
+        }
+        EXPECT_EQ(byMode[0].fingerprint(), byMode[1].fingerprint())
+            << bug->info.id;
+    }
+}
 
 } // namespace
 } // namespace golite

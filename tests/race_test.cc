@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "golite/golite.hh"
@@ -509,6 +510,182 @@ TEST_P(RaceSeedSweep, DetectionIsScheduleIndependent)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RaceSeedSweep,
                          ::testing::Range<uint64_t>(0, 12));
+
+// ---------------------------------------------------------------------
+// Clock lifecycle: the structures that make -race O(live goroutines).
+// ---------------------------------------------------------------------
+
+TEST(RacePtrTable, EraseCompactsBackToLiveSize)
+{
+    // A soak run touches millions of addresses/gids but keeps only
+    // thousands live; after the dead ones are erased the table must
+    // return to O(live) capacity, not remember its high-water mark.
+    race::PtrTable<uint32_t, uint64_t> table;
+    constexpr uint64_t kTotal = 100000;
+    constexpr uint64_t kLive = 100;
+    for (uint64_t gid = 1; gid <= kTotal; ++gid)
+        table[gid] = static_cast<uint32_t>(gid);
+    ASSERT_GE(table.capacity(), kTotal);
+    for (uint64_t gid = 1; gid <= kTotal - kLive; ++gid)
+        EXPECT_TRUE(table.erase(gid));
+    EXPECT_EQ(table.size(), kLive);
+    // The final compaction may fire while a few thousand entries are
+    // still live, so the floor is O(live) with constant slack — what
+    // matters is that the 100k-entry footprint is gone.
+    EXPECT_LE(table.capacity(), 1024u);
+    // Survivors are intact and findable after all that rehashing.
+    for (uint64_t gid = kTotal - kLive + 1; gid <= kTotal; ++gid) {
+        auto *v = table.find(gid);
+        ASSERT_NE(v, nullptr) << gid;
+        EXPECT_EQ(*v, static_cast<uint32_t>(gid));
+    }
+    EXPECT_EQ(table.find(1), nullptr);
+    EXPECT_FALSE(table.erase(1)); // already gone
+}
+
+TEST(RacePtrTable, TombstonesAreReusedByInsert)
+{
+    race::PtrTable<uint32_t, uint64_t> table;
+    for (uint64_t gid = 1; gid <= 8; ++gid)
+        table[gid] = 7;
+    const size_t cap = table.capacity();
+    // Erase/insert cycles at steady state must not grow the table.
+    for (int round = 0; round < 1000; ++round) {
+        table.erase(1 + (round % 8));
+        table[1 + (round % 8)] = 9;
+    }
+    EXPECT_EQ(table.size(), 8u);
+    EXPECT_EQ(table.capacity(), cap);
+}
+
+TEST(RaceVectorClock, SparseSlotsMaterializeOnlyTheirChunks)
+{
+    race::ChunkPool pool;
+    race::VectorClock vc;
+    vc.bindPool(&pool);
+    vc.set(5, 10);
+    vc.set(1000, 3);
+    EXPECT_EQ(vc.get(5), 10u);
+    EXPECT_EQ(vc.get(1000), 3u);
+    EXPECT_EQ(vc.get(999), 0u);  // same chunk, untouched slot
+    EXPECT_EQ(vc.get(5000), 0u); // never-materialized chunk
+    EXPECT_EQ(vc.chunkCount(), 2u); // not 1000/64 + 1
+}
+
+TEST(RaceVectorClock, CopySharesChunksJoinUnsharesOnWrite)
+{
+    race::ChunkPool pool;
+    race::VectorClock a;
+    a.bindPool(&pool);
+    a.set(1, 5);
+    a.set(200, 7);
+    const size_t before = pool.chunksLive();
+
+    // COW copy: no new chunks, just refcount bumps.
+    race::VectorClock b;
+    b.bindPool(&pool);
+    b.copyFrom(a);
+    EXPECT_EQ(pool.chunksLive(), before);
+    EXPECT_EQ(b.get(1), 5u);
+    EXPECT_EQ(b.get(200), 7u);
+
+    // Join that changes nothing stays shared and reports dominance.
+    EXPECT_TRUE(b.joinFrom(a));
+    EXPECT_EQ(pool.chunksLive(), before);
+
+    // Writing through the copy unshares only the written chunk and
+    // leaves the original untouched.
+    b.tick(1);
+    EXPECT_EQ(b.get(1), 6u);
+    EXPECT_EQ(a.get(1), 5u);
+    EXPECT_EQ(pool.chunksLive(), before + 1);
+
+    // a lags b only: a ⊑ b, so the join reports dominance and lifts
+    // a's lagging component.
+    EXPECT_TRUE(a.joinFrom(b));
+    EXPECT_EQ(a.get(1), 6u);
+    EXPECT_TRUE(a.leq(b));
+
+    // Diverge them: a advances at 200, b at a fresh chunk (300).
+    a.tick(200);
+    EXPECT_FALSE(a.leq(b));
+    b.tick(300);
+    EXPECT_FALSE(b.joinFrom(a)); // b had 300 that a lacks: no dominance
+    EXPECT_EQ(b.get(200), a.get(200)); // but it picked up a's advance
+    EXPECT_TRUE(a.leq(b)); // and now dominates a
+}
+
+TEST(RaceDetector, ShadowStateReclaimedOnFree)
+{
+    // Churning through tracked variables must not accumulate shadow
+    // entries: each destruction erases its address's state.
+    Detector detector;
+    runRaced(detector, [] {
+        for (int i = 0; i < 200; ++i) {
+            auto x = std::make_unique<Shared<int>>("churn");
+            x->store(i);
+            (void)x->load();
+        }
+    });
+    EXPECT_GE(detector.shadowFreed(), 200u);
+    EXPECT_LE(detector.shadowEntries(), 2u);
+}
+
+TEST(RaceDetector, SlotSpaceTracksLiveNotTotalGoroutines)
+{
+    constexpr int kSequential = 100;
+    auto sequentialChurn = [] {
+        for (int i = 0; i < kSequential; ++i) {
+            auto done = makeChan<Unit>();
+            go([done] { done.send(Unit{}); });
+            done.recv();
+            // Let the worker run past its handoff and emit GoFinish
+            // so its slot retires before the next spawn.
+            yield();
+            yield();
+        }
+    };
+
+    Detector recycled;
+    recycled.setRecycle(true);
+    runRaced(recycled, sequentialChurn);
+    EXPECT_LE(recycled.slotSpace(), 8u);
+
+    Detector dense;
+    dense.setRecycle(false);
+    runRaced(dense, sequentialChurn);
+    EXPECT_EQ(dense.slotSpace(), 1u + kSequential);
+}
+
+TEST(RaceDetector, FootprintPublishedThroughMetricsSink)
+{
+    Detector detector;
+    obs::MetricsSink metrics;
+    RunOptions options;
+    options.subscribers = {&detector, &metrics};
+    RunReport report = run([] {
+        Shared<int> x("x");
+        WaitGroup wg;
+        wg.add(2);
+        for (int i = 0; i < 2; ++i) {
+            go([&] {
+                x.update([](int &v) { v += 1; });
+                wg.done();
+            });
+        }
+        wg.wait();
+    }, options);
+    ASSERT_TRUE(report.metrics.collected);
+    ASSERT_TRUE(report.metrics.detector.collected);
+    const auto &fp = report.metrics.detector;
+    EXPECT_GE(fp.peakClockSlots, 3u); // main + 2 workers overlapped
+    EXPECT_GE(fp.slotSpace, fp.peakClockSlots);
+    EXPECT_GE(fp.peakShadowEntries, 1u);
+    EXPECT_GT(fp.arenaBytes, 0u);
+    // The detector block reaches the JSON artifact.
+    EXPECT_NE(report.metrics.json().find("\"detector\""),
+              std::string::npos);
+}
 
 } // namespace
 } // namespace golite

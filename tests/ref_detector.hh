@@ -7,9 +7,14 @@
  * per-object report budget, (gids, kinds) report dedup — written with
  * naive containers (std::map clocks and shadow, std::vector cells,
  * std::set combos), no epoch fast paths, no caches, no truncation,
- * no reuse. Every access performs the full scan against full-width
- * vector clocks. Any report-sequence divergence from the optimized
- * detector on the same run is a bug in one of them.
+ * no slot recycling. Every access performs the full scan against
+ * full-width vector clocks keyed by raw goroutine id. The one
+ * lifecycle event it does mirror is MemFree: the optimized detector
+ * erases a freed address's shadow history (and with it the address's
+ * report budget) and sync clock, so the reference must too or the two
+ * would diverge whenever the allocator reuses an address. Any
+ * report-sequence divergence from the optimized detector on the same
+ * run is a bug in one of them.
  */
 
 #ifndef GOLITE_TESTS_REF_DETECTOR_HH
@@ -43,7 +48,8 @@ class RefDetector : public Subscriber
                eventBit(EventKind::SyncAcquire) |
                eventBit(EventKind::SyncRelease) |
                eventBit(EventKind::MemRead) |
-               eventBit(EventKind::MemWrite);
+               eventBit(EventKind::MemWrite) |
+               eventBit(EventKind::MemFree);
     }
 
     void
@@ -58,6 +64,10 @@ class RefDetector : public Subscriber
             break;
           case EventKind::SyncRelease:
             release(ev.obj, ev.gid);
+            break;
+          case EventKind::MemFree:
+            shadow_.erase(ev.obj);
+            syncClocks_.erase(ev.obj);
             break;
           default:
             break; // MemRead/MemWrite arrive via onMemAccess
