@@ -15,7 +15,12 @@
  *              bad report; preemption disabled and report-level
  *              predicate only, so detector-only races and
  *              wrong-result kernels are out of its reach — that gap
- *              is the point of measuring it here).
+ *              is the point of measuring it here),
+ *   - dpor:    the same explorer with dynamic partial-order
+ *              reduction and the full bug predicate (detector
+ *              attached, manifestation folded into the report) —
+ *              the strongest searcher; bench_ext_explorer gates it
+ *              against naive enumeration and the fuzzer.
  *
  * Everything is deterministic (single fuzz worker, fixed seeds,
  * stable coverage hashes), so BENCH_fuzz.json is byte-stable and CI
@@ -52,6 +57,7 @@ struct KernelRow
     size_t randExecs = 0;    ///< 1-based first-bug execution, 0=never
     size_t fuzzExecs = 0;    ///< same, for the fuzzer
     size_t exploreSchedules = 0; ///< explorer firstBadAt, 0=never
+    size_t dporExecs = 0;        ///< DPOR-mode firstBadAt, 0=never
     size_t coverageStates = 0;   ///< fuzzer campaign coverage
 };
 
@@ -100,6 +106,16 @@ exploreToFirstBug(const BugCase &bug)
     return r.firstBadAt;
 }
 
+size_t
+dporToFirstBug(const BugCase &bug)
+{
+    explore::ExploreOptions eo;
+    eo.maxSchedules = kBudget;
+    eo.mode = explore::ExploreMode::Dpor;
+    return bench::exploreKernelDetected(bug, Variant::Buggy, eo)
+        .firstBadAt;
+}
+
 std::string
 cell(size_t v)
 {
@@ -120,6 +136,7 @@ renderJson(const std::vector<KernelRow> &rows, size_t comparable,
                ", \"fuzz_execs\": " + std::to_string(r.fuzzExecs) +
                ", \"explore_schedules\": " +
                std::to_string(r.exploreSchedules) +
+               ", \"dpor_execs\": " + std::to_string(r.dporExecs) +
                ", \"coverage_states\": " +
                std::to_string(r.coverageStates) + "}";
         out += (i + 1 < rows.size()) ? ",\n" : "\n";
@@ -153,19 +170,22 @@ main()
     size_t rand_found = 0;
     size_t fuzz_found = 0;
     size_t explore_found = 0;
+    size_t dpor_found = 0;
 
     study::TextTable table(
-        {"bug", "rand", "fuzz", "explore", "cov states"});
+        {"bug", "rand", "fuzz", "explore", "dpor", "cov states"});
     for (const BugCase &bug : corpus::corpus()) {
         KernelRow row;
         row.id = bug.info.id;
         row.randExecs = randomToFirstBug(bug);
         row.fuzzExecs = fuzzToFirstBug(bug, row.coverageStates);
         row.exploreSchedules = exploreToFirstBug(bug);
+        row.dporExecs = dporToFirstBug(bug);
 
         rand_found += row.randExecs != 0;
         fuzz_found += row.fuzzExecs != 0;
         explore_found += row.exploreSchedules != 0;
+        dpor_found += row.dporExecs != 0;
         if (row.randExecs != 0 || row.fuzzExecs != 0) {
             comparable++;
             if (row.fuzzExecs != 0 &&
@@ -176,6 +196,7 @@ main()
         table.addRow({row.id, cell(row.randExecs),
                       cell(row.fuzzExecs),
                       cell(row.exploreSchedules),
+                      cell(row.dporExecs),
                       std::to_string(row.coverageStates)});
         rows.push_back(row);
     }
@@ -184,9 +205,9 @@ main()
     const double win_rate =
         comparable ? 1.0 * fuzz_wins / comparable : 0.0;
     std::printf("\nfound within budget: rand %zu/%zu, fuzz %zu/%zu, "
-                "explore %zu/%zu\n",
+                "explore %zu/%zu, dpor %zu/%zu\n",
                 rand_found, rows.size(), fuzz_found, rows.size(),
-                explore_found, rows.size());
+                explore_found, rows.size(), dpor_found, rows.size());
     std::printf("fuzz at least as fast as rand: %zu/%zu (%.1f%%)\n",
                 fuzz_wins, comparable, 100.0 * win_rate);
 

@@ -12,6 +12,8 @@
 #include <string>
 
 #include "corpus/bug.hh"
+#include "explore/explorer.hh"
+#include "race/detector.hh"
 
 namespace golite::bench
 {
@@ -42,6 +44,34 @@ findManifestingSeed(const corpus::BugCase &bug, int max_seeds = 200)
             return static_cast<uint64_t>(seed);
     }
     return std::nullopt;
+}
+
+/**
+ * Systematic exploration of a corpus kernel on the same
+ * bug-predicate footing as the fuzz and random-rerun searchers: race
+ * detector attached, kernel-level manifestation folded into the
+ * report. Detector-only races and wrong-result kernels count as hits
+ * for the explorer's tally exactly as they do for the other two.
+ */
+inline explore::ExploreResult
+exploreKernelDetected(const corpus::BugCase &bug,
+                      corpus::Variant variant,
+                      explore::ExploreOptions options)
+{
+    race::Detector det(4);
+    return explore::exploreAll(
+        [&bug, variant, &det](const RunOptions &base) {
+            det.reset();
+            RunOptions ro = base;
+            ro.subscribers.push_back(&det);
+            const corpus::BugOutcome out = bug.run(variant, ro);
+            RunReport report = out.report;
+            if (out.manifested)
+                report.raceMessages.push_back(
+                    "kernel bug manifested: " + out.note);
+            return report;
+        },
+        options);
 }
 
 } // namespace golite::bench

@@ -1,0 +1,540 @@
+#include "explore/dpor.hh"
+
+#include <algorithm>
+
+namespace golite::explore
+{
+
+namespace
+{
+
+/** a = a ⊔ b (component-wise max, growing a as needed). */
+void
+joinInto(std::vector<uint32_t> &a, const std::vector<uint32_t> &b)
+{
+    if (b.size() > a.size())
+        a.resize(b.size(), 0);
+    for (size_t i = 0; i < b.size(); ++i)
+        a[i] = std::max(a[i], b[i]);
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t
+fnv(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+const void *
+clockPseudoObj()
+{
+    static const int tag = 0;
+    return &tag;
+}
+
+const void *
+spawnPseudoObj()
+{
+    static const int tag = 0;
+    return &tag;
+}
+
+void
+StepFootprint::add(uint64_t key, bool write)
+{
+    for (Access &a : accesses) {
+        if (a.key == key) {
+            a.write |= write;
+            return;
+        }
+    }
+    accesses.push_back(Access{key, write});
+}
+
+void
+StepFootprint::addActor(uint64_t gid)
+{
+    if (!hasActor(gid))
+        actors.push_back(gid);
+}
+
+bool
+StepFootprint::hasActor(uint64_t gid) const
+{
+    return std::find(actors.begin(), actors.end(), gid) !=
+           actors.end();
+}
+
+bool
+footprintsConflict(const StepFootprint &a, const StepFootprint &b)
+{
+    for (uint64_t g : a.actors)
+        if (b.hasActor(g))
+            return true;
+    for (const Access &x : a.accesses)
+        for (const Access &y : b.accesses)
+            if (x.key == y.key && (x.write || y.write))
+                return true;
+    return false;
+}
+
+void
+DependenceOracle::beginRun()
+{
+    curFp_.clear();
+    curKind_ = DecisionKind::Pick;
+    curAlternatives_ = 0;
+    curPick_ = 0;
+    curGid_ = 0;
+    curNode_ = kNoDporNode;
+    curOpens_ = false;
+    prologue_ = true;
+    steps_.clear();
+    nodeCount_ = 0;
+    baseClock_.clear();
+    slotGid_.clear();
+    gidClock_.clear();
+    localCount_.clear();
+    pendingJoins_.clear();
+    log_.clear();
+    activeSelects_.clear();
+    selectSeq_.clear();
+    canon_.clear();
+}
+
+uint64_t
+DependenceOracle::keyFor(const void *obj, const char *label)
+{
+    if (label != nullptr) {
+        uint64_t h = kFnvOffset;
+        for (const char *p = label; *p != '\0'; ++p) {
+            h ^= static_cast<uint8_t>(*p);
+            h *= kFnvPrime;
+        }
+        return h | (uint64_t{1} << 63);
+    }
+    const uint64_t raw =
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(obj));
+    if (raw & (uint64_t{1} << 62))
+        return raw; // synthesized select pseudo: stable by design
+    if (obj == clockPseudoObj() || obj == spawnPseudoObj())
+        return raw; // static sentinels: stable within the process
+    const auto [it, inserted] = canon_.try_emplace(
+        obj, (uint64_t{1} << 61) | canon_.size());
+    return it->second;
+}
+
+namespace
+{
+
+/** Synthetic non-heap pointer for a blocked select (bit 62 keeps it
+ *  clear of canonical user-space addresses). */
+const void *
+selectPseudoObj(uint64_t gid, uint32_t seq)
+{
+    const uint64_t tag =
+        (uint64_t{1} << 62) | (gid << 20) | uint64_t{seq};
+    return reinterpret_cast<const void *>(
+        static_cast<uintptr_t>(tag));
+}
+
+} // namespace
+
+size_t
+DependenceOracle::slotOf(uint64_t gid)
+{
+    for (size_t i = 0; i < slotGid_.size(); ++i)
+        if (slotGid_[i] == gid)
+            return i;
+    slotGid_.push_back(gid);
+    gidClock_.emplace_back();
+    localCount_.push_back(0);
+    pendingJoins_.emplace_back();
+    return slotGid_.size() - 1;
+}
+
+void
+DependenceOracle::closeStep()
+{
+    if (prologue_ && curFp_.accesses.empty() && curFp_.actors.empty())
+        return; // nothing ever happened in this prologue stretch
+
+    const uint64_t g = curGid_;
+    const size_t slot = slotOf(g);
+    curFp_.addActor(g);
+
+    std::vector<uint32_t> &vc = scratchClock_;
+    vc.assign(gidClock_[slot].begin(), gidClock_[slot].end());
+    joinInto(vc, baseClock_);
+
+    // Spawn/unpark edges targeted at this goroutine. Entries that
+    // point at the still-open sub-step cannot occur (one sub-step is
+    // open at a time and a goroutine never unparks itself), but keep
+    // them defensively for the next sub-step rather than indexing out
+    // of range.
+    std::vector<uint32_t> &joins = pendingJoins_[slot];
+    size_t keep = 0;
+    for (uint32_t idx : joins) {
+        if (idx < steps_.size())
+            joinInto(vc, steps_[idx].clock);
+        else
+            joins[keep++] = idx;
+    }
+    joins.resize(keep);
+
+    localCount_[slot]++;
+    if (vc.size() <= slot)
+        vc.resize(slot + 1, 0);
+    vc[slot] = localCount_[slot];
+
+    if (prologue_) {
+        // The prologue (run setup and the forced pre-first-decision
+        // stretch) is identical in every schedule; it is not
+        // backtrackable, so it folds into the base clock instead of
+        // steps_.
+        joinInto(baseClock_, vc);
+    } else {
+        OracleStep step;
+        step.node = curNode_;
+        step.opensSpan = curOpens_;
+        step.kind = curKind_;
+        step.alternatives = curAlternatives_;
+        step.pick = curPick_;
+        step.gid = g;
+        step.fp = curFp_;
+        step.clock = vc;
+        step.selfLocal = localCount_[slot];
+        step.slot = static_cast<uint32_t>(slot);
+        steps_.push_back(std::move(step));
+    }
+
+    gidClock_[slot] = vc;
+    curOpens_ = false;
+    curFp_.clear();
+}
+
+void
+DependenceOracle::openSpan(const RuntimeEvent &ev)
+{
+    curKind_ = ev.decision;
+    curAlternatives_ = static_cast<uint32_t>(ev.a);
+    curPick_ = static_cast<uint32_t>(ev.b);
+    if (ev.decision == DecisionKind::Pick && ev.candidates != nullptr)
+        curGid_ = ev.candidates[curPick_];
+    else
+        curGid_ = ev.gid;
+    curNode_ = nodeCount_++;
+    curOpens_ = true;
+    prologue_ = false;
+    curFp_.addActor(curGid_);
+}
+
+void
+DependenceOracle::switchActor(uint64_t gid)
+{
+    if (gid == curGid_)
+        return;
+    // A forced continuation: the runtime dispatched a different
+    // goroutine without consulting the decision engine (single-entry
+    // ready queue), or the scheduler itself acted (virtual-clock
+    // advance, gid 0). Same span, new sub-step.
+    closeStep();
+    curGid_ = gid;
+    curFp_.addActor(gid);
+}
+
+bool
+DependenceOracle::happensBefore(size_t i, size_t j) const
+{
+    const OracleStep &si = steps_[i];
+    const OracleStep &sj = steps_[j];
+    return si.slot < sj.clock.size() &&
+           sj.clock[si.slot] >= si.selfLocal;
+}
+
+void
+DependenceOracle::noteAccess(uint64_t gid, const void *obj, bool write,
+                             const char *label)
+{
+    switchActor(gid);
+    curFp_.add(keyFor(obj, label), write);
+    // The fingerprint log keeps raw pointers: it is consumed within
+    // the run only, and canonicalizes on its own terms.
+    log_.push_back(LogEv{LogEv::AccessEv, gid, obj, write, 0});
+}
+
+void
+DependenceOracle::touchSelectWatchers(uint64_t gid, const void *chan)
+{
+    for (const ActiveSelect &s : activeSelects_) {
+        if (s.gid == gid)
+            continue;
+        for (const void *c : s.chans) {
+            if (c == chan) {
+                noteAccess(gid, s.pseudo, true);
+                break;
+            }
+        }
+    }
+}
+
+EventMask
+DependenceOracle::eventMask() const
+{
+    return eventBit(EventKind::Decision) |
+           eventBit(EventKind::GoSpawn) |
+           eventBit(EventKind::GoUnpark) |
+           eventBit(EventKind::ClockAdvance) |
+           eventBit(EventKind::SyncAcquire) |
+           eventBit(EventKind::SyncRelease) |
+           eventBit(EventKind::LockRequest) |
+           eventBit(EventKind::LockAcquire) |
+           eventBit(EventKind::LockRelease) |
+           eventBit(EventKind::WgDelta) |
+           eventBit(EventKind::WgWait) |
+           eventBit(EventKind::SelectBlock) |
+           eventBit(EventKind::ChanOp) |
+           eventBit(EventKind::OnceOp) |
+           eventBit(EventKind::MemRead) |
+           eventBit(EventKind::MemWrite);
+}
+
+void
+DependenceOracle::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::Decision:
+        closeStep();
+        openSpan(ev);
+        break;
+      case EventKind::GoSpawn:
+        // ev.gid = child, ev.a = parent. Spawns are serialized on a
+        // pseudo-object: gid assignment is spawn-order-dependent and
+        // shows up in reports, so concurrent spawns must not commute.
+        noteAccess(ev.a, spawnPseudoObj(), true);
+        log_.push_back(LogEv{LogEv::SpawnEv, ev.a, nullptr, false,
+                             ev.gid});
+        // Prologue edges are covered by baseClock_ (joined by every
+        // step), so only record joins for real steps.
+        if (!prologue_)
+            pendingJoins_[slotOf(ev.gid)].push_back(
+                static_cast<uint32_t>(steps_.size()));
+        break;
+      case EventKind::GoUnpark:
+        // ev.gid = the woken goroutine; the waker is the step's actor.
+        log_.push_back(
+            LogEv{LogEv::UnparkEv, ev.gid, nullptr, false, 0});
+        if (!prologue_)
+            pendingJoins_[slotOf(ev.gid)].push_back(
+                static_cast<uint32_t>(steps_.size()));
+        // Note: waking does NOT retire the goroutine's select
+        // registration. The race window is co-enabledness, not the
+        // executed wake: a send on the losing channel arriving after
+        // the winner must still conflict with the winner's
+        // pseudo-object write, or the losing arm's schedules get
+        // (unsoundly) pruned. Registrations persist for the run;
+        // extra dependence only costs executions.
+        break;
+      case EventKind::ClockAdvance:
+        noteAccess(0, clockPseudoObj(), true);
+        break;
+      case EventKind::SyncAcquire:
+        noteAccess(ev.gid, ev.obj, false);
+        break;
+      case EventKind::SyncRelease:
+        noteAccess(ev.gid, ev.obj, true);
+        break;
+      case EventKind::LockRequest:
+        // Emitted when about to block: joining the wait queue mutates
+        // wake order, so conservatively a write.
+        noteAccess(ev.gid, ev.obj, true);
+        break;
+      case EventKind::LockAcquire:
+      case EventKind::LockRelease:
+        // Read-side RWMutex ops commute with each other (flag =
+        // is_write), write-side ops conflict with everything.
+        noteAccess(ev.gid, ev.obj, ev.flag);
+        break;
+      case EventKind::WgDelta:
+      case EventKind::WgWait:
+        noteAccess(ev.gid, ev.obj, true);
+        break;
+      case EventKind::SelectBlock: {
+        std::erase_if(activeSelects_, [&ev](const ActiveSelect &s) {
+            return s.gid == ev.gid; // stale registration, if any
+        });
+        if (ev.waits == nullptr)
+            break;
+        ActiveSelect sel;
+        sel.gid = ev.gid;
+        sel.pseudo = selectPseudoObj(ev.gid, ++selectSeq_[ev.gid]);
+        noteAccess(ev.gid, sel.pseudo, true);
+        for (const SelectWait &w : *ev.waits) {
+            noteAccess(ev.gid, w.chan, true);
+            touchSelectWatchers(ev.gid, w.chan);
+            sel.chans.push_back(w.chan);
+        }
+        activeSelects_.push_back(std::move(sel));
+        break;
+      }
+      case EventKind::ChanOp:
+        noteAccess(ev.gid, ev.obj, true);
+        touchSelectWatchers(ev.gid, ev.obj);
+        break;
+      case EventKind::OnceOp:
+        noteAccess(ev.gid, ev.obj, true);
+        break;
+      case EventKind::MemRead:
+      case EventKind::MemWrite:
+        noteAccess(ev.gid, ev.obj, ev.kind == EventKind::MemWrite,
+                   ev.label);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+DependenceOracle::onMemAccess(const void *addr, const char *label,
+                              uint64_t gid, bool is_write)
+{
+    noteAccess(gid, addr, is_write, label);
+}
+
+void
+DependenceOracle::finalizeRun(RunReport &report)
+{
+    (void)report;
+    // Close the trailing step (events after the last decision,
+    // including drain and teardown).
+    closeStep();
+    prologue_ = true; // further events (if any) fold into base
+}
+
+uint64_t
+DependenceOracle::hbFingerprint() const
+{
+    // Canonical object ids by first appearance in per-goroutine
+    // projections (walk gids ascending): equivalent schedules have
+    // identical projections, so the numbering — unlike the raw
+    // per-run pointers — is invariant across the class.
+    std::unordered_map<const void *, uint64_t> objId;
+    {
+        std::vector<uint64_t> gids;
+        for (const LogEv &e : log_)
+            if (e.type == LogEv::AccessEv &&
+                std::find(gids.begin(), gids.end(), e.gid) ==
+                    gids.end())
+                gids.push_back(e.gid);
+        std::sort(gids.begin(), gids.end());
+        for (uint64_t g : gids)
+            for (const LogEv &e : log_)
+                if (e.type == LogEv::AccessEv && e.gid == g &&
+                    objId.find(e.obj) == objId.end())
+                    objId.emplace(e.obj, objId.size() + 1);
+    }
+
+    // Event-granularity vector clocks over the dependence closure
+    // (same-gid program order, conflicting-object order, spawn and
+    // unpark edges), keyed by gid. Each event hashes its gid, local
+    // index, object, mode, and clock; the run hash is an
+    // order-invariant fold, so any two interleavings with the same
+    // happens-before partial order collide by construction.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> gidVc;
+    std::unordered_map<uint64_t, uint32_t> local;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> pendingJoin;
+    struct ObjVc
+    {
+        std::vector<uint32_t> lastWrite;
+        std::vector<uint32_t> readJoin;
+    };
+    std::unordered_map<const void *, ObjVc> objVc;
+    // Slot assignment for clock components: ascending gid order would
+    // need a pre-pass; first-use order is NOT class-invariant, so map
+    // gid -> component through a sorted table instead.
+    std::vector<uint64_t> slotTable;
+    for (const LogEv &e : log_) {
+        if (std::find(slotTable.begin(), slotTable.end(), e.gid) ==
+            slotTable.end())
+            slotTable.push_back(e.gid);
+        if (e.type == LogEv::SpawnEv &&
+            std::find(slotTable.begin(), slotTable.end(), e.aux) ==
+                slotTable.end())
+            slotTable.push_back(e.aux);
+    }
+    std::sort(slotTable.begin(), slotTable.end());
+    auto slot = [&slotTable](uint64_t g) -> size_t {
+        return static_cast<size_t>(
+            std::lower_bound(slotTable.begin(), slotTable.end(), g) -
+            slotTable.begin());
+    };
+
+    uint64_t hash = 0;
+    std::vector<uint32_t> vc;
+    std::vector<uint32_t> lastVc; // clock of the previous log event
+    for (const LogEv &e : log_) {
+        if (e.type == LogEv::UnparkEv) {
+            // The waker's most recent event precedes the unpark in
+            // emission order; the woken goroutine's next event joins
+            // its clock.
+            joinInto(pendingJoin[e.gid], lastVc);
+            continue;
+        }
+        const uint64_t g = e.gid;
+        vc = gidVc[g];
+        joinInto(vc, pendingJoin[g]);
+        pendingJoin[g].clear();
+        if (e.type == LogEv::AccessEv) {
+            ObjVc &ov = objVc[e.obj];
+            joinInto(vc, ov.lastWrite);
+            if (e.write)
+                joinInto(vc, ov.readJoin);
+        }
+        const uint32_t li = ++local[g];
+        const size_t s = slot(g);
+        if (vc.size() <= s)
+            vc.resize(s + 1, 0);
+        vc[s] = li;
+        gidVc[g] = vc;
+        if (e.type == LogEv::AccessEv) {
+            ObjVc &ov = objVc[e.obj];
+            if (e.write) {
+                ov.lastWrite = vc;
+                ov.readJoin.clear();
+            } else {
+                joinInto(ov.readJoin, vc);
+            }
+        } else { // SpawnEv
+            joinInto(pendingJoin[e.aux], vc);
+        }
+
+        uint64_t h = kFnvOffset;
+        h = fnv(h, g);
+        h = fnv(h, li);
+        if (e.type == LogEv::AccessEv) {
+            h = fnv(h, objId[e.obj]);
+            h = fnv(h, e.write ? 2 : 1);
+        } else {
+            h = fnv(h, ~uint64_t{0});
+            h = fnv(h, e.aux);
+        }
+        for (size_t i = 0; i < vc.size(); ++i)
+            if (vc[i] != 0) {
+                h = fnv(h, slotTable[i]);
+                h = fnv(h, vc[i]);
+            }
+        hash += h * 0x9e3779b97f4a7c15ull;
+        lastVc = vc;
+    }
+    return hash;
+}
+
+} // namespace golite::explore

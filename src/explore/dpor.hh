@@ -1,0 +1,287 @@
+/**
+ * @file
+ * The dependence oracle behind the DPOR explorer: an event-bus
+ * subscriber that segments one run into *sub-steps* — maximal spans of
+ * events by a single goroutine — and records, per sub-step, which
+ * objects were read or written. Scheduling decisions open a *span*;
+ * forced continuations (the runtime dispatching the only runnable
+ * goroutine, no choice involved) extend the span with further
+ * sub-steps. From that the oracle derives the two relations dynamic
+ * partial-order reduction needs:
+ *
+ *  - dependence: two sub-steps conflict when they share an actor or
+ *    touch a common object with at least one write-like access
+ *    (channel ops, lock writes, once/waitgroup mutations, instrumented
+ *    shared writes, virtual-clock advances, spawns);
+ *  - must-happen-before: per-goroutine vector clocks over sub-step
+ *    indices joined through program order, spawn edges, and unpark
+ *    edges only — the orderings that hold in *every* schedule. Two
+ *    dependent sub-steps NOT so ordered form a race the walker must
+ *    backtrack on. (Joining through conflicting objects here would be
+ *    circular: the direct dependence would order every racing pair and
+ *    no race would ever surface.)
+ *
+ * The dependence relation is deliberately *over*-approximated (extra
+ * dependence means extra backtracking: wasted runs, never missed
+ * ones) while must-happens-before is *under*-approximated (a missing
+ * edge means a spurious backtrack, never a skipped one). The
+ * differential harness in tests/explore_dpor_test.cc exists to catch
+ * violations of this contract.
+ *
+ * The oracle also computes a Mazurkiewicz-trace fingerprint of the
+ * run: a schedule-order-invariant hash of the happens-before partial
+ * order over individual access events (this one *does* close over
+ * object conflicts — that is what makes it a trace invariant). Two
+ * schedules that differ only by commuting independent steps hash
+ * identically, which is what lets the property tests check "every
+ * naively-found schedule is equivalent to some DPOR-explored one"
+ * without enumerating permutations.
+ */
+
+#ifndef GOLITE_EXPLORE_DPOR_HH
+#define GOLITE_EXPLORE_DPOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/events.hh"
+#include "runtime/sched_trace.hh"
+
+namespace golite::explore
+{
+
+/**
+ * One object touched by a sub-step (deduplicated; write dominates).
+ * The key is a *cross-run stable* canonical identity, never a raw
+ * heap pointer: sleep-entry footprints recorded in one execution are
+ * compared against spans of later executions, and heap addresses
+ * drift between runs (allocator state carries over), which would
+ * silently miss wakes — unsound pruning. See
+ * DependenceOracle::keyFor for the encoding.
+ */
+struct Access
+{
+    uint64_t key = 0;
+    bool write = false;
+};
+
+/** What one sub-step (single-goroutine event span) did. */
+struct StepFootprint
+{
+    std::vector<Access> accesses;
+    /** The acting goroutine (one entry; kept as a vector so sleep
+     *  entries can widen it with the retired pick's gid). */
+    std::vector<uint64_t> actors;
+
+    void clear()
+    {
+        accesses.clear();
+        actors.clear();
+    }
+
+    /** Record one access, OR-ing the write flag into an existing
+     *  entry for the same object key. */
+    void add(uint64_t key, bool write);
+
+    void addActor(uint64_t gid);
+
+    bool hasActor(uint64_t gid) const;
+};
+
+/** True when the footprints conflict: a common object with at least
+ *  one write, or a common actor (program order). */
+bool footprintsConflict(const StepFootprint &a, const StepFootprint &b);
+
+/** Marker: sub-step belongs to no decision span (never appears on
+ *  recorded steps — the prologue folds into the base clock). */
+constexpr uint32_t kNoDporNode = UINT32_MAX;
+
+/** One closed sub-step with its must-happens-before clock. */
+struct OracleStep
+{
+    /** Index of the decision (== walker stack depth) whose span this
+     *  sub-step belongs to. */
+    uint32_t node = kNoDporNode;
+    /** First sub-step of its span: the transition the decision
+     *  actually chose (later sub-steps are forced continuations). */
+    bool opensSpan = false;
+    // Span metadata, copied onto every sub-step of the span.
+    DecisionKind kind = DecisionKind::Pick;
+    uint32_t alternatives = 0;
+    uint32_t pick = 0;
+    /** The sub-step's acting goroutine. */
+    uint64_t gid = 0;
+    StepFootprint fp;
+    /** Vector clock by goroutine slot; steps[i] must-happens-before
+     *  steps[j] iff clock[j][slot(i)] >= selfLocal(i). */
+    std::vector<uint32_t> clock;
+    uint32_t selfLocal = 0;
+    uint32_t slot = 0;
+};
+
+/**
+ * The oracle proper. Attach to a run driven through
+ * RunOptions::siteChooser (the Decision events then carry Pick
+ * candidate gids); it needs no cooperation from the chooser — span
+ * boundaries are the Decision events themselves, sub-step boundaries
+ * are actor switches in the event stream, and finalizeRun closes the
+ * trailing sub-step.
+ *
+ * Reuse across runs via beginRun(). Not thread-safe; one oracle per
+ * exploration.
+ */
+class DependenceOracle final : public Subscriber
+{
+  public:
+    /** Reset for the next run (call before golite::run). */
+    void beginRun();
+
+    /** Closed sub-steps of the finished (or in-progress) run, in
+     *  execution order. Sub-steps of one span are contiguous. */
+    const std::vector<OracleStep> &steps() const { return steps_; }
+
+    /** The still-open sub-step's footprint: events since the most
+     *  recent boundary. At a siteChooser callback for depth d this
+     *  belongs to span d-1 (the decision event that will close it has
+     *  not been published yet). */
+    const StepFootprint &pendingFootprint() const { return curFp_; }
+
+    /** Is steps()[i] ordered before steps()[j] in *every* schedule
+     *  (program order, spawn, unpark)? (i < j required.) */
+    bool happensBefore(size_t i, size_t j) const;
+
+    /** Conflict over recorded sub-steps (actor overlap or object
+     *  clash). dependent && !happensBefore == a reversible race. */
+    bool
+    dependent(size_t i, size_t j) const
+    {
+        return footprintsConflict(steps_[i].fp, steps_[j].fp);
+    }
+
+    /**
+     * Schedule-order-invariant hash of the run's happens-before
+     * partial order over access events (see file comment). Computed
+     * from the event log of the finished run.
+     */
+    uint64_t hbFingerprint() const;
+
+    // --- Subscriber ------------------------------------------------
+    EventMask eventMask() const override;
+    void onEvent(const RuntimeEvent &ev) override;
+    void onMemAccess(const void *addr, const char *label, uint64_t gid,
+                     bool is_write) override;
+    void finalizeRun(RunReport &report) override;
+
+  private:
+    /** Close the accumulating sub-step: compute its clock, fold it
+     *  into the per-goroutine clocks (or the base clock during the
+     *  prologue). */
+    void closeStep();
+
+    /** Start the span a just-published decision opened. */
+    void openSpan(const RuntimeEvent &ev);
+
+    /** Cut a sub-step boundary when the acting goroutine changes
+     *  mid-span (forced continuation). */
+    void switchActor(uint64_t gid);
+
+    size_t slotOf(uint64_t gid);
+
+    /**
+     * Cross-run stable canonical key for an object (see Access):
+     * labeled instrumented accesses hash the static label (bit 63
+     * tag; distinct variables sharing a label merge — over-
+     * dependence, the sound direction); synthesized pseudo-objects
+     * (bit 62 tag) and the static sentinels pass through; remaining
+     * heap objects get a first-sighting ordinal (bit 61 tag), which
+     * is identical across runs sharing a schedule prefix.
+     */
+    uint64_t keyFor(const void *obj, const char *label);
+
+    void noteAccess(uint64_t gid, const void *obj, bool write,
+                    const char *label = nullptr);
+
+    /** An operation on @p chan also writes the pseudo-object of every
+     *  *other* goroutine's blocked select watching it (first-wins
+     *  wake races — see ActiveSelect). */
+    void touchSelectWatchers(uint64_t gid, const void *chan);
+
+    /** Flat log entry for the fingerprint pass. */
+    struct LogEv
+    {
+        enum Type : uint8_t
+        {
+            AccessEv,
+            SpawnEv,  ///< aux = child gid
+            UnparkEv, ///< gid = woken goroutine
+        };
+        Type type = AccessEv;
+        uint64_t gid = 0;
+        const void *obj = nullptr;
+        bool write = false;
+        uint64_t aux = 0;
+    };
+
+    // Current (open) sub-step.
+    StepFootprint curFp_;
+    DecisionKind curKind_ = DecisionKind::Pick;
+    uint32_t curAlternatives_ = 0;
+    uint32_t curPick_ = 0;
+    uint64_t curGid_ = 0;
+    uint32_t curNode_ = kNoDporNode;
+    bool curOpens_ = false;
+    bool prologue_ = true; ///< open sub-step precedes the first decision
+
+    std::vector<OracleStep> steps_;
+    uint32_t nodeCount_ = 0;
+    /** Clock of the prologue pseudo-steps; every sub-step joins it
+     *  (the prologue is identical in every schedule and ordered
+     *  before everything). */
+    std::vector<uint32_t> baseClock_;
+
+    // Goroutine slots and clocks.
+    std::vector<uint64_t> slotGid_;
+    std::vector<std::vector<uint32_t>> gidClock_;
+    std::vector<uint32_t> localCount_;
+    /** Sub-step indices whose clocks the gid's next sub-step must
+     *  join (spawn and unpark edges). */
+    std::vector<std::vector<uint32_t>> pendingJoins_;
+
+    std::vector<LogEv> log_;
+
+    /**
+     * A goroutine blocked in select is a first-wins resource: sends
+     * on *different* watched channels race to wake it, so each
+     * blocked select gets a pseudo-object that every operation on a
+     * watched channel writes until the selector wakes. Without it two
+     * senders into one select look independent and the losing arm's
+     * schedules are (unsoundly) pruned.
+     */
+    struct ActiveSelect
+    {
+        uint64_t gid = 0;
+        const void *pseudo = nullptr;
+        std::vector<const void *> chans;
+    };
+    std::vector<ActiveSelect> activeSelects_;
+    /** Per-gid select counter: makes the pseudo-object identity
+     *  stable across runs sharing a schedule prefix. */
+    std::unordered_map<uint64_t, uint32_t> selectSeq_;
+
+    /** First-sighting ordinals for unlabeled heap objects (keyFor). */
+    std::unordered_map<const void *, uint64_t> canon_;
+
+    std::vector<uint32_t> scratchClock_;
+};
+
+/** Pseudo-object for virtual-clock advances (timer order). */
+const void *clockPseudoObj();
+
+/** Pseudo-object serializing goroutine spawns (gid assignment is
+ *  spawn-order-dependent and observable in reports). */
+const void *spawnPseudoObj();
+
+} // namespace golite::explore
+
+#endif // GOLITE_EXPLORE_DPOR_HH

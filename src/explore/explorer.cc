@@ -1,5 +1,10 @@
 #include "explore/explorer.hh"
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "explore/dpor.hh"
+
 namespace golite::explore
 {
 
@@ -9,9 +14,11 @@ namespace
 RunOptions
 normalized(RunOptions options)
 {
-    // Only the Random policy consults choose() for dispatch, and
-    // random preemption would leak untracked nondeterminism into the
-    // tree (see header).
+    // Only the Random policy consults the decision engine for
+    // dispatch, and random preemption would leak untracked
+    // nondeterminism into the tree (see header). Preemption under a
+    // bound is explored as explicit choice points via the site
+    // chooser, never as a coin.
     options.policy = SchedPolicy::Random;
     options.preemptProb = 0.0;
     return options;
@@ -19,10 +26,13 @@ normalized(RunOptions options)
 
 void
 tally(ExploreResult &result, const RunReport &report,
-      const std::vector<size_t> &schedule)
+      const std::vector<size_t> &schedule,
+      const ExploreOptions &options)
 {
     const bool was_bad = result.anyBad();
     result.schedules++;
+    if (options.onSchedule)
+        options.onSchedule(report, schedule);
     if (report.clean()) {
         result.clean++;
         return;
@@ -33,12 +43,14 @@ tally(ExploreResult &result, const RunReport &report,
         result.panicked++;
     else if (report.livelocked)
         result.livelocked++;
-    else
+    else if (!report.leaked.empty())
         result.leakedOnly++;
+    else
+        result.raced++; // completed, nothing leaked: detector reports
     if (!was_bad) {
         result.firstBad = report;
         result.firstBadSchedule = schedule;
-        result.firstBadAt = result.schedules;
+        result.firstBadAt = result.executions;
     }
 }
 
@@ -61,7 +73,483 @@ advance(SubtreeCursor &cursor)
     return true;
 }
 
+/** Would advance() find another sibling? (const; used to detect
+ *  "budget ran out exactly at the subtree's last schedule"). */
+bool
+canAdvance(const SubtreeCursor &cursor)
+{
+    for (size_t d = cursor.prefix.size(); d-- > cursor.pinnedDepth;)
+        if (cursor.prefix[d] + 1 < cursor.fanout[d])
+            return true;
+    return false;
+}
+
 } // namespace
+
+// ===================================================================
+// DPOR walker state
+// ===================================================================
+
+namespace
+{
+
+/** A transition put to sleep: exploring it from here on is redundant
+ *  until a dependent step wakes it. */
+struct SleepEntry
+{
+    DecisionKind kind = DecisionKind::Pick;
+    size_t choice = 0;
+    uint64_t gid = 0;
+    /** Footprint of the step this transition executed when it was
+     *  explored (actor set includes gid). */
+    StepFootprint fp;
+};
+
+struct DporNode
+{
+    DecisionKind kind = DecisionKind::Pick;
+    size_t alternatives = 0;
+    size_t pick = 0;
+    /** Acting goroutine of the current pick (chosen gid for Pick). */
+    uint64_t gid = 0;
+    /** Deciding goroutine at the site (0 for dispatch picks). */
+    uint64_t siteGid = 0;
+    /** Pick only: runnable gid per choice index. */
+    std::vector<uint64_t> cands;
+    /** Preemption picks taken at shallower depths on this path. */
+    int yieldsBefore = 0;
+    /** Untried siblings queued by the persistent-set analysis
+     *  (sorted ascending; smallest explored first). */
+    std::vector<size_t> pending;
+    /** Choices already picked or queued (never re-add). */
+    std::vector<char> considered;
+    /** Sleep set at this node's state, retired siblings included. */
+    std::vector<SleepEntry> sleep;
+};
+
+} // namespace
+
+struct DporState
+{
+    std::vector<DporNode> stack;
+    /** Footprint of step d in the last execution (for retiring picks
+     *  into sleep entries). */
+    std::vector<StepFootprint> lastFp;
+    DependenceOracle oracle;
+};
+
+namespace
+{
+
+bool
+sleptChoice(const DporNode &node, size_t c)
+{
+    for (const SleepEntry &e : node.sleep) {
+        if (node.kind == DecisionKind::Pick) {
+            // Dispatch transitions are identified by the goroutine
+            // they run — its position in the ready queue varies.
+            if (e.kind == DecisionKind::Pick &&
+                c < node.cands.size() && e.gid == node.cands[c])
+                return true;
+        } else if (e.kind == node.kind && e.gid == node.siteGid &&
+                   e.choice == c) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+addPending(DporNode &node, size_t c)
+{
+    if (c >= node.alternatives || node.considered[c])
+        return false;
+    if (sleptChoice(node, c))
+        return false; // a sibling subtree already covers it
+    node.considered[c] = 1;
+    node.pending.insert(
+        std::lower_bound(node.pending.begin(), node.pending.end(), c),
+        c);
+    return true;
+}
+
+/**
+ * Flanagan–Godefroid backtrack insertion at a Pick node for the race
+ * (steps[i], steps[j]): prefer a candidate that leads to steps[j] —
+ * its own goroutine, or an intermediate sub-step ordered before it —
+ * and fall back to the whole candidate set when none qualifies (the
+ * conservative persistent-set closure).
+ */
+void
+backtrackAtPick(DporState &st, DporNode &node, size_t i, size_t j)
+{
+    const std::vector<OracleStep> &steps = st.oracle.steps();
+    const uint64_t want = steps[j].gid;
+    size_t chosen = SIZE_MAX;
+    for (size_t c = 0; c < node.cands.size() && chosen == SIZE_MAX;
+         ++c) {
+        if (node.cands[c] == want)
+            chosen = c;
+    }
+    for (size_t c = 0; c < node.cands.size() && chosen == SIZE_MAX;
+         ++c) {
+        for (size_t k = i + 1; k < j; ++k) {
+            if (steps[k].gid == node.cands[c] &&
+                st.oracle.happensBefore(k, j)) {
+                chosen = c;
+                break;
+            }
+        }
+    }
+    if (chosen != SIZE_MAX) {
+        addPending(node, chosen);
+    } else {
+        for (size_t c = 0; c < node.cands.size(); ++c)
+            addPending(node, c);
+    }
+}
+
+/**
+ * Post-execution persistent-set analysis (Flanagan–Godefroid): for
+ * every pair of dependent steps not ordered by happens-before, queue
+ * a backtrack point at the earlier one so the conflicting step gets
+ * to run first in some later execution.
+ */
+void
+analyze(DporState &st, int bound)
+{
+    const std::vector<OracleStep> &steps = st.oracle.steps();
+    for (size_t j = 1; j < steps.size(); ++j) {
+        if (steps[j].node >= st.stack.size())
+            break; // beyond the walker's tree (defensive)
+        for (size_t i = 0; i < j; ++i) {
+            if (st.oracle.happensBefore(i, j))
+                continue;
+            if (!st.oracle.dependent(i, j))
+                continue;
+            // A reversible race: backtrack at the decision whose span
+            // executed steps[i] so the conflicting transition can run
+            // first in some later execution.
+            DporNode &node = st.stack[steps[i].node];
+            switch (node.kind) {
+              case DecisionKind::Pick: {
+                if (!steps[i].opensSpan) {
+                    // steps[i] is a forced continuation; the state at
+                    // the decision is earlier than pre(i), where the
+                    // targeted-candidate rule is not justified —
+                    // enqueue the whole candidate set.
+                    for (size_t c = 0; c < node.cands.size(); ++c)
+                        addPending(node, c);
+                    break;
+                }
+                backtrackAtPick(st, node, i, j);
+                break;
+              }
+              case DecisionKind::SelectArm:
+                // A select decision is one Fisher–Yates draw, not an
+                // arm pick, so no draw targets "the conflicting arm":
+                // conservatively enumerate the untried draws.
+                for (size_t c = 0; c < node.alternatives; ++c)
+                    addPending(node, c);
+                break;
+              case DecisionKind::Preempt:
+                // Yielding here lets the conflicting goroutine
+                // interleave before this access — but only within the
+                // preemption budget.
+                if (node.yieldsBefore + 1 <= bound)
+                    addPending(node, 1);
+                // Bounded-DPOR conservative rule (Coons et al.): the
+                // same reordering may be reachable without spending a
+                // preemption by scheduling the racing goroutine at
+                // the nearest enclosing Pick — a voluntary switch
+                // point. Without this, classes whose only in-bound
+                // witness starts from a different dispatch are
+                // silently pruned once the yield here is over budget.
+                for (uint32_t p = steps[i].node; p-- > 0;) {
+                    if (st.stack[p].kind != DecisionKind::Pick)
+                        continue;
+                    backtrackAtPick(st, st.stack[p], i, j);
+                    break;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/** Deepest node with a queued sibling: retire its executed pick into
+ *  the sleep set and switch to the sibling. False = tree finished. */
+bool
+advanceDpor(DporState &st)
+{
+    while (!st.stack.empty()) {
+        DporNode &node = st.stack.back();
+        if (!node.pending.empty()) {
+            SleepEntry e;
+            e.kind = node.kind;
+            e.choice = node.pick;
+            e.gid = node.kind == DecisionKind::Pick ? node.gid
+                                                    : node.siteGid;
+            const size_t d = st.stack.size() - 1;
+            if (d < st.lastFp.size())
+                e.fp = st.lastFp[d];
+            e.fp.addActor(node.gid);
+            // The span opener alone under-approximates the slept
+            // transition when preempt coins split the goroutine's
+            // step: its first real access may sit in a deeper Preempt
+            // span, and an entry that misses it never wakes — unsound
+            // pruning. Widen with everything the goroutine did from
+            // this decision onward in the last run (a superset only
+            // costs spurious wakes).
+            for (const OracleStep &s : st.oracle.steps()) {
+                if (s.node >= d && s.gid == node.gid)
+                    for (const Access &a : s.fp.accesses)
+                        e.fp.add(a.key, a.write);
+            }
+            node.sleep.push_back(std::move(e));
+            node.pick = node.pending.front();
+            node.pending.erase(node.pending.begin());
+            st.lastFp.resize(st.stack.size());
+            return true;
+        }
+        st.stack.pop_back();
+    }
+    return false;
+}
+
+bool
+anyPending(const DporState &st)
+{
+    for (const DporNode &node : st.stack)
+        if (!node.pending.empty())
+            return true;
+    return false;
+}
+
+std::vector<size_t>
+stackSchedule(const DporState &st)
+{
+    std::vector<size_t> sched;
+    sched.reserve(st.stack.size());
+    for (const DporNode &node : st.stack)
+        sched.push_back(node.pick);
+    return sched;
+}
+
+/** One execution of the program under the walker's site chooser.
+ *  Returns true when the run counted as a schedule (not
+ *  sleep-set-blocked). */
+bool
+runOnceDpor(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const ExploreOptions &options, DporState &st,
+    ExploreResult &result)
+{
+    const bool enumerate = options.mode == ExploreMode::Naive;
+    const int bound = options.preemptionBound;
+
+    st.oracle.beginRun();
+    size_t depth = 0;
+    int yields = 0;
+    bool redundant = false;
+    size_t frozen_depth = SIZE_MAX;
+
+    RunOptions ro = normalized(options.runOptions);
+    ro.subscribers.push_back(&st.oracle);
+    ro.siteChooser = [&](const ChoiceSite &site) -> size_t {
+        const size_t d = depth++;
+        if (d >= frozen_depth)
+            return 0; // sleep-blocked: finish the run, don't extend
+        if (d < st.stack.size()) {
+            // Replaying the committed prefix (deterministic: the
+            // metadata refresh below re-reads identical values).
+            DporNode &node = st.stack[d];
+            node.kind = site.kind;
+            node.alternatives = site.alternatives;
+            node.siteGid = site.gid;
+            if (node.pick >= site.alternatives)
+                node.pick = site.alternatives - 1; // defensive clamp
+            if (site.kind == DecisionKind::Pick &&
+                site.candidates != nullptr) {
+                node.cands.assign(site.candidates,
+                                  site.candidates +
+                                      site.alternatives);
+                node.gid = node.cands[node.pick];
+            } else {
+                node.gid = site.gid;
+            }
+            node.yieldsBefore = yields;
+            if (site.kind == DecisionKind::Preempt && node.pick == 1)
+                yields++;
+            return node.pick;
+        }
+
+        // Fresh node: inherit the parent's sleep set, minus entries a
+        // dependent step just woke.
+        DporNode node;
+        node.kind = site.kind;
+        node.alternatives = site.alternatives;
+        node.siteGid = site.gid;
+        if (site.kind == DecisionKind::Pick &&
+            site.candidates != nullptr)
+            node.cands.assign(site.candidates,
+                              site.candidates + site.alternatives);
+        node.considered.assign(site.alternatives, 0);
+        node.yieldsBefore = yields;
+        if (d > 0) {
+            // A sleeping transition wakes when any sub-step executed
+            // since the parent decision depends on it: the parent
+            // span's closed sub-steps (contiguous tail of steps())
+            // plus the still-open one.
+            const std::vector<OracleStep> &steps = st.oracle.steps();
+            const StepFootprint &open = st.oracle.pendingFootprint();
+            const uint32_t parent = static_cast<uint32_t>(d - 1);
+            for (const SleepEntry &e : st.stack[d - 1].sleep) {
+                bool woken = footprintsConflict(e.fp, open);
+                for (size_t x = steps.size();
+                     !woken && x-- > 0 && steps[x].node == parent;)
+                    woken = footprintsConflict(e.fp, steps[x].fp);
+                if (!woken)
+                    node.sleep.push_back(e);
+            }
+        }
+
+        // Default pick: the smallest choice not asleep. Preemption is
+        // opt-in — choice 1 is only ever taken when the analysis
+        // queued it, or (enumerate mode) seeded below; but if the
+        // continuation itself is asleep and budget remains, stepping
+        // aside is the only non-redundant default.
+        size_t pick = SIZE_MAX;
+        if (site.kind == DecisionKind::Preempt) {
+            if (!sleptChoice(node, 0))
+                pick = 0;
+            else if (yields + 1 <= bound && !sleptChoice(node, 1))
+                pick = 1;
+        } else {
+            for (size_t c = 0; c < site.alternatives; ++c) {
+                if (!sleptChoice(node, c)) {
+                    pick = c;
+                    break;
+                }
+            }
+        }
+        if (pick == SIZE_MAX) {
+            // Every enabled choice is asleep: any continuation from
+            // here is Mazurkiewicz-equivalent to an explored sibling.
+            redundant = true;
+            frozen_depth = d;
+            return 0;
+        }
+        node.pick = pick;
+        node.considered[pick] = 1;
+        if (enumerate) {
+            // Bounded-naive mode: seed every sibling up front (full
+            // enumeration; no sleep sets, no analysis).
+            for (size_t c = 0; c < site.alternatives; ++c) {
+                if (c == node.pick)
+                    continue;
+                if (site.kind == DecisionKind::Preempt && c == 1 &&
+                    node.yieldsBefore + 1 > bound)
+                    continue;
+                node.considered[c] = 1;
+                node.pending.push_back(c);
+            }
+        }
+        if (site.kind == DecisionKind::Preempt && node.pick == 1)
+            yields++;
+        node.gid = site.kind == DecisionKind::Pick &&
+                           !node.cands.empty()
+                       ? node.cands[node.pick]
+                       : site.gid;
+        st.stack.push_back(std::move(node));
+        return st.stack.back().pick;
+    };
+
+    const RunReport report = run_once(ro);
+    result.executions++;
+
+    // Remember each decision's chosen transition (its span-opening
+    // sub-step) so advanceDpor can retire the pick into a sleep entry
+    // with the right footprint.
+    if (st.lastFp.size() < st.stack.size())
+        st.lastFp.resize(st.stack.size());
+    for (const OracleStep &s : st.oracle.steps())
+        if (s.opensSpan && s.node < st.stack.size())
+            st.lastFp[s.node] = s.fp;
+
+    if (redundant) {
+        result.redundant++;
+        return false;
+    }
+    tally(result, report, stackSchedule(st), options);
+    if (options.collectHbClasses)
+        result.hbClasses.insert(st.oracle.hbFingerprint());
+    if (options.mode == ExploreMode::Dpor)
+        analyze(st, options.preemptionBound);
+    return true;
+}
+
+void
+exploreSubtreeDpor(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const ExploreOptions &options, SubtreeCursor &cursor,
+    size_t budget, ExploreResult &result)
+{
+    if (cursor.done)
+        return;
+    if (!cursor.started && !cursor.prefix.empty())
+        throw std::logic_error(
+            "DPOR/preemption-bounded exploration discovers its "
+            "frontier dynamically and does not support pinned "
+            "prefixes; use an empty cursor");
+    if (!cursor.dpor)
+        cursor.dpor = std::make_shared<DporState>();
+    DporState &st = *cursor.dpor;
+
+    for (size_t used = 0;;) {
+        if (!cursor.started)
+            cursor.started = true;
+        else if (!advanceDpor(st)) {
+            cursor.done = true;
+            return;
+        }
+        runOnceDpor(run_once, options, st, result);
+        used++;
+        // Mirror the last executed schedule for observability.
+        cursor.prefix = stackSchedule(st);
+        cursor.fanout.clear();
+        for (const DporNode &node : st.stack)
+            cursor.fanout.push_back(node.alternatives);
+        if (budget && used >= budget) {
+            if (!anyPending(st))
+                cursor.done = true;
+            return;
+        }
+    }
+}
+
+} // namespace
+
+// ===================================================================
+// Public API
+// ===================================================================
+
+std::string
+ExploreResult::certificate() const
+{
+    if (!certified())
+        return "";
+    std::string out = "no bug within preemption bound ";
+    out += std::to_string(preemptionBound);
+    out += " (";
+    out += mode == ExploreMode::Dpor ? "dpor" : "naive";
+    out += ", ";
+    out += std::to_string(schedules);
+    out += " schedules / ";
+    out += std::to_string(executions);
+    out += " executions)";
+    return out;
+}
 
 void
 exploreSubtree(
@@ -69,6 +557,12 @@ exploreSubtree(
     const ExploreOptions &options, SubtreeCursor &cursor,
     size_t budget, ExploreResult &result)
 {
+    if (options.mode == ExploreMode::Dpor ||
+        options.preemptionBound > 0) {
+        exploreSubtreeDpor(run_once, options, cursor, budget, result);
+        return;
+    }
+
     if (cursor.done)
         return;
     if (!cursor.started) {
@@ -91,11 +585,21 @@ exploreSubtree(
     std::vector<size_t> &prefix = cursor.prefix;
     std::vector<size_t> &fanout = cursor.fanout;
 
+    DependenceOracle oracle; // only attached for collectHbClasses
+
     for (size_t used = 0;;) {
         size_t depth = 0;
         RunOptions run_options = normalized(options.runOptions);
-        run_options.chooser = [&prefix, &fanout,
-                               &depth](size_t n) -> size_t {
+        // The site chooser sees the preemption coin too (unlike the
+        // plain chooser); Naive mode keeps preemption off and gives
+        // preempt sites no tree depth, so schedule vectors and counts
+        // are unchanged from the historical chooser-based walker.
+        run_options.siteChooser =
+            [&prefix, &fanout, &depth](const ChoiceSite &site)
+            -> size_t {
+            if (site.kind == DecisionKind::Preempt)
+                return 0;
+            const size_t n = site.alternatives;
             if (depth < prefix.size()) {
                 // Replaying the committed prefix. The branching
                 // factor can only shrink if the program is
@@ -112,13 +616,28 @@ exploreSubtree(
             depth++;
             return 0;
         };
+        if (options.collectHbClasses) {
+            oracle.beginRun();
+            run_options.subscribers.push_back(&oracle);
+        }
 
         const RunReport report = run_once(run_options);
-        tally(result, report, prefix);
+        result.executions++;
+        tally(result, report, prefix, options);
+        if (options.collectHbClasses)
+            result.hbClasses.insert(oracle.hbFingerprint());
         used++;
 
-        if (budget && used >= budget)
-            return; // ticket spent; cursor resumes from here
+        if (budget && used >= budget) {
+            // Ticket spent; the cursor resumes from here — unless the
+            // budget ran out exactly at the subtree's last schedule,
+            // which must still count as complete (exhaustive
+            // semantics: only *abandoned* backtrack points may clear
+            // the flag).
+            if (!canAdvance(cursor))
+                cursor.done = true;
+            return;
+        }
         if (!advance(cursor)) {
             cursor.done = true;
             return;
@@ -156,6 +675,8 @@ exploreAll(const std::function<RunReport(const RunOptions &)> &run_once,
            const ExploreOptions &options)
 {
     ExploreResult result;
+    result.mode = options.mode;
+    result.preemptionBound = options.preemptionBound;
     SubtreeCursor cursor; // empty pinned prefix: the whole tree
     exploreSubtree(run_once, options, cursor, options.maxSchedules,
                    result);
@@ -177,16 +698,31 @@ exploreProgram(const std::function<void()> &program,
 RunReport
 replaySchedule(
     const std::function<RunReport(const RunOptions &)> &run_once,
-    const std::vector<size_t> &schedule, RunOptions options)
+    const std::vector<size_t> &schedule, RunOptions options,
+    bool siteSchedule)
 {
     options = normalized(options);
     size_t depth = 0;
-    options.chooser = [&schedule, &depth](size_t n) -> size_t {
-        const size_t pick =
-            depth < schedule.size() ? schedule[depth] : 0;
-        depth++;
-        return pick < n ? pick : n - 1;
-    };
+    if (siteSchedule) {
+        // Dpor-mode schedules index every decision site, preemption
+        // coins included.
+        options.siteChooser = [&schedule,
+                               &depth](const ChoiceSite &site)
+            -> size_t {
+            const size_t pick =
+                depth < schedule.size() ? schedule[depth] : 0;
+            depth++;
+            return pick < site.alternatives ? pick
+                                            : site.alternatives - 1;
+        };
+    } else {
+        options.chooser = [&schedule, &depth](size_t n) -> size_t {
+            const size_t pick =
+                depth < schedule.size() ? schedule[depth] : 0;
+            depth++;
+            return pick < n ? pick : n - 1;
+        };
+    }
     return run_once(options);
 }
 

@@ -1,22 +1,38 @@
 /**
  * @file
  * Systematic schedule exploration: bounded-exhaustive enumeration of
- * every scheduling decision (goroutine dispatch and select choice) a
- * golite program can make.
+ * every scheduling decision (goroutine dispatch, select choice, and —
+ * under a preemption bound — preemption points) a golite program can
+ * make.
  *
  * Where the paper's reproduction protocol runs a buggy program ~100
  * times and hopes (Section 4: "we needed to run a buggy program a
- * lot of times"), the explorer walks the whole choice tree: for
- * small programs it *proves* that a fixed variant cannot block or
- * panic under any schedule, and counts exactly how many schedules
- * manifest a bug. This is the stateless-model-checking complement
- * (CHESS/dBug-style) to the random and PCT schedulers.
+ * lot of times"), the explorer walks the choice tree. Two walkers
+ * share one interface:
  *
- * Soundness scope: exploration covers every choice the runtime funnels
- * through Scheduler::choose — dispatch order and select's shuffle.
- * Random preemption (preemptProb) is disabled during exploration, so
- * programs whose bugs *only* manifest via preemption between plain
- * shared accesses need the random/PCT testers instead.
+ *  - ExploreMode::Naive enumerates the raw tree depth-first — for
+ *    small programs it *proves* a fixed variant cannot block or panic
+ *    under any schedule and counts exactly how many schedules
+ *    manifest a bug;
+ *  - ExploreMode::Dpor prunes with dynamic partial-order reduction:
+ *    a dependence oracle on the event bus (explore/dpor.hh) tells the
+ *    walker which steps commute, persistent-set backtracking
+ *    re-executes only schedules that differ by a *dependent*
+ *    transition, and sleep sets stop sibling subtrees from re-proving
+ *    each other's interleavings. Verdicts are identical to Naive over
+ *    the same tree (the differential suite in
+ *    tests/explore_dpor_test.cc enforces this), at a fraction of the
+ *    executions.
+ *
+ * Soundness scope: exploration covers every choice the runtime
+ * funnels through the decision engine — dispatch order, select's
+ * shuffle, and (when preemptionBound > 0) the preemption coin at
+ * every instrumented shared access, bounded to at most k yields per
+ * schedule. An exhaustive result with preemptionBound k is therefore
+ * a *bounded-exhaustiveness certificate*: "no bug within preemption
+ * bound k". With the default bound 0, programs whose bugs *only*
+ * manifest via preemption between plain shared accesses need a
+ * positive bound (or the random/PCT testers).
  */
 
 #ifndef GOLITE_EXPLORE_EXPLORER_HH
@@ -24,6 +40,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "runtime/report.hh"
@@ -32,11 +51,45 @@
 namespace golite::explore
 {
 
+/** Which walker explores the tree. */
+enum class ExploreMode
+{
+    Naive, ///< enumerate every schedule
+    Dpor,  ///< prune Mazurkiewicz-equivalent schedules
+};
+
 /** Limits for one exploration. */
 struct ExploreOptions
 {
-    /** Stop after this many schedules (0 = unlimited). */
+    /** Stop after this many executions (0 = unlimited). */
     size_t maxSchedules = 50000;
+
+    ExploreMode mode = ExploreMode::Naive;
+
+    /**
+     * Explore up to this many preemptions (yield at an instrumented
+     * shared access) per schedule as explicit choice points. 0 keeps
+     * preemption off (the historical explorer behaviour). A positive
+     * bound makes exhaustive results certify "no bug within
+     * preemption bound k"; Naive mode enumerates every placement,
+     * Dpor backtracks a preemption only where a dependent step races.
+     */
+    int preemptionBound = 0;
+
+    /**
+     * Collect a Mazurkiewicz-class fingerprint per counted schedule
+     * into ExploreResult::hbClasses (see DependenceOracle
+     * ::hbFingerprint). The property tests use this to check that
+     * DPOR's pruned set still covers every equivalence class the
+     * naive walker visits.
+     */
+    bool collectHbClasses = false;
+
+    /** Optional per-schedule hook (counted schedules only): the
+     *  report and the choice sequence that produced it. */
+    std::function<void(const RunReport &, const std::vector<size_t> &)>
+        onSchedule;
+
     /** Base run options; policy is forced to Random and
      *  preemptProb to 0 (see soundness scope above). */
     RunOptions runOptions;
@@ -45,47 +98,101 @@ struct ExploreOptions
 /** Aggregate over all explored schedules. */
 struct ExploreResult
 {
+    /** Counted schedules (one per explored equivalence-class
+     *  representative; equals executions in Naive mode). */
     size_t schedules = 0;
-    size_t clean = 0;          ///< completed, no leaks
+    /**
+     * Program executions, including sleep-set-blocked (redundant)
+     * runs that are not counted as schedules. The honest
+     * executions-to-first-bug cost measure for bench_ext_explorer.
+     */
+    size_t executions = 0;
+    /** Sleep-set-blocked executions (Dpor only). */
+    size_t redundant = 0;
+
+    size_t clean = 0;          ///< completed, no leaks, no races
     size_t globalDeadlocks = 0;
     size_t leakedOnly = 0;     ///< completed but leaked goroutines
     size_t panicked = 0;
     size_t livelocked = 0;
-    /** True when the whole choice tree was enumerated (the counts
-     *  are then exact over *all* schedules). */
+    /** Completed, nothing leaked, but a detector subscriber reported
+     *  (RunReport::raceMessages non-empty). */
+    size_t raced = 0;
+
+    /**
+     * True when every backtrack point was followed to completion —
+     * the counts are then exact over *all* schedules (within the
+     * explored preemption bound). False whenever the execution budget
+     * abandoned any pending backtrack point.
+     */
     bool exhaustive = false;
+
+    /** Echo of the options that scope the certificate. */
+    ExploreMode mode = ExploreMode::Naive;
+    int preemptionBound = 0;
+
+    /** Mazurkiewicz-class fingerprints of counted schedules
+     *  (ExploreOptions::collectHbClasses). */
+    std::set<uint64_t> hbClasses;
+
     /** The first non-clean report, for diagnostics. */
     RunReport firstBad;
-    /** Choice sequence that produced firstBad (replayable). */
+    /** Choice sequence that produced firstBad (replayable; in Dpor
+     *  mode pass siteSchedule=true to replaySchedule — the sequence
+     *  includes preemption sites). */
     std::vector<size_t> firstBadSchedule;
-    /** 1-based schedule count at which firstBad appeared (0 = never);
-     *  the explorer's "executions to first bug" for bench_ext_fuzz. */
+    /** 1-based execution count at which firstBad appeared (0 =
+     *  never); the explorer's "executions to first bug". */
     size_t firstBadAt = 0;
 
     bool
     anyBad() const
     {
-        return globalDeadlocks + leakedOnly + panicked + livelocked > 0;
+        return globalDeadlocks + leakedOnly + panicked + livelocked +
+                   raced >
+               0;
     }
+
+    /**
+     * The bounded-exhaustiveness certificate: every schedule within
+     * the preemption bound was covered (modulo Mazurkiewicz
+     * equivalence in Dpor mode) and none was bad.
+     */
+    bool certified() const { return exhaustive && !anyBad(); }
+
+    /** Human-readable certificate line ("" when not certified). */
+    std::string certificate() const;
 };
 
 /**
  * Enumerate schedules of @p run_once, a callable that executes the
  * program once under the given options (the explorer installs its
- * chooser into them).
+ * site chooser into them).
  */
 ExploreResult exploreAll(
     const std::function<RunReport(const RunOptions &)> &run_once,
     const ExploreOptions &options = {});
 
+/** Opaque DPOR walker state (sleep sets, backtrack points; owned by
+ *  the cursor so ticketed resume works — see explorer.cc). */
+struct DporState;
+
 /**
  * Resumable DFS position inside one subtree of the choice tree.
  *
- * The first pinnedDepth entries of `prefix` select the subtree and
- * are never advanced; the rest is the walker's backtracking state.
- * The parallel explorer (parallel/pexplore.hh) hands each worker a
- * cursor and grants schedule tickets round by round, which keeps the
- * explored set deterministic under any worker count.
+ * Naive mode: the first pinnedDepth entries of `prefix` select the
+ * subtree and are never advanced; the rest is the walker's
+ * backtracking state. The parallel explorer (parallel/pexplore.hh)
+ * hands each worker a cursor and grants schedule tickets round by
+ * round, which keeps the explored set deterministic under any worker
+ * count.
+ *
+ * Dpor mode: the cursor must start with an empty prefix (the reduced
+ * frontier is discovered dynamically, so pre-splitting the tree is
+ * meaningless — std::logic_error otherwise); sleep-set and
+ * backtrack-point state lives in `dpor` and ticketed resume works the
+ * same way. prefix/fanout mirror the last executed schedule for
+ * observability.
  */
 struct SubtreeCursor
 {
@@ -98,14 +205,20 @@ struct SubtreeCursor
     bool started = false;
     /** Subtree fully enumerated; further calls are no-ops. */
     bool done = false;
+    /** DPOR walker state (created on first Dpor-mode call). */
+    std::shared_ptr<DporState> dpor;
 };
 
 /**
  * Continue enumerating the subtree @p cursor points into, running at
- * most @p budget schedules (0 = unlimited) and accumulating tallies
+ * most @p budget executions (0 = unlimited) and accumulating tallies
  * into @p result. Returns with cursor.done set once every schedule
- * extending the pinned prefix has been counted. exploreAll is this
- * with an empty pinned prefix and the whole budget in one call.
+ * extending the pinned prefix has been counted — including when the
+ * budget ran out exactly at the subtree's last schedule, so a
+ * budget-stopped cursor with cursor.done == false always has an
+ * abandoned backtrack point (ExploreResult::exhaustive must then stay
+ * false). exploreAll is this with an empty pinned prefix and the
+ * whole budget in one call.
  */
 void exploreSubtree(
     const std::function<RunReport(const RunOptions &)> &run_once,
@@ -117,7 +230,8 @@ void exploreSubtree(
  * first |prefix| choices are @p prefix (one uncounted replay run).
  * Returns 0 when the program finishes without reaching that depth,
  * i.e. @p prefix is a complete schedule. The parallel explorer uses
- * this to split the tree into worker-sized subtrees.
+ * this to split the tree into worker-sized subtrees (Naive mode
+ * only; depths count dispatch/select decisions, not preemptions).
  */
 size_t fanoutAt(
     const std::function<RunReport(const RunOptions &)> &run_once,
@@ -130,10 +244,14 @@ ExploreResult exploreProgram(const std::function<void()> &program,
 /**
  * Re-run one specific schedule (e.g. ExploreResult::firstBadSchedule)
  * for debugging; trailing unspecified choices fall back to 0.
+ * @p siteSchedule: the sequence indexes every decision site including
+ * preemption coins (Dpor-mode schedules); false = the historical
+ * dispatch/select-only format (Naive-mode schedules).
  */
 RunReport replaySchedule(
     const std::function<RunReport(const RunOptions &)> &run_once,
-    const std::vector<size_t> &schedule, RunOptions options = {});
+    const std::vector<size_t> &schedule, RunOptions options = {},
+    bool siteSchedule = false);
 
 } // namespace golite::explore
 

@@ -77,24 +77,67 @@ mergeInOrder(const std::vector<Subtree> &subs, bool exhausted_budget)
     for (const Subtree &sub : subs) {
         const ExploreResult &r = sub.result;
         merged.schedules += r.schedules;
+        merged.executions += r.executions;
+        merged.redundant += r.redundant;
         merged.clean += r.clean;
         merged.globalDeadlocks += r.globalDeadlocks;
         merged.leakedOnly += r.leakedOnly;
         merged.panicked += r.panicked;
         merged.livelocked += r.livelocked;
+        merged.raced += r.raced;
+        merged.hbClasses.insert(r.hbClasses.begin(),
+                                r.hbClasses.end());
         all_done = all_done && sub.cursor.done;
     }
     // firstBad comes from the lexicographically earliest subtree that
     // saw one; within a subtree the DFS already kept its first.
+    // firstBadAt counts executions in serial DFS order: everything in
+    // earlier subtrees ran before it.
+    size_t earlier = 0;
     for (const Subtree &sub : subs) {
         if (sub.result.anyBad()) {
             merged.firstBad = sub.result.firstBad;
             merged.firstBadSchedule = sub.result.firstBadSchedule;
+            merged.firstBadAt = earlier + sub.result.firstBadAt;
             break;
         }
+        earlier += sub.result.executions;
     }
     merged.exhaustive = all_done && !exhausted_budget;
     return merged;
+}
+
+/**
+ * Dpor-mode driver: the serial DPOR walker in ticketed rounds on the
+ * calling thread (see header). One shared cursor keeps sleep-set and
+ * backtrack state across rounds.
+ */
+ExploreResult
+exploreDporTicketed(
+    const std::function<RunReport(const RunOptions &)> &run_once,
+    const ParallelExploreOptions &options)
+{
+    const size_t budget = options.explore.maxSchedules;
+    const size_t ticket = std::max<size_t>(1, options.roundTicket);
+    SubtreeCursor cursor;
+    ExploreResult result;
+    result.mode = options.explore.mode;
+    result.preemptionBound = options.explore.preemptionBound;
+    while (!cursor.done) {
+        size_t grant = ticket;
+        if (budget) {
+            const size_t left = budget > result.executions
+                                    ? budget - result.executions
+                                    : 0;
+            grant = std::min(grant, left);
+            if (grant == 0)
+                break;
+        }
+        exploreSubtree(run_once, options.explore, cursor, grant,
+                       result);
+    }
+    result.exhaustive = cursor.done;
+    return result;
 }
 
 } // namespace
@@ -104,6 +147,10 @@ exploreAllParallel(
     const std::function<RunReport(const RunOptions &)> &run_once,
     const ParallelExploreOptions &options)
 {
+    if (options.explore.mode == explore::ExploreMode::Dpor ||
+        options.explore.preemptionBound > 0)
+        return exploreDporTicketed(run_once, options);
+
     const unsigned workers =
         options.workers ? options.workers : defaultWorkers();
     if (workers <= 1)

@@ -22,6 +22,13 @@
  * The frontier probes are extra replay runs not counted against
  * maxSchedules; with F frontier prefixes the overhead is at most F
  * runs, negligible against the enumeration itself.
+ *
+ * Dpor mode (and any preemptionBound > 0) discovers its reduced
+ * frontier dynamically from backtrack analysis, so the prefix space
+ * cannot be pre-split: those explorations run the serial DPOR walker
+ * in ticketed rounds on the calling thread. The determinism contract
+ * holds trivially — the result is byte-identical for every worker
+ * count — and the pruning itself is the speedup.
  */
 
 #ifndef GOLITE_PARALLEL_PEXPLORE_HH

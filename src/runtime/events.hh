@@ -152,6 +152,11 @@ struct RuntimeEvent
     const std::string *name = nullptr;
     /** Blocked select's cases (SelectBlock). */
     const std::vector<SelectWait> *waits = nullptr;
+    /** Decision with DecisionKind::Pick only: the runnable goroutine
+     *  each choice index would dispatch (length = a). Populated only
+     *  when RunOptions::siteChooser is set (the systematic explorer);
+     *  null otherwise so plain runs never pay for the copy-out. */
+    const uint64_t *candidates = nullptr;
     /** Dispatch tick at emission (stamped by the bus). */
     uint64_t tick = 0;
     /** Virtual time at emission (stamped by the bus). */
@@ -339,9 +344,11 @@ class EventBus
         publish(ev);
     }
 
+    /** @p candidates: Pick's runnable-gid list (null when unknown —
+     *  see RuntimeEvent::candidates). */
     void
     decision(DecisionKind kind, size_t alternatives, size_t pick,
-             uint64_t gid)
+             uint64_t gid, const uint64_t *candidates = nullptr)
     {
         if (!wants(EventKind::Decision))
             return;
@@ -351,6 +358,7 @@ class EventBus
         ev.gid = gid;
         ev.a = alternatives;
         ev.b = static_cast<int64_t>(pick);
+        ev.candidates = candidates;
         publish(ev);
     }
 

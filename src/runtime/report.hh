@@ -44,6 +44,30 @@ enum class SchedPolicy
 /** Printable name of a scheduling policy. */
 const char *schedPolicyName(SchedPolicy policy);
 
+/**
+ * Metadata for one nondeterministic choice point, handed to
+ * RunOptions::siteChooser (and mirrored into the Decision event's
+ * candidate list) so a schedule explorer can *attribute* decisions:
+ * which goroutine a dispatch pick would run, which goroutine is
+ * making a select draw or taking a preemption coin. The systematic
+ * explorer's DPOR dependence oracle is the consumer (src/explore).
+ */
+struct ChoiceSite
+{
+    DecisionKind kind = DecisionKind::Pick;
+    /** Alternatives offered (always >= 2). */
+    size_t alternatives = 0;
+    /** Acting goroutine: the selecting/preempting goroutine, or 0
+     *  for dispatch picks (made in scheduler context). */
+    uint64_t gid = 0;
+    /**
+     * DecisionKind::Pick only: the runnable goroutine each choice
+     * index would dispatch, length == alternatives (null for other
+     * kinds). Valid only for the duration of the call.
+     */
+    const uint64_t *candidates = nullptr;
+};
+
 /** Options for one golite::run. */
 struct RunOptions
 {
@@ -84,6 +108,18 @@ struct RunOptions
      * enumerate schedules exhaustively.
      */
     std::function<size_t(size_t)> chooser;
+
+    /**
+     * Attributed variant of chooser: receives the full ChoiceSite
+     * (decision kind, acting goroutine, Pick candidate gids) and —
+     * unlike chooser — also the preemption coin, so a systematic
+     * explorer can bound preemptions as explicit choice points
+     * instead of inheriting the probabilistic draw. The DPOR explorer
+     * (src/explore) drives runs through this. Requires
+     * SchedPolicy::Random; conflicts with chooser and replayTrace
+     * (std::logic_error otherwise).
+     */
+    std::function<size_t(const ChoiceSite &)> siteChooser;
 
     /**
      * When set, the scheduler appends every nondeterministic decision

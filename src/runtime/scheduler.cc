@@ -409,11 +409,24 @@ Scheduler::replayPick(DecisionKind kind, size_t n)
 }
 
 size_t
-Scheduler::decide(DecisionKind kind, size_t n)
+Scheduler::decide(DecisionKind kind, size_t n, const uint64_t *cands)
 {
     size_t pick;
     if (options_.replayTrace != nullptr) {
         pick = replayPick(kind, n);
+    } else if (options_.siteChooser) {
+        // A site chooser sees every decision kind — including the
+        // preemption coin, which the plain chooser never receives —
+        // so a systematic explorer can bound preemptions explicitly
+        // instead of inheriting the probabilistic coin.
+        ChoiceSite site;
+        site.kind = kind;
+        site.alternatives = n;
+        site.gid = runningId();
+        site.candidates = cands;
+        pick = options_.siteChooser(site);
+        if (pick >= n)
+            pick = n - 1;
     } else if (kind == DecisionKind::Preempt) {
         pick = rng_.chance(options_.preemptProb) ? 1 : 0;
     } else if (options_.chooser) {
@@ -425,7 +438,7 @@ Scheduler::decide(DecisionKind kind, size_t n)
     }
     // Every resolved choice is one Decision event; the trace recorder
     // (RunOptions::recordTrace) is just a subscriber of these.
-    bus_.decision(kind, n, pick, runningId());
+    bus_.decision(kind, n, pick, runningId(), cands);
     return pick;
 }
 
@@ -569,8 +582,19 @@ Scheduler::pickNext()
     size_t index = 0;
     switch (options_.policy) {
       case SchedPolicy::Random:
-        if (readyq_.size() > 1)
-            index = decide(DecisionKind::Pick, readyq_.size());
+        if (readyq_.size() > 1) {
+            const uint64_t *cands = nullptr;
+            if (options_.siteChooser) {
+                // Candidate gids let the chooser (and the Decision
+                // event) know *which goroutine* each index dispatches.
+                // Built only on demand: plain runs pay nothing.
+                pickCands_.clear();
+                for (const Goroutine *g : readyq_)
+                    pickCands_.push_back(g->id);
+                cands = pickCands_.data();
+            }
+            index = decide(DecisionKind::Pick, readyq_.size(), cands);
+        }
         break;
       case SchedPolicy::Fifo:
         index = 0;
@@ -694,6 +718,17 @@ Scheduler::run(std::function<void()> main)
         throw std::logic_error(
             "RunOptions::replayTrace and RunOptions::chooser are both "
             "decision drivers; set only one");
+    }
+    if (options_.siteChooser &&
+        (options_.chooser || options_.replayTrace)) {
+        throw std::logic_error(
+            "RunOptions::siteChooser conflicts with chooser/"
+            "replayTrace; set only one decision driver");
+    }
+    if (options_.siteChooser && options_.policy != SchedPolicy::Random) {
+        throw std::logic_error(
+            "RunOptions::siteChooser requires SchedPolicy::Random "
+            "(other policies bypass the decision engine)");
     }
     if (options_.recordTrace &&
         options_.recordTrace == options_.replayTrace) {

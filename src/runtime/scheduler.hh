@@ -226,8 +226,12 @@ class Scheduler
      * order replay trace > natural draw (chooser for picks/arms, the
      * preemptProb coin for preemptions), and is appended to
      * RunOptions::recordTrace when recording. Only called with n >= 2.
+     * @p cands: Pick's candidate-gid array (length n, null for other
+     * kinds); forwarded to RunOptions::siteChooser and the Decision
+     * event so explorers can attribute the choice.
      */
-    size_t decide(DecisionKind kind, size_t n);
+    size_t decide(DecisionKind kind, size_t n,
+                  const uint64_t *cands = nullptr);
 
     /** Take the next replayed decision; handles strict divergence. */
     size_t replayPick(DecisionKind kind, size_t n);
@@ -304,6 +308,10 @@ class Scheduler
 
     /** Next decision to consume from RunOptions::replayTrace. */
     size_t replayAt_ = 0;
+
+    /** Scratch for pickNext's candidate-gid list, filled only when
+     *  RunOptions::siteChooser is set (reused across picks). */
+    std::vector<uint64_t> pickCands_;
 
     RunReport report_;
 

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * The DPOR differential harness: proves the pruning sound by checking
+ * the reduced walker against the naive enumerator.
+ *
+ *  - Verdict-set identity over the whole corpus: for every kernel and
+ *    variant where both walkers finish exhaustively, the *set* of
+ *    outcome kinds (clean / deadlock / leak / panic / livelock /
+ *    detector race) is identical, DPOR never runs more executions,
+ *    and fixed-variant certificates agree (the corpus sweep is
+ *    budgeted, so it lives behind the "explore" ctest label next to
+ *    the tier-1 suite).
+ *  - Mazurkiewicz coverage: on enumerable programs, the set of
+ *    happens-before equivalence classes DPOR visits equals the naive
+ *    walker's (one representative per class is exactly the DPOR
+ *    guarantee).
+ *  - Walker invariants: schedules + redundant == executions, Naive
+ *    mode never reports redundant runs, exhaustion under budget stops
+ *    is reported honestly (false iff a backtrack point was
+ *    abandoned — including the budget-lands-exactly-on-the-last-
+ *    schedule boundary), and ticketed resume reproduces the one-shot
+ *    result execution for execution.
+ *  - Bounded-exhaustiveness certificates: a fixed kernel explored
+ *    exhaustively under preemption bound k yields certified() and a
+ *    non-empty certificate string; buggy kernels never certify.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/bug.hh"
+#include "explore/explorer.hh"
+#include "golite/golite.hh"
+#include "race/detector.hh"
+
+namespace golite::explore
+{
+namespace
+{
+
+using corpus::BugCase;
+using corpus::Variant;
+
+/**
+ * Kernel runner with the same bug predicate the fuzz/random searchers
+ * use: race detector attached and kernel-level manifestation folded
+ * into the report, so detector-only and wrong-result bugs are visible
+ * to the explorer's tally as well.
+ */
+std::function<RunReport(const RunOptions &)>
+detectingRunner(const BugCase &bug, Variant variant,
+                race::Detector &det)
+{
+    return [&bug, variant, &det](const RunOptions &base) {
+        det.reset();
+        RunOptions ro = base;
+        ro.subscribers.push_back(&det);
+        const corpus::BugOutcome out = bug.run(variant, ro);
+        RunReport report = out.report;
+        if (out.manifested)
+            report.raceMessages.push_back("kernel bug manifested: " +
+                                          out.note);
+        return report;
+    };
+}
+
+ExploreResult
+exploreKernel(const BugCase &bug, Variant variant, ExploreMode mode,
+              size_t budget, int bound = 0, bool classes = false)
+{
+    ExploreOptions eo;
+    eo.maxSchedules = budget;
+    eo.mode = mode;
+    eo.preemptionBound = bound;
+    eo.collectHbClasses = classes;
+    race::Detector det(4);
+    return exploreAll(detectingRunner(bug, variant, det), eo);
+}
+
+/** The outcome kinds seen, as a comparable string. */
+std::string
+verdictSet(const ExploreResult &r)
+{
+    std::string v;
+    if (r.clean)
+        v += "clean,";
+    if (r.globalDeadlocks)
+        v += "deadlock,";
+    if (r.leakedOnly)
+        v += "leak,";
+    if (r.panicked)
+        v += "panic,";
+    if (r.livelocked)
+        v += "livelock,";
+    if (r.raced)
+        v += "race,";
+    return v;
+}
+
+void
+checkInvariants(const ExploreResult &r, const char *what)
+{
+    EXPECT_EQ(r.schedules + r.redundant, r.executions) << what;
+    if (r.mode == ExploreMode::Naive)
+        EXPECT_EQ(r.redundant, 0u) << what;
+    if (r.anyBad()) {
+        EXPECT_GE(r.firstBadAt, 1u) << what;
+        EXPECT_LE(r.firstBadAt, r.executions) << what;
+        // firstBadSchedule may legitimately be empty: a program that
+        // fails before reaching any decision site has the empty
+        // schedule as its (only) witness.
+    } else {
+        EXPECT_EQ(r.firstBadAt, 0u) << what;
+    }
+}
+
+// ===================================================================
+// Corpus-wide differential sweep (ctest label: explore)
+// ===================================================================
+
+class CorpusDifferential
+    : public ::testing::TestWithParam<const BugCase *>
+{
+};
+
+TEST_P(CorpusDifferential, DporMatchesNaiveVerdicts)
+{
+    const BugCase &bug = *GetParam();
+    constexpr size_t kBudget = 2000;
+    for (const Variant variant : {Variant::Buggy, Variant::Fixed}) {
+        const char *vn =
+            variant == Variant::Buggy ? "buggy" : "fixed";
+        const ExploreResult naive = exploreKernel(
+            bug, variant, ExploreMode::Naive, kBudget);
+        const ExploreResult dpor =
+            exploreKernel(bug, variant, ExploreMode::Dpor, kBudget);
+        checkInvariants(naive, vn);
+        checkInvariants(dpor, vn);
+
+        if (naive.exhaustive) {
+            // Soundness: the pruned walker must reach every verdict
+            // the full enumeration reaches, with no extra ones, in no
+            // more executions.
+            ASSERT_TRUE(dpor.exhaustive) << bug.info.id << " " << vn;
+            EXPECT_EQ(verdictSet(naive), verdictSet(dpor))
+                << bug.info.id << " " << vn;
+            EXPECT_LE(dpor.executions, naive.executions)
+                << bug.info.id << " " << vn;
+            EXPECT_EQ(naive.certified(), dpor.certified())
+                << bug.info.id << " " << vn;
+        } else if (naive.anyBad()) {
+            // Budget-capped kernels: DPOR must not lose the bug the
+            // enumerator already found within the same budget.
+            EXPECT_TRUE(dpor.anyBad()) << bug.info.id << " " << vn;
+            EXPECT_LE(dpor.firstBadAt, naive.firstBadAt)
+                << bug.info.id << " " << vn;
+        }
+    }
+}
+
+std::vector<const BugCase *>
+allBugs()
+{
+    std::vector<const BugCase *> out;
+    for (const BugCase &bug : corpus::corpus())
+        out.push_back(&bug);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusDifferential, ::testing::ValuesIn(allBugs()),
+    [](const ::testing::TestParamInfo<const BugCase *> &info) {
+        std::string name = info.param->info.id;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// ===================================================================
+// Mazurkiewicz-class coverage (property test)
+// ===================================================================
+
+void
+expectSameHbClasses(const std::function<void()> &program,
+                    int bound = 0)
+{
+    ExploreOptions eo;
+    eo.maxSchedules = 50000;
+    eo.collectHbClasses = true;
+    eo.preemptionBound = bound;
+
+    eo.mode = ExploreMode::Naive;
+    const ExploreResult naive = exploreProgram(program, eo);
+    eo.mode = ExploreMode::Dpor;
+    const ExploreResult dpor = exploreProgram(program, eo);
+
+    ASSERT_TRUE(naive.exhaustive);
+    ASSERT_TRUE(dpor.exhaustive);
+    // One representative per class is the DPOR guarantee; class
+    // equality is what "covers the same behaviours" means here.
+    EXPECT_EQ(naive.hbClasses, dpor.hbClasses);
+    EXPECT_LE(dpor.executions, naive.executions);
+    EXPECT_GE(dpor.schedules, dpor.hbClasses.size());
+}
+
+TEST(DporProperty, IndependentWritersCollapseToOneClass)
+{
+    // Three goroutines writing three distinct locations: 3! naive
+    // interleavings, a single Mazurkiewicz class.
+    expectSameHbClasses([] {
+        auto a = std::make_shared<int>(0);
+        auto b = std::make_shared<int>(0);
+        auto c = std::make_shared<int>(0);
+        go([a] { *a = 1; });
+        go([b] { *b = 1; });
+        go([c] { *c = 1; });
+    });
+}
+
+TEST(DporProperty, ConflictingChannelSendersKeepAllClasses)
+{
+    // Two senders racing into one buffered channel: delivery order is
+    // observable, so both orders must survive the pruning.
+    expectSameHbClasses([] {
+        Chan<int> ch = makeChan<int>(2);
+        go([ch]() mutable { ch.send(1); });
+        go([ch]() mutable { ch.send(2); });
+    });
+}
+
+TEST(DporProperty, MutexPairKeepsBothAcquisitionOrders)
+{
+    expectSameHbClasses([] {
+        auto mu = std::make_shared<Mutex>();
+        auto x = std::make_shared<int>(0);
+        go([mu, x] {
+            mu->lock();
+            *x += 1;
+            mu->unlock();
+        });
+        go([mu, x] {
+            mu->lock();
+            *x *= 2;
+            mu->unlock();
+        });
+    });
+}
+
+TEST(DporProperty, SelectVsSenderCoversAllClasses)
+{
+    expectSameHbClasses([] {
+        Chan<int> a = makeChan<int>(1);
+        Chan<int> b = makeChan<int>(1);
+        go([a]() mutable { a.send(1); });
+        go([b]() mutable { b.send(2); });
+        Select()
+            .recv<int>(a, [](int, bool) {})
+            .recv<int>(b, [](int, bool) {})
+            .run();
+    });
+}
+
+TEST(DporProperty, PreemptionBoundClassesMatch)
+{
+    // Instrumented shared counter: under bound 1 the naive walker
+    // enumerates every single-preemption placement; DPOR must keep
+    // one schedule per resulting class.
+    expectSameHbClasses(
+        [] {
+            auto x = std::make_shared<race::Shared<int>>("x");
+            go([x] { x->store(x->load() + 1); });
+            go([x] { x->store(x->load() + 10); });
+        },
+        1);
+}
+
+// ===================================================================
+// Exhaustion semantics under budget stops (regression)
+// ===================================================================
+
+TEST(ExploreExhaustion, BudgetLandingOnLastScheduleIsExhaustive)
+{
+    // Two yield-free goroutines: exactly 2 schedules.
+    const auto program = [] {
+        go([] {});
+        go([] {});
+    };
+    ExploreOptions eo;
+    eo.maxSchedules = 2; // budget == tree size exactly
+    ExploreResult r = exploreProgram(program, eo);
+    EXPECT_EQ(r.schedules, 2u);
+    EXPECT_TRUE(r.exhaustive)
+        << "a budget that runs out exactly at the last schedule "
+           "abandons nothing";
+
+    eo.maxSchedules = 1; // one backtrack point abandoned
+    r = exploreProgram(program, eo);
+    EXPECT_EQ(r.schedules, 1u);
+    EXPECT_FALSE(r.exhaustive);
+
+    eo.mode = ExploreMode::Dpor;
+    eo.maxSchedules = 5000;
+    r = exploreProgram(program, eo);
+    ASSERT_TRUE(r.exhaustive);
+    const size_t dpor_size = r.executions;
+    eo.maxSchedules = dpor_size;
+    r = exploreProgram(program, eo);
+    EXPECT_TRUE(r.exhaustive) << "same boundary rule in Dpor mode";
+}
+
+TEST(ExploreExhaustion, TicketedResumeHitsSameBoundary)
+{
+    const auto program = [] {
+        go([] {});
+        go([] {});
+    };
+    const auto run_once = [&program](const RunOptions &ro) {
+        return run(program, ro);
+    };
+    ExploreOptions eo;
+    SubtreeCursor cursor;
+    ExploreResult r;
+    exploreSubtree(run_once, eo, cursor, 1, r);
+    EXPECT_FALSE(cursor.done);
+    exploreSubtree(run_once, eo, cursor, 1, r);
+    EXPECT_TRUE(cursor.done)
+        << "the ticket ending at the subtree's last schedule must "
+           "close the cursor";
+    EXPECT_EQ(r.schedules, 2u);
+}
+
+// ===================================================================
+// Ticketed DPOR resume == one-shot
+// ===================================================================
+
+TEST(DporResume, SingleExecutionTicketsMatchOneShot)
+{
+    const corpus::BugCase *bug = corpus::findBug("etcd-6873");
+    ASSERT_NE(bug, nullptr);
+    ExploreOptions eo;
+    eo.mode = ExploreMode::Dpor;
+    eo.collectHbClasses = true;
+    eo.maxSchedules = 5000;
+
+    race::Detector det1(4);
+    const ExploreResult oneShot =
+        exploreAll(detectingRunner(*bug, Variant::Buggy, det1), eo);
+    ASSERT_TRUE(oneShot.exhaustive);
+
+    race::Detector det2(4);
+    const auto run_once =
+        detectingRunner(*bug, Variant::Buggy, det2);
+    SubtreeCursor cursor;
+    ExploreResult resumed;
+    resumed.mode = eo.mode;
+    size_t calls = 0;
+    while (!cursor.done) {
+        exploreSubtree(run_once, eo, cursor, 1, resumed);
+        ASSERT_LT(++calls, 10000u);
+    }
+    resumed.exhaustive = cursor.done;
+
+    EXPECT_EQ(resumed.schedules, oneShot.schedules);
+    EXPECT_EQ(resumed.executions, oneShot.executions);
+    EXPECT_EQ(resumed.redundant, oneShot.redundant);
+    EXPECT_EQ(resumed.hbClasses, oneShot.hbClasses);
+    EXPECT_EQ(verdictSet(resumed), verdictSet(oneShot));
+    EXPECT_EQ(resumed.firstBadAt, oneShot.firstBadAt);
+    EXPECT_EQ(resumed.firstBadSchedule, oneShot.firstBadSchedule);
+}
+
+TEST(DporResume, PinnedPrefixIsRejected)
+{
+    ExploreOptions eo;
+    eo.mode = ExploreMode::Dpor;
+    SubtreeCursor cursor;
+    cursor.prefix = {0};
+    ExploreResult r;
+    const auto run_once = [](const RunOptions &ro) {
+        return run([] { go([] {}); }, ro);
+    };
+    EXPECT_THROW(exploreSubtree(run_once, eo, cursor, 10, r),
+                 std::logic_error);
+}
+
+// ===================================================================
+// Bounded-exhaustiveness certificates
+// ===================================================================
+
+TEST(DporCertificate, FixedKernelCertifiesUnderPreemptionBound)
+{
+    // The paper's grpc-795 data race is fixed by mutex protection;
+    // the certificate states no schedule within one preemption can
+    // break it — a claim random testing cannot make.
+    const corpus::BugCase *bug = corpus::findBug("grpc-795");
+    ASSERT_NE(bug, nullptr);
+    const ExploreResult r = exploreKernel(
+        *bug, Variant::Fixed, ExploreMode::Dpor, 20000, 1);
+    ASSERT_TRUE(r.exhaustive);
+    EXPECT_FALSE(r.anyBad());
+    ASSERT_TRUE(r.certified());
+    const std::string cert = r.certificate();
+    EXPECT_NE(cert.find("preemption bound 1"), std::string::npos)
+        << cert;
+    EXPECT_NE(cert.find("dpor"), std::string::npos) << cert;
+}
+
+TEST(DporCertificate, BuggyKernelNeverCertifies)
+{
+    const corpus::BugCase *bug = corpus::findBug("grpc-795");
+    ASSERT_NE(bug, nullptr);
+    const ExploreResult r = exploreKernel(
+        *bug, Variant::Buggy, ExploreMode::Dpor, 20000, 1);
+    ASSERT_TRUE(r.exhaustive);
+    EXPECT_TRUE(r.anyBad());
+    EXPECT_FALSE(r.certified());
+    EXPECT_EQ(r.certificate(), "");
+}
+
+TEST(DporCertificate, BudgetExhaustionBlocksCertification)
+{
+    const corpus::BugCase *bug = corpus::findBug("grpc-795");
+    ASSERT_NE(bug, nullptr);
+    const ExploreResult r =
+        exploreKernel(*bug, Variant::Fixed, ExploreMode::Dpor, 1, 1);
+    if (!r.exhaustive) {
+        EXPECT_FALSE(r.certified());
+        EXPECT_EQ(r.certificate(), "");
+    }
+}
+
+// ===================================================================
+// Replay of Dpor-mode schedules
+// ===================================================================
+
+TEST(DporReplay, FirstBadScheduleReproduces)
+{
+    const corpus::BugCase *bug = corpus::findBug("docker-5416");
+    ASSERT_NE(bug, nullptr);
+    race::Detector det(4);
+    const auto run_once =
+        detectingRunner(*bug, Variant::Buggy, det);
+    ExploreOptions eo;
+    eo.mode = ExploreMode::Dpor;
+    const ExploreResult r = exploreAll(run_once, eo);
+    ASSERT_TRUE(r.anyBad());
+    const RunReport replayed = replaySchedule(
+        run_once, r.firstBadSchedule, eo.runOptions, true);
+    EXPECT_FALSE(replayed.clean());
+}
+
+} // namespace
+} // namespace golite::explore

@@ -371,6 +371,38 @@ TEST(ParallelExplorer, FirstBadScheduleMatchesSerial)
               serial.firstBad.fingerprint());
 }
 
+TEST(ParallelExplorer, DporModeIsWorkerCountIndependent)
+{
+    // Dpor mode routes through the serial ticketed walker, so every
+    // worker count must produce the identical result — counters,
+    // class set, and first-bad witness alike.
+    const explore::ExploreResult serial = [&] {
+        explore::ExploreOptions options;
+        options.mode = explore::ExploreMode::Dpor;
+        options.collectHbClasses = true;
+        return explore::exploreProgram(branchyProgram, options);
+    }();
+    ASSERT_TRUE(serial.exhaustive);
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        ParallelExploreOptions options;
+        options.workers = workers;
+        options.explore.mode = explore::ExploreMode::Dpor;
+        options.explore.collectHbClasses = true;
+        const explore::ExploreResult parallel =
+            exploreProgramParallel(branchyProgram, options);
+        EXPECT_TRUE(parallel.exhaustive) << workers;
+        EXPECT_EQ(parallel.schedules, serial.schedules) << workers;
+        EXPECT_EQ(parallel.executions, serial.executions) << workers;
+        EXPECT_EQ(parallel.redundant, serial.redundant) << workers;
+        EXPECT_EQ(parallel.clean, serial.clean) << workers;
+        EXPECT_EQ(parallel.raced, serial.raced) << workers;
+        EXPECT_EQ(parallel.hbClasses, serial.hbClasses) << workers;
+        EXPECT_EQ(parallel.firstBadSchedule, serial.firstBadSchedule)
+            << workers;
+    }
+}
+
 TEST(ParallelExplorer, BoundedBudgetIsDeterministicAndRespected)
 {
     ParallelExploreOptions options;
