@@ -21,6 +21,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hh"
@@ -28,6 +30,7 @@
 #include "corpus/bug.hh"
 #include "golite/golite.hh"
 #include "parallel/sweep.hh"
+#include "race/sharded.hh"
 
 using namespace golite;
 using corpus::Behavior;
@@ -117,6 +120,54 @@ class DetectorMaskNoop : public NoopSink
         return race::Detector().eventMask();
     }
 };
+
+/** Mem-lane noop that ExecMode::Parallel accepts, for the baseline
+ *  arm of the sharded-detector rows. */
+class ParallelNoopSink : public NoopSink
+{
+  public:
+    bool parallelSafe() const override { return true; }
+};
+
+/**
+ * ns/access of the heavy kernel with race::Sharded attached — same
+ * best-of-batches protocol as measureNsPerAccess. With @p threads ==
+ * 0 the run is deterministic single-thread (directly comparable with
+ * the fast-path rows: identical event stream); otherwise it is an
+ * ExecMode::Parallel run on that many workers. A null @p sharded
+ * measures the matching noop arm.
+ */
+double
+measureShardedNsPerAccess(race::Sharded *sharded, unsigned threads,
+                          int runs, int reps)
+{
+    ParallelNoopSink noop;
+    RunOptions options;
+    if (threads == 0) {
+        options.policy = SchedPolicy::Fifo;
+    } else {
+        options.execMode = ExecMode::Parallel;
+        options.parallelThreads = threads;
+    }
+    options.subscribers.push_back(
+        sharded ? static_cast<Subscriber *>(sharded) : &noop);
+
+    auto oneRun = [&] {
+        if (sharded)
+            sharded->reset();
+        run(heavyKernel, options);
+    };
+    oneRun();
+
+    double best = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto begin = Clock::now();
+        for (int i = 0; i < runs; ++i)
+            oneRun();
+        best = std::min(best, seconds(begin, Clock::now()));
+    }
+    return best * 1e9 / (kAccessesPerRun * runs);
+}
 
 /**
  * ns/access of the heavy kernel: best (minimum) of @p reps timed
@@ -268,6 +319,68 @@ main()
         }
     }
 
+    // --- Sharded-mode rows -----------------------------------------
+    // race::Sharded is the ExecMode::Parallel detector. Its serial
+    // row sees the identical event stream as the fast-path rows
+    // above, so "sharded serial vs fastpath on" is a pure detector
+    // comparison; the parallel row adds real worker concurrency (and
+    // its scheduler/bus costs, which the parallel noop arm
+    // subtracts). Gate: per-access cost within 2x of the
+    // single-thread fast path under 8 workers — only meaningful on a
+    // machine that can actually run 8 threads, so it arms on
+    // hardware_concurrency() >= 8 and GOLITE_SHARDED_GATE=0 disables
+    // it (the rows are always printed and recorded).
+    {
+        race::Detector fastpath(4);
+        fastpath.setFastPath(true);
+        const double on4 =
+            measureNsPerAccess(&fastpath, 4, kRuns, kTimedReps);
+
+        race::Sharded sharded;
+        const double serial_ns =
+            measureShardedNsPerAccess(&sharded, 0, kRuns, kTimedReps);
+        json.add("ns_per_access/sharded_serial", 1e9 / serial_ns,
+                 serial_ns * 1e-9, 1);
+
+        const unsigned hw = std::thread::hardware_concurrency();
+        const unsigned workers = std::min(8u, std::max(2u, hw));
+        const double par_base = measureShardedNsPerAccess(
+            nullptr, workers, kRuns, kTimedReps);
+        const double par_ns = measureShardedNsPerAccess(
+            &sharded, workers, kRuns, kTimedReps);
+        json.add("ns_per_access/sharded_parallel", 1e9 / par_ns,
+                 par_ns * 1e-9, workers);
+
+        const double serial_ratio =
+            (serial_ns - base) / std::max(on4 - base, 1e-9);
+        const double par_ratio =
+            (par_ns - par_base) / std::max(on4 - base, 1e-9);
+        std::printf("\nsharded detector (vs depth-4 fastpath %.1f "
+                    "ns/access):\n",
+                    on4);
+        std::printf("  serial          %9.1f ns  %8.2fx\n", serial_ns,
+                    serial_ratio);
+        std::printf("  parallel (w%u)   %9.1f ns  %8.2fx\n", workers,
+                    par_ns, par_ratio);
+
+        const char *gate_env = std::getenv("GOLITE_SHARDED_GATE");
+        const bool gate_off =
+            gate_env != nullptr && gate_env[0] == '0';
+        if (hw >= 8 && !gate_off) {
+            if (par_ratio > 2.0) {
+                std::printf("FAILED: sharded parallel per-access cost "
+                            "%.2fx the single-thread fast path (want "
+                            "<= 2x)\n",
+                            par_ratio);
+                ok = false;
+            }
+        } else {
+            std::printf("  (2x gate skipped: %s)\n",
+                        gate_off ? "GOLITE_SHARDED_GATE=0"
+                                 : "needs >= 8 hardware threads");
+        }
+    }
+
     // --- Per-event cost vs live goroutine count --------------------
     // The slot-recycling/sparse-clock gate: detector cost per access
     // must stay flat (within 2x) from 100 to 10k parked residents.
@@ -376,7 +489,9 @@ main()
     }
 
     json.writeFile("BENCH_race.json");
-    std::printf("\nwrote BENCH_race.json (%zu entries)\n",
+    json.writeSchemaFile("BENCH_race_schema.json");
+    std::printf("\nwrote BENCH_race.json (%zu entries) + "
+                "BENCH_race_schema.json\n",
                 json.size());
     if (!ok)
         std::printf("\nFAILED (see above)\n");

@@ -11,6 +11,8 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "corpus/bug.hh"
 #include "golite/golite.hh"
@@ -106,10 +108,17 @@ main()
 
     // The same run, exported as a Chrome trace-event timeline: one
     // lane per goroutine, open it in chrome://tracing or Perfetto.
-    if (timeline.writeFile("boltdb-392.trace.json")) {
-        std::printf("\nwrote boltdb-392.trace.json "
+    // Dumps into GOLITE_TRACE_DUMP_DIR when set, so running the
+    // example from a source checkout does not litter the repo root.
+    std::string trace_path = "boltdb-392.trace.json";
+    if (const char *dir = std::getenv("GOLITE_TRACE_DUMP_DIR");
+        dir != nullptr && dir[0] != '\0') {
+        trace_path = std::string(dir) + "/" + trace_path;
+    }
+    if (timeline.writeFile(trace_path.c_str())) {
+        std::printf("\nwrote %s "
                     "(%zu trace events) — open in Perfetto\n",
-                    timeline.size());
+                    trace_path.c_str(), timeline.size());
     }
     // Smoke-test contract: the wait-graph detector must stay silent
     // on every fixed variant it watched above.

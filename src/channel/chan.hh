@@ -90,6 +90,7 @@ class Chan
     size_t
     len() const
     {
+        SchedGuard guard(Scheduler::current());
         return impl_ ? impl_->buffer.size() : 0;
     }
 
@@ -109,6 +110,7 @@ class Chan
     send(T value) const
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         if (!impl_) {
             sched->park(WaitReason::ChanSendNil, nullptr);
             return; // unreachable except during teardown unwind
@@ -160,6 +162,7 @@ class Chan
     recv() const
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         if (!impl_) {
             sched->park(WaitReason::ChanRecvNil, nullptr);
             return {};
@@ -228,6 +231,7 @@ class Chan
     close() const
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         if (!impl_)
             goPanic("close of nil channel");
         auto *c = impl_.get();
@@ -271,6 +275,7 @@ class Chan
         if (!impl_)
             return false;
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         auto *c = impl_.get();
         sched->bus().chanOp(c, sched->runningId(), ChanOpKind::TrySend);
         if (c->closed)
@@ -307,6 +312,7 @@ class Chan
         if (!impl_)
             return std::nullopt;
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         auto *c = impl_.get();
         sched->bus().chanOp(c, sched->runningId(), ChanOpKind::TryRecv);
         if (!c->buffer.empty()) {

@@ -17,6 +17,9 @@ int
 Select::run()
 {
     Scheduler *sched = Scheduler::current();
+    // One guard covers poll, enqueue, park, cancel, and complete: the
+    // waiter/token handshake with racing channel ops must be atomic.
+    SchedGuard guard(sched);
 
     // Phase 1: poll all non-nil cases in random order; the uniform
     // choice among ready cases is the Go semantic the paper's

@@ -6,6 +6,9 @@ namespace golite::ctx
 void
 ContextState::cancel(const std::string &why)
 {
+    // One guard for the whole cancellation tree walk (the chan close
+    // and timer cancel inside compose reentrantly).
+    SchedGuard guard(Scheduler::current());
     if (cancelled())
         return;
     err_ = why;
@@ -34,6 +37,7 @@ ContextState::value(const std::string &key) const
 Context
 withValue(const Context &parent, std::string key, std::any value)
 {
+    SchedGuard guard(Scheduler::current());
     auto child = std::make_shared<ContextState>();
     child->values_.emplace(std::move(key), std::move(value));
     child->valueParent_ = parent;
@@ -59,6 +63,7 @@ background()
 std::pair<Context, CancelFunc>
 withCancel(const Context &parent)
 {
+    SchedGuard guard(Scheduler::current());
     auto child = std::make_shared<ContextState>();
     child->done_ = makeChan<Unit>();
     if (parent) {

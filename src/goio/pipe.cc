@@ -39,6 +39,7 @@ IoResult
 PipeReader::read(std::string &out, size_t max)
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     PipeState *p = state_.get();
     out.clear();
 
@@ -71,6 +72,7 @@ void
 PipeReader::close(const std::string &cause)
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     PipeState *p = state_.get();
     if (p->readClosed)
         return;
@@ -93,6 +95,7 @@ IoResult
 PipeWriter::write(const std::string &data)
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     PipeState *p = state_.get();
     if (p->writeClosed)
         return {0, "io: write on closed pipe"};
@@ -132,6 +135,7 @@ void
 PipeWriter::close(const std::string &cause)
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     PipeState *p = state_.get();
     if (p->writeClosed)
         return;

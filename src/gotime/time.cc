@@ -90,6 +90,9 @@ armTick(const std::shared_ptr<Ticker::State> &state)
 void
 Ticker::stop()
 {
+    // The tick callback reads `stopped` in scheduler context; the
+    // guard orders this write against it in parallel mode.
+    SchedGuard guard(Scheduler::current());
     if (state_)
         state_->stopped = true;
 }

@@ -1,8 +1,10 @@
 #include "parallel/sweep.hh"
 
 #include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "runtime/stack_pool.hh"
@@ -127,9 +129,74 @@ runJobs(const std::vector<std::function<RunReport()>> &jobs,
         jobs.size(), [&](size_t i) { return jobs[i](); }, sweep);
 }
 
+void
+installPoolExecutor()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        Scheduler::setParallelExecutor(
+            [](unsigned nthreads,
+               const std::function<void(unsigned)> &body) {
+                if (WorkerPool::insideEpoch()) {
+                    // A pool worker cannot submit an epoch to its own
+                    // pool; nested parallel runs get ad-hoc threads.
+                    std::vector<std::thread> team;
+                    team.reserve(nthreads - 1);
+                    for (unsigned i = 1; i < nthreads; ++i)
+                        team.emplace_back([&body, i] { body(i); });
+                    body(0);
+                    for (std::thread &t : team)
+                        t.join();
+                    return;
+                }
+                WorkerPool &pool = sharedPool();
+                pool.ensureWorkers(nthreads);
+                pool.onAllWorkers([&body](unsigned w) { body(w); },
+                                  nthreads);
+            });
+    });
+}
+
+RunReport
+runParallel(const std::function<void()> &program,
+            const RunOptions &base, const SweepOptions &sweep)
+{
+    installPoolExecutor();
+    RunOptions options = base;
+    options.execMode = ExecMode::Parallel;
+    if (options.parallelThreads == 0) {
+        const unsigned w =
+            sweep.workers == 0 ? defaultWorkers() : sweep.workers;
+        options.parallelThreads = std::max(2u, w);
+    }
+    return run(program, options);
+}
+
+namespace
+{
+
+void
+rejectParallelRunContext(const char *what)
+{
+    Scheduler *active = Scheduler::current();
+    if (active != nullptr && active->parallel()) {
+        throw std::logic_error(std::string(what) +
+                               ": called from inside an "
+                               "ExecMode::Parallel run, whose "
+                               "goroutines migrate across OS threads "
+                               "— a thread_local detector would be "
+                               "shared between concurrent workers; "
+                               "attach race::Sharded to the run "
+                               "instead");
+    }
+}
+
+} // namespace
+
 race::Detector &
 threadLocalDetector(size_t shadow_depth)
 {
+    rejectParallelRunContext("threadLocalDetector");
     thread_local race::Detector detector(shadow_depth);
     detector.reset(shadow_depth);
     return detector;
@@ -138,6 +205,7 @@ threadLocalDetector(size_t shadow_depth)
 waitgraph::Detector &
 threadLocalWaitgraphDetector()
 {
+    rejectParallelRunContext("threadLocalWaitgraphDetector");
     thread_local waitgraph::Detector detector;
     detector.reset();
     return detector;

@@ -111,12 +111,44 @@ std::vector<RunReport> runJobs(
     const SweepOptions &sweep = {});
 
 /**
+ * Install (idempotently) the pool-backed thread-team provider for
+ * ExecMode::Parallel runs: Scheduler::setParallelExecutor gets a
+ * ParallelExecutor that borrows the persistent sharedPool() workers,
+ * so every M:N run reuses warm threads — and their thread_local
+ * arenas — instead of spawning OS threads per run. Called
+ * automatically by runParallel; safe to call any number of times.
+ * Nested use (a parallel run started from inside a sweep job) falls
+ * back to ad-hoc threads, because a pool worker cannot submit an
+ * epoch to its own pool.
+ */
+void installPoolExecutor();
+
+/**
+ * Run @p program once in ExecMode::Parallel on the persistent worker
+ * pool. @p base is taken as-is except execMode (forced to Parallel)
+ * and parallelThreads (defaulted from SweepOptions::workers /
+ * defaultWorkers() when 0, floored at 2 — an M:N run needs a team).
+ * The usual parallel-mode option restrictions apply (no trace
+ * record/replay, no choosers, no collectTrace; mem-lane subscribers
+ * must be parallelSafe, i.e. race::Sharded not race::Detector).
+ */
+RunReport runParallel(const std::function<void()> &program,
+                      const RunOptions &base = {},
+                      const SweepOptions &sweep = {});
+
+/**
  * The calling OS thread's reusable race detector, reset() (with
  * @p shadow_depth) on every call. One detector instance lives per
  * worker thread, so a sweep that attaches detectors through this
  * slot performs zero detector construction — and, at steady state,
  * zero allocation — per seed. Pointers obtained here must not cross
  * threads.
+ *
+ * Must not be called from inside an ExecMode::Parallel run (throws
+ * std::logic_error): such a run spans several OS threads, so
+ * "thread-local" no longer means "run-local" — the same goroutine
+ * would see a different detector after every migration. Parallel
+ * runs attach race::Sharded instead.
  */
 race::Detector &threadLocalDetector(size_t shadow_depth = 4);
 
@@ -125,7 +157,8 @@ race::Detector &threadLocalDetector(size_t shadow_depth = 4);
  * on every call — the Table 8 counterpart of threadLocalDetector.
  * Steady state, a sweep constructs no waitgraph detectors and reuses
  * each worker's hash-table capacity run over run. Pointers obtained
- * here must not cross threads.
+ * here must not cross threads. Like threadLocalDetector, throws
+ * std::logic_error when called from inside an ExecMode::Parallel run.
  */
 waitgraph::Detector &threadLocalWaitgraphDetector();
 

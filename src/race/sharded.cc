@@ -1,0 +1,350 @@
+#include "race/sharded.hh"
+
+#include <cassert>
+
+#include "runtime/report.hh"
+
+namespace golite::race
+{
+
+Sharded::Sharded()
+    : goChunks_(new std::atomic<GoState *>[kMaxGoChunks])
+{
+    for (size_t i = 0; i < kMaxGoChunks; ++i)
+        goChunks_[i].store(nullptr, std::memory_order_relaxed);
+}
+
+Sharded::~Sharded()
+{
+    for (size_t i = 0; i < kMaxGoChunks; ++i)
+        delete[] goChunks_[i].load(std::memory_order_relaxed);
+}
+
+EventMask
+Sharded::eventMask() const
+{
+    return eventBit(EventKind::GoSpawn) | eventBit(EventKind::GoFinish) |
+           eventBit(EventKind::SyncAcquire) |
+           eventBit(EventKind::SyncRelease) |
+           eventBit(EventKind::MemRead) | eventBit(EventKind::MemWrite) |
+           eventBit(EventKind::MemFree);
+}
+
+void
+Sharded::onEvent(const RuntimeEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::GoSpawn:
+        goroutineCreated(ev.a, ev.gid);
+        break;
+      case EventKind::GoFinish:
+        goroutineFinished(ev.gid);
+        break;
+      case EventKind::SyncAcquire:
+        acquire(ev.obj, ev.gid);
+        break;
+      case EventKind::SyncRelease:
+        release(ev.obj, ev.gid);
+        break;
+      case EventKind::MemRead:
+        onMemAccess(ev.obj, ev.label, ev.gid, false);
+        break;
+      case EventKind::MemWrite:
+        onMemAccess(ev.obj, ev.label, ev.gid, true);
+        break;
+      case EventKind::MemFree:
+        memFreed(ev.obj);
+        break;
+      default:
+        break; // broadcast mode delivers kinds outside our mask
+    }
+}
+
+Sharded::GoState *
+Sharded::goState(uint64_t gid)
+{
+    const size_t chunk = gid >> kGoChunkBits;
+    assert(chunk < kMaxGoChunks && "goroutine id out of table range");
+    GoState *base = goChunks_[chunk].load(std::memory_order_acquire);
+    if (base == nullptr) {
+        std::lock_guard<std::mutex> lk(growMu_);
+        base = goChunks_[chunk].load(std::memory_order_relaxed);
+        if (base == nullptr) {
+            base = new GoState[kGoChunk];
+            goChunks_[chunk].store(base, std::memory_order_release);
+        }
+    }
+    return &base[gid & (kGoChunk - 1)];
+}
+
+void
+Sharded::goroutineCreated(uint64_t parent, uint64_t child)
+{
+    GoState *c = goState(child);
+    c->clock.c.clear();
+    c->live = true;
+    c->cachedAddr = nullptr;
+    c->cachedEntry = nullptr;
+    if (parent != 0) {
+        GoState *p = goState(parent);
+        c->clock.joinFrom(p->clock);
+        // Tick the parent so accesses after the spawn are not ordered
+        // before the child's view of them.
+        p->clock.set(parent, p->clock.get(parent) + 1);
+    }
+    c->clock.set(child, c->clock.get(child) + 1);
+    if (child > maxGid_)
+        maxGid_ = child;
+    liveGoroutines_++;
+    if (liveGoroutines_ > peakLiveGoroutines_)
+        peakLiveGoroutines_ = liveGoroutines_;
+}
+
+void
+Sharded::goroutineFinished(uint64_t gid)
+{
+    GoState *g = goState(gid);
+    if (g->live) {
+        g->live = false;
+        liveGoroutines_--;
+    }
+}
+
+void
+Sharded::acquire(const void *sync_obj, uint64_t gid)
+{
+    if (gid == 0)
+        return;
+    auto it = syncClocks_.find(sync_obj);
+    if (it == syncClocks_.end())
+        return;
+    goState(gid)->clock.joinFrom(it->second);
+}
+
+void
+Sharded::release(const void *sync_obj, uint64_t gid)
+{
+    if (gid == 0)
+        return;
+    GoState *g = goState(gid);
+    DenseClock &sc = syncClocks_[sync_obj];
+    sc.joinFrom(g->clock);
+    // Tick: later same-goroutine accesses must not look released.
+    g->clock.set(gid, g->clock.get(gid) + 1);
+}
+
+void
+Sharded::memFreed(const void *addr)
+{
+    Shard &shard = shardFor(addr);
+    {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto it = shard.map.find(addr);
+        if (it != shard.map.end()) {
+            ShadowEntry *e = it->second;
+            // Unlink before recycling: a racing fast path validates
+            // owner before trusting its cached pointer.
+            e->owner.store(nullptr, std::memory_order_release);
+            e->lastPacked.store(0, std::memory_order_release);
+            shard.map.erase(it);
+            shard.freeList.push_back(e);
+            freedShadow_++;
+        }
+    }
+    freeGen_.fetch_add(1, std::memory_order_release);
+    syncClocks_.erase(addr);
+}
+
+void
+Sharded::recordRace(Shard &shard, ShadowEntry &e, const void *addr,
+                    const char *label, uint64_t first_gid,
+                    bool first_write, uint64_t second_gid,
+                    bool second_write)
+{
+    if (e.reportCount >= kReportLimit)
+        return;
+    const uint64_t pair = (first_gid << 33) | (second_gid << 2) |
+                          (first_write ? 2u : 0u) |
+                          (second_write ? 1u : 0u);
+    for (uint8_t i = 0; i < e.reportCount; ++i) {
+        if (e.reportedPairs[i] == pair)
+            return;
+    }
+    e.reportedPairs[e.reportCount++] = pair;
+    RaceReport r;
+    r.label = label != nullptr ? label : "?";
+    r.addr = addr;
+    r.firstGid = first_gid;
+    r.firstWrite = first_write;
+    r.secondGid = second_gid;
+    r.secondWrite = second_write;
+    shard.reports.push_back(std::move(r));
+}
+
+void
+Sharded::onMemAccess(const void *addr, const char *label, uint64_t gid,
+                     bool is_write)
+{
+    if (gid == 0)
+        return;
+    GoState *g = goState(gid);
+    const uint64_t epoch = g->clock.get(gid);
+
+    // Lock-free fast path: repeat same-epoch access to the goroutine's
+    // last-touched address, already covered by the recorded kind.
+    if (g->cachedAddr == addr &&
+        g->cachedFreeGen == freeGen_.load(std::memory_order_acquire)) {
+        ShadowEntry *e = g->cachedEntry;
+        if (e->owner.load(std::memory_order_acquire) == addr) {
+            const uint64_t packed =
+                e->lastPacked.load(std::memory_order_acquire);
+            const uint64_t want_write =
+                packCell(gid, epoch, true);
+            const uint64_t want_read =
+                packCell(gid, epoch, false);
+            // A recorded write covers both kinds; a recorded read
+            // covers only a read.
+            if (packed == want_write ||
+                (!is_write && packed == want_read))
+                return;
+        }
+    }
+
+    Shard &shard = shardFor(addr);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    ShadowEntry *e;
+    auto it = shard.map.find(addr);
+    if (it != shard.map.end()) {
+        e = it->second;
+    } else {
+        if (!shard.freeList.empty()) {
+            e = shard.freeList.back();
+            shard.freeList.pop_back();
+        } else {
+            shard.slab.emplace_back();
+            e = &shard.slab.back();
+        }
+        e->recycle(addr, label);
+        shard.map.emplace(addr, e);
+    }
+
+    // Scan the bounded history for unordered conflicting accesses.
+    for (uint8_t i = 0; i < e->cellCount; ++i) {
+        const uint64_t pgid = e->cellGid[i];
+        if (pgid == gid)
+            continue; // program order
+        const bool pwrite = e->cellWrite[i] != 0;
+        if (!is_write && !pwrite)
+            continue; // read-read never races
+        if (g->clock.get(pgid) >= e->cellEpoch[i])
+            continue; // happens-before
+        recordRace(shard, *e, addr, label, pgid, pwrite, gid,
+                   is_write);
+    }
+
+    // Record into the ring.
+    const uint8_t at = e->cellNext;
+    e->cellGid[at] = gid;
+    e->cellEpoch[at] = epoch;
+    e->cellWrite[at] = is_write ? 1 : 0;
+    e->cellNext = static_cast<uint8_t>((at + 1) % kDepth);
+    if (e->cellCount < kDepth)
+        e->cellCount++;
+    e->lastPacked.store(packCell(gid, epoch, is_write),
+                        std::memory_order_release);
+
+    g->cachedAddr = addr;
+    g->cachedEntry = e;
+    g->cachedFreeGen = freeGen_.load(std::memory_order_acquire);
+}
+
+std::vector<std::string>
+Sharded::drainReports()
+{
+    std::vector<std::string> out;
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        for (const RaceReport &r : shard.reports)
+            out.push_back(r.describe());
+    }
+    return out;
+}
+
+void
+Sharded::finalizeRun(RunReport &report)
+{
+    RunMetrics::DetectorFootprint &fp = report.metrics.detector;
+    fp.collected = true;
+    fp.liveClockSlots = liveGoroutines_;
+    fp.peakClockSlots = peakLiveGoroutines_;
+    fp.slotSpace = maxGid_;
+    size_t entries = 0;
+    size_t slab_bytes = 0;
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        entries += shard.map.size();
+        slab_bytes += shard.slab.size() * sizeof(ShadowEntry);
+    }
+    fp.shadowEntries = entries;
+    fp.peakShadowEntries = entries + freedShadow_;
+    fp.shadowFreed = freedShadow_;
+    fp.arenaBytes = slab_bytes;
+}
+
+void
+Sharded::reset()
+{
+    for (size_t i = 0; i < kMaxGoChunks; ++i) {
+        GoState *base = goChunks_[i].load(std::memory_order_relaxed);
+        if (base == nullptr)
+            continue;
+        for (size_t j = 0; j < kGoChunk; ++j)
+            base[j] = GoState{};
+    }
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        for (auto &[addr, e] : shard.map) {
+            (void)addr;
+            e->owner.store(nullptr, std::memory_order_relaxed);
+            e->lastPacked.store(0, std::memory_order_relaxed);
+            shard.freeList.push_back(e);
+        }
+        shard.map.clear();
+        shard.reports.clear();
+    }
+    freeGen_.fetch_add(1, std::memory_order_release);
+    syncClocks_.clear();
+    maxGid_ = 0;
+    liveGoroutines_ = 0;
+    peakLiveGoroutines_ = 0;
+    freedShadow_ = 0;
+}
+
+std::vector<RaceReport>
+Sharded::reports() const
+{
+    std::vector<RaceReport> out;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lk(
+            const_cast<std::mutex &>(shard.mu));
+        for (const RaceReport &r : shard.reports)
+            out.push_back(r);
+    }
+    return out;
+}
+
+bool
+Sharded::racedOn(const std::string &label) const
+{
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lk(
+            const_cast<std::mutex &>(shard.mu));
+        for (const RaceReport &r : shard.reports) {
+            if (r.label == label)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace golite::race

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Sharded happens-before race detector for ExecMode::Parallel.
+ *
+ * The single-thread race::Detector assumes one OS thread delivers
+ * every event; in an M:N parallel run, MemRead/MemWrite fan out from
+ * every worker concurrently (the bus's mem lane is lock-free — see
+ * EventBus::beginParallel). Sharded is the mem-lane subscriber built
+ * for that: parallelSafe() returns true and its state is partitioned
+ * so the per-access hot path takes at most one shard spinlock.
+ *
+ * Concurrency architecture (why each piece needs no more locking than
+ * it has):
+ *
+ *  - Per-goroutine vector clocks are single-LOGICAL-thread. A
+ *    goroutine's clock is mutated only by its own execution (spawn by
+ *    the parent before the child is enqueued, acquire/release by the
+ *    acting goroutine) and read on the mem path only for the
+ *    *accessing* goroutine's own components — so clocks carry no
+ *    locks at all. Cross-OS-thread visibility when a goroutine
+ *    migrates is given by the scheduler-lock handoff that migration
+ *    itself requires.
+ *  - Sync events (GoSpawn/GoFinish/SyncAcquire/SyncRelease/MemFree)
+ *    arrive serialized under the bus merge mutex, in an order
+ *    consistent with the runtime's real synchronization order
+ *    (emitters hold the scheduler lock). Sync-object clocks are
+ *    therefore plain single-threaded maps.
+ *  - Shadow memory is sharded by address hash: 64 shards, each a
+ *    spinlocked open hash map of bounded access-history rings. Two
+ *    goroutines racing on *different* variables almost never contend.
+ *  - The lock-free fast path: each goroutine caches its last
+ *    (address, shadow entry) pair, and each shadow entry keeps an
+ *    atomic packed word of its last recorded access. A repeat access
+ *    by the same goroutine in the same epoch whose kind is subsumed
+ *    by the recorded one (a write subsumes both kinds, a read only a
+ *    read) is provably already-checked — the entire access is one
+ *    atomic load + compare, no locks. This is the same-epoch argument
+ *    FastTrack makes: the history cannot have changed (any interleaved
+ *    access would have replaced the packed word), and the accessor's
+ *    clock can only have *grown* since the recorded scan.
+ *
+ * Reports are verdict-compatible with race::Detector — the serial
+ * differential test holds the two detectors' racedOn verdicts equal
+ * on the bug-kernel corpus — but not report-for-report identical
+ * under parallel execution, where the interleaving itself is
+ * nondeterministic.
+ */
+
+#ifndef GOLITE_RACE_SHARDED_HH
+#define GOLITE_RACE_SHARDED_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "race/detector.hh" // RaceReport
+#include "runtime/events.hh"
+
+namespace golite::race
+{
+
+class Sharded : public Subscriber
+{
+  public:
+    /** Shadow shards (power of two; per-shard spinlock + hash map). */
+    static constexpr size_t kShards = 64;
+
+    /** Access-history cells kept per address (Go's detector keeps at
+     *  most 4; matches race::Detector's default). */
+    static constexpr size_t kDepth = 4;
+
+    /** Per-address report budget, mirroring TSan's suppression. */
+    static constexpr size_t kReportLimit = 4;
+
+    Sharded();
+    ~Sharded() override;
+
+    Sharded(const Sharded &) = delete;
+    Sharded &operator=(const Sharded &) = delete;
+
+    // Subscriber interface -----------------------------------------
+    EventMask eventMask() const override;
+    void onEvent(const RuntimeEvent &ev) override;
+    void onMemAccess(const void *addr, const char *label, uint64_t gid,
+                     bool is_write) override;
+    bool parallelSafe() const override { return true; }
+    std::vector<std::string> drainReports() override;
+    void finalizeRun(RunReport &report) override;
+
+    // Event handlers (public so tests can drive the detector
+    // directly, mirroring race::Detector's surface).
+    void goroutineCreated(uint64_t parent, uint64_t child);
+    void goroutineFinished(uint64_t gid);
+    void acquire(const void *sync_obj, uint64_t gid);
+    void release(const void *sync_obj, uint64_t gid);
+    void memFreed(const void *addr);
+
+    /** Clear all per-run state so one instance can be reused across
+     *  runs (shard slabs and goroutine chunks are retained). */
+    void reset();
+
+    /** All structured reports so far (not cleared by drainReports).
+     *  Call only while no run is emitting (between runs). */
+    std::vector<RaceReport> reports() const;
+
+    /** True if any race was found on an object with @p label. */
+    bool racedOn(const std::string &label) const;
+
+  private:
+    /** Dense per-goroutine vector clock (index = gid). */
+    struct DenseClock
+    {
+        std::vector<uint64_t> c;
+
+        uint64_t
+        get(uint64_t i) const
+        {
+            return i < c.size() ? c[i] : 0;
+        }
+
+        void
+        set(uint64_t i, uint64_t v)
+        {
+            if (i >= c.size())
+                c.resize(i + 1, 0);
+            c[i] = v;
+        }
+
+        void
+        joinFrom(const DenseClock &o)
+        {
+            if (o.c.size() > c.size())
+                c.resize(o.c.size(), 0);
+            for (size_t i = 0; i < o.c.size(); ++i) {
+                if (o.c[i] > c[i])
+                    c[i] = o.c[i];
+            }
+        }
+    };
+
+    struct ShadowEntry;
+
+    /**
+     * Per-goroutine state. Everything here is owned by the
+     * goroutine's logical thread (see the file comment); the shadow
+     * cache additionally carries a free-generation stamp so MemFree
+     * invalidates it without touching every goroutine.
+     */
+    struct GoState
+    {
+        DenseClock clock;
+        bool live = false;
+        // Last-accessed shadow entry (lock-free fast path).
+        const void *cachedAddr = nullptr;
+        ShadowEntry *cachedEntry = nullptr;
+        uint64_t cachedFreeGen = 0;
+    };
+
+    /** One recorded access: epoch:32 | gid:30 | write:1 | valid:1. */
+    static uint64_t
+    packCell(uint64_t gid, uint64_t epoch, bool is_write)
+    {
+        return ((epoch & 0xFFFFFFFFu) << 32) |
+               ((gid & 0x3FFFFFFFu) << 2) |
+               (is_write ? 2u : 0u) | 1u;
+    }
+
+    struct ShadowEntry
+    {
+        /** The tracked address while linked into a shard map; null
+         *  once freed (gates the stale-cache fast path). */
+        std::atomic<const void *> owner{nullptr};
+        /** Last recorded access, packed (0 = none yet). */
+        std::atomic<uint64_t> lastPacked{0};
+
+        const char *label = nullptr;
+        // Bounded history ring (guarded by the shard lock).
+        uint64_t cellGid[kDepth] = {};
+        uint64_t cellEpoch[kDepth] = {};
+        uint8_t cellWrite[kDepth] = {};
+        uint8_t cellCount = 0;
+        uint8_t cellNext = 0;
+        // Per-address suppression (guarded by the shard lock).
+        uint8_t reportCount = 0;
+        uint64_t reportedPairs[kReportLimit] = {};
+
+        /** Reset for recycling (the atomics forbid plain assignment). */
+        void
+        recycle(const void *new_owner, const char *new_label)
+        {
+            lastPacked.store(0, std::memory_order_relaxed);
+            label = new_label;
+            cellCount = 0;
+            cellNext = 0;
+            reportCount = 0;
+            owner.store(new_owner, std::memory_order_release);
+        }
+    };
+
+    struct alignas(64) Shard
+    {
+        std::mutex mu;
+        std::unordered_map<const void *, ShadowEntry *> map;
+        /** Stable-address entry storage: the fast path dereferences
+         *  entries without the shard lock, so entries are recycled
+         *  (via freeList), never destroyed mid-run. */
+        std::deque<ShadowEntry> slab;
+        std::vector<ShadowEntry *> freeList;
+        std::vector<RaceReport> reports;
+    };
+
+    Shard &
+    shardFor(const void *addr)
+    {
+        const auto h = reinterpret_cast<uintptr_t>(addr);
+        return shards_[(h ^ (h >> 9) ^ (h >> 17)) & (kShards - 1)];
+    }
+
+    GoState *goState(uint64_t gid);
+
+    void recordRace(Shard &shard, ShadowEntry &e, const void *addr,
+                    const char *label, uint64_t first_gid,
+                    bool first_write, uint64_t second_gid,
+                    bool second_write);
+
+    // Goroutine states live in chunked stable storage: chunk pointers
+    // are atomic so a worker can resolve its own gid while GoSpawn
+    // (serialized, another thread) installs new chunks.
+    static constexpr size_t kGoChunkBits = 10;
+    static constexpr size_t kGoChunk = size_t{1} << kGoChunkBits;
+    static constexpr size_t kMaxGoChunks = size_t{1} << 14;
+
+    std::unique_ptr<std::atomic<GoState *>[]> goChunks_;
+    std::mutex growMu_;
+
+    Shard shards_[kShards];
+
+    /** Bumped by every memFreed; goroutine shadow caches whose stamp
+     *  lags are re-resolved through the shard map. */
+    std::atomic<uint64_t> freeGen_{1};
+
+    // Serialized state (bus merge mutex orders all writers).
+    std::unordered_map<const void *, DenseClock> syncClocks_;
+    uint64_t maxGid_ = 0;
+    uint64_t liveGoroutines_ = 0;
+    uint64_t peakLiveGoroutines_ = 0;
+    uint64_t freedShadow_ = 0;
+};
+
+} // namespace golite::race
+
+#endif // GOLITE_RACE_SHARDED_HH

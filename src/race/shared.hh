@@ -14,12 +14,63 @@
 #ifndef GOLITE_RACE_SHARED_HH
 #define GOLITE_RACE_SHARED_HH
 
+#include <atomic>
+#include <cstdint>
 #include <utility>
 
 #include "runtime/scheduler.hh"
 
 namespace golite::race
 {
+
+namespace detail
+{
+
+/**
+ * Address-striped spinlocks protecting Shared<T> value accesses in
+ * ExecMode::Parallel. A *logical* data race on a Shared variable must
+ * stay observable to the vector-clock detector, but it must not be a
+ * *machine-level* C++ race (undefined behavior, torn reads, TSan
+ * noise in the differential lane). The stripe serializes the physical
+ * access only — it creates no happens-before edge on the event bus,
+ * so detection is unaffected. Uncontended cost is one CAS+store;
+ * deterministic mode never reaches it.
+ */
+inline std::atomic_flag &
+valueStripe(const void *addr)
+{
+    static std::atomic_flag stripes[64] = {};
+    const auto h = reinterpret_cast<uintptr_t>(addr);
+    // Mix the high bits down so neighboring variables spread out.
+    return stripes[(h ^ (h >> 9)) & 63];
+}
+
+class StripeLock
+{
+  public:
+    explicit StripeLock(const void *addr, bool engaged)
+        : flag_(engaged ? &valueStripe(addr) : nullptr)
+    {
+        if (flag_ != nullptr) {
+            while (flag_->test_and_set(std::memory_order_acquire)) {
+            }
+        }
+    }
+
+    ~StripeLock()
+    {
+        if (flag_ != nullptr)
+            flag_->clear(std::memory_order_release);
+    }
+
+    StripeLock(const StripeLock &) = delete;
+    StripeLock &operator=(const StripeLock &) = delete;
+
+  private:
+    std::atomic_flag *flag_;
+};
+
+} // namespace detail
 
 template <typename T>
 class Shared
@@ -44,6 +95,7 @@ class Shared
         Scheduler *sched = Scheduler::current();
         sched->maybePreempt();
         sched->bus().memRead(&value_, label_, sched->runningId());
+        detail::StripeLock stripe(&value_, sched->parallel());
         return value_;
     }
 
@@ -54,6 +106,7 @@ class Shared
         Scheduler *sched = Scheduler::current();
         sched->maybePreempt();
         sched->bus().memWrite(&value_, label_, sched->runningId());
+        detail::StripeLock stripe(&value_, sched->parallel());
         value_ = std::move(value);
     }
 

@@ -36,7 +36,9 @@
 #ifndef GOLITE_RUNTIME_EVENTS_HH
 #define GOLITE_RUNTIME_EVENTS_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -201,6 +203,18 @@ class Subscriber
         onEvent(ev);
     }
 
+    /**
+     * Whether this subscriber tolerates ExecMode::Parallel emission.
+     * In a parallel run, non-mem events are serialized under the
+     * bus's merge mutex (so any subscriber is safe for those), but
+     * MemRead/MemWrite fan out lock-free from every worker thread at
+     * once — a mem-lane subscriber must therefore synchronize its own
+     * state (race::Sharded does; the single-thread race::Detector
+     * does not). golite::run rejects parallel runs whose mem-lane
+     * subscribers return false here.
+     */
+    virtual bool parallelSafe() const { return false; }
+
     /** Human-readable reports accumulated so far; cleared by the
      *  call. Collected into RunReport::raceMessages at end of run. */
     virtual std::vector<std::string> drainReports() { return {}; }
@@ -255,11 +269,46 @@ class EventBus
         now_ = now;
     }
 
+    /**
+     * Enter parallel emission for the duration of an
+     * ExecMode::Parallel run: every publish() (all non-mem kinds)
+     * serializes under an internal merge mutex, so the subscriber-
+     * visible event stream is a total order consistent with the
+     * runtime's real synchronization order (emitters hold the
+     * scheduler lock, so merge order = schedule order). Tick/time
+     * stamps come from the given atomics. memRead/memWrite stay
+     * lock-free — that lane's subscribers are vetted by
+     * Subscriber::parallelSafe. wants() is untouched: the subscriber
+     * set is frozen before workers start, so it stays a single load.
+     */
+    void
+    beginParallel(const std::atomic<uint64_t> *tick,
+                  const std::atomic<int64_t> *now)
+    {
+        parallel_ = true;
+        atomicTick_ = tick;
+        atomicNow_ = now;
+    }
+
+    /** Leave parallel emission (workers joined; teardown is serial
+     *  but keeps the atomic stamps until the run finishes). */
+    void
+    endParallel()
+    {
+        parallel_ = false;
+        atomicTick_ = nullptr;
+        atomicNow_ = nullptr;
+    }
+
     /** Fan @p ev out to the matching subscribers (stamps tick/time).
      *  Callers gate on wants() so unobserved events cost one test. */
     void
     publish(RuntimeEvent &ev)
     {
+        if (parallel_) {
+            publishParallel(ev);
+            return;
+        }
         ev.tick = tick_ ? *tick_ : 0;
         ev.timeNs = now_ ? *now_ : 0;
         for (Subscriber *s : listFor(ev.kind))
@@ -543,6 +592,23 @@ class EventBus
         return masked_ ? byKind_[static_cast<int>(kind)] : subs_;
     }
 
+    /** Merge-mutex fan-out for ExecMode::Parallel (see
+     *  beginParallel). Out of line: the serial publish path pays one
+     *  predicted branch, nothing else. */
+    void
+    publishParallel(RuntimeEvent &ev)
+    {
+        std::lock_guard<std::mutex> lock(mergeMu_);
+        ev.tick = atomicTick_
+                      ? atomicTick_->load(std::memory_order_relaxed)
+                      : 0;
+        ev.timeNs = atomicNow_
+                        ? atomicNow_->load(std::memory_order_relaxed)
+                        : 0;
+        for (Subscriber *s : listFor(ev.kind))
+            s->onEvent(ev);
+    }
+
     std::vector<Subscriber *> subs_;
     std::vector<Subscriber *> byKind_[kEventKindCount];
     /** Union of subscriber masks (all kinds when broadcasting with
@@ -551,6 +617,13 @@ class EventBus
     bool masked_ = true;
     const uint64_t *tick_ = nullptr;
     const int64_t *now_ = nullptr;
+    /** Parallel emission (beginParallel/endParallel). */
+    bool parallel_ = false;
+    const std::atomic<uint64_t> *atomicTick_ = nullptr;
+    const std::atomic<int64_t> *atomicNow_ = nullptr;
+    /** Serializes publish() in parallel mode (leaf lock: emitters
+     *  already hold the scheduler lock). */
+    std::mutex mergeMu_;
 };
 
 } // namespace golite

@@ -6,6 +6,7 @@
 #ifndef GOLITE_RUNTIME_GOROUTINE_HH
 #define GOLITE_RUNTIME_GOROUTINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,6 +59,38 @@ enum class GoState
     Done,     ///< finished (returned, panicked, or unwound)
 };
 
+/**
+ * GoState cell with atomic transitions. In deterministic mode one OS
+ * thread owns every goroutine and the atomicity is free; in
+ * ExecMode::Parallel, transitions happen under the scheduler lock
+ * (which orders them) but are *observed* from other threads — leak
+ * snapshots, reap checks, monitoring — so the cell is atomic to keep
+ * those observations tear-free and race-free. Relaxed ordering
+ * everywhere: the scheduler lock provides the ordering, the atomic
+ * provides the atomicity. Implicit conversions keep every existing
+ * `g->state == GoState::X` / `g->state = GoState::X` site unchanged.
+ */
+class AtomicGoState
+{
+  public:
+    AtomicGoState() = default;
+
+    AtomicGoState &
+    operator=(GoState s)
+    {
+        state_.store(s, std::memory_order_relaxed);
+        return *this;
+    }
+
+    operator GoState() const
+    {
+        return state_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<GoState> state_{GoState::Runnable};
+};
+
 class Scheduler;
 
 /**
@@ -76,7 +109,7 @@ class Goroutine
     std::function<void()> entry;
     Fiber fiber;
 
-    GoState state = GoState::Runnable;
+    AtomicGoState state;
     WaitReason reason = WaitReason::None;
     /** The primitive this goroutine is parked on, for diagnostics. */
     const void *waitObject = nullptr;

@@ -20,6 +20,16 @@ traceKindName(TraceKind kind)
 }
 
 const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Deterministic: return "deterministic";
+      case ExecMode::Parallel: return "parallel";
+    }
+    return "?";
+}
+
+const char *
 deadlockCauseName(DeadlockCause cause)
 {
     switch (cause) {

@@ -45,6 +45,29 @@ enum class SchedPolicy
 const char *schedPolicyName(SchedPolicy policy);
 
 /**
+ * How a run executes its goroutines (RunOptions::execMode).
+ *
+ * Deterministic is the record/replay oracle: one OS thread
+ * multiplexes every goroutine, all nondeterminism funnels through the
+ * seeded decision engine, and equal seeds give bit-identical
+ * RunReport fingerprints. Parallel is the M:N mode: a work-stealing
+ * pool of OS threads executes the same goroutines with real
+ * preemption — schedules are genuinely nondeterministic, so traces,
+ * replay, and fingerprint comparison are unavailable, and verdicts
+ * are established over seed batches instead of single runs (the
+ * corpus differential in tests/parallel_mode_test.cc holds the two
+ * modes against each other).
+ */
+enum class ExecMode
+{
+    Deterministic, ///< single-thread fiber multiplexing (the oracle)
+    Parallel,      ///< M:N work-stealing pool, real preemption
+};
+
+/** Printable name of an execution mode. */
+const char *execModeName(ExecMode mode);
+
+/**
  * Metadata for one nondeterministic choice point, handed to
  * RunOptions::siteChooser (and mirrored into the Decision event's
  * candidate list) so a schedule explorer can *attribute* decisions:
@@ -76,6 +99,23 @@ struct RunOptions
 
     /** Dispatch policy. */
     SchedPolicy policy = SchedPolicy::Random;
+
+    /**
+     * Execution mode (see ExecMode). Parallel mode conflicts with
+     * trace record/replay, choosers, realTime, and collectTrace —
+     * every feature whose contract is a deterministic total order —
+     * and requires any subscriber that listens to MemRead/MemWrite to
+     * be parallel-safe (Subscriber::parallelSafe; race::Sharded
+     * qualifies, race::Detector does not). golite::run throws
+     * std::logic_error on any violation.
+     */
+    ExecMode execMode = ExecMode::Deterministic;
+
+    /**
+     * OS threads for ExecMode::Parallel (0 = min(hardware
+     * concurrency, 8), at least 2). Ignored in deterministic mode.
+     */
+    unsigned parallelThreads = 0;
 
     /**
      * Probability of a context switch at each instrumented shared-memory

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <ctime>
 #include <stdexcept>
+#include <thread>
 
 #include "base/panic.hh"
 
@@ -15,6 +16,12 @@ namespace golite
 // independent deterministic run concurrently (the parallel sweep
 // harness in src/parallel relies on exactly this).
 thread_local Scheduler *Scheduler::current_ = nullptr;
+
+// Parallel-mode thread state: the worker context a pool thread is
+// executing as, and the scheduler whose big lock this thread holds
+// (the SchedGuard reentrancy key — see scheduler.hh).
+thread_local Scheduler::Worker *Scheduler::tlWorker_ = nullptr;
+thread_local Scheduler *Scheduler::lockHolder_ = nullptr;
 
 const char *
 waitReasonName(WaitReason reason)
@@ -161,11 +168,65 @@ class TraceRecorderSub : public Subscriber
     ScheduleTrace *out_;
 };
 
+/** Process-wide thread-team provider for ExecMode::Parallel runs
+ *  (Scheduler::setParallelExecutor). */
+Scheduler::ParallelExecutor &
+parallelExecutorSlot()
+{
+    static Scheduler::ParallelExecutor executor;
+    return executor;
+}
+
+std::mutex &
+parallelExecutorMu()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+/** Default thread team: nthreads-1 fresh std::threads per run. The
+ *  parallel sweep installs a pool-backed executor instead so M:N runs
+ *  reuse warm threads (parallel::installParallelExecutor). */
+void
+defaultParallelExecutor(unsigned nthreads,
+                        const std::function<void(unsigned)> &body)
+{
+    std::vector<std::thread> extra;
+    extra.reserve(nthreads - 1);
+    for (unsigned i = 1; i < nthreads; ++i)
+        extra.emplace_back([&body, i] { body(i); });
+    body(0);
+    for (std::thread &t : extra)
+        t.join();
+}
+
 } // namespace
+
+void
+Scheduler::setParallelExecutor(ParallelExecutor executor)
+{
+    std::lock_guard<std::mutex> lk(parallelExecutorMu());
+    parallelExecutorSlot() = std::move(executor);
+}
+
+void
+Scheduler::lockSched()
+{
+    schedMu_.lock();
+    lockHolder_ = this;
+}
+
+void
+Scheduler::unlockSched()
+{
+    lockHolder_ = nullptr;
+    schedMu_.unlock();
+}
 
 Scheduler::Scheduler(const RunOptions &options)
     : options_(options), rng_(options.seed), timerq_(makeTimerQueue())
 {
+    parallelMode_ = options.execMode == ExecMode::Parallel;
     drawPctChangePoints();
 }
 
@@ -192,6 +253,7 @@ Scheduler::reset(const RunOptions &options)
             "Scheduler::reset while the instance is driving a run");
     }
     options_ = options;
+    parallelMode_ = options.execMode == ExecMode::Parallel;
     rng_.seed(options.seed);
     traceSink_.reset();
     recorderSub_.reset();
@@ -218,6 +280,14 @@ Scheduler::reset(const RunOptions &options)
     realStartNs_ = 0;
     replayAt_ = 0;
     report_ = RunReport{};
+    // Parallel-mode state (quiescent between runs: no workers exist).
+    workers_.clear();
+    injectq_.clear();
+    workSeq_ = 0;
+    idleCount_ = 0;
+    stopping_ = false;
+    ticksAtomic_.store(0, std::memory_order_relaxed);
+    nowAtomic_.store(0, std::memory_order_relaxed);
     drawPctChangePoints();
 }
 
@@ -233,7 +303,11 @@ void
 Scheduler::fiberEntry(void *arg)
 {
     auto *g = static_cast<Goroutine *>(arg);
-    Scheduler::current_->goroutineBody(g);
+    Scheduler *sched = Scheduler::current_;
+    if (sched->parallelMode_)
+        sched->goroutineBodyParallel(g);
+    else
+        sched->goroutineBody(g);
 }
 
 void
@@ -266,24 +340,36 @@ Scheduler::goroutineBody(Goroutine *g)
 void
 Scheduler::spawn(std::function<void()> fn, std::string label)
 {
+    // No-op in deterministic mode; in parallel mode the goroutine
+    // table, id counter, and run queues are shared scheduling state.
+    SchedGuard guard(this);
     const uint64_t id = ++nextId_;
     auto g = std::make_unique<Goroutine>(id, std::move(fn),
                                          options_.stackBytes);
     g->label = std::move(label);
-    g->createdTick = report_.ticks;
-    if (options_.policy == SchedPolicy::Pct) {
+    g->createdTick = parallelMode_
+                         ? ticksAtomic_.load(std::memory_order_relaxed)
+                         : report_.ticks;
+    if (options_.policy == SchedPolicy::Pct && !parallelMode_) {
         // Fresh goroutines get a random high priority band.
         pctPriority_[g.get()] = 1'000'000 + rng_.below(1'000'000);
     }
     report_.goroutinesCreated++;
     bus_.goSpawn(runningId(), id, g->label);
-    readyq_.push_back(g.get());
+    if (parallelMode_)
+        enqueueLocked(g.get());
+    else
+        readyq_.push_back(g.get());
     goroutines_.emplace(id, std::move(g));
 }
 
 void
 Scheduler::yield()
 {
+    if (parallelMode_) {
+        yieldParallel();
+        return;
+    }
     Goroutine *g = running_;
     assert(g && "yield outside a goroutine");
     if (aborting_)
@@ -298,6 +384,10 @@ Scheduler::yield()
 void
 Scheduler::park(WaitReason reason, const void *wait_object)
 {
+    if (parallelMode_) {
+        parkParallel(reason, wait_object);
+        return;
+    }
     Goroutine *g = running_;
     assert(g && "park outside a goroutine");
     if (aborting_)
@@ -318,6 +408,10 @@ Scheduler::park(WaitReason reason, const void *wait_object)
 void
 Scheduler::unpark(Goroutine *g)
 {
+    if (parallelMode_) {
+        unparkParallel(g);
+        return;
+    }
     assert(g->state == GoState::Waiting);
     g->state = GoState::Runnable;
     bus_.goUnpark(g->id);
@@ -329,6 +423,14 @@ Scheduler::unparkBatch(Goroutine *const *gs, size_t n)
 {
     if (n == 0)
         return;
+    if (parallelMode_) {
+        // One guard for the whole batch; the deque pushes go to the
+        // calling worker and thieves spread them out.
+        SchedGuard guard(this);
+        for (size_t i = 0; i < n; ++i)
+            unparkParallel(gs[i]);
+        return;
+    }
     if (!batchWakeEnabled()) {
         for (size_t i = 0; i < n; ++i)
             unpark(gs[i]);
@@ -350,6 +452,12 @@ Scheduler::choose(size_t n)
 {
     if (n <= 1)
         return 0;
+    if (parallelMode_) {
+        // No decision engine in parallel mode (schedules are not a
+        // replayable decision stream); draw from the worker-local RNG.
+        Worker *w = tlWorker_;
+        return w != nullptr ? w->rng.below(n) : 0;
+    }
     return decide(DecisionKind::SelectArm, n);
 }
 
@@ -445,6 +553,17 @@ Scheduler::decide(DecisionKind kind, size_t n, const uint64_t *cands)
 void
 Scheduler::maybePreempt()
 {
+    if (parallelMode_) {
+        // Parallel mode has real preemption (other workers run
+        // concurrently); the coin still adds same-worker interleaving
+        // diversity at instrumented accesses. Worker-local RNG, no
+        // lock, no Decision event — this is the mem-access fast path.
+        Worker *w = tlWorker_;
+        if (w != nullptr && w->running != nullptr &&
+            w->rng.chance(options_.preemptProb))
+            yieldParallel();
+        return;
+    }
     // The natural draw inside decide() is the same
     // rng_.chance(preemptProb) coin as always, so seed sweeps and
     // committed baselines see an unchanged stream.
@@ -455,6 +574,9 @@ Scheduler::maybePreempt()
 TimerId
 Scheduler::scheduleTimer(int64_t delay_ns, std::function<void()> fn)
 {
+    // Parallel mode: the timer queue and deadline mirror are
+    // scheduler state; nowNs_ is authoritative under the lock.
+    SchedGuard guard(this);
     auto token = std::make_shared<TimerToken>();
     token->when = nowNs_ + std::max<int64_t>(delay_ns, 0);
     timerq_->push(TimerEntry{token->when, timerSeq_++, token,
@@ -467,6 +589,7 @@ Scheduler::scheduleTimer(int64_t delay_ns, std::function<void()> fn)
 bool
 Scheduler::cancelTimer(const TimerId &id)
 {
+    SchedGuard guard(this);
     if (!id || id->fired || id->cancelled)
         return false;
     id->cancelled = true;
@@ -476,6 +599,10 @@ Scheduler::cancelTimer(const TimerId &id)
 void
 Scheduler::sleep(int64_t delay_ns)
 {
+    if (parallelMode_) {
+        sleepParallel(delay_ns);
+        return;
+    }
     Goroutine *g = running_;
     assert(g && "sleep outside a goroutine");
     if (delay_ns <= 0) {
@@ -707,6 +834,8 @@ Scheduler::run(std::function<void()> main)
             "active on this thread (start independent runs on their "
             "own threads, e.g. via golite::parallel)");
     }
+    if (parallelMode_)
+        return runParallel(std::move(main));
     if ((options_.recordTrace || options_.replayTrace) &&
         options_.policy != SchedPolicy::Random) {
         // Fifo/Lifo/Pct picks bypass the decision engine, so a trace
@@ -854,6 +983,480 @@ Scheduler::run(std::function<void()> main)
     goroutines_.clear();
     current_ = nullptr;
     return report_;
+}
+
+// --- ExecMode::Parallel: the M:N work-stealing runtime ---------------
+//
+// One run, N OS threads. Scheduling state lives under schedMu_;
+// primitives take it once per operation (SchedGuard) and user code
+// plus the mem-access instrumentation run lock-free. Runnable
+// goroutines sit in per-worker Chase-Lev deques (owner pops LIFO,
+// thieves steal FIFO) plus an inject queue for non-worker enqueues.
+// The discrete-event virtual clock survives: when every worker is
+// idle, the last idler advances the clock to the next timer deadline
+// or declares the global deadlock, exactly like the serial idleWait.
+
+unsigned
+Scheduler::resolveParallelThreads() const
+{
+    unsigned n = options_.parallelThreads;
+    if (n == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = std::min(hw != 0 ? hw : 2u, 8u);
+    }
+    return std::max(n, 2u);
+}
+
+void
+Scheduler::validateParallelOptions() const
+{
+    if (options_.recordTrace != nullptr ||
+        options_.replayTrace != nullptr) {
+        throw std::logic_error(
+            "ExecMode::Parallel cannot record or replay schedule "
+            "traces: parallel schedules are not a deterministic "
+            "decision stream (use ExecMode::Deterministic)");
+    }
+    if (options_.chooser || options_.siteChooser) {
+        throw std::logic_error(
+            "ExecMode::Parallel does not route scheduling through the "
+            "decision engine; RunOptions::chooser/siteChooser require "
+            "ExecMode::Deterministic");
+    }
+    if (options_.realTime) {
+        throw std::logic_error(
+            "RunOptions::realTime is not supported in "
+            "ExecMode::Parallel (the parallel clock is discrete-event "
+            "only)");
+    }
+    if (options_.collectTrace) {
+        throw std::logic_error(
+            "RunOptions::collectTrace has no defined event order in "
+            "ExecMode::Parallel; use ExecMode::Deterministic");
+    }
+    if (options_.reapFinished && options_.collectStats) {
+        throw std::logic_error(
+            "RunOptions::reapFinished destroys the per-goroutine "
+            "records RunOptions::collectStats reads; set only one");
+    }
+    constexpr EventMask mem_lane =
+        eventBit(EventKind::MemRead) | eventBit(EventKind::MemWrite);
+    for (Subscriber *s : options_.subscribers) {
+        if ((s->eventMask() & mem_lane) != 0 && !s->parallelSafe()) {
+            throw std::logic_error(
+                "ExecMode::Parallel fans MemRead/MemWrite out from "
+                "every worker thread concurrently, and this mem-lane "
+                "subscriber is not parallel-safe "
+                "(Subscriber::parallelSafe); use race::Sharded or "
+                "ExecMode::Deterministic");
+        }
+    }
+}
+
+RunReport
+Scheduler::runParallel(std::function<void()> main)
+{
+    validateParallelOptions();
+    current_ = this;
+    report_ = RunReport{};
+    replayAt_ = 0;
+
+    bus_.reset();
+    for (Subscriber *s : options_.subscribers)
+        bus_.attach(s);
+    bus_.bindClocks(&report_.ticks, &nowNs_);
+    ticksAtomic_.store(0, std::memory_order_relaxed);
+    nowAtomic_.store(0, std::memory_order_relaxed);
+    bus_.beginParallel(&ticksAtomic_, &nowAtomic_);
+
+    const unsigned nthreads = resolveParallelThreads();
+    workers_.clear();
+    workers_.reserve(nthreads);
+    for (unsigned i = 0; i < nthreads; ++i) {
+        auto w = std::make_unique<Worker>();
+        w->index = i;
+        // Decorrelated per-worker streams derived from the run seed.
+        w->rng.seed(options_.seed ^
+                    (0x9E3779B97F4A7C15ULL * (i + 1)));
+        workers_.push_back(std::move(w));
+    }
+    injectq_.clear();
+    stopping_ = false;
+    workSeq_ = 0;
+    idleCount_ = 0;
+
+    const uint64_t id = nextId_;
+    auto g = std::make_unique<Goroutine>(id, std::move(main),
+                                         options_.stackBytes);
+    g->label = "main";
+    main_ = g.get();
+    report_.goroutinesCreated = 1;
+    bus_.goSpawn(0, id, g->label, /*synthetic=*/true);
+    injectq_.push_back(g.get());
+    workSeq_++;
+    goroutines_.emplace(id, std::move(g));
+
+    ParallelExecutor executor;
+    {
+        std::lock_guard<std::mutex> lk(parallelExecutorMu());
+        executor = parallelExecutorSlot();
+    }
+    auto body = [this](unsigned index) {
+        Worker *w = workers_[index].get();
+        Scheduler *prev_sched = current_;
+        Worker *prev_worker = tlWorker_;
+        current_ = this;
+        tlWorker_ = w;
+        workerLoop(w);
+        tlWorker_ = prev_worker;
+        current_ = prev_sched;
+    };
+    if (executor)
+        executor(nthreads, body);
+    else
+        defaultParallelExecutor(nthreads, body);
+
+    // Workers have joined; teardown is serial on the driver thread
+    // but keeps the locking protocol — the abort unwind resumes
+    // parked fibers, and every fiber switch expects schedMu_ held.
+    // The driver borrows worker 0's context slot for the switches.
+    tlWorker_ = workers_[0].get();
+    lockSched();
+    for (auto &[gid, gptr] : goroutines_) {
+        (void)gid;
+        if (gptr->state == GoState::Waiting) {
+            report_.leaked.push_back(
+                LeakInfo{gptr->id, gptr->reason, gptr->label});
+        }
+    }
+    aborting_ = true;
+    for (auto &[gid, gptr] : goroutines_) {
+        (void)gid;
+        Goroutine *live = gptr.get();
+        if (live->state == GoState::Done)
+            continue;
+        if (!live->fiber.started()) {
+            live->state = GoState::Done;
+            live->unwound = true;
+            continue;
+        }
+        // Resume once: park/yield rethrow RunAborted, the stack
+        // unwinds (running C++ destructors), goroutineBodyParallel
+        // marks Done and switches back here.
+        bus_.goDispatch(live->id, live->label);
+        live->state = GoState::Running;
+        tlWorker_->running = live;
+        live->fiber.resume(&tlWorker_->schedContext);
+        tlWorker_->running = nullptr;
+        bus_.goDesched(live->id);
+        if (live->state == GoState::Done) {
+            live->fiber.release();
+            live->entry = nullptr;
+        }
+    }
+    report_.ticks = ticksAtomic_.load(std::memory_order_relaxed);
+    unlockSched();
+    tlWorker_ = nullptr;
+    bus_.endParallel();
+    finalize();
+    // Destroy the goroutines on the driver thread (their stacks go to
+    // this thread's StackPool shard).
+    running_ = nullptr;
+    main_ = nullptr;
+    readyq_.clear();
+    injectq_.clear();
+    goroutines_.clear();
+    workers_.clear();
+    current_ = nullptr;
+    return report_;
+}
+
+void
+Scheduler::workerLoop(Worker *w)
+{
+    // condition_variable_any adapter that keeps lockHolder_ correct
+    // across the cv's internal unlock/relock.
+    struct LockRef
+    {
+        Scheduler *s;
+        void lock() { s->lockSched(); }
+        void unlock() { s->unlockSched(); }
+    } lock_ref{this};
+
+    while (true) {
+        Goroutine *g = findWork(w);
+        if (g != nullptr) {
+            runOne(w, g);
+            continue;
+        }
+        lockSched();
+        if (stopping_) {
+            unlockSched();
+            return;
+        }
+        if (!injectq_.empty()) {
+            g = injectq_.front();
+            injectq_.pop_front();
+            unlockSched();
+            runOne(w, g);
+            continue;
+        }
+        // Idle. Every enqueue happens under schedMu_ (and bumps
+        // workSeq_), so the locked re-checks below cannot miss work.
+        idleCount_++;
+        while (g == nullptr) {
+            if (stopping_)
+                break;
+            if (!injectq_.empty()) {
+                g = injectq_.front();
+                injectq_.pop_front();
+                break;
+            }
+            if (idleCount_ == workers_.size()) {
+                // Everyone is idle. One locked sweep of the deques (a
+                // racing push could have landed after our lock-free
+                // search), then coordinate the virtual clock.
+                g = findWork(w);
+                if (g != nullptr)
+                    break;
+                if (!coordinateIdle()) {
+                    stopping_ = true;
+                    workSeq_++;
+                    workCv_.notify_all();
+                    break;
+                }
+                // The clock advanced and timers fired; re-check.
+                continue;
+            }
+            const uint64_t seen = workSeq_;
+            workCv_.wait(lock_ref, [this, seen] {
+                return workSeq_ != seen || stopping_;
+            });
+            // Work appeared somewhere (it may sit in another worker's
+            // deque, reachable only by stealing): leave the idle set
+            // and search lock-free again.
+            break;
+        }
+        idleCount_--;
+        unlockSched();
+        if (g != nullptr)
+            runOne(w, g);
+    }
+}
+
+Goroutine *
+Scheduler::findWork(Worker *w)
+{
+    if (Goroutine *g = w->deque.pop())
+        return g;
+    const size_t n = workers_.size();
+    if (n <= 1)
+        return nullptr;
+    // Randomized steal sweep over the other workers. Missing a
+    // concurrent push is fine: pushes are lock-serialized and the
+    // idle path re-checks under the lock before sleeping.
+    const size_t start = w->rng.below(n);
+    for (size_t k = 0; k < n; ++k) {
+        Worker *victim = workers_[(start + k) % n].get();
+        if (victim == w)
+            continue;
+        if (Goroutine *g = victim->deque.steal())
+            return g;
+    }
+    return nullptr;
+}
+
+void
+Scheduler::runOne(Worker *w, Goroutine *g)
+{
+    lockSched();
+    if (stopping_ || aborting_) {
+        // The run is over; leave g Runnable for the teardown unwind.
+        unlockSched();
+        return;
+    }
+    const uint64_t tick =
+        ticksAtomic_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (tick > options_.maxTicks) {
+        report_.livelocked = true;
+        stopping_ = true;
+        workSeq_++;
+        workCv_.notify_all();
+        unlockSched();
+        return;
+    }
+    bus_.goDispatch(g->id, g->label);
+    g->state = GoState::Running;
+    w->running = g;
+    if (!g->fiber.started())
+        g->fiber.start(&w->schedContext, &Scheduler::fiberEntry, g);
+    else
+        g->fiber.resume(&w->schedContext);
+    // The switch back handed schedMu_ to this thread (see the locking
+    // protocol in scheduler.hh).
+    w->running = nullptr;
+    bus_.goDesched(g->id);
+    if (w->pendingYield != nullptr) {
+        // The yielded goroutine's stack has switched out; only now is
+        // it safe to expose it to thieves.
+        Goroutine *yielded = w->pendingYield;
+        w->pendingYield = nullptr;
+        enqueueLocked(yielded);
+    }
+    const bool done = g->state == GoState::Done;
+    if (done) {
+        g->fiber.release();
+        g->entry = nullptr;
+    }
+    if (mainDone_ && !options_.drainAfterMain && !stopping_) {
+        stopping_ = true;
+        workSeq_++;
+        workCv_.notify_all();
+    }
+    if (done && options_.reapFinished && g != main_)
+        goroutines_.erase(g->id);
+    unlockSched();
+}
+
+bool
+Scheduler::coordinateIdle()
+{
+    if (aborting_ || stopping_)
+        return false;
+    if (mainDone_) {
+        // Program over (Go exits when main returns); parked
+        // goroutines are leaks, timer-only waiters count too.
+        return false;
+    }
+    if (nextDeadline_ != INT64_MAX) {
+        // Discrete-event step: all workers idle, so the virtual clock
+        // jumps to the next timer exactly as in the serial idleWait.
+        nowNs_ = nextDeadline_;
+        nowAtomic_.store(nowNs_, std::memory_order_relaxed);
+        bus_.clockAdvance(nowNs_);
+        fireDueTimers();
+        return true;
+    }
+    // Every goroutine is asleep with nothing to wake it.
+    report_.globalDeadlock = true;
+    return false;
+}
+
+void
+Scheduler::goroutineBodyParallel(Goroutine *g)
+{
+    // The first dispatch arrives holding schedMu_ (the dispatch
+    // handoff); user code runs without it.
+    unlockSched();
+    try {
+        g->entry();
+    } catch (const GoPanic &panic) {
+        // Thrown from user code, outside any guard.
+        if (!schedLockHeld())
+            lockSched();
+        if (!report_.panicked) {
+            report_.panicked = true;
+            report_.panicMessage = panic.message();
+        }
+        aborting_ = true;
+        stopping_ = true;
+        workSeq_++;
+        workCv_.notify_all();
+    } catch (const RunAborted &) {
+        // Teardown unwind; every SchedGuard on the unwound frames has
+        // released the lock.
+        g->unwound = true;
+    }
+    if (!schedLockHeld())
+        lockSched();
+    g->state = GoState::Done;
+    g->finishedTick = ticksAtomic_.load(std::memory_order_relaxed);
+    bus_.goFinish(g->id, aborting_);
+    if (g == main_)
+        mainDone_ = true;
+    // Never return: uc_link points at the stale context of whichever
+    // worker *started* this fiber. The switch must target the worker
+    // resuming it now — tlWorker_ on the current OS thread.
+    g->fiber.suspendTo(&tlWorker_->schedContext);
+    assert(false && "finished goroutine resumed");
+}
+
+void
+Scheduler::parkParallel(WaitReason reason, const void *wait_object)
+{
+    // Reentrant: the primitive calling us normally holds the guard
+    // already; time-driven parks (sleep) arrive with their own.
+    SchedGuard guard(this);
+    Worker *w = tlWorker_;
+    Goroutine *g = w != nullptr ? w->running : nullptr;
+    assert(g && "park outside a goroutine");
+    if (aborting_)
+        throw RunAborted{};
+    g->state = GoState::Waiting;
+    g->reason = reason;
+    g->waitObject = wait_object;
+    bus_.goPark(g->id, reason, wait_object);
+    g->fiber.suspendTo(&w->schedContext);
+    // Resumed by some dispatcher — possibly on a different OS thread;
+    // that thread holds schedMu_ now (the resume handoff).
+    if (aborting_)
+        throw RunAborted{};
+    g->reason = WaitReason::None;
+    g->waitObject = nullptr;
+}
+
+void
+Scheduler::unparkParallel(Goroutine *g)
+{
+    SchedGuard guard(this);
+    assert(g->state == GoState::Waiting);
+    g->state = GoState::Runnable;
+    bus_.goUnpark(g->id);
+    enqueueLocked(g);
+}
+
+void
+Scheduler::yieldParallel()
+{
+    SchedGuard guard(this);
+    Worker *w = tlWorker_;
+    Goroutine *g = w != nullptr ? w->running : nullptr;
+    assert(g && "yield outside a goroutine");
+    if (aborting_)
+        throw RunAborted{};
+    g->state = GoState::Runnable;
+    // Not stealable yet: the dispatcher pushes it after the stack has
+    // switched out (Worker::pendingYield).
+    w->pendingYield = g;
+    g->fiber.suspendTo(&w->schedContext);
+    if (aborting_)
+        throw RunAborted{};
+}
+
+void
+Scheduler::sleepParallel(int64_t delay_ns)
+{
+    if (delay_ns <= 0) {
+        yieldParallel();
+        return;
+    }
+    SchedGuard guard(this);
+    Goroutine *g = tlWorker_ != nullptr ? tlWorker_->running : nullptr;
+    assert(g && "sleep outside a goroutine");
+    scheduleTimer(delay_ns, [this, g] { unpark(g); });
+    parkParallel(WaitReason::Sleep, nullptr);
+}
+
+void
+Scheduler::enqueueLocked(Goroutine *g)
+{
+    assert(schedLockHeld());
+    if (tlWorker_ != nullptr)
+        tlWorker_->deque.push(g);
+    else
+        injectq_.push_back(g);
+    workSeq_++;
+    workCv_.notify_one();
 }
 
 void

@@ -13,19 +13,24 @@
 #ifndef GOLITE_RUNTIME_SCHEDULER_HH
 #define GOLITE_RUNTIME_SCHEDULER_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <memory>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "base/rng.hh"
 #include "runtime/events.hh"
 #include "runtime/goroutine.hh"
 #include "runtime/report.hh"
+#include "runtime/steal_deque.hh"
 #include "runtime/timer_wheel.hh"
 
 namespace golite
@@ -140,11 +145,23 @@ class Scheduler
      */
     void unparkBatch(Goroutine *const *gs, size_t n);
 
-    /** The currently executing goroutine (null in scheduler context). */
-    Goroutine *running() const { return running_; }
+    /** The currently executing goroutine (null in scheduler context).
+     *  In parallel mode: the goroutine on the *calling* worker. */
+    Goroutine *
+    running() const
+    {
+        if (parallelMode_)
+            return tlWorker_ != nullptr ? tlWorker_->running : nullptr;
+        return running_;
+    }
 
     /** Id of the currently executing goroutine (0 outside goroutines). */
-    uint64_t runningId() const { return running_ ? running_->id : 0; }
+    uint64_t
+    runningId() const
+    {
+        Goroutine *g = running();
+        return g != nullptr ? g->id : 0;
+    }
 
     /**
      * Random context switch with the configured preemption probability.
@@ -156,7 +173,13 @@ class Scheduler
     // --- Virtual clock ----------------------------------------------
 
     /** Current virtual time in nanoseconds. */
-    int64_t now() const { return nowNs_; }
+    int64_t
+    now() const
+    {
+        return parallelMode_
+                   ? nowAtomic_.load(std::memory_order_relaxed)
+                   : nowNs_;
+    }
 
     /**
      * Arrange for @p fn to run (in scheduler context; it must not
@@ -174,9 +197,20 @@ class Scheduler
 
     /**
      * Attach/detach the run's readiness source (null to detach). One
-     * poller per run; netpoll::Poller registers itself here.
+     * poller per run; netpoll::Poller registers itself here. Not
+     * supported in ExecMode::Parallel (the poller's waiter tables are
+     * single-thread state; the soak subsystem is deterministic-mode
+     * only for now) — attaching one there throws std::logic_error.
      */
-    void setIoPoller(IoPoller *poller) { ioPoller_ = poller; }
+    void
+    setIoPoller(IoPoller *poller)
+    {
+        if (parallelMode_ && poller != nullptr) {
+            throw std::logic_error(
+                "IoPoller is not supported in ExecMode::Parallel");
+        }
+        ioPoller_ = poller;
+    }
 
     /** The attached readiness source (null when none). */
     IoPoller *ioPoller() const { return ioPoller_; }
@@ -210,7 +244,48 @@ class Scheduler
     /** True while the run is being torn down. */
     bool aborting() const { return aborting_; }
 
+    // --- Parallel mode (ExecMode::Parallel) -------------------------
+
+    /** True when this run executes on the M:N work-stealing pool. */
+    bool parallel() const { return parallelMode_; }
+
+    /**
+     * Thread team provider for parallel runs: called as
+     * fn(nthreads, body) and must invoke body(0) .. body(nthreads-1)
+     * concurrently (body(0) on the calling thread), returning when
+     * all have. The default spawns nthreads-1 std::threads per run;
+     * golite::parallel installs one backed by its persistent worker
+     * pool so M:N runs reuse warm threads (see parallel::runParallel).
+     * Process-wide; pass nullptr to restore the default.
+     */
+    using ParallelExecutor = std::function<void(
+        unsigned nthreads, const std::function<void(unsigned)> &body)>;
+
+    static void setParallelExecutor(ParallelExecutor executor);
+
   private:
+    friend class SchedGuard;
+
+    /**
+     * Per-OS-thread execution context of a parallel run: the worker's
+     * scheduler-side ucontext, the goroutine it is currently running,
+     * its Chase-Lev deque (owner pops bottom, thieves steal top), and
+     * a worker-local RNG for select draws and preemption coins.
+     * pendingYield mediates yield's re-enqueue: the yielding
+     * goroutine must not become stealable until its stack has
+     * actually switched out, so the worker loop (not the goroutine)
+     * pushes it after regaining scheduler context.
+     */
+    struct Worker
+    {
+        ucontext_t schedContext;
+        Goroutine *running = nullptr;
+        Goroutine *pendingYield = nullptr;
+        StealDeque deque;
+        Rng rng{1};
+        unsigned index = 0;
+    };
+
     static void fiberEntry(void *arg);
 
     /** Draw the PCT priority-change points (ctor and reset()); must
@@ -265,6 +340,60 @@ class Scheduler
     /** Collect leaks/stats into the report at end of run. */
     void finalize();
 
+    // --- Parallel-mode internals ------------------------------------
+    //
+    // Locking protocol: all scheduling state (goroutine map, state
+    // transitions, inject queue, timers, report fields) is guarded by
+    // schedMu_. Primitives take it once at their entry via SchedGuard
+    // and user code runs without it. Context switches hand the lock
+    // across the switch: park/yield suspend *holding* schedMu_, the
+    // worker loop releases it after regaining scheduler context, and
+    // a dispatcher re-acquires it before resuming a fiber — so no
+    // thread can ever resume a fiber whose stack is still switching
+    // out, and the fiber-side critical section continues seamlessly
+    // on whichever worker resumes it. lockHolder_ (a thread_local)
+    // makes SchedGuard reentrant across that handoff.
+
+    /** Reject option combinations parallel mode cannot honor. */
+    void validateParallelOptions() const;
+
+    RunReport runParallel(std::function<void()> main);
+
+    /** One worker's scheduling loop (body(i) of the executor). */
+    void workerLoop(Worker *w);
+
+    /** Lock-free work search: own deque bottom, then steal sweeps. */
+    Goroutine *findWork(Worker *w);
+
+    /** Dispatch @p g on @p w: acquire schedMu_, switch in, handle
+     *  the post-switch bookkeeping, release. */
+    void runOne(Worker *w, Goroutine *g);
+
+    /**
+     * Last-idler step (schedMu_ held, all workers idle, queues
+     * empty): stop on mainDone/abort, advance the virtual clock to
+     * the next timer (discrete-event semantics survive parallel
+     * mode), or declare the global deadlock. False = stop the run.
+     */
+    bool coordinateIdle();
+
+    void goroutineBodyParallel(Goroutine *g);
+    void parkParallel(WaitReason reason, const void *wait_object);
+    void unparkParallel(Goroutine *g);
+    void yieldParallel();
+    void sleepParallel(int64_t delay_ns);
+
+    /** Enqueue a runnable goroutine (schedMu_ held): the calling
+     *  worker's own deque, or the inject queue from non-worker
+     *  contexts; bumps workSeq_ and wakes an idler. */
+    void enqueueLocked(Goroutine *g);
+
+    void lockSched();
+    void unlockSched();
+    bool schedLockHeld() const { return lockHolder_ == this; }
+
+    unsigned resolveParallelThreads() const;
+
     RunOptions options_;
     Rng rng_;
     EventBus bus_;
@@ -315,7 +444,73 @@ class Scheduler
 
     RunReport report_;
 
+    // --- Parallel-mode state ----------------------------------------
+
+    /** Mirrors options_.execMode == ExecMode::Parallel. */
+    bool parallelMode_ = false;
+    /** The big scheduler lock (see "Parallel-mode internals"). */
+    std::mutex schedMu_;
+    /** Wakes idle workers; paired with schedMu_. */
+    std::condition_variable_any workCv_;
+    /** Worker contexts, one per OS thread (index 0 = the driver). */
+    std::vector<std::unique_ptr<Worker>> workers_;
+    /** Runnables enqueued outside any worker context (schedMu_). */
+    std::deque<Goroutine *> injectq_;
+    /** Bumped under schedMu_ whenever work appears (idle predicate). */
+    uint64_t workSeq_ = 0;
+    unsigned idleCount_ = 0;
+    /** Workers drain and exit their loops (schedMu_). */
+    bool stopping_ = false;
+    /** Parallel-mode dispatch/clock counters: the bus stamps events
+     *  from these (EventBus::beginParallel), now() reads nowAtomic_. */
+    std::atomic<uint64_t> ticksAtomic_{0};
+    std::atomic<int64_t> nowAtomic_{0};
+
     static thread_local Scheduler *current_;
+    /** Worker context of the calling OS thread during parallel runs. */
+    static thread_local Worker *tlWorker_;
+    /** Scheduler whose schedMu_ this thread currently holds (makes
+     *  SchedGuard reentrant and survives the park handoff). */
+    static thread_local Scheduler *lockHolder_;
+};
+
+/**
+ * RAII scheduler lock for primitive entry points (chan, mutex,
+ * select, cond, once, waitgroup, pipe, timers). In deterministic mode
+ * it is a no-op — one branch, the single-thread fast path is
+ * untouched. In parallel mode it acquires the scheduler lock unless
+ * this thread already holds it (reentrant via Scheduler::lockHolder_,
+ * so primitives can compose: Cond::wait takes the guard and calls
+ * Mutex::unlock, whose inner guard no-ops). park() suspends while the
+ * guard holds the lock; the lock is handed across the context switch
+ * (see scheduler.hh "Parallel-mode internals"), so the guard's
+ * destructor may run on a different OS thread than its constructor —
+ * always the thread that currently owns the lock.
+ */
+class SchedGuard
+{
+  public:
+    explicit SchedGuard(Scheduler *sched)
+        : sched_(sched != nullptr && sched->parallel() &&
+                         Scheduler::lockHolder_ != sched
+                     ? sched
+                     : nullptr)
+    {
+        if (sched_ != nullptr)
+            sched_->lockSched();
+    }
+
+    ~SchedGuard()
+    {
+        if (sched_ != nullptr)
+            sched_->unlockSched();
+    }
+
+    SchedGuard(const SchedGuard &) = delete;
+    SchedGuard &operator=(const SchedGuard &) = delete;
+
+  private:
+    Scheduler *sched_;
 };
 
 // --- Free-function API (the golite "language surface") ---------------

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Chase-Lev work-stealing deque for the M:N parallel scheduler.
+ *
+ * One deque per worker: the owner pushes and pops at the bottom
+ * (LIFO, cache-warm), thieves steal from the top (FIFO, oldest work
+ * first). The implementation follows the C11-memory-model formulation
+ * of Le, Pop, Cohen & Zappa Nardelli, "Correct and Efficient
+ * Work-Stealing for Weak Memory Models" (PPoPP 2013): the owner's pop
+ * races with concurrent steals on the last element and both sides
+ * arbitrate with one sequentially-consistent compare-exchange on top.
+ *
+ * The buffer grows geometrically and old buffers are retired to a
+ * graveyard instead of freed: a thief may still be reading a stale
+ * buffer pointer mid-steal, so reclamation waits until reset(), which
+ * the scheduler only calls between runs when no thief can be active.
+ * Capacity is therefore monotone within a run — the arena property
+ * every other per-run container in the runtime already has.
+ */
+
+#ifndef GOLITE_RUNTIME_STEAL_DEQUE_HH
+#define GOLITE_RUNTIME_STEAL_DEQUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace golite
+{
+
+class Goroutine;
+
+/** Single-owner, multi-thief lock-free deque of Goroutine*. */
+class StealDeque
+{
+  public:
+    explicit StealDeque(size_t initial_capacity = 64)
+        : buffer_(new Buffer(roundUp(initial_capacity)))
+    {
+    }
+
+    ~StealDeque()
+    {
+        delete buffer_.load(std::memory_order_relaxed);
+    }
+
+    StealDeque(const StealDeque &) = delete;
+    StealDeque &operator=(const StealDeque &) = delete;
+
+    /** Owner only: push one item at the bottom. */
+    void
+    push(Goroutine *g)
+    {
+        const int64_t b = bottom_.load(std::memory_order_relaxed);
+        const int64_t t = top_.load(std::memory_order_acquire);
+        Buffer *buf = buffer_.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<int64_t>(buf->capacity)) {
+            buf = grow(buf, t, b);
+        }
+        buf->put(b, g);
+        // Publish the element before the new bottom becomes visible
+        // to thieves.
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Owner only: pop the most recently pushed item, or null when the
+     * deque is empty (or a thief won the race for the last element).
+     */
+    Goroutine *
+    pop()
+    {
+        const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        Buffer *buf = buffer_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        int64_t t = top_.load(std::memory_order_relaxed);
+        if (t > b) {
+            // Already empty; restore bottom.
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        Goroutine *g = buf->get(b);
+        if (t == b) {
+            // Last element: race the thieves for it.
+            if (!top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed))
+                g = nullptr; // a thief took it
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return g;
+    }
+
+    /** Any thread: steal the oldest item, or null when empty or the
+     *  steal lost a race (callers just try elsewhere). */
+    Goroutine *
+    steal()
+    {
+        int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b)
+            return nullptr;
+        Buffer *buf = buffer_.load(std::memory_order_consume);
+        Goroutine *g = buf->get(t);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+            return nullptr;
+        return g;
+    }
+
+    /** Racy size estimate (monitoring / work-available heuristics). */
+    size_t
+    sizeEstimate() const
+    {
+        const int64_t b = bottom_.load(std::memory_order_relaxed);
+        const int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<size_t>(b - t) : 0;
+    }
+
+    /**
+     * Owner only, quiescent (no concurrent thieves — the scheduler
+     * calls this between runs): empty the deque and free retired
+     * buffers while keeping the current capacity.
+     */
+    void
+    reset()
+    {
+        graveyard_.clear();
+        top_.store(0, std::memory_order_relaxed);
+        bottom_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct Buffer
+    {
+        explicit Buffer(size_t cap)
+            : capacity(cap), mask(cap - 1),
+              slots(new std::atomic<Goroutine *>[cap])
+        {
+        }
+
+        Goroutine *
+        get(int64_t i) const
+        {
+            return slots[static_cast<size_t>(i) & mask].load(
+                std::memory_order_relaxed);
+        }
+
+        void
+        put(int64_t i, Goroutine *g)
+        {
+            slots[static_cast<size_t>(i) & mask].store(
+                g, std::memory_order_relaxed);
+        }
+
+        const size_t capacity;
+        const size_t mask;
+        std::unique_ptr<std::atomic<Goroutine *>[]> slots;
+    };
+
+    static size_t
+    roundUp(size_t n)
+    {
+        size_t cap = 8;
+        while (cap < n)
+            cap <<= 1;
+        return cap;
+    }
+
+    Buffer *
+    grow(Buffer *old, int64_t t, int64_t b)
+    {
+        auto fresh = std::make_unique<Buffer>(old->capacity * 2);
+        for (int64_t i = t; i < b; ++i)
+            fresh->put(i, old->get(i));
+        Buffer *raw = fresh.get();
+        buffer_.store(raw, std::memory_order_release);
+        // A thief may still hold the old pointer: retire, don't free.
+        graveyard_.emplace_back(old);
+        fresh.release();
+        return raw;
+    }
+
+    alignas(64) std::atomic<int64_t> top_{0};
+    alignas(64) std::atomic<int64_t> bottom_{0};
+    alignas(64) std::atomic<Buffer *> buffer_;
+    /** Retired grown-over buffers; freed at reset() quiescence. */
+    std::vector<std::unique_ptr<Buffer>> graveyard_;
+};
+
+} // namespace golite
+
+#endif // GOLITE_RUNTIME_STEAL_DEQUE_HH

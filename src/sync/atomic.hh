@@ -26,6 +26,7 @@ class Atomic
     load() const
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         sched->bus().acquire(this, sched->runningId());
         return value_;
     }
@@ -33,8 +34,9 @@ class Atomic
     void
     store(T value)
     {
-        value_ = value;
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
+        value_ = value;
         sched->bus().release(this, sched->runningId());
     }
 
@@ -43,6 +45,7 @@ class Atomic
     add(T delta)
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         sched->bus().acquire(this, sched->runningId());
         value_ += delta;
         sched->bus().release(this, sched->runningId());
@@ -54,6 +57,7 @@ class Atomic
     compareAndSwap(T expect, T desired)
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         sched->bus().acquire(this, sched->runningId());
         const bool swapped = (value_ == expect);
         if (swapped)

@@ -10,6 +10,7 @@ void
 Cond::wait()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     if (!mutex_.locked())
         goPanic("sync: Cond.Wait without holding the mutex");
     waitq_.push_back(sched->running());
@@ -22,6 +23,7 @@ void
 Cond::signal()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     if (waitq_.empty())
         return;
     sched->unpark(waitq_.front());
@@ -32,6 +34,7 @@ void
 Cond::broadcast()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     while (!waitq_.empty()) {
         sched->unpark(waitq_.front());
         waitq_.pop_front();

@@ -15,6 +15,7 @@ void
 Mutex::lock()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     EventBus &bus = sched->bus();
     if (!locked_) {
         locked_ = true;
@@ -38,6 +39,7 @@ void
 Mutex::unlock()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     if (!locked_)
         goPanic("sync: unlock of unlocked mutex");
     const uint64_t gid = sched->runningId();
@@ -57,6 +59,7 @@ Mutex::unlock()
 bool
 Mutex::tryLock()
 {
+    SchedGuard guard(Scheduler::current());
     if (locked_)
         return false;
     lock();

@@ -14,6 +14,7 @@ void
 Once::doOnce(const std::function<void()> &fn)
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     EventBus &bus = sched->bus();
     if (done_) {
         bus.acquire(this, sched->runningId());

@@ -39,6 +39,7 @@ class Pool
     get()
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         sched->bus().acquire(this, sched->runningId());
         if (items_.empty())
             return factory_();
@@ -51,8 +52,9 @@ class Pool
     void
     put(T value)
     {
-        items_.push_back(std::move(value));
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
+        items_.push_back(std::move(value));
         sched->bus().release(this, sched->runningId());
     }
 

@@ -17,6 +17,7 @@ void
 RWMutex::rlock()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     EventBus &bus = sched->bus();
     // Writer privilege: a waiting writer blocks new readers even
     // though readers currently hold the lock. This is what makes the
@@ -37,6 +38,7 @@ void
 RWMutex::runlock()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     EventBus &bus = sched->bus();
     if (readers_ == 0)
         goPanic("sync: RUnlock of unlocked RWMutex");
@@ -59,6 +61,7 @@ void
 RWMutex::lock()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     EventBus &bus = sched->bus();
     if (readers_ == 0 && !writerActive_ && writerq_.empty()) {
         writerActive_ = true;
@@ -77,6 +80,7 @@ void
 RWMutex::unlock()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     EventBus &bus = sched->bus();
     if (!writerActive_)
         goPanic("sync: Unlock of unlocked RWMutex");

@@ -36,6 +36,7 @@ class SyncMap
     load(const K &key) const
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         sched->bus().acquire(this, sched->runningId());
         auto it = map_.find(key);
         if (it == map_.end())
@@ -47,8 +48,9 @@ class SyncMap
     void
     store(const K &key, V value)
     {
-        map_[key] = std::move(value);
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
+        map_[key] = std::move(value);
         sched->bus().release(this, sched->runningId());
     }
 
@@ -60,6 +62,7 @@ class SyncMap
     loadOrStore(const K &key, V value)
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         sched->bus().acquire(this, sched->runningId());
         auto it = map_.find(key);
         if (it != map_.end())
@@ -74,6 +77,7 @@ class SyncMap
     loadAndDelete(const K &key)
     {
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
         sched->bus().acquire(this, sched->runningId());
         auto it = map_.find(key);
         if (it == map_.end())
@@ -88,8 +92,9 @@ class SyncMap
     void
     del(const K &key)
     {
-        map_.erase(key);
         Scheduler *sched = Scheduler::current();
+        SchedGuard guard(sched);
+        map_.erase(key);
         sched->bus().release(this, sched->runningId());
     }
 
@@ -102,8 +107,12 @@ class SyncMap
     range(const std::function<bool(const K &, const V &)> &fn) const
     {
         Scheduler *sched = Scheduler::current();
-        sched->bus().acquire(this, sched->runningId());
-        const std::map<K, V> snapshot = map_;
+        std::map<K, V> snapshot;
+        {
+            SchedGuard guard(sched);
+            sched->bus().acquire(this, sched->runningId());
+            snapshot = map_;
+        }
         for (const auto &[key, value] : snapshot) {
             if (!fn(key, value))
                 return;

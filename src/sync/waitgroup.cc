@@ -15,6 +15,7 @@ void
 WaitGroup::add(int delta)
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     count_ += delta;
     if (count_ < 0)
         goPanic("sync: negative WaitGroup counter");
@@ -33,6 +34,7 @@ void
 WaitGroup::wait()
 {
     Scheduler *sched = Scheduler::current();
+    SchedGuard guard(sched);
     sched->bus().wgWait(this, sched->runningId());
     if (count_ > 0) {
         waitq_.push_back(sched->running());

@@ -1,0 +1,545 @@
+/**
+ * @file
+ * ExecMode::Parallel: the M:N work-stealing runtime and the sharded
+ * race detector.
+ *
+ * Four concerns:
+ *  - runtime semantics survive parallel execution (channels, locks,
+ *    select, timers, deadlock/leak/panic reporting);
+ *  - the option combinations parallel mode cannot honor are rejected
+ *    loudly, including non-parallel-safe mem-lane subscribers and the
+ *    thread_local detector slots (the sweep regression);
+ *  - race::Sharded is verdict-compatible with race::Detector in
+ *    deterministic mode and actually detects the corpus's races under
+ *    real parallel interleaving;
+ *  - deterministic-mode runs stay bit-identical (fingerprints and
+ *    trace bytes) when parallel runs execute between and around them
+ *    — the record/replay oracle is unaffected by the new mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/panic.hh"
+#include "channel/chan.hh"
+#include "channel/select.hh"
+#include "corpus/bug.hh"
+#include "gotime/time.hh"
+#include "parallel/sweep.hh"
+#include "race/detector.hh"
+#include "race/shared.hh"
+#include "race/sharded.hh"
+#include "runtime/scheduler.hh"
+#include "sync/mutex.hh"
+#include "sync/waitgroup.hh"
+
+namespace
+{
+
+using namespace golite;
+
+RunOptions
+parallelOptions(uint64_t seed, unsigned threads = 4)
+{
+    RunOptions options;
+    options.execMode = ExecMode::Parallel;
+    options.parallelThreads = threads;
+    options.seed = seed;
+    return options;
+}
+
+} // namespace
+
+// --- Runtime semantics under M:N execution ---------------------------
+
+TEST(ParallelMode, RunsManyGoroutinesToCompletion)
+{
+    constexpr int kGoroutines = 200;
+    RunReport report = run(
+        [] {
+            auto done = makeChan<int>(kGoroutines);
+            for (int i = 0; i < kGoroutines; ++i) {
+                go([done, i] { done.send(i); });
+            }
+            std::set<int> seen;
+            for (int i = 0; i < kGoroutines; ++i)
+                seen.insert(done.recv().value);
+            if (seen.size() != size_t{kGoroutines})
+                goPanic("lost a goroutine's send");
+        },
+        parallelOptions(1));
+    EXPECT_TRUE(report.completed) << report.describe();
+    EXPECT_EQ(report.goroutinesCreated, kGoroutines + 1u);
+    EXPECT_TRUE(report.leaked.empty());
+}
+
+TEST(ParallelMode, UnbufferedChannelHandoffs)
+{
+    RunReport report = run(
+        [] {
+            auto ch = makeChan<int>();
+            go([ch] {
+                for (int i = 0; i < 500; ++i)
+                    ch.send(i);
+                ch.close();
+            });
+            int expected = 0;
+            for (;;) {
+                auto [v, ok] = ch.recv();
+                if (!ok)
+                    break;
+                if (v != expected++)
+                    goPanic("handoff out of order");
+            }
+            if (expected != 500)
+                goPanic("dropped sends");
+        },
+        parallelOptions(7));
+    EXPECT_TRUE(report.completed) << report.describe();
+}
+
+TEST(ParallelMode, MutexProtectedCounterIsExact)
+{
+    constexpr int kWorkers = 16;
+    constexpr int kIncrements = 200;
+    RunReport report = run(
+        [] {
+            auto mu = std::make_shared<Mutex>();
+            auto counter = std::make_shared<int>(0);
+            auto wg = std::make_shared<WaitGroup>();
+            wg->add(kWorkers);
+            for (int w = 0; w < kWorkers; ++w) {
+                go([mu, counter, wg] {
+                    for (int i = 0; i < kIncrements; ++i) {
+                        mu->lock();
+                        ++*counter;
+                        mu->unlock();
+                    }
+                    wg->done();
+                });
+            }
+            wg->wait();
+            if (*counter != kWorkers * kIncrements)
+                goPanic("lost increments under the mutex");
+        },
+        parallelOptions(3, 8));
+    EXPECT_TRUE(report.completed) << report.describe();
+}
+
+TEST(ParallelMode, SelectChoosesReadyCase)
+{
+    RunReport report = run(
+        [] {
+            auto a = makeChan<int>();
+            auto b = makeChan<int>();
+            go([a] { a.send(1); });
+            go([b] { b.send(2); });
+            int got = 0;
+            for (int i = 0; i < 2; ++i) {
+                Select sel;
+                sel.recv(a, std::function<void(int, bool)>(
+                                [&](int v, bool) { got += v; }));
+                sel.recv(b, std::function<void(int, bool)>(
+                                [&](int v, bool) { got += v; }));
+                sel.run();
+            }
+            if (got != 3)
+                goPanic("select lost a message");
+        },
+        parallelOptions(11));
+    EXPECT_TRUE(report.completed) << report.describe();
+}
+
+TEST(ParallelMode, TimersAdvanceTheVirtualClock)
+{
+    RunReport report = run(
+        [] {
+            auto wg = std::make_shared<WaitGroup>();
+            wg->add(8);
+            for (int i = 1; i <= 8; ++i) {
+                go([wg, i] {
+                    gotime::sleep(i * 1'000'000); // i ms, virtual
+                    wg->done();
+                });
+            }
+            wg->wait();
+        },
+        parallelOptions(5));
+    EXPECT_TRUE(report.completed) << report.describe();
+    EXPECT_GE(report.finalTimeNs, 8'000'000);
+}
+
+TEST(ParallelMode, GlobalDeadlockIsDetected)
+{
+    RunReport report = run(
+        [] {
+            auto ch = makeChan<int>();
+            ch.recv(); // no sender will ever appear
+        },
+        parallelOptions(2));
+    EXPECT_TRUE(report.globalDeadlock) << report.describe();
+    EXPECT_FALSE(report.completed);
+}
+
+TEST(ParallelMode, LeakedGoroutineReportedAtExit)
+{
+    RunReport report = run(
+        [] {
+            auto ch = makeChan<int>();
+            go("leaker", [ch] { ch.recv(); });
+            yield();
+        },
+        parallelOptions(4));
+    ASSERT_EQ(report.leaked.size(), 1u) << report.describe();
+    EXPECT_EQ(report.leaked[0].label, "leaker");
+    EXPECT_EQ(report.leaked[0].reason, WaitReason::ChanRecv);
+}
+
+TEST(ParallelMode, PanicAbortsTheRun)
+{
+    RunReport report = run(
+        [] {
+            go([] { goPanic("boom from a worker"); });
+            auto ch = makeChan<int>();
+            ch.recv();
+        },
+        parallelOptions(6));
+    EXPECT_TRUE(report.panicked);
+    EXPECT_EQ(report.panicMessage, "boom from a worker");
+}
+
+TEST(ParallelMode, SameSeedIsReproducibleForInvariantOutcomes)
+{
+    // Parallel schedules are not deterministic, but outcome-level
+    // facts that do not depend on interleaving must hold every run.
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        RunReport report = run(
+            [] {
+                auto wg = std::make_shared<WaitGroup>();
+                wg->add(32);
+                for (int i = 0; i < 32; ++i)
+                    go([wg] { wg->done(); });
+                wg->wait();
+            },
+            parallelOptions(seed));
+        EXPECT_TRUE(report.completed) << "seed " << seed;
+        EXPECT_EQ(report.goroutinesCreated, 33u);
+    }
+}
+
+// --- Option validation ----------------------------------------------
+
+TEST(ParallelMode, RejectsScheduleTraceRecording)
+{
+    ScheduleTrace trace;
+    RunOptions options = parallelOptions(1);
+    options.recordTrace = &trace;
+    EXPECT_THROW(run([] {}, options), std::logic_error);
+}
+
+TEST(ParallelMode, RejectsChoosers)
+{
+    RunOptions options = parallelOptions(1);
+    options.chooser = [](size_t) { return size_t{0}; };
+    EXPECT_THROW(run([] {}, options), std::logic_error);
+}
+
+TEST(ParallelMode, RejectsCollectTrace)
+{
+    RunOptions options = parallelOptions(1);
+    options.collectTrace = true;
+    EXPECT_THROW(run([] {}, options), std::logic_error);
+}
+
+TEST(ParallelMode, RejectsNonParallelSafeMemLaneSubscriber)
+{
+    race::Detector detector;
+    RunOptions options = parallelOptions(1);
+    options.subscribers.push_back(&detector);
+    EXPECT_THROW(run([] {}, options), std::logic_error);
+}
+
+TEST(ParallelMode, AcceptsShardedDetector)
+{
+    race::Sharded sharded;
+    RunOptions options = parallelOptions(1);
+    options.subscribers.push_back(&sharded);
+    RunReport report = run([] { go([] {}); }, options);
+    EXPECT_TRUE(report.completed);
+}
+
+TEST(ParallelMode, ThreadLocalDetectorSlotsRejectedInsideParallelRun)
+{
+    // The sweep regression: thread_local detector slots are per OS
+    // thread, but a parallel run's goroutines migrate across threads.
+    bool race_slot_threw = false;
+    bool waitgraph_slot_threw = false;
+    RunReport report = run(
+        [&] {
+            try {
+                parallel::threadLocalDetector();
+            } catch (const std::logic_error &) {
+                race_slot_threw = true;
+            }
+            try {
+                parallel::threadLocalWaitgraphDetector();
+            } catch (const std::logic_error &) {
+                waitgraph_slot_threw = true;
+            }
+        },
+        parallelOptions(1));
+    EXPECT_TRUE(report.completed);
+    EXPECT_TRUE(race_slot_threw);
+    EXPECT_TRUE(waitgraph_slot_threw);
+}
+
+TEST(ParallelMode, ThreadLocalDetectorStillWorksSerially)
+{
+    race::Detector &d = parallel::threadLocalDetector();
+    EXPECT_EQ(d.reports().size(), 0u);
+}
+
+// --- The sharded race detector ---------------------------------------
+
+TEST(ShardedDetector, DetectsARaceUnderParallelExecution)
+{
+    // An unsynchronized counter: two goroutines, no happens-before
+    // edge. A bounded seed batch must expose it (early exit on first
+    // detection).
+    bool detected = false;
+    for (uint64_t seed = 1; seed <= 20 && !detected; ++seed) {
+        race::Sharded sharded;
+        RunOptions options = parallelOptions(seed);
+        options.subscribers.push_back(&sharded);
+        run(
+            [] {
+                auto counter =
+                    std::make_shared<race::Shared<int>>("pm.counter");
+                auto wg = std::make_shared<WaitGroup>();
+                wg->add(2);
+                for (int i = 0; i < 2; ++i) {
+                    go([counter, wg] {
+                        for (int k = 0; k < 50; ++k)
+                            counter->update([](int &v) { ++v; });
+                        wg->done();
+                    });
+                }
+                wg->wait();
+            },
+            options);
+        detected = sharded.racedOn("pm.counter");
+    }
+    EXPECT_TRUE(detected);
+}
+
+TEST(ShardedDetector, NoFalsePositiveOnMutexProtectedCounter)
+{
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        race::Sharded sharded;
+        RunOptions options = parallelOptions(seed);
+        options.subscribers.push_back(&sharded);
+        RunReport report = run(
+            [] {
+                auto counter =
+                    std::make_shared<race::Shared<int>>("pm.locked");
+                auto mu = std::make_shared<Mutex>();
+                auto wg = std::make_shared<WaitGroup>();
+                wg->add(4);
+                for (int i = 0; i < 4; ++i) {
+                    go([counter, mu, wg] {
+                        for (int k = 0; k < 25; ++k) {
+                            mu->lock();
+                            counter->update([](int &v) { ++v; });
+                            mu->unlock();
+                        }
+                        wg->done();
+                    });
+                }
+                wg->wait();
+            },
+            options);
+        EXPECT_TRUE(report.raceMessages.empty())
+            << "seed " << seed << ": " << report.raceMessages[0];
+    }
+}
+
+TEST(ShardedDetector, NoFalsePositiveOnChannelHandoff)
+{
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        race::Sharded sharded;
+        RunOptions options = parallelOptions(seed);
+        options.subscribers.push_back(&sharded);
+        RunReport report = run(
+            [] {
+                auto value =
+                    std::make_shared<race::Shared<int>>("pm.handoff");
+                auto ch = makeChan<Unit>();
+                go([value, ch] {
+                    value->store(42);
+                    ch.send(Unit{});
+                });
+                ch.recv();
+                if (value->load() != 42)
+                    goPanic("lost the handoff write");
+            },
+            options);
+        EXPECT_TRUE(report.raceMessages.empty())
+            << "seed " << seed << ": " << report.raceMessages[0];
+    }
+}
+
+TEST(ShardedDetector, SerialVerdictParityWithStandardDetector)
+{
+    // In deterministic mode the two detectors see the identical event
+    // stream, so their any-race verdicts must agree on the corpus's
+    // non-blocking reproduced set (report multiplicity may differ —
+    // the suppression heuristics are independent).
+    for (const corpus::BugCase *bug :
+         corpus::bugsByBehavior(corpus::Behavior::NonBlocking, true)) {
+        for (corpus::Variant variant :
+             {corpus::Variant::Buggy, corpus::Variant::Fixed}) {
+            race::Detector standard;
+            RunOptions options;
+            options.seed = 12345;
+            options.subscribers.push_back(&standard);
+            const RunReport ref =
+                bug->run(variant, options).report;
+
+            race::Sharded sharded;
+            RunOptions sharded_options;
+            sharded_options.seed = 12345;
+            sharded_options.subscribers.push_back(&sharded);
+            const RunReport got =
+                bug->run(variant, sharded_options).report;
+
+            EXPECT_EQ(got.raceMessages.empty(),
+                      ref.raceMessages.empty())
+                << bug->info.id << " variant "
+                << (variant == corpus::Variant::Buggy ? "buggy"
+                                                      : "fixed")
+                << ": standard="
+                << (ref.raceMessages.empty() ? "clean" : "raced")
+                << " sharded="
+                << (got.raceMessages.empty() ? "clean" : "raced");
+        }
+    }
+}
+
+// --- Corpus differential under parallel execution --------------------
+
+TEST(ParallelCorpus, EveryKernelExecutesInBothVariants)
+{
+    // The whole corpus must *run* under M:N execution: no crash, no
+    // livelock verdict, and fixed variants must never manifest the
+    // bug no matter the interleaving.
+    int buggy_manifested = 0;
+    for (const corpus::BugCase &bug : corpus::corpus()) {
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+            const corpus::BugOutcome buggy =
+                bug.run(corpus::Variant::Buggy, parallelOptions(seed));
+            EXPECT_FALSE(buggy.report.livelocked)
+                << bug.info.id << " buggy seed " << seed;
+            if (buggy.manifested) {
+                buggy_manifested++;
+                break; // early exit: this kernel's bug is exposed
+            }
+        }
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+            const corpus::BugOutcome fixed =
+                bug.run(corpus::Variant::Fixed, parallelOptions(seed));
+            EXPECT_FALSE(fixed.manifested)
+                << bug.info.id << " fixed seed " << seed << ": "
+                << fixed.note;
+            EXPECT_FALSE(fixed.report.livelocked)
+                << bug.info.id << " fixed seed " << seed;
+        }
+    }
+    // Parallel interleavings are not seed-reproducible, so individual
+    // kernels may dodge their bug in a short batch — but across the
+    // corpus a healthy majority must manifest (the deterministic
+    // blocking bugs alone guarantee dozens).
+    EXPECT_GE(buggy_manifested,
+              static_cast<int>(corpus::corpus().size() / 2));
+}
+
+// --- Cross-mode determinism (the record/replay oracle is untouched) --
+
+namespace
+{
+
+void
+mixedWorkload()
+{
+    auto ch = makeChan<int>(4);
+    auto mu = std::make_shared<Mutex>();
+    auto total = std::make_shared<int>(0);
+    auto wg = std::make_shared<WaitGroup>();
+    wg->add(6);
+    for (int i = 0; i < 6; ++i) {
+        go([ch, mu, total, wg, i] {
+            ch.send(i);
+            mu->lock();
+            *total += i;
+            mu->unlock();
+            wg->done();
+        });
+    }
+    for (int i = 0; i < 6; ++i)
+        ch.recv();
+    wg->wait();
+    gotime::sleep(1'000'000);
+}
+
+} // namespace
+
+TEST(CrossModeDeterminism, SerialFingerprintsSurviveParallelRuns)
+{
+    RunOptions serial;
+    serial.seed = 99;
+    serial.collectTrace = true;
+
+    const RunReport before = run(mixedWorkload, serial);
+    const std::string fp_before = before.fingerprint();
+    const std::string trace_before = before.formatTrace();
+
+    // Interleave parallel executions of the same program — including
+    // pool-backed ones — between the serial runs.
+    for (uint64_t seed = 1; seed <= 3; ++seed)
+        run(mixedWorkload, parallelOptions(seed));
+    parallel::runParallel(mixedWorkload, RunOptions{});
+
+    const RunReport after = run(mixedWorkload, serial);
+    EXPECT_EQ(fp_before, after.fingerprint());
+    EXPECT_EQ(trace_before, after.formatTrace());
+}
+
+TEST(CrossModeDeterminism, SerialSweepUnchangedByParallelNeighbors)
+{
+    const std::vector<uint64_t> seeds{1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<RunReport> before =
+        parallel::runSeeds(mixedWorkload, seeds);
+
+    for (uint64_t seed = 1; seed <= 2; ++seed)
+        parallel::runParallel(mixedWorkload, RunOptions{});
+
+    const std::vector<RunReport> after =
+        parallel::runSeeds(mixedWorkload, seeds);
+    ASSERT_EQ(before.size(), after.size());
+    for (size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(before[i].fingerprint(), after[i].fingerprint())
+            << "seed " << seeds[i];
+    }
+}
+
+TEST(CrossModeDeterminism, PoolExecutorRunParallelCompletes)
+{
+    parallel::SweepOptions sweep;
+    sweep.workers = 4;
+    const RunReport report =
+        parallel::runParallel(mixedWorkload, RunOptions{}, sweep);
+    EXPECT_TRUE(report.completed) << report.describe();
+}
